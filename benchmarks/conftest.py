@@ -1,0 +1,100 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Histories are expensive to generate, so they are produced once per parameter
+combination and cached for the whole benchmark session.  A small results
+collector appends the measured shapes (speedups, scaling slopes) to
+``benchmarks/results.json`` so EXPERIMENTS.md can be cross-checked against a
+concrete run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from functools import lru_cache
+from typing import Dict
+
+import pytest
+
+from repro.db.config import DatabaseConfig, IsolationMode
+from repro.db.profiles import profile_by_name, with_overrides
+from repro.workloads import (
+    CTwitterWorkload,
+    RUBiSWorkload,
+    ScalableTransactionWorkload,
+    TPCCWorkload,
+    collect_history,
+)
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.json")
+
+
+def _workload(name: str, **kwargs):
+    if name == "tpcc":
+        return TPCCWorkload(num_warehouses=2, num_items=60, **kwargs)
+    if name == "ctwitter":
+        return CTwitterWorkload(num_users=40, **kwargs)
+    if name == "rubis":
+        return RUBiSWorkload(num_users=30, num_items=90, **kwargs)
+    if name == "custom":
+        return ScalableTransactionWorkload(**kwargs)
+    raise ValueError(name)
+
+
+@lru_cache(maxsize=None)
+def make_history(
+    workload: str,
+    database: str = "cockroach",
+    sessions: int = 50,
+    transactions: int = 1024,
+    seed: int = 1,
+    ops_per_transaction: int = 0,
+):
+    """Generate (and cache) one history for the given benchmark parameters."""
+    kwargs = {}
+    if workload == "custom" and ops_per_transaction:
+        kwargs["ops_per_transaction"] = ops_per_transaction
+        kwargs["num_keys"] = 400
+    profile = with_overrides(profile_by_name(database), seed=seed)
+    return collect_history(
+        _workload(workload, **kwargs),
+        profile,
+        num_sessions=sessions,
+        num_transactions=transactions,
+        seed=seed,
+    )
+
+
+class ResultsCollector:
+    """Accumulates named measurements and flushes them to ``results.json``."""
+
+    def __init__(self) -> None:
+        self.data: Dict[str, object] = {}
+
+    def record(self, experiment: str, key: str, value) -> None:
+        self.data.setdefault(experiment, {})[key] = value
+
+    def flush(self) -> None:
+        if not self.data:
+            return
+        existing = {}
+        if os.path.exists(RESULTS_PATH):
+            try:
+                with open(RESULTS_PATH, "r", encoding="utf-8") as handle:
+                    existing = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                existing = {}
+        for experiment, values in self.data.items():
+            existing.setdefault(experiment, {}).update(values)
+        with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+            json.dump(existing, handle, indent=2, sort_keys=True)
+
+
+_collector = ResultsCollector()
+
+
+@pytest.fixture(scope="session")
+def results():
+    """Session-wide results collector, flushed at the end of the run."""
+    yield _collector
+    _collector.flush()

@@ -1,0 +1,144 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Three ingredients give AWDIT its edge over exhaustive saturation:
+
+1. *Minimal* commit-relation saturation for RC (Algorithm 1's two-element
+   ``earliestWts`` stack) versus inferring an edge for every witnessing pair
+   of reads (what the Plume-like TAP search does).
+2. The per-session monotone ``lastWrite`` pointers for CC (Algorithm 3)
+   versus materializing the full causal closure (the DBCop-like baseline).
+3. The single-session linear fast path for RA (Theorem 1.6) versus the
+   general ``O(n^{3/2})`` algorithm.
+
+Each ablation benchmarks both sides on the same history and records the edge
+counts / time ratios into ``results.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.dbcop import check_cc_dbcop
+from repro.baselines.plume import check_plume
+from repro.core import IsolationLevel, check
+from repro.core.commit import CommitRelation
+from repro.core.model import History, Transaction, write, read
+from repro.core.ra import check_ra, check_ra_single_session
+from repro.core.rc import check_rc, saturate_rc
+from repro.core.read_consistency import check_read_consistency
+
+from conftest import make_history
+
+
+class TestMinimalVsExhaustiveSaturation:
+    def test_awdit_minimal_rc_saturation(self, benchmark, results):
+        history = make_history("tpcc", "cockroach", sessions=25, transactions=1024)
+        benchmark.group = "ablation: RC saturation"
+        result = benchmark.pedantic(lambda: check_rc(history), rounds=2, iterations=1)
+        assert result.is_consistent
+        results.record(
+            "ablation-rc",
+            "awdit-minimal",
+            {
+                "seconds": round(benchmark.stats.stats.mean, 6),
+                "inferred_edges": result.stats["inferred_edges"],
+            },
+        )
+
+    def test_exhaustive_rc_saturation(self, benchmark, results):
+        history = make_history("tpcc", "cockroach", sessions=25, transactions=1024)
+        benchmark.group = "ablation: RC saturation"
+        result = benchmark.pedantic(
+            lambda: check_plume(history, IsolationLevel.READ_COMMITTED),
+            rounds=2,
+            iterations=1,
+        )
+        assert result.is_consistent
+        results.record(
+            "ablation-rc",
+            "exhaustive",
+            {"seconds": round(benchmark.stats.stats.mean, 6)},
+        )
+
+    def test_minimal_relation_is_smaller_than_axiom_instances(self, benchmark, results):
+        """Count how many RC-axiom instances the minimal co' avoids materializing."""
+        history = make_history("tpcc", "cockroach", sessions=25, transactions=512)
+
+        def count():
+            report = check_read_consistency(history)
+            relation = CommitRelation(history)
+            saturate_rc(history, relation, report.bad_reads)
+            # Exhaustive count: every (earlier read, later read of another
+            # writer that the earlier writer also writes) pair.
+            exhaustive = 0
+            for tid in history.committed:
+                reads = [
+                    (index, op, writer)
+                    for writer, index, op in history.txn_read_froms(tid)
+                    if history.transactions[writer].committed
+                ]
+                for position, (_i, _op, t2) in enumerate(reads):
+                    for _j, op_x, t1 in reads[position + 1 :]:
+                        if t1 != t2 and history.transactions[t2].writes_key(op_x.key):
+                            exhaustive += 1
+            return relation.num_inferred_edges, exhaustive
+
+        minimal, exhaustive = benchmark.pedantic(count, rounds=1, iterations=1)
+        results.record(
+            "ablation-rc", "edge-counts", {"minimal": minimal, "axiom_instances": exhaustive}
+        )
+        assert minimal <= exhaustive
+
+
+class TestPointerVsClosureForCC:
+    def test_awdit_cc_pointers(self, benchmark, results):
+        history = make_history("ctwitter", "cockroach", sessions=25, transactions=1024)
+        benchmark.group = "ablation: CC saturation"
+        result = benchmark.pedantic(
+            lambda: check(history, IsolationLevel.CAUSAL_CONSISTENCY), rounds=2, iterations=1
+        )
+        assert result.is_consistent
+        results.record(
+            "ablation-cc", "awdit-pointers", round(benchmark.stats.stats.mean, 6)
+        )
+
+    def test_dbcop_explicit_closure(self, benchmark, results):
+        history = make_history("ctwitter", "cockroach", sessions=25, transactions=1024)
+        benchmark.group = "ablation: CC saturation"
+        result = benchmark.pedantic(lambda: check_cc_dbcop(history), rounds=1, iterations=1)
+        assert result.is_consistent
+        results.record(
+            "ablation-cc", "explicit-closure", round(benchmark.stats.stats.mean, 6)
+        )
+
+
+class TestSingleSessionFastPath:
+    @staticmethod
+    def _single_session_history(num_transactions=2500):
+        transactions = []
+        for i in range(num_transactions):
+            key = f"k{i % 50}"
+            transactions.append(
+                Transaction([write(key, i * 2), read(key, i * 2)], label=f"t{i}")
+            )
+        return History.from_sessions([transactions])
+
+    def test_linear_fast_path(self, benchmark, results):
+        history = self._single_session_history()
+        benchmark.group = "ablation: RA single session"
+        result = benchmark.pedantic(
+            lambda: check_ra_single_session(history), rounds=3, iterations=1
+        )
+        assert result.is_consistent
+        results.record(
+            "ablation-ra-1session", "fast-path", round(benchmark.stats.stats.mean, 6)
+        )
+
+    def test_general_algorithm(self, benchmark, results):
+        history = self._single_session_history()
+        benchmark.group = "ablation: RA single session"
+        result = benchmark.pedantic(lambda: check_ra(history), rounds=3, iterations=1)
+        assert result.is_consistent
+        results.record(
+            "ablation-ra-1session", "general", round(benchmark.stats.stats.mean, 6)
+        )

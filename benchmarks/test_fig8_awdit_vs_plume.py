@@ -1,0 +1,109 @@
+"""Fig. 8 reproduction: large-scale AWDIT vs Plume comparison.
+
+The paper's large-scale experiment compares AWDIT against Plume (the only
+baseline that survives the small-scale cut) on 198 histories collected from
+three databases and three benchmarks with 50 or 100 sessions and up to 2^20
+transactions, at each of the three weak isolation levels.  The result is a
+scatter plot per level whose points lie well below the diagonal: an average
+speedup of 80x/70x/36x over all histories and 245x/193x/62x over the ~20%
+largest ones.
+
+At reproduction scale the grid is smaller (two simulated databases, three
+workloads, two sizes, two session counts) but the measured quantity is the
+same: wall-clock checking time of AWDIT vs the Plume-like baseline per
+(history, level) pair.  The geometric-mean speedup per level -- the paper's
+headline number -- is accumulated into ``results.json`` by the final
+aggregation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.plume import check_plume
+from repro.core import IsolationLevel, check
+
+from conftest import make_history
+
+DATABASES = ["postgres", "cockroach"]
+WORKLOADS = ["tpcc", "ctwitter", "rubis"]
+GRID = [
+    # (sessions, transactions)
+    (25, 512),
+    (50, 1024),
+]
+LEVELS = [
+    IsolationLevel.READ_COMMITTED,
+    IsolationLevel.READ_ATOMIC,
+    IsolationLevel.CAUSAL_CONSISTENCY,
+]
+
+_timings = {}
+
+
+def _history_id(database, workload, sessions, transactions):
+    return f"{database}/{workload}/k={sessions}/n={transactions}"
+
+
+@pytest.mark.parametrize("database", DATABASES)
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("sessions,transactions", GRID)
+@pytest.mark.parametrize("level", LEVELS, ids=lambda l: l.short_name)
+@pytest.mark.parametrize("tester", ["awdit", "plume"])
+def test_fig8_point(benchmark, results, tester, level, database, workload, sessions, transactions):
+    """One point of the Fig. 8 scatter: one history, one level, one tester."""
+    history = make_history(
+        workload, database, sessions=sessions, transactions=transactions
+    )
+    benchmark.group = f"fig8 {level.short_name} {workload}@{database} n={transactions}"
+
+    if tester == "awdit":
+        runner = lambda: check(history, level)
+    else:
+        runner = lambda: check_plume(history, level)
+    rounds = 1
+    result = benchmark.pedantic(runner, rounds=rounds, iterations=1, warmup_rounds=0)
+    assert result.is_consistent
+
+    key = (_history_id(database, workload, sessions, transactions), level.short_name)
+    _timings.setdefault(key, {})[tester] = benchmark.stats.stats.mean
+    results.record(
+        "fig8",
+        f"{key[0]}/{key[1]}/{tester}",
+        round(benchmark.stats.stats.mean, 6),
+    )
+    timing = _timings[key]
+    if len(timing) == 2:
+        speedup = timing["plume"] / max(timing["awdit"], 1e-9)
+        results.record("fig8-speedups", f"{key[0]}/{key[1]}", round(speedup, 3))
+
+
+def test_fig8_geometric_mean_speedup(benchmark, results):
+    """Aggregate the per-point speedups into the paper's headline statistic."""
+
+    def aggregate():
+        per_level = {}
+        for (history_id, level), timing in _timings.items():
+            if "awdit" in timing and "plume" in timing:
+                per_level.setdefault(level, []).append(
+                    timing["plume"] / max(timing["awdit"], 1e-9)
+                )
+        return {
+            level: math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+            for level, speedups in per_level.items()
+            if speedups
+        }
+
+    means = benchmark.pedantic(aggregate, rounds=1, iterations=1)
+    for level, value in means.items():
+        results.record("fig8-geomean-speedup", level, round(value, 3))
+    # Shape check: AWDIT should win clearly at CC (where its O(n·k) algorithm
+    # replaces the baseline's per-read writer scans) and stay in the same
+    # ballpark elsewhere.  At this reproduction's (pure-Python, scaled-down)
+    # sizes the RC/RA advantage is smaller than the paper's 80-245x -- the
+    # asymptotic gap widens with history size; see EXPERIMENTS.md.
+    assert means.get("CC", 1.0) >= 0.9, "expected AWDIT to be at least competitive at CC"
+    for level, value in means.items():
+        assert value >= 0.5, f"unexpectedly large slowdown for {level}"

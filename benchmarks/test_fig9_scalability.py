@@ -1,0 +1,133 @@
+"""Fig. 9 reproduction: scalability of AWDIT along three axes.
+
+The paper measures AWDIT's running time while scaling (left) the number of
+transactions with 100 sessions and bounded transaction size, (middle) the
+number of sessions with the number of transactions fixed, and (right) the
+number of operations per transaction with the history size fixed.  The
+expected shapes are: linear in the number of transactions for every level;
+growing with the session count for CC but flat for RC and RA; and flat in
+the transaction size for all levels.
+
+Each parametrized benchmark below is one point of one curve; the
+pytest-benchmark table grouped per sub-experiment is the figure.  The
+session-scaling and size-scaling shapes are additionally checked (loosely)
+by the aggregation benchmarks at the end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IsolationLevel, check
+
+from conftest import make_history
+
+LEVELS = [
+    IsolationLevel.READ_COMMITTED,
+    IsolationLevel.READ_ATOMIC,
+    IsolationLevel.CAUSAL_CONSISTENCY,
+]
+
+TXN_COUNTS = [512, 1024, 2048]
+SESSION_COUNTS = [15, 30, 60]
+TXN_SIZES = [(4, 1024), (8, 512), (16, 256), (32, 128)]  # (ops/txn, #txns): fixed history size
+
+_session_times = {}
+_size_times = {}
+
+
+@pytest.mark.parametrize("transactions", TXN_COUNTS)
+@pytest.mark.parametrize("level", LEVELS, ids=lambda l: l.short_name)
+def test_fig9_left_time_vs_transactions(benchmark, results, level, transactions):
+    """Left plot: running time as the number of transactions grows."""
+    history = make_history("ctwitter", "cockroach", sessions=50, transactions=transactions)
+    benchmark.group = f"fig9-left {level.short_name}"
+    result = benchmark.pedantic(
+        lambda: check(history, level), rounds=2, iterations=1, warmup_rounds=0
+    )
+    assert result.is_consistent
+    results.record(
+        "fig9-left", f"{level.short_name}/n={transactions}", round(benchmark.stats.stats.mean, 6)
+    )
+
+
+@pytest.mark.parametrize("sessions", SESSION_COUNTS)
+@pytest.mark.parametrize("level", LEVELS, ids=lambda l: l.short_name)
+def test_fig9_middle_time_vs_sessions(benchmark, results, level, sessions):
+    """Middle plot: running time as the number of sessions grows (CC grows, RC/RA flat)."""
+    history = make_history("ctwitter", "cockroach", sessions=sessions, transactions=2048)
+    benchmark.group = f"fig9-middle {level.short_name}"
+    result = benchmark.pedantic(
+        lambda: check(history, level), rounds=2, iterations=1, warmup_rounds=0
+    )
+    assert result.is_consistent
+    mean = benchmark.stats.stats.mean
+    _session_times.setdefault(level.short_name, {})[sessions] = mean
+    results.record("fig9-middle", f"{level.short_name}/k={sessions}", round(mean, 6))
+
+
+@pytest.mark.parametrize("ops_per_txn,transactions", TXN_SIZES)
+@pytest.mark.parametrize("level", LEVELS, ids=lambda l: l.short_name)
+def test_fig9_right_time_vs_transaction_size(
+    benchmark, results, level, ops_per_txn, transactions
+):
+    """Right plot: running time as the transaction size grows with fixed history size."""
+    history = make_history(
+        "custom",
+        "cockroach",
+        sessions=50,
+        transactions=transactions,
+        ops_per_transaction=ops_per_txn,
+    )
+    benchmark.group = f"fig9-right {level.short_name}"
+    result = benchmark.pedantic(
+        lambda: check(history, level), rounds=2, iterations=1, warmup_rounds=0
+    )
+    assert result.is_consistent
+    mean = benchmark.stats.stats.mean
+    _size_times.setdefault(level.short_name, {})[ops_per_txn] = mean
+    results.record(
+        "fig9-right", f"{level.short_name}/ops={ops_per_txn}", round(mean, 6)
+    )
+
+
+def test_fig9_shapes(benchmark, results):
+    """Aggregate shape checks for the middle and right plots."""
+
+    def shapes():
+        summary = {}
+        # Middle plot: RC and RA should be (roughly) unaffected by the session
+        # count, while CC may grow with it.
+        for level in ("RC", "RA"):
+            times = _session_times.get(level, {})
+            if len(times) >= 2:
+                smallest = times[min(times)]
+                largest = times[max(times)]
+                summary[f"middle-{level}-growth"] = largest / max(smallest, 1e-9)
+        cc_times = _session_times.get("CC", {})
+        if len(cc_times) >= 2:
+            summary["middle-CC-growth"] = cc_times[max(cc_times)] / max(
+                cc_times[min(cc_times)], 1e-9
+            )
+        # Right plot: no blow-up as transactions get larger at fixed history size.
+        for level, times in _size_times.items():
+            if len(times) >= 2:
+                summary[f"right-{level}-growth"] = times[max(times)] / max(
+                    times[min(times)], 1e-9
+                )
+        return summary
+
+    summary = benchmark.pedantic(shapes, rounds=1, iterations=1)
+    for key, value in summary.items():
+        results.record("fig9-shapes", key, round(value, 3))
+    # RC / RA should not explode with the session count (paper: flat lines);
+    # allow generous slack for Python timing noise.
+    for level in ("RC", "RA"):
+        growth = summary.get(f"middle-{level}-growth")
+        if growth is not None:
+            assert growth < 3.0, f"{level} time grew {growth:.1f}x with session count"
+    # Transaction size should not cause a blow-up at fixed history size.
+    for level in ("RC", "RA", "CC"):
+        growth = summary.get(f"right-{level}-growth")
+        if growth is not None:
+            assert growth < 6.0, f"{level} time grew {growth:.1f}x with transaction size"

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make the ``src`` layout importable without installation.
+
+The package is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` on offline toolchains without the ``wheel``
+package); this fallback keeps ``pytest`` working straight from a source
+checkout either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Compare AWDIT against the baseline testers on one history.
+
+Collects a mid-sized C-Twitter history from the simulated database and runs
+every tester from the paper's evaluation on it (AWDIT, the Plume-like,
+DBCop-like, CausalC+-like, TCC-Mono-like, and PolySI-like baselines),
+printing a timing table.  This is a miniature of the paper's Fig. 7/8
+comparison; the benchmark harness under ``benchmarks/`` runs the full sweeps.
+
+Run with::
+
+    python examples/compare_testers.py [num_transactions]
+"""
+
+import sys
+import time
+
+from repro.baselines import BASELINE_REGISTRY
+from repro.core import IsolationLevel, check
+from repro.db.profiles import COCKROACH_LIKE, with_overrides
+from repro.workloads import CTwitterWorkload, collect_history
+
+
+def main() -> None:
+    num_transactions = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    history = collect_history(
+        CTwitterWorkload(num_users=25),
+        with_overrides(COCKROACH_LIKE, seed=1),
+        num_sessions=16,
+        num_transactions=num_transactions,
+        seed=1,
+    )
+    print(f"history: {history.describe()}")
+    print(f"{'tester':<14}{'level':<6}{'verdict':<12}{'time':>10}")
+    print("-" * 44)
+
+    start = time.perf_counter()
+    result = check(history, IsolationLevel.CAUSAL_CONSISTENCY)
+    elapsed = time.perf_counter() - start
+    print(f"{'awdit':<14}{'CC':<6}{'consistent' if result.is_consistent else 'violation':<12}{elapsed * 1000:>8.1f}ms")
+
+    # The Datalog- and SAT-based baselines blow up quickly (that is the point
+    # of the paper's Fig. 7); only run them on small histories.
+    size_caps = {"causalc+": 150, "polysi": 150, "dbcop": 1500, "tcc-mono": 1500}
+    for name, checker in BASELINE_REGISTRY.items():
+        if name == "naive":
+            continue
+        cap = size_caps.get(name)
+        if cap is not None and num_transactions > cap:
+            print(f"{name:<14}{'CC':<6}{'skipped':<12}{'(> ' + str(cap) + ' txns)':>10}")
+            continue
+        start = time.perf_counter()
+        result = checker(history, IsolationLevel.CAUSAL_CONSISTENCY)
+        elapsed = time.perf_counter() - start
+        level = "SI" if name == "polysi" else "CC"
+        verdict = "consistent" if result.is_consistent else "violation"
+        print(f"{name:<14}{level:<6}{verdict:<12}{elapsed * 1000:>8.1f}ms")
+
+
+if __name__ == "__main__":
+    main()

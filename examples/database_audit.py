@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Audit a (simulated) production database for isolation bugs.
+
+This example mirrors the black-box testing pipeline of the paper:
+
+1. run a TPC-C-like workload against a replicated database configured for a
+   given isolation level,
+2. record the history of every session,
+3. hand the history to AWDIT and ask whether it satisfies RC, RA, and CC,
+4. print the anomaly witnesses when it does not.
+
+Two databases are audited: a correct one, and one with an injected
+"stale read" bug of the kind Jepsen reports keep finding in production
+systems.  AWDIT certifies the former and produces concrete counterexample
+cycles for the latter.
+
+Run with::
+
+    python examples/database_audit.py
+"""
+
+from repro.core import IsolationLevel, check
+from repro.core.witnesses import format_report, summarize
+from repro.db.config import BugRates, DatabaseConfig, IsolationMode
+from repro.workloads import TPCCWorkload, collect_history
+
+
+def audit(label: str, config: DatabaseConfig) -> None:
+    print("=" * 72)
+    print(f"Auditing {label} ({config.isolation.value}, {config.num_replicas} replicas)")
+    history = collect_history(
+        TPCCWorkload(num_warehouses=2, num_items=50),
+        config,
+        num_sessions=10,
+        num_transactions=600,
+        seed=2024,
+    )
+    print(f"  collected {history.describe()}")
+    for level in IsolationLevel:
+        result = check(history, level)
+        verdict = "OK" if result.is_consistent else "ANOMALIES FOUND"
+        print(f"  {level.short_name:3s}: {verdict:15s} ({result.elapsed_seconds * 1000:7.2f} ms)")
+        if not result.is_consistent:
+            counts = summarize(result.violations)
+            for kind, count in counts.items():
+                print(f"        {kind.value}: {count}")
+            print("      first witnesses:")
+            report = format_report(result.violations, limit=2)
+            print("        " + report.replace("\n", "\n        "))
+    print()
+
+
+def main() -> None:
+    correct = DatabaseConfig(
+        name="cockroach-like",
+        isolation=IsolationMode.SERIALIZABLE,
+        num_replicas=3,
+        replication_lag=6.0,
+        seed=7,
+    )
+    buggy = DatabaseConfig(
+        name="cockroach-like (buggy build)",
+        isolation=IsolationMode.SERIALIZABLE,
+        num_replicas=3,
+        replication_lag=6.0,
+        seed=7,
+        bug_rates=BugRates(stale_read=0.02, aborted_read=0.01),
+        abort_probability=0.05,
+    )
+    audit("a correct deployment", correct)
+    audit("a deployment with an isolation bug", buggy)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""How weak can a social-network backend be before users notice?
+
+The paper's C-Twitter benchmark models the real-time feed of a social
+network.  This example runs the same workload against the simulated database
+configured at four different isolation strengths (Serializable, Causal, Read
+Atomic, Read Committed) and reports, for each configuration, which weak
+isolation levels the recorded history still satisfies.
+
+The output shows the expected staircase: a serializable store passes every
+check, a causal store passes CC and below, a read-atomic store starts
+exhibiting causality violations, and a read-committed store additionally
+exhibits fractured reads.
+
+Run with::
+
+    python examples/twitter_timelines.py
+"""
+
+from repro.core import IsolationLevel, check_all_levels
+from repro.db.config import DatabaseConfig, IsolationMode
+from repro.workloads import CTwitterWorkload, collect_history
+
+
+def main() -> None:
+    modes = [
+        IsolationMode.SERIALIZABLE,
+        IsolationMode.CAUSAL,
+        IsolationMode.READ_ATOMIC,
+        IsolationMode.READ_COMMITTED,
+    ]
+    workload = CTwitterWorkload(num_users=30)
+    print(f"{'store isolation':<18}" + "".join(f"{lvl.short_name:>8}" for lvl in IsolationLevel))
+    print("-" * 42)
+    for mode in modes:
+        config = DatabaseConfig(
+            isolation=mode,
+            num_replicas=6,
+            replication_lag=50.0,
+            seed=11,
+        )
+        history = collect_history(
+            workload, config, num_sessions=12, num_transactions=1200, seed=5
+        )
+        results = check_all_levels(history)
+        row = f"{mode.value:<18}"
+        for level in IsolationLevel:
+            verdict = "pass" if results[level].is_consistent else "FAIL"
+            row += f"{verdict:>8}"
+        print(row)
+    print()
+    print("Reading the table: a row's FAIL entries are the isolation levels the")
+    print("store does not provide; AWDIT pinpoints each violation with a witness")
+    print("cycle (see examples/database_audit.py for witness output).")
+
+
+if __name__ == "__main__":
+    main()

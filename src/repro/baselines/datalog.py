@@ -1,0 +1,215 @@
+"""A small in-memory Datalog engine.
+
+CausalC+ [Zennou et al. 2022; Liu et al. 2024] expresses causal-consistency
+checking as a Datalog program.  To reproduce that baseline faithfully -- and
+because a Datalog evaluator is a generally useful substrate for relational
+fixpoint computations -- this module implements a compact engine:
+
+* relations are sets of constant tuples,
+* rules are Horn clauses ``head :- body_1, ..., body_m`` whose atoms may mix
+  variables and constants, plus optional inequality guards,
+* evaluation is semi-naive: each round joins the *delta* of one body atom
+  against the full relations of the others, so already-derived facts are not
+  re-derived.
+
+The engine is deliberately straightforward (nested-loop joins with index
+support on the first bound column); its cost profile -- materializing the
+transitive closure of happens-before -- is exactly why CausalC+ scales poorly
+in the paper's Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Variable", "Atom", "Rule", "DatalogProgram"]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A Datalog variable; equality is by name."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+Term = object  # either a Variable or a constant
+Tuple_ = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atom ``relation(term_1, ..., term_n)``."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def arity(self) -> int:
+        """Number of terms."""
+        return len(self.terms)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Horn clause with optional inequality guards.
+
+    ``distinct`` lists pairs of variables that must bind to different
+    constants (the ``X != Y`` guards CausalC+ needs to exclude reflexive
+    commit-order edges).
+    """
+
+    head: Atom
+    body: Tuple[Atom, ...]
+    distinct: Tuple[Tuple[Variable, Variable], ...] = ()
+
+
+class DatalogProgram:
+    """A set of rules evaluated to a fixpoint over extensional facts."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules = list(rules)
+        # First-column join indexes, keyed by (id(source dict), relation).
+        self._index_cache: Dict[Tuple[int, str], Tuple[int, Dict[object, List[Tuple_]]]] = {}
+
+    # -- evaluation -----------------------------------------------------------
+
+    def evaluate(
+        self, facts: Dict[str, Set[Tuple_]], max_rounds: Optional[int] = None
+    ) -> Dict[str, Set[Tuple_]]:
+        """Compute the least fixpoint of the rules over the given facts.
+
+        ``facts`` maps relation names to sets of tuples (the EDB); the result
+        contains both the EDB and every derived (IDB) tuple.  ``max_rounds``
+        bounds the number of semi-naive iterations (useful to enforce
+        timeouts in benchmarks); ``None`` means run to the fixpoint.
+        """
+        database: Dict[str, Set[Tuple_]] = {name: set(rows) for name, rows in facts.items()}
+        deltas: Dict[str, Set[Tuple_]] = {name: set(rows) for name, rows in facts.items()}
+        rounds = 0
+        while deltas and (max_rounds is None or rounds < max_rounds):
+            rounds += 1
+            new_deltas: Dict[str, Set[Tuple_]] = {}
+            for rule in self.rules:
+                for derived in self._apply_rule(rule, database, deltas):
+                    relation = rule.head.relation
+                    if derived not in database.setdefault(relation, set()):
+                        database[relation].add(derived)
+                        new_deltas.setdefault(relation, set()).add(derived)
+            deltas = new_deltas
+        return database
+
+    def _apply_rule(
+        self,
+        rule: Rule,
+        database: Dict[str, Set[Tuple_]],
+        deltas: Dict[str, Set[Tuple_]],
+    ) -> Iterable[Tuple_]:
+        """Evaluate one rule semi-naively: require at least one delta atom."""
+        results: Set[Tuple_] = set()
+        for delta_index, atom in enumerate(rule.body):
+            if atom.relation not in deltas:
+                continue
+            self._join(rule, delta_index, 0, {}, database, deltas, results)
+        return results
+
+    def _join(
+        self,
+        rule: Rule,
+        delta_index: int,
+        position: int,
+        bindings: Dict[Variable, object],
+        database: Dict[str, Set[Tuple_]],
+        deltas: Dict[str, Set[Tuple_]],
+        results: Set[Tuple_],
+    ) -> None:
+        if position == len(rule.body):
+            if self._guards_hold(rule, bindings):
+                results.add(self._instantiate(rule.head, bindings))
+            return
+        atom = rule.body[position]
+        source = deltas if position == delta_index else database
+        rows = source.get(atom.relation, set())
+        # First-column index: when the atom's first term is already bound (or
+        # is a constant), only rows starting with that value can match.  This
+        # turns the nested-loop join into an index join on the leading column,
+        # which is what keeps the transitive-closure rules tractable.
+        if rows and atom.terms:
+            first = atom.terms[0]
+            bound_value = _UNBOUND
+            if isinstance(first, Variable):
+                bound_value = bindings.get(first, _UNBOUND)
+            else:
+                bound_value = first
+            if bound_value is not _UNBOUND:
+                index = self._index_for(source, atom.relation)
+                rows = index.get(bound_value, ())
+        for row in rows:
+            extended = self._match(atom, row, bindings)
+            if extended is not None:
+                self._join(
+                    rule, delta_index, position + 1, extended, database, deltas, results
+                )
+
+    def _index_for(self, source: Dict[str, Set[Tuple_]], relation: str):
+        """A first-column index over ``source[relation]``.
+
+        Indexes are cached per (source object, relation) and invalidated by a
+        size check; within one rule application the source relations do not
+        change, so the cache is rebuilt at most once per relation per round.
+        """
+        rows = source.get(relation, set())
+        cache_key = (id(source), relation)
+        entry = self._index_cache.get(cache_key)
+        if entry is not None and entry[0] == len(rows):
+            return entry[1]
+        index: Dict[object, List[Tuple_]] = {}
+        for row in rows:
+            if row:
+                index.setdefault(row[0], []).append(row)
+        self._index_cache[cache_key] = (len(rows), index)
+        return index
+
+    @staticmethod
+    def _match(
+        atom: Atom, row: Tuple_, bindings: Dict[Variable, object]
+    ) -> Optional[Dict[Variable, object]]:
+        if len(row) != len(atom.terms):
+            return None
+        extended = dict(bindings)
+        for term, value in zip(atom.terms, row):
+            if isinstance(term, Variable):
+                bound = extended.get(term, _UNBOUND)
+                if bound is _UNBOUND:
+                    extended[term] = value
+                elif bound != value:
+                    return None
+            elif term != value:
+                return None
+        return extended
+
+    @staticmethod
+    def _guards_hold(rule: Rule, bindings: Dict[Variable, object]) -> bool:
+        for left, right in rule.distinct:
+            if bindings.get(left) == bindings.get(right):
+                return False
+        return True
+
+    @staticmethod
+    def _instantiate(atom: Atom, bindings: Dict[Variable, object]) -> Tuple_:
+        values = []
+        for term in atom.terms:
+            if isinstance(term, Variable):
+                values.append(bindings[term])
+            else:
+                values.append(term)
+        return tuple(values)
+
+
+class _Unbound:
+    """Sentinel distinguishing 'unbound variable' from a bound ``None``."""
+
+
+_UNBOUND = _Unbound()

@@ -1,0 +1,21 @@
+"""SAT-based baseline checkers and their solver substrate.
+
+* :mod:`repro.baselines.sat.solver` -- a small DPLL SAT solver with watched
+  literals and unit propagation.
+* :mod:`repro.baselines.sat.acyclicity` -- a CEGAR loop coupling the SAT
+  solver with a graph-acyclicity "theory": edge literals chosen by the solver
+  must form an acyclic graph, and every discovered cycle is returned to the
+  solver as a blocking clause.  This mirrors how MonoSAT-based testers
+  (TCC-Mono, PolySI) couple SAT with a monotonic acyclicity theory.
+* :mod:`repro.baselines.sat.monosat` -- a TCC-Mono-like Causal Consistency
+  checker.
+* :mod:`repro.baselines.sat.polysi` -- a PolySI-like Snapshot Isolation
+  checker using the start/commit-point characterization of SI.
+* :mod:`repro.baselines.sat.serializable` -- a Serializability checker using
+  the classic "no intervening writer" encoding.
+"""
+
+from repro.baselines.sat.solver import SATSolver
+from repro.baselines.sat.acyclicity import AcyclicityEncoder
+
+__all__ = ["SATSolver", "AcyclicityEncoder"]

@@ -1,0 +1,112 @@
+"""SAT modulo graph acyclicity, CEGAR style.
+
+MonoSAT-based testers couple a SAT solver with a *monotonic theory* of graph
+reachability: Boolean variables denote the presence of edges, and the theory
+enforces that the selected edge set is acyclic.  This module provides the
+same coupling with a counterexample-guided loop:
+
+1. the encoder registers edge variables (``edge_var``) and hard edges
+   (``add_hard_edge``), plus arbitrary clauses over those variables;
+2. :meth:`AcyclicityEncoder.solve` asks the SAT solver for a model, builds
+   the graph induced by the chosen edges, and checks it for cycles;
+3. every cycle found is turned into a blocking clause (at least one of the
+   participating selectable edges must be dropped) and the solver is asked
+   again, until a model with an acyclic graph is found (consistent) or the
+   instance becomes unsatisfiable (violation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.sat.solver import SATSolver
+from repro.graph.cycles import find_cycle_in_component, strongly_connected_components
+from repro.graph.digraph import DiGraph
+
+__all__ = ["AcyclicityEncoder"]
+
+
+class AcyclicityEncoder:
+    """Boolean edge selection subject to clauses and graph acyclicity."""
+
+    def __init__(self, num_vertices: int) -> None:
+        self.num_vertices = num_vertices
+        self.solver = SATSolver()
+        self._edge_vars: Dict[Tuple[int, int], int] = {}
+        self._var_to_edge: Dict[int, Tuple[int, int]] = {}
+        self._hard_edges: Set[Tuple[int, int]] = set()
+        self.rounds = 0
+
+    # -- encoding ---------------------------------------------------------------
+
+    def edge_var(self, source: int, target: int) -> int:
+        """The Boolean variable standing for the edge ``source -> target``."""
+        key = (source, target)
+        if key not in self._edge_vars:
+            var = self.solver.new_var()
+            self._edge_vars[key] = var
+            self._var_to_edge[var] = key
+        return self._edge_vars[key]
+
+    def add_hard_edge(self, source: int, target: int) -> None:
+        """Add an edge that is always present (not up to the solver)."""
+        self._hard_edges.add((source, target))
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add an arbitrary clause over previously created variables."""
+        self.solver.add_clause(literals)
+
+    def require_edge(self, source: int, target: int) -> None:
+        """Force an edge variable to true (a unit clause)."""
+        self.solver.add_clause([self.edge_var(source, target)])
+
+    # -- solving -------------------------------------------------------------------
+
+    def solve(self, max_rounds: int = 10_000) -> Optional[List[Tuple[int, int]]]:
+        """Search for a model whose selected edges plus hard edges are acyclic.
+
+        Returns the list of selected (soft) edges of a satisfying acyclic
+        model, or ``None`` when no such model exists -- i.e. the underlying
+        consistency instance has no valid commit order.
+        """
+        for _ in range(max_rounds):
+            self.rounds += 1
+            model = self.solver.solve()
+            if model is None:
+                return None
+            chosen = [
+                edge for var, edge in self._var_to_edge.items() if model.get(var, False)
+            ]
+            graph = DiGraph(self.num_vertices)
+            for source, target in self._hard_edges:
+                graph.add_edge(source, target)
+            edge_to_var: Dict[Tuple[int, int], int] = {}
+            for source, target in chosen:
+                graph.add_edge(source, target)
+                edge_to_var[(source, target)] = self._edge_vars[(source, target)]
+            cycle_clause = self._find_cycle_blocking_clause(graph, edge_to_var)
+            if cycle_clause is None:
+                return chosen
+            if not cycle_clause:
+                # The cycle consists purely of hard edges; no assignment can
+                # ever repair it.
+                return None
+            self.solver.add_clause(cycle_clause)
+        raise RuntimeError("acyclicity CEGAR loop did not converge")
+
+    def _find_cycle_blocking_clause(
+        self, graph: DiGraph, edge_to_var: Dict[Tuple[int, int], int]
+    ) -> Optional[List[int]]:
+        """A blocking clause for one cycle of ``graph``; ``None`` if acyclic."""
+        for component in strongly_connected_components(graph):
+            if len(component) <= 1:
+                continue
+            cycle = find_cycle_in_component(graph, component)
+            literals: List[int] = []
+            for position, source in enumerate(cycle):
+                target = cycle[(position + 1) % len(cycle)]
+                var = edge_to_var.get((source, target))
+                if var is not None:
+                    literals.append(-var)
+            return literals
+        return None

@@ -1,0 +1,199 @@
+"""A compact DPLL SAT solver.
+
+The SAT-based baselines of the paper (TCC-Mono, PolySI) are built on
+MonoSAT; this module provides the Boolean core they need here: a DPLL solver
+with two-watched-literal unit propagation, chronological backtracking, and a
+most-occurrences branching heuristic.  It is intentionally a classic,
+readable solver rather than a CDCL engine -- the baselines it powers are
+*supposed* to be the slow end of the comparison.
+
+Literals follow the DIMACS convention: variables are positive integers and a
+negative integer denotes the negation of the corresponding variable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["SATSolver"]
+
+
+class SATSolver:
+    """A DPLL solver over integer literals (DIMACS convention)."""
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: List[List[int]] = []
+        self._empty_clause = False
+
+    # -- problem construction ------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self._num_vars += 1
+        return self._num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    @property
+    def num_vars(self) -> int:
+        """Number of allocated variables."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Number of clauses added so far."""
+        return len(self._clauses)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause (a disjunction of literals).
+
+        Tautologies are dropped; duplicate literals are merged; an empty
+        clause marks the instance as trivially unsatisfiable.
+        """
+        seen: Dict[int, None] = {}
+        for literal in literals:
+            if literal == 0:
+                raise ValueError("0 is not a valid literal")
+            if abs(literal) > self._num_vars:
+                self._num_vars = abs(literal)
+            seen[literal] = None
+        clause = list(seen)
+        for literal in clause:
+            if -literal in seen:
+                return  # tautology
+        if not clause:
+            self._empty_clause = True
+            return
+        self._clauses.append(clause)
+
+    # -- solving ------------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> Optional[Dict[int, bool]]:
+        """Return a satisfying assignment as ``{var: bool}``, or ``None`` if UNSAT."""
+        if self._empty_clause:
+            return None
+        assignment: List[int] = [0] * (self._num_vars + 1)  # 0 unknown, 1 true, -1 false
+
+        # Watched literals: two per clause (clauses of size one are handled
+        # as initial units).
+        watches: Dict[int, List[int]] = {}
+        clause_watch: List[Tuple[int, int]] = []
+        initial_units: List[int] = []
+        for index, clause in enumerate(self._clauses):
+            if len(clause) == 1:
+                initial_units.append(clause[0])
+                clause_watch.append((0, 0))
+                continue
+            clause_watch.append((0, 1))
+            watches.setdefault(clause[0], []).append(index)
+            watches.setdefault(clause[1], []).append(index)
+
+        trail: List[int] = []
+        trail_limits: List[int] = []
+
+        def value(literal: int) -> int:
+            result = assignment[abs(literal)]
+            return result if literal > 0 else -result
+
+        def assign(literal: int) -> None:
+            assignment[abs(literal)] = 1 if literal > 0 else -1
+            trail.append(literal)
+
+        def unassign_to(limit: int) -> None:
+            while len(trail) > limit:
+                literal = trail.pop()
+                assignment[abs(literal)] = 0
+
+        def propagate(queue: List[int]) -> bool:
+            """Unit-propagate; returns False on conflict."""
+            head = 0
+            while head < len(queue):
+                literal = queue[head]
+                head += 1
+                if value(literal) == -1:
+                    return False
+                if value(literal) == 0:
+                    assign(literal)
+                falsified = -literal
+                watching = watches.get(falsified, [])
+                index_position = 0
+                while index_position < len(watching):
+                    clause_index = watching[index_position]
+                    clause = self._clauses[clause_index]
+                    first, second = clause_watch[clause_index]
+                    if clause[first] == falsified:
+                        first, second = second, first
+                    # Now clause[second] == falsified (or both watch same lit).
+                    if value(clause[first]) == 1:
+                        index_position += 1
+                        continue
+                    moved = False
+                    for candidate in range(len(clause)):
+                        if candidate in (first, second):
+                            continue
+                        if value(clause[candidate]) != -1:
+                            clause_watch[clause_index] = (first, candidate)
+                            watches.setdefault(clause[candidate], []).append(clause_index)
+                            watching[index_position] = watching[-1]
+                            watching.pop()
+                            moved = True
+                            break
+                    if moved:
+                        continue
+                    clause_watch[clause_index] = (first, second)
+                    other = clause[first]
+                    if value(other) == -1:
+                        return False
+                    if value(other) == 0:
+                        queue.append(other)
+                    index_position += 1
+            return True
+
+        # Assume-and-propagate the assumptions and initial units.
+        root_queue = list(assumptions) + initial_units
+        for literal in root_queue:
+            if value(literal) == -1:
+                return None
+        if not propagate(list(root_queue)):
+            return None
+
+        occurrences: Dict[int, int] = {}
+        for clause in self._clauses:
+            for literal in clause:
+                occurrences[abs(literal)] = occurrences.get(abs(literal), 0) + 1
+        order = sorted(range(1, self._num_vars + 1), key=lambda v: -occurrences.get(v, 0))
+
+        def pick_branch_variable() -> Optional[int]:
+            for variable in order:
+                if assignment[variable] == 0:
+                    return variable
+            return None
+
+        # Iterative DPLL: each stack entry is (variable, next_phase_to_try).
+        decisions: List[Tuple[int, List[bool]]] = []
+        while True:
+            variable = pick_branch_variable()
+            if variable is None:
+                return {v: assignment[v] == 1 for v in range(1, self._num_vars + 1)}
+            decisions.append((variable, [True, False]))
+            progressed = False
+            while decisions and not progressed:
+                variable, phases = decisions[-1]
+                if not phases:
+                    decisions.pop()
+                    if decisions:
+                        unassign_to(trail_limits.pop())
+                    continue
+                phase = phases.pop(0)
+                if len(trail_limits) < len(decisions):
+                    trail_limits.append(len(trail))
+                else:
+                    unassign_to(trail_limits[-1])
+                literal = variable if phase else -variable
+                if propagate([literal]):
+                    progressed = True
+            if not decisions:
+                return None

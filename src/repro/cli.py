@@ -1,0 +1,168 @@
+"""The ``awdit`` command-line tool.
+
+Subcommands:
+
+* ``awdit check HISTORY --isolation {rc,ra,cc} [--checker NAME]`` -- test a
+  history file against an isolation level and print the verdict and
+  witnesses (the role of the AWDIT tool in the paper).
+* ``awdit generate`` -- run a workload against the simulated database and
+  write the collected history to a file.
+* ``awdit convert SRC DST`` -- convert a history between on-disk formats.
+* ``awdit stats HISTORY`` -- print size statistics of a history file.
+
+Run ``awdit <subcommand> --help`` for the full flag list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import IsolationLevel, check
+from repro.core.result import CheckResult
+from repro.core.witnesses import format_report
+from repro.histories.formats import FORMATS, load_history, save_history
+from repro.baselines import BASELINE_REGISTRY
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``awdit`` tool."""
+    parser = argparse.ArgumentParser(
+        prog="awdit",
+        description="AWDIT reproduction: an optimal weak database isolation tester",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check_parser = subparsers.add_parser("check", help="check a history against an isolation level")
+    check_parser.add_argument("history", help="path to the history file")
+    check_parser.add_argument(
+        "--isolation", "-i", default="cc", help="isolation level: rc, ra, or cc (default: cc)"
+    )
+    check_parser.add_argument(
+        "--format", "-f", default=None, choices=sorted(FORMATS), help="history file format"
+    )
+    check_parser.add_argument(
+        "--checker",
+        "-c",
+        default="awdit",
+        help="checker to use: awdit (default) or one of: " + ", ".join(sorted(BASELINE_REGISTRY)),
+    )
+    check_parser.add_argument(
+        "--witnesses", "-w", type=int, default=5, help="maximum number of witnesses to print"
+    )
+
+    generate_parser = subparsers.add_parser(
+        "generate", help="collect a history from the simulated database"
+    )
+    generate_parser.add_argument("output", help="path of the history file to write")
+    generate_parser.add_argument(
+        "--workload", default="ctwitter", help="tpcc, ctwitter, rubis, or custom"
+    )
+    generate_parser.add_argument(
+        "--database", default="cockroach", help="postgres, cockroach, or rocksdb profile"
+    )
+    generate_parser.add_argument(
+        "--isolation-mode",
+        default=None,
+        help="simulator visibility: serializable, causal, read-atomic, read-committed",
+    )
+    generate_parser.add_argument("--sessions", type=int, default=20)
+    generate_parser.add_argument("--transactions", type=int, default=500)
+    generate_parser.add_argument("--seed", type=int, default=None)
+    generate_parser.add_argument(
+        "--format", "-f", default=None, choices=sorted(FORMATS), help="output format"
+    )
+
+    convert_parser = subparsers.add_parser("convert", help="convert a history between formats")
+    convert_parser.add_argument("source")
+    convert_parser.add_argument("destination")
+    convert_parser.add_argument("--from-format", default=None, choices=sorted(FORMATS))
+    convert_parser.add_argument("--to-format", default=None, choices=sorted(FORMATS))
+
+    stats_parser = subparsers.add_parser("stats", help="print history statistics")
+    stats_parser.add_argument("history")
+    stats_parser.add_argument("--format", "-f", default=None, choices=sorted(FORMATS))
+
+    return parser
+
+
+def _run_check(args: argparse.Namespace) -> int:
+    history = load_history(args.history, fmt=args.format)
+    level = IsolationLevel.from_string(args.isolation)
+    checker_name = args.checker.lower()
+    if checker_name in ("awdit", "default"):
+        result: CheckResult = check(history, level, max_witnesses=args.witnesses)
+    elif checker_name in BASELINE_REGISTRY:
+        result = BASELINE_REGISTRY[checker_name](history, level)
+    else:
+        print(f"unknown checker {args.checker!r}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    if not result.is_consistent:
+        print(format_report(result.violations, limit=args.witnesses))
+    return 0 if result.is_consistent else 1
+
+
+def _run_generate(args: argparse.Namespace) -> int:
+    from repro.db.config import IsolationMode
+    from repro.db.profiles import profile_by_name, with_overrides
+    from repro.workloads import collect_history, workload_by_name
+
+    workload = workload_by_name(args.workload)
+    profile = profile_by_name(args.database)
+    if args.isolation_mode:
+        profile = with_overrides(profile, isolation=IsolationMode(args.isolation_mode))
+    profile = with_overrides(profile, seed=args.seed)
+    history = collect_history(
+        workload,
+        profile,
+        num_sessions=args.sessions,
+        num_transactions=args.transactions,
+        seed=args.seed,
+    )
+    save_history(history, args.output, fmt=args.format)
+    print(f"wrote {history.describe()} to {args.output}")
+    return 0
+
+
+def _run_convert(args: argparse.Namespace) -> int:
+    history = load_history(args.source, fmt=args.from_format)
+    save_history(history, args.destination, fmt=args.to_format)
+    print(f"converted {args.source} -> {args.destination} ({history.describe()})")
+    return 0
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    history = load_history(args.history, fmt=args.format)
+    print(history.describe())
+    sizes = [len(history.transactions[tid]) for tid in history.committed]
+    if sizes:
+        print(f"  committed transactions : {len(sizes)}")
+        print(f"  aborted transactions   : {len(history.aborted)}")
+        print(f"  avg ops per transaction: {sum(sizes) / len(sizes):.2f}")
+        print(f"  max ops per transaction: {max(sizes)}")
+    print(f"  distinct keys          : {len(history.keys)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the ``awdit`` command-line tool."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "check":
+        return _run_check(args)
+    if args.command == "generate":
+        return _run_generate(args)
+    if args.command == "convert":
+        return _run_convert(args)
+    if args.command == "stats":
+        return _run_stats(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

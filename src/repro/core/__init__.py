@@ -1,0 +1,71 @@
+"""The core AWDIT library: history model and optimal weak-isolation checkers.
+
+Public surface:
+
+* the data model (:class:`Operation`, :class:`Transaction`, :class:`History`),
+* the isolation-level enum and lattice (:class:`IsolationLevel`),
+* the checkers (:func:`check`, :func:`check_rc`, :func:`check_ra`,
+  :func:`check_cc`, :func:`check_ra_single_session`,
+  :func:`check_read_consistency`),
+* the result and violation types.
+"""
+
+from repro.core.cc import check_cc, compute_happens_before
+from repro.core.checker import check, check_all_levels
+from repro.core.commit import CommitRelation
+from repro.core.exceptions import (
+    HistoryFormatError,
+    ParseError,
+    ReproError,
+    TimeoutExceeded,
+    UsageError,
+)
+from repro.core.isolation import IsolationLevel, is_stronger_or_equal
+from repro.core.model import History, Operation, OpKind, OpRef, Transaction, read, write
+from repro.core.ra import check_ra, check_ra_single_session, check_repeatable_reads
+from repro.core.rc import check_rc
+from repro.core.read_consistency import ReadConsistencyReport, check_read_consistency
+from repro.core.result import CheckResult
+from repro.core.violations import (
+    CycleEdge,
+    CycleViolation,
+    ReadConsistencyViolation,
+    RepeatableReadViolation,
+    Violation,
+    ViolationKind,
+)
+
+__all__ = [
+    "History",
+    "Operation",
+    "OpKind",
+    "OpRef",
+    "Transaction",
+    "read",
+    "write",
+    "IsolationLevel",
+    "is_stronger_or_equal",
+    "check",
+    "check_all_levels",
+    "check_rc",
+    "check_ra",
+    "check_ra_single_session",
+    "check_repeatable_reads",
+    "check_cc",
+    "compute_happens_before",
+    "check_read_consistency",
+    "ReadConsistencyReport",
+    "CheckResult",
+    "CommitRelation",
+    "Violation",
+    "ViolationKind",
+    "ReadConsistencyViolation",
+    "RepeatableReadViolation",
+    "CycleViolation",
+    "CycleEdge",
+    "ReproError",
+    "HistoryFormatError",
+    "ParseError",
+    "UsageError",
+    "TimeoutExceeded",
+]

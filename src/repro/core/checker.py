@@ -1,0 +1,72 @@
+"""Unified checker entry point.
+
+:func:`check` dispatches a history and an isolation level to the matching
+AWDIT algorithm (Algorithms 1-3 of the paper), automatically using the
+linear-time single-session specialization for RA (Theorem 1.6) when it
+applies.  :func:`check_all_levels` runs all three levels sharing a single
+Read Consistency pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.cc import check_cc
+from repro.core.isolation import IsolationLevel
+from repro.core.model import History
+from repro.core.ra import check_ra, check_ra_single_session
+from repro.core.rc import check_rc
+from repro.core.read_consistency import check_read_consistency
+from repro.core.result import CheckResult
+
+__all__ = ["check", "check_all_levels"]
+
+
+def check(
+    history: History,
+    level: IsolationLevel = IsolationLevel.CAUSAL_CONSISTENCY,
+    max_witnesses: Optional[int] = None,
+    use_single_session_fast_path: bool = True,
+) -> CheckResult:
+    """Check whether ``history`` satisfies ``level``.
+
+    Parameters
+    ----------
+    history:
+        The transaction history to test.
+    level:
+        The isolation level to test against (RC, RA, or CC).
+    max_witnesses:
+        If given, stop extracting cycle witnesses after this many (the
+        verdict is unaffected; only the witness list is truncated).
+    use_single_session_fast_path:
+        Use the linear-time RA algorithm of Theorem 1.6 when the history has
+        a single session.
+    """
+    if level is IsolationLevel.READ_COMMITTED:
+        return check_rc(history, max_witnesses=max_witnesses)
+    if level is IsolationLevel.READ_ATOMIC:
+        if use_single_session_fast_path and history.num_sessions <= 1:
+            return check_ra_single_session(history, max_witnesses=max_witnesses)
+        return check_ra(history, max_witnesses=max_witnesses)
+    if level is IsolationLevel.CAUSAL_CONSISTENCY:
+        return check_cc(history, max_witnesses=max_witnesses)
+    raise ValueError(f"unsupported isolation level: {level!r}")
+
+
+def check_all_levels(
+    history: History, max_witnesses: Optional[int] = None
+) -> Dict[IsolationLevel, CheckResult]:
+    """Check the history against RC, RA, and CC, sharing one Read Consistency pass."""
+    report = check_read_consistency(history)
+    return {
+        IsolationLevel.READ_COMMITTED: check_rc(
+            history, max_witnesses=max_witnesses, read_consistency=report
+        ),
+        IsolationLevel.READ_ATOMIC: check_ra(
+            history, max_witnesses=max_witnesses, read_consistency=report
+        ),
+        IsolationLevel.CAUSAL_CONSISTENCY: check_cc(
+            history, max_witnesses=max_witnesses, read_consistency=report
+        ),
+    }

@@ -1,0 +1,142 @@
+"""The partial commit relation ``co'`` and its acyclicity check.
+
+Every checker of Section 3 builds a *minimal saturated* commit relation
+(Definition 3.1): it contains ``so ∪ wr`` plus the commit-order edges forced
+by the isolation level's axiom (Fig. 3).  By Lemma 3.2 the history satisfies
+the level iff it is Read Consistent and this relation is acyclic.
+
+:class:`CommitRelation` stores the relation as a directed graph over
+committed transactions, remembers the *reason* for every edge (``so``, ``wr``
+or an inferred ``co`` edge together with the key whose inference rule fired),
+checks acyclicity with Tarjan SCCs, and extracts one labelled cycle witness
+per non-trivial SCC -- the witness-reporting strategy of Section 3.4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.model import History
+from repro.core.violations import CycleEdge, CycleViolation, ViolationKind
+from repro.graph.cycles import find_cycle_in_component, strongly_connected_components
+from repro.graph.digraph import DiGraph
+
+__all__ = ["CommitRelation"]
+
+
+class CommitRelation:
+    """The inferred partial commit relation ``co'`` over committed transactions."""
+
+    def __init__(self, history: History) -> None:
+        self.history = history
+        self.graph = DiGraph(history.num_transactions)
+        # First label recorded for an edge wins; so/wr labels are added first,
+        # which makes cycle witnesses prefer the "weaker" explanation.
+        self._labels: Dict[Tuple[int, int], Tuple[str, Optional[str]]] = {}
+        self.num_inferred_edges = 0
+        self._add_so_wr_edges()
+
+    # -- construction ----------------------------------------------------------
+
+    def _add_so_wr_edges(self) -> None:
+        history = self.history
+        for source, target in history.so_edges():
+            self._add_labelled(source, target, "so", None)
+        for tid in range(history.num_transactions):
+            txn = history.transactions[tid]
+            if not txn.committed:
+                continue
+            seen = set()
+            for writer, _index, op in history.txn_read_froms(tid):
+                if writer in seen:
+                    continue
+                seen.add(writer)
+                if history.transactions[writer].committed:
+                    self._add_labelled(writer, tid, "wr", op.key)
+
+    def _add_labelled(self, source: int, target: int, reason: str, key: Optional[str]) -> None:
+        if (source, target) not in self._labels:
+            self._labels[(source, target)] = (reason, key)
+            self.graph.add_edge(source, target)
+
+    def add_inferred(self, source: int, target: int, key: Optional[str] = None) -> None:
+        """Record an inferred commit-order edge ``source -co-> target``.
+
+        Duplicate edges (same pair, any reason) are ignored: only the
+        reachability structure matters for acyclicity, and the first label is
+        the most informative for witnesses.
+        """
+        if source == target:
+            # The inference rules always relate distinct transactions; a
+            # self-edge would indicate a caller bug.
+            raise ValueError("co' edges relate distinct transactions")
+        if (source, target) in self._labels:
+            return
+        self._labels[(source, target)] = ("co", key)
+        self.graph.add_edge(source, target)
+        self.num_inferred_edges += 1
+
+    # -- queries ---------------------------------------------------------------
+
+    def edge_label(self, source: int, target: int) -> Optional[Tuple[str, Optional[str]]]:
+        """The ``(reason, key)`` label of an edge, or ``None`` if absent."""
+        return self._labels.get((source, target))
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of distinct edges in ``co'``."""
+        return len(self._labels)
+
+    def linearize(self) -> Optional[List[int]]:
+        """A total commit order extending ``co'``, or ``None`` if cyclic.
+
+        By Lemma 3.2, when ``co'`` is acyclic any linearization witnesses
+        consistency; this method exposes that witness (a list of committed
+        transaction ids in commit order).
+        """
+        from repro.graph.cycles import topological_sort
+
+        order = topological_sort(self.graph)
+        if order is None:
+            return None
+        committed = set(self.history.committed)
+        return [tid for tid in order if tid in committed]
+
+    # -- acyclicity ---------------------------------------------------------------
+
+    def find_cycles(self, max_witnesses: Optional[int] = None) -> List[CycleViolation]:
+        """Return one labelled cycle witness per non-trivial SCC of ``co'``.
+
+        A cycle whose edges are all ``so``/``wr`` edges is classified as a
+        *causality cycle*; any other cycle is a *commit-order cycle* (the
+        paper's Section 3.4 taxonomy).  Witnesses are sorted so cycles with
+        the fewest inferred edges come first.
+        """
+        violations: List[CycleViolation] = []
+        for component in strongly_connected_components(self.graph):
+            if len(component) <= 1:
+                continue
+            cycle = find_cycle_in_component(self.graph, component)
+            violations.append(self._cycle_to_violation(cycle))
+            if max_witnesses is not None and len(violations) >= max_witnesses:
+                break
+        violations.sort(key=lambda v: v.inferred_edges)
+        return violations
+
+    def is_acyclic(self) -> bool:
+        """True when ``co'`` has no cycle."""
+        return all(len(c) == 1 for c in strongly_connected_components(self.graph))
+
+    def _cycle_to_violation(self, cycle: List[int]) -> CycleViolation:
+        edges: List[CycleEdge] = []
+        for i, source in enumerate(cycle):
+            target = cycle[(i + 1) % len(cycle)]
+            reason, key = self._labels.get((source, target), ("co", None))
+            edges.append(CycleEdge(source, target, reason, key))
+        if all(edge.reason in ("so", "wr") for edge in edges):
+            kind = ViolationKind.CAUSALITY_CYCLE
+        else:
+            kind = ViolationKind.COMMIT_ORDER_CYCLE
+        names = " -> ".join(self.history.transactions[t].name for t in cycle)
+        message = f"cycle over transactions {names} -> {self.history.transactions[cycle[0]].name}"
+        return CycleViolation(kind=kind, message=message, edges=tuple(edges))

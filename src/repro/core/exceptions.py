@@ -1,0 +1,35 @@
+"""Exception hierarchy for the AWDIT reproduction.
+
+All errors raised by the library derive from :class:`ReproError`, so callers
+can catch a single base class.  Malformed inputs (histories that violate the
+structural requirements of Definition 2.2 in the paper) raise
+:class:`HistoryFormatError`; parsing problems of on-disk history files raise
+:class:`ParseError`; misuse of the public API raises :class:`UsageError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class HistoryFormatError(ReproError):
+    """A history violates the structural requirements of Definition 2.2.
+
+    Examples: a read whose write-read edge originates at a read operation, a
+    read with two incoming ``wr`` edges (``wr``:sup:`-1` must be a partial
+    function), or a ``wr`` edge connecting operations on different keys.
+    """
+
+
+class ParseError(ReproError):
+    """A history file could not be parsed in the requested format."""
+
+
+class UsageError(ReproError):
+    """The public API was used incorrectly (bad argument combinations)."""
+
+
+class TimeoutExceeded(ReproError):
+    """A checker or benchmark run exceeded its configured time budget."""

@@ -1,0 +1,79 @@
+"""Isolation levels and the strength lattice between them.
+
+The paper studies the three common weak isolation levels:
+
+* Read Committed (``RC``), Definition 2.4,
+* Read Atomic (``RA``), Definition 2.6,
+* Causal Consistency (``CC``), Definition 2.8,
+
+with the strength ordering ``CC ⊑ RA ⊑ RC`` (a history satisfying a stronger
+level satisfies every weaker one).  The lattice is used in tests (monotonicity
+properties) and by the CLI to select checkers.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+__all__ = ["IsolationLevel", "is_stronger_or_equal", "weaker_levels", "stronger_levels"]
+
+
+class IsolationLevel(enum.Enum):
+    """The weak isolation levels supported by the tester."""
+
+    READ_COMMITTED = "RC"
+    READ_ATOMIC = "RA"
+    CAUSAL_CONSISTENCY = "CC"
+
+    @classmethod
+    def from_string(cls, name: str) -> "IsolationLevel":
+        """Parse a level from a short or long name (case-insensitive)."""
+        normalized = name.strip().upper().replace("-", "_").replace(" ", "_")
+        aliases: Dict[str, IsolationLevel] = {
+            "RC": cls.READ_COMMITTED,
+            "READ_COMMITTED": cls.READ_COMMITTED,
+            "READCOMMITTED": cls.READ_COMMITTED,
+            "RA": cls.READ_ATOMIC,
+            "READ_ATOMIC": cls.READ_ATOMIC,
+            "READATOMIC": cls.READ_ATOMIC,
+            "CC": cls.CAUSAL_CONSISTENCY,
+            "CAUSAL": cls.CAUSAL_CONSISTENCY,
+            "CAUSAL_CONSISTENCY": cls.CAUSAL_CONSISTENCY,
+            "CAUSALCONSISTENCY": cls.CAUSAL_CONSISTENCY,
+            "TCC": cls.CAUSAL_CONSISTENCY,
+        }
+        if normalized not in aliases:
+            raise ValueError(f"unknown isolation level: {name!r}")
+        return aliases[normalized]
+
+    @property
+    def short_name(self) -> str:
+        """The two-letter name used in the paper (RC, RA, CC)."""
+        return self.value
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+# Strength rank: larger rank = stronger level.  CC ⊑ RA ⊑ RC.
+_STRENGTH: Dict[IsolationLevel, int] = {
+    IsolationLevel.READ_COMMITTED: 0,
+    IsolationLevel.READ_ATOMIC: 1,
+    IsolationLevel.CAUSAL_CONSISTENCY: 2,
+}
+
+
+def is_stronger_or_equal(left: IsolationLevel, right: IsolationLevel) -> bool:
+    """True when ``left ⊑ right`` (every ``left``-consistent history is ``right``-consistent)."""
+    return _STRENGTH[left] >= _STRENGTH[right]
+
+
+def weaker_levels(level: IsolationLevel) -> List[IsolationLevel]:
+    """All levels weaker than or equal to ``level`` (including itself)."""
+    return [lvl for lvl in IsolationLevel if _STRENGTH[lvl] <= _STRENGTH[level]]
+
+
+def stronger_levels(level: IsolationLevel) -> List[IsolationLevel]:
+    """All levels stronger than or equal to ``level`` (including itself)."""
+    return [lvl for lvl in IsolationLevel if _STRENGTH[lvl] >= _STRENGTH[level]]

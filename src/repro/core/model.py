@@ -1,0 +1,536 @@
+"""Core data model: operations, transactions, and histories.
+
+This module implements the objects of Section 2 of the paper:
+
+* :class:`Operation` -- a single read ``R(x, v)`` or write ``W(x, v)``
+  (Definition of ``Op`` in Section 2.1).
+* :class:`Transaction` -- a sequence of operations with a program order ``po``
+  (Definition 2.1).  The program order is the list order of
+  :attr:`Transaction.operations`.
+* :class:`History` -- a set of transactions partitioned into sessions with a
+  session order ``so`` and a write-read order ``wr`` (Definition 2.2).
+
+The session order is the per-session list order of
+:attr:`History.sessions`; the write-read order is stored as a mapping from
+each read operation to the write operation it observes (``wr``:sup:`-1` is a
+partial function per Definition 2.2).  In the black-box testing setting of the
+paper, every write carries a unique value, so the write-read order can be
+inferred from values alone; :meth:`History.from_sessions` does exactly that
+when no explicit ``wr`` is supplied.
+
+All identifiers used internally are small integers (transaction ids are dense
+indices into :attr:`History.transactions`), which keeps the checkers and the
+graph algorithms allocation-light.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.exceptions import HistoryFormatError
+
+__all__ = [
+    "OpKind",
+    "Operation",
+    "read",
+    "write",
+    "Transaction",
+    "History",
+    "OpRef",
+]
+
+Key = str
+Value = object
+
+
+class OpKind(enum.Enum):
+    """Kind of a database operation: read or write."""
+
+    READ = "R"
+    WRITE = "W"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single read or write operation.
+
+    Attributes
+    ----------
+    kind:
+        :attr:`OpKind.READ` or :attr:`OpKind.WRITE`.
+    key:
+        The key being read or written (``o.key`` in the paper).
+    value:
+        The value read or written (``o.val`` in the paper).  Under the
+        unique-writes assumption the pair ``(key, value)`` identifies the
+        write a read observes.
+    op_id:
+        Optional operation identifier, useful when round-tripping external
+        history formats.  Two operations with the same kind/key/value but
+        different ``op_id`` are distinct.
+    """
+
+    kind: OpKind
+    key: Key
+    value: Value
+    op_id: Optional[int] = None
+
+    @property
+    def is_read(self) -> bool:
+        """True when this operation is a read."""
+        return self.kind is OpKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        """True when this operation is a write."""
+        return self.kind is OpKind.WRITE
+
+    def __repr__(self) -> str:
+        suffix = "" if self.op_id is None else f"#{self.op_id}"
+        return f"{self.kind.value}({self.key}, {self.value!r}){suffix}"
+
+
+def read(key: Key, value: Value, op_id: Optional[int] = None) -> Operation:
+    """Construct a read operation ``R(key, value)``."""
+    return Operation(OpKind.READ, key, value, op_id)
+
+
+def write(key: Key, value: Value, op_id: Optional[int] = None) -> Operation:
+    """Construct a write operation ``W(key, value)``."""
+    return Operation(OpKind.WRITE, key, value, op_id)
+
+
+class OpRef(NamedTuple):
+    """A reference to an operation inside a history.
+
+    ``txn`` is the dense transaction id (index into
+    :attr:`History.transactions`) and ``index`` is the position of the
+    operation inside that transaction's program order.  ``OpRef`` is a named
+    tuple, so it compares (and hashes) like the plain pair ``(txn, index)``,
+    which the checkers exploit in their hot loops.
+    """
+
+    txn: int
+    index: int
+
+    def resolve(self, history: "History") -> Operation:
+        """Return the referenced :class:`Operation` object."""
+        return history.transactions[self.txn].operations[self.index]
+
+
+class Transaction:
+    """A transaction: an ordered sequence of operations (Definition 2.1).
+
+    The program order ``po`` is the order of :attr:`operations`.  A
+    transaction is either committed or aborted; per the paper, aborted
+    transactions should never be observed by committed ones.
+
+    Parameters
+    ----------
+    operations:
+        The operations of the transaction in program order.
+    committed:
+        ``True`` for a committed transaction (member of ``T_c``), ``False``
+        for an aborted one (member of ``T_a``).
+    label:
+        Optional human-readable name (used in witnesses and examples, e.g.
+        ``"t3"``).
+    """
+
+    __slots__ = (
+        "operations",
+        "committed",
+        "label",
+        "tid",
+        "session",
+        "session_index",
+        "_keys_read",
+        "_keys_written",
+    )
+
+    def __init__(
+        self,
+        operations: Sequence[Operation],
+        committed: bool = True,
+        label: Optional[str] = None,
+    ) -> None:
+        self.operations: Tuple[Operation, ...] = tuple(operations)
+        self.committed = committed
+        self.label = label
+        # Dense ids assigned by the owning History.
+        self.tid: int = -1
+        self.session: int = -1
+        self.session_index: int = -1
+        self._keys_read: Optional[FrozenSet[Key]] = None
+        self._keys_written: Optional[FrozenSet[Key]] = None
+
+    # -- structural queries -------------------------------------------------
+
+    @property
+    def reads(self) -> List[Tuple[int, Operation]]:
+        """All read operations with their program-order positions."""
+        return [(i, op) for i, op in enumerate(self.operations) if op.is_read]
+
+    @property
+    def writes(self) -> List[Tuple[int, Operation]]:
+        """All write operations with their program-order positions."""
+        return [(i, op) for i, op in enumerate(self.operations) if op.is_write]
+
+    @property
+    def keys_read(self) -> FrozenSet[Key]:
+        """``KeysRd(t)``: the set of keys read by this transaction."""
+        if self._keys_read is None:
+            self._keys_read = frozenset(op.key for op in self.operations if op.is_read)
+        return self._keys_read
+
+    @property
+    def keys_written(self) -> FrozenSet[Key]:
+        """``KeysWt(t)``: the set of keys written by this transaction."""
+        if self._keys_written is None:
+            self._keys_written = frozenset(op.key for op in self.operations if op.is_write)
+        return self._keys_written
+
+    def writes_key(self, key: Key) -> bool:
+        """True when the transaction contains a write to ``key``."""
+        return key in self.keys_written
+
+    def reads_key(self, key: Key) -> bool:
+        """True when the transaction contains a read of ``key``."""
+        return key in self.keys_read
+
+    def last_write_to(self, key: Key) -> Optional[int]:
+        """Program-order index of the po-last write to ``key``, or ``None``."""
+        result: Optional[int] = None
+        for i, op in enumerate(self.operations):
+            if op.is_write and op.key == key:
+                result = i
+        return result
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    @property
+    def name(self) -> str:
+        """A printable name: the label if set, else ``t<tid>``."""
+        if self.label is not None:
+            return self.label
+        return f"t{self.tid}" if self.tid >= 0 else "t?"
+
+    def __repr__(self) -> str:
+        status = "" if self.committed else " aborted"
+        return f"<Transaction {self.name}{status} ops={list(self.operations)}>"
+
+
+class History:
+    """A history ``H = <T, so, wr>`` (Definition 2.2).
+
+    Transactions are grouped into *sessions*; the session order ``so`` is the
+    per-session list order.  The write-read order ``wr`` is stored as a
+    mapping from read :class:`OpRef` to write :class:`OpRef`.
+
+    Use :meth:`from_sessions` to construct a history from nested lists of
+    transactions; when ``wr`` is omitted it is inferred from the
+    unique-writes convention (a read ``R(x, v)`` observes the unique write
+    ``W(x, v)`` if one exists).
+
+    The class exposes the derived structures used by the checking algorithms:
+
+    * :meth:`writer_of` -- the write observed by a read (``wr``:sup:`-1`).
+    * :meth:`txn_read_froms` -- transaction-level ``wr`` edges into a
+      transaction, in program order of the receiving reads.
+    * :attr:`committed` -- dense ids of committed transactions.
+    * :attr:`num_operations` -- the history size ``n``.
+    """
+
+    __slots__ = (
+        "transactions",
+        "sessions",
+        "wr",
+        "_txn_read_froms",
+        "_txn_wr_out",
+        "_num_operations",
+        "_writes_index",
+    )
+
+    def __init__(
+        self,
+        transactions: Sequence[Transaction],
+        sessions: Sequence[Sequence[int]],
+        wr: Dict[OpRef, OpRef],
+    ) -> None:
+        self.transactions: Tuple[Transaction, ...] = tuple(transactions)
+        self.sessions: Tuple[Tuple[int, ...], ...] = tuple(tuple(s) for s in sessions)
+        self.wr: Dict[OpRef, OpRef] = dict(wr)
+        self._txn_read_froms: Optional[List[List[Tuple[int, int, Operation]]]] = None
+        self._txn_wr_out: Optional[List[Set[int]]] = None
+        self._num_operations: Optional[int] = None
+        self._writes_index: Optional[Dict[Tuple[Key, Value], OpRef]] = None
+        self._assign_ids()
+        self._validate()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_sessions(
+        cls,
+        sessions: Sequence[Sequence[Transaction]],
+        wr: Optional[Dict[OpRef, OpRef]] = None,
+    ) -> "History":
+        """Build a history from per-session transaction lists.
+
+        Parameters
+        ----------
+        sessions:
+            ``sessions[s]`` lists the transactions of session ``s`` in
+            session order.
+        wr:
+            Explicit write-read mapping from read refs to write refs.  When
+            omitted, the mapping is inferred by matching each read
+            ``R(x, v)`` with the unique write ``W(x, v)`` in the history
+            (reads of values never written become *thin-air* reads with no
+            ``wr`` edge, which the Read Consistency check then reports).
+        """
+        transactions: List[Transaction] = []
+        session_ids: List[List[int]] = []
+        for session in sessions:
+            ids: List[int] = []
+            for txn in session:
+                ids.append(len(transactions))
+                transactions.append(txn)
+            session_ids.append(ids)
+        if wr is None:
+            wr = cls._infer_wr(transactions)
+        return cls(transactions, session_ids, wr)
+
+    @staticmethod
+    def _infer_wr(transactions: Sequence[Transaction]) -> Dict[OpRef, OpRef]:
+        """Infer ``wr`` from the unique-writes convention."""
+        writes: Dict[Tuple[Key, Value], OpRef] = {}
+        for tid, txn in enumerate(transactions):
+            for i, op in enumerate(txn.operations):
+                if op.is_write:
+                    writes[(op.key, op.value)] = OpRef(tid, i)
+        wr: Dict[OpRef, OpRef] = {}
+        for tid, txn in enumerate(transactions):
+            for i, op in enumerate(txn.operations):
+                if op.is_read:
+                    source = writes.get((op.key, op.value))
+                    if source is not None:
+                        wr[OpRef(tid, i)] = source
+        return wr
+
+    def _assign_ids(self) -> None:
+        seen: Set[int] = set()
+        for sid, session in enumerate(self.sessions):
+            for pos, tid in enumerate(session):
+                if tid in seen:
+                    raise HistoryFormatError(
+                        f"transaction {tid} appears in more than one session"
+                    )
+                seen.add(tid)
+                txn = self.transactions[tid]
+                txn.tid = tid
+                txn.session = sid
+                txn.session_index = pos
+        for tid, txn in enumerate(self.transactions):
+            if tid not in seen:
+                raise HistoryFormatError(
+                    f"transaction {tid} does not belong to any session"
+                )
+            if txn.tid != tid:
+                raise HistoryFormatError(
+                    f"transaction id mismatch: expected {tid}, found {txn.tid}"
+                )
+
+    def _validate(self) -> None:
+        for read_ref, write_ref in self.wr.items():
+            if not (0 <= read_ref.txn < len(self.transactions)):
+                raise HistoryFormatError(f"wr read ref {read_ref} out of range")
+            if not (0 <= write_ref.txn < len(self.transactions)):
+                raise HistoryFormatError(f"wr write ref {write_ref} out of range")
+            read_txn = self.transactions[read_ref.txn]
+            write_txn = self.transactions[write_ref.txn]
+            if read_ref.index >= len(read_txn.operations):
+                raise HistoryFormatError(f"wr read ref {read_ref} out of range")
+            if write_ref.index >= len(write_txn.operations):
+                raise HistoryFormatError(f"wr write ref {write_ref} out of range")
+            read_op = read_txn.operations[read_ref.index]
+            write_op = write_txn.operations[write_ref.index]
+            if not read_op.is_read:
+                raise HistoryFormatError(
+                    f"wr target {read_op!r} is not a read operation"
+                )
+            if not write_op.is_write:
+                raise HistoryFormatError(
+                    f"wr source {write_op!r} is not a write operation"
+                )
+            if read_op.key != write_op.key:
+                raise HistoryFormatError(
+                    f"wr edge relates different keys: {write_op!r} -> {read_op!r}"
+                )
+
+    # -- basic accessors ------------------------------------------------------
+
+    @property
+    def num_transactions(self) -> int:
+        """Total number of transactions (committed and aborted)."""
+        return len(self.transactions)
+
+    @property
+    def num_sessions(self) -> int:
+        """The number of sessions ``k``."""
+        return len(self.sessions)
+
+    @property
+    def num_operations(self) -> int:
+        """The history size ``n``: total number of operations."""
+        if self._num_operations is None:
+            self._num_operations = sum(len(t) for t in self.transactions)
+        return self._num_operations
+
+    @property
+    def committed(self) -> List[int]:
+        """Dense ids of committed transactions (``T_c``)."""
+        return [t.tid for t in self.transactions if t.committed]
+
+    @property
+    def aborted(self) -> List[int]:
+        """Dense ids of aborted transactions (``T_a``)."""
+        return [t.tid for t in self.transactions if not t.committed]
+
+    @property
+    def keys(self) -> Set[Key]:
+        """All keys appearing in the history."""
+        result: Set[Key] = set()
+        for txn in self.transactions:
+            result |= txn.keys_read
+            result |= txn.keys_written
+        return result
+
+    def committed_in_session(self, sid: int) -> List[int]:
+        """``H|s``: committed transactions of session ``sid`` in so order."""
+        return [tid for tid in self.sessions[sid] if self.transactions[tid].committed]
+
+    # -- wr-derived structures -----------------------------------------------
+
+    def writer_of(self, ref: OpRef) -> Optional[OpRef]:
+        """Return the write observed by the read ``ref`` (or ``None``)."""
+        return self.wr.get(ref)
+
+    def write_ref(self, key: Key, value: Value) -> Optional[OpRef]:
+        """Locate the (unique-value) write ``W(key, value)`` if it exists."""
+        if self._writes_index is None:
+            index: Dict[Tuple[Key, Value], OpRef] = {}
+            for tid, txn in enumerate(self.transactions):
+                for i, op in enumerate(txn.operations):
+                    if op.is_write:
+                        index[(op.key, op.value)] = OpRef(tid, i)
+            self._writes_index = index
+        return self._writes_index.get((key, value))
+
+    def txn_read_froms(self, tid: int) -> List[Tuple[int, int, Operation]]:
+        """Transaction-level incoming ``wr`` edges of ``tid``.
+
+        Returns a list of ``(writer_tid, read_index, read_op)`` triples, one
+        per read of the transaction that observes a *different* transaction,
+        in program order of the reads.  Reads that observe a write inside the
+        same transaction or have no ``wr`` edge are excluded (they are the
+        business of the Read Consistency check).
+        """
+        self._build_txn_wr()
+        assert self._txn_read_froms is not None
+        return self._txn_read_froms[tid]
+
+    def txn_readers_of(self, tid: int) -> Set[int]:
+        """Transactions that read from ``tid`` (transaction-level ``wr``)."""
+        self._build_txn_wr()
+        assert self._txn_wr_out is not None
+        return self._txn_wr_out[tid]
+
+    def _build_txn_wr(self) -> None:
+        if self._txn_read_froms is not None:
+            return
+        incoming: List[List[Tuple[int, int, Operation]]] = [
+            [] for _ in self.transactions
+        ]
+        outgoing: List[Set[int]] = [set() for _ in self.transactions]
+        for tid, txn in enumerate(self.transactions):
+            for i, op in enumerate(txn.operations):
+                if not op.is_read:
+                    continue
+                src = self.wr.get(OpRef(tid, i))
+                if src is None or src.txn == tid:
+                    continue
+                incoming[tid].append((src.txn, i, op))
+                outgoing[src.txn].add(tid)
+        self._txn_read_froms = incoming
+        self._txn_wr_out = outgoing
+
+    def so_edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over the immediate (successor) session-order edges."""
+        for session in self.sessions:
+            committed = [tid for tid in session if self.transactions[tid].committed]
+            for a, b in zip(committed, committed[1:]):
+                yield (a, b)
+
+    def so_wr_edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over committed-transaction-level ``so ∪ wr`` edges."""
+        yield from self.so_edges()
+        for tid, txn in enumerate(self.transactions):
+            if not txn.committed:
+                continue
+            seen: Set[int] = set()
+            for writer, _index, _op in self.txn_read_froms(tid):
+                if writer in seen:
+                    continue
+                seen.add(writer)
+                if self.transactions[writer].committed:
+                    yield (writer, tid)
+
+    # -- misc -----------------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line summary of the history, for logging and CLI output."""
+        return (
+            f"History(sessions={self.num_sessions}, "
+            f"transactions={self.num_transactions}, "
+            f"operations={self.num_operations}, keys={len(self.keys)})"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
+
+    def pretty(self, max_transactions: int = 20) -> str:
+        """Multi-line rendering of the history, session by session."""
+        lines = [self.describe()]
+        shown = 0
+        for sid, session in enumerate(self.sessions):
+            lines.append(f"session s{sid}:")
+            for tid in session:
+                txn = self.transactions[tid]
+                ops = ", ".join(repr(op) for op in txn.operations)
+                status = "" if txn.committed else " [aborted]"
+                lines.append(f"  {txn.name}{status}: {ops}")
+                shown += 1
+                if shown >= max_transactions:
+                    lines.append("  ...")
+                    return "\n".join(lines)
+        return "\n".join(lines)

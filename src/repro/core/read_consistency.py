@@ -1,0 +1,190 @@
+"""Read Consistency checking (Definition 2.3, Algorithm 4).
+
+Every isolation level of the paper requires *Read Consistency*: each read on
+a key ``x`` observes either an earlier write on ``x`` in its own transaction
+or, if no such write exists, the final write on ``x`` of a committed
+transaction.  This decomposes into five axioms (Fig. 2):
+
+(a) no thin-air reads,
+(b) no aborted reads,
+(c) no future reads,
+(d) observe own writes,
+(e) observe latest write.
+
+The check runs in ``O(n)`` time and reports *every* offending read (Section
+3.4), which allows the isolation-level checkers to keep going by discarding
+the anomalous reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.model import History, OpRef, Operation
+from repro.core.violations import ReadConsistencyViolation, Violation, ViolationKind
+
+__all__ = ["ReadConsistencyReport", "check_read_consistency"]
+
+
+@dataclass
+class ReadConsistencyReport:
+    """Result of the Read Consistency check.
+
+    ``violations`` lists one entry per offending read; ``bad_reads`` collects
+    the :class:`OpRef` of every read that failed some axiom, so that the
+    isolation-level checkers can skip them and continue producing witnesses
+    (the strategy described in Section 3.4).
+    """
+
+    violations: List[Violation] = field(default_factory=list)
+    bad_reads: Set[OpRef] = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        """True when the history satisfies all five Read Consistency axioms."""
+        return not self.violations
+
+    def _add(self, violation: ReadConsistencyViolation) -> None:
+        self.violations.append(violation)
+        if violation.read is not None:
+            self.bad_reads.add(violation.read)
+
+
+def check_read_consistency(history: History) -> ReadConsistencyReport:
+    """Check the five Read Consistency axioms of Definition 2.3.
+
+    Mirrors Algorithm 4 of the paper: a first pass over all committed reads
+    checks for thin-air, aborted, and future reads; a per-transaction pass
+    checks observe-own-writes and the same-transaction half of
+    observe-latest-write; a final pass checks the different-transaction half
+    of observe-latest-write (a read from another transaction must observe
+    that transaction's final write to the key).
+    """
+    report = ReadConsistencyReport()
+    transactions = history.transactions
+
+    # Final write to each key of each committed transaction ("lastWrites" in
+    # Algorithm 4): a read from another transaction must observe one of these.
+    final_writes: Set[OpRef] = set()
+    for tid, txn in enumerate(transactions):
+        if not txn.committed:
+            continue
+        latest: Dict[str, int] = {}
+        for index, op in enumerate(txn.operations):
+            if op.is_write:
+                latest[op.key] = index
+        for key, index in latest.items():
+            final_writes.add(OpRef(tid, index))
+
+    for tid, txn in enumerate(transactions):
+        if not txn.committed:
+            continue
+        # Latest own write to each key seen so far in program order.
+        latest_own_write: Dict[str, int] = {}
+        for index, op in enumerate(txn.operations):
+            if op.is_write:
+                latest_own_write[op.key] = index
+                continue
+            read_ref = OpRef(tid, index)
+            write_ref = history.writer_of(read_ref)
+
+            # (a) thin-air reads: the observed value was never written.
+            if write_ref is None:
+                report._add(
+                    ReadConsistencyViolation(
+                        kind=ViolationKind.THIN_AIR_READ,
+                        message=(
+                            f"{txn.name} reads {op!r} but no transaction writes "
+                            f"{op.value!r} to {op.key!r}"
+                        ),
+                        read=read_ref,
+                    )
+                )
+                continue
+
+            writer_txn = transactions[write_ref.txn]
+
+            # (b) aborted reads.
+            if not writer_txn.committed:
+                report._add(
+                    ReadConsistencyViolation(
+                        kind=ViolationKind.ABORTED_READ,
+                        message=(
+                            f"{txn.name} reads {op!r} written by aborted "
+                            f"transaction {writer_txn.name}"
+                        ),
+                        read=read_ref,
+                        write=write_ref,
+                    )
+                )
+                continue
+
+            # (c) future reads: the observed write is po-after the read in the
+            # same transaction.
+            if write_ref.txn == tid and write_ref.index > index:
+                report._add(
+                    ReadConsistencyViolation(
+                        kind=ViolationKind.FUTURE_READ,
+                        message=(
+                            f"{txn.name} reads {op!r} before writing it "
+                            f"(write at position {write_ref.index}, read at {index})"
+                        ),
+                        read=read_ref,
+                        write=write_ref,
+                    )
+                )
+                continue
+
+            if write_ref.txn != tid:
+                # (d) observe own writes: a read may not observe an external
+                # write when an own write to the key precedes it.
+                if op.key in latest_own_write:
+                    report._add(
+                        ReadConsistencyViolation(
+                            kind=ViolationKind.NOT_OWN_WRITE,
+                            message=(
+                                f"{txn.name} reads {op!r} from {writer_txn.name} "
+                                f"although it wrote {op.key!r} earlier itself"
+                            ),
+                            read=read_ref,
+                            write=write_ref,
+                        )
+                    )
+                    continue
+                # (e) observe latest write, different-transaction case: the
+                # observed write must be the writer's final write to the key.
+                if write_ref not in final_writes:
+                    report._add(
+                        ReadConsistencyViolation(
+                            kind=ViolationKind.NOT_LATEST_WRITE,
+                            message=(
+                                f"{txn.name} reads {op!r} from a non-final write "
+                                f"of {writer_txn.name} to {op.key!r}"
+                            ),
+                            read=read_ref,
+                            write=write_ref,
+                        )
+                    )
+                continue
+
+            # Same-transaction case of (e): the read must observe the latest
+            # own write to the key that precedes it in program order.
+            own_index = latest_own_write.get(op.key)
+            if own_index is None:
+                # A same-transaction writer that is not po-earlier would have
+                # been reported as a future read above; nothing to do here.
+                continue
+            if own_index != write_ref.index:
+                report._add(
+                    ReadConsistencyViolation(
+                        kind=ViolationKind.NOT_LATEST_WRITE,
+                        message=(
+                            f"{txn.name} reads {op!r} from a stale own write to "
+                            f"{op.key!r} (a later own write precedes the read)"
+                        ),
+                        read=read_ref,
+                        write=write_ref,
+                    )
+                )
+    return report

@@ -1,0 +1,128 @@
+"""Violation and witness value objects.
+
+Each checker reports the anomalies of Section 3.4 as structured objects
+rather than bare booleans, so downstream users (CLI, benchmarks, the Table 1
+reproduction) can classify and count them:
+
+* Read Consistency anomalies (the five axioms of Definition 2.3, illustrated
+  in Fig. 2): thin-air reads, aborted reads, future reads, observe-own-writes
+  violations, observe-latest-write violations.
+* Non-repeatable reads (the repeatable-reads pre-check of Algorithm 2).
+* Causality cycles (cycles in ``so ∪ wr``).
+* Commit-order cycles (cycles in the inferred commit relation ``co'``), with
+  the witnessing edge sequence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.model import OpRef
+
+__all__ = [
+    "ViolationKind",
+    "Violation",
+    "ReadConsistencyViolation",
+    "RepeatableReadViolation",
+    "CycleEdge",
+    "CycleViolation",
+]
+
+
+class ViolationKind(enum.Enum):
+    """Classification of isolation anomalies reported by the checkers."""
+
+    THIN_AIR_READ = "thin-air read"
+    ABORTED_READ = "aborted read"
+    FUTURE_READ = "future read"
+    NOT_OWN_WRITE = "observe own writes violation"
+    NOT_LATEST_WRITE = "observe latest write violation"
+    NON_REPEATABLE_READ = "non-repeatable read"
+    CAUSALITY_CYCLE = "causality cycle"
+    COMMIT_ORDER_CYCLE = "commit order cycle"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Violation:
+    """Base class for all reported anomalies."""
+
+    kind: ViolationKind
+    message: str
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return f"{self.kind.value}: {self.message}"
+
+
+@dataclass(frozen=True)
+class ReadConsistencyViolation(Violation):
+    """A violation of one of the five Read Consistency axioms (Fig. 2).
+
+    ``read`` points at the offending read operation; ``write`` points at the
+    write involved in the violation when one exists (e.g. the aborted or
+    future write observed).
+    """
+
+    read: Optional[OpRef] = None
+    write: Optional[OpRef] = None
+
+
+@dataclass(frozen=True)
+class RepeatableReadViolation(Violation):
+    """A transaction read the same key from two different transactions."""
+
+    txn: int = -1
+    key: str = ""
+    writers: Tuple[int, int] = (-1, -1)
+
+
+@dataclass(frozen=True)
+class CycleEdge:
+    """One edge of a reported cycle witness.
+
+    ``source`` and ``target`` are dense transaction ids.  ``reason`` records
+    how the edge was obtained: ``"so"`` for session order, ``"wr"`` for
+    write-read, or ``"co"`` for an inferred commit-order edge, in which case
+    ``key`` names the key whose inference rule produced it (Fig. 3).
+    """
+
+    source: int
+    target: int
+    reason: str
+    key: Optional[str] = None
+
+    def describe(self) -> str:
+        """Render the edge as ``t1 -so-> t2`` style text."""
+        label = self.reason if self.key is None else f"{self.reason}[{self.key}]"
+        return f"t{self.source} -{label}-> t{self.target}"
+
+
+@dataclass(frozen=True)
+class CycleViolation(Violation):
+    """A cycle in ``so ∪ wr`` (causality cycle) or in ``co'`` (commit-order cycle).
+
+    ``edges`` lists the cycle edge by edge; ``inferred_edges`` counts the
+    edges that are not in ``so ∪ wr`` (the paper prioritizes witnesses with
+    few inferred edges, Section 3.4).
+    """
+
+    edges: Tuple[CycleEdge, ...] = ()
+
+    @property
+    def transactions(self) -> List[int]:
+        """The transactions participating in the cycle, in cycle order."""
+        return [edge.source for edge in self.edges]
+
+    @property
+    def inferred_edges(self) -> int:
+        """Number of cycle edges that are inferred ``co`` edges (not ``so ∪ wr``)."""
+        return sum(1 for edge in self.edges if edge.reason == "co")
+
+    def describe(self) -> str:
+        chain = " ; ".join(edge.describe() for edge in self.edges)
+        return f"{self.kind.value}: {chain}"

@@ -1,0 +1,47 @@
+"""A multi-replica key-value database simulator.
+
+The paper's evaluation collects histories from PostgreSQL, CockroachDB, and
+RocksDB through the Cobra testing framework.  Those systems are not
+available here, so this package provides the substitute substrate: a
+deterministic, seedable simulation of a replicated transactional key-value
+store whose visibility rules can be dialled between Serializable, Causal,
+Read Atomic, and Read Committed, with optional *bug injection* that serves
+stale or aborted versions the way buggy production databases have been
+observed to do (Jepsen-style anomalies).
+
+The important property for reproduction purposes is that the simulator
+produces *histories* with exactly the structure the checkers consume --
+sessions of transactions with unique written values -- so every code path of
+the testers exercised by the paper's experiments is exercised here.
+
+Main entry points:
+
+* :class:`SimulatedDatabase` -- the store; :meth:`SimulatedDatabase.session`
+  opens a client session, whose transactions are recorded automatically.
+* :class:`DatabaseConfig` / :class:`IsolationMode` / :class:`BugRates` --
+  configuration.
+* :data:`repro.db.profiles.POSTGRES_LIKE` (and friends) -- preset
+  configurations standing in for the three databases of Section 5.1.
+"""
+
+from repro.db.config import BugRates, DatabaseConfig, IsolationMode
+from repro.db.database import ClientSession, ClientTransaction, SimulatedDatabase
+from repro.db.profiles import (
+    COCKROACH_LIKE,
+    POSTGRES_LIKE,
+    ROCKSDB_LIKE,
+    profile_by_name,
+)
+
+__all__ = [
+    "SimulatedDatabase",
+    "ClientSession",
+    "ClientTransaction",
+    "DatabaseConfig",
+    "IsolationMode",
+    "BugRates",
+    "POSTGRES_LIKE",
+    "COCKROACH_LIKE",
+    "ROCKSDB_LIKE",
+    "profile_by_name",
+]

@@ -1,0 +1,91 @@
+"""Configuration of the simulated database."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["IsolationMode", "BugRates", "DatabaseConfig"]
+
+
+class IsolationMode(enum.Enum):
+    """Visibility rule enforced by the simulated database.
+
+    The modes mirror the isolation levels of the paper plus Serializable:
+
+    * ``SERIALIZABLE`` -- every read observes the globally latest committed
+      write; the resulting history is serializable, hence consistent at every
+      weak level.  This is how the paper's evaluation configures the real
+      databases ("strong transaction isolation").
+    * ``CAUSAL`` -- replicas apply remote transactions respecting causal
+      dependencies; sessions read from causally-closed snapshots.  Histories
+      satisfy CC but are generally not serializable.
+    * ``READ_ATOMIC`` -- replicas apply whole transactions (no fractured
+      reads) but without causal closure; histories satisfy RA but may violate
+      CC.
+    * ``READ_COMMITTED`` -- each read independently observes the locally
+      latest applied write; histories satisfy RC but may violate RA.
+    """
+
+    SERIALIZABLE = "serializable"
+    CAUSAL = "causal"
+    READ_ATOMIC = "read-atomic"
+    READ_COMMITTED = "read-committed"
+
+
+@dataclass
+class BugRates:
+    """Probabilities of deliberately buggy behaviour (isolation bugs).
+
+    * ``stale_read`` -- a read is served from an old, already-overwritten
+      version instead of the latest visible one (produces observe-latest-
+      write / commit-order anomalies).
+    * ``aborted_read`` -- a read is served from a write of an aborted
+      transaction (produces aborted-read anomalies).
+    * ``fractured_read`` -- a read inside a transaction ignores the
+      transaction's snapshot and observes a newer version (produces RA and
+      CC anomalies even under stronger modes).
+    """
+
+    stale_read: float = 0.0
+    aborted_read: float = 0.0
+    fractured_read: float = 0.0
+
+    @property
+    def any_enabled(self) -> bool:
+        """True when at least one bug class has a positive rate."""
+        return self.stale_read > 0 or self.aborted_read > 0 or self.fractured_read > 0
+
+
+@dataclass
+class DatabaseConfig:
+    """Full configuration of a :class:`~repro.db.database.SimulatedDatabase`.
+
+    ``replication_lag`` is the mean number of global events after commit
+    until a transaction becomes visible on a *remote* replica (the local
+    replica always sees it immediately); the actual lag of each
+    (transaction, replica) pair is sampled uniformly from
+    ``[0, 2 * replication_lag]``.
+    """
+
+    name: str = "simulated-db"
+    isolation: IsolationMode = IsolationMode.SERIALIZABLE
+    num_replicas: int = 1
+    replication_lag: float = 4.0
+    abort_probability: float = 0.0
+    bug_rates: BugRates = field(default_factory=BugRates)
+    seed: Optional[int] = None
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on nonsensical settings."""
+        if self.num_replicas <= 0:
+            raise ValueError("num_replicas must be positive")
+        if self.replication_lag < 0:
+            raise ValueError("replication_lag must be non-negative")
+        if not (0.0 <= self.abort_probability < 1.0):
+            raise ValueError("abort_probability must be in [0, 1)")
+        for rate_name in ("stale_read", "aborted_read", "fractured_read"):
+            rate = getattr(self.bug_rates, rate_name)
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"bug rate {rate_name} must be in [0, 1]")

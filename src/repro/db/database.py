@@ -1,0 +1,320 @@
+"""The simulated transactional database and its client API.
+
+A :class:`SimulatedDatabase` plays the role of PostgreSQL / CockroachDB /
+RocksDB in the paper's experimental pipeline: clients open *sessions*, run
+read/write *transactions*, and the database records the resulting history in
+exactly the shape the isolation checkers consume.
+
+The simulation is sequential and deterministic (seeded), but models the
+distributed-systems effects that make weak isolation observable: replicas
+apply remote transactions after a replication lag, and the visibility rule
+applied to reads is configurable (:class:`~repro.db.config.IsolationMode`).
+Optional bug injection (:class:`~repro.db.config.BugRates`) makes the
+database deliberately serve stale, fractured, or aborted versions, modelling
+the isolation bugs the paper's Table 1 detects.
+
+Typical use::
+
+    db = SimulatedDatabase(DatabaseConfig(isolation=IsolationMode.CAUSAL, seed=7))
+    alice = db.session()
+    with alice.transaction() as txn:
+        txn.write("x")            # value auto-assigned, unique
+        balance = txn.read("y")
+    history = db.history()
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.core.exceptions import UsageError
+from repro.core.model import History, Operation, Transaction, read as read_op, write as write_op
+from repro.db.config import BugRates, DatabaseConfig, IsolationMode
+from repro.db.replica import CommittedTransaction, Replica
+
+__all__ = ["SimulatedDatabase", "ClientSession", "ClientTransaction"]
+
+
+class ClientTransaction:
+    """An open transaction of one client session."""
+
+    def __init__(self, database: "SimulatedDatabase", session: "ClientSession") -> None:
+        self._db = database
+        self._session = session
+        self._operations: List[Operation] = []
+        self._local_writes: Dict[str, object] = {}
+        self._read_from: Set[int] = set()
+        self._finished = False
+        self._snapshot_seq = session.replica.current_seq
+
+    # -- client operations -------------------------------------------------------
+
+    def read(self, key: str) -> Optional[object]:
+        """Read ``key``; returns the observed value (``None`` if never written).
+
+        Reads of keys that no committed transaction has ever written are not
+        recorded (they carry no information for isolation testing); workloads
+        normally initialize their key space first.
+        """
+        self._ensure_open()
+        self._db._tick()
+        if key in self._local_writes:
+            value = self._local_writes[key]
+            self._operations.append(read_op(key, value))
+            return value
+        observed = self._db._serve_read(self._session, self, key)
+        if observed is None:
+            return None
+        txn_uid, value = observed
+        if txn_uid is not None:
+            self._read_from.add(txn_uid)
+        self._operations.append(read_op(key, value))
+        return value
+
+    def write(self, key: str, value: Optional[object] = None) -> object:
+        """Write ``key``.  Without an explicit value a globally unique one is used.
+
+        Unique values are the standard interaction scheme of black-box
+        isolation testing (Section 2.1 of the paper): they make the
+        write-read relation recoverable from the history alone.
+        """
+        self._ensure_open()
+        self._db._tick()
+        if value is None:
+            value = self._db._next_value()
+        self._local_writes[key] = value
+        self._operations.append(write_op(key, value))
+        return value
+
+    def commit(self) -> bool:
+        """Try to commit; returns ``True`` on commit, ``False`` if the database aborts."""
+        self._ensure_open()
+        self._finished = True
+        return self._db._finish(self._session, self, aborted=False)
+
+    def abort(self) -> None:
+        """Abort the transaction explicitly."""
+        self._ensure_open()
+        self._finished = True
+        self._db._finish(self._session, self, aborted=True)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._finished:
+            raise UsageError("transaction already committed or aborted")
+
+    @property
+    def operations(self) -> List[Operation]:
+        """The operations issued so far, in program order."""
+        return list(self._operations)
+
+
+class ClientSession:
+    """A client session; its transactions form one session of the history."""
+
+    def __init__(self, database: "SimulatedDatabase", session_id: int, replica: Replica) -> None:
+        self._db = database
+        self.session_id = session_id
+        self.replica = replica
+        self.recorded: List[Transaction] = []
+        self.last_committed_uid: Optional[int] = None
+
+    def begin(self) -> ClientTransaction:
+        """Start a new transaction on this session."""
+        self._db._tick()
+        self.replica.advance(self._db.now)
+        return ClientTransaction(self._db, self)
+
+    @contextmanager
+    def transaction(self) -> Iterator[ClientTransaction]:
+        """Context manager running a transaction and committing on exit."""
+        txn = self.begin()
+        try:
+            yield txn
+        except Exception:
+            if not txn._finished:
+                txn.abort()
+            raise
+        if not txn._finished:
+            txn.commit()
+
+
+class SimulatedDatabase:
+    """A seedable, multi-replica, transactional key-value store simulator."""
+
+    def __init__(self, config: Optional[DatabaseConfig] = None) -> None:
+        self.config = config or DatabaseConfig()
+        self.config.validate()
+        self._rng = random.Random(self.config.seed)
+        self.now = 0
+        self._next_uid = 0
+        self._value_counter = 0
+        causal = self.config.isolation is IsolationMode.CAUSAL
+        self._replicas = [Replica(i, causal) for i in range(self.config.num_replicas)]
+        self._sessions: List[ClientSession] = []
+        # Globally latest committed value per key (serializable visibility),
+        # all committed versions per key (for stale-read bug injection), and
+        # aborted writes per key (for aborted-read bug injection).
+        self._global_latest: Dict[str, Tuple[int, object]] = {}
+        self._all_versions: Dict[str, List[Tuple[int, object]]] = {}
+        self._aborted_versions: Dict[str, List[Tuple[int, object]]] = {}
+        self._force_sync = False
+
+    # -- public API -------------------------------------------------------------------
+
+    def session(self) -> ClientSession:
+        """Open a new client session (a new history session)."""
+        replica = self._replicas[len(self._sessions) % len(self._replicas)]
+        session = ClientSession(self, len(self._sessions), replica)
+        self._sessions.append(session)
+        return session
+
+    def sessions(self, count: int) -> List[ClientSession]:
+        """Open ``count`` sessions at once."""
+        return [self.session() for _ in range(count)]
+
+    def initialize(self, keys: List[str], session: Optional[ClientSession] = None) -> None:
+        """Write an initial value to every key in one committed transaction.
+
+        Mirrors the standard practice of isolation-testing frameworks, which
+        start from a known initial database state so that no read is a
+        thin-air read.
+        """
+        owner = session or (self._sessions[0] if self._sessions else self.session())
+        txn = owner.begin()
+        for key in keys:
+            txn.write(key)
+        # Initialization happens before the measured run starts, so it is
+        # propagated synchronously to every replica.
+        self._force_sync = True
+        try:
+            txn.commit()
+        finally:
+            self._force_sync = False
+        for replica in self._replicas:
+            replica.advance(self.now)
+
+    def history(self) -> History:
+        """Build the recorded history of all sessions so far."""
+        sessions = [list(s.recorded) for s in self._sessions]
+        if not sessions:
+            raise UsageError("no sessions were opened on this database")
+        return History.from_sessions(sessions)
+
+    @property
+    def num_committed(self) -> int:
+        """Number of committed transactions so far."""
+        return sum(
+            1 for s in self._sessions for t in s.recorded if t.committed
+        )
+
+    # -- simulation internals --------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.now += 1
+
+    def _next_value(self) -> int:
+        self._value_counter += 1
+        return self._value_counter
+
+    def _serve_read(
+        self, session: ClientSession, txn: ClientTransaction, key: str
+    ) -> Optional[Tuple[Optional[int], object]]:
+        """Pick the version a read observes, honouring mode and bug injection."""
+        bugs = self.config.bug_rates
+
+        # Aborted-read bug: serve a write of an aborted transaction.
+        if bugs.aborted_read > 0 and self._aborted_versions.get(key):
+            if self._rng.random() < bugs.aborted_read:
+                uid, value = self._rng.choice(self._aborted_versions[key])
+                return uid, value
+
+        # Stale-read bug: serve any older committed version.
+        if bugs.stale_read > 0 and self._all_versions.get(key):
+            if self._rng.random() < bugs.stale_read:
+                uid, value = self._rng.choice(self._all_versions[key])
+                return uid, value
+
+        mode = self.config.isolation
+        replica = session.replica
+
+        fractured = (
+            bugs.fractured_read > 0 and self._rng.random() < bugs.fractured_read
+        )
+
+        if mode is IsolationMode.SERIALIZABLE and not fractured:
+            entry = self._global_latest.get(key)
+            if entry is None:
+                return None
+            return entry
+
+        replica.advance(self.now)
+        if mode is IsolationMode.READ_COMMITTED or fractured:
+            # Each read independently observes the newest applied write
+            # (last-writer-wins), without a per-transaction snapshot.
+            version = replica.newest_version(key)
+        else:
+            # CAUSAL and READ_ATOMIC read from the transaction's snapshot; a
+            # key with no version in the snapshot is simply "not found",
+            # which keeps the produced histories sound for the configured
+            # level.
+            version = replica.newest_version(key, up_to_seq=txn._snapshot_seq)
+        if version is None:
+            return None
+        return version.txn_uid, version.value
+
+    def _finish(
+        self, session: ClientSession, txn: ClientTransaction, aborted: bool
+    ) -> bool:
+        self._tick()
+        if not aborted and self.config.abort_probability > 0:
+            if self._rng.random() < self.config.abort_probability:
+                aborted = True
+        uid = self._next_uid
+        self._next_uid += 1
+
+        recorded = Transaction(
+            txn.operations,
+            committed=not aborted,
+            label=f"s{session.session_id}_t{len(session.recorded)}",
+        )
+        session.recorded.append(recorded)
+
+        if aborted:
+            for key, value in txn._local_writes.items():
+                self._aborted_versions.setdefault(key, []).append((uid, value))
+            return False
+
+        dependencies = set(txn._read_from)
+        if session.last_committed_uid is not None:
+            dependencies.add(session.last_committed_uid)
+        committed = CommittedTransaction(
+            uid=uid,
+            session=session.session_id,
+            commit_time=self.now,
+            writes=dict(txn._local_writes),
+            dependencies=dependencies,
+        )
+        session.last_committed_uid = uid
+
+        for key, value in committed.writes.items():
+            self._global_latest[key] = (uid, value)
+            self._all_versions.setdefault(key, []).append((uid, value))
+
+        # The originating replica applies immediately; the others after lag.
+        session.replica.apply_now(committed)
+        for replica in self._replicas:
+            if replica is session.replica:
+                continue
+            lag = 0 if self._force_sync else self._sample_lag()
+            replica.enqueue(committed, self.now + lag)
+        return True
+
+    def _sample_lag(self) -> int:
+        mean = self.config.replication_lag
+        if mean <= 0:
+            return 0
+        return self._rng.randint(0, int(2 * mean))

@@ -1,0 +1,91 @@
+"""Preset database profiles standing in for the paper's three databases.
+
+Section 5.1 of the paper collects histories from PostgreSQL 17.0 (a
+single-node relational database), CockroachDB 24.2.4 (a three-replica
+distributed SQL database), and RocksDB 5.15.10 (an embedded key-value
+store).  All three are configured by the Cobra framework to provide strong
+transaction isolation, so the collected histories are (in the absence of
+bugs) consistent at every weak level; what differs is topology and latency.
+
+The profiles below mirror those characteristics for the simulator:
+
+* :data:`POSTGRES_LIKE` -- one replica, serializable visibility.
+* :data:`COCKROACH_LIKE` -- three replicas with replication lag, serializable
+  visibility (the simulator still reads the globally latest committed value,
+  matching the "strong isolation" configuration used in the paper).
+* :data:`ROCKSDB_LIKE` -- one replica, serializable visibility, no lag
+  (an embedded store has no replication at all).
+
+Use :func:`profile_by_name` to look profiles up from CLI / benchmark
+parameters, and :func:`with_overrides` to derive variants (e.g. a buggy
+CockroachDB for the Table 1 reproduction).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.db.config import BugRates, DatabaseConfig, IsolationMode
+
+__all__ = [
+    "POSTGRES_LIKE",
+    "COCKROACH_LIKE",
+    "ROCKSDB_LIKE",
+    "ALL_PROFILES",
+    "profile_by_name",
+    "with_overrides",
+]
+
+POSTGRES_LIKE = DatabaseConfig(
+    name="postgres-like",
+    isolation=IsolationMode.SERIALIZABLE,
+    num_replicas=1,
+    replication_lag=0.0,
+)
+
+COCKROACH_LIKE = DatabaseConfig(
+    name="cockroach-like",
+    isolation=IsolationMode.SERIALIZABLE,
+    num_replicas=3,
+    replication_lag=6.0,
+)
+
+ROCKSDB_LIKE = DatabaseConfig(
+    name="rocksdb-like",
+    isolation=IsolationMode.SERIALIZABLE,
+    num_replicas=1,
+    replication_lag=0.0,
+)
+
+ALL_PROFILES: Dict[str, DatabaseConfig] = {
+    "postgres": POSTGRES_LIKE,
+    "cockroach": COCKROACH_LIKE,
+    "rocksdb": ROCKSDB_LIKE,
+}
+
+
+def profile_by_name(name: str) -> DatabaseConfig:
+    """Look up a profile by (case-insensitive, prefix-tolerant) name."""
+    normalized = name.strip().lower()
+    for known, profile in ALL_PROFILES.items():
+        if normalized == known or normalized.startswith(known) or known.startswith(normalized):
+            return profile
+    raise ValueError(f"unknown database profile {name!r}; known: {sorted(ALL_PROFILES)}")
+
+
+def with_overrides(
+    profile: DatabaseConfig,
+    isolation: Optional[IsolationMode] = None,
+    bug_rates: Optional[BugRates] = None,
+    seed: Optional[int] = None,
+    num_replicas: Optional[int] = None,
+) -> DatabaseConfig:
+    """Return a copy of ``profile`` with selected fields replaced."""
+    return dataclasses.replace(
+        profile,
+        isolation=isolation if isolation is not None else profile.isolation,
+        bug_rates=bug_rates if bug_rates is not None else profile.bug_rates,
+        seed=seed if seed is not None else profile.seed,
+        num_replicas=num_replicas if num_replicas is not None else profile.num_replicas,
+    )

@@ -1,0 +1,151 @@
+"""Replica state of the simulated database.
+
+Each replica keeps a multi-versioned store: for every key, the list of
+applied writes in apply order.  Committed transactions originating at other
+replicas arrive after a (seeded, random) replication lag; the replica applies
+them either individually (Read Committed / Read Atomic visibility) or after
+their causal dependencies (Causal visibility), which is what makes the
+generated histories satisfy -- and not exceed -- the configured isolation
+level.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["CommittedTransaction", "Version", "Replica"]
+
+
+@dataclass(frozen=True)
+class Version:
+    """One applied write: the writing transaction, the value, and the apply sequence."""
+
+    apply_seq: int
+    txn_uid: int
+    value: object
+
+
+@dataclass
+class CommittedTransaction:
+    """A transaction in the global commit log of the simulated database."""
+
+    uid: int
+    session: int
+    commit_time: int
+    writes: Dict[str, object]
+    dependencies: Set[int] = field(default_factory=set)
+
+
+class Replica:
+    """One replica: applied transactions and per-key version chains."""
+
+    def __init__(self, replica_id: int, causal: bool) -> None:
+        self.replica_id = replica_id
+        self.causal = causal
+        self.applied: Set[int] = set()
+        self._apply_seq = 0
+        self._versions: Dict[str, List[Version]] = {}
+        # Min-heap of (arrival_time, commit_time, txn) awaiting application.
+        self._pending: List[Tuple[int, int, CommittedTransaction]] = []
+        # Causally blocked transactions waiting for their dependencies.
+        self._blocked: List[CommittedTransaction] = []
+
+    # -- replication -----------------------------------------------------------
+
+    def enqueue(self, txn: CommittedTransaction, arrival_time: int) -> None:
+        """Schedule a remote transaction to arrive at ``arrival_time``."""
+        heapq.heappush(self._pending, (arrival_time, txn.commit_time, txn))
+
+    def apply_now(self, txn: CommittedTransaction) -> None:
+        """Apply a transaction immediately (used for the originating replica)."""
+        self._apply(txn)
+
+    def advance(self, now: int) -> None:
+        """Apply every pending transaction that has arrived by time ``now``."""
+        while self._pending and self._pending[0][0] <= now:
+            _, _, txn = heapq.heappop(self._pending)
+            self._try_apply(txn)
+        if self.causal and self._blocked:
+            self._drain_blocked()
+
+    def _try_apply(self, txn: CommittedTransaction) -> None:
+        if txn.uid in self.applied:
+            return
+        if self.causal and not txn.dependencies <= self.applied:
+            self._blocked.append(txn)
+            return
+        self._apply(txn)
+
+    def _drain_blocked(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            still_blocked: List[CommittedTransaction] = []
+            for txn in self._blocked:
+                if txn.dependencies <= self.applied:
+                    self._apply(txn)
+                    progress = True
+                else:
+                    still_blocked.append(txn)
+            self._blocked = still_blocked
+
+    def _apply(self, txn: CommittedTransaction) -> None:
+        if txn.uid in self.applied:
+            return
+        self._apply_seq += 1
+        self.applied.add(txn.uid)
+        for key, value in txn.writes.items():
+            self._versions.setdefault(key, []).append(
+                Version(self._apply_seq, txn.uid, value)
+            )
+
+    # -- reads -------------------------------------------------------------------
+
+    @property
+    def current_seq(self) -> int:
+        """The apply sequence number of the most recently applied transaction."""
+        return self._apply_seq
+
+    def latest_version(self, key: str, up_to_seq: Optional[int] = None) -> Optional[Version]:
+        """The latest applied version of ``key`` (optionally at a past snapshot)."""
+        chain = self._versions.get(key)
+        if not chain:
+            return None
+        if up_to_seq is None:
+            return chain[-1]
+        # Version chains are short in practice; a reverse scan suffices and
+        # keeps the structure simple.
+        for version in reversed(chain):
+            if version.apply_seq <= up_to_seq:
+                return version
+        return None
+
+    def newest_version(self, key: str, up_to_seq: Optional[int] = None) -> Optional[Version]:
+        """The applied version of ``key`` with the highest writer uid.
+
+        Writer uids are assigned in global commit order, so picking the
+        maximum implements last-writer-wins conflict resolution: every
+        replica resolves concurrent writers of a key the same way, which is
+        what lets a single total commit order witness the consistency of the
+        histories the simulator produces.
+        """
+        chain = self._versions.get(key)
+        if not chain:
+            return None
+        best: Optional[Version] = None
+        for version in chain:
+            if up_to_seq is not None and version.apply_seq > up_to_seq:
+                continue
+            if best is None or version.txn_uid > best.txn_uid:
+                best = version
+        return best
+
+    def versions(self, key: str) -> List[Version]:
+        """All applied versions of ``key`` in apply order."""
+        return list(self._versions.get(key, ()))
+
+    def has_key(self, key: str) -> bool:
+        """True when at least one write to ``key`` has been applied."""
+        return bool(self._versions.get(key))

@@ -1,0 +1,36 @@
+"""Graph substrate used by the isolation checkers and baselines.
+
+The checkers of the paper reduce consistency to acyclicity of an inferred
+commit relation ``co'``; this package provides the directed-graph machinery
+needed for that reduction:
+
+* :mod:`repro.graph.digraph` -- a compact adjacency-list directed graph.
+* :mod:`repro.graph.cycles` -- Tarjan strongly-connected components,
+  iterative topological sort, and cycle-witness extraction.
+* :mod:`repro.graph.vector_clock` -- the vector clocks used by Algorithm 3
+  (``ComputeHB``) and by the Plume-like baseline.
+* :mod:`repro.graph.tree_clock` -- the tree-clock data structure (Mathur et
+  al. 2022) that the Plume baseline uses for faster joins.
+"""
+
+from repro.graph.digraph import DiGraph
+from repro.graph.cycles import (
+    strongly_connected_components,
+    topological_sort,
+    has_cycle,
+    find_cycle,
+    find_cycle_in_component,
+)
+from repro.graph.vector_clock import VectorClock
+from repro.graph.tree_clock import TreeClock
+
+__all__ = [
+    "DiGraph",
+    "strongly_connected_components",
+    "topological_sort",
+    "has_cycle",
+    "find_cycle",
+    "find_cycle_in_component",
+    "VectorClock",
+    "TreeClock",
+]

@@ -1,0 +1,185 @@
+"""Cycle detection, strongly connected components, and topological sorting.
+
+The checkers follow the witness-reporting strategy of Section 3.4: acyclicity
+of the inferred commit relation ``co'`` is decided with Tarjan's strongly
+connected components algorithm, and for every non-trivial SCC a single simple
+cycle is extracted as a witness.  All algorithms are iterative (no recursion)
+so they scale to histories with millions of transactions without hitting
+Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.digraph import DiGraph
+
+__all__ = [
+    "strongly_connected_components",
+    "topological_sort",
+    "has_cycle",
+    "find_cycle",
+    "find_cycle_in_component",
+]
+
+
+def strongly_connected_components(graph: DiGraph) -> List[List[int]]:
+    """Compute the strongly connected components of ``graph``.
+
+    Uses an iterative version of Tarjan's algorithm.  Components are returned
+    in reverse topological order (a component is emitted only after all the
+    components it can reach), each as a list of vertex ids.
+    """
+    n = graph.num_vertices
+    index_of = [-1] * n
+    lowlink = [0] * n
+    on_stack = [False] * n
+    stack: List[int] = []
+    components: List[List[int]] = []
+    next_index = 0
+
+    for root in range(n):
+        if index_of[root] != -1:
+            continue
+        # Each work item is (vertex, iterator position into its successors).
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            vertex, pos = work[-1]
+            if pos == 0:
+                index_of[vertex] = next_index
+                lowlink[vertex] = next_index
+                next_index += 1
+                stack.append(vertex)
+                on_stack[vertex] = True
+            successors = graph.successors(vertex)
+            advanced = False
+            while pos < len(successors):
+                succ = successors[pos]
+                pos += 1
+                if index_of[succ] == -1:
+                    work[-1] = (vertex, pos)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if on_stack[succ]:
+                    if index_of[succ] < lowlink[vertex]:
+                        lowlink[vertex] = index_of[succ]
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[vertex] == index_of[vertex]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == vertex:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                if lowlink[vertex] < lowlink[parent]:
+                    lowlink[parent] = lowlink[vertex]
+    return components
+
+
+def topological_sort(graph: DiGraph) -> Optional[List[int]]:
+    """Return a topological order of ``graph`` or ``None`` if it has a cycle.
+
+    Kahn's algorithm over unique successors; parallel edges do not affect the
+    result.
+    """
+    n = graph.num_vertices
+    indegree = [0] * n
+    unique_succ: List[List[int]] = []
+    for vertex in range(n):
+        succs = graph.unique_successors(vertex)
+        unique_succ.append(succs)
+        for succ in succs:
+            indegree[succ] += 1
+    queue = [v for v in range(n) if indegree[v] == 0]
+    order: List[int] = []
+    head = 0
+    while head < len(queue):
+        vertex = queue[head]
+        head += 1
+        order.append(vertex)
+        for succ in unique_succ[vertex]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                queue.append(succ)
+    if len(order) != n:
+        return None
+    return order
+
+
+def has_cycle(graph: DiGraph) -> bool:
+    """True when ``graph`` contains a directed cycle (including self-loops)."""
+    for vertex in range(graph.num_vertices):
+        if vertex in graph.successors(vertex):
+            return True
+    return any(len(c) > 1 for c in strongly_connected_components(graph))
+
+
+def find_cycle_in_component(graph: DiGraph, component: Sequence[int]) -> List[int]:
+    """Extract one simple cycle inside a non-trivial strongly connected component.
+
+    Returns the cycle as a vertex list ``[v0, v1, ..., vm]`` where consecutive
+    vertices are connected by edges of ``graph`` and ``vm`` has an edge back
+    to ``v0``.  ``component`` must be an SCC of ``graph`` with more than one
+    vertex, or a single vertex with a self-loop.
+    """
+    members = set(component)
+    start = component[0]
+    if len(component) == 1:
+        if start in graph.successors(start):
+            return [start]
+        raise ValueError("component is trivial and has no self-loop")
+    # DFS restricted to the component until we re-reach an ancestor on the
+    # current path; the path suffix from that ancestor is a simple cycle.
+    parent: Dict[int, Optional[int]] = {start: None}
+    on_path: Set[int] = {start}
+    stack: List[Tuple[int, int]] = [(start, 0)]
+    while stack:
+        vertex, pos = stack[-1]
+        successors = graph.successors(vertex)
+        advanced = False
+        while pos < len(successors):
+            succ = successors[pos]
+            pos += 1
+            if succ not in members:
+                continue
+            if succ in on_path:
+                # Found a cycle: walk back from vertex to succ.
+                cycle = [vertex]
+                node = parent[vertex]
+                while node is not None and cycle[-1] != succ:
+                    cycle.append(node)
+                    node = parent[node]
+                if cycle[-1] != succ:
+                    cycle.append(succ)
+                cycle.reverse()
+                return cycle
+            if succ not in parent:
+                stack[-1] = (vertex, pos)
+                parent[succ] = vertex
+                on_path.add(succ)
+                stack.append((succ, 0))
+                advanced = True
+                break
+        if advanced:
+            continue
+        stack.pop()
+        on_path.discard(vertex)
+    raise ValueError("no cycle found in component (not an SCC?)")
+
+
+def find_cycle(graph: DiGraph) -> Optional[List[int]]:
+    """Find one simple cycle anywhere in ``graph``, or ``None`` if acyclic."""
+    for vertex in range(graph.num_vertices):
+        if vertex in graph.successors(vertex):
+            return [vertex]
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            return find_cycle_in_component(graph, component)
+    return None

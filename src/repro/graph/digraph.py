@@ -1,0 +1,121 @@
+"""A compact directed graph over dense integer vertices.
+
+The graph is deliberately small and allocation-light: vertices are integers
+``0..n-1`` and adjacency is a list of lists.  Parallel edges are tolerated on
+insertion and de-duplicated lazily, because the checkers may add the same
+commit-order edge many times (e.g. once per witnessing read) and only the
+reachability structure matters for acyclicity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """A directed graph with dense integer vertices ``0..n-1``."""
+
+    __slots__ = ("_succ", "_edge_count")
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        self._succ: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._edge_count = 0
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, num_vertices: int, edges: Iterable[Tuple[int, int]]) -> "DiGraph":
+        """Build a graph with ``num_vertices`` vertices from an edge iterable."""
+        graph = cls(num_vertices)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    def add_vertex(self) -> int:
+        """Add a fresh vertex and return its id."""
+        self._succ.append([])
+        return len(self._succ) - 1
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Add the edge ``source -> target`` (parallel edges are allowed)."""
+        self._succ[source].append(target)
+        self._edge_count += 1
+
+    def add_edges(self, edges: Iterable[Tuple[int, int]]) -> None:
+        """Add many edges at once."""
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the graph."""
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edge insertions performed (parallel edges counted)."""
+        return self._edge_count
+
+    def successors(self, vertex: int) -> List[int]:
+        """The successor list of ``vertex`` (may contain duplicates)."""
+        return self._succ[vertex]
+
+    def unique_successors(self, vertex: int) -> List[int]:
+        """The successor list of ``vertex`` with duplicates removed (stable order)."""
+        seen: Set[int] = set()
+        result: List[int] = []
+        for succ in self._succ[vertex]:
+            if succ not in seen:
+                seen.add(succ)
+                result.append(succ)
+        return result
+
+    def has_edge(self, source: int, target: int) -> bool:
+        """True when an edge ``source -> target`` exists."""
+        return target in self._succ[source]
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all edges (including parallel copies)."""
+        for u, targets in enumerate(self._succ):
+            for v in targets:
+                yield (u, v)
+
+    def reverse(self) -> "DiGraph":
+        """Return a new graph with every edge direction flipped."""
+        rev = DiGraph(self.num_vertices)
+        for u, v in self.edges():
+            rev.add_edge(v, u)
+        return rev
+
+    def subgraph(self, vertices: Sequence[int]) -> Tuple["DiGraph", Dict[int, int]]:
+        """Return the induced subgraph and the old->new vertex mapping."""
+        mapping = {v: i for i, v in enumerate(vertices)}
+        sub = DiGraph(len(vertices))
+        for old in vertices:
+            for succ in self._succ[old]:
+                if succ in mapping:
+                    sub.add_edge(mapping[old], mapping[succ])
+        return sub, mapping
+
+    def out_degree(self, vertex: int) -> int:
+        """Out-degree of ``vertex`` (counting parallel edges)."""
+        return len(self._succ[vertex])
+
+    def reachable_from(self, sources: Iterable[int]) -> Set[int]:
+        """All vertices reachable from ``sources`` (including the sources)."""
+        stack = list(sources)
+        seen: Set[int] = set(stack)
+        while stack:
+            vertex = stack.pop()
+            for succ in self._succ[vertex]:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def __repr__(self) -> str:
+        return f"<DiGraph vertices={self.num_vertices} edges={self.num_edges}>"

@@ -1,0 +1,111 @@
+"""Vector clocks indexed by session.
+
+Algorithm 3 of the paper (``ComputeHB``) represents the happens-before
+relation with one vector clock per transaction: ``HB_t[s]`` holds the
+session-order index of the so-latest transaction of session ``s`` that
+happens before ``t`` (or -1 when no transaction of ``s`` does).  The join of
+two clocks is the pointwise maximum with respect to session order, which with
+dense per-session indices is a plain integer maximum.
+
+The Plume-like baseline also uses vector clocks to compute its dependency
+graph, mirroring the description of Plume in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+__all__ = ["VectorClock"]
+
+
+class VectorClock:
+    """A fixed-width vector clock over ``k`` sessions.
+
+    Entries are session-order indices (position of a transaction within its
+    session); ``-1`` means "no transaction of this session".
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, num_sessions: int, entries: Sequence[int] = ()) -> None:
+        if entries:
+            if len(entries) != num_sessions:
+                raise ValueError("entries length must equal num_sessions")
+            self.entries: List[int] = list(entries)
+        else:
+            self.entries = [-1] * num_sessions
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def bottom(cls, num_sessions: int) -> "VectorClock":
+        """The least clock (no transaction of any session)."""
+        return cls(num_sessions)
+
+    def copy(self) -> "VectorClock":
+        """Return an independent copy of this clock."""
+        clock = VectorClock.__new__(VectorClock)
+        clock.entries = list(self.entries)
+        return clock
+
+    # -- lattice operations -----------------------------------------------------
+
+    def join(self, other: "VectorClock") -> "VectorClock":
+        """Pointwise maximum of two clocks (a new clock)."""
+        return VectorClock(
+            len(self.entries),
+            [max(a, b) for a, b in zip(self.entries, other.entries)],
+        )
+
+    def join_in_place(self, other: "VectorClock") -> None:
+        """Pointwise maximum of two clocks, updating ``self``."""
+        mine = self.entries
+        theirs = other.entries
+        for i in range(len(mine)):
+            if theirs[i] > mine[i]:
+                mine[i] = theirs[i]
+
+    def advance(self, session: int, index: int) -> None:
+        """Record that the transaction at ``index`` of ``session`` is included."""
+        if index > self.entries[session]:
+            self.entries[session] = index
+
+    # -- comparisons --------------------------------------------------------------
+
+    def __getitem__(self, session: int) -> int:
+        return self.entries[session]
+
+    def __setitem__(self, session: int, index: int) -> None:
+        self.entries[session] = index
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self.entries == other.entries
+
+    def __le__(self, other: "VectorClock") -> bool:
+        """Pointwise less-or-equal (clock dominance)."""
+        return all(a <= b for a, b in zip(self.entries, other.entries))
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return self <= other and self.entries != other.entries
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True when ``self`` is pointwise greater-or-equal than ``other``."""
+        return all(a >= b for a, b in zip(self.entries, other.entries))
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """True when neither clock dominates the other."""
+        return not self.dominates(other) and not other.dominates(self)
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.entries))
+
+    def __repr__(self) -> str:
+        return f"VectorClock({self.entries})"

@@ -1,0 +1,19 @@
+"""History construction, generation, and serialization.
+
+* :mod:`repro.histories.builder` -- a fluent builder for hand-written
+  histories (used throughout the tests to encode the paper's figures).
+* :mod:`repro.histories.generator` -- random history generation with
+  controllable consistency level and anomaly injection.
+* :mod:`repro.histories.formats` -- on-disk formats: the native JSON format
+  plus parsers/serializers in the spirit of the formats consumed by Plume,
+  DBCop, and Cobra (Section 5 of the paper).
+"""
+
+from repro.histories.builder import HistoryBuilder
+from repro.histories.generator import RandomHistoryConfig, generate_random_history
+
+__all__ = [
+    "HistoryBuilder",
+    "RandomHistoryConfig",
+    "generate_random_history",
+]

@@ -1,0 +1,110 @@
+"""A fluent builder for hand-written histories.
+
+Histories in tests and examples are most naturally written session by
+session, transaction by transaction, the way the paper draws them.  The
+builder keeps that structure::
+
+    history = (
+        HistoryBuilder()
+        .session()
+            .txn("t1").write("x", 1).write("y", 1).end()
+            .txn("t2").write("x", 2).end()
+        .session()
+            .txn("t3").read("x", 2).read("x", 1).end()
+        .build()
+    )
+
+Values default to the unique-writes convention, so the write-read relation is
+inferred automatically; an explicit ``wr`` mapping can be supplied to
+:meth:`HistoryBuilder.build` for adversarial cases (thin-air reads, aborted
+reads, and so on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.exceptions import UsageError
+from repro.core.model import History, Operation, OpRef, Transaction, read, write
+
+__all__ = ["HistoryBuilder", "TransactionBuilder"]
+
+
+class TransactionBuilder:
+    """Builder for a single transaction; returned by :meth:`HistoryBuilder.txn`."""
+
+    def __init__(self, parent: "HistoryBuilder", label: Optional[str], committed: bool) -> None:
+        self._parent = parent
+        self._label = label
+        self._committed = committed
+        self._operations: List[Operation] = []
+
+    def read(self, key: str, value: object) -> "TransactionBuilder":
+        """Append a read ``R(key, value)``."""
+        self._operations.append(read(key, value))
+        return self
+
+    def write(self, key: str, value: object) -> "TransactionBuilder":
+        """Append a write ``W(key, value)``."""
+        self._operations.append(write(key, value))
+        return self
+
+    def op(self, operation: Operation) -> "TransactionBuilder":
+        """Append an already-constructed operation."""
+        self._operations.append(operation)
+        return self
+
+    def end(self) -> "HistoryBuilder":
+        """Finish the transaction and return to the history builder."""
+        txn = Transaction(self._operations, committed=self._committed, label=self._label)
+        self._parent._append(txn)
+        return self._parent
+
+
+class HistoryBuilder:
+    """Builds a :class:`History` session by session."""
+
+    def __init__(self) -> None:
+        self._sessions: List[List[Transaction]] = []
+        self._label_to_txn: Dict[str, Transaction] = {}
+
+    # -- structure -------------------------------------------------------------
+
+    def session(self) -> "HistoryBuilder":
+        """Start a new session; subsequent transactions belong to it."""
+        self._sessions.append([])
+        return self
+
+    def txn(self, label: Optional[str] = None, committed: bool = True) -> TransactionBuilder:
+        """Start a new transaction in the current session."""
+        if not self._sessions:
+            self._sessions.append([])
+        return TransactionBuilder(self, label, committed)
+
+    def add_transaction(self, txn: Transaction) -> "HistoryBuilder":
+        """Append a pre-built transaction to the current session."""
+        if not self._sessions:
+            self._sessions.append([])
+        self._append(txn)
+        return self
+
+    def _append(self, txn: Transaction) -> None:
+        self._sessions[-1].append(txn)
+        if txn.label is not None:
+            if txn.label in self._label_to_txn:
+                raise UsageError(f"duplicate transaction label {txn.label!r}")
+            self._label_to_txn[txn.label] = txn
+
+    # -- finalization ------------------------------------------------------------
+
+    def transaction_by_label(self, label: str) -> Transaction:
+        """Look up a transaction previously added with the given label."""
+        if label not in self._label_to_txn:
+            raise UsageError(f"no transaction labelled {label!r}")
+        return self._label_to_txn[label]
+
+    def build(self, wr: Optional[Dict[OpRef, OpRef]] = None) -> History:
+        """Construct the :class:`History` (inferring ``wr`` unless given)."""
+        if not self._sessions:
+            raise UsageError("cannot build an empty history")
+        return History.from_sessions(self._sessions, wr=wr)

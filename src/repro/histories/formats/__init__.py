@@ -1,0 +1,79 @@
+"""On-disk history formats.
+
+The AWDIT tool of the paper parses histories in the formats used by other
+isolation testers (Plume, PolySI, DBCop, Cobra).  The exact external formats
+are tied to those tools' artifacts; this package provides four formats with
+the same flavour and information content, all loss-lessly round-tripping the
+:class:`~repro.core.model.History` model:
+
+* ``native`` -- a JSON document (:mod:`repro.histories.formats.native`).
+* ``plume`` -- a line-oriented text format with one transaction per line,
+  in the style of Plume's text histories
+  (:mod:`repro.histories.formats.plume_text`).
+* ``dbcop`` -- a nested-JSON format in the style of DBCop's histories
+  (:mod:`repro.histories.formats.dbcop`).
+* ``cobra`` -- a CSV-like operation-per-line format in the style of Cobra's
+  logs (:mod:`repro.histories.formats.cobra`).
+
+:func:`load_history` / :func:`save_history` dispatch on a format name or on
+the file extension.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional
+
+from repro.core.exceptions import ParseError, UsageError
+from repro.core.model import History
+from repro.histories.formats import cobra, dbcop, native, plume_text
+
+__all__ = ["load_history", "save_history", "FORMATS", "detect_format"]
+
+FORMATS: Dict[str, object] = {
+    "native": native,
+    "json": native,
+    "plume": plume_text,
+    "dbcop": dbcop,
+    "cobra": cobra,
+}
+
+_EXTENSIONS = {
+    ".json": "native",
+    ".plume": "plume",
+    ".txt": "plume",
+    ".dbcop": "dbcop",
+    ".cobra": "cobra",
+    ".csv": "cobra",
+}
+
+
+def detect_format(path: str) -> str:
+    """Guess the format name from a file extension."""
+    _, ext = os.path.splitext(path)
+    if ext.lower() in _EXTENSIONS:
+        return _EXTENSIONS[ext.lower()]
+    raise UsageError(f"cannot detect history format from extension {ext!r}")
+
+
+def _module_for(fmt: Optional[str], path: str):
+    name = fmt or detect_format(path)
+    if name not in FORMATS:
+        raise UsageError(f"unknown history format {name!r}; known: {sorted(FORMATS)}")
+    return FORMATS[name]
+
+
+def load_history(path: str, fmt: Optional[str] = None) -> History:
+    """Load a history from ``path`` in the given (or detected) format."""
+    module = _module_for(fmt, path)
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return module.loads(text)  # type: ignore[attr-defined]
+
+
+def save_history(history: History, path: str, fmt: Optional[str] = None) -> None:
+    """Save a history to ``path`` in the given (or detected) format."""
+    module = _module_for(fmt, path)
+    text = module.dumps(history)  # type: ignore[attr-defined]
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

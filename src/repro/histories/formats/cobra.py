@@ -1,0 +1,89 @@
+"""A CSV-like operation-per-line format in the style of Cobra's logs.
+
+Each line records one operation::
+
+    session,txn_index,op,key,value,committed
+    0,0,W,x,1,1
+    0,0,W,y,1,1
+    1,0,R,x,1,1
+
+``txn_index`` is the transaction's position within its session; consecutive
+lines with the same ``(session, txn_index)`` pair belong to the same
+transaction, in program order.  ``committed`` is ``1`` or ``0`` and must be
+consistent across the lines of one transaction.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, List, Tuple
+
+from repro.core.exceptions import ParseError
+from repro.core.model import History, Operation, OpKind, Transaction
+
+__all__ = ["dumps", "loads"]
+
+_HEADER = ["session", "txn_index", "op", "key", "value", "committed"]
+
+
+def dumps(history: History) -> str:
+    """Serialize ``history`` to the CSV-like Cobra-style format."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(_HEADER)
+    for sid, session in enumerate(history.sessions):
+        for index, tid in enumerate(session):
+            txn = history.transactions[tid]
+            for op in txn.operations:
+                writer.writerow(
+                    [sid, index, op.kind.value, op.key, op.value, int(txn.committed)]
+                )
+    return buffer.getvalue()
+
+
+def loads(text: str) -> History:
+    """Parse a history from the CSV-like Cobra-style format."""
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row]
+    if not rows:
+        raise ParseError("empty cobra-style history")
+    if [cell.strip() for cell in rows[0]] == _HEADER:
+        rows = rows[1:]
+    transactions: Dict[Tuple[int, int], List[Operation]] = {}
+    committed: Dict[Tuple[int, int], bool] = {}
+    for line_number, row in enumerate(rows, start=2):
+        if len(row) != 6:
+            raise ParseError(f"line {line_number}: expected 6 columns, got {len(row)}")
+        try:
+            sid = int(row[0])
+            txn_index = int(row[1])
+        except ValueError as exc:
+            raise ParseError(f"line {line_number}: bad session/txn index") from exc
+        kind = row[2].strip()
+        if kind not in ("R", "W"):
+            raise ParseError(f"line {line_number}: op must be R or W, got {kind!r}")
+        key = row[3]
+        raw_value = row[4]
+        try:
+            value: object = int(raw_value)
+        except ValueError:
+            value = raw_value
+        is_committed = row[5].strip() not in ("0", "false", "False")
+        ident = (sid, txn_index)
+        transactions.setdefault(ident, []).append(Operation(OpKind(kind), key, value))
+        previous = committed.setdefault(ident, is_committed)
+        if previous != is_committed:
+            raise ParseError(
+                f"line {line_number}: inconsistent committed flag for transaction {ident}"
+            )
+    num_sessions = max(sid for sid, _ in transactions) + 1
+    sessions: List[List[Transaction]] = [[] for _ in range(num_sessions)]
+    for sid in range(num_sessions):
+        indices = sorted(idx for s, idx in transactions if s == sid)
+        for idx in indices:
+            ident = (sid, idx)
+            sessions[sid].append(
+                Transaction(transactions[ident], committed=committed[ident])
+            )
+    return History.from_sessions(sessions)

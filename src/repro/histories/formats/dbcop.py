@@ -1,0 +1,79 @@
+"""A nested-JSON history format in the style of DBCop's histories.
+
+DBCop stores a history as a list of sessions, each a list of transactions,
+each a list of events with ``write``/``variable``/``value``/``success``
+fields.  This module follows that shape::
+
+    {
+      "id": 0,
+      "sessions": [
+        [
+          {"events": [{"write": true, "variable": "x", "value": 1, "success": true}],
+           "success": true},
+          ...
+        ]
+      ]
+    }
+
+``success`` on a transaction maps to committed/aborted; ``success`` on an
+event is retained for compatibility but events with ``success: false`` are
+dropped on load (they never reached the database).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.core.exceptions import ParseError
+from repro.core.model import History, Operation, OpKind, Transaction
+
+__all__ = ["dumps", "loads"]
+
+
+def dumps(history: History) -> str:
+    """Serialize ``history`` to DBCop-style JSON."""
+    sessions: List[List[Dict[str, Any]]] = []
+    for session in history.sessions:
+        rendered: List[Dict[str, Any]] = []
+        for tid in session:
+            txn = history.transactions[tid]
+            events = [
+                {
+                    "write": op.is_write,
+                    "variable": op.key,
+                    "value": op.value,
+                    "success": True,
+                }
+                for op in txn.operations
+            ]
+            rendered.append({"events": events, "success": txn.committed})
+        sessions.append(rendered)
+    return json.dumps({"id": 0, "sessions": sessions}, indent=2)
+
+
+def loads(text: str) -> History:
+    """Parse a DBCop-style JSON history."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON: {exc}") from exc
+    sessions_doc = document.get("sessions") if isinstance(document, dict) else None
+    if not isinstance(sessions_doc, list):
+        raise ParseError("expected an object with a 'sessions' list")
+    sessions: List[List[Transaction]] = []
+    for session_doc in sessions_doc:
+        session: List[Transaction] = []
+        for txn_doc in session_doc:
+            events = txn_doc.get("events", [])
+            operations: List[Operation] = []
+            for event in events:
+                if not event.get("success", True):
+                    continue
+                kind = OpKind.WRITE if event.get("write") else OpKind.READ
+                operations.append(Operation(kind, event["variable"], event["value"]))
+            session.append(
+                Transaction(operations, committed=bool(txn_doc.get("success", True)))
+            )
+        sessions.append(session)
+    return History.from_sessions(sessions)

@@ -1,0 +1,97 @@
+"""The native JSON history format.
+
+A history is a JSON object::
+
+    {
+      "format": "awdit-native",
+      "version": 1,
+      "sessions": [
+        [
+          {"label": "t1", "committed": true,
+           "ops": [["W", "x", 1], ["R", "y", 2]]},
+          ...
+        ],
+        ...
+      ]
+    }
+
+The write-read relation is not stored: it is re-inferred from the
+unique-writes convention on load, exactly as the black-box testing setting of
+the paper assumes.  Values may be any JSON scalar.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.core.exceptions import ParseError
+from repro.core.model import History, Operation, OpKind, Transaction
+
+__all__ = ["dumps", "loads"]
+
+FORMAT_NAME = "awdit-native"
+FORMAT_VERSION = 1
+
+
+def dumps(history: History) -> str:
+    """Serialize ``history`` to a JSON string."""
+    sessions: List[List[Dict[str, Any]]] = []
+    for session in history.sessions:
+        rendered: List[Dict[str, Any]] = []
+        for tid in session:
+            txn = history.transactions[tid]
+            rendered.append(
+                {
+                    "label": txn.label,
+                    "committed": txn.committed,
+                    "ops": [[op.kind.value, op.key, op.value] for op in txn.operations],
+                }
+            )
+        sessions.append(rendered)
+    document = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "sessions": sessions,
+    }
+    return json.dumps(document, indent=2)
+
+
+def loads(text: str) -> History:
+    """Parse a history from a JSON string produced by :func:`dumps`."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ParseError("expected a JSON object with a 'sessions' field")
+    if document.get("format") not in (None, FORMAT_NAME):
+        raise ParseError(f"unexpected format marker {document.get('format')!r}")
+    sessions_doc = document.get("sessions")
+    if not isinstance(sessions_doc, list):
+        raise ParseError("'sessions' must be a list of sessions")
+    sessions: List[List[Transaction]] = []
+    for session_doc in sessions_doc:
+        if not isinstance(session_doc, list):
+            raise ParseError("each session must be a list of transactions")
+        session: List[Transaction] = []
+        for txn_doc in session_doc:
+            if not isinstance(txn_doc, dict) or "ops" not in txn_doc:
+                raise ParseError("each transaction must be an object with an 'ops' field")
+            operations = []
+            for op_doc in txn_doc["ops"]:
+                if not (isinstance(op_doc, list) and len(op_doc) == 3):
+                    raise ParseError(f"malformed operation {op_doc!r}")
+                kind, key, value = op_doc
+                if kind not in ("R", "W"):
+                    raise ParseError(f"operation kind must be 'R' or 'W', got {kind!r}")
+                operations.append(Operation(OpKind(kind), key, value))
+            session.append(
+                Transaction(
+                    operations,
+                    committed=bool(txn_doc.get("committed", True)),
+                    label=txn_doc.get("label"),
+                )
+            )
+        sessions.append(session)
+    return History.from_sessions(sessions)

@@ -1,0 +1,87 @@
+"""A line-oriented text format in the style of Plume's history files.
+
+One transaction per line::
+
+    # comments and blank lines are ignored
+    session=0 txn=t1 committed ops= W(x,1) W(y,1)
+    session=1 txn=t2 committed ops= R(x,1) W(x,2)
+    session=1 txn=t3 aborted   ops= W(z,9)
+
+Transactions appear in session order within each session (lines of the same
+session are taken in file order).  Values are parsed as integers when
+possible and kept as strings otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.core.exceptions import ParseError
+from repro.core.model import History, Operation, OpKind, Transaction
+
+__all__ = ["dumps", "loads"]
+
+_OP_PATTERN = re.compile(r"([RW])\(([^,()]+),([^()]*)\)")
+_LINE_PATTERN = re.compile(
+    r"session=(\d+)\s+txn=(\S+)\s+(committed|aborted)\s+ops=\s*(.*)"
+)
+
+
+def _render_value(value: object) -> str:
+    return str(value)
+
+
+def _parse_value(text: str) -> object:
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def dumps(history: History) -> str:
+    """Serialize ``history`` to the line-oriented text format."""
+    lines = ["# AWDIT reproduction history (plume-style text format)"]
+    for sid, session in enumerate(history.sessions):
+        for tid in session:
+            txn = history.transactions[tid]
+            ops = " ".join(
+                f"{op.kind.value}({op.key},{_render_value(op.value)})"
+                for op in txn.operations
+            )
+            status = "committed" if txn.committed else "aborted"
+            label = txn.label if txn.label is not None else f"t{tid}"
+            lines.append(f"session={sid} txn={label} {status} ops= {ops}")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> History:
+    """Parse a history from the line-oriented text format."""
+    sessions: Dict[int, List[Transaction]] = {}
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _LINE_PATTERN.match(line)
+        if match is None:
+            raise ParseError(f"line {line_number}: cannot parse {line!r}")
+        sid = int(match.group(1))
+        label = match.group(2)
+        committed = match.group(3) == "committed"
+        ops_text = match.group(4)
+        operations: List[Operation] = []
+        consumed = 0
+        for op_match in _OP_PATTERN.finditer(ops_text):
+            kind, key, value = op_match.groups()
+            operations.append(Operation(OpKind(kind), key.strip(), _parse_value(value)))
+            consumed += 1
+        if ops_text.strip() and consumed == 0:
+            raise ParseError(f"line {line_number}: no operations parsed from {ops_text!r}")
+        sessions.setdefault(sid, []).append(
+            Transaction(operations, committed=committed, label=label)
+        )
+    if not sessions:
+        raise ParseError("history file contains no transactions")
+    ordered = [sessions[sid] for sid in sorted(sessions)]
+    return History.from_sessions(ordered)

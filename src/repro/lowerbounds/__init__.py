@@ -1,0 +1,31 @@
+"""The fine-grained lower-bound reductions of Section 4.
+
+The paper proves that testing any isolation level between RC and CC requires
+(combinatorially) ``n^{3/2}`` time by reducing *triangle freeness* of an
+undirected graph to consistency of a constructed history.  This package
+implements both sides of the reduction so the correspondence can be tested
+and demonstrated:
+
+* :mod:`repro.lowerbounds.triangles` -- undirected graphs, random graph
+  generation, and triangle detection.
+* :mod:`repro.lowerbounds.reductions` -- the three history constructions:
+  the general construction of Section 4.1 (one session per transaction), the
+  two-session construction for RA (Section 4.2, Fig. 6), and the one-session
+  construction for RC (Section 4.2).
+"""
+
+from repro.lowerbounds.triangles import UndirectedGraph, find_triangle, has_triangle
+from repro.lowerbounds.reductions import (
+    general_reduction,
+    ra_two_session_reduction,
+    rc_single_session_reduction,
+)
+
+__all__ = [
+    "UndirectedGraph",
+    "has_triangle",
+    "find_triangle",
+    "general_reduction",
+    "ra_two_session_reduction",
+    "rc_single_session_reduction",
+]

@@ -1,0 +1,114 @@
+"""Triangle-freeness to consistency reductions (Section 4).
+
+Given an undirected graph ``G``, each construction builds a history ``H``
+such that ``H`` is consistent iff ``G`` is triangle-free:
+
+* :func:`general_reduction` (Section 4.1, Fig. 5) -- one read transaction
+  and one write transaction per node, each in its own session; a *range*
+  reduction valid for every isolation level between RC and CC
+  (triangle-free ⇒ CC-consistent, RC-consistent ⇒ triangle-free).
+* :func:`ra_two_session_reduction` (Section 4.2, Fig. 6) -- all write
+  transactions in one session and all read transactions in another;
+  ``H`` satisfies RA iff ``G`` is triangle-free.
+* :func:`rc_single_session_reduction` (Section 4.2) -- the transactions of
+  the general reduction placed in a single session (writes first, then
+  reads); ``H`` satisfies RC iff ``G`` is triangle-free.
+
+Key naming: the per-node key ``x_a`` is rendered ``"x{a}"`` and the per-edge
+key ``x_b^a`` (written by ``a``'s write transaction and read by ``b``'s read
+transaction ... indexed as in the paper) is rendered ``"x{b}^{a}"``.  Every
+write carries its node id as value, so the write-read relation is recovered
+from the unique-writes convention.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.model import History, Transaction, read, write
+from repro.lowerbounds.triangles import UndirectedGraph
+
+__all__ = [
+    "general_reduction",
+    "ra_two_session_reduction",
+    "rc_single_session_reduction",
+]
+
+
+def _node_key(node: int) -> str:
+    """The per-node key ``x_a``."""
+    return f"x{node}"
+
+
+def _edge_key(owner: int, superscript: int) -> str:
+    """The per-edge key ``x_owner^superscript`` of the paper's construction."""
+    return f"x{owner}^{superscript}"
+
+
+def _write_transaction(graph: UndirectedGraph, node: int) -> Transaction:
+    """``t^W_a``: writes ``x_b`` and ``x_b^a`` for every neighbour ``b``, plus ``x_a``."""
+    operations = []
+    for neighbour in sorted(graph.neighbours(node)):
+        operations.append(write(_node_key(neighbour), node))
+        operations.append(write(_edge_key(neighbour, node), node))
+    operations.append(write(_node_key(node), node))
+    return Transaction(operations, label=f"tW{node}")
+
+
+def _read_transaction(graph: UndirectedGraph, node: int) -> Transaction:
+    """``t^R_a``: reads ``x_a^b`` (value ``b``) then ``x_b`` (value ``b``) per neighbour ``b``."""
+    operations = []
+    neighbours = sorted(graph.neighbours(node))
+    for neighbour in neighbours:
+        operations.append(read(_edge_key(node, neighbour), neighbour))
+    for neighbour in neighbours:
+        operations.append(read(_node_key(neighbour), neighbour))
+    return Transaction(operations, label=f"tR{node}")
+
+
+def general_reduction(graph: UndirectedGraph) -> History:
+    """The Section 4.1 construction: every transaction in its own session."""
+    sessions: List[List[Transaction]] = []
+    for node in range(graph.num_vertices):
+        sessions.append([_write_transaction(graph, node)])
+    for node in range(graph.num_vertices):
+        sessions.append([_read_transaction(graph, node)])
+    return History.from_sessions(sessions)
+
+
+def _simple_write_transaction(graph: UndirectedGraph, node: int) -> Transaction:
+    """``t^W_a`` of the RA reduction: writes ``x_b`` per neighbour plus ``x_a``."""
+    operations = []
+    for neighbour in sorted(graph.neighbours(node)):
+        operations.append(write(_node_key(neighbour), node))
+    operations.append(write(_node_key(node), node))
+    return Transaction(operations, label=f"tW{node}")
+
+
+def _simple_read_transaction(graph: UndirectedGraph, node: int) -> Transaction:
+    """``t^R_a`` of the RA reduction: reads ``x_b`` (value ``b``) per neighbour ``b``."""
+    operations = []
+    for neighbour in sorted(graph.neighbours(node)):
+        operations.append(read(_node_key(neighbour), neighbour))
+    return Transaction(operations, label=f"tR{node}")
+
+
+def ra_two_session_reduction(graph: UndirectedGraph) -> History:
+    """The Section 4.2 construction for RA: one write session and one read session."""
+    write_session = [
+        _simple_write_transaction(graph, node) for node in range(graph.num_vertices)
+    ]
+    read_session = [
+        _simple_read_transaction(graph, node) for node in range(graph.num_vertices)
+    ]
+    return History.from_sessions([write_session, read_session])
+
+
+def rc_single_session_reduction(graph: UndirectedGraph) -> History:
+    """The Section 4.2 construction for RC: all transactions in one session."""
+    session: List[Transaction] = []
+    for node in range(graph.num_vertices):
+        session.append(_write_transaction(graph, node))
+    for node in range(graph.num_vertices):
+        session.append(_read_transaction(graph, node))
+    return History.from_sessions([session])

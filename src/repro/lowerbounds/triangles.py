@@ -1,0 +1,107 @@
+"""Undirected graphs and triangle detection.
+
+Triangle freeness is the source problem of the paper's lower-bound
+reductions: it is solvable in cubic time combinatorially and is BMM-hard, so
+a sub-``n^{3/2}`` isolation tester would give a sub-cubic combinatorial
+triangle algorithm.  The module provides a small undirected-graph type,
+Erdős–Rényi-style random graph generation (with an option to plant or forbid
+triangles), and two triangle detectors used to validate the reductions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["UndirectedGraph", "has_triangle", "find_triangle", "random_graph"]
+
+
+class UndirectedGraph:
+    """A simple undirected graph over vertices ``0..n-1``."""
+
+    def __init__(self, num_vertices: int, edges: Iterable[Tuple[int, int]] = ()) -> None:
+        self.num_vertices = num_vertices
+        self.adjacency: List[Set[int]] = [set() for _ in range(num_vertices)]
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the undirected edge ``{u, v}`` (self-loops are rejected)."""
+        if u == v:
+            raise ValueError("self-loops are not allowed in an undirected graph")
+        if not (0 <= u < self.num_vertices and 0 <= v < self.num_vertices):
+            raise ValueError("vertex out of range")
+        self.adjacency[u].add(v)
+        self.adjacency[v].add(u)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when ``{u, v}`` is an edge."""
+        return v in self.adjacency[u]
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All edges as ``(u, v)`` pairs with ``u < v``."""
+        result: List[Tuple[int, int]] = []
+        for u in range(self.num_vertices):
+            for v in self.adjacency[u]:
+                if u < v:
+                    result.append((u, v))
+        return result
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (undirected) edges."""
+        return sum(len(neighbours) for neighbours in self.adjacency) // 2
+
+    def neighbours(self, u: int) -> Set[int]:
+        """The neighbour set of ``u``."""
+        return self.adjacency[u]
+
+    def __repr__(self) -> str:
+        return f"<UndirectedGraph n={self.num_vertices} m={self.num_edges}>"
+
+
+def find_triangle(graph: UndirectedGraph) -> Optional[Tuple[int, int, int]]:
+    """Return some triangle ``(a, b, c)`` of ``graph``, or ``None`` if triangle-free.
+
+    Enumerates edges and intersects neighbour sets -- the standard
+    combinatorial approach.
+    """
+    for u, v in graph.edges():
+        smaller, larger = (
+            (graph.adjacency[u], graph.adjacency[v])
+            if len(graph.adjacency[u]) <= len(graph.adjacency[v])
+            else (graph.adjacency[v], graph.adjacency[u])
+        )
+        for w in smaller:
+            if w != u and w != v and w in larger:
+                return (u, v, w)
+    return None
+
+
+def has_triangle(graph: UndirectedGraph) -> bool:
+    """True when ``graph`` contains a triangle."""
+    return find_triangle(graph) is not None
+
+
+def random_graph(
+    num_vertices: int,
+    edge_probability: float,
+    seed: Optional[int] = None,
+    triangle_free: bool = False,
+) -> UndirectedGraph:
+    """An Erdős–Rényi random graph; optionally kept triangle-free.
+
+    With ``triangle_free=True`` each candidate edge is added only if it does
+    not close a triangle, producing (maximal-ish) triangle-free instances for
+    the reduction tests.
+    """
+    rng = random.Random(seed)
+    graph = UndirectedGraph(num_vertices)
+    for u, v in itertools.combinations(range(num_vertices), 2):
+        if rng.random() >= edge_probability:
+            continue
+        if triangle_free and graph.adjacency[u] & graph.adjacency[v]:
+            continue
+        graph.add_edge(u, v)
+    return graph

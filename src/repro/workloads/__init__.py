@@ -1,0 +1,55 @@
+"""Workload generators driving the simulated database.
+
+The paper's evaluation collects histories from three benchmarks -- TPC-C,
+C-Twitter (from the Cobra framework), and RUBiS -- plus a custom benchmark
+with scalable transaction sizes for the Fig. 9 (right) experiment.  This
+package provides workload generators with the same flavour:
+
+* :class:`TPCCWorkload` -- an OLTP mix of new-order / payment / order-status /
+  delivery / stock-level transactions over warehouses, districts, customers
+  and stock.
+* :class:`CTwitterWorkload` -- tweets, follows, and timeline reads over a
+  synthetic social graph (~7-8 operations per transaction on average, as the
+  paper reports for C-Twitter).
+* :class:`RUBiSWorkload` -- an auction-site mix of bids, buy-nows, comments,
+  and browsing.
+* :class:`ScalableTransactionWorkload` -- a uniform read/write mix whose
+  transaction size is a parameter (the paper's custom benchmark).
+
+:func:`run_workload` drives any of them against a
+:class:`~repro.db.database.SimulatedDatabase` and returns the recorded
+history; :func:`collect_history` is the one-call convenience wrapper used by
+benchmarks.
+"""
+
+from repro.workloads.base import Workload, WorkloadRunConfig, collect_history, run_workload
+from repro.workloads.ctwitter import CTwitterWorkload
+from repro.workloads.custom import ScalableTransactionWorkload
+from repro.workloads.rubis import RUBiSWorkload
+from repro.workloads.tpcc import TPCCWorkload
+
+__all__ = [
+    "Workload",
+    "WorkloadRunConfig",
+    "run_workload",
+    "collect_history",
+    "TPCCWorkload",
+    "CTwitterWorkload",
+    "RUBiSWorkload",
+    "ScalableTransactionWorkload",
+    "workload_by_name",
+]
+
+
+def workload_by_name(name: str, **kwargs) -> Workload:
+    """Instantiate a workload from its short name (``tpcc``, ``ctwitter``, ``rubis``, ``custom``)."""
+    normalized = name.strip().lower().replace("-", "").replace("_", "")
+    if normalized in ("tpcc", "tpc"):
+        return TPCCWorkload(**kwargs)
+    if normalized in ("ctwitter", "twitter"):
+        return CTwitterWorkload(**kwargs)
+    if normalized in ("rubis", "auction"):
+        return RUBiSWorkload(**kwargs)
+    if normalized in ("custom", "scalable"):
+        return ScalableTransactionWorkload(**kwargs)
+    raise ValueError(f"unknown workload {name!r}")

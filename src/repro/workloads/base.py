@@ -1,0 +1,94 @@
+"""Workload abstraction and runner.
+
+A :class:`Workload` knows two things: the key space it needs initialized, and
+how to issue the operations of one client transaction.  The
+:func:`run_workload` driver opens the requested number of sessions on a
+simulated database, initializes the key space, and then executes transactions
+round-robin-ish across sessions (with a seeded random session choice, the way
+history-collection frameworks multiplex client threads), returning the
+recorded history.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.model import History
+from repro.db.config import DatabaseConfig
+from repro.db.database import ClientTransaction, SimulatedDatabase
+
+__all__ = ["Workload", "WorkloadRunConfig", "run_workload", "collect_history"]
+
+
+class Workload(abc.ABC):
+    """Base class for workload generators."""
+
+    #: Short name used by the CLI and the benchmark harness.
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def initial_keys(self) -> List[str]:
+        """The keys that must exist before the measured run starts."""
+
+    @abc.abstractmethod
+    def run_transaction(
+        self, txn: ClientTransaction, rng: random.Random, session_id: int, index: int
+    ) -> None:
+        """Issue the reads and writes of one client transaction."""
+
+    def describe(self) -> str:
+        """Human-readable workload description."""
+        return f"{self.name} workload over {len(self.initial_keys())} keys"
+
+
+@dataclass
+class WorkloadRunConfig:
+    """Parameters of one history-collection run."""
+
+    num_sessions: int = 50
+    num_transactions: int = 1000
+    seed: Optional[int] = None
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on nonsensical settings."""
+        if self.num_sessions <= 0:
+            raise ValueError("num_sessions must be positive")
+        if self.num_transactions < 0:
+            raise ValueError("num_transactions must be non-negative")
+
+
+def run_workload(
+    workload: Workload,
+    database: SimulatedDatabase,
+    config: WorkloadRunConfig,
+) -> History:
+    """Run ``workload`` against ``database`` and return the recorded history."""
+    config.validate()
+    rng = random.Random(config.seed)
+    sessions = database.sessions(config.num_sessions)
+    database.initialize(workload.initial_keys(), session=sessions[0])
+    for index in range(config.num_transactions):
+        session = sessions[rng.randrange(config.num_sessions)]
+        txn = session.begin()
+        workload.run_transaction(txn, rng, session.session_id, index)
+        if not txn._finished:
+            txn.commit()
+    return database.history()
+
+
+def collect_history(
+    workload: Workload,
+    db_config: DatabaseConfig,
+    num_sessions: int,
+    num_transactions: int,
+    seed: Optional[int] = None,
+) -> History:
+    """Convenience wrapper: build a database, run the workload, return the history."""
+    database = SimulatedDatabase(db_config)
+    run_config = WorkloadRunConfig(
+        num_sessions=num_sessions, num_transactions=num_transactions, seed=seed
+    )
+    return run_workload(workload, database, run_config)

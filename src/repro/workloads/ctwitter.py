@@ -1,0 +1,96 @@
+"""A C-Twitter-like social-network workload.
+
+C-Twitter (from the Cobra framework) simulates Twitter-style real-time
+operations: posting tweets, following users, and reading timelines.  In the
+paper's experiments this workload averages about 7.6 operations per
+transaction; this generator matches that shape with a mix of:
+
+* ``tweet`` -- append a tweet to the author's wall and bump their tweet
+  counter,
+* ``follow`` / ``unfollow`` -- update the follower edge key of a pair of
+  users,
+* ``timeline`` -- read the walls of a handful of followed users,
+* ``profile`` -- read a user's counters.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.db.database import ClientTransaction
+from repro.workloads.base import Workload
+
+__all__ = ["CTwitterWorkload"]
+
+
+class CTwitterWorkload(Workload):
+    """Tweets, follows, and timeline reads over a synthetic user base."""
+
+    name = "ctwitter"
+
+    def __init__(self, num_users: int = 50, timeline_fanout: int = 6) -> None:
+        self.num_users = num_users
+        self.timeline_fanout = timeline_fanout
+
+    # -- key naming ----------------------------------------------------------------
+
+    def _wall(self, user: int) -> str:
+        return f"user{user}:wall"
+
+    def _tweet_count(self, user: int) -> str:
+        return f"user{user}:tweets"
+
+    def _followers(self, user: int) -> str:
+        return f"user{user}:followers"
+
+    def _follows(self, follower: int, followee: int) -> str:
+        return f"follows:{follower}->{followee}"
+
+    def initial_keys(self) -> List[str]:
+        keys: List[str] = []
+        for user in range(self.num_users):
+            keys.append(self._wall(user))
+            keys.append(self._tweet_count(user))
+            keys.append(self._followers(user))
+        return keys
+
+    # -- transaction programs --------------------------------------------------------
+
+    def run_transaction(
+        self, txn: ClientTransaction, rng: random.Random, session_id: int, index: int
+    ) -> None:
+        choice = rng.random()
+        if choice < 0.35:
+            self._tweet(txn, rng)
+        elif choice < 0.55:
+            self._follow(txn, rng)
+        elif choice < 0.90:
+            self._timeline(txn, rng)
+        else:
+            self._profile(txn, rng)
+
+    def _tweet(self, txn: ClientTransaction, rng: random.Random) -> None:
+        user = rng.randrange(self.num_users)
+        txn.read(self._tweet_count(user))
+        txn.write(self._tweet_count(user))
+        txn.write(self._wall(user))
+
+    def _follow(self, txn: ClientTransaction, rng: random.Random) -> None:
+        follower = rng.randrange(self.num_users)
+        followee = rng.randrange(self.num_users)
+        txn.read(self._followers(followee))
+        txn.write(self._followers(followee))
+        txn.write(self._follows(follower, followee))
+
+    def _timeline(self, txn: ClientTransaction, rng: random.Random) -> None:
+        fanout = rng.randint(2, self.timeline_fanout + 4)
+        for _ in range(fanout):
+            user = rng.randrange(self.num_users)
+            txn.read(self._wall(user))
+
+    def _profile(self, txn: ClientTransaction, rng: random.Random) -> None:
+        user = rng.randrange(self.num_users)
+        txn.read(self._tweet_count(user))
+        txn.read(self._followers(user))
+        txn.read(self._wall(user))

@@ -1,0 +1,121 @@
+"""A RUBiS-like auction-site workload.
+
+RUBiS models an eBay-style auction site: users browse items, place bids, buy
+items outright, and leave comments on sellers.  The generator follows the
+read-heavy browsing mix of the original benchmark with a smaller fraction of
+write transactions:
+
+* ``view_item`` -- read an item's price, bid count, and seller rating,
+* ``place_bid`` -- read the current price and bid count, then update both,
+* ``buy_now`` -- read and clear an item's availability, update the buyer's
+  purchase count,
+* ``comment`` -- update the seller's rating and comment count,
+* ``browse`` -- read the prices of several items in one category.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.db.database import ClientTransaction
+from repro.workloads.base import Workload
+
+__all__ = ["RUBiSWorkload"]
+
+
+class RUBiSWorkload(Workload):
+    """Auction-site transactions over items, users, and categories."""
+
+    name = "rubis"
+
+    def __init__(
+        self, num_users: int = 40, num_items: int = 120, num_categories: int = 8
+    ) -> None:
+        self.num_users = num_users
+        self.num_items = num_items
+        self.num_categories = num_categories
+
+    # -- key naming ----------------------------------------------------------------
+
+    def _price(self, item: int) -> str:
+        return f"item{item}:price"
+
+    def _bids(self, item: int) -> str:
+        return f"item{item}:bids"
+
+    def _available(self, item: int) -> str:
+        return f"item{item}:available"
+
+    def _rating(self, user: int) -> str:
+        return f"user{user}:rating"
+
+    def _purchases(self, user: int) -> str:
+        return f"user{user}:purchases"
+
+    def _comments(self, user: int) -> str:
+        return f"user{user}:comments"
+
+    def initial_keys(self) -> List[str]:
+        keys: List[str] = []
+        for item in range(self.num_items):
+            keys.extend([self._price(item), self._bids(item), self._available(item)])
+        for user in range(self.num_users):
+            keys.extend([self._rating(user), self._purchases(user), self._comments(user)])
+        return keys
+
+    def _category_items(self, category: int) -> List[int]:
+        return [i for i in range(self.num_items) if i % self.num_categories == category]
+
+    # -- transaction programs --------------------------------------------------------
+
+    def run_transaction(
+        self, txn: ClientTransaction, rng: random.Random, session_id: int, index: int
+    ) -> None:
+        choice = rng.random()
+        if choice < 0.35:
+            self._view_item(txn, rng)
+        elif choice < 0.60:
+            self._place_bid(txn, rng)
+        elif choice < 0.70:
+            self._buy_now(txn, rng)
+        elif choice < 0.80:
+            self._comment(txn, rng)
+        else:
+            self._browse(txn, rng)
+
+    def _view_item(self, txn: ClientTransaction, rng: random.Random) -> None:
+        item = rng.randrange(self.num_items)
+        seller = item % self.num_users
+        txn.read(self._price(item))
+        txn.read(self._bids(item))
+        txn.read(self._rating(seller))
+
+    def _place_bid(self, txn: ClientTransaction, rng: random.Random) -> None:
+        item = rng.randrange(self.num_items)
+        txn.read(self._price(item))
+        txn.read(self._bids(item))
+        txn.write(self._price(item))
+        txn.write(self._bids(item))
+
+    def _buy_now(self, txn: ClientTransaction, rng: random.Random) -> None:
+        item = rng.randrange(self.num_items)
+        buyer = rng.randrange(self.num_users)
+        txn.read(self._available(item))
+        txn.write(self._available(item))
+        txn.read(self._purchases(buyer))
+        txn.write(self._purchases(buyer))
+
+    def _comment(self, txn: ClientTransaction, rng: random.Random) -> None:
+        seller = rng.randrange(self.num_users)
+        txn.read(self._rating(seller))
+        txn.write(self._rating(seller))
+        txn.read(self._comments(seller))
+        txn.write(self._comments(seller))
+
+    def _browse(self, txn: ClientTransaction, rng: random.Random) -> None:
+        category = rng.randrange(self.num_categories)
+        items = self._category_items(category)
+        rng.shuffle(items)
+        for item in items[: rng.randint(3, 8)]:
+            txn.read(self._price(item))

@@ -1,0 +1,137 @@
+"""A TPC-C-like OLTP workload.
+
+TPC-C models an order-entry system over warehouses, districts, customers,
+stock, and orders.  This generator reproduces the standard transaction mix
+(new-order 45%, payment 43%, order-status 4%, delivery 4%, stock-level 4%)
+and the key-access shape of each transaction type at key-value granularity:
+each relational row the benchmark touches becomes one key, and each
+SELECT/UPDATE becomes a read or a read-modify-write of that key.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.db.database import ClientTransaction
+from repro.workloads.base import Workload
+
+__all__ = ["TPCCWorkload"]
+
+
+class TPCCWorkload(Workload):
+    """TPC-C-like transaction mix over a warehouse/district/customer key space."""
+
+    name = "tpcc"
+
+    def __init__(
+        self,
+        num_warehouses: int = 2,
+        districts_per_warehouse: int = 10,
+        customers_per_district: int = 30,
+        num_items: int = 100,
+        max_order_lines: int = 10,
+    ) -> None:
+        self.num_warehouses = num_warehouses
+        self.districts_per_warehouse = districts_per_warehouse
+        self.customers_per_district = customers_per_district
+        self.num_items = num_items
+        self.max_order_lines = max_order_lines
+
+    # -- key naming ----------------------------------------------------------------
+
+    def _warehouse(self, w: int) -> str:
+        return f"w{w}:ytd"
+
+    def _district(self, w: int, d: int) -> str:
+        return f"w{w}:d{d}:ytd"
+
+    def _district_next_oid(self, w: int, d: int) -> str:
+        return f"w{w}:d{d}:next_oid"
+
+    def _customer(self, w: int, d: int, c: int) -> str:
+        return f"w{w}:d{d}:c{c}:balance"
+
+    def _stock(self, w: int, i: int) -> str:
+        return f"w{w}:s{i}:qty"
+
+    def _last_order(self, w: int, d: int) -> str:
+        return f"w{w}:d{d}:last_order"
+
+    def initial_keys(self) -> List[str]:
+        keys: List[str] = []
+        for w in range(self.num_warehouses):
+            keys.append(self._warehouse(w))
+            for d in range(self.districts_per_warehouse):
+                keys.append(self._district(w, d))
+                keys.append(self._district_next_oid(w, d))
+                keys.append(self._last_order(w, d))
+                for c in range(self.customers_per_district):
+                    keys.append(self._customer(w, d, c))
+            for i in range(self.num_items):
+                keys.append(self._stock(w, i))
+        return keys
+
+    # -- transaction programs --------------------------------------------------------
+
+    def run_transaction(
+        self, txn: ClientTransaction, rng: random.Random, session_id: int, index: int
+    ) -> None:
+        choice = rng.random()
+        if choice < 0.45:
+            self._new_order(txn, rng)
+        elif choice < 0.88:
+            self._payment(txn, rng)
+        elif choice < 0.92:
+            self._order_status(txn, rng)
+        elif choice < 0.96:
+            self._delivery(txn, rng)
+        else:
+            self._stock_level(txn, rng)
+
+    def _pick_warehouse_district(self, rng: random.Random):
+        w = rng.randrange(self.num_warehouses)
+        d = rng.randrange(self.districts_per_warehouse)
+        return w, d
+
+    def _new_order(self, txn: ClientTransaction, rng: random.Random) -> None:
+        w, d = self._pick_warehouse_district(rng)
+        txn.read(self._district_next_oid(w, d))
+        txn.write(self._district_next_oid(w, d))
+        lines = rng.randint(1, self.max_order_lines)
+        for _ in range(lines):
+            item = rng.randrange(self.num_items)
+            txn.read(self._stock(w, item))
+            txn.write(self._stock(w, item))
+        txn.write(self._last_order(w, d))
+
+    def _payment(self, txn: ClientTransaction, rng: random.Random) -> None:
+        w, d = self._pick_warehouse_district(rng)
+        c = rng.randrange(self.customers_per_district)
+        txn.read(self._warehouse(w))
+        txn.write(self._warehouse(w))
+        txn.read(self._district(w, d))
+        txn.write(self._district(w, d))
+        txn.read(self._customer(w, d, c))
+        txn.write(self._customer(w, d, c))
+
+    def _order_status(self, txn: ClientTransaction, rng: random.Random) -> None:
+        w, d = self._pick_warehouse_district(rng)
+        c = rng.randrange(self.customers_per_district)
+        txn.read(self._customer(w, d, c))
+        txn.read(self._last_order(w, d))
+
+    def _delivery(self, txn: ClientTransaction, rng: random.Random) -> None:
+        w, d = self._pick_warehouse_district(rng)
+        c = rng.randrange(self.customers_per_district)
+        txn.read(self._last_order(w, d))
+        txn.write(self._last_order(w, d))
+        txn.read(self._customer(w, d, c))
+        txn.write(self._customer(w, d, c))
+
+    def _stock_level(self, txn: ClientTransaction, rng: random.Random) -> None:
+        w, d = self._pick_warehouse_district(rng)
+        txn.read(self._district_next_oid(w, d))
+        for _ in range(rng.randint(3, 8)):
+            item = rng.randrange(self.num_items)
+            txn.read(self._stock(w, item))

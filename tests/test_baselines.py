@@ -1,0 +1,188 @@
+"""Tests for the baseline checkers (naive, Plume-like, DBCop-like, CausalC+-like)."""
+
+import pytest
+
+from repro.core import IsolationLevel, check
+from repro.baselines import BASELINE_REGISTRY
+from repro.baselines.causalc import build_cc_program, check_cc_causalc
+from repro.baselines.datalog import Atom, DatalogProgram, Rule, Variable
+from repro.baselines.dbcop import check_cc_dbcop
+from repro.baselines.naive import (
+    check_cc_naive,
+    check_naive,
+    check_ra_naive,
+    check_rc_naive,
+)
+from repro.baselines.plume import PlumeIndex, check_plume
+from repro.histories.generator import RandomHistoryConfig, generate_random_history
+
+from helpers import PAPER_VERDICTS, all_paper_histories
+
+
+LEVELS = [
+    IsolationLevel.READ_COMMITTED,
+    IsolationLevel.READ_ATOMIC,
+    IsolationLevel.CAUSAL_CONSISTENCY,
+]
+
+
+class TestNaiveOracle:
+    @pytest.mark.parametrize("name", sorted(PAPER_VERDICTS))
+    def test_naive_matches_paper_verdicts(self, name):
+        history = all_paper_histories()[name]
+        expected = PAPER_VERDICTS[name]
+        got = (
+            check_rc_naive(history).is_consistent,
+            check_ra_naive(history).is_consistent,
+            check_cc_naive(history).is_consistent,
+        )
+        assert got == expected
+
+    def test_dispatch_by_level(self):
+        history = all_paper_histories()["fig_4b"]
+        assert check_naive(history, IsolationLevel.READ_COMMITTED).checker == "naive"
+        with pytest.raises(ValueError):
+            check_naive(history, "bad-level")
+
+    @pytest.mark.parametrize("level", LEVELS)
+    def test_naive_agrees_with_awdit_on_random_histories(self, level):
+        for seed in range(12):
+            for mode in ("serializable", "random_reads"):
+                history = generate_random_history(
+                    RandomHistoryConfig(
+                        seed=seed,
+                        mode=mode,
+                        num_transactions=22,
+                        num_sessions=4,
+                        num_keys=5,
+                        abort_probability=0.1,
+                    )
+                )
+                assert (
+                    check(history, level).is_consistent
+                    == check_naive(history, level).is_consistent
+                )
+
+
+class TestPlumeLike:
+    @pytest.mark.parametrize("name", sorted(PAPER_VERDICTS))
+    @pytest.mark.parametrize("level", LEVELS)
+    def test_plume_matches_awdit_on_paper_histories(self, name, level):
+        history = all_paper_histories()[name]
+        assert (
+            check_plume(history, level).is_consistent
+            == check(history, level).is_consistent
+        )
+
+    def test_plume_index_structures(self):
+        history = all_paper_histories()["fig_4c"]
+        index = PlumeIndex(history, set())
+        assert "x" in index.writers_of_key
+        hb = index.compute_hb()
+        assert hb is not None
+        # t1 (tid 0) happens before t4 (tid 3) through t2/t3.
+        assert index.happens_before(0, 3)
+        assert not index.happens_before(3, 0)
+
+    def test_plume_handles_causality_cycle(self):
+        from repro.core.model import History, Transaction, read, write
+
+        t1 = Transaction([write("x", 1), read("y", 2)], label="t1")
+        t2 = Transaction([write("y", 2), read("x", 1)], label="t2")
+        history = History.from_sessions([[t1], [t2]])
+        result = check_plume(history, IsolationLevel.CAUSAL_CONSISTENCY)
+        assert not result.is_consistent
+
+    def test_plume_rejects_unknown_level(self):
+        history = all_paper_histories()["fig_4b"]
+        with pytest.raises(ValueError):
+            check_plume(history, "nope")
+
+    def test_plume_reports_construction_phase_timing(self):
+        history = all_paper_histories()["fig_1a"]
+        result = check_plume(history, IsolationLevel.READ_COMMITTED)
+        assert "construction" in result.stats
+
+
+class TestCCOnlyBaselines:
+    @pytest.mark.parametrize("name", sorted(PAPER_VERDICTS))
+    def test_dbcop_matches_cc_verdict(self, name):
+        history = all_paper_histories()[name]
+        expected = PAPER_VERDICTS[name][2]
+        assert check_cc_dbcop(history).is_consistent == expected
+
+    @pytest.mark.parametrize("name", sorted(PAPER_VERDICTS))
+    def test_causalc_matches_cc_verdict(self, name):
+        history = all_paper_histories()[name]
+        expected = PAPER_VERDICTS[name][2]
+        assert check_cc_causalc(history).is_consistent == expected
+
+    def test_cc_baselines_agree_with_awdit_on_random_histories(self):
+        for seed in range(6):
+            history = generate_random_history(
+                RandomHistoryConfig(
+                    seed=seed, mode="random_reads", num_transactions=16, num_keys=4
+                )
+            )
+            expected = check(history, IsolationLevel.CAUSAL_CONSISTENCY).is_consistent
+            assert check_cc_dbcop(history).is_consistent == expected
+            assert check_cc_causalc(history).is_consistent == expected
+
+    def test_registry_contains_all_paper_baselines(self):
+        assert {"naive", "plume", "dbcop", "causalc+", "tcc-mono", "polysi"} <= set(
+            BASELINE_REGISTRY
+        )
+
+    def test_registry_callables_return_results(self):
+        history = all_paper_histories()["fig_4d"]
+        for name, checker in BASELINE_REGISTRY.items():
+            result = checker(history, IsolationLevel.CAUSAL_CONSISTENCY)
+            assert result.num_transactions == history.num_transactions
+
+
+class TestDatalogEngine:
+    def test_transitive_closure(self):
+        x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+        program = DatalogProgram(
+            [
+                Rule(Atom("path", (x, y)), (Atom("edge", (x, y)),)),
+                Rule(Atom("path", (x, z)), (Atom("path", (x, y)), Atom("edge", (y, z)))),
+            ]
+        )
+        result = program.evaluate({"edge": {(1, 2), (2, 3), (3, 4)}})
+        assert (1, 4) in result["path"]
+        assert len(result["path"]) == 6
+
+    def test_constants_in_rules(self):
+        x = Variable("X")
+        program = DatalogProgram(
+            [Rule(Atom("reachable_from_one", (x,)), (Atom("edge", (1, x)),))]
+        )
+        result = program.evaluate({"edge": {(1, 2), (3, 4)}})
+        assert result["reachable_from_one"] == {(2,)}
+
+    def test_distinct_guard(self):
+        x, y = Variable("X"), Variable("Y")
+        program = DatalogProgram(
+            [Rule(Atom("different", (x, y)), (Atom("pair", (x, y)),), distinct=((x, y),))]
+        )
+        result = program.evaluate({"pair": {(1, 1), (1, 2)}})
+        assert result["different"] == {(1, 2)}
+
+    def test_max_rounds_bounds_evaluation(self):
+        x, y, z = Variable("X"), Variable("Y"), Variable("Z")
+        program = DatalogProgram(
+            [
+                Rule(Atom("path", (x, y)), (Atom("edge", (x, y)),)),
+                Rule(Atom("path", (x, z)), (Atom("path", (x, y)), Atom("path", (y, z)))),
+            ]
+        )
+        edges = {(i, i + 1) for i in range(30)}
+        bounded = program.evaluate({"edge": edges}, max_rounds=2)
+        complete = program.evaluate({"edge": edges})
+        assert len(bounded.get("path", set())) < len(complete["path"])
+
+    def test_cc_program_shape(self):
+        program = build_cc_program()
+        heads = {rule.head.relation for rule in program.rules}
+        assert {"hb", "co", "ord", "bad"} <= heads

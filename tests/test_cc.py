@@ -1,0 +1,136 @@
+"""Tests for the Causal Consistency checker (Algorithm 3)."""
+
+from repro.core.cc import check_cc, compute_happens_before
+from repro.core.model import History, Transaction, read, write
+from repro.core.violations import ViolationKind
+
+from helpers import fig_1a, fig_1b, fig_4a, fig_4b, fig_4c, fig_4d
+
+
+class TestVerdicts:
+    def test_fig_1b_is_cc_inconsistent(self):
+        result = check_cc(fig_1b())
+        assert not result.is_consistent
+        assert ViolationKind.COMMIT_ORDER_CYCLE in result.violation_kinds()
+
+    def test_fig_4c_is_cc_inconsistent(self):
+        assert not check_cc(fig_4c()).is_consistent
+
+    def test_fig_4d_is_cc_consistent(self):
+        assert check_cc(fig_4d()).is_consistent
+
+    def test_weaker_violations_also_fail_cc(self):
+        assert not check_cc(fig_1a()).is_consistent
+        assert not check_cc(fig_4a()).is_consistent
+        assert not check_cc(fig_4b()).is_consistent
+
+
+class TestHappensBefore:
+    def test_session_order_is_in_happens_before(self):
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([write("y", 2)], label="t2")
+        history = History.from_sessions([[t1, t2]])
+        hb, violations = compute_happens_before(history)
+        assert violations == []
+        assert hb[1][0] == 0  # t1 (index 0 of session 0) happens before t2
+        assert hb[0][0] == -1
+
+    def test_wr_edges_are_in_happens_before(self):
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([read("x", 1)], label="t2")
+        history = History.from_sessions([[t1], [t2]])
+        hb, _ = compute_happens_before(history)
+        assert hb[1][0] == 0
+
+    def test_happens_before_is_transitive(self):
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([read("x", 1), write("y", 2)], label="t2")
+        t3 = Transaction([read("y", 2)], label="t3")
+        history = History.from_sessions([[t1], [t2], [t3]])
+        hb, _ = compute_happens_before(history)
+        assert hb[2][0] == 0  # t1 reaches t3 through t2
+        assert hb[2][1] == 0
+
+    def test_concurrent_transactions_not_related(self):
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([write("y", 2)], label="t2")
+        history = History.from_sessions([[t1], [t2]])
+        hb, _ = compute_happens_before(history)
+        assert hb[0][1] == -1 and hb[1][0] == -1
+
+    def test_causality_cycle_detected(self):
+        t1 = Transaction([write("x", 1), read("y", 2)], label="t1")
+        t2 = Transaction([write("y", 2), read("x", 1)], label="t2")
+        history = History.from_sessions([[t1], [t2]])
+        hb, violations = compute_happens_before(history)
+        assert hb is None
+        assert violations
+        assert all(v.kind is ViolationKind.CAUSALITY_CYCLE for v in violations)
+
+
+class TestCausalityCycles:
+    def test_wr_cycle_reported_as_causality_cycle(self):
+        t1 = Transaction([write("x", 1), read("y", 2)], label="t1")
+        t2 = Transaction([write("y", 2), read("x", 1)], label="t2")
+        history = History.from_sessions([[t1], [t2]])
+        result = check_cc(history)
+        assert not result.is_consistent
+        assert result.violation_kinds() == [ViolationKind.CAUSALITY_CYCLE]
+
+    def test_so_wr_mixed_cycle(self):
+        t1 = Transaction([read("y", 2)], label="t1")
+        t2 = Transaction([write("x", 1)], label="t2")
+        t3 = Transaction([read("x", 1), write("y", 2)], label="t3")
+        history = History.from_sessions([[t1, t2], [t3]])
+        result = check_cc(history)
+        assert not result.is_consistent
+        assert ViolationKind.CAUSALITY_CYCLE in result.violation_kinds()
+
+
+class TestCausalDependencies:
+    def test_lost_causal_dependency_detected(self):
+        # Classic causal anomaly: t3 sees t2's write (which depends on t1)
+        # but still reads the value t1 overwrote.
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([write("x", 2)], label="t2")
+        t3 = Transaction([read("x", 2), write("y", 3)], label="t3")
+        t4 = Transaction([read("y", 3), read("x", 1)], label="t4")
+        history = History.from_sessions([[t1, t2], [t3], [t4]])
+        assert not check_cc(history).is_consistent
+
+    def test_reading_concurrent_writes_in_any_order_is_fine(self):
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([write("x", 2)], label="t2")
+        t3 = Transaction([read("x", 1)], label="t3")
+        t4 = Transaction([read("x", 2)], label="t4")
+        history = History.from_sessions([[t1], [t2], [t3], [t4]])
+        assert check_cc(history).is_consistent
+
+    def test_convergence_violation_detected(self):
+        # Two observers order the same two concurrent writes differently:
+        # no single commit order can satisfy both (CC requires convergence).
+        t1 = Transaction([write("x", 1), write("y", 1)], label="t1")
+        t2 = Transaction([write("x", 2), write("y", 2)], label="t2")
+        o1 = Transaction([read("x", 1), read("x", 2), read("y", 2), read("y", 1)], label="o1")
+        history = History.from_sessions([[t1], [t2], [o1]])
+        assert not check_cc(history).is_consistent
+
+    def test_deep_session_chain_scales_without_recursion(self):
+        transactions = [Transaction([write("x", i)]) for i in range(2000)]
+        history = History.from_sessions([transactions])
+        assert check_cc(history).is_consistent
+
+
+class TestReporting:
+    def test_stats_contain_phase_timings(self):
+        result = check_cc(fig_1b())
+        assert "happens_before" in result.stats
+        assert result.num_sessions == 4
+
+    def test_witness_cycle_references_expected_transactions(self):
+        result = check_cc(fig_1b())
+        cycles = result.violations_of_kind(ViolationKind.COMMIT_ORDER_CYCLE)
+        assert cycles
+        names = {fig_1b().transactions[t].name for t in cycles[0].transactions}
+        # The paper's witness involves t4, t5, t6 (t6 co-before t4 closes it).
+        assert {"t4", "t5", "t6"} <= names or len(names) >= 2

@@ -1,0 +1,86 @@
+"""Tests for the unified checker entry point and the check results."""
+
+import pytest
+
+from repro.core import IsolationLevel, check, check_all_levels
+from repro.core.model import History, Transaction, read, write
+from repro.core.result import CheckResult, Stopwatch
+from repro.core.violations import ViolationKind
+
+from helpers import PAPER_VERDICTS, all_paper_histories, fig_4a, fig_4d
+
+
+class TestDispatch:
+    def test_check_dispatches_by_level(self):
+        history = fig_4a()
+        for level in IsolationLevel:
+            result = check(history, level)
+            assert result.level is level
+
+    def test_default_level_is_cc(self):
+        result = check(fig_4d())
+        assert result.level is IsolationLevel.CAUSAL_CONSISTENCY
+
+    def test_single_session_ra_uses_fast_path(self):
+        history = History.from_sessions([[Transaction([write("x", 1)])]])
+        result = check(history, IsolationLevel.READ_ATOMIC)
+        assert result.checker == "awdit-1session"
+
+    def test_single_session_fast_path_can_be_disabled(self):
+        history = History.from_sessions([[Transaction([write("x", 1)])]])
+        result = check(
+            history, IsolationLevel.READ_ATOMIC, use_single_session_fast_path=False
+        )
+        assert result.checker == "awdit"
+
+    def test_check_all_levels_returns_all_three(self):
+        results = check_all_levels(fig_4a())
+        assert set(results) == set(IsolationLevel)
+
+
+class TestLatticeMonotonicity:
+    @pytest.mark.parametrize("name", sorted(PAPER_VERDICTS))
+    def test_paper_histories_respect_the_lattice(self, name):
+        history = all_paper_histories()[name]
+        results = check_all_levels(history)
+        rc = results[IsolationLevel.READ_COMMITTED].is_consistent
+        ra = results[IsolationLevel.READ_ATOMIC].is_consistent
+        cc = results[IsolationLevel.CAUSAL_CONSISTENCY].is_consistent
+        # CC-consistent implies RA-consistent implies RC-consistent.
+        assert not (cc and not ra)
+        assert not (ra and not rc)
+
+
+class TestCheckResult:
+    def test_is_consistent_reflects_violations(self):
+        empty = CheckResult(level=IsolationLevel.READ_COMMITTED)
+        assert empty.is_consistent
+        assert empty.violation_kinds() == []
+
+    def test_summary_mentions_verdict_and_level(self):
+        result = check(fig_4a(), IsolationLevel.READ_COMMITTED)
+        summary = result.summary()
+        assert "RC" in summary and "VIOLATION" in summary
+        ok = check(fig_4d(), IsolationLevel.CAUSAL_CONSISTENCY).summary()
+        assert "CONSISTENT" in ok
+
+    def test_describe_violations_limits_output(self):
+        result = check(fig_4a(), IsolationLevel.READ_COMMITTED)
+        text = result.describe_violations(limit=0)
+        assert "more" in text or text == ""
+
+    def test_violations_of_kind_filters(self):
+        result = check(fig_4a(), IsolationLevel.READ_COMMITTED)
+        cycles = result.violations_of_kind(ViolationKind.COMMIT_ORDER_CYCLE)
+        assert all(v.kind is ViolationKind.COMMIT_ORDER_CYCLE for v in cycles)
+
+    def test_stopwatch_accumulates_laps(self):
+        watch = Stopwatch()
+        watch.lap("a")
+        watch.lap("b")
+        assert set(watch.laps) == {"a", "b"}
+        assert watch.total == pytest.approx(sum(watch.laps.values()))
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            check(fig_4a(), "not-a-level")

@@ -1,0 +1,119 @@
+"""End-to-end tests for the ``awdit`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.histories.formats import load_history, save_history
+
+from helpers import fig_4a, fig_4d
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["check", "h.json", "-i", "rc"])
+        assert args.command == "check" and args.isolation == "rc"
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCheckCommand:
+    def test_consistent_history_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "ok.json"
+        save_history(fig_4d(), str(path))
+        assert main(["check", str(path), "-i", "cc"]) == 0
+        assert "CONSISTENT" in capsys.readouterr().out
+
+    def test_inconsistent_history_exits_one_and_prints_witness(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        save_history(fig_4a(), str(path))
+        assert main(["check", str(path), "-i", "rc"]) == 1
+        output = capsys.readouterr().out
+        assert "VIOLATION" in output
+        assert "cycle" in output
+
+    def test_baseline_checker_selectable(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        save_history(fig_4d(), str(path))
+        assert main(["check", str(path), "-i", "cc", "--checker", "plume"]) == 0
+        assert "plume" in capsys.readouterr().out
+
+    def test_unknown_checker_exits_two(self, tmp_path):
+        path = tmp_path / "h.json"
+        save_history(fig_4d(), str(path))
+        assert main(["check", str(path), "--checker", "mystery"]) == 2
+
+    def test_isolation_aliases(self, tmp_path):
+        path = tmp_path / "h.json"
+        save_history(fig_4d(), str(path))
+        assert main(["check", str(path), "-i", "read atomic"]) == 0
+
+
+class TestGenerateCommand:
+    def test_generate_writes_a_parseable_history(self, tmp_path, capsys):
+        out = tmp_path / "generated.json"
+        code = main(
+            [
+                "generate",
+                str(out),
+                "--workload",
+                "ctwitter",
+                "--database",
+                "postgres",
+                "--sessions",
+                "4",
+                "--transactions",
+                "40",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        history = load_history(str(out))
+        assert history.num_sessions == 4
+        assert history.num_transactions == 41  # +1 init transaction
+
+    def test_generate_respects_isolation_mode_flag(self, tmp_path):
+        out = tmp_path / "weak.json"
+        code = main(
+            [
+                "generate",
+                str(out),
+                "--workload",
+                "custom",
+                "--database",
+                "cockroach",
+                "--isolation-mode",
+                "read-committed",
+                "--sessions",
+                "3",
+                "--transactions",
+                "30",
+                "--seed",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["sessions"]
+
+
+class TestConvertAndStats:
+    def test_convert_between_formats(self, tmp_path, capsys):
+        src = tmp_path / "h.json"
+        dst = tmp_path / "h.plume"
+        save_history(fig_4a(), str(src))
+        assert main(["convert", str(src), str(dst)]) == 0
+        converted = load_history(str(dst))
+        assert converted.num_operations == fig_4a().num_operations
+
+    def test_stats_prints_summary(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        save_history(fig_4a(), str(path))
+        assert main(["stats", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "transactions" in output
+        assert "distinct keys" in output

@@ -1,0 +1,157 @@
+"""Tests for vector clocks and tree clocks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.tree_clock import TreeClock
+from repro.graph.vector_clock import VectorClock
+
+
+class TestVectorClock:
+    def test_bottom_is_all_minus_one(self):
+        clock = VectorClock.bottom(3)
+        assert list(clock) == [-1, -1, -1]
+
+    def test_explicit_entries_validated(self):
+        with pytest.raises(ValueError):
+            VectorClock(3, [1, 2])
+
+    def test_join_is_pointwise_maximum(self):
+        a = VectorClock(3, [1, 5, -1])
+        b = VectorClock(3, [2, 0, 4])
+        assert list(a.join(b)) == [2, 5, 4]
+
+    def test_join_in_place(self):
+        a = VectorClock(2, [1, 2])
+        a.join_in_place(VectorClock(2, [3, 0]))
+        assert list(a) == [3, 2]
+
+    def test_advance_never_decreases(self):
+        clock = VectorClock(2, [5, 0])
+        clock.advance(0, 3)
+        assert clock[0] == 5
+        clock.advance(0, 9)
+        assert clock[0] == 9
+
+    def test_dominance_and_comparison(self):
+        small = VectorClock(2, [1, 1])
+        large = VectorClock(2, [2, 1])
+        assert small <= large
+        assert small < large
+        assert large.dominates(small)
+        assert not small.dominates(large)
+
+    def test_concurrent_clocks(self):
+        a = VectorClock(2, [2, 0])
+        b = VectorClock(2, [0, 2])
+        assert a.concurrent_with(b)
+        assert not a.dominates(b) and not b.dominates(a)
+
+    def test_copy_is_independent(self):
+        a = VectorClock(2, [1, 1])
+        b = a.copy()
+        b[0] = 99
+        assert a[0] == 1
+
+    def test_equality_and_hash(self):
+        assert VectorClock(2, [1, 2]) == VectorClock(2, [1, 2])
+        assert hash(VectorClock(2, [1, 2])) == hash(VectorClock(2, [1, 2]))
+
+    @given(st.lists(st.integers(-1, 20), min_size=3, max_size=3),
+           st.lists(st.integers(-1, 20), min_size=3, max_size=3))
+    def test_join_commutative(self, left, right):
+        a, b = VectorClock(3, left), VectorClock(3, right)
+        assert a.join(b) == b.join(a)
+
+    @given(st.lists(st.integers(-1, 20), min_size=2, max_size=2))
+    def test_join_idempotent(self, entries):
+        clock = VectorClock(2, entries)
+        assert clock.join(clock) == clock
+
+    @given(
+        st.lists(st.integers(-1, 10), min_size=2, max_size=2),
+        st.lists(st.integers(-1, 10), min_size=2, max_size=2),
+        st.lists(st.integers(-1, 10), min_size=2, max_size=2),
+    )
+    def test_join_associative(self, x, y, z):
+        a, b, c = VectorClock(2, x), VectorClock(2, y), VectorClock(2, z)
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+
+class TestTreeClock:
+    def test_owner_must_be_in_range(self):
+        with pytest.raises(ValueError):
+            TreeClock(2, 5)
+
+    def test_increment_advances_owner_only(self):
+        clock = TreeClock(3, 1)
+        clock.increment()
+        clock.increment(2)
+        assert clock.get(1) == 3
+        assert clock.get(0) == 0 and clock.get(2) == 0
+
+    def test_increment_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TreeClock(2, 0).increment(-1)
+
+    def test_join_transfers_knowledge(self):
+        a = TreeClock(3, 0)
+        b = TreeClock(3, 1)
+        b.increment(5)
+        a.join(b)
+        assert a.get(1) == 5
+        assert a.get(0) == 0
+
+    def test_join_keeps_maximum(self):
+        a = TreeClock(2, 0)
+        a.increment(10)
+        b = TreeClock(2, 1)
+        b.increment(1)
+        stale = TreeClock(2, 0)
+        stale.increment(3)
+        b.join(stale)
+        a.join(b)
+        assert a.get(0) == 10
+        assert a.get(1) == 1
+
+    def test_copy_is_independent(self):
+        a = TreeClock(2, 0)
+        a.increment(4)
+        b = a.copy()
+        b.increment(3)
+        assert a.get(0) == 4
+        assert b.get(0) == 7
+
+    def test_dominates(self):
+        a = TreeClock(2, 0)
+        a.increment(2)
+        b = TreeClock(2, 0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_monotone_copy_requires_same_owner(self):
+        with pytest.raises(ValueError):
+            TreeClock(2, 0).monotone_copy_from(TreeClock(2, 1))
+
+    @settings(deadline=None, max_examples=50)
+    @given(st.integers(0, 2 ** 31 - 1))
+    def test_tree_clock_matches_vector_clock_semantics(self, seed):
+        """Random interleavings of increments and joins agree with vector clocks."""
+        rng = random.Random(seed)
+        num_sessions = rng.randint(2, 5)
+        tree = [TreeClock(num_sessions, s) for s in range(num_sessions)]
+        vector = [VectorClock(num_sessions, [0] * num_sessions) for _ in range(num_sessions)]
+        for _ in range(30):
+            actor = rng.randrange(num_sessions)
+            if rng.random() < 0.5:
+                amount = rng.randint(1, 3)
+                tree[actor].increment(amount)
+                vector[actor][actor] += amount
+            else:
+                other = rng.randrange(num_sessions)
+                tree[actor].join(tree[other])
+                vector[actor].join_in_place(vector[other])
+            assert tree[actor].entries() == list(vector[actor])

@@ -1,0 +1,313 @@
+"""Tests for the simulated database substrate (replica, database, profiles)."""
+
+import pytest
+
+from repro.core import IsolationLevel, check, check_all_levels
+from repro.core.exceptions import UsageError
+from repro.core.violations import ViolationKind
+from repro.db.config import BugRates, DatabaseConfig, IsolationMode
+from repro.db.database import SimulatedDatabase
+from repro.db.profiles import (
+    ALL_PROFILES,
+    COCKROACH_LIKE,
+    POSTGRES_LIKE,
+    ROCKSDB_LIKE,
+    profile_by_name,
+    with_overrides,
+)
+from repro.db.replica import CommittedTransaction, Replica
+
+
+class TestReplica:
+    def test_apply_now_installs_versions(self):
+        replica = Replica(0, causal=False)
+        replica.apply_now(CommittedTransaction(0, 0, 1, {"x": 10}))
+        assert replica.has_key("x")
+        assert replica.latest_version("x").value == 10
+
+    def test_pending_transactions_apply_after_arrival(self):
+        replica = Replica(0, causal=False)
+        replica.enqueue(CommittedTransaction(0, 0, 1, {"x": 1}), arrival_time=5)
+        replica.advance(3)
+        assert not replica.has_key("x")
+        replica.advance(5)
+        assert replica.has_key("x")
+
+    def test_causal_replica_blocks_on_missing_dependency(self):
+        replica = Replica(0, causal=True)
+        dependent = CommittedTransaction(1, 0, 2, {"y": 2}, dependencies={0})
+        replica.enqueue(dependent, arrival_time=1)
+        replica.advance(10)
+        assert not replica.has_key("y")
+        replica.enqueue(CommittedTransaction(0, 0, 1, {"x": 1}), arrival_time=11)
+        replica.advance(11)
+        assert replica.has_key("y")
+
+    def test_non_causal_replica_applies_out_of_order(self):
+        replica = Replica(0, causal=False)
+        dependent = CommittedTransaction(1, 0, 2, {"y": 2}, dependencies={0})
+        replica.enqueue(dependent, arrival_time=1)
+        replica.advance(5)
+        assert replica.has_key("y")
+
+    def test_snapshot_reads_ignore_later_versions(self):
+        replica = Replica(0, causal=False)
+        replica.apply_now(CommittedTransaction(0, 0, 1, {"x": 1}))
+        snapshot = replica.current_seq
+        replica.apply_now(CommittedTransaction(1, 0, 2, {"x": 2}))
+        assert replica.latest_version("x", up_to_seq=snapshot).value == 1
+        assert replica.latest_version("x").value == 2
+
+    def test_newest_version_uses_commit_order_not_apply_order(self):
+        replica = Replica(0, causal=False)
+        replica.apply_now(CommittedTransaction(5, 0, 9, {"x": "newer"}))
+        replica.apply_now(CommittedTransaction(2, 0, 3, {"x": "older"}))
+        assert replica.newest_version("x").value == "newer"
+
+    def test_versions_listing(self):
+        replica = Replica(0, causal=False)
+        replica.apply_now(CommittedTransaction(0, 0, 1, {"x": 1}))
+        replica.apply_now(CommittedTransaction(1, 0, 2, {"x": 2}))
+        assert [v.value for v in replica.versions("x")] == [1, 2]
+        assert replica.versions("zzz") == []
+
+
+class TestDatabaseConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatabaseConfig(num_replicas=0).validate()
+        with pytest.raises(ValueError):
+            DatabaseConfig(replication_lag=-1).validate()
+        with pytest.raises(ValueError):
+            DatabaseConfig(abort_probability=1.5).validate()
+        with pytest.raises(ValueError):
+            DatabaseConfig(bug_rates=BugRates(stale_read=2.0)).validate()
+
+    def test_bug_rates_any_enabled(self):
+        assert not BugRates().any_enabled
+        assert BugRates(aborted_read=0.1).any_enabled
+
+    def test_profiles_registry(self):
+        assert profile_by_name("postgres") is POSTGRES_LIKE
+        assert profile_by_name("CockroachDB") is COCKROACH_LIKE
+        assert profile_by_name("rocks") is ROCKSDB_LIKE
+        with pytest.raises(ValueError):
+            profile_by_name("oracle")
+        assert len(ALL_PROFILES) == 3
+
+    def test_with_overrides_creates_new_config(self):
+        derived = with_overrides(POSTGRES_LIKE, isolation=IsolationMode.CAUSAL, seed=4)
+        assert derived.isolation is IsolationMode.CAUSAL
+        assert derived.seed == 4
+        assert POSTGRES_LIKE.isolation is IsolationMode.SERIALIZABLE
+
+
+class TestSimulatedDatabase:
+    def test_written_values_are_unique(self):
+        db = SimulatedDatabase(DatabaseConfig(seed=1))
+        session = db.session()
+        values = set()
+        for _ in range(5):
+            with session.transaction() as txn:
+                values.add(txn.write("x"))
+        assert len(values) == 5
+
+    def test_read_own_write_inside_transaction(self):
+        db = SimulatedDatabase(DatabaseConfig(seed=1))
+        session = db.session()
+        with session.transaction() as txn:
+            value = txn.write("x")
+            assert txn.read("x") == value
+
+    def test_read_of_unknown_key_returns_none_and_is_not_recorded(self):
+        db = SimulatedDatabase(DatabaseConfig(seed=1))
+        session = db.session()
+        with session.transaction() as txn:
+            assert txn.read("missing") is None
+        history = db.history()
+        assert history.num_operations == 0
+
+    def test_serializable_reads_see_latest_committed(self):
+        db = SimulatedDatabase(DatabaseConfig(seed=1))
+        alice, bob = db.sessions(2)
+        with alice.transaction() as txn:
+            v1 = txn.write("x")
+        with bob.transaction() as txn:
+            assert txn.read("x") == v1
+
+    def test_operations_on_finished_transaction_rejected(self):
+        db = SimulatedDatabase(DatabaseConfig(seed=1))
+        session = db.session()
+        txn = session.begin()
+        txn.write("x")
+        txn.commit()
+        with pytest.raises(UsageError):
+            txn.read("x")
+
+    def test_explicit_abort_recorded(self):
+        db = SimulatedDatabase(DatabaseConfig(seed=1))
+        session = db.session()
+        txn = session.begin()
+        txn.write("x")
+        txn.abort()
+        history = db.history()
+        assert history.aborted == [0]
+
+    def test_abort_probability_aborts_some_transactions(self):
+        db = SimulatedDatabase(DatabaseConfig(seed=3, abort_probability=0.5))
+        session = db.session()
+        outcomes = []
+        for _ in range(30):
+            txn = session.begin()
+            txn.write("x")
+            outcomes.append(txn.commit())
+        assert not all(outcomes) and any(outcomes)
+
+    def test_history_requires_a_session(self):
+        db = SimulatedDatabase(DatabaseConfig(seed=1))
+        with pytest.raises(UsageError):
+            db.history()
+
+    def test_exception_inside_transaction_aborts_it(self):
+        db = SimulatedDatabase(DatabaseConfig(seed=1))
+        session = db.session()
+        with pytest.raises(RuntimeError):
+            with session.transaction() as txn:
+                txn.write("x")
+                raise RuntimeError("client crash")
+        assert db.history().aborted == [0]
+
+    def test_initialize_writes_all_keys(self):
+        db = SimulatedDatabase(DatabaseConfig(seed=1, num_replicas=3))
+        db.sessions(3)
+        db.initialize(["a", "b", "c"])
+        history = db.history()
+        assert history.transactions[0].keys_written == {"a", "b", "c"}
+
+    def test_num_committed_counter(self):
+        db = SimulatedDatabase(DatabaseConfig(seed=1))
+        session = db.session()
+        with session.transaction() as txn:
+            txn.write("x")
+        assert db.num_committed == 1
+
+    def test_deterministic_under_seed(self):
+        def run(seed):
+            db = SimulatedDatabase(
+                DatabaseConfig(seed=seed, num_replicas=2, isolation=IsolationMode.CAUSAL)
+            )
+            sessions = db.sessions(3)
+            db.initialize(["x", "y"])
+            for i in range(20):
+                with sessions[i % 3].transaction() as txn:
+                    txn.read("x")
+                    txn.write("y")
+            return [t.operations for t in db.history().transactions]
+
+        assert run(7) == run(7)
+
+
+class TestIsolationModeGuarantees:
+    def _collect(self, mode, bug_rates=None, lag=30.0):
+        config = DatabaseConfig(
+            isolation=mode,
+            num_replicas=4,
+            replication_lag=lag,
+            seed=13,
+            bug_rates=bug_rates or BugRates(),
+        )
+        db = SimulatedDatabase(config)
+        sessions = db.sessions(8)
+        keys = [f"k{i}" for i in range(10)]
+        db.initialize(keys)
+        import random
+
+        rng = random.Random(99)
+        for i in range(300):
+            session = sessions[rng.randrange(len(sessions))]
+            with session.transaction() as txn:
+                for _ in range(rng.randint(2, 5)):
+                    key = rng.choice(keys)
+                    if rng.random() < 0.5:
+                        txn.read(key)
+                    else:
+                        txn.write(key)
+        return db.history()
+
+    def test_serializable_mode_satisfies_every_level(self):
+        history = self._collect(IsolationMode.SERIALIZABLE)
+        assert all(r.is_consistent for r in check_all_levels(history).values())
+
+    def test_causal_mode_satisfies_cc(self):
+        history = self._collect(IsolationMode.CAUSAL)
+        assert check(history, IsolationLevel.CAUSAL_CONSISTENCY).is_consistent
+
+    def test_read_atomic_mode_satisfies_ra(self):
+        history = self._collect(IsolationMode.READ_ATOMIC)
+        assert check(history, IsolationLevel.READ_ATOMIC).is_consistent
+
+    def test_read_committed_mode_satisfies_rc(self):
+        history = self._collect(IsolationMode.READ_COMMITTED)
+        assert check(history, IsolationLevel.READ_COMMITTED).is_consistent
+
+    def test_aborted_read_bug_detected(self):
+        history = self._collect(
+            IsolationMode.SERIALIZABLE,
+            bug_rates=BugRates(aborted_read=0.2),
+        )
+        # The bug only fires when aborted writes exist; force some aborts.
+        config = DatabaseConfig(
+            isolation=IsolationMode.SERIALIZABLE,
+            seed=5,
+            abort_probability=0.3,
+            bug_rates=BugRates(aborted_read=0.5),
+        )
+        db = SimulatedDatabase(config)
+        session = db.session()
+        db.initialize(["x"])
+        for _ in range(50):
+            txn = session.begin()
+            txn.read("x")
+            txn.write("x")
+            txn.commit()
+        result = check(db.history(), IsolationLevel.READ_COMMITTED)
+        assert ViolationKind.ABORTED_READ in result.violation_kinds()
+
+    def test_stale_read_bug_detected(self):
+        config = DatabaseConfig(
+            isolation=IsolationMode.SERIALIZABLE,
+            seed=5,
+            bug_rates=BugRates(stale_read=0.5),
+        )
+        db = SimulatedDatabase(config)
+        session = db.session()
+        db.initialize(["x"])
+        for _ in range(40):
+            with session.transaction() as txn:
+                txn.read("x")
+                txn.write("x")
+        result = check(db.history(), IsolationLevel.CAUSAL_CONSISTENCY)
+        assert not result.is_consistent
+
+    def test_fractured_read_bug_breaks_ra(self):
+        config = DatabaseConfig(
+            isolation=IsolationMode.READ_ATOMIC,
+            num_replicas=4,
+            replication_lag=40.0,
+            seed=17,
+            bug_rates=BugRates(fractured_read=0.5),
+        )
+        db = SimulatedDatabase(config)
+        sessions = db.sessions(8)
+        keys = [f"k{i}" for i in range(6)]
+        db.initialize(keys)
+        import random
+
+        rng = random.Random(3)
+        for _ in range(300):
+            with sessions[rng.randrange(8)].transaction() as txn:
+                txn.write(rng.choice(keys))
+                txn.read(rng.choice(keys))
+                txn.read(rng.choice(keys))
+        result = check(db.history(), IsolationLevel.CAUSAL_CONSISTENCY)
+        assert not result.is_consistent

@@ -1,0 +1,149 @@
+"""Tests for the directed-graph substrate (DiGraph, SCC, cycles, topo sort)."""
+
+import pytest
+
+from repro.graph.cycles import (
+    find_cycle,
+    find_cycle_in_component,
+    has_cycle,
+    strongly_connected_components,
+    topological_sort,
+)
+from repro.graph.digraph import DiGraph
+
+
+def chain(n):
+    return DiGraph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestDiGraph:
+    def test_empty_graph(self):
+        graph = DiGraph(0)
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+
+    def test_add_edge_and_successors(self):
+        graph = DiGraph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        assert graph.successors(0) == [1, 2]
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_parallel_edges_counted_but_deduped(self):
+        graph = DiGraph(2)
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 1)
+        assert graph.num_edges == 2
+        assert graph.unique_successors(0) == [1]
+
+    def test_add_vertex(self):
+        graph = DiGraph(1)
+        new = graph.add_vertex()
+        assert new == 1
+        assert graph.num_vertices == 2
+
+    def test_edges_iteration(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert sorted(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_reverse(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (1, 2)])
+        assert sorted(graph.reverse().edges()) == [(1, 0), (2, 1)]
+
+    def test_subgraph(self):
+        graph = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        sub, mapping = graph.subgraph([1, 2])
+        assert sub.num_vertices == 2
+        assert sub.has_edge(mapping[1], mapping[2])
+
+    def test_reachable_from(self):
+        graph = DiGraph.from_edges(5, [(0, 1), (1, 2), (3, 4)])
+        assert graph.reachable_from([0]) == {0, 1, 2}
+        assert graph.reachable_from([3]) == {3, 4}
+
+    def test_out_degree(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (0, 2), (0, 1)])
+        assert graph.out_degree(0) == 3
+
+
+class TestSCC:
+    def test_acyclic_graph_has_singleton_components(self):
+        graph = chain(5)
+        components = strongly_connected_components(graph)
+        assert all(len(c) == 1 for c in components)
+        assert len(components) == 5
+
+    def test_single_cycle_is_one_component(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        components = strongly_connected_components(graph)
+        assert sorted(len(c) for c in components) == [3]
+
+    def test_two_separate_cycles(self):
+        graph = DiGraph.from_edges(6, [(0, 1), (1, 0), (2, 3), (3, 4), (4, 2), (4, 5)])
+        sizes = sorted(len(c) for c in strongly_connected_components(graph))
+        assert sizes == [1, 2, 3]
+
+    def test_components_in_reverse_topological_order(self):
+        graph = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        components = strongly_connected_components(graph)
+        order = [c[0] for c in components]
+        # A vertex is emitted only after everything it reaches.
+        assert order.index(3) < order.index(0)
+
+    def test_deep_chain_does_not_recurse(self):
+        graph = chain(50_000)
+        components = strongly_connected_components(graph)
+        assert len(components) == 50_000
+
+
+class TestTopologicalSort:
+    def test_orders_a_dag(self):
+        graph = DiGraph.from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+        order = topological_sort(graph)
+        assert order is not None
+        position = {v: i for i, v in enumerate(order)}
+        for u, v in graph.edges():
+            assert position[u] < position[v]
+
+    def test_returns_none_on_cycle(self):
+        graph = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        assert topological_sort(graph) is None
+
+    def test_parallel_edges_do_not_break_sorting(self):
+        graph = DiGraph.from_edges(2, [(0, 1), (0, 1), (0, 1)])
+        assert topological_sort(graph) == [0, 1]
+
+
+class TestCycleExtraction:
+    def test_has_cycle(self):
+        assert not has_cycle(chain(4))
+        assert has_cycle(DiGraph.from_edges(2, [(0, 1), (1, 0)]))
+
+    def test_self_loop_detected(self):
+        graph = DiGraph(2)
+        graph.add_edge(1, 1)
+        assert has_cycle(graph)
+        assert find_cycle(graph) == [1]
+
+    def test_find_cycle_returns_closed_walk(self):
+        graph = DiGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 1), (3, 4)])
+        cycle = find_cycle(graph)
+        assert cycle is not None
+        for i, u in enumerate(cycle):
+            v = cycle[(i + 1) % len(cycle)]
+            assert graph.has_edge(u, v)
+
+    def test_find_cycle_none_for_dag(self):
+        assert find_cycle(chain(10)) is None
+
+    def test_find_cycle_in_component_requires_cycle(self):
+        graph = chain(3)
+        with pytest.raises(ValueError):
+            find_cycle_in_component(graph, [0])
+
+    def test_find_cycle_in_component_simple(self):
+        graph = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+        cycle = find_cycle_in_component(graph, [0, 1, 2])
+        assert set(cycle) <= {0, 1, 2}
+        assert len(cycle) == 3

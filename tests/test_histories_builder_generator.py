@@ -1,0 +1,161 @@
+"""Tests for the history builder, the random generator, and anomaly injection."""
+
+import random
+
+import pytest
+
+from repro.core import IsolationLevel, check, check_all_levels
+from repro.core.exceptions import UsageError
+from repro.core.model import OpRef, read, write, Transaction
+from repro.core.violations import ViolationKind
+from repro.histories.builder import HistoryBuilder
+from repro.histories.generator import (
+    INJECTABLE_ANOMALIES,
+    RandomHistoryConfig,
+    generate_random_history,
+    inject_anomaly,
+)
+
+
+class TestHistoryBuilder:
+    def test_fluent_construction(self):
+        history = (
+            HistoryBuilder()
+            .session()
+            .txn("t1").write("x", 1).write("y", 1).end()
+            .txn("t2").write("x", 2).end()
+            .session()
+            .txn("t3").read("x", 2).read("x", 1).end()
+            .build()
+        )
+        assert history.num_sessions == 2
+        assert history.num_transactions == 3
+        assert not check(history, IsolationLevel.READ_COMMITTED).is_consistent
+
+    def test_txn_without_session_creates_one(self):
+        history = HistoryBuilder().txn("t1").write("x", 1).end().build()
+        assert history.num_sessions == 1
+
+    def test_aborted_transaction(self):
+        history = (
+            HistoryBuilder()
+            .session()
+            .txn("t1", committed=False).write("x", 1).end()
+            .build()
+        )
+        assert history.aborted == [0]
+
+    def test_duplicate_labels_rejected(self):
+        builder = HistoryBuilder().session()
+        builder.txn("t1").write("x", 1).end()
+        with pytest.raises(UsageError):
+            builder.txn("t1").write("x", 2).end()
+
+    def test_transaction_by_label(self):
+        builder = HistoryBuilder().session()
+        builder.txn("t1").write("x", 1).end()
+        assert builder.transaction_by_label("t1").label == "t1"
+        with pytest.raises(UsageError):
+            builder.transaction_by_label("nope")
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(UsageError):
+            HistoryBuilder().build()
+
+    def test_add_prebuilt_transaction_and_op(self):
+        builder = HistoryBuilder().session()
+        builder.add_transaction(Transaction([write("x", 1)], label="init"))
+        builder.txn("t2").op(read("x", 1)).end()
+        history = builder.build()
+        assert history.num_transactions == 2
+
+    def test_explicit_wr_passed_through(self):
+        builder = HistoryBuilder().session()
+        builder.txn("w").write("x", 1).end()
+        builder.session().txn("r").read("x", 1).end()
+        history = builder.build(wr={OpRef(1, 0): OpRef(0, 0)})
+        assert history.writer_of(OpRef(1, 0)) == OpRef(0, 0)
+
+
+class TestRandomHistoryGenerator:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RandomHistoryConfig(num_sessions=0).validate()
+        with pytest.raises(ValueError):
+            RandomHistoryConfig(num_keys=0).validate()
+        with pytest.raises(ValueError):
+            RandomHistoryConfig(min_ops_per_txn=5, max_ops_per_txn=2).validate()
+        with pytest.raises(ValueError):
+            RandomHistoryConfig(read_fraction=1.5).validate()
+        with pytest.raises(ValueError):
+            RandomHistoryConfig(abort_probability=1.0).validate()
+        with pytest.raises(ValueError):
+            RandomHistoryConfig(mode="chaotic").validate()
+
+    def test_deterministic_given_seed(self):
+        config = RandomHistoryConfig(seed=11, num_transactions=30)
+        first = generate_random_history(config)
+        second = generate_random_history(config)
+        assert first.num_operations == second.num_operations
+        assert [t.operations for t in first.transactions] == [
+            t.operations for t in second.transactions
+        ]
+
+    def test_serializable_mode_histories_are_consistent(self):
+        for seed in range(5):
+            config = RandomHistoryConfig(seed=seed, num_transactions=40)
+            history = generate_random_history(config)
+            results = check_all_levels(history)
+            assert all(result.is_consistent for result in results.values())
+
+    def test_requested_transaction_count(self):
+        config = RandomHistoryConfig(seed=0, num_transactions=25, num_sessions=3)
+        history = generate_random_history(config)
+        assert history.num_transactions == 25
+        assert history.num_sessions == 3
+
+    def test_abort_probability_produces_aborted_transactions(self):
+        config = RandomHistoryConfig(seed=2, num_transactions=60, abort_probability=0.4)
+        history = generate_random_history(config)
+        assert history.aborted
+
+    def test_random_reads_mode_often_inconsistent(self):
+        inconsistent = 0
+        for seed in range(8):
+            config = RandomHistoryConfig(
+                seed=seed, num_transactions=40, mode="random_reads", num_keys=4
+            )
+            history = generate_random_history(config)
+            if not check(history, IsolationLevel.CAUSAL_CONSISTENCY).is_consistent:
+                inconsistent += 1
+        assert inconsistent >= 4
+
+
+class TestAnomalyInjection:
+    @pytest.mark.parametrize("kind", INJECTABLE_ANOMALIES)
+    def test_injected_anomaly_is_detected(self, kind):
+        base = generate_random_history(RandomHistoryConfig(seed=5, num_transactions=20))
+        mutated = inject_anomaly(base, kind, rng=random.Random(1))
+        results = check_all_levels(mutated)
+        found = set()
+        for result in results.values():
+            found.update(result.violation_kinds())
+        assert kind in found
+
+    def test_base_history_not_mutated(self):
+        base = generate_random_history(RandomHistoryConfig(seed=5, num_transactions=15))
+        before = base.num_transactions
+        inject_anomaly(base, ViolationKind.FUTURE_READ)
+        assert base.num_transactions == before
+
+    def test_injection_preserves_consistency_elsewhere(self):
+        base = generate_random_history(RandomHistoryConfig(seed=7, num_transactions=20))
+        mutated = inject_anomaly(base, ViolationKind.FUTURE_READ)
+        result = check_all_levels(mutated)[IsolationLevel.CAUSAL_CONSISTENCY]
+        kinds = result.violation_kinds()
+        assert kinds == [ViolationKind.FUTURE_READ]
+
+    def test_unknown_kind_rejected(self):
+        base = generate_random_history(RandomHistoryConfig(seed=5, num_transactions=5))
+        with pytest.raises(ValueError):
+            inject_anomaly(base, "not-a-violation-kind")

@@ -1,0 +1,143 @@
+"""Integration tests: the full pipeline from workload to verdict.
+
+These tests mirror the experimental pipeline of Section 5: run a benchmark
+workload against a (simulated) database, record the history, hand it to the
+testers, and compare what they report -- including the Table 1 scenario where
+histories contain injected anomalies.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import BASELINE_REGISTRY
+from repro.core import IsolationLevel, check, check_all_levels
+from repro.core.violations import ViolationKind
+from repro.db.config import BugRates, DatabaseConfig, IsolationMode
+from repro.db.profiles import COCKROACH_LIKE, POSTGRES_LIKE, with_overrides
+from repro.histories.formats import load_history, save_history
+from repro.histories.generator import inject_anomaly
+from repro.workloads import (
+    CTwitterWorkload,
+    RUBiSWorkload,
+    TPCCWorkload,
+    collect_history,
+)
+
+
+class TestEndToEndPipeline:
+    @pytest.mark.parametrize(
+        "workload",
+        [TPCCWorkload(num_warehouses=1, num_items=20), CTwitterWorkload(num_users=10), RUBiSWorkload(num_users=8, num_items=20)],
+        ids=["tpcc", "ctwitter", "rubis"],
+    )
+    @pytest.mark.parametrize("profile", [POSTGRES_LIKE, COCKROACH_LIKE], ids=["postgres", "cockroach"])
+    def test_strongly_isolated_databases_yield_consistent_histories(self, workload, profile):
+        history = collect_history(
+            workload,
+            with_overrides(profile, seed=21),
+            num_sessions=6,
+            num_transactions=120,
+            seed=3,
+        )
+        results = check_all_levels(history)
+        assert all(result.is_consistent for result in results.values())
+
+    def test_round_trip_through_disk_preserves_verdict(self, tmp_path):
+        history = collect_history(
+            CTwitterWorkload(num_users=8),
+            with_overrides(COCKROACH_LIKE, isolation=IsolationMode.READ_COMMITTED, seed=5),
+            num_sessions=8,
+            num_transactions=200,
+            seed=5,
+        )
+        path = tmp_path / "history.plume"
+        save_history(history, str(path))
+        reloaded = load_history(str(path))
+        for level in IsolationLevel:
+            assert (
+                check(reloaded, level).is_consistent
+                == check(history, level).is_consistent
+            )
+
+    def test_all_testers_agree_on_a_cc_history(self):
+        history = collect_history(
+            CTwitterWorkload(num_users=8),
+            with_overrides(COCKROACH_LIKE, isolation=IsolationMode.CAUSAL, seed=6),
+            num_sessions=5,
+            num_transactions=80,
+            seed=6,
+        )
+        verdicts = {
+            name: checker(history, IsolationLevel.CAUSAL_CONSISTENCY).is_consistent
+            for name, checker in BASELINE_REGISTRY.items()
+            if name not in ("polysi",)  # SI is stronger; may legitimately differ
+        }
+        awdit = check(history, IsolationLevel.CAUSAL_CONSISTENCY).is_consistent
+        assert all(v == awdit for v in verdicts.values()), verdicts
+
+
+class TestTable1Scenario:
+    """Anomalous histories (future reads, causality cycles) are found and classified."""
+
+    def _tpcc_history(self, seed):
+        return collect_history(
+            TPCCWorkload(num_warehouses=1, num_items=15),
+            with_overrides(POSTGRES_LIKE, seed=seed),
+            num_sessions=5,
+            num_transactions=80,
+            seed=seed,
+        )
+
+    def test_future_read_anomaly_detected_by_awdit_and_plume(self):
+        history = inject_anomaly(
+            self._tpcc_history(31), ViolationKind.FUTURE_READ, rng=random.Random(1)
+        )
+        awdit_result = check(history, IsolationLevel.CAUSAL_CONSISTENCY)
+        plume_result = BASELINE_REGISTRY["plume"](history, IsolationLevel.CAUSAL_CONSISTENCY)
+        assert ViolationKind.FUTURE_READ in awdit_result.violation_kinds()
+        assert ViolationKind.FUTURE_READ in plume_result.violation_kinds()
+
+    def test_causality_cycle_detected_at_every_level(self):
+        history = inject_anomaly(
+            self._tpcc_history(32), ViolationKind.CAUSALITY_CYCLE, rng=random.Random(2)
+        )
+        for level in IsolationLevel:
+            result = check(history, level)
+            assert not result.is_consistent
+
+    def test_combined_anomalies_are_all_reported(self):
+        history = self._tpcc_history(33)
+        history = inject_anomaly(history, ViolationKind.FUTURE_READ, rng=random.Random(3))
+        history = inject_anomaly(history, ViolationKind.CAUSALITY_CYCLE, rng=random.Random(4))
+        result = check(history, IsolationLevel.CAUSAL_CONSISTENCY)
+        kinds = set(result.violation_kinds())
+        assert ViolationKind.FUTURE_READ in kinds
+        assert ViolationKind.CAUSALITY_CYCLE in kinds
+
+    def test_buggy_database_is_caught_while_correct_one_passes(self):
+        correct = collect_history(
+            CTwitterWorkload(num_users=8),
+            with_overrides(COCKROACH_LIKE, seed=9),
+            num_sessions=6,
+            num_transactions=150,
+            seed=9,
+        )
+        buggy_config = with_overrides(COCKROACH_LIKE, seed=9)
+        buggy_config = DatabaseConfig(
+            name=buggy_config.name,
+            isolation=buggy_config.isolation,
+            num_replicas=buggy_config.num_replicas,
+            replication_lag=buggy_config.replication_lag,
+            seed=9,
+            bug_rates=BugRates(stale_read=0.3),
+        )
+        buggy = collect_history(
+            CTwitterWorkload(num_users=8),
+            buggy_config,
+            num_sessions=6,
+            num_transactions=150,
+            seed=9,
+        )
+        assert check(correct, IsolationLevel.CAUSAL_CONSISTENCY).is_consistent
+        assert not check(buggy, IsolationLevel.CAUSAL_CONSISTENCY).is_consistent

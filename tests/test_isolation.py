@@ -1,0 +1,67 @@
+"""Tests for the isolation-level enum and strength lattice."""
+
+import pytest
+
+from repro.core.isolation import (
+    IsolationLevel,
+    is_stronger_or_equal,
+    stronger_levels,
+    weaker_levels,
+)
+
+RC = IsolationLevel.READ_COMMITTED
+RA = IsolationLevel.READ_ATOMIC
+CC = IsolationLevel.CAUSAL_CONSISTENCY
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("rc", RC),
+            ("RC", RC),
+            ("read committed", RC),
+            ("READ_COMMITTED", RC),
+            ("ra", RA),
+            ("read-atomic", RA),
+            ("cc", CC),
+            ("causal", CC),
+            ("Causal Consistency", CC),
+            ("TCC", CC),
+        ],
+    )
+    def test_from_string_accepts_aliases(self, name, expected):
+        assert IsolationLevel.from_string(name) is expected
+
+    def test_from_string_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            IsolationLevel.from_string("snapshot")
+
+    def test_short_names(self):
+        assert RC.short_name == "RC"
+        assert RA.short_name == "RA"
+        assert CC.short_name == "CC"
+
+
+class TestLattice:
+    def test_cc_is_strongest(self):
+        assert is_stronger_or_equal(CC, RA)
+        assert is_stronger_or_equal(CC, RC)
+        assert is_stronger_or_equal(RA, RC)
+
+    def test_strength_is_not_symmetric(self):
+        assert not is_stronger_or_equal(RC, RA)
+        assert not is_stronger_or_equal(RA, CC)
+
+    def test_reflexive(self):
+        for level in IsolationLevel:
+            assert is_stronger_or_equal(level, level)
+
+    def test_weaker_levels(self):
+        assert set(weaker_levels(CC)) == {RC, RA, CC}
+        assert set(weaker_levels(RA)) == {RC, RA}
+        assert set(weaker_levels(RC)) == {RC}
+
+    def test_stronger_levels(self):
+        assert set(stronger_levels(RC)) == {RC, RA, CC}
+        assert set(stronger_levels(CC)) == {CC}

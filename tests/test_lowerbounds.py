@@ -1,0 +1,113 @@
+"""Tests for triangle detection and the lower-bound reductions (Section 4)."""
+
+import pytest
+
+from repro.core import IsolationLevel, check
+from repro.lowerbounds.reductions import (
+    general_reduction,
+    ra_two_session_reduction,
+    rc_single_session_reduction,
+)
+from repro.lowerbounds.triangles import (
+    UndirectedGraph,
+    find_triangle,
+    has_triangle,
+    random_graph,
+)
+
+
+class TestUndirectedGraph:
+    def test_add_and_query_edges(self):
+        graph = UndirectedGraph(3, [(0, 1)])
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+        assert not graph.has_edge(0, 2)
+        assert graph.num_edges == 1
+
+    def test_self_loops_rejected(self):
+        with pytest.raises(ValueError):
+            UndirectedGraph(2).add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            UndirectedGraph(2).add_edge(0, 5)
+
+    def test_edges_listing_is_deduplicated(self):
+        graph = UndirectedGraph(3, [(0, 1), (1, 0), (1, 2)])
+        assert sorted(graph.edges()) == [(0, 1), (1, 2)]
+
+    def test_neighbours(self):
+        graph = UndirectedGraph(4, [(0, 1), (0, 2)])
+        assert graph.neighbours(0) == {1, 2}
+
+
+class TestTriangleDetection:
+    def test_triangle_found(self):
+        graph = UndirectedGraph(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        triangle = find_triangle(graph)
+        assert triangle is not None
+        a, b, c = triangle
+        assert graph.has_edge(a, b) and graph.has_edge(b, c) and graph.has_edge(a, c)
+
+    def test_triangle_free_graph(self):
+        path = UndirectedGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert not has_triangle(path)
+        square = UndirectedGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert not has_triangle(square)
+
+    def test_empty_graph_has_no_triangle(self):
+        assert not has_triangle(UndirectedGraph(5))
+
+    def test_random_graph_triangle_free_option(self):
+        for seed in range(5):
+            graph = random_graph(12, 0.5, seed=seed, triangle_free=True)
+            assert not has_triangle(graph)
+
+    def test_random_graph_is_deterministic(self):
+        first = random_graph(10, 0.3, seed=7)
+        second = random_graph(10, 0.3, seed=7)
+        assert sorted(first.edges()) == sorted(second.edges())
+
+
+class TestReductionCorrectness:
+    """Lemmas 4.2, 4.3, and 4.4: consistency iff triangle-freeness."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_general_reduction_range_property(self, seed):
+        graph = random_graph(7, 0.45, seed=seed)
+        history = general_reduction(graph)
+        triangle = has_triangle(graph)
+        cc = check(history, IsolationLevel.CAUSAL_CONSISTENCY).is_consistent
+        rc = check(history, IsolationLevel.READ_COMMITTED).is_consistent
+        if not triangle:
+            assert cc and rc
+        else:
+            assert not rc and not cc
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_ra_two_session_reduction_iff(self, seed):
+        graph = random_graph(7, 0.45, seed=seed)
+        history = ra_two_session_reduction(graph)
+        assert history.num_sessions == 2
+        assert check(history, IsolationLevel.READ_ATOMIC).is_consistent == (
+            not has_triangle(graph)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_rc_single_session_reduction_iff(self, seed):
+        graph = random_graph(7, 0.45, seed=seed)
+        history = rc_single_session_reduction(graph)
+        assert history.num_sessions == 1
+        assert check(history, IsolationLevel.READ_COMMITTED).is_consistent == (
+            not has_triangle(graph)
+        )
+
+    def test_reduction_size_is_linear_in_edges(self):
+        graph = random_graph(10, 0.4, seed=1)
+        history = general_reduction(graph)
+        # Each edge contributes a constant number of operations (Section 4.1).
+        assert history.num_operations <= 10 * graph.num_edges + 2 * graph.num_vertices
+
+    def test_isolated_vertices_are_harmless(self):
+        graph = UndirectedGraph(5, [(0, 1)])
+        history = general_reduction(graph)
+        assert check(history, IsolationLevel.CAUSAL_CONSISTENCY).is_consistent

@@ -1,0 +1,206 @@
+"""Unit tests for the core data model (operations, transactions, histories)."""
+
+import pytest
+
+from repro.core.exceptions import HistoryFormatError
+from repro.core.model import (
+    History,
+    Operation,
+    OpKind,
+    OpRef,
+    Transaction,
+    read,
+    write,
+)
+
+
+class TestOperation:
+    def test_read_constructor(self):
+        op = read("x", 1)
+        assert op.kind is OpKind.READ
+        assert op.key == "x"
+        assert op.value == 1
+        assert op.is_read and not op.is_write
+
+    def test_write_constructor(self):
+        op = write("y", 7)
+        assert op.kind is OpKind.WRITE
+        assert op.is_write and not op.is_read
+
+    def test_operations_are_hashable_and_comparable(self):
+        assert read("x", 1) == read("x", 1)
+        assert read("x", 1) != write("x", 1)
+        assert len({read("x", 1), read("x", 1), write("x", 1)}) == 2
+
+    def test_op_id_distinguishes_operations(self):
+        assert read("x", 1, op_id=1) != read("x", 1, op_id=2)
+
+    def test_repr_mentions_kind_key_value(self):
+        text = repr(write("balance", 10))
+        assert "W" in text and "balance" in text and "10" in text
+
+
+class TestTransaction:
+    def test_reads_and_writes_partition(self):
+        txn = Transaction([write("x", 1), read("y", 2), write("z", 3)])
+        assert [op.key for _, op in txn.reads] == ["y"]
+        assert [op.key for _, op in txn.writes] == ["x", "z"]
+
+    def test_keys_read_and_written(self):
+        txn = Transaction([write("x", 1), read("y", 2), write("x", 3)])
+        assert txn.keys_written == {"x"}
+        assert txn.keys_read == {"y"}
+        assert txn.writes_key("x") and not txn.writes_key("y")
+        assert txn.reads_key("y") and not txn.reads_key("x")
+
+    def test_last_write_to(self):
+        txn = Transaction([write("x", 1), write("y", 2), write("x", 3)])
+        assert txn.last_write_to("x") == 2
+        assert txn.last_write_to("y") == 1
+        assert txn.last_write_to("z") is None
+
+    def test_len_and_iter(self):
+        ops = [write("x", 1), read("x", 1)]
+        txn = Transaction(ops)
+        assert len(txn) == 2
+        assert list(txn) == ops
+
+    def test_name_uses_label_when_present(self):
+        assert Transaction([], label="payment").name == "payment"
+
+    def test_aborted_flag(self):
+        txn = Transaction([write("x", 1)], committed=False)
+        assert not txn.committed
+        assert "aborted" in repr(txn)
+
+
+class TestHistoryConstruction:
+    def test_from_sessions_assigns_dense_ids(self):
+        t1, t2, t3 = Transaction([write("x", 1)]), Transaction([write("x", 2)]), Transaction([read("x", 1)])
+        history = History.from_sessions([[t1, t2], [t3]])
+        assert [t.tid for t in history.transactions] == [0, 1, 2]
+        assert t1.session == 0 and t3.session == 1
+        assert t1.session_index == 0 and t2.session_index == 1
+
+    def test_wr_inferred_from_unique_values(self):
+        t1 = Transaction([write("x", 1)])
+        t2 = Transaction([read("x", 1)])
+        history = History.from_sessions([[t1], [t2]])
+        assert history.writer_of(OpRef(1, 0)) == OpRef(0, 0)
+
+    def test_thin_air_read_has_no_wr_edge(self):
+        t1 = Transaction([read("x", 99)])
+        history = History.from_sessions([[t1]])
+        assert history.writer_of(OpRef(0, 0)) is None
+
+    def test_size_counts_operations(self):
+        history = History.from_sessions(
+            [[Transaction([write("x", 1), write("y", 2)])], [Transaction([read("x", 1)])]]
+        )
+        assert history.num_operations == 3
+        assert history.num_transactions == 2
+        assert history.num_sessions == 2
+
+    def test_committed_and_aborted_partition(self):
+        t1 = Transaction([write("x", 1)])
+        t2 = Transaction([write("x", 2)], committed=False)
+        history = History.from_sessions([[t1, t2]])
+        assert history.committed == [0]
+        assert history.aborted == [1]
+
+    def test_committed_in_session_skips_aborted(self):
+        t1 = Transaction([write("x", 1)])
+        t2 = Transaction([write("x", 2)], committed=False)
+        t3 = Transaction([write("x", 3)])
+        history = History.from_sessions([[t1, t2, t3]])
+        assert history.committed_in_session(0) == [0, 2]
+
+    def test_keys_property(self):
+        history = History.from_sessions(
+            [[Transaction([write("x", 1), read("y", 9)])]]
+        )
+        assert history.keys == {"x", "y"}
+
+    def test_explicit_wr_validation_rejects_key_mismatch(self):
+        t1 = Transaction([write("x", 1)])
+        t2 = Transaction([read("y", 1)])
+        with pytest.raises(HistoryFormatError):
+            History.from_sessions([[t1], [t2]], wr={OpRef(1, 0): OpRef(0, 0)})
+
+    def test_explicit_wr_validation_rejects_non_write_source(self):
+        t1 = Transaction([read("x", 1)])
+        t2 = Transaction([read("x", 1)])
+        with pytest.raises(HistoryFormatError):
+            History.from_sessions([[t1], [t2]], wr={OpRef(1, 0): OpRef(0, 0)})
+
+    def test_explicit_wr_validation_rejects_non_read_target(self):
+        t1 = Transaction([write("x", 1)])
+        t2 = Transaction([write("x", 2)])
+        with pytest.raises(HistoryFormatError):
+            History.from_sessions([[t1], [t2]], wr={OpRef(1, 0): OpRef(0, 0)})
+
+    def test_explicit_wr_out_of_range_rejected(self):
+        t1 = Transaction([write("x", 1)])
+        with pytest.raises(HistoryFormatError):
+            History.from_sessions([[t1]], wr={OpRef(5, 0): OpRef(0, 0)})
+
+
+class TestHistoryDerivedStructures:
+    def test_txn_read_froms_excludes_internal_reads(self):
+        t1 = Transaction([write("x", 1)])
+        t2 = Transaction([write("y", 2), read("y", 2), read("x", 1)])
+        history = History.from_sessions([[t1], [t2]])
+        froms = history.txn_read_froms(1)
+        assert len(froms) == 1
+        writer, index, op = froms[0]
+        assert writer == 0 and op.key == "x" and index == 2
+
+    def test_txn_readers_of(self):
+        t1 = Transaction([write("x", 1)])
+        t2 = Transaction([read("x", 1)])
+        t3 = Transaction([read("x", 1)])
+        history = History.from_sessions([[t1], [t2], [t3]])
+        assert history.txn_readers_of(0) == {1, 2}
+
+    def test_so_edges_follow_committed_session_order(self):
+        t1 = Transaction([write("x", 1)])
+        t2 = Transaction([write("x", 2)], committed=False)
+        t3 = Transaction([write("x", 3)])
+        history = History.from_sessions([[t1, t2, t3]])
+        assert list(history.so_edges()) == [(0, 2)]
+
+    def test_so_wr_edges_combines_both(self):
+        t1 = Transaction([write("x", 1)])
+        t2 = Transaction([write("y", 2)])
+        t3 = Transaction([read("x", 1), read("y", 2)])
+        history = History.from_sessions([[t1, t2], [t3]])
+        edges = set(history.so_wr_edges())
+        assert (0, 1) in edges  # so
+        assert (0, 2) in edges and (1, 2) in edges  # wr
+
+    def test_write_ref_lookup(self):
+        t1 = Transaction([write("x", 1), write("x", 2)])
+        history = History.from_sessions([[t1]])
+        assert history.write_ref("x", 2) == OpRef(0, 1)
+        assert history.write_ref("x", 99) is None
+
+    def test_describe_and_pretty(self):
+        t1 = Transaction([write("x", 1)], label="init")
+        history = History.from_sessions([[t1]])
+        assert "transactions=1" in history.describe()
+        assert "init" in history.pretty()
+
+    def test_pretty_truncates(self):
+        sessions = [[Transaction([write(f"k{i}", i)]) for i in range(30)]]
+        history = History.from_sessions(sessions)
+        assert "..." in history.pretty(max_transactions=5)
+
+    def test_opref_resolve(self):
+        t1 = Transaction([write("x", 1), read("x", 1)])
+        history = History.from_sessions([[t1]])
+        assert OpRef(0, 1).resolve(history) == read("x", 1)
+
+    def test_empty_session_allowed(self):
+        history = History.from_sessions([[Transaction([write("x", 1)])], []])
+        assert history.num_sessions == 2
+        assert history.committed_in_session(1) == []

@@ -1,0 +1,126 @@
+"""Regression tests: every worked example of the paper gets the published verdict."""
+
+import pytest
+
+from repro.core import IsolationLevel, check_all_levels
+from repro.core.model import History, Transaction, read, write
+from repro.core.violations import ViolationKind
+from repro.lowerbounds import (
+    UndirectedGraph,
+    general_reduction,
+    ra_two_session_reduction,
+    rc_single_session_reduction,
+)
+from repro.core import check
+
+from helpers import PAPER_VERDICTS, all_paper_histories
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_VERDICTS))
+def test_figure_verdicts_match_paper(name):
+    """Figs. 1 and 4: the RC / RA / CC verdicts stated in the paper."""
+    history = all_paper_histories()[name]
+    expected_rc, expected_ra, expected_cc = PAPER_VERDICTS[name]
+    results = check_all_levels(history)
+    assert results[IsolationLevel.READ_COMMITTED].is_consistent == expected_rc
+    assert results[IsolationLevel.READ_ATOMIC].is_consistent == expected_ra
+    assert results[IsolationLevel.CAUSAL_CONSISTENCY].is_consistent == expected_cc
+
+
+class TestFig2ReadConsistencyTaps:
+    """The five Read Consistency anomaly patterns of Fig. 2."""
+
+    def test_no_thin_air_reads(self):
+        history = History.from_sessions([[Transaction([read("x", 1)])]])
+        result = check_all_levels(history)[IsolationLevel.READ_COMMITTED]
+        assert ViolationKind.THIN_AIR_READ in result.violation_kinds()
+
+    def test_no_aborted_reads(self):
+        history = History.from_sessions(
+            [
+                [Transaction([write("x", 1)], committed=False)],
+                [Transaction([read("x", 1)])],
+            ]
+        )
+        result = check_all_levels(history)[IsolationLevel.READ_COMMITTED]
+        assert ViolationKind.ABORTED_READ in result.violation_kinds()
+
+    def test_no_future_reads(self):
+        history = History.from_sessions(
+            [[Transaction([read("x", 1), write("x", 1)])]]
+        )
+        result = check_all_levels(history)[IsolationLevel.READ_ATOMIC]
+        assert ViolationKind.FUTURE_READ in result.violation_kinds()
+
+    def test_observe_own_writes(self):
+        history = History.from_sessions(
+            [
+                [Transaction([write("x", 1)])],
+                [Transaction([write("x", 2), read("x", 1)])],
+            ]
+        )
+        result = check_all_levels(history)[IsolationLevel.CAUSAL_CONSISTENCY]
+        assert ViolationKind.NOT_OWN_WRITE in result.violation_kinds()
+
+    def test_observe_latest_write(self):
+        history = History.from_sessions(
+            [
+                [Transaction([write("x", 1), write("x", 2)])],
+                [Transaction([read("x", 1)])],
+            ]
+        )
+        result = check_all_levels(history)[IsolationLevel.READ_COMMITTED]
+        assert ViolationKind.NOT_LATEST_WRITE in result.violation_kinds()
+
+
+class TestFig5GeneralReduction:
+    """Fig. 5: the triangle graph 1-2-3 maps to an RC-inconsistent history."""
+
+    def test_triangle_graph_history_is_inconsistent_at_every_level(self):
+        graph = UndirectedGraph(3, [(0, 1), (1, 2), (0, 2)])
+        history = general_reduction(graph)
+        for level in IsolationLevel:
+            assert not check(history, level).is_consistent
+
+    def test_path_graph_history_is_consistent_at_every_level(self):
+        graph = UndirectedGraph(3, [(0, 1), (1, 2)])
+        history = general_reduction(graph)
+        for level in IsolationLevel:
+            assert check(history, level).is_consistent
+
+    def test_construction_shape_matches_paper(self):
+        graph = UndirectedGraph(3, [(0, 1), (1, 2), (0, 2)])
+        history = general_reduction(graph)
+        # One session per transaction, two transactions per node.
+        assert history.num_sessions == 2 * graph.num_vertices
+        assert all(len(session) == 1 for session in history.sessions)
+
+
+class TestFig6RaReduction:
+    """Fig. 6: the two-session RA reduction."""
+
+    def test_triangle_graph_violates_ra(self):
+        graph = UndirectedGraph(3, [(0, 1), (1, 2), (0, 2)])
+        history = ra_two_session_reduction(graph)
+        assert history.num_sessions == 2
+        assert not check(history, IsolationLevel.READ_ATOMIC).is_consistent
+
+    def test_triangle_free_graph_satisfies_ra(self):
+        graph = UndirectedGraph(4, [(0, 1), (1, 2), (2, 3)])
+        history = ra_two_session_reduction(graph)
+        assert check(history, IsolationLevel.READ_ATOMIC).is_consistent
+
+
+class TestRcSingleSessionReduction:
+    """Section 4.2: the one-session RC reduction behind Theorem 1.5."""
+
+    def test_triangle_graph_violates_rc_with_one_session(self):
+        graph = UndirectedGraph(3, [(0, 1), (1, 2), (0, 2)])
+        history = rc_single_session_reduction(graph)
+        assert history.num_sessions == 1
+        assert not check(history, IsolationLevel.READ_COMMITTED).is_consistent
+
+    def test_triangle_free_graph_satisfies_rc_with_one_session(self):
+        graph = UndirectedGraph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        history = rc_single_session_reduction(graph)
+        assert check(history, IsolationLevel.READ_COMMITTED).is_consistent

@@ -1,0 +1,157 @@
+"""Tests for the Read Atomic checker (Algorithm 2 and Theorem 1.6)."""
+
+import pytest
+
+from repro.core.model import History, Transaction, read, write
+from repro.core.ra import (
+    check_ra,
+    check_ra_single_session,
+    check_repeatable_reads,
+)
+from repro.core.violations import ViolationKind
+
+from helpers import fig_1a, fig_4a, fig_4b, fig_4c, fig_4d
+
+
+class TestVerdicts:
+    def test_fig_4b_is_ra_inconsistent(self):
+        result = check_ra(fig_4b())
+        assert not result.is_consistent
+
+    def test_fig_4c_is_ra_consistent(self):
+        assert check_ra(fig_4c()).is_consistent
+
+    def test_fig_4d_is_ra_consistent(self):
+        assert check_ra(fig_4d()).is_consistent
+
+    def test_fig_4a_and_1a_are_ra_inconsistent(self):
+        assert not check_ra(fig_4a()).is_consistent
+        assert not check_ra(fig_1a()).is_consistent
+
+    def test_write_only_history_is_consistent(self):
+        sessions = [[Transaction([write(f"k{i}", i)]) for i in range(4)]]
+        assert check_ra(History.from_sessions(sessions)).is_consistent
+
+
+class TestFracturedReads:
+    def test_concurrent_writers_allow_either_commit_order(self):
+        # t3 reads y from t2 and x from t1; t1 and t2 are concurrent, so a
+        # commit order placing t2 before t1 satisfies the RA axiom.
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([write("x", 2), write("y", 2)], label="t2")
+        t3 = Transaction([read("y", 2), read("x", 1)], label="t3")
+        history = History.from_sessions([[t1], [t2], [t3]])
+        assert check_ra(history).is_consistent
+
+    def test_fractured_read_of_ordered_writers_is_a_violation(self):
+        # Same shape as Fig. 4b but the writers are ordered by wr instead of
+        # so: t2 observes t1, so t1 must commit first, yet t3 reads y from t2
+        # and the stale x from t1.
+        t1 = Transaction([write("x", 1), write("y", 1)], label="t1")
+        t2 = Transaction([read("y", 1), write("x", 2), write("z", 2)], label="t2")
+        t3 = Transaction([read("z", 2), read("x", 1)], label="t3")
+        history = History.from_sessions([[t1], [t2], [t3]])
+        assert not check_ra(history).is_consistent
+
+    def test_observing_all_of_a_transaction_is_fine(self):
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([write("x", 2), write("y", 2)], label="t2")
+        t3 = Transaction([read("y", 2), read("x", 2)], label="t3")
+        history = History.from_sessions([[t1], [t2], [t3]])
+        assert check_ra(history).is_consistent
+
+    def test_session_order_case_of_the_axiom(self):
+        # t2 is an so-predecessor of the reader and writes x; since t2 also
+        # observed t1 (forcing t1 before t2), reading the older x from t1
+        # violates RA.
+        t1 = Transaction([write("x", 1), write("y", 1)], label="t1")
+        t2 = Transaction([read("y", 1), write("x", 2)], label="t2")
+        t3 = Transaction([read("x", 1)], label="t3")
+        history = History.from_sessions([[t1], [t2, t3]])
+        assert not check_ra(history).is_consistent
+
+    def test_session_order_case_consistent_variant(self):
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([write("x", 2)], label="t2")
+        t3 = Transaction([read("x", 2)], label="t3")
+        history = History.from_sessions([[t1], [t2, t3]])
+        assert check_ra(history).is_consistent
+
+
+class TestRepeatableReads:
+    def test_reading_same_key_from_two_transactions_reported(self):
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([write("x", 2)], label="t2")
+        t3 = Transaction([read("x", 1), read("x", 2)], label="t3")
+        history = History.from_sessions([[t1], [t2], [t3]])
+        violations = check_repeatable_reads(history, set())
+        assert len(violations) == 1
+        assert violations[0].kind is ViolationKind.NON_REPEATABLE_READ
+
+    def test_rereading_same_transaction_is_fine(self):
+        t1 = Transaction([write("x", 1)], label="t1")
+        t3 = Transaction([read("x", 1), read("x", 1)], label="t3")
+        history = History.from_sessions([[t1], [t3]])
+        assert check_repeatable_reads(history, set()) == []
+
+    def test_non_repeatable_read_makes_history_ra_inconsistent(self):
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([write("x", 2)], label="t2")
+        t3 = Transaction([read("x", 1), read("x", 2)], label="t3")
+        history = History.from_sessions([[t1], [t2], [t3]])
+        result = check_ra(history)
+        assert not result.is_consistent
+        assert ViolationKind.NON_REPEATABLE_READ in result.violation_kinds()
+
+
+class TestSingleSession:
+    def test_single_session_fast_path_requires_one_session(self):
+        with pytest.raises(ValueError):
+            check_ra_single_session(fig_4b())
+
+    def test_single_session_consistent_history(self):
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([write("x", 2)], label="t2")
+        t3 = Transaction([read("x", 2)], label="t3")
+        history = History.from_sessions([[t1, t2, t3]])
+        assert check_ra_single_session(history).is_consistent
+
+    def test_single_session_stale_read_is_violation(self):
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([write("x", 2)], label="t2")
+        t3 = Transaction([read("x", 1)], label="t3")
+        history = History.from_sessions([[t1, t2, t3]])
+        assert not check_ra_single_session(history).is_consistent
+
+    def test_fast_path_agrees_with_general_algorithm(self):
+        histories = []
+        t1 = Transaction([write("x", 1), write("y", 1)])
+        t2 = Transaction([read("x", 1), write("x", 2)])
+        t3 = Transaction([read("y", 1), read("x", 2)])
+        histories.append(History.from_sessions([[t1, t2, t3]]))
+        u1 = Transaction([write("x", 1)])
+        u2 = Transaction([write("x", 2)])
+        u3 = Transaction([read("x", 1)])
+        histories.append(History.from_sessions([[u1, u2, u3]]))
+        for history in histories:
+            assert (
+                check_ra_single_session(history).is_consistent
+                == check_ra(history).is_consistent
+            )
+
+    def test_fast_path_checker_name(self):
+        history = History.from_sessions([[Transaction([write("x", 1)])]])
+        assert check_ra_single_session(history).checker == "awdit-1session"
+
+
+class TestReporting:
+    def test_stats_and_metadata(self):
+        result = check_ra(fig_4b())
+        assert result.level.short_name == "RA"
+        assert result.num_sessions == 2
+        assert "inferred_edges" in result.stats
+
+    def test_read_consistency_failures_propagate(self):
+        history = History.from_sessions([[Transaction([read("x", 3)])]])
+        result = check_ra(history)
+        assert ViolationKind.THIN_AIR_READ in result.violation_kinds()

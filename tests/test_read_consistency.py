@@ -1,0 +1,111 @@
+"""Tests for the Read Consistency check (Definition 2.3 / Algorithm 4 / Fig. 2)."""
+
+from repro.core.model import History, Transaction, read, write
+from repro.core.read_consistency import check_read_consistency
+from repro.core.violations import ViolationKind
+
+
+def kinds(history):
+    report = check_read_consistency(history)
+    return [v.kind for v in report.violations]
+
+
+class TestThinAirReads:
+    def test_read_of_unwritten_value_reported(self):
+        history = History.from_sessions([[Transaction([read("x", 42)])]])
+        assert kinds(history) == [ViolationKind.THIN_AIR_READ]
+
+    def test_read_of_written_value_ok(self):
+        history = History.from_sessions(
+            [[Transaction([write("x", 42)])], [Transaction([read("x", 42)])]]
+        )
+        assert kinds(history) == []
+
+    def test_bad_read_recorded_for_downstream_checkers(self):
+        history = History.from_sessions([[Transaction([read("x", 42)])]])
+        report = check_read_consistency(history)
+        assert len(report.bad_reads) == 1
+
+
+class TestAbortedReads:
+    def test_read_from_aborted_transaction_reported(self):
+        writer = Transaction([write("x", 1)], committed=False)
+        reader = Transaction([read("x", 1)])
+        history = History.from_sessions([[writer], [reader]])
+        assert kinds(history) == [ViolationKind.ABORTED_READ]
+
+    def test_aborted_transactions_own_reads_not_checked(self):
+        aborted = Transaction([read("x", 99)], committed=False)
+        history = History.from_sessions([[aborted]])
+        assert kinds(history) == []
+
+
+class TestFutureReads:
+    def test_read_before_own_write_reported(self):
+        txn = Transaction([read("x", 1), write("x", 1)])
+        history = History.from_sessions([[txn]])
+        assert kinds(history) == [ViolationKind.FUTURE_READ]
+
+    def test_read_after_own_write_ok(self):
+        txn = Transaction([write("x", 1), read("x", 1)])
+        history = History.from_sessions([[txn]])
+        assert kinds(history) == []
+
+
+class TestObserveOwnWrites:
+    def test_external_read_shadowed_by_own_write_reported(self):
+        other = Transaction([write("x", 1)])
+        txn = Transaction([write("x", 2), read("x", 1)])
+        history = History.from_sessions([[other], [txn]])
+        assert ViolationKind.NOT_OWN_WRITE in kinds(history)
+
+    def test_external_read_before_own_write_ok(self):
+        other = Transaction([write("x", 1)])
+        txn = Transaction([read("x", 1), write("x", 2)])
+        history = History.from_sessions([[other], [txn]])
+        assert kinds(history) == []
+
+
+class TestObserveLatestWrite:
+    def test_read_of_non_final_external_write_reported(self):
+        writer = Transaction([write("x", 1), write("x", 2)])
+        reader = Transaction([read("x", 1)])
+        history = History.from_sessions([[writer], [reader]])
+        assert kinds(history) == [ViolationKind.NOT_LATEST_WRITE]
+
+    def test_read_of_final_external_write_ok(self):
+        writer = Transaction([write("x", 1), write("x", 2)])
+        reader = Transaction([read("x", 2)])
+        history = History.from_sessions([[writer], [reader]])
+        assert kinds(history) == []
+
+    def test_stale_own_write_read_reported(self):
+        txn = Transaction([write("x", 1), write("x", 2), read("x", 1)])
+        history = History.from_sessions([[txn]])
+        assert kinds(history) == [ViolationKind.NOT_LATEST_WRITE]
+
+    def test_latest_own_write_read_ok(self):
+        txn = Transaction([write("x", 1), write("x", 2), read("x", 2)])
+        history = History.from_sessions([[txn]])
+        assert kinds(history) == []
+
+    def test_non_final_write_may_be_read_before_overwrite_in_same_txn(self):
+        txn = Transaction([write("x", 1), read("x", 1), write("x", 2)])
+        history = History.from_sessions([[txn]])
+        assert kinds(history) == []
+
+
+class TestMultipleViolations:
+    def test_all_offending_reads_reported(self):
+        t1 = Transaction([read("x", 5), read("y", 6)])
+        history = History.from_sessions([[t1]])
+        report = check_read_consistency(history)
+        assert len(report.violations) == 2
+        assert not report.ok
+
+    def test_ok_report_has_no_bad_reads(self):
+        history = History.from_sessions(
+            [[Transaction([write("x", 1)])], [Transaction([read("x", 1)])]]
+        )
+        report = check_read_consistency(history)
+        assert report.ok and not report.bad_reads

@@ -1,0 +1,220 @@
+"""Tests for the SAT solver, the acyclicity theory, and the SAT-based checkers."""
+
+import itertools
+
+import pytest
+
+from repro.baselines.sat.acyclicity import AcyclicityEncoder
+from repro.baselines.sat.monosat import check_cc_monosat
+from repro.baselines.sat.polysi import check_si_polysi
+from repro.baselines.sat.serializable import check_serializability
+from repro.baselines.sat.solver import SATSolver
+from repro.core import IsolationLevel, check
+from repro.core.model import History, Transaction, read, write
+from repro.histories.generator import RandomHistoryConfig, generate_random_history
+
+from helpers import PAPER_VERDICTS, all_paper_histories, fig_4d
+
+
+class TestSATSolver:
+    def test_trivially_satisfiable(self):
+        solver = SATSolver()
+        a = solver.new_var()
+        solver.add_clause([a])
+        model = solver.solve()
+        assert model is not None and model[a]
+
+    def test_trivially_unsatisfiable(self):
+        solver = SATSolver()
+        a = solver.new_var()
+        solver.add_clause([a])
+        solver.add_clause([-a])
+        assert solver.solve() is None
+
+    def test_empty_clause_is_unsat(self):
+        solver = SATSolver()
+        solver.add_clause([])
+        assert solver.solve() is None
+
+    def test_zero_literal_rejected(self):
+        solver = SATSolver()
+        with pytest.raises(ValueError):
+            solver.add_clause([0])
+
+    def test_tautologies_are_dropped(self):
+        solver = SATSolver()
+        a = solver.new_var()
+        solver.add_clause([a, -a])
+        assert solver.num_clauses == 0
+        assert solver.solve() is not None
+
+    def test_unit_propagation_chain(self):
+        solver = SATSolver()
+        variables = solver.new_vars(5)
+        solver.add_clause([variables[0]])
+        for left, right in zip(variables, variables[1:]):
+            solver.add_clause([-left, right])
+        model = solver.solve()
+        assert model is not None
+        assert all(model[v] for v in variables)
+
+    def test_satisfiable_3cnf(self):
+        solver = SATSolver()
+        a, b, c = solver.new_vars(3)
+        solver.add_clause([a, b, c])
+        solver.add_clause([-a, b])
+        solver.add_clause([-b, c])
+        solver.add_clause([-c, -a])
+        model = solver.solve()
+        assert model is not None
+        # Verify the model satisfies every clause.
+        def val(lit):
+            return model[abs(lit)] if lit > 0 else not model[abs(lit)]
+        for clause in [[a, b, c], [-a, b], [-b, c], [-c, -a]]:
+            assert any(val(lit) for lit in clause)
+
+    def test_pigeonhole_3_into_2_is_unsat(self):
+        solver = SATSolver()
+        holes = 2
+        pigeons = 3
+        var = {}
+        for p in range(pigeons):
+            for h in range(holes):
+                var[(p, h)] = solver.new_var()
+        for p in range(pigeons):
+            solver.add_clause([var[(p, h)] for h in range(holes)])
+        for h in range(holes):
+            for p1, p2 in itertools.combinations(range(pigeons), 2):
+                solver.add_clause([-var[(p1, h)], -var[(p2, h)]])
+        assert solver.solve() is None
+
+    def test_assumptions_respected(self):
+        solver = SATSolver()
+        a, b = solver.new_vars(2)
+        solver.add_clause([a, b])
+        model = solver.solve(assumptions=[-a])
+        assert model is not None and model[b] and not model[a]
+
+    def test_conflicting_assumption_is_unsat(self):
+        solver = SATSolver()
+        a = solver.new_var()
+        solver.add_clause([a])
+        assert solver.solve(assumptions=[-a]) is None
+
+    def test_moderate_random_instances_agree_with_bruteforce(self):
+        import random
+
+        rng = random.Random(4)
+        for _ in range(15):
+            num_vars = 6
+            clauses = []
+            for _ in range(rng.randint(5, 18)):
+                clause = [
+                    rng.choice([1, -1]) * rng.randint(1, num_vars)
+                    for _ in range(rng.randint(1, 3))
+                ]
+                clauses.append(clause)
+            solver = SATSolver()
+            solver.new_vars(num_vars)
+            for clause in clauses:
+                solver.add_clause(clause)
+            got = solver.solve() is not None
+            expected = any(
+                all(
+                    any(
+                        (lit > 0) == bool(assignment[abs(lit) - 1])
+                        for lit in clause
+                    )
+                    for clause in clauses
+                )
+                for assignment in itertools.product([False, True], repeat=num_vars)
+            )
+            assert got == expected
+
+
+class TestAcyclicityEncoder:
+    def test_hard_cycle_is_unsat(self):
+        encoder = AcyclicityEncoder(2)
+        encoder.add_hard_edge(0, 1)
+        encoder.add_hard_edge(1, 0)
+        assert encoder.solve() is None
+
+    def test_required_edges_forming_cycle_is_unsat(self):
+        encoder = AcyclicityEncoder(2)
+        encoder.require_edge(0, 1)
+        encoder.require_edge(1, 0)
+        assert encoder.solve() is None
+
+    def test_choice_avoids_cycle(self):
+        encoder = AcyclicityEncoder(2)
+        encoder.add_hard_edge(0, 1)
+        # Either edge direction may be picked, but only 0->1 keeps acyclicity.
+        encoder.add_clause([encoder.edge_var(1, 0), encoder.edge_var(0, 1)])
+        chosen = encoder.solve()
+        assert chosen is not None
+        assert (1, 0) not in chosen
+
+    def test_acyclic_selection_returned(self):
+        encoder = AcyclicityEncoder(3)
+        encoder.require_edge(0, 1)
+        encoder.require_edge(1, 2)
+        chosen = encoder.solve()
+        assert set(chosen) == {(0, 1), (1, 2)}
+
+
+class TestSATCheckers:
+    @pytest.mark.parametrize("name", sorted(PAPER_VERDICTS))
+    def test_monosat_matches_cc_verdict(self, name):
+        history = all_paper_histories()[name]
+        assert check_cc_monosat(history).is_consistent == PAPER_VERDICTS[name][2]
+
+    def test_monosat_agrees_with_awdit_on_random_histories(self):
+        for seed in range(6):
+            history = generate_random_history(
+                RandomHistoryConfig(
+                    seed=seed, mode="random_reads", num_transactions=15, num_keys=4
+                )
+            )
+            assert (
+                check_cc_monosat(history).is_consistent
+                == check(history, IsolationLevel.CAUSAL_CONSISTENCY).is_consistent
+            )
+
+    def test_serializable_histories_accepted_by_ser_and_si(self):
+        for seed in range(4):
+            history = generate_random_history(
+                RandomHistoryConfig(seed=seed, num_transactions=15, num_keys=5)
+            )
+            assert check_serializability(history).is_consistent
+            assert check_si_polysi(history).is_consistent
+
+    def test_fig_4d_shows_si_ser_are_stronger_than_cc(self):
+        # Fig. 4d is CC-consistent but exhibits a lost update, so both the
+        # SI and the SER checkers must reject it.
+        history = fig_4d()
+        assert check(history, IsolationLevel.CAUSAL_CONSISTENCY).is_consistent
+        assert not check_si_polysi(history).is_consistent
+        assert not check_serializability(history).is_consistent
+
+    def test_weak_violations_are_also_si_violations(self):
+        # Completeness of PolySI for weak anomalies: a CC violation is always
+        # an SI violation too (SI ⊑ CC).
+        history = all_paper_histories()["fig_4c"]
+        assert not check_si_polysi(history).is_consistent
+
+    def test_write_skew_violates_ser_but_not_si(self):
+        # The classic write-skew anomaly: disjoint writes based on reads of
+        # each other's keys.  Allowed under SI, rejected under SER.
+        t0 = Transaction([write("x", 0), write("y", 0)], label="init")
+        t1 = Transaction([read("x", 0), read("y", 0), write("x", 1)], label="t1")
+        t2 = Transaction([read("x", 0), read("y", 0), write("y", 2)], label="t2")
+        history = History.from_sessions([[t0], [t1], [t2]])
+        assert check_si_polysi(history).is_consistent
+        assert not check_serializability(history).is_consistent
+
+    def test_serializable_simple_chain(self):
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([read("x", 1), write("x", 2)], label="t2")
+        t3 = Transaction([read("x", 2)], label="t3")
+        history = History.from_sessions([[t1], [t2], [t3]])
+        assert check_serializability(history).is_consistent

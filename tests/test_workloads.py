@@ -1,0 +1,160 @@
+"""Tests for the workload generators and the workload runner."""
+
+import pytest
+
+from repro.core import IsolationLevel, check, check_all_levels
+from repro.db.config import DatabaseConfig, IsolationMode
+from repro.db.database import SimulatedDatabase
+from repro.workloads import (
+    CTwitterWorkload,
+    RUBiSWorkload,
+    ScalableTransactionWorkload,
+    TPCCWorkload,
+    WorkloadRunConfig,
+    collect_history,
+    run_workload,
+    workload_by_name,
+)
+
+
+ALL_WORKLOADS = [
+    TPCCWorkload(num_warehouses=1, num_items=20, customers_per_district=5),
+    CTwitterWorkload(num_users=10),
+    RUBiSWorkload(num_users=8, num_items=24),
+    ScalableTransactionWorkload(num_keys=30, ops_per_transaction=6),
+]
+
+
+class TestWorkloadShapes:
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+    def test_initial_keys_nonempty_and_unique(self, workload):
+        keys = workload.initial_keys()
+        assert keys
+        assert len(keys) == len(set(keys))
+
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+    def test_collect_history_produces_requested_transactions(self, workload):
+        history = collect_history(
+            workload,
+            DatabaseConfig(seed=2),
+            num_sessions=4,
+            num_transactions=50,
+            seed=5,
+        )
+        # +1 for the initialization transaction.
+        assert history.num_transactions == 51
+        assert history.num_sessions == 4
+
+    @pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+    def test_histories_from_serializable_database_are_consistent(self, workload):
+        history = collect_history(
+            workload,
+            DatabaseConfig(seed=2),
+            num_sessions=4,
+            num_transactions=60,
+            seed=5,
+        )
+        assert all(r.is_consistent for r in check_all_levels(history).values())
+
+    def test_describe_mentions_name(self):
+        assert "tpcc" in TPCCWorkload().describe()
+
+    def test_ctwitter_average_transaction_size_is_moderate(self):
+        history = collect_history(
+            CTwitterWorkload(num_users=20),
+            DatabaseConfig(seed=1),
+            num_sessions=5,
+            num_transactions=300,
+            seed=2,
+        )
+        sizes = [
+            len(history.transactions[tid])
+            for tid in history.committed[1:]  # skip the init transaction
+        ]
+        average = sum(sizes) / len(sizes)
+        # The paper reports ~7.6 ops per transaction for C-Twitter.
+        assert 3.0 <= average <= 12.0
+
+    def test_scalable_workload_has_exact_transaction_size(self):
+        workload = ScalableTransactionWorkload(num_keys=20, ops_per_transaction=9)
+        history = collect_history(
+            workload, DatabaseConfig(seed=4), num_sessions=3, num_transactions=40, seed=1
+        )
+        sizes = {len(history.transactions[tid]) for tid in history.committed[1:]}
+        assert sizes == {9}
+
+    def test_scalable_workload_validates_parameters(self):
+        with pytest.raises(ValueError):
+            ScalableTransactionWorkload(ops_per_transaction=0)
+        with pytest.raises(ValueError):
+            ScalableTransactionWorkload(read_fraction=2.0)
+
+    def test_tpcc_touches_expected_key_families(self):
+        history = collect_history(
+            TPCCWorkload(num_warehouses=1, num_items=10),
+            DatabaseConfig(seed=8),
+            num_sessions=3,
+            num_transactions=100,
+            seed=8,
+        )
+        keys = {str(k) for k in history.keys}
+        assert any("ytd" in k for k in keys)
+        assert any(":s" in k and ":qty" in k for k in keys)
+
+    def test_rubis_touches_items_and_users(self):
+        history = collect_history(
+            RUBiSWorkload(num_users=6, num_items=12),
+            DatabaseConfig(seed=8),
+            num_sessions=3,
+            num_transactions=80,
+            seed=8,
+        )
+        keys = {str(k) for k in history.keys}
+        assert any(k.startswith("item") for k in keys)
+        assert any(k.startswith("user") for k in keys)
+
+
+class TestRunner:
+    def test_run_config_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadRunConfig(num_sessions=0).validate()
+        with pytest.raises(ValueError):
+            WorkloadRunConfig(num_transactions=-1).validate()
+
+    def test_run_workload_is_deterministic_given_seeds(self):
+        def run():
+            database = SimulatedDatabase(DatabaseConfig(seed=3, num_replicas=2))
+            return run_workload(
+                CTwitterWorkload(num_users=5),
+                database,
+                WorkloadRunConfig(num_sessions=3, num_transactions=40, seed=9),
+            )
+
+        first, second = run(), run()
+        assert [t.operations for t in first.transactions] == [
+            t.operations for t in second.transactions
+        ]
+
+    def test_workload_by_name(self):
+        assert workload_by_name("tpcc").name == "tpcc"
+        assert workload_by_name("C-Twitter").name == "ctwitter"
+        assert workload_by_name("rubis").name == "rubis"
+        assert workload_by_name("custom", ops_per_transaction=4).ops_per_transaction == 4
+        with pytest.raises(ValueError):
+            workload_by_name("ycsb")
+
+    def test_weak_database_modes_stay_within_their_level(self):
+        config = DatabaseConfig(
+            isolation=IsolationMode.READ_COMMITTED,
+            num_replicas=4,
+            replication_lag=40.0,
+            seed=11,
+        )
+        history = collect_history(
+            CTwitterWorkload(num_users=8),
+            config,
+            num_sessions=8,
+            num_transactions=250,
+            seed=4,
+        )
+        assert check(history, IsolationLevel.READ_COMMITTED).is_consistent
