@@ -1,0 +1,110 @@
+"""Streaming vs. batch checking throughput on large on-disk logs.
+
+The streaming engine must not give up meaningful throughput for its
+bounded-memory, one-pass operation: the acceptance bar is a ≥100k-operation
+log checked via the streaming parsers at throughput within 2x of the batch
+pipeline (load + check).  Measured txns/sec for both pipelines are recorded
+in ``results.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import IsolationLevel, check
+from repro.histories.formats import load_history, save_history, stream_history
+from repro.histories.generator import RandomHistoryConfig, generate_random_history
+from repro.stream import check_stream
+
+LEVELS = list(IsolationLevel)
+
+
+def _large_history(num_transactions: int = 15_000, seed: int = 11):
+    """A ≥100k-operation history (~8 ops/txn) with realistic read mix."""
+    config = RandomHistoryConfig(
+        num_sessions=8,
+        num_transactions=num_transactions,
+        num_keys=500,
+        min_ops_per_txn=6,
+        max_ops_per_txn=10,
+        read_fraction=0.5,
+        mode="serializable",
+        seed=seed,
+    )
+    return generate_random_history(config)
+
+
+@pytest.mark.parametrize("fmt,ext", [("plume", ".plume"), ("native", ".json")])
+@pytest.mark.parametrize("level", LEVELS, ids=[lvl.short_name for lvl in LEVELS])
+def test_streaming_throughput_within_2x_of_batch(tmp_path, results, fmt, ext, level):
+    history = _large_history()
+    assert history.num_operations >= 100_000
+    path = tmp_path / f"large{ext}"
+    save_history(history, str(path), fmt=fmt)
+
+    start = time.perf_counter()
+    loaded = load_history(str(path), fmt=fmt)
+    batch_result = check(loaded, level)
+    batch_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    stream_result = check_stream(stream_history(str(path), fmt=fmt), level)
+    stream_seconds = time.perf_counter() - start
+
+    assert stream_result.is_consistent == batch_result.is_consistent
+    txns = history.num_transactions
+    results.record(
+        "streaming_throughput",
+        f"{fmt}_{level.short_name}",
+        {
+            "operations": history.num_operations,
+            "batch_txns_per_sec": txns / batch_seconds,
+            "stream_txns_per_sec": txns / stream_seconds,
+            "slowdown": stream_seconds / batch_seconds,
+        },
+    )
+    assert stream_seconds <= 2.0 * batch_seconds, (
+        f"streaming took {stream_seconds:.2f}s vs batch {batch_seconds:.2f}s "
+        f"(> 2x) for {fmt}/{level.short_name}"
+    )
+
+
+def test_streaming_violation_detection_throughput(tmp_path, results):
+    """Streaming stays within 2x of batch on an anomalous history too."""
+    config = RandomHistoryConfig(
+        num_sessions=8,
+        num_transactions=15_000,
+        num_keys=500,
+        min_ops_per_txn=6,
+        max_ops_per_txn=10,
+        read_fraction=0.5,
+        mode="random_reads",
+        seed=12,
+    )
+    history = generate_random_history(config)
+    path = tmp_path / "anomalous.plume"
+    save_history(history, str(path), fmt="plume")
+
+    start = time.perf_counter()
+    loaded = load_history(str(path), fmt="plume")
+    batch_result = check(loaded, IsolationLevel.CAUSAL_CONSISTENCY)
+    batch_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    stream_result = check_stream(
+        stream_history(str(path), fmt="plume"), IsolationLevel.CAUSAL_CONSISTENCY
+    )
+    stream_seconds = time.perf_counter() - start
+
+    assert stream_result.is_consistent == batch_result.is_consistent
+    assert sorted(v.kind.name for v in stream_result.violations) == sorted(
+        v.kind.name for v in batch_result.violations
+    )
+    results.record(
+        "streaming_throughput",
+        "anomalous_CC",
+        {"slowdown": stream_seconds / batch_seconds},
+    )
+    assert stream_seconds <= 2.0 * batch_seconds

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Check a large on-disk history log in one streaming pass.
+
+The batch workflow (`load_history` + `check`) materializes the entire
+history in memory before checking it.  This example shows the streaming
+workflow instead:
+
+1. generate a sizeable history and write it to disk as a plume-style log,
+2. replay the log through the iterator-based parser + IncrementalChecker,
+   which keeps only transaction-level summaries in memory,
+3. watch read-level violations surface *while* the log is streaming, long
+   before the end of the file,
+4. finalize and compare the verdicts with the batch checker.
+
+Run with::
+
+    python examples/streaming_log_check.py
+"""
+
+import os
+import tempfile
+
+from repro import IncrementalChecker, IsolationLevel, check
+from repro.core.witnesses import format_report
+from repro.histories.formats import load_history, save_history, stream_history
+from repro.histories.generator import (
+    RandomHistoryConfig,
+    generate_random_history,
+    inject_anomaly,
+)
+from repro.core.violations import ViolationKind
+
+
+def make_log(path: str) -> None:
+    """Write a ~40k-operation log containing one injected anomaly."""
+    config = RandomHistoryConfig(
+        num_sessions=6,
+        num_transactions=5000,
+        num_keys=300,
+        min_ops_per_txn=4,
+        max_ops_per_txn=10,
+        read_fraction=0.5,
+        mode="serializable",
+        seed=42,
+    )
+    history = generate_random_history(config)
+    history = inject_anomaly(history, ViolationKind.NOT_LATEST_WRITE)
+    save_history(history, path, fmt="plume")
+    size_kb = os.path.getsize(path) // 1024
+    print(f"wrote {history.describe()} to {path} ({size_kb} KiB)")
+
+
+def stream_check(path: str) -> None:
+    """One-pass check with progress reporting and early violation output."""
+    checker = IncrementalChecker(levels=(IsolationLevel.CAUSAL_CONSISTENCY,))
+    reported = 0
+    for session_id, txn in stream_history(path, fmt="plume"):
+        checker.append(session_id, txn)
+        # Read-level anomalies become visible the moment the offending read
+        # resolves -- no need to wait for the end of the log.
+        live = checker.violations
+        while reported < len(live):
+            violation = live[reported]
+            print(
+                f"  !! after {checker.num_transactions} txns "
+                f"({checker.num_operations} ops): {violation.describe()}"
+            )
+            reported += 1
+    results = checker.finalize()
+    result = results[IsolationLevel.CAUSAL_CONSISTENCY]
+    print(f"\nstreaming verdict : {result.summary()}")
+    if not result.is_consistent:
+        print(format_report(result.violations, limit=3))
+
+    # The batch checker agrees (the streaming engine is property-tested to
+    # return identical verdicts and violation kinds).
+    batch = check(load_history(path, fmt="plume"), IsolationLevel.CAUSAL_CONSISTENCY)
+    print(f"batch verdict     : {batch.summary()}")
+    assert batch.is_consistent == result.is_consistent
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "observed.plume")
+        make_log(path)
+        stream_check(path)
+
+
+if __name__ == "__main__":
+    main()

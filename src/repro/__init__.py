@@ -17,6 +17,9 @@ The package is organised as follows:
   naive reference checkers).
 * :mod:`repro.lowerbounds` -- the triangle-freeness reductions behind the
   paper's conditional lower bounds.
+* :mod:`repro.stream` -- the streaming (online) checking engine: incremental
+  checkers that consume transactions as they arrive and pair with the
+  iterator-based format parsers to check logs larger than RAM in one pass.
 * :mod:`repro.cli` -- the ``awdit`` command-line tool.
 
 Quickstart::
@@ -51,6 +54,7 @@ from repro.core import (
     read,
     write,
 )
+from repro.stream import IncrementalChecker, check_stream
 
 __version__ = "1.0.0"
 
@@ -73,5 +77,7 @@ __all__ = [
     "Violation",
     "ViolationKind",
     "CycleViolation",
+    "IncrementalChecker",
+    "check_stream",
     "__version__",
 ]

@@ -53,6 +53,14 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--witnesses", "-w", type=int, default=5, help="maximum number of witnesses to print"
     )
+    check_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "check the file in one streaming pass (memory proportional to live "
+            "state, not history size); only the awdit checker supports this"
+        ),
+    )
 
     generate_parser = subparsers.add_parser(
         "generate", help="collect a history from the simulated database"
@@ -90,12 +98,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _run_check(args: argparse.Namespace) -> int:
-    history = load_history(args.history, fmt=args.format)
     level = IsolationLevel.from_string(args.isolation)
     checker_name = args.checker.lower()
-    if checker_name in ("awdit", "default"):
-        result: CheckResult = check(history, level, max_witnesses=args.witnesses)
+    if args.stream:
+        if checker_name not in ("awdit", "default"):
+            print(
+                f"--stream supports only the awdit checker, not {args.checker!r}",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.histories.formats import stream_history
+        from repro.stream import check_stream
+
+        result: CheckResult = check_stream(
+            stream_history(args.history, fmt=args.format),
+            level,
+            max_witnesses=args.witnesses,
+        )
+    elif checker_name in ("awdit", "default"):
+        history = load_history(args.history, fmt=args.format)
+        result = check(history, level, max_witnesses=args.witnesses)
     elif checker_name in BASELINE_REGISTRY:
+        history = load_history(args.history, fmt=args.format)
         result = BASELINE_REGISTRY[checker_name](history, level)
     else:
         print(f"unknown checker {args.checker!r}", file=sys.stderr)

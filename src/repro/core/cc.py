@@ -15,7 +15,7 @@ running time is ``O(n · k)`` for a history of size ``n`` with ``k`` sessions
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.commit import CommitRelation
 from repro.core.isolation import IsolationLevel
@@ -31,7 +31,7 @@ from repro.graph.cycles import (
 from repro.graph.digraph import DiGraph
 from repro.graph.vector_clock import VectorClock
 
-__all__ = ["check_cc", "compute_happens_before", "saturate_cc"]
+__all__ = ["check_cc", "compute_happens_before", "saturate_cc", "causality_cycles"]
 
 
 def _causality_graph(
@@ -40,7 +40,10 @@ def _causality_graph(
     """Transaction-level ``so ∪ wr`` graph over committed transactions.
 
     Also returns a map from edge to the key of the witnessing read (``None``
-    for session-order edges), used to label causality-cycle witnesses.
+    for session-order edges), used to label causality-cycle witnesses.  When
+    an edge is justified by both ``so`` and ``wr`` (a session reading its
+    predecessor's write) the witnessing key is retained, so cycle witnesses
+    never misreport a ``wr``-derived edge as bare ``so``.
     """
     graph = DiGraph(history.num_transactions)
     labels: Dict[Tuple[int, int], Optional[str]] = {}
@@ -60,16 +63,25 @@ def _causality_graph(
             if (writer, tid) not in labels:
                 labels[(writer, tid)] = op.key
                 graph.add_edge(writer, tid)
+            elif labels[(writer, tid)] is None:
+                # The edge was recorded as a bare `so` edge; keep the keyed
+                # wr label so witnesses can name the witnessing key.
+                labels[(writer, tid)] = op.key
     return graph, labels
 
 
-def _causality_cycles(
-    history: History,
+def causality_cycles(
+    names: Sequence[str],
     graph: DiGraph,
     labels: Dict[Tuple[int, int], Optional[str]],
     max_witnesses: Optional[int] = None,
 ) -> List[Violation]:
-    """One causality-cycle witness per non-trivial SCC of ``so ∪ wr``."""
+    """One causality-cycle witness per non-trivial SCC of ``so ∪ wr``.
+
+    ``names`` maps dense transaction ids to printable names.  Exposed for the
+    streaming checker, which builds the causality graph from transaction-level
+    summaries instead of a materialized history.
+    """
     violations: List[Violation] = []
     for component in strongly_connected_components(graph):
         if len(component) <= 1:
@@ -81,17 +93,28 @@ def _causality_cycles(
             key = labels.get((source, target))
             reason = "so" if key is None else "wr"
             edges.append(CycleEdge(source, target, reason, key))
-        names = " -> ".join(history.transactions[t].name for t in cycle)
+        names_text = " -> ".join(names[t] for t in cycle)
         violations.append(
             CycleViolation(
                 kind=ViolationKind.CAUSALITY_CYCLE,
-                message=f"so ∪ wr cycle over {names} -> {history.transactions[cycle[0]].name}",
+                message=f"so ∪ wr cycle over {names_text} -> {names[cycle[0]]}",
                 edges=tuple(edges),
             )
         )
         if max_witnesses is not None and len(violations) >= max_witnesses:
             break
     return violations
+
+
+def _causality_cycles(
+    history: History,
+    graph: DiGraph,
+    labels: Dict[Tuple[int, int], Optional[str]],
+    max_witnesses: Optional[int] = None,
+) -> List[Violation]:
+    """Causality-cycle witnesses labelled with the history's transaction names."""
+    names = [txn.name for txn in history.transactions]
+    return causality_cycles(names, graph, labels, max_witnesses=max_witnesses)
 
 
 def compute_happens_before(

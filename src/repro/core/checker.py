@@ -16,7 +16,7 @@ from repro.core.isolation import IsolationLevel
 from repro.core.model import History
 from repro.core.ra import check_ra, check_ra_single_session
 from repro.core.rc import check_rc
-from repro.core.read_consistency import check_read_consistency
+from repro.core.read_consistency import ReadConsistencyReport, check_read_consistency
 from repro.core.result import CheckResult
 
 __all__ = ["check", "check_all_levels"]
@@ -27,6 +27,7 @@ def check(
     level: IsolationLevel = IsolationLevel.CAUSAL_CONSISTENCY,
     max_witnesses: Optional[int] = None,
     use_single_session_fast_path: bool = True,
+    read_consistency: Optional[ReadConsistencyReport] = None,
 ) -> CheckResult:
     """Check whether ``history`` satisfies ``level``.
 
@@ -42,31 +43,52 @@ def check(
     use_single_session_fast_path:
         Use the linear-time RA algorithm of Theorem 1.6 when the history has
         a single session.
+    read_consistency:
+        A precomputed Read Consistency report to reuse (one RC pass can be
+        shared across several levels); computed on demand when omitted.
     """
     if level is IsolationLevel.READ_COMMITTED:
-        return check_rc(history, max_witnesses=max_witnesses)
+        return check_rc(
+            history, max_witnesses=max_witnesses, read_consistency=read_consistency
+        )
     if level is IsolationLevel.READ_ATOMIC:
         if use_single_session_fast_path and history.num_sessions <= 1:
-            return check_ra_single_session(history, max_witnesses=max_witnesses)
-        return check_ra(history, max_witnesses=max_witnesses)
+            return check_ra_single_session(
+                history, max_witnesses=max_witnesses, read_consistency=read_consistency
+            )
+        return check_ra(
+            history, max_witnesses=max_witnesses, read_consistency=read_consistency
+        )
     if level is IsolationLevel.CAUSAL_CONSISTENCY:
-        return check_cc(history, max_witnesses=max_witnesses)
+        return check_cc(
+            history, max_witnesses=max_witnesses, read_consistency=read_consistency
+        )
     raise ValueError(f"unsupported isolation level: {level!r}")
 
 
 def check_all_levels(
-    history: History, max_witnesses: Optional[int] = None
+    history: History,
+    max_witnesses: Optional[int] = None,
+    use_single_session_fast_path: bool = True,
 ) -> Dict[IsolationLevel, CheckResult]:
-    """Check the history against RC, RA, and CC, sharing one Read Consistency pass."""
+    """Check the history against RC, RA, and CC, sharing one Read Consistency pass.
+
+    Each level goes through the same :func:`check` dispatch as a standalone
+    call, so specializations such as the single-session RA fast path apply
+    identically here.
+    """
     report = check_read_consistency(history)
     return {
-        IsolationLevel.READ_COMMITTED: check_rc(
-            history, max_witnesses=max_witnesses, read_consistency=report
-        ),
-        IsolationLevel.READ_ATOMIC: check_ra(
-            history, max_witnesses=max_witnesses, read_consistency=report
-        ),
-        IsolationLevel.CAUSAL_CONSISTENCY: check_cc(
-            history, max_witnesses=max_witnesses, read_consistency=report
-        ),
+        level: check(
+            history,
+            level,
+            max_witnesses=max_witnesses,
+            use_single_session_fast_path=use_single_session_fast_path,
+            read_consistency=report,
+        )
+        for level in (
+            IsolationLevel.READ_COMMITTED,
+            IsolationLevel.READ_ATOMIC,
+            IsolationLevel.CAUSAL_CONSISTENCY,
+        )
     }

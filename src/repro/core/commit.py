@@ -10,11 +10,22 @@ committed transactions, remembers the *reason* for every edge (``so``, ``wr``
 or an inferred ``co`` edge together with the key whose inference rule fired),
 checks acyclicity with Tarjan SCCs, and extracts one labelled cycle witness
 per non-trivial SCC -- the witness-reporting strategy of Section 3.4.
+
+An edge may be justified by several relations at once (a session reading its
+so-predecessor's write is related by both ``so`` and ``wr``).  The primary
+label is first-come (``so``/``wr`` labels are added before inferred ones, so
+witnesses prefer the weaker explanation), but a keyed ``wr`` label observed
+for an edge already labelled ``so`` is retained alongside it and preferred
+when rendering witnesses, so cycle reports never lose the witnessing key.
+
+The relation is normally built from a :class:`~repro.core.model.History`;
+the streaming checker builds it from transaction-level summaries instead via
+:meth:`CommitRelation.from_edges`, without materializing a history.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.model import History
 from repro.core.violations import CycleEdge, CycleViolation, ViolationKind
@@ -27,19 +38,58 @@ __all__ = ["CommitRelation"]
 class CommitRelation:
     """The inferred partial commit relation ``co'`` over committed transactions."""
 
-    def __init__(self, history: History) -> None:
+    def __init__(
+        self,
+        history: Optional[History] = None,
+        *,
+        names: Optional[Sequence[str]] = None,
+        committed: Optional[Sequence[int]] = None,
+    ) -> None:
+        if history is not None:
+            names = [txn.name for txn in history.transactions]
+            committed = history.committed
+        elif names is None or committed is None:
+            raise ValueError("need either a history or explicit names and committed ids")
         self.history = history
-        self.graph = DiGraph(history.num_transactions)
+        self._names: List[str] = list(names)
+        self._committed: List[int] = list(committed)
+        self.graph = DiGraph(len(self._names))
         # First label recorded for an edge wins; so/wr labels are added first,
         # which makes cycle witnesses prefer the "weaker" explanation.
         self._labels: Dict[Tuple[int, int], Tuple[str, Optional[str]]] = {}
+        # First keyed so∪wr label per edge, kept even when a bare `so` label
+        # arrived first, so witnesses can name the witnessing key.
+        self._keyed: Dict[Tuple[int, int], Tuple[str, str]] = {}
         self.num_inferred_edges = 0
-        self._add_so_wr_edges()
+        if history is not None:
+            self._add_so_wr_edges()
 
     # -- construction ----------------------------------------------------------
 
+    @classmethod
+    def from_edges(
+        cls,
+        names: Sequence[str],
+        committed: Sequence[int],
+        so_edges: Iterable[Tuple[int, int]],
+        wr_edges: Iterable[Tuple[int, int, Optional[str]]],
+    ) -> "CommitRelation":
+        """Build a relation from transaction-level summaries (no history object).
+
+        ``so_edges`` are immediate session-order edges; ``wr_edges`` are
+        ``(writer, reader, key)`` triples, first occurrence per distinct
+        writer, in the same order :class:`History` would produce them.
+        """
+        relation = cls(names=names, committed=committed)
+        for source, target in so_edges:
+            relation._add_labelled(source, target, "so", None)
+        for writer, reader, key in wr_edges:
+            relation._add_labelled(writer, reader, "wr", key)
+        return relation
+
     def _add_so_wr_edges(self) -> None:
         history = self.history
+        assert history is not None
         for source, target in history.so_edges():
             self._add_labelled(source, target, "so", None)
         for tid in range(history.num_transactions):
@@ -55,9 +105,12 @@ class CommitRelation:
                     self._add_labelled(writer, tid, "wr", op.key)
 
     def _add_labelled(self, source: int, target: int, reason: str, key: Optional[str]) -> None:
-        if (source, target) not in self._labels:
-            self._labels[(source, target)] = (reason, key)
+        edge = (source, target)
+        if edge not in self._labels:
+            self._labels[edge] = (reason, key)
             self.graph.add_edge(source, target)
+        if key is not None and edge not in self._keyed:
+            self._keyed[edge] = (reason, key)
 
     def add_inferred(self, source: int, target: int, key: Optional[str] = None) -> None:
         """Record an inferred commit-order edge ``source -co-> target``.
@@ -79,8 +132,28 @@ class CommitRelation:
     # -- queries ---------------------------------------------------------------
 
     def edge_label(self, source: int, target: int) -> Optional[Tuple[str, Optional[str]]]:
-        """The ``(reason, key)`` label of an edge, or ``None`` if absent."""
+        """The primary ``(reason, key)`` label of an edge, or ``None`` if absent."""
         return self._labels.get((source, target))
+
+    def witness_label(self, source: int, target: int) -> Optional[Tuple[str, Optional[str]]]:
+        """The most informative label of an edge, for cycle witnesses.
+
+        Prefers a keyed ``so ∪ wr`` label over a bare ``so`` one: an edge that
+        is both ``so`` and ``wr`` is reported as ``wr[key]`` so the witnessing
+        key is never dropped.
+        """
+        primary = self._labels.get((source, target))
+        if primary is None:
+            return None
+        if primary[1] is None and primary[0] != "co":
+            keyed = self._keyed.get((source, target))
+            if keyed is not None:
+                return keyed
+        return primary
+
+    def name_of(self, tid: int) -> str:
+        """Printable name of a transaction (for witness messages)."""
+        return self._names[tid]
 
     @property
     def num_edges(self) -> int:
@@ -99,7 +172,7 @@ class CommitRelation:
         order = topological_sort(self.graph)
         if order is None:
             return None
-        committed = set(self.history.committed)
+        committed = set(self._committed)
         return [tid for tid in order if tid in committed]
 
     # -- acyclicity ---------------------------------------------------------------
@@ -131,12 +204,12 @@ class CommitRelation:
         edges: List[CycleEdge] = []
         for i, source in enumerate(cycle):
             target = cycle[(i + 1) % len(cycle)]
-            reason, key = self._labels.get((source, target), ("co", None))
+            reason, key = self.witness_label(source, target) or ("co", None)
             edges.append(CycleEdge(source, target, reason, key))
         if all(edge.reason in ("so", "wr") for edge in edges):
             kind = ViolationKind.CAUSALITY_CYCLE
         else:
             kind = ViolationKind.COMMIT_ORDER_CYCLE
-        names = " -> ".join(self.history.transactions[t].name for t in cycle)
-        message = f"cycle over transactions {names} -> {self.history.transactions[cycle[0]].name}"
+        names = " -> ".join(self._names[t] for t in cycle)
+        message = f"cycle over transactions {names} -> {self._names[cycle[0]]}"
         return CycleViolation(kind=kind, message=message, edges=tuple(edges))

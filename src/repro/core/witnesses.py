@@ -81,9 +81,9 @@ def minimize_cycle_witness(
     edges: List[CycleEdge] = []
     for i, source in enumerate(best):
         target = best[(i + 1) % len(best)]
-        label = relation.edge_label(source, target) or ("co", None)
+        label = relation.witness_label(source, target) or ("co", None)
         edges.append(CycleEdge(source, target, label[0], label[1]))
-    names = " -> ".join(relation.history.transactions[t].name for t in best)
+    names = " -> ".join(relation.name_of(t) for t in best)
     kind = (
         ViolationKind.CAUSALITY_CYCLE
         if all(edge.reason in ("so", "wr") for edge in edges)
@@ -91,8 +91,7 @@ def minimize_cycle_witness(
     )
     return CycleViolation(
         kind=kind,
-        message=f"cycle over transactions {names} -> "
-        f"{relation.history.transactions[best[0]].name}",
+        message=f"cycle over transactions {names} -> {relation.name_of(best[0])}",
         edges=tuple(edges),
     )
 

@@ -22,13 +22,19 @@ the file extension.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.core.exceptions import ParseError, UsageError
-from repro.core.model import History
+from repro.core.model import History, Transaction
 from repro.histories.formats import cobra, dbcop, native, plume_text
 
-__all__ = ["load_history", "save_history", "FORMATS", "detect_format"]
+__all__ = [
+    "load_history",
+    "save_history",
+    "stream_history",
+    "FORMATS",
+    "detect_format",
+]
 
 FORMATS: Dict[str, object] = {
     "native": native,
@@ -77,3 +83,20 @@ def save_history(history: History, path: str, fmt: Optional[str] = None) -> None
     text = module.dumps(history)  # type: ignore[attr-defined]
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text)
+
+
+def stream_history(
+    path: str, fmt: Optional[str] = None
+) -> Iterator[Tuple[int, Transaction]]:
+    """Iterate ``(session_id, transaction)`` pairs from ``path``, one pass.
+
+    Unlike :func:`load_history`, the file is parsed incrementally and the
+    history is never materialized; memory stays proportional to one
+    transaction (plus the parser's sliding buffer).  Feed the pairs to
+    :class:`repro.stream.IncrementalChecker` to check logs larger than RAM.
+    """
+    module = _module_for(fmt, path)
+    # newline="" keeps the csv-based cobra parser happy; harmless elsewhere.
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        for item in module.stream(handle):  # type: ignore[attr-defined]
+            yield item

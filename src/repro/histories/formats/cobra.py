@@ -17,14 +17,90 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.exceptions import ParseError
 from repro.core.model import History, Operation, OpKind, Transaction
 
-__all__ = ["dumps", "loads"]
+__all__ = ["dumps", "loads", "stream"]
 
 _HEADER = ["session", "txn_index", "op", "key", "value", "committed"]
+
+
+def _parse_row(line_number: int, row: List[str]) -> Tuple[int, int, Operation, bool]:
+    """Parse one data row into ``(session, txn_index, operation, committed)``."""
+    if len(row) != 6:
+        raise ParseError(f"line {line_number}: expected 6 columns, got {len(row)}")
+    try:
+        sid = int(row[0])
+        txn_index = int(row[1])
+    except ValueError as exc:
+        raise ParseError(f"line {line_number}: bad session/txn index") from exc
+    kind = row[2].strip()
+    if kind not in ("R", "W"):
+        raise ParseError(f"line {line_number}: op must be R or W, got {kind!r}")
+    key = row[3]
+    raw_value = row[4]
+    try:
+        value: object = int(raw_value)
+    except ValueError:
+        value = raw_value
+    is_committed = row[5].strip() not in ("0", "false", "False")
+    return sid, txn_index, Operation(OpKind(kind), key, value), is_committed
+
+
+def stream(handle: Iterable[str]) -> Iterator[Tuple[int, Transaction]]:
+    """Iterate ``(session_id, transaction)`` pairs off an open cobra-style file.
+
+    Consecutive rows with the same ``(session, txn_index)`` pair form one
+    transaction; a transaction's rows must be contiguous and its per-session
+    indices strictly increasing across transactions (files written by
+    :func:`dumps` always are -- the batch :func:`loads` additionally
+    tolerates interleaved rows by buffering the whole file).  Memory is
+    bounded by one transaction plus one index per session.
+    """
+    current: Optional[Tuple[int, int]] = None
+    operations: List[Operation] = []
+    committed = True
+    before_first_row = True
+    last_index: Dict[int, int] = {}
+    for line_number, row in enumerate(csv.reader(handle), start=1):
+        if not row:
+            continue
+        if before_first_row:
+            before_first_row = False
+            if [cell.strip() for cell in row] == _HEADER:
+                continue
+        sid, txn_index, operation, is_committed = _parse_row(line_number, row)
+        ident = (sid, txn_index)
+        if ident != current:
+            if current is not None:
+                yield current[0], Transaction(operations, committed=committed)
+            # A repeated or smaller index means rows of an already-emitted
+            # transaction turned up again (non-contiguous or out of order).
+            previous_index = last_index.get(sid)
+            if previous_index is not None and previous_index >= txn_index:
+                raise ParseError(
+                    f"line {line_number}: rows of session {sid} are not "
+                    f"contiguous per transaction (saw txn index {txn_index} "
+                    f"after {previous_index})"
+                )
+            if txn_index < 0:
+                raise ParseError(
+                    f"line {line_number}: negative txn index {txn_index}"
+                )
+            last_index[sid] = txn_index
+            current = ident
+            operations = []
+            committed = is_committed
+        elif committed != is_committed:
+            raise ParseError(
+                f"line {line_number}: inconsistent committed flag for transaction {ident}"
+            )
+        operations.append(operation)
+    if current is None:
+        raise ParseError("empty cobra-style history")
+    yield current[0], Transaction(operations, committed=committed)
 
 
 def dumps(history: History) -> str:
@@ -53,25 +129,9 @@ def loads(text: str) -> History:
     transactions: Dict[Tuple[int, int], List[Operation]] = {}
     committed: Dict[Tuple[int, int], bool] = {}
     for line_number, row in enumerate(rows, start=2):
-        if len(row) != 6:
-            raise ParseError(f"line {line_number}: expected 6 columns, got {len(row)}")
-        try:
-            sid = int(row[0])
-            txn_index = int(row[1])
-        except ValueError as exc:
-            raise ParseError(f"line {line_number}: bad session/txn index") from exc
-        kind = row[2].strip()
-        if kind not in ("R", "W"):
-            raise ParseError(f"line {line_number}: op must be R or W, got {kind!r}")
-        key = row[3]
-        raw_value = row[4]
-        try:
-            value: object = int(raw_value)
-        except ValueError:
-            value = raw_value
-        is_committed = row[5].strip() not in ("0", "false", "False")
+        sid, txn_index, operation, is_committed = _parse_row(line_number, row)
         ident = (sid, txn_index)
-        transactions.setdefault(ident, []).append(Operation(OpKind(kind), key, value))
+        transactions.setdefault(ident, []).append(operation)
         previous = committed.setdefault(ident, is_committed)
         if previous != is_committed:
             raise ParseError(

@@ -23,12 +23,36 @@ dropped on load (they never reached the database).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterator, List, TextIO, Tuple
 
 from repro.core.exceptions import ParseError
 from repro.core.model import History, Operation, OpKind, Transaction
+from repro.histories.formats._jsonstream import iter_session_objects
 
-__all__ = ["dumps", "loads"]
+__all__ = ["dumps", "loads", "stream"]
+
+
+def _transaction_from_doc(txn_doc: object) -> Transaction:
+    """Convert one DBCop transaction document to a :class:`Transaction`."""
+    if not isinstance(txn_doc, dict):
+        raise ParseError(f"each transaction must be an object, got {txn_doc!r}")
+    operations: List[Operation] = []
+    for event in txn_doc.get("events", []):
+        if not event.get("success", True):
+            continue
+        kind = OpKind.WRITE if event.get("write") else OpKind.READ
+        operations.append(Operation(kind, event["variable"], event["value"]))
+    return Transaction(operations, committed=bool(txn_doc.get("success", True)))
+
+
+def stream(handle: TextIO) -> Iterator[Tuple[int, Transaction]]:
+    """Iterate ``(session_index, transaction)`` pairs off an open DBCop-style file.
+
+    Transaction objects are decoded one at a time from a sliding buffer, so
+    the history is never materialized.
+    """
+    for sid, txn_doc in iter_session_objects(handle):
+        yield sid, _transaction_from_doc(txn_doc)
 
 
 def dumps(history: History) -> str:
@@ -63,17 +87,5 @@ def loads(text: str) -> History:
         raise ParseError("expected an object with a 'sessions' list")
     sessions: List[List[Transaction]] = []
     for session_doc in sessions_doc:
-        session: List[Transaction] = []
-        for txn_doc in session_doc:
-            events = txn_doc.get("events", [])
-            operations: List[Operation] = []
-            for event in events:
-                if not event.get("success", True):
-                    continue
-                kind = OpKind.WRITE if event.get("write") else OpKind.READ
-                operations.append(Operation(kind, event["variable"], event["value"]))
-            session.append(
-                Transaction(operations, committed=bool(txn_doc.get("success", True)))
-            )
-        sessions.append(session)
+        sessions.append([_transaction_from_doc(txn_doc) for txn_doc in session_doc])
     return History.from_sessions(sessions)

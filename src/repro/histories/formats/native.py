@@ -23,15 +23,51 @@ the paper assumes.  Values may be any JSON scalar.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, Iterator, List, TextIO, Tuple
 
 from repro.core.exceptions import ParseError
 from repro.core.model import History, Operation, OpKind, Transaction
+from repro.histories.formats._jsonstream import iter_session_objects
 
-__all__ = ["dumps", "loads"]
+__all__ = ["dumps", "loads", "stream"]
 
 FORMAT_NAME = "awdit-native"
 FORMAT_VERSION = 1
+
+
+def _transaction_from_doc(txn_doc: object) -> Transaction:
+    """Convert one transaction document to a :class:`Transaction`."""
+    if not isinstance(txn_doc, dict) or "ops" not in txn_doc:
+        raise ParseError("each transaction must be an object with an 'ops' field")
+    operations = []
+    for op_doc in txn_doc["ops"]:
+        if not (isinstance(op_doc, list) and len(op_doc) == 3):
+            raise ParseError(f"malformed operation {op_doc!r}")
+        kind, key, value = op_doc
+        if kind not in ("R", "W"):
+            raise ParseError(f"operation kind must be 'R' or 'W', got {kind!r}")
+        operations.append(Operation(OpKind(kind), key, value))
+    return Transaction(
+        operations,
+        committed=bool(txn_doc.get("committed", True)),
+        label=txn_doc.get("label"),
+    )
+
+
+def stream(handle: TextIO) -> Iterator[Tuple[int, Transaction]]:
+    """Iterate ``(session_index, transaction)`` pairs off an open native-JSON file.
+
+    Transactions are decoded one at a time from a sliding buffer, so the
+    history is never materialized; feed the pairs to
+    :class:`repro.stream.IncrementalChecker` for a one-pass check.
+    """
+
+    def check_header(key: str, value: object) -> None:
+        if key == "format" and value not in (None, FORMAT_NAME):
+            raise ParseError(f"unexpected format marker {value!r}")
+
+    for sid, txn_doc in iter_session_objects(handle, on_header=check_header):
+        yield sid, _transaction_from_doc(txn_doc)
 
 
 def dumps(history: History) -> str:
@@ -76,22 +112,6 @@ def loads(text: str) -> History:
             raise ParseError("each session must be a list of transactions")
         session: List[Transaction] = []
         for txn_doc in session_doc:
-            if not isinstance(txn_doc, dict) or "ops" not in txn_doc:
-                raise ParseError("each transaction must be an object with an 'ops' field")
-            operations = []
-            for op_doc in txn_doc["ops"]:
-                if not (isinstance(op_doc, list) and len(op_doc) == 3):
-                    raise ParseError(f"malformed operation {op_doc!r}")
-                kind, key, value = op_doc
-                if kind not in ("R", "W"):
-                    raise ParseError(f"operation kind must be 'R' or 'W', got {kind!r}")
-                operations.append(Operation(OpKind(kind), key, value))
-            session.append(
-                Transaction(
-                    operations,
-                    committed=bool(txn_doc.get("committed", True)),
-                    label=txn_doc.get("label"),
-                )
-            )
+            session.append(_transaction_from_doc(txn_doc))
         sessions.append(session)
     return History.from_sessions(sessions)

@@ -15,12 +15,12 @@ possible and kept as strings otherwise.
 from __future__ import annotations
 
 import re
-from typing import Dict, List
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.exceptions import ParseError
 from repro.core.model import History, Operation, OpKind, Transaction
 
-__all__ = ["dumps", "loads"]
+__all__ = ["dumps", "loads", "stream"]
 
 _OP_PATTERN = re.compile(r"([RW])\(([^,()]+),([^()]*)\)")
 _LINE_PATTERN = re.compile(
@@ -56,32 +56,52 @@ def dumps(history: History) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _parse_line(line_number: int, line: str) -> Optional[Tuple[int, Transaction]]:
+    """Parse one line; ``None`` for comments and blank lines."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    match = _LINE_PATTERN.match(line)
+    if match is None:
+        raise ParseError(f"line {line_number}: cannot parse {line!r}")
+    sid = int(match.group(1))
+    label = match.group(2)
+    committed = match.group(3) == "committed"
+    ops_text = match.group(4)
+    operations: List[Operation] = []
+    consumed = 0
+    for op_match in _OP_PATTERN.finditer(ops_text):
+        kind, key, value = op_match.groups()
+        operations.append(Operation(OpKind(kind), key.strip(), _parse_value(value)))
+        consumed += 1
+    if ops_text.strip() and consumed == 0:
+        raise ParseError(f"line {line_number}: no operations parsed from {ops_text!r}")
+    return sid, Transaction(operations, committed=committed, label=label)
+
+
+def stream(handle: Iterable[str]) -> Iterator[Tuple[int, Transaction]]:
+    """Iterate ``(session_id, transaction)`` pairs off an open plume-style file.
+
+    One line is one transaction, so the parse is naturally one-pass; lines of
+    one session must appear in session order (they always do in files written
+    by :func:`dumps`).  Like :func:`loads`, a file with no transactions at
+    all is rejected (a truncated capture must not pass as consistent).
+    """
+    empty = True
+    for line_number, raw_line in enumerate(handle, start=1):
+        parsed = _parse_line(line_number, raw_line)
+        if parsed is not None:
+            empty = False
+            yield parsed
+    if empty:
+        raise ParseError("history file contains no transactions")
+
+
 def loads(text: str) -> History:
     """Parse a history from the line-oriented text format."""
     sessions: Dict[int, List[Transaction]] = {}
-    for line_number, raw_line in enumerate(text.splitlines(), start=1):
-        line = raw_line.strip()
-        if not line or line.startswith("#"):
-            continue
-        match = _LINE_PATTERN.match(line)
-        if match is None:
-            raise ParseError(f"line {line_number}: cannot parse {line!r}")
-        sid = int(match.group(1))
-        label = match.group(2)
-        committed = match.group(3) == "committed"
-        ops_text = match.group(4)
-        operations: List[Operation] = []
-        consumed = 0
-        for op_match in _OP_PATTERN.finditer(ops_text):
-            kind, key, value = op_match.groups()
-            operations.append(Operation(OpKind(kind), key.strip(), _parse_value(value)))
-            consumed += 1
-        if ops_text.strip() and consumed == 0:
-            raise ParseError(f"line {line_number}: no operations parsed from {ops_text!r}")
-        sessions.setdefault(sid, []).append(
-            Transaction(operations, committed=committed, label=label)
-        )
-    if not sessions:
-        raise ParseError("history file contains no transactions")
+    # stream() rejects input with no transactions, so `sessions` is non-empty.
+    for sid, transaction in stream(text.splitlines()):
+        sessions.setdefault(sid, []).append(transaction)
     ordered = [sessions[sid] for sid in sorted(sessions)]
     return History.from_sessions(ordered)

@@ -1,0 +1,18 @@
+"""Streaming (online) isolation checking.
+
+Public surface:
+
+* :class:`IncrementalChecker` -- consumes ``(session, transaction)`` pairs
+  as they are appended and maintains the AWDIT checkers' state online,
+  reporting read-level violations as soon as they become witnessable.
+* :func:`check_stream` -- one-shot convenience wrapper: stream in, one
+  :class:`~repro.core.result.CheckResult` out.
+
+Pair with the iterator-based parsers
+(:func:`repro.histories.formats.stream_history`) to check on-disk logs in a
+single pass without materializing the history.
+"""
+
+from repro.stream.incremental import IncrementalChecker, check_stream
+
+__all__ = ["IncrementalChecker", "check_stream"]

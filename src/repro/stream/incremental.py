@@ -1,0 +1,940 @@
+"""Streaming one-pass isolation checking.
+
+AWDIT's algorithms (Algorithms 1-3 of the paper) are one-pass over session
+order with monotone per-session pointers, so they admit an *online*
+formulation: this module maintains the checkers' state incrementally while
+transactions are appended to sessions, instead of materializing the whole
+history first.
+
+:class:`IncrementalChecker` consumes ``(session, transaction)`` pairs (for
+example from the streaming parsers in :mod:`repro.histories.formats`) and
+keeps, per appended transaction, only a transaction-level summary: the keys
+it writes, its final write per key, and its distinct read-from writers.  The
+operation list itself is dropped as soon as the transaction has been folded
+into the online state, so checking a multi-gigabyte log needs memory
+proportional to the live state (the writes index, the transaction-level
+``so ∪ wr`` structure, and one vector clock per transaction), not to the
+operation count of the history.
+
+The online state mirrors the batch algorithms exactly:
+
+* *Read consistency* (Algorithm 4) is tracked incrementally.  Reads that
+  observe a write that has not arrived yet are parked in a pending table and
+  classified the moment the write arrives (or as thin-air reads at
+  :meth:`~IncrementalChecker.finalize`); all other axioms are decided as soon
+  as the read resolves, which is when the violation first becomes
+  witnessable.
+* *RC saturation* (Algorithm 1) is per-transaction and runs the moment all of
+  a transaction's reads are resolved.
+* *RA saturation* (Algorithm 2) runs behind a per-session frontier that
+  advances in session order, maintaining the per-session ``lastWrite`` map
+  online; repeatable reads are checked per transaction on resolution.
+* *CC* (Algorithm 3) runs behind a causal frontier: a transaction's vector
+  clock (``ComputeHB``) is computed once its session predecessor and all its
+  read-from writers are processed, and the monotone per-(session, key)
+  saturation pointers of ``saturate_cc`` advance exactly as in the batch
+  algorithm.  A causal frontier that cannot drain at ``finalize`` is a
+  ``so ∪ wr`` cycle, reported with the same witnesses as the batch checker.
+
+``finalize()`` replays the recorded commit-order edges in the batch
+algorithms' insertion order, so on any history with unique writes the
+verdicts, violation kinds, inferred-edge counts, and cycle witnesses are
+identical to the batch :func:`repro.core.check` (property-tested in
+``tests/test_stream.py``).  Two documented divergences: duplicate
+``(key, value)`` writes resolve to the first-arriving write (batch picks the
+last in transaction-id order), and transactions in violation messages are
+named ``t<arrival id>`` when unlabeled, while batch numbering is
+session-blocked.  Pass ``num_sessions`` when the session count is known up
+front so session numbering (and thus witness selection) matches the batch
+checker exactly even when sessions first appear out of order.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import insort
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cc import causality_cycles
+from repro.core.commit import CommitRelation
+from repro.core.isolation import IsolationLevel
+from repro.core.model import OpRef, Transaction
+from repro.core.result import CheckResult
+from repro.core.violations import (
+    ReadConsistencyViolation,
+    RepeatableReadViolation,
+    Violation,
+    ViolationKind,
+)
+from repro.graph.digraph import DiGraph
+
+__all__ = ["IncrementalChecker", "check_stream"]
+
+ALL_LEVELS: Tuple[IsolationLevel, ...] = (
+    IsolationLevel.READ_COMMITTED,
+    IsolationLevel.READ_ATOMIC,
+    IsolationLevel.CAUSAL_CONSISTENCY,
+)
+
+# (t2, t1) -> (sort key, witnessing key): inferred commit-order edges with the
+# position the batch algorithm would first record them at.  Sort keys encode
+# (sid, session_index, attempt) as one integer to keep the logs compact.
+_EdgeLog = Dict[Tuple[int, int], Tuple[int, Optional[str]]]
+
+# Bit budget per sort-key component: up to 2^24 transactions per session and
+# 2^24 edge attempts per transaction keep batch-order replay exact; beyond
+# that only witness selection (never verdicts) could diverge from batch.
+_KEY_SHIFT = 24
+
+
+def _sort_base(sid: int, sidx: int) -> int:
+    """The sort-key base for transaction (sid, sidx); add the attempt number."""
+    return ((sid << _KEY_SHIFT) | sidx) << _KEY_SHIFT
+
+
+class _Read:
+    """A read awaiting (or holding) its write-read resolution."""
+
+    __slots__ = ("index", "key", "value", "own_prev", "writer", "writer_index", "bad")
+
+    def __init__(self, index: int, key: str, value: object, own_prev: Optional[int]) -> None:
+        self.index = index
+        self.key = key
+        self.value = value
+        # Program-order index of the latest own write to `key` before this
+        # read (None when there is none); fixes the observe-own-writes axiom.
+        self.own_prev = own_prev
+        self.writer: Optional[int] = None
+        self.writer_index = -1
+        self.bad = False
+
+
+class _Txn:
+    """Transaction-level summary retained by the streaming checker."""
+
+    __slots__ = (
+        "tid",
+        "sid",
+        "sidx",
+        "committed",
+        "label",
+        "keys_written",
+        "reads",
+        "unresolved",
+        "resolved",
+        "cc_done",
+        "cc_pending",
+        "cc_registered",
+        "good_reads",
+        "wr_first_any",
+        "wr_first_good",
+    )
+
+    def __init__(self, tid: int, sid: int, sidx: int, committed: bool, label: Optional[str]) -> None:
+        self.tid = tid
+        self.sid = sid
+        self.sidx = sidx
+        self.committed = committed
+        self.label = label
+        self.keys_written: frozenset = frozenset()
+        self.reads: List[_Read] = []
+        self.unresolved = 0
+        self.resolved = False
+        self.cc_done = False
+        self.cc_pending = 0
+        self.cc_registered = False
+        # (po index, key, writer tid) per good external read, in program order.
+        self.good_reads: List[Tuple[int, str, int]] = []
+        # First read per distinct committed writer: writer -> witnessing key.
+        # `any` ignores read-consistency badness (the commit relation keeps
+        # those wr edges); `good` is restricted to clean reads (the causality
+        # graph drops bad reads).
+        self.wr_first_any: Dict[int, str] = {}
+        self.wr_first_good: Dict[int, str] = {}
+
+
+class IncrementalChecker:
+    """Online checker for RC / RA / CC over a stream of transactions.
+
+    Parameters
+    ----------
+    levels:
+        The isolation levels to maintain online state for (default: all
+        three).  Read consistency is always tracked.
+    num_sessions:
+        Optional expected session count.  When given, integer session ids
+        ``0..num_sessions-1`` are pre-registered so internal session
+        numbering matches :meth:`History.from_sessions` regardless of the
+        order sessions first appear in the stream.
+    max_witnesses:
+        Passed through to the cycle extraction at :meth:`finalize`.
+    """
+
+    def __init__(
+        self,
+        levels: Optional[Sequence[IsolationLevel]] = None,
+        num_sessions: Optional[int] = None,
+        max_witnesses: Optional[int] = None,
+    ) -> None:
+        chosen = tuple(levels) if levels is not None else ALL_LEVELS
+        for level in chosen:
+            if level not in ALL_LEVELS:
+                raise ValueError(f"unsupported isolation level: {level!r}")
+        self._levels = chosen
+        self._rc_enabled = IsolationLevel.READ_COMMITTED in chosen
+        self._ra_enabled = IsolationLevel.READ_ATOMIC in chosen
+        self._cc_enabled = IsolationLevel.CAUSAL_CONSISTENCY in chosen
+        self._max_witnesses = max_witnesses
+
+        self._txns: List[_Txn] = []
+        self._session_ids: Dict[object, int] = {}
+        self._by_session: List[List[_Txn]] = []
+        # (key, value) -> (writer tid, op index, is the writer's final write
+        # to the key); first write wins.
+        self._writes: Dict[Tuple[str, object], Tuple[int, int, bool]] = {}
+        # (key, value) -> reads waiting for that write to arrive.
+        self._pending: Dict[Tuple[str, object], List[Tuple[_Txn, _Read]]] = {}
+
+        # RA state: per-session frontier and lastWrite map (Algorithm 2).
+        self._ra_next: List[int] = []
+        self._ra_last_write: List[Dict[str, int]] = []
+
+        # CC state (Algorithm 3): per-session causal frontier, session clocks,
+        # per-(session, key) writer lists, and monotone saturation pointers.
+        self._cc_next: List[int] = []
+        self._session_clock: List[List[int]] = []
+        self._writers_by_key: Dict[str, Tuple[List[int], Dict[int, Tuple[List[int], List[int]]]]] = {}
+        self._cc_last_write: List[Dict[Tuple[int, str], int]] = []
+        self._cc_ptr: List[Dict[Tuple[int, str], int]] = []
+        self._cc_waiters: Dict[int, List[_Txn]] = {}
+        self._hb: Dict[int, List[int]] = {}
+
+        # Recorded inferred edges, replayed in batch order at finalize.
+        self._rc_log: _EdgeLog = {}
+        self._ra_log: _EdgeLog = {}
+        self._ra_so_log: _EdgeLog = {}
+        self._cc_log: _EdgeLog = {}
+
+        # Violations discovered so far, plus their batch-order sort keys.
+        self._rc_axiom: List[Tuple[Tuple[int, int, int], Violation]] = []
+        self._rr: List[Tuple[Tuple[int, int, int], Violation]] = []
+        self._live: List[Violation] = []
+
+        self._num_operations = 0
+        self._elapsed = 0.0
+        self._results: Optional[Dict[IsolationLevel, CheckResult]] = None
+
+        if num_sessions is not None:
+            for sid in range(num_sessions):
+                self._register_session(sid)
+
+    # -- public surface --------------------------------------------------------
+
+    @property
+    def levels(self) -> Tuple[IsolationLevel, ...]:
+        """The isolation levels this checker maintains."""
+        return self._levels
+
+    @property
+    def num_transactions(self) -> int:
+        """Number of transactions appended so far."""
+        return len(self._txns)
+
+    @property
+    def num_operations(self) -> int:
+        """Number of operations appended so far."""
+        return self._num_operations
+
+    @property
+    def num_sessions(self) -> int:
+        """Number of sessions seen (or pre-registered) so far."""
+        return len(self._by_session)
+
+    @property
+    def violations(self) -> List[Violation]:
+        """Violations witnessed so far, in discovery order.
+
+        Read-consistency and repeatable-read anomalies appear here as soon as
+        the offending read resolves; cycle witnesses require the global
+        acyclicity check and are added by :meth:`finalize`.
+        """
+        return list(self._live)
+
+    def append(self, session: object, transaction: Transaction) -> None:
+        """Feed one transaction appended to ``session``.
+
+        Transactions of one session must arrive in session order; sessions
+        may interleave arbitrarily.  Only ``operations``, ``committed`` and
+        ``label`` of the transaction are used, so both parser-produced and
+        history-owned transactions are accepted.
+        """
+        if self._results is not None:
+            raise RuntimeError("cannot append to a finalized IncrementalChecker")
+        start = time.perf_counter()
+        sid = self._dense_sid(session)
+        records = self._by_session[sid]
+        tid = len(self._txns)
+        rec = _Txn(tid, sid, len(records), transaction.committed, transaction.label)
+        self._txns.append(rec)
+        records.append(rec)
+
+        ops = transaction.operations
+        self._num_operations += len(ops)
+        own_latest: Dict[str, int] = {}
+        final_write: Dict[str, int] = {}
+        reads: List[_Read] = []
+        writes = self._writes
+        txn_writes: List[Tuple[str, object, int]] = []
+        for index, op in enumerate(ops):
+            if op.is_write:
+                final_write[op.key] = index
+                own_latest[op.key] = index
+                txn_writes.append((op.key, op.value, index))
+            elif rec.committed:
+                reads.append(_Read(index, op.key, op.value, own_latest.get(op.key)))
+        rec.keys_written = frozenset(final_write)
+        rec.reads = reads
+
+        # Register writes only once the whole transaction is scanned, so the
+        # index can record whether each write is the final one to its key.
+        new_writes: List[Tuple[str, object]] = []
+        for key, value, index in txn_writes:
+            wkey = (key, value)
+            if wkey not in writes:
+                writes[wkey] = (tid, index, final_write[key] == index)
+                new_writes.append(wkey)
+
+        if rec.committed and self._cc_enabled and final_write:
+            for key in rec.keys_written:
+                sids, per_sid = self._writers_by_key.setdefault(key, ([], {}))
+                entry = per_sid.get(sid)
+                if entry is None:
+                    entry = ([], [])
+                    per_sid[sid] = entry
+                    insort(sids, sid)
+                entry[0].append(tid)
+                entry[1].append(rec.sidx)
+
+        # Resolve earlier reads that were waiting for this transaction's writes.
+        for wkey in new_writes:
+            waiters = self._pending.pop(wkey, None)
+            if not waiters:
+                continue
+            hit = writes[wkey]
+            for other, read in waiters:
+                self._classify(other, read, hit)
+                other.unresolved -= 1
+                if other.unresolved == 0:
+                    self._on_resolved(other)
+
+        # Resolve this transaction's own reads against everything seen so far.
+        if rec.committed:
+            for read in reads:
+                hit = writes.get((read.key, read.value))
+                if hit is None:
+                    rec.unresolved += 1
+                    self._pending.setdefault((read.key, read.value), []).append((rec, read))
+                else:
+                    self._classify(rec, read, hit)
+            if rec.unresolved == 0:
+                self._on_resolved(rec)
+        else:
+            rec.resolved = True
+            self._advance_ra(rec.sid)
+            self._advance_cc(rec.sid)
+        self._elapsed += time.perf_counter() - start
+
+    def extend(self, pairs: Iterable[Tuple[object, Transaction]]) -> None:
+        """Feed many ``(session, transaction)`` pairs in stream order."""
+        for session, transaction in pairs:
+            self.append(session, transaction)
+
+    def finalize(self) -> Dict[IsolationLevel, CheckResult]:
+        """Flush pending state and return one :class:`CheckResult` per level.
+
+        Unresolved reads become thin-air violations, the remaining frontiers
+        drain, and the recorded commit-order edges are replayed in the batch
+        algorithms' order so the returned results match the batch checkers.
+        Idempotent: subsequent calls return the same results.
+        """
+        if self._results is not None:
+            return self._results
+        start = time.perf_counter()
+
+        # Reads whose write never arrived are thin-air reads (axiom (a)).
+        for (key, value), waiters in list(self._pending.items()):
+            for rec, read in waiters:
+                read.bad = True
+                self._add_rc_violation(
+                    rec,
+                    read,
+                    ViolationKind.THIN_AIR_READ,
+                    f"{self._name(rec)} reads R({key}, {value!r}) but no transaction "
+                    f"writes {value!r} to {key!r}",
+                    write=None,
+                )
+                rec.unresolved -= 1
+                if rec.unresolved == 0:
+                    self._on_resolved(rec)
+        self._pending.clear()
+
+        if self._ra_enabled:
+            for sid in range(len(self._by_session)):
+                if self._ra_next[sid] != len(self._by_session[sid]):
+                    raise AssertionError("RA frontier failed to drain at finalize")
+
+        cc_complete = all(
+            self._cc_next[sid] == len(self._by_session[sid])
+            for sid in range(len(self._by_session))
+        )
+        mapping, names, committed_ids, so_edges = self._batch_numbering()
+        rc_violations = [v for _, v in sorted(self._rc_axiom, key=lambda item: item[0])]
+
+        # The online state is no longer needed; release it before rebuilding
+        # the commit relations so peak memory stays close to one relation.
+        self._writes = {}
+        self._pending = {}
+        self._hb = {}
+        self._session_clock = []
+        self._writers_by_key = {}
+        self._cc_last_write = []
+        self._cc_ptr = []
+        self._cc_waiters = {}
+        self._ra_last_write = []
+
+        results: Dict[IsolationLevel, CheckResult] = {}
+        if self._rc_enabled:
+            relation = self._build_relation(mapping, names, committed_ids, so_edges, self._rc_log)
+            self._rc_log = {}
+            violations = rc_violations + relation.find_cycles(max_witnesses=self._max_witnesses)
+            results[IsolationLevel.READ_COMMITTED] = self._result(
+                IsolationLevel.READ_COMMITTED, violations, "awdit-stream", relation
+            )
+            del relation
+        if self._ra_enabled:
+            rr_violations = [v for _, v in sorted(self._rr, key=lambda item: item[0])]
+            single = len(self._by_session) <= 1
+            log = self._ra_so_log if single else self._ra_log
+            relation = self._build_relation(mapping, names, committed_ids, so_edges, log)
+            self._ra_log = {}
+            self._ra_so_log = {}
+            violations = (
+                rc_violations
+                + rr_violations
+                + relation.find_cycles(max_witnesses=self._max_witnesses)
+            )
+            checker = "awdit-stream-1session" if single else "awdit-stream"
+            results[IsolationLevel.READ_ATOMIC] = self._result(
+                IsolationLevel.READ_ATOMIC, violations, checker, relation, co_edges=not single
+            )
+            del relation
+        if self._cc_enabled:
+            if not cc_complete:
+                # so ∪ wr is cyclic: report causality cycles and skip the
+                # CC saturation output, exactly like the batch checker.
+                graph, labels = self._causality_graph(mapping)
+                violations = rc_violations + causality_cycles(names, graph, labels)
+                results[IsolationLevel.CAUSAL_CONSISTENCY] = self._result(
+                    IsolationLevel.CAUSAL_CONSISTENCY, violations, "awdit-stream", None
+                )
+            else:
+                relation = self._build_relation(
+                    mapping, names, committed_ids, so_edges, self._cc_log
+                )
+                self._cc_log = {}
+                violations = rc_violations + relation.find_cycles(
+                    max_witnesses=self._max_witnesses
+                )
+                results[IsolationLevel.CAUSAL_CONSISTENCY] = self._result(
+                    IsolationLevel.CAUSAL_CONSISTENCY, violations, "awdit-stream", relation
+                )
+                del relation
+        for result in results.values():
+            self._live.extend(
+                v for v in result.violations if v.kind
+                in (ViolationKind.CAUSALITY_CYCLE, ViolationKind.COMMIT_ORDER_CYCLE)
+                and v not in self._live
+            )
+        self._elapsed += time.perf_counter() - start
+        for result in results.values():
+            result.elapsed_seconds = self._elapsed
+        self._results = results
+        return results
+
+    # -- session bookkeeping ---------------------------------------------------
+
+    def _register_session(self, external: object) -> int:
+        dense = len(self._by_session)
+        self._session_ids[external] = dense
+        self._by_session.append([])
+        self._ra_next.append(0)
+        self._ra_last_write.append({})
+        self._cc_next.append(0)
+        self._session_clock.append([])
+        self._cc_last_write.append({})
+        self._cc_ptr.append({})
+        return dense
+
+    def _dense_sid(self, external: object) -> int:
+        dense = self._session_ids.get(external)
+        if dense is None:
+            dense = self._register_session(external)
+        return dense
+
+    def _name(self, rec: _Txn) -> str:
+        return rec.label if rec.label is not None else f"t{rec.tid}"
+
+    # -- read classification (Algorithm 4, incremental) ------------------------
+
+    def _add_rc_violation(
+        self,
+        rec: _Txn,
+        read: _Read,
+        kind: ViolationKind,
+        message: str,
+        write: Optional[OpRef],
+    ) -> None:
+        read.bad = True
+        violation = ReadConsistencyViolation(
+            kind=kind, message=message, read=OpRef(rec.tid, read.index), write=write
+        )
+        self._rc_axiom.append(((rec.sid, rec.sidx, read.index), violation))
+        self._live.append(violation)
+
+    def _classify(self, rec: _Txn, read: _Read, hit: Tuple[int, int, bool]) -> None:
+        """Classify a freshly resolved read against the five RC axioms."""
+        writer_tid, writer_index, is_final = hit
+        read.writer = writer_tid
+        read.writer_index = writer_index
+        op_repr = f"R({read.key}, {read.value!r})"
+        if writer_tid == rec.tid:
+            if writer_index > read.index:
+                self._add_rc_violation(
+                    rec,
+                    read,
+                    ViolationKind.FUTURE_READ,
+                    f"{self._name(rec)} reads {op_repr} before writing it "
+                    f"(write at position {writer_index}, read at {read.index})",
+                    write=OpRef(writer_tid, writer_index),
+                )
+            elif read.own_prev is not None and read.own_prev != writer_index:
+                self._add_rc_violation(
+                    rec,
+                    read,
+                    ViolationKind.NOT_LATEST_WRITE,
+                    f"{self._name(rec)} reads {op_repr} from a stale own write to "
+                    f"{read.key!r} (a later own write precedes the read)",
+                    write=OpRef(writer_tid, writer_index),
+                )
+            return
+        writer = self._txns[writer_tid]
+        if not writer.committed:
+            self._add_rc_violation(
+                rec,
+                read,
+                ViolationKind.ABORTED_READ,
+                f"{self._name(rec)} reads {op_repr} written by aborted "
+                f"transaction {self._name(writer)}",
+                write=OpRef(writer_tid, writer_index),
+            )
+        elif read.own_prev is not None:
+            self._add_rc_violation(
+                rec,
+                read,
+                ViolationKind.NOT_OWN_WRITE,
+                f"{self._name(rec)} reads {op_repr} from {self._name(writer)} "
+                f"although it wrote {read.key!r} earlier itself",
+                write=OpRef(writer_tid, writer_index),
+            )
+        elif not is_final:
+            self._add_rc_violation(
+                rec,
+                read,
+                ViolationKind.NOT_LATEST_WRITE,
+                f"{self._name(rec)} reads {op_repr} from a non-final write "
+                f"of {self._name(writer)} to {read.key!r}",
+                write=OpRef(writer_tid, writer_index),
+            )
+
+    def _on_resolved(self, rec: _Txn) -> None:
+        """All reads of ``rec`` are classified: fold it into the online state."""
+        rec.resolved = True
+        txns = self._txns
+        good: List[Tuple[int, str, int]] = []
+        wr_any: Dict[int, str] = {}
+        wr_good: Dict[int, str] = {}
+        for read in rec.reads:
+            writer = read.writer
+            if writer is None or writer == rec.tid:
+                continue
+            if not txns[writer].committed:
+                continue
+            if writer not in wr_any:
+                wr_any[writer] = read.key
+            if read.bad:
+                continue
+            good.append((read.index, read.key, writer))
+            if writer not in wr_good:
+                wr_good[writer] = read.key
+        rec.good_reads = good
+        rec.wr_first_any = wr_any
+        rec.wr_first_good = wr_good
+        if self._ra_enabled:
+            self._check_repeatable_reads(rec)
+        rec.reads = []
+        if self._rc_enabled:
+            self._rc_saturate(rec)
+            if not self._ra_enabled and not self._cc_enabled:
+                rec.good_reads = []
+        self._advance_ra(rec.sid)
+        self._advance_cc(rec.sid)
+
+    def _check_repeatable_reads(self, rec: _Txn) -> None:
+        """Per-transaction repeatable-reads check (Algorithm 2's pre-pass)."""
+        last_writer: Dict[str, int] = {}
+        for read in rec.reads:
+            if read.bad or read.writer is None:
+                continue
+            writer = read.writer
+            previous = last_writer.get(read.key)
+            if writer != rec.tid and previous is not None and previous != writer:
+                violation = RepeatableReadViolation(
+                    kind=ViolationKind.NON_REPEATABLE_READ,
+                    message=(
+                        f"{self._name(rec)} reads {read.key!r} from both "
+                        f"{self._name(self._txns[previous])} and "
+                        f"{self._name(self._txns[writer])}"
+                    ),
+                    txn=rec.tid,
+                    key=read.key,
+                    writers=(previous, writer),
+                )
+                self._rr.append(((rec.sid, rec.sidx, read.index), violation))
+                self._live.append(violation)
+            else:
+                last_writer[read.key] = writer
+
+    # -- inferred-edge recording -----------------------------------------------
+
+    @staticmethod
+    def _record(log: _EdgeLog, t2: int, t1: int, key: Optional[str], sort_key: int) -> None:
+        current = log.get((t2, t1))
+        if current is None or sort_key < current[0]:
+            log[(t2, t1)] = (sort_key, key)
+
+    def _rc_saturate(self, rec: _Txn) -> None:
+        """Per-transaction RC saturation (the body of Algorithm 1's main loop)."""
+        reads = rec.good_reads
+        if not reads:
+            return
+        seen_txns: Set[int] = set()
+        first_txn_reads: Set[int] = set()
+        for index, _key, writer in reads:
+            if writer not in seen_txns:
+                seen_txns.add(writer)
+                first_txn_reads.add(index)
+        earliest: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
+        read_keys: Set[str] = set()
+        seq = _sort_base(rec.sid, rec.sidx)
+        for index, key, t2 in reversed(reads):
+            if index in first_txn_reads:
+                keys_written = self._txns[t2].keys_written
+                if len(keys_written) <= len(read_keys):
+                    smaller, larger = keys_written, read_keys
+                else:
+                    smaller, larger = read_keys, keys_written
+                for x in smaller:
+                    if x not in larger:
+                        continue
+                    older, newer = earliest[x]
+                    t1 = newer
+                    if t1 == t2:
+                        t1 = older
+                    if t1 is not None and t1 != t2:
+                        self._record(self._rc_log, t2, t1, x, seq)
+                        seq += 1
+            pair = earliest.get(key)
+            if pair is None:
+                earliest[key] = (None, t2)
+            elif pair[1] != t2:
+                earliest[key] = (pair[1], t2)
+            read_keys.add(key)
+
+    # -- RA frontier (Algorithm 2, online) --------------------------------------
+
+    def _advance_ra(self, sid: int) -> None:
+        if not self._ra_enabled:
+            return
+        records = self._by_session[sid]
+        index = self._ra_next[sid]
+        last_write = self._ra_last_write[sid]
+        while index < len(records):
+            rec = records[index]
+            if rec.committed:
+                if not rec.resolved:
+                    break
+                self._ra_process(rec, last_write)
+            index += 1
+        self._ra_next[sid] = index
+
+    def _ra_process(self, rec: _Txn, last_write: Dict[str, int]) -> None:
+        reads = rec.good_reads
+        seq = _sort_base(rec.sid, rec.sidx)
+        reader_of_key: Dict[str, int] = {}
+        distinct_writers: List[int] = []
+        seen_writers: Set[int] = set()
+        for _index, key, writer in reads:
+            reader_of_key.setdefault(key, writer)
+            if writer not in seen_writers:
+                seen_writers.add(writer)
+                distinct_writers.append(writer)
+
+        # Case t2 -so-> t3 (also the whole single-session specialization).
+        for _index, key, t1 in reads:
+            t2 = last_write.get(key)
+            if t2 is not None and t2 != t1:
+                self._record(self._ra_so_log, t2, t1, key, seq)
+                self._record(self._ra_log, t2, t1, key, seq)
+                seq += 1
+
+        # Case t2 -wr-> t3: intersect writer keys with read keys.
+        keys_read = reader_of_key.keys()
+        for t2 in distinct_writers:
+            keys_written = self._txns[t2].keys_written
+            if len(keys_written) <= len(keys_read):
+                candidates = (x for x in keys_written if x in reader_of_key)
+            else:
+                candidates = (x for x in keys_read if x in keys_written)
+            for x in candidates:
+                t1 = reader_of_key[x]
+                if t1 != t2:
+                    self._record(self._ra_log, t2, t1, x, seq)
+                    seq += 1
+
+        for key in rec.keys_written:
+            last_write[key] = rec.tid
+        if not self._cc_enabled:
+            rec.good_reads = []
+
+    # -- CC frontier (Algorithm 3, online) --------------------------------------
+
+    def _advance_cc(self, sid: int) -> None:
+        if not self._cc_enabled:
+            return
+        queue = [sid]
+        while queue:
+            current = queue.pop()
+            records = self._by_session[current]
+            index = self._cc_next[current]
+            while index < len(records):
+                rec = records[index]
+                if rec.committed:
+                    if not rec.resolved:
+                        break
+                    if not rec.cc_registered:
+                        rec.cc_registered = True
+                        seen: Set[int] = set()
+                        pending = 0
+                        for _i, _key, writer in rec.good_reads:
+                            if writer in seen:
+                                continue
+                            seen.add(writer)
+                            if not self._txns[writer].cc_done:
+                                pending += 1
+                                self._cc_waiters.setdefault(writer, []).append(rec)
+                        rec.cc_pending = pending
+                    if rec.cc_pending > 0:
+                        break
+                    queue.extend(self._cc_process(rec))
+                index += 1
+            self._cc_next[current] = index
+
+    def _cc_process(self, rec: _Txn) -> List[int]:
+        """ComputeHB + saturate_cc for one transaction; returns sessions to poke."""
+        txns = self._txns
+        clock = list(self._session_clock[rec.sid])
+        seen: Set[int] = set()
+        for _index, _key, writer in rec.good_reads:
+            if writer in seen:
+                continue
+            seen.add(writer)
+            wrec = txns[writer]
+            wclock = self._hb[writer]
+            if len(wclock) > len(clock):
+                clock.extend([-1] * (len(wclock) - len(clock)))
+            for s2, value in enumerate(wclock):
+                if value > clock[s2]:
+                    clock[s2] = value
+            if wrec.sid >= len(clock):
+                clock.extend([-1] * (wrec.sid + 1 - len(clock)))
+            if wrec.sidx > clock[wrec.sid]:
+                clock[wrec.sid] = wrec.sidx
+        self._hb[rec.tid] = clock
+
+        last_write = self._cc_last_write[rec.sid]
+        pointer = self._cc_ptr[rec.sid]
+        seq = _sort_base(rec.sid, rec.sidx)
+        for _index, key, t1 in rec.good_reads:
+            key_writers = self._writers_by_key.get(key)
+            if not key_writers:
+                continue
+            sids, per_sid = key_writers
+            for other in sids:
+                writer_list, writer_indices = per_sid[other]
+                state = (other, key)
+                ptr = pointer.get(state, 0)
+                bound = clock[other] if other < len(clock) else -1
+                if ptr < len(writer_list) and writer_indices[ptr] <= bound:
+                    while ptr < len(writer_list) and writer_indices[ptr] <= bound:
+                        ptr += 1
+                    last_write[state] = writer_list[ptr - 1]
+                    pointer[state] = ptr
+                t2 = last_write.get(state)
+                if t2 is not None and t2 != t1:
+                    self._record(self._cc_log, t2, t1, key, seq)
+                    seq += 1
+
+        next_clock = list(clock)
+        if rec.sid >= len(next_clock):
+            next_clock.extend([-1] * (rec.sid + 1 - len(next_clock)))
+        if rec.sidx > next_clock[rec.sid]:
+            next_clock[rec.sid] = rec.sidx
+        self._session_clock[rec.sid] = next_clock
+
+        rec.cc_done = True
+        rec.good_reads = []
+        waiters = self._cc_waiters.pop(rec.tid, None)
+        poke: List[int] = []
+        if waiters:
+            for waiter in waiters:
+                waiter.cc_pending -= 1
+                if waiter.cc_pending == 0:
+                    poke.append(waiter.sid)
+        return poke
+
+    # -- finalize helpers --------------------------------------------------------
+
+    def _batch_numbering(self):
+        """Renumber transactions the way ``History.from_sessions`` would.
+
+        Returns ``(mapping, names, committed_ids, so_edges)`` where
+        ``mapping[streaming tid] = batch tid``; this makes the rebuilt commit
+        relations (and hence witnesses) identical to the batch checkers'.
+        """
+        mapping = [0] * len(self._txns)
+        names = [""] * len(self._txns)
+        committed_ids: List[int] = []
+        so_edges: List[Tuple[int, int]] = []
+        batch_tid = 0
+        for records in self._by_session:
+            previous = -1
+            for rec in records:
+                mapping[rec.tid] = batch_tid
+                names[batch_tid] = (
+                    rec.label if rec.label is not None else f"t{batch_tid}"
+                )
+                if rec.committed:
+                    committed_ids.append(batch_tid)
+                    if previous >= 0:
+                        so_edges.append((previous, batch_tid))
+                    previous = batch_tid
+                batch_tid += 1
+        return mapping, names, committed_ids, so_edges
+
+    def _wr_any_edges(self, mapping: List[int]) -> Iterator[Tuple[int, int, str]]:
+        for records in self._by_session:
+            for rec in records:
+                if not rec.committed:
+                    continue
+                reader = mapping[rec.tid]
+                for writer, key in rec.wr_first_any.items():
+                    yield (mapping[writer], reader, key)
+
+    def _build_relation(
+        self,
+        mapping: List[int],
+        names: List[str],
+        committed_ids: List[int],
+        so_edges: List[Tuple[int, int]],
+        log: _EdgeLog,
+    ) -> CommitRelation:
+        relation = CommitRelation.from_edges(
+            names, committed_ids, so_edges, self._wr_any_edges(mapping)
+        )
+        # Sort the existing edge keys instead of materializing log.items(),
+        # and drain entries as they are replayed: the log can hold hundreds
+        # of thousands of edges on large histories.
+        for edge in sorted(log, key=lambda e: log[e][0]):
+            _sort_key, key = log.pop(edge)
+            relation.add_inferred(mapping[edge[0]], mapping[edge[1]], key=key)
+        return relation
+
+    def _causality_graph(self, mapping: List[int]):
+        """The committed ``so ∪ good-wr`` graph, in batch construction order."""
+        graph = DiGraph(len(self._txns))
+        labels: Dict[Tuple[int, int], Optional[str]] = {}
+        for records in self._by_session:
+            previous = -1
+            for rec in records:
+                if not rec.committed:
+                    continue
+                current = mapping[rec.tid]
+                if previous >= 0 and (previous, current) not in labels:
+                    labels[(previous, current)] = None
+                    graph.add_edge(previous, current)
+                previous = current
+        for records in self._by_session:
+            for rec in records:
+                if not rec.committed:
+                    continue
+                reader = mapping[rec.tid]
+                for writer, key in rec.wr_first_good.items():
+                    edge = (mapping[writer], reader)
+                    if edge not in labels:
+                        labels[edge] = key
+                        graph.add_edge(edge[0], edge[1])
+                    elif labels[edge] is None:
+                        labels[edge] = key
+        return graph, labels
+
+    def _result(
+        self,
+        level: IsolationLevel,
+        violations: List[Violation],
+        checker: str,
+        relation: Optional[CommitRelation],
+        co_edges: bool = True,
+    ) -> CheckResult:
+        stats: Dict[str, float] = {}
+        if relation is not None:
+            stats["inferred_edges"] = relation.num_inferred_edges
+            if co_edges:
+                stats["co_edges"] = relation.num_edges
+        return CheckResult(
+            level=level,
+            violations=violations,
+            checker=checker,
+            elapsed_seconds=self._elapsed,
+            num_operations=self._num_operations,
+            num_transactions=len(self._txns),
+            num_sessions=len(self._by_session),
+            stats=stats,
+        )
+
+
+def check_stream(
+    pairs: Iterable[Tuple[object, Transaction]],
+    level: IsolationLevel = IsolationLevel.CAUSAL_CONSISTENCY,
+    max_witnesses: Optional[int] = None,
+    num_sessions: Optional[int] = None,
+) -> CheckResult:
+    """One-pass check of a ``(session, transaction)`` stream against ``level``.
+
+    Convenience wrapper over :class:`IncrementalChecker` for the common
+    single-level case (used by ``awdit check --stream``).
+    """
+    checker = IncrementalChecker(
+        levels=(level,), num_sessions=num_sessions, max_witnesses=max_witnesses
+    )
+    checker.extend(pairs)
+    return checker.finalize()[level]

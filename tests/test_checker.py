@@ -37,6 +37,29 @@ class TestDispatch:
         results = check_all_levels(fig_4a())
         assert set(results) == set(IsolationLevel)
 
+    def test_check_all_levels_uses_single_session_fast_path(self):
+        """Regression: check_all_levels used to call check_ra directly,
+        bypassing the single-session specialization that check() applies."""
+        history = History.from_sessions(
+            [[
+                Transaction([write("x", 1), write("y", 1)]),
+                Transaction([read("x", 1), write("x", 2)]),
+                Transaction([read("x", 2), read("y", 1)]),
+            ]]
+        )
+        direct = check(history, IsolationLevel.READ_ATOMIC)
+        via_all = check_all_levels(history)[IsolationLevel.READ_ATOMIC]
+        assert direct.checker == via_all.checker == "awdit-1session"
+        assert direct.is_consistent == via_all.is_consistent
+        assert [v.kind for v in direct.violations] == [v.kind for v in via_all.violations]
+        assert direct.stats["inferred_edges"] == via_all.stats["inferred_edges"]
+        assert set(direct.stats) == set(via_all.stats)
+
+    def test_check_all_levels_fast_path_can_be_disabled(self):
+        history = History.from_sessions([[Transaction([write("x", 1)])]])
+        results = check_all_levels(history, use_single_session_fast_path=False)
+        assert results[IsolationLevel.READ_ATOMIC].checker == "awdit"
+
 
 class TestLatticeMonotonicity:
     @pytest.mark.parametrize("name", sorted(PAPER_VERDICTS))

@@ -91,6 +91,63 @@ class TestCommitRelation:
         assert len(relation.find_cycles(max_witnesses=1)) == 1
 
 
+def so_and_wr_history():
+    """A session reads its predecessor's write, closing a causality cycle.
+
+    The t1 -> t2 edge is both ``so`` and ``wr[x]``; t2 -> t1 is ``wr[y]``.
+    """
+    t1 = Transaction([write("x", 1), read("y", 1)], label="t1")
+    t2 = Transaction([read("x", 1), write("y", 1)], label="t2")
+    return History.from_sessions([[t1, t2]])
+
+
+class TestKeyedWitnessLabels:
+    """Regression: first-label-wins must not drop the witnessing wr key."""
+
+    def test_keyed_label_kept_alongside_so(self):
+        relation = CommitRelation(so_and_wr_history())
+        # The primary label stays `so` (first recorded), but the keyed wr
+        # label is retained and preferred for witnesses.
+        assert relation.edge_label(0, 1) == ("so", None)
+        assert relation.witness_label(0, 1) == ("wr", "x")
+
+    def test_inferred_key_does_not_shadow_so_witness(self):
+        # A co attempt over an existing so-only edge must not reclassify it.
+        t3 = Transaction([write("z", 1)], label="t3")
+        t4 = Transaction([write("z", 2)], label="t4")
+        history = History.from_sessions([[t3, t4]])
+        bare = CommitRelation(history)
+        bare.add_inferred(0, 1, key="z")
+        assert bare.witness_label(0, 1) == ("so", None)
+
+    def test_commit_relation_cycle_witness_names_the_key(self):
+        relation = CommitRelation(so_and_wr_history())
+        cycles = relation.find_cycles()
+        assert len(cycles) == 1
+        assert cycles[0].kind is ViolationKind.CAUSALITY_CYCLE
+        labels = {(edge.source, edge.target): (edge.reason, edge.key) for edge in cycles[0].edges}
+        assert labels[(0, 1)] == ("wr", "x")
+        assert labels[(1, 0)] == ("wr", "y")
+
+    def test_causality_cycle_witness_names_the_key_at_all_levels(self):
+        from repro.core import IsolationLevel, check
+
+        history = so_and_wr_history()
+        for level in IsolationLevel:
+            result = check(history, level)
+            cycles = result.violations_of_kind(ViolationKind.CAUSALITY_CYCLE)
+            assert cycles, level
+            witness = cycles[0]
+            labels = {
+                (edge.source, edge.target): (edge.reason, edge.key)
+                for edge in witness.edges
+            }
+            # Before the fix the so-first edge lost its wr key and was
+            # reported as bare `so`.
+            assert labels[(0, 1)] == ("wr", "x"), level
+            assert labels[(1, 0)] == ("wr", "y"), level
+
+
 class TestWitnessUtilities:
     def test_summarize_counts_by_kind(self):
         result = check_rc(fig_1a())
