@@ -16,7 +16,6 @@ from typing import Dict
 
 import pytest
 
-from repro.db.config import DatabaseConfig, IsolationMode
 from repro.db.profiles import profile_by_name, with_overrides
 from repro.workloads import (
     CTwitterWorkload,
@@ -27,19 +26,6 @@ from repro.workloads import (
 )
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.json")
-
-
-def pytest_collection_modifyitems(items):
-    """Mark every benchmark test with the opt-in ``bench`` marker.
-
-    Together with ``addopts = -m "not bench"`` in pytest.ini this keeps the
-    multi-minute figure reproductions out of default runs; select them
-    explicitly with ``pytest benchmarks -m bench``.
-    """
-    this_dir = os.path.dirname(__file__)
-    for item in items:
-        if str(item.fspath).startswith(this_dir):
-            item.add_marker(pytest.mark.bench)
 
 
 def _workload(name: str, **kwargs):

@@ -29,6 +29,11 @@ from repro.core.read_consistency import check_read_consistency
 
 from conftest import make_history
 
+# Benchmark suites are opt-in (see pytest.ini): the marker is declared on
+# the module itself so collection behaves identically no matter which
+# directory pytest is invoked from.
+pytestmark = pytest.mark.bench
+
 
 class TestMinimalVsExhaustiveSaturation:
     def test_awdit_minimal_rc_saturation(self, benchmark, results):

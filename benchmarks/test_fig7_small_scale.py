@@ -24,6 +24,11 @@ from repro.core import IsolationLevel, check
 
 from conftest import make_history
 
+# Benchmark suites are opt-in (see pytest.ini): the marker is declared on
+# the module itself so collection behaves identically no matter which
+# directory pytest is invoked from.
+pytestmark = pytest.mark.bench
+
 WORKLOADS = ["rubis", "ctwitter", "tpcc"]
 SIZES = [64, 128, 256]
 SESSIONS = 20

@@ -5,18 +5,41 @@ bounded-memory, one-pass operation: the acceptance bar is a ≥100k-operation
 log checked via the streaming parsers at throughput within 2x of the batch
 pipeline (load + check).  Measured txns/sec for both pipelines are recorded
 in ``results.json``.
+
+``test_bench2_snapshot`` additionally records the cross-PR perf trajectory
+in the repo-root ``BENCH_2.json``: object-path vs compiled-IR vs streaming
+throughput on the 120k-op log, plus peak checking memory (tracemalloc, the
+in-process proxy for peak RSS) on the small-transaction log, where streaming
+CC must not exceed batch.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
+import tracemalloc
 
 import pytest
 
 from repro.core import IsolationLevel, check
-from repro.histories.formats import load_history, save_history, stream_history
+from repro.histories.formats import (
+    load_compiled,
+    load_history,
+    save_history,
+    stream_history,
+)
 from repro.histories.generator import RandomHistoryConfig, generate_random_history
 from repro.stream import check_stream
+
+BENCH2_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_2.json")
+)
+
+# Benchmark suites are opt-in (see pytest.ini): the marker is declared on
+# the module itself so collection behaves identically no matter which
+# directory pytest is invoked from.
+pytestmark = pytest.mark.bench
 
 LEVELS = list(IsolationLevel)
 
@@ -69,6 +92,136 @@ def test_streaming_throughput_within_2x_of_batch(tmp_path, results, fmt, ext, le
         f"streaming took {stream_seconds:.2f}s vs batch {batch_seconds:.2f}s "
         f"(> 2x) for {fmt}/{level.short_name}"
     )
+
+
+def _peak_mem(fn):
+    """Run ``fn`` and return (result, peak traced bytes)."""
+    tracemalloc.start()
+    try:
+        result = fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+def test_bench2_snapshot(tmp_path, results):
+    """Record the per-PR perf snapshot in the repo-root ``BENCH_2.json``.
+
+    Acceptance gates of the compiled-core PR, measured here:
+
+    * ``check(history, CC)`` via the compiled IR is >= 1.5x faster than the
+      object path on the fig9-scale (120k-op) generated history;
+    * streaming CC peak checking memory is <= batch on the small-transaction
+      log (the ROADMAP's inferred-edge-log RSS item).
+    """
+    cc = IsolationLevel.CAUSAL_CONSISTENCY
+
+    # -- throughput on the 120k-op log (pure check(), engine vs engine) -------
+    # Fresh History objects per timing: the object model caches derived
+    # structures (txn-level wr) on first use, which would flatter repeats.
+    # Engines are interleaved and the best of three kept, so a noisy or
+    # throttled machine cannot skew one side of the comparison.
+    object_times = []
+    compiled_times = []
+    for _ in range(3):
+        object_times.append(
+            _timed(lambda h=_large_history(): check(h, cc, engine="object"))
+        )
+        compiled_times.append(
+            _timed(lambda h=_large_history(): check(h, cc, engine="compiled"))
+        )
+    object_seconds = min(object_times)
+    compiled_seconds = min(compiled_times)
+    history = _large_history()
+    txns, ops = history.num_transactions, history.num_operations
+    path = tmp_path / "large.plume"
+    save_history(history, str(path), fmt="plume")
+
+    # -- end-to-end file pipelines (parse + check) ----------------------------
+    start = time.perf_counter()
+    batch_result = check(load_history(str(path), fmt="plume"), cc, engine="object")
+    batch_pipeline = time.perf_counter() - start
+    start = time.perf_counter()
+    compiled_result = check(load_compiled(str(path), fmt="plume"), cc)
+    compiled_pipeline = time.perf_counter() - start
+    start = time.perf_counter()
+    stream_result = check_stream(stream_history(str(path), fmt="plume"), cc)
+    stream_pipeline = time.perf_counter() - start
+    assert (
+        batch_result.is_consistent
+        == compiled_result.is_consistent
+        == stream_result.is_consistent
+    )
+
+    # -- peak checking memory on the small-transaction log --------------------
+    small = RandomHistoryConfig(
+        num_sessions=8,
+        num_transactions=15_000,
+        num_keys=500,
+        min_ops_per_txn=2,
+        max_ops_per_txn=3,
+        read_fraction=0.5,
+        mode="serializable",
+        seed=11,
+    )
+    small_path = tmp_path / "small.plume"
+    save_history(generate_random_history(small), str(small_path), fmt="plume")
+    _, batch_peak = _peak_mem(
+        lambda: check(load_history(str(small_path), fmt="plume"), cc, engine="object")
+    )
+    _, compiled_peak = _peak_mem(
+        lambda: check(load_compiled(str(small_path), fmt="plume"), cc)
+    )
+    _, stream_peak = _peak_mem(
+        lambda: check_stream(stream_history(str(small_path), fmt="plume"), cc)
+    )
+
+    speedup = object_seconds / compiled_seconds
+    snapshot = {
+        "generated_by": "benchmarks/test_streaming_throughput.py::test_bench2_snapshot",
+        "history": {
+            "transactions": txns,
+            "operations": ops,
+            "sessions": 8,
+            "mode": "serializable",
+        },
+        "check_cc_seconds": {
+            "object": round(object_seconds, 4),
+            "compiled": round(compiled_seconds, 4),
+            "compiled_speedup": round(speedup, 3),
+        },
+        "pipeline_txns_per_sec": {
+            "batch_object": round(txns / batch_pipeline, 1),
+            "compiled": round(txns / compiled_pipeline, 1),
+            "stream": round(txns / stream_pipeline, 1),
+        },
+        "peak_checking_mem_bytes": {
+            "note": "tracemalloc peak (in-process RSS proxy), CC on the "
+            "small-transaction log (15k txns, 2-3 ops each)",
+            "batch_object": batch_peak,
+            "compiled": compiled_peak,
+            "stream": stream_peak,
+            "stream_over_batch": round(stream_peak / batch_peak, 3),
+        },
+    }
+    with open(BENCH2_PATH, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2)
+        handle.write("\n")
+    results.record("bench2", "snapshot", snapshot)
+
+    assert speedup >= 1.5, (
+        f"compiled CC check must be >=1.5x the object path, got {speedup:.2f}x"
+    )
+    assert stream_peak <= batch_peak, (
+        f"streaming CC peak memory {stream_peak} must not exceed batch {batch_peak}"
+    )
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
 
 
 def test_streaming_violation_detection_throughput(tmp_path, results):

@@ -32,6 +32,11 @@ from repro.workloads import TPCCWorkload, collect_history
 
 from conftest import make_history
 
+# Benchmark suites are opt-in (see pytest.ini): the marker is declared on
+# the module itself so collection behaves identically no matter which
+# directory pytest is invoked from.
+pytestmark = pytest.mark.bench
+
 #: (history id, size, sessions, database, injected anomalies) -- Table 1 rows.
 TABLE1_ROWS = [
     ("H1", 512, 40, "cockroach", (ViolationKind.FUTURE_READ,)),

@@ -4,6 +4,9 @@ The package is organised as follows:
 
 * :mod:`repro.core` -- the history model and the AWDIT checking algorithms
   for Read Committed, Read Atomic, and Causal Consistency.
+* :mod:`repro.core.compiled` -- the compiled-history core: keys/values/
+  sessions interned to dense ints, operations in flat parallel arrays, and
+  the checkers ported onto that IR (the default ``check()`` engine).
 * :mod:`repro.graph` -- directed-graph, SCC, vector-clock and tree-clock
   substrates.
 * :mod:`repro.histories` -- history builders, random generators, and parsers
@@ -54,6 +57,11 @@ from repro.core import (
     read,
     write,
 )
+from repro.core.compiled import (
+    CompiledHistory,
+    check_compiled,
+    compile_history,
+)
 from repro.stream import IncrementalChecker, check_stream
 
 __version__ = "1.0.0"
@@ -77,6 +85,9 @@ __all__ = [
     "Violation",
     "ViolationKind",
     "CycleViolation",
+    "CompiledHistory",
+    "check_compiled",
+    "compile_history",
     "IncrementalChecker",
     "check_stream",
     "__version__",

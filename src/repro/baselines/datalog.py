@@ -20,8 +20,8 @@ in the paper's Fig. 7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 __all__ = ["Variable", "Atom", "Rule", "DatalogProgram"]
 

@@ -11,7 +11,7 @@ algorithms against these on thousands of randomly generated histories.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.core.commit import CommitRelation
 from repro.core.isolation import IsolationLevel

@@ -18,7 +18,7 @@ topological order is a witness serialization.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import Dict, List
 
 from repro.core.isolation import IsolationLevel
 from repro.core.model import History, OpRef

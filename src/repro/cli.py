@@ -8,7 +8,9 @@ Subcommands:
 * ``awdit generate`` -- run a workload against the simulated database and
   write the collected history to a file.
 * ``awdit convert SRC DST`` -- convert a history between on-disk formats.
-* ``awdit stats HISTORY`` -- print size statistics of a history file.
+* ``awdit stats HISTORY`` -- print size statistics of a history file,
+  including the compiled IR's interned cardinalities (keys, values,
+  sessions) and its estimated in-memory footprint.
 
 Run ``awdit <subcommand> --help`` for the full flag list.
 """
@@ -59,6 +61,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "check the file in one streaming pass (memory proportional to live "
             "state, not history size); only the awdit checker supports this"
+        ),
+    )
+    check_parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", "compiled", "object"],
+        help=(
+            "batch checking engine: 'compiled' runs on the interned array IR "
+            "(default via 'auto'), 'object' runs the reference object-model "
+            "checkers; ignored with --stream or a baseline checker"
         ),
     )
 
@@ -116,8 +128,16 @@ def _run_check(args: argparse.Namespace) -> int:
             max_witnesses=args.witnesses,
         )
     elif checker_name in ("awdit", "default"):
-        history = load_history(args.history, fmt=args.format)
-        result = check(history, level, max_witnesses=args.witnesses)
+        if args.engine in ("auto", "compiled"):
+            # The compiled path can ingest the file without materializing
+            # the object model at all.
+            from repro.histories.formats import load_compiled
+
+            compiled = load_compiled(args.history, fmt=args.format)
+            result = check(compiled, level, max_witnesses=args.witnesses)
+        else:
+            history = load_history(args.history, fmt=args.format)
+            result = check(history, level, max_witnesses=args.witnesses, engine="object")
     elif checker_name in BASELINE_REGISTRY:
         history = load_history(args.history, fmt=args.format)
         result = BASELINE_REGISTRY[checker_name](history, level)
@@ -160,30 +180,56 @@ def _run_convert(args: argparse.Namespace) -> int:
 
 
 def _run_stats(args: argparse.Namespace) -> int:
-    history = load_history(args.history, fmt=args.format)
-    print(history.describe())
-    sizes = [len(history.transactions[tid]) for tid in history.committed]
+    from repro.histories.formats import load_compiled
+
+    compiled = load_compiled(args.history, fmt=args.format)
+    print(compiled.describe())
+    txn_start = compiled.txn_start
+    sizes = [
+        txn_start[tid + 1] - txn_start[tid]
+        for tid in range(compiled.num_transactions)
+        if compiled.txn_committed[tid]
+    ]
     if sizes:
+        aborted = compiled.num_transactions - len(sizes)
         print(f"  committed transactions : {len(sizes)}")
-        print(f"  aborted transactions   : {len(history.aborted)}")
+        print(f"  aborted transactions   : {aborted}")
         print(f"  avg ops per transaction: {sum(sizes) / len(sizes):.2f}")
         print(f"  max ops per transaction: {max(sizes)}")
-    print(f"  distinct keys          : {len(history.keys)}")
+    # "distinct keys" is the key intern table's cardinality; the value and
+    # session tables get their own lines.
+    print(f"  distinct keys          : {compiled.num_keys}")
+    print(f"  interned values        : {compiled.num_values}")
+    print(f"  interned sessions      : {compiled.num_sessions}")
+    footprint = compiled.memory_footprint()
+    print(
+        f"  compiled footprint     : {footprint['total_bytes'] / 1024:.1f} KiB "
+        f"(arrays {footprint['arrays_bytes'] / 1024:.1f} KiB, "
+        f"intern tables {footprint['intern_tables_bytes'] / 1024:.1f} KiB)"
+    )
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point of the ``awdit`` command-line tool."""
+    from repro.core.exceptions import ReproError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "check":
-        return _run_check(args)
-    if args.command == "generate":
-        return _run_generate(args)
-    if args.command == "convert":
-        return _run_convert(args)
-    if args.command == "stats":
-        return _run_stats(args)
+    try:
+        if args.command == "check":
+            return _run_check(args)
+        if args.command == "generate":
+            return _run_generate(args)
+        if args.command == "convert":
+            return _run_convert(args)
+        if args.command == "stats":
+            return _run_stats(args)
+    except ReproError as exc:
+        # Malformed input and misuse carry file/line context in the message;
+        # a traceback would bury it.
+        print(f"awdit: error: {exc}", file=sys.stderr)
+        return 2
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -13,6 +13,13 @@ Public surface:
 from repro.core.cc import check_cc, compute_happens_before
 from repro.core.checker import check, check_all_levels
 from repro.core.commit import CommitRelation
+from repro.core.compiled import (
+    CompiledHistory,
+    CompiledHistoryBuilder,
+    check_all_levels_compiled,
+    check_compiled,
+    compile_history,
+)
 from repro.core.exceptions import (
     HistoryFormatError,
     ParseError,
@@ -47,6 +54,11 @@ __all__ = [
     "is_stronger_or_equal",
     "check",
     "check_all_levels",
+    "CompiledHistory",
+    "CompiledHistoryBuilder",
+    "check_all_levels_compiled",
+    "check_compiled",
+    "compile_history",
     "check_rc",
     "check_ra",
     "check_ra_single_session",

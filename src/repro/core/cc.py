@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.commit import CommitRelation
 from repro.core.isolation import IsolationLevel
-from repro.core.model import History, OpRef, Operation
+from repro.core.model import History, OpRef
 from repro.core.read_consistency import ReadConsistencyReport, check_read_consistency
 from repro.core.result import CheckResult, Stopwatch
 from repro.core.violations import CycleEdge, CycleViolation, Violation, ViolationKind

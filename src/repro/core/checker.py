@@ -5,13 +5,32 @@ AWDIT algorithm (Algorithms 1-3 of the paper), automatically using the
 linear-time single-session specialization for RA (Theorem 1.6) when it
 applies.  :func:`check_all_levels` runs all three levels sharing a single
 Read Consistency pass.
+
+Two interchangeable engines implement the algorithms:
+
+* ``"compiled"`` (the default) first compiles the history to the interned
+  array IR of :mod:`repro.core.compiled` and runs the int-id checkers -- the
+  fast path for anything beyond toy histories.
+* ``"object"`` runs directly over the :class:`~repro.core.model.History`
+  object graph -- kept as the readable reference implementation and as the
+  oracle the compiled engine is property-tested against.
+
+Both engines return byte-identical results (verdicts, violation kinds,
+witness renderings, inferred-edge counts).  ``engine="auto"`` resolves to
+``"compiled"``, except when a precomputed object-path
+:class:`ReadConsistencyReport` is supplied for reuse.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.core.cc import check_cc
+from repro.core.compiled.checkers import (
+    check_all_levels_compiled,
+    check_compiled,
+)
+from repro.core.compiled.ir import CompiledHistory
 from repro.core.isolation import IsolationLevel
 from repro.core.model import History
 from repro.core.ra import check_ra, check_ra_single_session
@@ -21,20 +40,25 @@ from repro.core.result import CheckResult
 
 __all__ = ["check", "check_all_levels"]
 
+_ENGINES = ("auto", "compiled", "object")
+
 
 def check(
-    history: History,
+    history: Union[History, CompiledHistory],
     level: IsolationLevel = IsolationLevel.CAUSAL_CONSISTENCY,
     max_witnesses: Optional[int] = None,
     use_single_session_fast_path: bool = True,
     read_consistency: Optional[ReadConsistencyReport] = None,
+    engine: str = "auto",
 ) -> CheckResult:
     """Check whether ``history`` satisfies ``level``.
 
     Parameters
     ----------
     history:
-        The transaction history to test.
+        The transaction history to test: a :class:`History`, or an
+        already-compiled :class:`CompiledHistory` (which skips the compile
+        pass and always uses the compiled engine).
     level:
         The isolation level to test against (RC, RA, or CC).
     max_witnesses:
@@ -44,9 +68,42 @@ def check(
         Use the linear-time RA algorithm of Theorem 1.6 when the history has
         a single session.
     read_consistency:
-        A precomputed Read Consistency report to reuse (one RC pass can be
-        shared across several levels); computed on demand when omitted.
+        A precomputed object-path Read Consistency report to reuse (one RC
+        pass can be shared across several levels); supplying it pins the
+        object engine.
+    engine:
+        ``"auto"`` (default), ``"compiled"``, or ``"object"``; see the module
+        docstring.
     """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    if isinstance(history, CompiledHistory):
+        if engine == "object":
+            raise ValueError("a CompiledHistory requires the compiled engine")
+        if read_consistency is not None:
+            raise ValueError(
+                "read_consistency reports belong to the object engine; "
+                "compiled checkers share a CompiledReadReport instead"
+            )
+        return check_compiled(
+            history,
+            level,
+            max_witnesses=max_witnesses,
+            use_single_session_fast_path=use_single_session_fast_path,
+        )
+    if read_consistency is not None and engine == "compiled":
+        raise ValueError(
+            "read_consistency reports belong to the object engine; pass "
+            "engine='object' (or 'auto') to reuse one, or let the compiled "
+            "engine share a CompiledReadReport via check_all_levels"
+        )
+    if engine != "object" and read_consistency is None:
+        return check_compiled(
+            history,
+            level,
+            max_witnesses=max_witnesses,
+            use_single_session_fast_path=use_single_session_fast_path,
+        )
     if level is IsolationLevel.READ_COMMITTED:
         return check_rc(
             history, max_witnesses=max_witnesses, read_consistency=read_consistency
@@ -67,16 +124,28 @@ def check(
 
 
 def check_all_levels(
-    history: History,
+    history: Union[History, CompiledHistory],
     max_witnesses: Optional[int] = None,
     use_single_session_fast_path: bool = True,
+    engine: str = "auto",
 ) -> Dict[IsolationLevel, CheckResult]:
     """Check the history against RC, RA, and CC, sharing one Read Consistency pass.
 
-    Each level goes through the same :func:`check` dispatch as a standalone
+    Each level goes through the same dispatch as a standalone :func:`check`
     call, so specializations such as the single-session RA fast path apply
-    identically here.
+    identically here.  With the default compiled engine the history is
+    compiled once and all three levels run on the same IR.
     """
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    if isinstance(history, CompiledHistory) and engine == "object":
+        raise ValueError("a CompiledHistory requires the compiled engine")
+    if engine != "object" or isinstance(history, CompiledHistory):
+        return check_all_levels_compiled(
+            history,
+            max_witnesses=max_witnesses,
+            use_single_session_fast_path=use_single_session_fast_path,
+        )
     report = check_read_consistency(history)
     return {
         level: check(
@@ -85,6 +154,7 @@ def check_all_levels(
             max_witnesses=max_witnesses,
             use_single_session_fast_path=use_single_session_fast_path,
             read_consistency=report,
+            engine="object",
         )
         for level in (
             IsolationLevel.READ_COMMITTED,

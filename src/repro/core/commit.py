@@ -11,6 +11,12 @@ or an inferred ``co`` edge together with the key whose inference rule fired),
 checks acyclicity with Tarjan SCCs, and extracts one labelled cycle witness
 per non-trivial SCC -- the witness-reporting strategy of Section 3.4.
 
+The relation is stored in *packed-edge* form: an edge ``s -> t`` is the
+single integer ``(s << EDGE_SHIFT) | t`` and the label tables are int-keyed
+dicts, which roughly halves the per-edge memory next to ``(s, t)`` tuple keys
+and makes edge hashing an integer hash.  The public API still speaks
+``(source, target)`` pairs.
+
 An edge may be justified by several relations at once (a session reading its
 so-predecessor's write is related by both ``so`` and ``wr``).  The primary
 label is first-come (``so``/``wr`` labels are added before inferred ones, so
@@ -19,8 +25,9 @@ for an edge already labelled ``so`` is retained alongside it and preferred
 when rendering witnesses, so cycle reports never lose the witnessing key.
 
 The relation is normally built from a :class:`~repro.core.model.History`;
-the streaming checker builds it from transaction-level summaries instead via
-:meth:`CommitRelation.from_edges`, without materializing a history.
+the compiled checkers build it from the array IR via :meth:`from_edges`, and
+the streaming checker drains its packed inferred-edge logs into it at
+finalize, without materializing a history.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.model import History
 from repro.core.violations import CycleEdge, CycleViolation, ViolationKind
 from repro.graph.cycles import find_cycle_in_component, strongly_connected_components
-from repro.graph.digraph import DiGraph
+from repro.graph.digraph import EDGE_SHIFT, DiGraph
 
 __all__ = ["CommitRelation"]
 
@@ -55,11 +62,12 @@ class CommitRelation:
         self._committed: List[int] = list(committed)
         self.graph = DiGraph(len(self._names))
         # First label recorded for an edge wins; so/wr labels are added first,
-        # which makes cycle witnesses prefer the "weaker" explanation.
-        self._labels: Dict[Tuple[int, int], Tuple[str, Optional[str]]] = {}
+        # which makes cycle witnesses prefer the "weaker" explanation.  Keys
+        # are packed edges, values ``(reason, key)``.
+        self._labels: Dict[int, Tuple[str, Optional[str]]] = {}
         # First keyed so∪wr label per edge, kept even when a bare `so` label
         # arrived first, so witnesses can name the witnessing key.
-        self._keyed: Dict[Tuple[int, int], Tuple[str, str]] = {}
+        self._keyed: Dict[int, Tuple[str, str]] = {}
         self.num_inferred_edges = 0
         if history is not None:
             self._add_so_wr_edges()
@@ -105,10 +113,10 @@ class CommitRelation:
                     self._add_labelled(writer, tid, "wr", op.key)
 
     def _add_labelled(self, source: int, target: int, reason: str, key: Optional[str]) -> None:
-        edge = (source, target)
+        edge = (source << EDGE_SHIFT) | target
         if edge not in self._labels:
             self._labels[edge] = (reason, key)
-            self.graph.add_edge(source, target)
+            self.graph.add_packed_edge(edge)
         if key is not None and edge not in self._keyed:
             self._keyed[edge] = (reason, key)
 
@@ -123,17 +131,21 @@ class CommitRelation:
             # The inference rules always relate distinct transactions; a
             # self-edge would indicate a caller bug.
             raise ValueError("co' edges relate distinct transactions")
-        if (source, target) in self._labels:
+        self.add_inferred_packed((source << EDGE_SHIFT) | target, key)
+
+    def add_inferred_packed(self, edge: int, key: Optional[str] = None) -> None:
+        """:meth:`add_inferred` for an already-packed edge (hot-path form)."""
+        if edge in self._labels:
             return
-        self._labels[(source, target)] = ("co", key)
-        self.graph.add_edge(source, target)
+        self._labels[edge] = ("co", key)
+        self.graph.add_packed_edge(edge)
         self.num_inferred_edges += 1
 
     # -- queries ---------------------------------------------------------------
 
     def edge_label(self, source: int, target: int) -> Optional[Tuple[str, Optional[str]]]:
         """The primary ``(reason, key)`` label of an edge, or ``None`` if absent."""
-        return self._labels.get((source, target))
+        return self._labels.get((source << EDGE_SHIFT) | target)
 
     def witness_label(self, source: int, target: int) -> Optional[Tuple[str, Optional[str]]]:
         """The most informative label of an edge, for cycle witnesses.
@@ -142,11 +154,12 @@ class CommitRelation:
         is both ``so`` and ``wr`` is reported as ``wr[key]`` so the witnessing
         key is never dropped.
         """
-        primary = self._labels.get((source, target))
+        packed = (source << EDGE_SHIFT) | target
+        primary = self._labels.get(packed)
         if primary is None:
             return None
         if primary[1] is None and primary[0] != "co":
-            keyed = self._keyed.get((source, target))
+            keyed = self._keyed.get(packed)
             if keyed is not None:
                 return keyed
         return primary

@@ -1,0 +1,38 @@
+"""The compiled-history core: interned, array-backed checking.
+
+Public surface:
+
+* :class:`CompiledHistory` / :func:`compile_history` -- the flat-array IR and
+  the one-pass compile from the object model.
+* :class:`CompiledHistoryBuilder` -- produce the IR directly from raw parser
+  events, skipping ``Operation``/``Transaction`` objects entirely (used by
+  :func:`repro.histories.formats.load_compiled`).
+* :func:`check_compiled` / :func:`check_all_levels_compiled` -- the AWDIT
+  checkers on the IR, byte-identical to the object path.
+* :class:`Intern` -- the dense interning table (also reused by the streaming
+  checker for its packed inferred-edge logs).
+"""
+
+from repro.core.compiled.checkers import (
+    CompiledReadReport,
+    check_all_levels_compiled,
+    check_compiled,
+    check_read_consistency_compiled,
+)
+from repro.core.compiled.ir import (
+    CompiledHistory,
+    CompiledHistoryBuilder,
+    Intern,
+    compile_history,
+)
+
+__all__ = [
+    "CompiledHistory",
+    "CompiledHistoryBuilder",
+    "CompiledReadReport",
+    "Intern",
+    "check_all_levels_compiled",
+    "check_compiled",
+    "check_read_consistency_compiled",
+    "compile_history",
+]

@@ -1,0 +1,915 @@
+"""AWDIT checkers running on the compiled array IR.
+
+Each function here is a line-by-line port of the corresponding object-path
+algorithm (:mod:`repro.core.read_consistency`, :mod:`repro.core.rc`,
+:mod:`repro.core.ra`, :mod:`repro.core.cc`) onto
+:class:`~repro.core.compiled.ir.CompiledHistory`: identifiers are dense ints,
+per-key state lives in int-keyed dicts, and the commit relation is built in
+packed-edge form.  The ports preserve the object path's *iteration and edge
+insertion orders* exactly, so verdicts, violation kinds, and witness
+renderings are byte-identical (property-tested in ``tests/test_compiled.py``);
+only the constant factors change.
+
+The module deliberately reaches into the IR's internal flat arrays
+(``_xr_*``, ``_kw_*``) instead of the iterator accessors: these loops are the
+hot path the compiled layer exists for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.commit import CommitRelation
+from repro.core.compiled.ir import CompiledHistory, compile_history
+from repro.core.isolation import IsolationLevel
+from repro.core.model import History, OpRef
+from repro.core.result import CheckResult, Stopwatch
+from repro.core.violations import (
+    CycleEdge,
+    CycleViolation,
+    ReadConsistencyViolation,
+    RepeatableReadViolation,
+    Violation,
+    ViolationKind,
+)
+from repro.graph.cycles import (
+    find_cycle_in_component,
+    strongly_connected_components,
+    topological_sort,
+)
+from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT, DiGraph
+
+__all__ = [
+    "CompiledReadReport",
+    "check_read_consistency_compiled",
+    "check_compiled",
+    "check_all_levels_compiled",
+    "check_rc_compiled",
+    "check_ra_compiled",
+    "check_ra_single_session_compiled",
+    "check_cc_compiled",
+]
+
+
+class CompiledReadReport:
+    """Read Consistency outcome over the IR: violations + bad read op indices.
+
+    ``bad_ops`` holds *global operation indices* (the compiled analogue of the
+    object report's ``bad_reads`` set of :class:`OpRef`).
+    """
+
+    __slots__ = ("violations", "bad_ops")
+
+    def __init__(self, violations: List[Violation], bad_ops: Set[int]) -> None:
+        self.violations = violations
+        self.bad_ops = bad_ops
+
+    @property
+    def ok(self) -> bool:
+        """True when the history satisfies all five Read Consistency axioms."""
+        return not self.violations
+
+
+def check_read_consistency_compiled(ch: CompiledHistory) -> CompiledReadReport:
+    """Algorithm 4 on the IR (mirror of ``check_read_consistency``)."""
+    violations: List[Violation] = []
+    bad_ops: Set[int] = set()
+    op_kind = ch.op_kind
+    op_key = ch.op_key
+    op_wr = ch.op_wr
+    op_txn = ch.op_txn
+    op_final = ch.op_final
+    txn_start = ch.txn_start
+    committed = ch.txn_committed
+    key_names = ch.key_table.values
+    value_objs = ch.value_table.values
+
+    def _bad(kind: ViolationKind, message: str, read: int, write: Optional[int]) -> None:
+        bad_ops.add(read)
+        read_ref = OpRef(op_txn[read], read - txn_start[op_txn[read]])
+        write_ref = (
+            None
+            if write is None
+            else OpRef(op_txn[write], write - txn_start[op_txn[write]])
+        )
+        violations.append(
+            ReadConsistencyViolation(
+                kind=kind, message=message, read=read_ref, write=write_ref
+            )
+        )
+
+    for tid in range(ch.num_transactions):
+        if not committed[tid]:
+            continue
+        name = ch.name_of(tid)
+        lo, hi = txn_start[tid], txn_start[tid + 1]
+        latest_own_write: Dict[int, int] = {}
+        for i in range(lo, hi):
+            key = op_key[i]
+            if op_kind[i]:
+                latest_own_write[key] = i
+                continue
+            w = op_wr[i]
+
+            # (a) thin-air reads: the observed value was never written.
+            if w < 0:
+                _bad(
+                    ViolationKind.THIN_AIR_READ,
+                    f"{name} reads {ch.op_repr(i)} but no transaction writes "
+                    f"{value_objs[ch.op_value[i]]!r} to {key_names[key]!r}",
+                    i,
+                    None,
+                )
+                continue
+
+            writer_tid = op_txn[w]
+
+            # (b) aborted reads.
+            if not committed[writer_tid]:
+                _bad(
+                    ViolationKind.ABORTED_READ,
+                    f"{name} reads {ch.op_repr(i)} written by aborted "
+                    f"transaction {ch.name_of(writer_tid)}",
+                    i,
+                    w,
+                )
+                continue
+
+            # (c) future reads: the observed write is po-after the read in the
+            # same transaction.
+            if writer_tid == tid and w > i:
+                _bad(
+                    ViolationKind.FUTURE_READ,
+                    f"{name} reads {ch.op_repr(i)} before writing it "
+                    f"(write at position {w - lo}, read at {i - lo})",
+                    i,
+                    w,
+                )
+                continue
+
+            if writer_tid != tid:
+                # (d) observe own writes: a read may not observe an external
+                # write when an own write to the key precedes it.
+                if key in latest_own_write:
+                    _bad(
+                        ViolationKind.NOT_OWN_WRITE,
+                        f"{name} reads {ch.op_repr(i)} from {ch.name_of(writer_tid)} "
+                        f"although it wrote {key_names[key]!r} earlier itself",
+                        i,
+                        w,
+                    )
+                    continue
+                # (e) observe latest write, different-transaction case: the
+                # observed write must be the writer's final write to the key.
+                if not op_final[w]:
+                    _bad(
+                        ViolationKind.NOT_LATEST_WRITE,
+                        f"{name} reads {ch.op_repr(i)} from a non-final write "
+                        f"of {ch.name_of(writer_tid)} to {key_names[key]!r}",
+                        i,
+                        w,
+                    )
+                continue
+
+            # Same-transaction case of (e): the read must observe the latest
+            # own write to the key that precedes it in program order.
+            own_index = latest_own_write.get(key)
+            if own_index is None:
+                continue
+            if own_index != w:
+                _bad(
+                    ViolationKind.NOT_LATEST_WRITE,
+                    f"{name} reads {ch.op_repr(i)} from a stale own write to "
+                    f"{key_names[key]!r} (a later own write precedes the read)",
+                    i,
+                    w,
+                )
+    return CompiledReadReport(violations, bad_ops)
+
+
+# -- commit relation over the IR -----------------------------------------------
+
+
+def _relation_from_compiled(ch: CompiledHistory) -> CommitRelation:
+    """Build ``so ∪ wr`` in exactly the order ``CommitRelation(history)`` does.
+
+    The per-edge work of ``CommitRelation._add_labelled`` is inlined (labels
+    dict + adjacency append) -- this runs once per so/wr edge and sits on the
+    compiled engine's critical path.
+    """
+    names = [ch.name_of(tid) for tid in range(ch.num_transactions)]
+    committed = ch.txn_committed
+    key_names = ch.key_table.values
+    relation = CommitRelation(names=names, committed=ch.committed)
+    labels = relation._labels
+    keyed = relation._keyed
+    succ = relation.graph._succ
+    edge_count = 0
+
+    for session in ch.sessions:
+        previous = -1
+        for tid in session:
+            if not committed[tid]:
+                continue
+            if previous >= 0:
+                edge = (previous << EDGE_SHIFT) | tid
+                if edge not in labels:
+                    labels[edge] = ("so", None)
+                    succ[previous].append(tid)
+                    edge_count += 1
+            previous = tid
+
+    xr_start = ch._xr_start
+    xr_writer = ch._xr_writer
+    xr_key = ch._xr_key
+    for tid in range(ch.num_transactions):
+        if not committed[tid]:
+            continue
+        seen = set()
+        for j in range(xr_start[tid], xr_start[tid + 1]):
+            writer = xr_writer[j]
+            if writer in seen:
+                continue
+            seen.add(writer)
+            if committed[writer]:
+                edge = (writer << EDGE_SHIFT) | tid
+                key = key_names[xr_key[j]]
+                if edge not in labels:
+                    labels[edge] = ("wr", key)
+                    succ[writer].append(tid)
+                    edge_count += 1
+                if edge not in keyed:
+                    keyed[edge] = ("wr", key)
+    relation.graph._edge_count += edge_count
+    return relation
+
+
+# -- RC (Algorithm 1) ----------------------------------------------------------
+
+
+def _external_good_reads(
+    ch: CompiledHistory, tid: int, bad_ops: Set[int]
+) -> List[Tuple[int, int, int]]:
+    """Good external committed reads of ``tid``: ``(po, key_id, writer_tid)``."""
+    xr_start = ch._xr_start
+    xr_po = ch._xr_po
+    xr_key = ch._xr_key
+    xr_writer = ch._xr_writer
+    committed = ch.txn_committed
+    check_bad = bool(bad_ops)  # empty on clean histories; skip the arithmetic
+    base = ch.txn_start[tid]
+    result: List[Tuple[int, int, int]] = []
+    for j in range(xr_start[tid], xr_start[tid + 1]):
+        if check_bad and base + xr_po[j] in bad_ops:
+            continue
+        writer = xr_writer[j]
+        if not committed[writer]:
+            continue
+        result.append((xr_po[j], xr_key[j], writer))
+    return result
+
+
+def saturate_rc_compiled(
+    ch: CompiledHistory, relation: CommitRelation, bad_ops: Set[int]
+) -> None:
+    """Algorithm 1's main loop on the IR (mirror of ``saturate_rc``)."""
+    committed = ch.txn_committed
+    key_names = ch.key_table.values
+    kw_start = ch._kw_start
+    kw_key = ch._kw_key
+    # CommitRelation.add_inferred inlined, as in saturate_cc_compiled.
+    labels = relation._labels
+    graph_add = relation.graph.add_packed_edge
+    inferred = 0
+    for tid in range(ch.num_transactions):
+        if not committed[tid]:
+            continue
+        reads = _external_good_reads(ch, tid, bad_ops)
+        if not reads:
+            continue
+
+        # Forward pass: record the po-first read of each observed transaction.
+        seen_txns: Set[int] = set()
+        first_txn_reads: Set[int] = set()
+        for po, _key, writer in reads:
+            if writer not in seen_txns:
+                seen_txns.add(writer)
+                first_txn_reads.add(po)
+
+        # Backward pass (see saturate_rc for the invariants; read_keys is a
+        # dict so the smaller-side iteration below is deterministic).
+        earliest: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+        read_keys: Dict[int, None] = {}
+        for po, key, t2 in reversed(reads):
+            if po in first_txn_reads:
+                lo, hi = kw_start[t2], kw_start[t2 + 1]
+                if hi - lo <= len(read_keys):
+                    candidates = [x for x in kw_key[lo:hi] if x in read_keys]
+                else:
+                    kw_set = ch.keys_written_set(t2)
+                    candidates = [x for x in read_keys if x in kw_set]
+                for x in candidates:
+                    older, newer = earliest[x]
+                    t1 = newer
+                    if t1 == t2:
+                        t1 = older
+                    if t1 is not None and t1 != t2:
+                        edge = (t2 << EDGE_SHIFT) | t1
+                        if edge not in labels:
+                            labels[edge] = ("co", key_names[x])
+                            graph_add(edge)
+                            inferred += 1
+            pair = earliest.get(key)
+            if pair is None:
+                earliest[key] = (None, t2)
+            elif pair[1] != t2:
+                earliest[key] = (pair[1], t2)
+            read_keys[key] = None
+    relation.num_inferred_edges += inferred
+
+
+def check_rc_compiled(
+    ch: CompiledHistory,
+    max_witnesses: Optional[int] = None,
+    report: Optional[CompiledReadReport] = None,
+) -> CheckResult:
+    """Read Committed on the IR (mirror of ``check_rc``)."""
+    watch = Stopwatch()
+    report = report or check_read_consistency_compiled(ch)
+    watch.lap("read_consistency")
+
+    relation = _relation_from_compiled(ch)
+    saturate_rc_compiled(ch, relation, report.bad_ops)
+    watch.lap("saturation")
+
+    violations = list(report.violations)
+    violations.extend(relation.find_cycles(max_witnesses=max_witnesses))
+    watch.lap("cycle_check")
+
+    return _result(
+        ch,
+        IsolationLevel.READ_COMMITTED,
+        violations,
+        "awdit",
+        watch,
+        stats={
+            "inferred_edges": relation.num_inferred_edges,
+            "co_edges": relation.num_edges,
+        },
+    )
+
+
+# -- RA (Algorithm 2, Theorem 1.6) ---------------------------------------------
+
+
+def check_repeatable_reads_compiled(
+    ch: CompiledHistory, bad_ops: Set[int]
+) -> List[Violation]:
+    """Repeatable-reads pre-check on the IR (mirror of ``check_repeatable_reads``)."""
+    violations: List[Violation] = []
+    op_kind = ch.op_kind
+    op_key = ch.op_key
+    op_wr = ch.op_wr
+    op_txn = ch.op_txn
+    txn_start = ch.txn_start
+    committed = ch.txn_committed
+    key_names = ch.key_table.values
+    for tid in range(ch.num_transactions):
+        if not committed[tid]:
+            continue
+        last_writer: Dict[int, int] = {}
+        for i in range(txn_start[tid], txn_start[tid + 1]):
+            if op_kind[i] or i in bad_ops:
+                continue
+            w = op_wr[i]
+            if w < 0:
+                continue
+            writer = op_txn[w]
+            key = op_key[i]
+            previous = last_writer.get(key)
+            if writer != tid and previous is not None and previous != writer:
+                violations.append(
+                    RepeatableReadViolation(
+                        kind=ViolationKind.NON_REPEATABLE_READ,
+                        message=(
+                            f"{ch.name_of(tid)} reads {key_names[key]!r} from both "
+                            f"{ch.name_of(previous)} and {ch.name_of(writer)}"
+                        ),
+                        txn=tid,
+                        key=key_names[key],
+                        writers=(previous, writer),
+                    )
+                )
+            else:
+                last_writer[key] = writer
+    return violations
+
+
+def saturate_ra_compiled(
+    ch: CompiledHistory, relation: CommitRelation, bad_ops: Set[int]
+) -> None:
+    """Algorithm 2's saturation on the IR (mirror of ``saturate_ra``)."""
+    committed = ch.txn_committed
+    key_names = ch.key_table.values
+    kw_start = ch._kw_start
+    kw_key = ch._kw_key
+    # CommitRelation.add_inferred inlined, as in saturate_cc_compiled.
+    labels = relation._labels
+    graph_add = relation.graph.add_packed_edge
+    inferred = 0
+    for session in ch.sessions:
+        last_write: Dict[int, int] = {}
+        for t3 in session:
+            if not committed[t3]:
+                continue
+            reads = _external_good_reads(ch, t3, bad_ops)
+
+            reader_of_key: Dict[int, int] = {}
+            distinct_writers: List[int] = []
+            seen_writers: Set[int] = set()
+            for _po, key, writer in reads:
+                reader_of_key.setdefault(key, writer)
+                if writer not in seen_writers:
+                    seen_writers.add(writer)
+                    distinct_writers.append(writer)
+
+            # Case t2 -so-> t3.
+            for _po, key, t1 in reads:
+                t2 = last_write.get(key)
+                if t2 is not None and t2 != t1:
+                    edge = (t2 << EDGE_SHIFT) | t1
+                    if edge not in labels:
+                        labels[edge] = ("co", key_names[key])
+                        graph_add(edge)
+                        inferred += 1
+
+            # Case t2 -wr-> t3: intersect written keys with read keys,
+            # iterating the smaller side in deterministic order.
+            for t2 in distinct_writers:
+                lo, hi = kw_start[t2], kw_start[t2 + 1]
+                if hi - lo <= len(reader_of_key):
+                    candidates = [x for x in kw_key[lo:hi] if x in reader_of_key]
+                else:
+                    kw_set = ch.keys_written_set(t2)
+                    candidates = [x for x in reader_of_key if x in kw_set]
+                for x in candidates:
+                    t1 = reader_of_key[x]
+                    if t1 != t2:
+                        edge = (t2 << EDGE_SHIFT) | t1
+                        if edge not in labels:
+                            labels[edge] = ("co", key_names[x])
+                            graph_add(edge)
+                            inferred += 1
+
+            for x in kw_key[kw_start[t3] : kw_start[t3 + 1]]:
+                last_write[x] = t3
+    relation.num_inferred_edges += inferred
+
+
+def check_ra_compiled(
+    ch: CompiledHistory,
+    max_witnesses: Optional[int] = None,
+    report: Optional[CompiledReadReport] = None,
+) -> CheckResult:
+    """Read Atomic on the IR (mirror of ``check_ra``)."""
+    watch = Stopwatch()
+    report = report or check_read_consistency_compiled(ch)
+    watch.lap("read_consistency")
+
+    violations: List[Violation] = list(report.violations)
+    violations.extend(check_repeatable_reads_compiled(ch, report.bad_ops))
+    watch.lap("repeatable_reads")
+
+    relation = _relation_from_compiled(ch)
+    saturate_ra_compiled(ch, relation, report.bad_ops)
+    watch.lap("saturation")
+
+    violations.extend(relation.find_cycles(max_witnesses=max_witnesses))
+    watch.lap("cycle_check")
+
+    return _result(
+        ch,
+        IsolationLevel.READ_ATOMIC,
+        violations,
+        "awdit",
+        watch,
+        stats={
+            "inferred_edges": relation.num_inferred_edges,
+            "co_edges": relation.num_edges,
+        },
+    )
+
+
+def check_ra_single_session_compiled(
+    ch: CompiledHistory,
+    max_witnesses: Optional[int] = None,
+    report: Optional[CompiledReadReport] = None,
+) -> CheckResult:
+    """Theorem 1.6's linear RA check on the IR (mirror of ``check_ra_single_session``)."""
+    if ch.num_sessions > 1:
+        raise ValueError(
+            "check_ra_single_session requires a single-session history; "
+            f"got {ch.num_sessions} sessions"
+        )
+    watch = Stopwatch()
+    report = report or check_read_consistency_compiled(ch)
+    watch.lap("read_consistency")
+
+    violations: List[Violation] = list(report.violations)
+    violations.extend(check_repeatable_reads_compiled(ch, report.bad_ops))
+
+    relation = _relation_from_compiled(ch)
+    committed = ch.txn_committed
+    key_names = ch.key_table.values
+    kw_start = ch._kw_start
+    kw_key = ch._kw_key
+    last_write: Dict[int, int] = {}
+    if ch.num_sessions == 1:
+        for t3 in ch.sessions[0]:
+            if not committed[t3]:
+                continue
+            for _po, key, t1 in _external_good_reads(ch, t3, report.bad_ops):
+                t2 = last_write.get(key)
+                if t2 is not None and t2 != t1:
+                    relation.add_inferred(t2, t1, key=key_names[key])
+            for x in kw_key[kw_start[t3] : kw_start[t3 + 1]]:
+                last_write[x] = t3
+    watch.lap("scan")
+
+    violations.extend(relation.find_cycles(max_witnesses=max_witnesses))
+    watch.lap("cycle_check")
+
+    return _result(
+        ch,
+        IsolationLevel.READ_ATOMIC,
+        violations,
+        "awdit-1session",
+        watch,
+        stats={"inferred_edges": relation.num_inferred_edges},
+    )
+
+
+# -- CC (Algorithm 3) ----------------------------------------------------------
+
+
+def _causality_graph_compiled(
+    ch: CompiledHistory, bad_ops: Set[int]
+) -> Tuple[DiGraph, Dict[int, int]]:
+    """Committed ``so ∪ wr`` graph; labels map packed edge -> key id (-1 = so)."""
+    graph = DiGraph(ch.num_transactions)
+    labels: Dict[int, int] = {}
+    committed = ch.txn_committed
+    for session in ch.sessions:
+        previous = -1
+        for tid in session:
+            if not committed[tid]:
+                continue
+            if previous >= 0:
+                edge = (previous << EDGE_SHIFT) | tid
+                if edge not in labels:
+                    labels[edge] = -1
+                    graph.add_packed_edge(edge)
+            previous = tid
+    xr_start = ch._xr_start
+    xr_po = ch._xr_po
+    xr_key = ch._xr_key
+    xr_writer = ch._xr_writer
+    txn_start = ch.txn_start
+    check_bad = bool(bad_ops)
+    for tid in range(ch.num_transactions):
+        if not committed[tid]:
+            continue
+        base = txn_start[tid]
+        for j in range(xr_start[tid], xr_start[tid + 1]):
+            if check_bad and base + xr_po[j] in bad_ops:
+                continue
+            writer = xr_writer[j]
+            if not committed[writer]:
+                continue
+            edge = (writer << EDGE_SHIFT) | tid
+            current = labels.get(edge)
+            if current is None:
+                labels[edge] = xr_key[j]
+                graph.add_packed_edge(edge)
+            elif current == -1:
+                # Recorded as a bare `so` edge; keep the keyed wr label so
+                # witnesses can name the witnessing key.
+                labels[edge] = xr_key[j]
+    return graph, labels
+
+
+def _causality_cycles_compiled(
+    ch: CompiledHistory,
+    graph: DiGraph,
+    labels: Dict[int, int],
+    max_witnesses: Optional[int] = None,
+) -> List[Violation]:
+    """One causality-cycle witness per non-trivial SCC (mirror of ``causality_cycles``)."""
+    key_names = ch.key_table.values
+    violations: List[Violation] = []
+    for component in strongly_connected_components(graph):
+        if len(component) <= 1:
+            continue
+        cycle = find_cycle_in_component(graph, component)
+        edges: List[CycleEdge] = []
+        for i, source in enumerate(cycle):
+            target = cycle[(i + 1) % len(cycle)]
+            key_id = labels.get((source << EDGE_SHIFT) | target, -1)
+            if key_id < 0:
+                edges.append(CycleEdge(source, target, "so", None))
+            else:
+                edges.append(CycleEdge(source, target, "wr", key_names[key_id]))
+        names_text = " -> ".join(ch.name_of(t) for t in cycle)
+        violations.append(
+            CycleViolation(
+                kind=ViolationKind.CAUSALITY_CYCLE,
+                message=f"so ∪ wr cycle over {names_text} -> {ch.name_of(cycle[0])}",
+                edges=tuple(edges),
+            )
+        )
+        if max_witnesses is not None and len(violations) >= max_witnesses:
+            break
+    return violations
+
+
+def compute_happens_before_compiled(
+    ch: CompiledHistory, bad_ops: Set[int]
+) -> Tuple[Optional[List[Optional[List[int]]]], List[Violation]]:
+    """``ComputeHB`` on the IR: one plain-list clock per committed transaction."""
+    graph, labels = _causality_graph_compiled(ch, bad_ops)
+    order = topological_sort(graph)
+    if order is None:
+        return None, _causality_cycles_compiled(ch, graph, labels)
+
+    k = ch.num_sessions
+    committed = ch.txn_committed
+    txn_session = ch.txn_session
+    txn_session_index = ch.txn_session_index
+    xr_start = ch._xr_start
+    xr_po = ch._xr_po
+    xr_writer = ch._xr_writer
+    txn_start = ch.txn_start
+    check_bad = bool(bad_ops)
+    session_clock: List[List[int]] = [[-1] * k for _ in range(k)]
+    hb: List[Optional[List[int]]] = [None] * ch.num_transactions
+    for tid in order:
+        if not committed[tid]:
+            continue
+        session = txn_session[tid]
+        clock = session_clock[session][:]
+        base = txn_start[tid]
+        seen_writers: Set[int] = set()
+        for j in range(xr_start[tid], xr_start[tid + 1]):
+            if check_bad and base + xr_po[j] in bad_ops:
+                continue
+            writer = xr_writer[j]
+            if writer in seen_writers:
+                continue
+            seen_writers.add(writer)
+            if not committed[writer]:
+                continue
+            writer_clock = hb[writer]
+            if writer_clock is not None:
+                for s2 in range(k):
+                    value = writer_clock[s2]
+                    if value > clock[s2]:
+                        clock[s2] = value
+            ws = txn_session[writer]
+            wsi = txn_session_index[writer]
+            if wsi > clock[ws]:
+                clock[ws] = wsi
+        hb[tid] = clock
+        next_clock = clock[:]
+        sidx = txn_session_index[tid]
+        if sidx > next_clock[session]:
+            next_clock[session] = sidx
+        session_clock[session] = next_clock
+    return hb, []
+
+
+def _writers_by_key_compiled(
+    ch: CompiledHistory,
+) -> List[Optional[List[Tuple[int, List[int], List[int], int]]]]:
+    """``Writes_s[x]`` indexed by key id (mirror of ``_writers_by_key_per_session``).
+
+    Each bucket entry is ``(session, writer_tids, writer_session_indices,
+    len(writer_tids))`` -- the length is precomputed for the saturation loop.
+    """
+    writes: List[Optional[List[Tuple[int, List[int], List[int], int]]]] = [
+        None
+    ] * ch.num_keys
+    committed = ch.txn_committed
+    txn_session_index = ch.txn_session_index
+    kw_start = ch._kw_start
+    kw_key = ch._kw_key
+    for sid, session in enumerate(ch.sessions):
+        per_key: Dict[int, List[int]] = {}
+        for tid in session:
+            if not committed[tid]:
+                continue
+            for key in kw_key[kw_start[tid] : kw_start[tid + 1]]:
+                per_key.setdefault(key, []).append(tid)
+        for key, tids in per_key.items():
+            indices = [txn_session_index[tid] for tid in tids]
+            bucket = writes[key]
+            if bucket is None:
+                bucket = []
+                writes[key] = bucket
+            bucket.append((sid, tids, indices, len(tids)))
+    return writes
+
+
+def saturate_cc_compiled(
+    ch: CompiledHistory,
+    relation: CommitRelation,
+    hb: List[Optional[List[int]]],
+    bad_ops: Set[int],
+) -> None:
+    """CC saturation on the IR (mirror of ``saturate_cc``).
+
+    Per-(session, key) monotone pointers are kept in int-keyed dicts with
+    packed ``(session << EDGE_SHIFT) | key`` keys.
+    """
+    writers_by_key = _writers_by_key_compiled(ch)
+    committed = ch.txn_committed
+    key_names = ch.key_table.values
+    xr_start = ch._xr_start
+    xr_po = ch._xr_po
+    xr_key = ch._xr_key
+    xr_writer = ch._xr_writer
+    txn_start = ch.txn_start
+    # The edge-insertion fast path of CommitRelation.add_inferred, inlined:
+    # this loop attempts an edge per (read, writing-session) pair, and the
+    # method hops dominate the whole CC check otherwise.  Per-(session, key)
+    # state packs the monotone pointer and the hb-latest writer into one int
+    # value ((ptr << EDGE_SHIFT) | t2; ptr >= 1 whenever stored), so each
+    # iteration costs a single dict probe.
+    labels = relation._labels
+    succ = relation.graph._succ
+    inferred = 0
+    check_bad = bool(bad_ops)
+
+    for session in ch.sessions:
+        states: Dict[int, int] = {}
+        states_get = states.get
+        for t3 in session:
+            if not committed[t3]:
+                continue
+            clock = hb[t3]
+            if clock is None:
+                continue
+            base = txn_start[t3]
+            for j in range(xr_start[t3], xr_start[t3 + 1]):
+                if check_bad and base + xr_po[j] in bad_ops:
+                    continue
+                t1 = xr_writer[j]
+                if not committed[t1]:
+                    continue
+                key = xr_key[j]
+                key_writers = writers_by_key[key]
+                if not key_writers:
+                    continue
+                for other, writer_list, writer_indices, count in key_writers:
+                    state = (other << EDGE_SHIFT) | key
+                    packed = states_get(state)
+                    if packed is None:
+                        ptr = 0
+                        t2 = -1
+                    else:
+                        ptr = packed >> EDGE_SHIFT
+                        t2 = packed & EDGE_MASK
+                    bound = clock[other]
+                    if ptr < count and writer_indices[ptr] <= bound:
+                        while ptr < count and writer_indices[ptr] <= bound:
+                            ptr += 1
+                        t2 = writer_list[ptr - 1]
+                        states[state] = (ptr << EDGE_SHIFT) | t2
+                    if t2 >= 0 and t2 != t1:
+                        edge = (t2 << EDGE_SHIFT) | t1
+                        if edge not in labels:
+                            labels[edge] = ("co", key_names[key])
+                            succ[t2].append(t1)
+                            inferred += 1
+    relation.num_inferred_edges += inferred
+    relation.graph._edge_count += inferred
+
+
+def check_cc_compiled(
+    ch: CompiledHistory,
+    max_witnesses: Optional[int] = None,
+    report: Optional[CompiledReadReport] = None,
+) -> CheckResult:
+    """Causal Consistency on the IR (mirror of ``check_cc``)."""
+    watch = Stopwatch()
+    report = report or check_read_consistency_compiled(ch)
+    watch.lap("read_consistency")
+
+    violations: List[Violation] = list(report.violations)
+    hb, cycle_violations = compute_happens_before_compiled(ch, report.bad_ops)
+    watch.lap("happens_before")
+
+    if hb is None:
+        violations.extend(cycle_violations)
+        return _result(
+            ch, IsolationLevel.CAUSAL_CONSISTENCY, violations, "awdit", watch, stats={}
+        )
+
+    relation = _relation_from_compiled(ch)
+    saturate_cc_compiled(ch, relation, hb, report.bad_ops)
+    watch.lap("saturation")
+
+    violations.extend(relation.find_cycles(max_witnesses=max_witnesses))
+    watch.lap("cycle_check")
+
+    return _result(
+        ch,
+        IsolationLevel.CAUSAL_CONSISTENCY,
+        violations,
+        "awdit",
+        watch,
+        stats={
+            "inferred_edges": relation.num_inferred_edges,
+            "co_edges": relation.num_edges,
+        },
+    )
+
+
+# -- dispatch -------------------------------------------------------------------
+
+
+def _result(
+    ch: CompiledHistory,
+    level: IsolationLevel,
+    violations: List[Violation],
+    checker: str,
+    watch: Stopwatch,
+    stats: Dict[str, float],
+) -> CheckResult:
+    return CheckResult(
+        level=level,
+        violations=violations,
+        checker=checker,
+        elapsed_seconds=watch.total,
+        num_operations=ch.num_operations,
+        num_transactions=ch.num_transactions,
+        num_sessions=ch.num_sessions,
+        stats={**stats, **watch.laps},
+    )
+
+
+def _compiled(source) -> CompiledHistory:
+    if isinstance(source, CompiledHistory):
+        return source
+    if isinstance(source, History):
+        return compile_history(source)
+    raise TypeError(f"expected a History or CompiledHistory, got {type(source)!r}")
+
+
+def check_compiled(
+    source,
+    level: IsolationLevel = IsolationLevel.CAUSAL_CONSISTENCY,
+    max_witnesses: Optional[int] = None,
+    use_single_session_fast_path: bool = True,
+    report: Optional[CompiledReadReport] = None,
+) -> CheckResult:
+    """Check a history (object or compiled) against ``level`` on the IR.
+
+    The compiled analogue of :func:`repro.core.check`: same dispatch, same
+    single-session RA specialization, same results.
+    """
+    ch = _compiled(source)
+    if level is IsolationLevel.READ_COMMITTED:
+        return check_rc_compiled(ch, max_witnesses=max_witnesses, report=report)
+    if level is IsolationLevel.READ_ATOMIC:
+        if use_single_session_fast_path and ch.num_sessions <= 1:
+            return check_ra_single_session_compiled(
+                ch, max_witnesses=max_witnesses, report=report
+            )
+        return check_ra_compiled(ch, max_witnesses=max_witnesses, report=report)
+    if level is IsolationLevel.CAUSAL_CONSISTENCY:
+        return check_cc_compiled(ch, max_witnesses=max_witnesses, report=report)
+    raise ValueError(f"unsupported isolation level: {level!r}")
+
+
+def check_all_levels_compiled(
+    source,
+    max_witnesses: Optional[int] = None,
+    use_single_session_fast_path: bool = True,
+) -> Dict[IsolationLevel, CheckResult]:
+    """Check all three levels on one compiled IR, sharing one RC pass."""
+    ch = _compiled(source)
+    report = check_read_consistency_compiled(ch)
+    return {
+        level: check_compiled(
+            ch,
+            level,
+            max_witnesses=max_witnesses,
+            use_single_session_fast_path=use_single_session_fast_path,
+            report=report,
+        )
+        for level in (
+            IsolationLevel.READ_COMMITTED,
+            IsolationLevel.READ_ATOMIC,
+            IsolationLevel.CAUSAL_CONSISTENCY,
+        )
+    }

@@ -23,8 +23,14 @@ class HistoryFormatError(ReproError):
     """
 
 
-class ParseError(ReproError):
-    """A history file could not be parsed in the requested format."""
+class ParseError(HistoryFormatError):
+    """A history file could not be parsed in the requested format.
+
+    A parse failure is a structural history defect observed at the file
+    level, so this subclasses :class:`HistoryFormatError`: callers hardening
+    against malformed input can catch the one base class for both truncated
+    or corrupt files and structurally invalid in-memory histories.
+    """
 
 
 class UsageError(ReproError):

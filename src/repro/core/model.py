@@ -161,6 +161,7 @@ class Transaction:
         "session_index",
         "_keys_read",
         "_keys_written",
+        "_keys_written_ordered",
     )
 
     def __init__(
@@ -178,6 +179,7 @@ class Transaction:
         self.session_index: int = -1
         self._keys_read: Optional[FrozenSet[Key]] = None
         self._keys_written: Optional[FrozenSet[Key]] = None
+        self._keys_written_ordered: Optional[Tuple[Key, ...]] = None
 
     # -- structural queries -------------------------------------------------
 
@@ -204,6 +206,22 @@ class Transaction:
         if self._keys_written is None:
             self._keys_written = frozenset(op.key for op in self.operations if op.is_write)
         return self._keys_written
+
+    @property
+    def keys_written_ordered(self) -> Tuple[Key, ...]:
+        """``KeysWt(t)`` as a tuple in first-write program order.
+
+        The checkers iterate written keys when saturating the commit relation;
+        iterating a frozenset would make the edge insertion order (and hence
+        the selected cycle witnesses) depend on string hashing.  This ordered
+        view keeps every engine -- object, compiled, and streaming --
+        deterministic and mutually identical.
+        """
+        if self._keys_written_ordered is None:
+            self._keys_written_ordered = tuple(
+                dict.fromkeys(op.key for op in self.operations if op.is_write)
+            )
+        return self._keys_written_ordered
 
     def writes_key(self, key: Key) -> bool:
         """True when the transaction contains a write to ``key``."""
@@ -504,6 +522,16 @@ class History:
                 seen.add(writer)
                 if self.transactions[writer].committed:
                     yield (writer, tid)
+
+    def compile(self) -> "object":
+        """Compile this history to the array-backed IR (:mod:`repro.core.compiled`).
+
+        Returns a :class:`~repro.core.compiled.CompiledHistory`; the import is
+        deferred because the compiled layer depends on this module.
+        """
+        from repro.core.compiled import compile_history
+
+        return compile_history(self)
 
     # -- misc -----------------------------------------------------------------
 

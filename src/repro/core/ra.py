@@ -131,12 +131,18 @@ def saturate_ra(
 
             # Case t2 -wr-> t3: every transaction t3 reads from that also
             # writes a key t3 reads elsewhere must commit before that key's
-            # writer.
+            # writer.  The smaller side of the intersection is iterated in a
+            # deterministic order (first-write / po-first) so edge insertion
+            # does not depend on string hashing.
             keys_read = reader_of_key.keys()
             for t2 in distinct_writers:
                 keys_written = transactions[t2].keys_written
                 if len(keys_written) <= len(keys_read):
-                    candidates = (x for x in keys_written if x in reader_of_key)
+                    candidates = (
+                        x
+                        for x in transactions[t2].keys_written_ordered
+                        if x in reader_of_key
+                    )
                 else:
                     candidates = (x for x in keys_read if x in keys_written)
                 for x in candidates:

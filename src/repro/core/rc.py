@@ -14,7 +14,7 @@ transaction, for an overall ``O(n^{3/2})`` bound (Lemma 3.4), dropping to
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Container, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.commit import CommitRelation
 from repro.core.isolation import IsolationLevel
@@ -77,14 +77,18 @@ def saturate_rc(
         # Backward pass: earliest[x] is a two-element stack holding the two
         # po-earliest distinct transactions from which t3 reads x below the
         # current position (older at slot 0, newer -- i.e. po-earlier -- at
-        # slot 1).
+        # slot 1).  read_keys is a dict so that iterating the smaller side of
+        # the intersection below is deterministic (first-seen order), keeping
+        # edge insertion -- and hence witness selection -- independent of
+        # string hashing and identical across the three engines.
         earliest: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
-        read_keys: Set[str] = set()
+        read_keys: Dict[str, None] = {}
         for index, op, t2 in reversed(reads):
             if index in first_txn_reads:
                 keys_written = transactions[t2].keys_written
                 if len(keys_written) <= len(read_keys):
-                    smaller, larger = keys_written, read_keys
+                    smaller: Iterable[str] = transactions[t2].keys_written_ordered
+                    larger: Container[str] = read_keys
                 else:
                     smaller, larger = read_keys, keys_written
                 for x in smaller:
@@ -102,7 +106,7 @@ def saturate_rc(
                 earliest[key] = (None, t2)
             elif pair[1] != t2:
                 earliest[key] = (pair[1], t2)
-            read_keys.add(key)
+            read_keys[key] = None
 
 
 def check_rc(

@@ -19,9 +19,9 @@ the anomalous reads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
-from repro.core.model import History, OpRef, Operation
+from repro.core.model import History, OpRef
 from repro.core.violations import ReadConsistencyViolation, Violation, ViolationKind
 
 __all__ = ["ReadConsistencyReport", "check_read_consistency"]

@@ -16,8 +16,8 @@ reproduction) can classify and count them:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.core.model import OpRef
 

@@ -31,7 +31,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.exceptions import UsageError
 from repro.core.model import History, Operation, Transaction, read as read_op, write as write_op
-from repro.db.config import BugRates, DatabaseConfig, IsolationMode
+from repro.db.config import DatabaseConfig, IsolationMode
 from repro.db.replica import CommittedTransaction, Replica
 
 __all__ = ["SimulatedDatabase", "ClientSession", "ClientTransaction"]

@@ -9,9 +9,27 @@ reachability structure matters for acyclicity.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
-__all__ = ["DiGraph"]
+__all__ = ["DiGraph", "EDGE_SHIFT", "EDGE_MASK", "pack_edge", "unpack_edge"]
+
+#: Bit layout of a packed edge: ``(source << EDGE_SHIFT) | target``.  One
+#: machine-word int per edge instead of a two-tuple; shared by the packed-edge
+#: mode of :class:`~repro.core.commit.CommitRelation` and the streaming
+#: checker's inferred-edge logs.  32 bits per endpoint caps graphs at ~4.3e9
+#: vertices, far beyond any history the tester can hold in memory.
+EDGE_SHIFT = 32
+EDGE_MASK = (1 << EDGE_SHIFT) - 1
+
+
+def pack_edge(source: int, target: int) -> int:
+    """Pack the edge ``source -> target`` into one integer."""
+    return (source << EDGE_SHIFT) | target
+
+
+def unpack_edge(edge: int) -> Tuple[int, int]:
+    """Invert :func:`pack_edge`."""
+    return edge >> EDGE_SHIFT, edge & EDGE_MASK
 
 
 class DiGraph:
@@ -47,6 +65,11 @@ class DiGraph:
         """Add many edges at once."""
         for u, v in edges:
             self.add_edge(u, v)
+
+    def add_packed_edge(self, edge: int) -> None:
+        """Add one packed edge (see :func:`pack_edge`)."""
+        self._succ[edge >> EDGE_SHIFT].append(edge & EDGE_MASK)
+        self._edge_count += 1
 
     # -- queries --------------------------------------------------------------
 

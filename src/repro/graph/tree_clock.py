@@ -18,7 +18,7 @@ substrate for causal-ordering computations.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["TreeClock"]
 

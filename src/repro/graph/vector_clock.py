@@ -13,7 +13,7 @@ graph, mirroring the description of Plume in the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence
+from typing import Iterator, List, Sequence
 
 __all__ = ["VectorClock"]
 

@@ -22,16 +22,20 @@ the file extension.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
+from repro.core.compiled import CompiledHistory, CompiledHistoryBuilder
 from repro.core.exceptions import ParseError, UsageError
 from repro.core.model import History, Transaction
 from repro.histories.formats import cobra, dbcop, native, plume_text
+from repro.histories.formats._raw import RawTransaction
 
 __all__ = [
     "load_history",
+    "load_compiled",
     "save_history",
     "stream_history",
+    "stream_raw_history",
     "FORMATS",
     "detect_format",
 ]
@@ -94,9 +98,50 @@ def stream_history(
     history is never materialized; memory stays proportional to one
     transaction (plus the parser's sliding buffer).  Feed the pairs to
     :class:`repro.stream.IncrementalChecker` to check logs larger than RAM.
+    Parse failures carry the file path next to the parser's line context.
     """
     module = _module_for(fmt, path)
     # newline="" keeps the csv-based cobra parser happy; harmless elsewhere.
     with open(path, "r", encoding="utf-8", newline="") as handle:
-        for item in module.stream(handle):  # type: ignore[attr-defined]
-            yield item
+        try:
+            for item in module.stream(handle):  # type: ignore[attr-defined]
+                yield item
+        except ParseError as exc:
+            raise ParseError(f"{path}: {exc}") from exc
+
+
+def stream_raw_history(
+    path: str, fmt: Optional[str] = None
+) -> Iterator[Tuple[int, RawTransaction]]:
+    """Iterate raw ``(session_id, (label, committed, ops))`` records from ``path``.
+
+    The allocation-light sibling of :func:`stream_history`: operations are
+    plain tuples, so no model objects are created at all.  This is the
+    ingestion path of :func:`load_compiled`.
+    """
+    module = _module_for(fmt, path)
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        try:
+            for item in module.stream_ops(handle):  # type: ignore[attr-defined]
+                yield item
+        except ParseError as exc:
+            raise ParseError(f"{path}: {exc}") from exc
+
+
+def load_compiled(path: str, fmt: Optional[str] = None) -> CompiledHistory:
+    """Load ``path`` directly into a :class:`CompiledHistory`.
+
+    The file is parsed with the raw streaming layer and compiled on the fly,
+    skipping ``Operation``/``Transaction`` objects entirely: peak memory is
+    the compiled arrays plus the intern tables, not the object graph.  The
+    result is identical to ``compile_history(load_history(path))`` up to
+    trailing empty sessions (which a one-pass parse cannot observe).
+    """
+    module = _module_for(fmt, path)
+    builder = CompiledHistoryBuilder()
+    for sid, (label, committed, ops) in stream_raw_history(path, fmt):
+        builder.add_transaction(sid, label, committed, ops)
+    return builder.finalize(
+        sort_sessions=True,
+        fill_gaps=getattr(module, "COMPILED_SESSION_GAPS", False),
+    )

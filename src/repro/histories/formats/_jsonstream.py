@@ -21,7 +21,11 @@ _WHITESPACE = " \t\r\n"
 
 
 class _Cursor:
-    """A sliding window over a text stream with JSON-value decoding."""
+    """A sliding window over a text stream with JSON-value decoding.
+
+    The cursor tracks the 1-based line number of its position so parse errors
+    can carry line context even though the consumed prefix is discarded.
+    """
 
     def __init__(self, handle: TextIO, chunk_size: int = 1 << 16) -> None:
         self._handle = handle
@@ -30,14 +34,33 @@ class _Cursor:
         self.pos = 0
         self.eof = False
         self._decoder = json.JSONDecoder()
+        # Newlines are counted incrementally: `_counted_lines` covers every
+        # dropped prefix plus ``buffer[:_counted_pos]``.  ``pos`` only moves
+        # forward between fills, so each character is scanned at most once no
+        # matter how often ``line`` is queried (it is read per transaction).
+        self._counted_pos = 0
+        self._counted_lines = 0
+
+    @property
+    def line(self) -> int:
+        """1-based line number of the current position."""
+        if self.pos > self._counted_pos:
+            self._counted_lines += self.buffer.count("\n", self._counted_pos, self.pos)
+            self._counted_pos = self.pos
+        return self._counted_lines + 1
 
     def _fill(self) -> bool:
         """Read one more chunk; drop the consumed prefix to bound memory."""
         if self.eof:
             return False
         if self.pos > 0:
+            if self.pos > self._counted_pos:
+                self._counted_lines += self.buffer.count(
+                    "\n", self._counted_pos, self.pos
+                )
             self.buffer = self.buffer[self.pos :]
             self.pos = 0
+            self._counted_pos = 0
         chunk = self._handle.read(self._chunk_size)
         if not chunk:
             self.eof = True
@@ -59,7 +82,7 @@ class _Cursor:
         found = self.peek()
         if found != wanted:
             at = found if found else "end of input"
-            raise ParseError(f"expected {wanted!r}, found {at!r}")
+            raise ParseError(f"line {self.line}: expected {wanted!r}, found {at!r}")
         self.pos += 1
 
     def decode_value(self) -> object:
@@ -70,10 +93,11 @@ class _Cursor:
                 value, end = self._decoder.raw_decode(self.buffer, self.pos)
             except json.JSONDecodeError as exc:
                 # The buffer may simply end mid-value; retry with more input
-                # and only report a real syntax error at end of input.
+                # and only report a real syntax error (or mid-record EOF) at
+                # end of input.
                 if self._fill():
                     continue
-                raise ParseError(f"invalid JSON: {exc}") from exc
+                raise ParseError(f"line {self.line}: invalid JSON: {exc}") from exc
             if end == len(self.buffer) and not self.eof:
                 # A scalar at the buffer boundary (`12` vs `123`) may be a
                 # prefix of the real value; delimited values are complete.
@@ -87,12 +111,13 @@ class _Cursor:
 def iter_session_objects(
     handle: TextIO,
     on_header: Optional[Callable[[str, object], None]] = None,
-) -> Iterator[Tuple[int, object]]:
-    """Yield ``(session_index, transaction_object)`` pairs incrementally.
+) -> Iterator[Tuple[int, object, int]]:
+    """Yield ``(session_index, transaction_object, line)`` triples incrementally.
 
     Walks ``{..., "sessions": [[obj, ...], ...], ...}``; every top-level
     field other than ``"sessions"`` is decoded whole and reported through
-    ``on_header`` (e.g. to validate a format marker).
+    ``on_header`` (e.g. to validate a format marker).  ``line`` is the
+    1-based line the transaction object starts on, for error context.
     """
     cursor = _Cursor(handle)
     cursor.expect("{")
@@ -130,7 +155,7 @@ def iter_session_objects(
         raise ParseError(f"unexpected trailing data after history object: {trailing!r}")
 
 
-def _iter_sessions(cursor: _Cursor) -> Iterator[Tuple[int, object]]:
+def _iter_sessions(cursor: _Cursor) -> Iterator[Tuple[int, object, int]]:
     cursor.expect("[")
     if cursor.peek() == "]":
         cursor.pos += 1
@@ -142,7 +167,9 @@ def _iter_sessions(cursor: _Cursor) -> Iterator[Tuple[int, object]]:
             cursor.pos += 1
         else:
             while True:
-                yield sid, cursor.decode_value()
+                cursor.peek()  # land on the object start for line reporting
+                line = cursor.line
+                yield sid, cursor.decode_value(), line
                 token = cursor.peek()
                 if token == ",":
                     cursor.pos += 1

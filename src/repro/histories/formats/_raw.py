@@ -1,0 +1,38 @@
+"""The raw record layer shared by the streaming parsers.
+
+Every format's ``stream_ops`` iterator yields ``(session_id, raw)`` pairs
+where ``raw`` is a :data:`RawTransaction`: a ``(label, committed, ops)``
+triple whose operations are plain ``(is_write, key, value)`` tuples.  The
+layer exists so the compiled-history builder
+(:class:`repro.core.compiled.CompiledHistoryBuilder`) can ingest a file
+without constructing any :class:`~repro.core.model.Operation` or
+:class:`~repro.core.model.Transaction` objects; the object-yielding
+``stream`` iterators wrap it with :func:`transaction_from_raw`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.model import Operation, OpKind, Transaction
+
+__all__ = ["RawOps", "RawTransaction", "transaction_from_raw"]
+
+#: ``(is_write, key, value)`` per operation, in program order.
+RawOps = List[Tuple[bool, object, object]]
+
+#: ``(label, committed, ops)``.
+RawTransaction = Tuple[Optional[str], bool, RawOps]
+
+
+def transaction_from_raw(raw: RawTransaction) -> Transaction:
+    """Materialize a :class:`Transaction` from a raw record."""
+    label, committed, ops = raw
+    return Transaction(
+        [
+            Operation(OpKind.WRITE if is_write else OpKind.READ, key, value)
+            for is_write, key, value in ops
+        ],
+        committed=committed,
+        label=label,
+    )

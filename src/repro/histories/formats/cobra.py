@@ -21,14 +21,19 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.exceptions import ParseError
 from repro.core.model import History, Operation, OpKind, Transaction
+from repro.histories.formats._raw import RawOps, RawTransaction, transaction_from_raw
 
-__all__ = ["dumps", "loads", "stream"]
+__all__ = ["dumps", "loads", "stream", "stream_ops"]
+
+#: Missing integer session ids denote empty sessions (``loads`` pads to
+#: ``max(session) + 1``).
+COMPILED_SESSION_GAPS = True
 
 _HEADER = ["session", "txn_index", "op", "key", "value", "committed"]
 
 
-def _parse_row(line_number: int, row: List[str]) -> Tuple[int, int, Operation, bool]:
-    """Parse one data row into ``(session, txn_index, operation, committed)``."""
+def _parse_row(line_number: int, row: List[str]) -> Tuple[int, int, bool, str, object, bool]:
+    """Parse one data row into ``(session, txn_index, is_write, key, value, committed)``."""
     if len(row) != 6:
         raise ParseError(f"line {line_number}: expected 6 columns, got {len(row)}")
     try:
@@ -36,6 +41,11 @@ def _parse_row(line_number: int, row: List[str]) -> Tuple[int, int, Operation, b
         txn_index = int(row[1])
     except ValueError as exc:
         raise ParseError(f"line {line_number}: bad session/txn index") from exc
+    if sid < 0:
+        # Both loaders must agree on what a negative session means; loads'
+        # positional session assembly would silently drop such rows, so
+        # reject them outright on every path.
+        raise ParseError(f"line {line_number}: negative session id {sid}")
     kind = row[2].strip()
     if kind not in ("R", "W"):
         raise ParseError(f"line {line_number}: op must be R or W, got {kind!r}")
@@ -46,21 +56,22 @@ def _parse_row(line_number: int, row: List[str]) -> Tuple[int, int, Operation, b
     except ValueError:
         value = raw_value
     is_committed = row[5].strip() not in ("0", "false", "False")
-    return sid, txn_index, Operation(OpKind(kind), key, value), is_committed
+    return sid, txn_index, kind == "W", key, value, is_committed
 
 
-def stream(handle: Iterable[str]) -> Iterator[Tuple[int, Transaction]]:
-    """Iterate ``(session_id, transaction)`` pairs off an open cobra-style file.
+def stream_ops(handle: Iterable[str]) -> Iterator[Tuple[int, RawTransaction]]:
+    """Iterate raw ``(session_id, (label, committed, ops))`` records.
 
     Consecutive rows with the same ``(session, txn_index)`` pair form one
     transaction; a transaction's rows must be contiguous and its per-session
     indices strictly increasing across transactions (files written by
     :func:`dumps` always are -- the batch :func:`loads` additionally
-    tolerates interleaved rows by buffering the whole file).  Memory is
-    bounded by one transaction plus one index per session.
+    tolerates interleaved rows by buffering the whole file).  A repeated
+    index is rejected as a duplicate transaction id.  Memory is bounded by
+    one transaction plus one index per session.
     """
     current: Optional[Tuple[int, int]] = None
-    operations: List[Operation] = []
+    ops: RawOps = []
     committed = True
     before_first_row = True
     last_index: Dict[int, int] = {}
@@ -71,13 +82,14 @@ def stream(handle: Iterable[str]) -> Iterator[Tuple[int, Transaction]]:
             before_first_row = False
             if [cell.strip() for cell in row] == _HEADER:
                 continue
-        sid, txn_index, operation, is_committed = _parse_row(line_number, row)
+        sid, txn_index, is_write, key, value, is_committed = _parse_row(line_number, row)
         ident = (sid, txn_index)
         if ident != current:
             if current is not None:
-                yield current[0], Transaction(operations, committed=committed)
+                yield current[0], (None, committed, ops)
             # A repeated or smaller index means rows of an already-emitted
-            # transaction turned up again (non-contiguous or out of order).
+            # transaction turned up again (a duplicate transaction id, or
+            # rows that are non-contiguous / out of order).
             previous_index = last_index.get(sid)
             if previous_index is not None and previous_index >= txn_index:
                 raise ParseError(
@@ -91,16 +103,25 @@ def stream(handle: Iterable[str]) -> Iterator[Tuple[int, Transaction]]:
                 )
             last_index[sid] = txn_index
             current = ident
-            operations = []
+            ops = []
             committed = is_committed
         elif committed != is_committed:
             raise ParseError(
                 f"line {line_number}: inconsistent committed flag for transaction {ident}"
             )
-        operations.append(operation)
+        ops.append((is_write, key, value))
     if current is None:
         raise ParseError("empty cobra-style history")
-    yield current[0], Transaction(operations, committed=committed)
+    yield current[0], (None, committed, ops)
+
+
+def stream(handle: Iterable[str]) -> Iterator[Tuple[int, Transaction]]:
+    """Iterate ``(session_id, transaction)`` pairs off an open cobra-style file.
+
+    The object-yielding wrapper over :func:`stream_ops`.
+    """
+    for sid, raw in stream_ops(handle):
+        yield sid, transaction_from_raw(raw)
 
 
 def dumps(history: History) -> str:
@@ -129,8 +150,9 @@ def loads(text: str) -> History:
     transactions: Dict[Tuple[int, int], List[Operation]] = {}
     committed: Dict[Tuple[int, int], bool] = {}
     for line_number, row in enumerate(rows, start=2):
-        sid, txn_index, operation, is_committed = _parse_row(line_number, row)
+        sid, txn_index, is_write, key, value, is_committed = _parse_row(line_number, row)
         ident = (sid, txn_index)
+        operation = Operation(OpKind.WRITE if is_write else OpKind.READ, key, value)
         transactions.setdefault(ident, []).append(operation)
         previous = committed.setdefault(ident, is_committed)
         if previous != is_committed:

@@ -26,33 +26,62 @@ import json
 from typing import Any, Dict, Iterator, List, TextIO, Tuple
 
 from repro.core.exceptions import ParseError
-from repro.core.model import History, Operation, OpKind, Transaction
+from repro.core.model import History, Transaction
 from repro.histories.formats._jsonstream import iter_session_objects
+from repro.histories.formats._raw import RawOps, RawTransaction, transaction_from_raw
 
-__all__ = ["dumps", "loads", "stream"]
+__all__ = ["dumps", "loads", "stream", "stream_ops"]
+
+#: Missing integer session ids denote empty sessions (positional format).
+COMPILED_SESSION_GAPS = True
+
+
+def _raw_from_doc(txn_doc: object) -> RawTransaction:
+    """Convert one DBCop transaction document to a raw record.
+
+    Malformed events (a non-object, or one missing ``variable``/``value``)
+    raise :class:`ParseError` rather than leaking ``KeyError``/``TypeError``
+    from a truncated or hand-edited capture.
+    """
+    if not isinstance(txn_doc, dict):
+        raise ParseError(f"each transaction must be an object, got {txn_doc!r}")
+    events = txn_doc.get("events", [])
+    if not isinstance(events, list):
+        raise ParseError(f"'events' must be a list, got {events!r}")
+    ops: RawOps = []
+    for event in events:
+        if not isinstance(event, dict):
+            raise ParseError(f"each event must be an object, got {event!r}")
+        if not event.get("success", True):
+            continue
+        if "variable" not in event or "value" not in event:
+            raise ParseError(f"event missing 'variable'/'value' field: {event!r}")
+        ops.append((bool(event.get("write")), event["variable"], event["value"]))
+    return None, bool(txn_doc.get("success", True)), ops
 
 
 def _transaction_from_doc(txn_doc: object) -> Transaction:
     """Convert one DBCop transaction document to a :class:`Transaction`."""
-    if not isinstance(txn_doc, dict):
-        raise ParseError(f"each transaction must be an object, got {txn_doc!r}")
-    operations: List[Operation] = []
-    for event in txn_doc.get("events", []):
-        if not event.get("success", True):
-            continue
-        kind = OpKind.WRITE if event.get("write") else OpKind.READ
-        operations.append(Operation(kind, event["variable"], event["value"]))
-    return Transaction(operations, committed=bool(txn_doc.get("success", True)))
+    return transaction_from_raw(_raw_from_doc(txn_doc))
+
+
+def stream_ops(handle: TextIO) -> Iterator[Tuple[int, RawTransaction]]:
+    """Iterate raw ``(session_index, (label, committed, ops))`` records."""
+    for sid, txn_doc, line in iter_session_objects(handle):
+        try:
+            yield sid, _raw_from_doc(txn_doc)
+        except ParseError as exc:
+            raise ParseError(f"line {line}: {exc}") from exc
 
 
 def stream(handle: TextIO) -> Iterator[Tuple[int, Transaction]]:
     """Iterate ``(session_index, transaction)`` pairs off an open DBCop-style file.
 
-    Transaction objects are decoded one at a time from a sliding buffer, so
-    the history is never materialized.
+    Transactions are decoded one at a time from a sliding buffer, so the
+    history is never materialized.
     """
-    for sid, txn_doc in iter_session_objects(handle):
-        yield sid, _transaction_from_doc(txn_doc)
+    for sid, raw in stream_ops(handle):
+        yield sid, transaction_from_raw(raw)
 
 
 def dumps(history: History) -> str:

@@ -26,32 +26,56 @@ import json
 from typing import Any, Dict, Iterator, List, TextIO, Tuple
 
 from repro.core.exceptions import ParseError
-from repro.core.model import History, Operation, OpKind, Transaction
+from repro.core.model import History, Transaction
 from repro.histories.formats._jsonstream import iter_session_objects
+from repro.histories.formats._raw import RawOps, RawTransaction, transaction_from_raw
 
-__all__ = ["dumps", "loads", "stream"]
+__all__ = ["dumps", "loads", "stream", "stream_ops"]
 
 FORMAT_NAME = "awdit-native"
 FORMAT_VERSION = 1
 
+#: Missing integer session ids denote empty sessions (positional format).
+COMPILED_SESSION_GAPS = True
 
-def _transaction_from_doc(txn_doc: object) -> Transaction:
-    """Convert one transaction document to a :class:`Transaction`."""
+
+def _raw_from_doc(txn_doc: object) -> RawTransaction:
+    """Convert one transaction document to a raw record (no model objects)."""
     if not isinstance(txn_doc, dict) or "ops" not in txn_doc:
         raise ParseError("each transaction must be an object with an 'ops' field")
-    operations = []
+    ops: RawOps = []
     for op_doc in txn_doc["ops"]:
         if not (isinstance(op_doc, list) and len(op_doc) == 3):
             raise ParseError(f"malformed operation {op_doc!r}")
         kind, key, value = op_doc
         if kind not in ("R", "W"):
             raise ParseError(f"operation kind must be 'R' or 'W', got {kind!r}")
-        operations.append(Operation(OpKind(kind), key, value))
-    return Transaction(
-        operations,
-        committed=bool(txn_doc.get("committed", True)),
-        label=txn_doc.get("label"),
-    )
+        ops.append((kind == "W", key, value))
+    return txn_doc.get("label"), bool(txn_doc.get("committed", True)), ops
+
+
+def _transaction_from_doc(txn_doc: object) -> Transaction:
+    """Convert one transaction document to a :class:`Transaction`."""
+    return transaction_from_raw(_raw_from_doc(txn_doc))
+
+
+def stream_ops(handle: TextIO) -> Iterator[Tuple[int, RawTransaction]]:
+    """Iterate raw ``(session_index, (label, committed, ops))`` records.
+
+    The allocation-light layer under :func:`stream`: operations are plain
+    ``(is_write, key, value)`` tuples, so the compiled-history builder can
+    consume a file without creating any ``Operation`` objects.
+    """
+
+    def check_header(key: str, value: object) -> None:
+        if key == "format" and value not in (None, FORMAT_NAME):
+            raise ParseError(f"unexpected format marker {value!r}")
+
+    for sid, txn_doc, line in iter_session_objects(handle, on_header=check_header):
+        try:
+            yield sid, _raw_from_doc(txn_doc)
+        except ParseError as exc:
+            raise ParseError(f"line {line}: {exc}") from exc
 
 
 def stream(handle: TextIO) -> Iterator[Tuple[int, Transaction]]:
@@ -61,13 +85,8 @@ def stream(handle: TextIO) -> Iterator[Tuple[int, Transaction]]:
     history is never materialized; feed the pairs to
     :class:`repro.stream.IncrementalChecker` for a one-pass check.
     """
-
-    def check_header(key: str, value: object) -> None:
-        if key == "format" and value not in (None, FORMAT_NAME):
-            raise ParseError(f"unexpected format marker {value!r}")
-
-    for sid, txn_doc in iter_session_objects(handle, on_header=check_header):
-        yield sid, _transaction_from_doc(txn_doc)
+    for sid, raw in stream_ops(handle):
+        yield sid, transaction_from_raw(raw)
 
 
 def dumps(history: History) -> str:

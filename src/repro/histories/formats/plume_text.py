@@ -18,9 +18,13 @@ import re
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.exceptions import ParseError
-from repro.core.model import History, Operation, OpKind, Transaction
+from repro.core.model import History, Transaction
+from repro.histories.formats._raw import RawOps, RawTransaction, transaction_from_raw
 
-__all__ = ["dumps", "loads", "stream"]
+__all__ = ["dumps", "loads", "stream", "stream_ops"]
+
+#: Sparse session ids are compacted, not filled (matching ``loads``).
+COMPILED_SESSION_GAPS = False
 
 _OP_PATTERN = re.compile(r"([RW])\(([^,()]+),([^()]*)\)")
 _LINE_PATTERN = re.compile(
@@ -56,8 +60,8 @@ def dumps(history: History) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _parse_line(line_number: int, line: str) -> Optional[Tuple[int, Transaction]]:
-    """Parse one line; ``None`` for comments and blank lines."""
+def _parse_line(line_number: int, line: str) -> Optional[Tuple[int, RawTransaction]]:
+    """Parse one line into a raw record; ``None`` for comments and blank lines."""
     line = line.strip()
     if not line or line.startswith("#"):
         return None
@@ -68,33 +72,68 @@ def _parse_line(line_number: int, line: str) -> Optional[Tuple[int, Transaction]
     label = match.group(2)
     committed = match.group(3) == "committed"
     ops_text = match.group(4)
-    operations: List[Operation] = []
-    consumed = 0
+    ops: RawOps = []
+    # Anything between or after the matched operations is a malformed or
+    # truncated operation (e.g. a mid-record EOF cutting `W(y,` off);
+    # dropping it silently would pass a damaged capture as consistent.
+    pos = 0
     for op_match in _OP_PATTERN.finditer(ops_text):
+        gap = ops_text[pos : op_match.start()].strip()
+        if gap:
+            raise ParseError(
+                f"line {line_number}: malformed or truncated operation {gap!r}"
+            )
         kind, key, value = op_match.groups()
-        operations.append(Operation(OpKind(kind), key.strip(), _parse_value(value)))
-        consumed += 1
-    if ops_text.strip() and consumed == 0:
+        ops.append((kind == "W", key.strip(), _parse_value(value)))
+        pos = op_match.end()
+    if ops_text.strip() and not ops:
         raise ParseError(f"line {line_number}: no operations parsed from {ops_text!r}")
-    return sid, Transaction(operations, committed=committed, label=label)
+    leftover = ops_text[pos:].strip()
+    if leftover:
+        raise ParseError(
+            f"line {line_number}: malformed or truncated operation {leftover!r}"
+        )
+    return sid, (label, committed, ops)
+
+
+def stream_ops(handle: Iterable[str]) -> Iterator[Tuple[int, RawTransaction]]:
+    """Iterate raw ``(session_id, (label, committed, ops))`` records.
+
+    One line is one transaction, so the parse is naturally one-pass; lines of
+    one session must appear in session order (they always do in files written
+    by :func:`dumps`).  Like :func:`loads`, a file with no transactions at
+    all is rejected (a truncated capture must not pass as consistent), and a
+    ``txn=`` id repeated within one session is rejected as a duplicate
+    transaction id (memory cost: one label reference per transaction).
+    """
+    empty = True
+    seen_labels: Dict[int, set] = {}
+    for line_number, raw_line in enumerate(handle, start=1):
+        parsed = _parse_line(line_number, raw_line)
+        if parsed is None:
+            continue
+        sid, raw = parsed
+        label = raw[0]
+        session_labels = seen_labels.setdefault(sid, set())
+        if label in session_labels:
+            raise ParseError(
+                f"line {line_number}: duplicate transaction id {label!r} "
+                f"in session {sid}"
+            )
+        session_labels.add(label)
+        empty = False
+        yield sid, raw
+    if empty:
+        raise ParseError("history file contains no transactions")
 
 
 def stream(handle: Iterable[str]) -> Iterator[Tuple[int, Transaction]]:
     """Iterate ``(session_id, transaction)`` pairs off an open plume-style file.
 
-    One line is one transaction, so the parse is naturally one-pass; lines of
-    one session must appear in session order (they always do in files written
-    by :func:`dumps`).  Like :func:`loads`, a file with no transactions at
-    all is rejected (a truncated capture must not pass as consistent).
+    The object-yielding wrapper over :func:`stream_ops`.
     """
-    empty = True
-    for line_number, raw_line in enumerate(handle, start=1):
-        parsed = _parse_line(line_number, raw_line)
-        if parsed is not None:
-            empty = False
-            yield parsed
-    if empty:
-        raise ParseError("history file contains no transactions")
+    for sid, raw in stream_ops(handle):
+        yield sid, transaction_from_raw(raw)
 
 
 def loads(text: str) -> History:

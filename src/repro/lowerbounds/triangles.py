@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 __all__ = ["UndirectedGraph", "has_triangle", "find_triangle", "random_graph"]
 

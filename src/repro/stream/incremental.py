@@ -57,6 +57,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 from repro.core.cc import causality_cycles
 from repro.core.commit import CommitRelation
+from repro.core.compiled.ir import Intern
 from repro.core.isolation import IsolationLevel
 from repro.core.model import OpRef, Transaction
 from repro.core.result import CheckResult
@@ -66,7 +67,7 @@ from repro.core.violations import (
     Violation,
     ViolationKind,
 )
-from repro.graph.digraph import DiGraph
+from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT, DiGraph, pack_edge, unpack_edge
 
 __all__ = ["IncrementalChecker", "check_stream"]
 
@@ -76,10 +77,15 @@ ALL_LEVELS: Tuple[IsolationLevel, ...] = (
     IsolationLevel.CAUSAL_CONSISTENCY,
 )
 
-# (t2, t1) -> (sort key, witnessing key): inferred commit-order edges with the
-# position the batch algorithm would first record them at.  Sort keys encode
-# (sid, session_index, attempt) as one integer to keep the logs compact.
-_EdgeLog = Dict[Tuple[int, int], Tuple[int, Optional[str]]]
+# Packed inferred-edge log: ``(t2 << EDGE_SHIFT) | t1`` -> ``(sort key <<
+# EDGE_SHIFT) | (key id + 1)``.  One int-to-int dict entry per edge instead
+# of two tuples, which is what keeps streaming peak memory at or below the
+# batch checkers' even while the log and the finalize-time commit relation
+# briefly coexist.  The sort key is the position the batch algorithm would
+# first record the edge at; keys are interned in the checker's key table
+# (id ``-1``, stored as ``0``, means "no key").  Sort keys encode (sid,
+# session_index, attempt) as one integer.
+_EdgeLog = Dict[int, int]
 
 # Bit budget per sort-key component: up to 2^24 transactions per session and
 # 2^24 edge attempts per transaction keep batch-order replay exact; beyond
@@ -93,13 +99,20 @@ def _sort_base(sid: int, sidx: int) -> int:
 
 
 class _Read:
-    """A read awaiting (or holding) its write-read resolution."""
+    """A read awaiting (or holding) its write-read resolution.
 
-    __slots__ = ("index", "key", "value", "own_prev", "writer", "writer_index", "bad")
+    ``key`` keeps the original string (needed only for violation messages);
+    ``kid`` is its interned id, which is what the online state uses.
+    """
 
-    def __init__(self, index: int, key: str, value: object, own_prev: Optional[int]) -> None:
+    __slots__ = ("index", "key", "kid", "value", "own_prev", "writer", "writer_index", "bad")
+
+    def __init__(
+        self, index: int, key: str, kid: int, value: object, own_prev: Optional[int]
+    ) -> None:
         self.index = index
         self.key = key
+        self.kid = kid
         self.value = value
         # Program-order index of the latest own write to `key` before this
         # read (None when there is none); fixes the observe-own-writes axiom.
@@ -119,6 +132,7 @@ class _Txn:
         "committed",
         "label",
         "keys_written",
+        "keys_written_ordered",
         "reads",
         "unresolved",
         "resolved",
@@ -136,21 +150,25 @@ class _Txn:
         self.sidx = sidx
         self.committed = committed
         self.label = label
+        # Distinct written key ids: a frozenset for membership plus a tuple in
+        # first-write order for deterministic iteration (matching the batch
+        # checkers' keys_written / keys_written_ordered pair).
         self.keys_written: frozenset = frozenset()
+        self.keys_written_ordered: Tuple[int, ...] = ()
         self.reads: List[_Read] = []
         self.unresolved = 0
         self.resolved = False
         self.cc_done = False
         self.cc_pending = 0
         self.cc_registered = False
-        # (po index, key, writer tid) per good external read, in program order.
-        self.good_reads: List[Tuple[int, str, int]] = []
-        # First read per distinct committed writer: writer -> witnessing key.
+        # (po index, key id, writer tid) per good external read, in program order.
+        self.good_reads: List[Tuple[int, int, int]] = []
+        # First read per distinct committed writer: writer -> witnessing key id.
         # `any` ignores read-consistency badness (the commit relation keeps
         # those wr edges); `good` is restricted to clean reads (the causality
         # graph drops bad reads).
-        self.wr_first_any: Dict[int, str] = {}
-        self.wr_first_good: Dict[int, str] = {}
+        self.wr_first_any: Dict[int, int] = {}
+        self.wr_first_good: Dict[int, int] = {}
 
 
 class IncrementalChecker:
@@ -189,23 +207,27 @@ class IncrementalChecker:
         self._txns: List[_Txn] = []
         self._session_ids: Dict[object, int] = {}
         self._by_session: List[List[_Txn]] = []
-        # (key, value) -> (writer tid, op index, is the writer's final write
-        # to the key); first write wins.
-        self._writes: Dict[Tuple[str, object], Tuple[int, int, bool]] = {}
-        # (key, value) -> reads waiting for that write to arrive.
-        self._pending: Dict[Tuple[str, object], List[Tuple[_Txn, _Read]]] = {}
+        # Key strings are interned once on arrival; all online state below is
+        # keyed by dense key ids.
+        self._key_table = Intern()
+        # (key id, value) -> (writer tid, op index, is the writer's final
+        # write to the key); first write wins.
+        self._writes: Dict[Tuple[int, object], Tuple[int, int, bool]] = {}
+        # (key id, value) -> reads waiting for that write to arrive.
+        self._pending: Dict[Tuple[int, object], List[Tuple[_Txn, _Read]]] = {}
 
         # RA state: per-session frontier and lastWrite map (Algorithm 2).
         self._ra_next: List[int] = []
-        self._ra_last_write: List[Dict[str, int]] = []
+        self._ra_last_write: List[Dict[int, int]] = []
 
         # CC state (Algorithm 3): per-session causal frontier, session clocks,
-        # per-(session, key) writer lists, and monotone saturation pointers.
+        # per-(session, key) writer lists, and monotone saturation pointers
+        # (dicts keyed by packed ``(session << EDGE_SHIFT) | key id`` ints).
         self._cc_next: List[int] = []
         self._session_clock: List[List[int]] = []
-        self._writers_by_key: Dict[str, Tuple[List[int], Dict[int, Tuple[List[int], List[int]]]]] = {}
-        self._cc_last_write: List[Dict[Tuple[int, str], int]] = []
-        self._cc_ptr: List[Dict[Tuple[int, str], int]] = []
+        self._writers_by_key: Dict[int, Tuple[List[int], Dict[int, Tuple[List[int], List[int]]]]] = {}
+        self._cc_last_write: List[Dict[int, int]] = []
+        self._cc_ptr: List[Dict[int, int]] = []
         self._cc_waiters: Dict[int, List[_Txn]] = {}
         self._hb: Dict[int, List[int]] = {}
 
@@ -280,32 +302,35 @@ class IncrementalChecker:
 
         ops = transaction.operations
         self._num_operations += len(ops)
-        own_latest: Dict[str, int] = {}
-        final_write: Dict[str, int] = {}
+        intern_key = self._key_table.intern
+        own_latest: Dict[int, int] = {}
+        final_write: Dict[int, int] = {}
         reads: List[_Read] = []
         writes = self._writes
-        txn_writes: List[Tuple[str, object, int]] = []
+        txn_writes: List[Tuple[int, object, int]] = []
         for index, op in enumerate(ops):
+            kid = intern_key(op.key)
             if op.is_write:
-                final_write[op.key] = index
-                own_latest[op.key] = index
-                txn_writes.append((op.key, op.value, index))
+                final_write[kid] = index
+                own_latest[kid] = index
+                txn_writes.append((kid, op.value, index))
             elif rec.committed:
-                reads.append(_Read(index, op.key, op.value, own_latest.get(op.key)))
+                reads.append(_Read(index, op.key, kid, op.value, own_latest.get(kid)))
         rec.keys_written = frozenset(final_write)
+        rec.keys_written_ordered = tuple(final_write)
         rec.reads = reads
 
         # Register writes only once the whole transaction is scanned, so the
         # index can record whether each write is the final one to its key.
-        new_writes: List[Tuple[str, object]] = []
-        for key, value, index in txn_writes:
-            wkey = (key, value)
+        new_writes: List[Tuple[int, object]] = []
+        for kid, value, index in txn_writes:
+            wkey = (kid, value)
             if wkey not in writes:
-                writes[wkey] = (tid, index, final_write[key] == index)
+                writes[wkey] = (tid, index, final_write[kid] == index)
                 new_writes.append(wkey)
 
         if rec.committed and self._cc_enabled and final_write:
-            for key in rec.keys_written:
+            for key in rec.keys_written_ordered:
                 sids, per_sid = self._writers_by_key.setdefault(key, ([], {}))
                 entry = per_sid.get(sid)
                 if entry is None:
@@ -330,10 +355,10 @@ class IncrementalChecker:
         # Resolve this transaction's own reads against everything seen so far.
         if rec.committed:
             for read in reads:
-                hit = writes.get((read.key, read.value))
+                hit = writes.get((read.kid, read.value))
                 if hit is None:
                     rec.unresolved += 1
-                    self._pending.setdefault((read.key, read.value), []).append((rec, read))
+                    self._pending.setdefault((read.kid, read.value), []).append((rec, read))
                 else:
                     self._classify(rec, read, hit)
             if rec.unresolved == 0:
@@ -362,7 +387,9 @@ class IncrementalChecker:
         start = time.perf_counter()
 
         # Reads whose write never arrived are thin-air reads (axiom (a)).
-        for (key, value), waiters in list(self._pending.items()):
+        key_names = self._key_table.values
+        for (kid, value), waiters in list(self._pending.items()):
+            key = key_names[kid]
             for rec, read in waiters:
                 read.bad = True
                 self._add_rc_violation(
@@ -560,9 +587,9 @@ class IncrementalChecker:
         """All reads of ``rec`` are classified: fold it into the online state."""
         rec.resolved = True
         txns = self._txns
-        good: List[Tuple[int, str, int]] = []
-        wr_any: Dict[int, str] = {}
-        wr_good: Dict[int, str] = {}
+        good: List[Tuple[int, int, int]] = []
+        wr_any: Dict[int, int] = {}
+        wr_good: Dict[int, int] = {}
         for read in rec.reads:
             writer = read.writer
             if writer is None or writer == rec.tid:
@@ -570,12 +597,12 @@ class IncrementalChecker:
             if not txns[writer].committed:
                 continue
             if writer not in wr_any:
-                wr_any[writer] = read.key
+                wr_any[writer] = read.kid
             if read.bad:
                 continue
-            good.append((read.index, read.key, writer))
+            good.append((read.index, read.kid, writer))
             if writer not in wr_good:
-                wr_good[writer] = read.key
+                wr_good[writer] = read.kid
         rec.good_reads = good
         rec.wr_first_any = wr_any
         rec.wr_first_good = wr_good
@@ -591,12 +618,12 @@ class IncrementalChecker:
 
     def _check_repeatable_reads(self, rec: _Txn) -> None:
         """Per-transaction repeatable-reads check (Algorithm 2's pre-pass)."""
-        last_writer: Dict[str, int] = {}
+        last_writer: Dict[int, int] = {}
         for read in rec.reads:
             if read.bad or read.writer is None:
                 continue
             writer = read.writer
-            previous = last_writer.get(read.key)
+            previous = last_writer.get(read.kid)
             if writer != rec.tid and previous is not None and previous != writer:
                 violation = RepeatableReadViolation(
                     kind=ViolationKind.NON_REPEATABLE_READ,
@@ -612,15 +639,23 @@ class IncrementalChecker:
                 self._rr.append(((rec.sid, rec.sidx, read.index), violation))
                 self._live.append(violation)
             else:
-                last_writer[read.key] = writer
+                last_writer[read.kid] = writer
 
     # -- inferred-edge recording -----------------------------------------------
 
     @staticmethod
-    def _record(log: _EdgeLog, t2: int, t1: int, key: Optional[str], sort_key: int) -> None:
-        current = log.get((t2, t1))
-        if current is None or sort_key < current[0]:
-            log[(t2, t1)] = (sort_key, key)
+    def _record(log: _EdgeLog, t2: int, t1: int, kid: int, sort_key: int) -> None:
+        """Keep the batch-order-earliest ``(sort key, key id)`` per packed edge.
+
+        Metas compare by sort key first (the key id occupies the low bits and
+        sort keys are unique per recording), so ``min`` by meta is ``min`` by
+        batch position.
+        """
+        edge = pack_edge(t2, t1)
+        meta = (sort_key << EDGE_SHIFT) | (kid + 1)
+        current = log.get(edge)
+        if current is None or meta < current:
+            log[edge] = meta
 
     def _rc_saturate(self, rec: _Txn) -> None:
         """Per-transaction RC saturation (the body of Algorithm 1's main loop)."""
@@ -633,19 +668,20 @@ class IncrementalChecker:
             if writer not in seen_txns:
                 seen_txns.add(writer)
                 first_txn_reads.add(index)
-        earliest: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
-        read_keys: Set[str] = set()
+        earliest: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+        read_keys: Dict[int, None] = {}
         seq = _sort_base(rec.sid, rec.sidx)
         for index, key, t2 in reversed(reads):
             if index in first_txn_reads:
-                keys_written = self._txns[t2].keys_written
-                if len(keys_written) <= len(read_keys):
-                    smaller, larger = keys_written, read_keys
+                writer_rec = self._txns[t2]
+                if len(writer_rec.keys_written) <= len(read_keys):
+                    candidates = [
+                        x for x in writer_rec.keys_written_ordered if x in read_keys
+                    ]
                 else:
-                    smaller, larger = read_keys, keys_written
-                for x in smaller:
-                    if x not in larger:
-                        continue
+                    keys_written = writer_rec.keys_written
+                    candidates = [x for x in read_keys if x in keys_written]
+                for x in candidates:
                     older, newer = earliest[x]
                     t1 = newer
                     if t1 == t2:
@@ -658,7 +694,7 @@ class IncrementalChecker:
                 earliest[key] = (None, t2)
             elif pair[1] != t2:
                 earliest[key] = (pair[1], t2)
-            read_keys.add(key)
+            read_keys[key] = None
 
     # -- RA frontier (Algorithm 2, online) --------------------------------------
 
@@ -677,10 +713,10 @@ class IncrementalChecker:
             index += 1
         self._ra_next[sid] = index
 
-    def _ra_process(self, rec: _Txn, last_write: Dict[str, int]) -> None:
+    def _ra_process(self, rec: _Txn, last_write: Dict[int, int]) -> None:
         reads = rec.good_reads
         seq = _sort_base(rec.sid, rec.sidx)
-        reader_of_key: Dict[str, int] = {}
+        reader_of_key: Dict[int, int] = {}
         distinct_writers: List[int] = []
         seen_writers: Set[int] = set()
         for _index, key, writer in reads:
@@ -697,12 +733,16 @@ class IncrementalChecker:
                 self._record(self._ra_log, t2, t1, key, seq)
                 seq += 1
 
-        # Case t2 -wr-> t3: intersect writer keys with read keys.
+        # Case t2 -wr-> t3: intersect writer keys with read keys, iterating
+        # the smaller side in deterministic order (as the batch checker does).
         keys_read = reader_of_key.keys()
         for t2 in distinct_writers:
-            keys_written = self._txns[t2].keys_written
+            writer_rec = self._txns[t2]
+            keys_written = writer_rec.keys_written
             if len(keys_written) <= len(keys_read):
-                candidates = (x for x in keys_written if x in reader_of_key)
+                candidates = (
+                    x for x in writer_rec.keys_written_ordered if x in reader_of_key
+                )
             else:
                 candidates = (x for x in keys_read if x in keys_written)
             for x in candidates:
@@ -711,7 +751,7 @@ class IncrementalChecker:
                     self._record(self._ra_log, t2, t1, x, seq)
                     seq += 1
 
-        for key in rec.keys_written:
+        for key in rec.keys_written_ordered:
             last_write[key] = rec.tid
         if not self._cc_enabled:
             rec.good_reads = []
@@ -781,7 +821,7 @@ class IncrementalChecker:
             sids, per_sid = key_writers
             for other in sids:
                 writer_list, writer_indices = per_sid[other]
-                state = (other, key)
+                state = (other << EDGE_SHIFT) | key
                 ptr = pointer.get(state, 0)
                 bound = clock[other] if other < len(clock) else -1
                 if ptr < len(writer_list) and writer_indices[ptr] <= bound:
@@ -842,13 +882,14 @@ class IncrementalChecker:
         return mapping, names, committed_ids, so_edges
 
     def _wr_any_edges(self, mapping: List[int]) -> Iterator[Tuple[int, int, str]]:
+        key_names = self._key_table.values
         for records in self._by_session:
             for rec in records:
                 if not rec.committed:
                     continue
                 reader = mapping[rec.tid]
-                for writer, key in rec.wr_first_any.items():
-                    yield (mapping[writer], reader, key)
+                for writer, kid in rec.wr_first_any.items():
+                    yield (mapping[writer], reader, key_names[kid])
 
     def _build_relation(
         self,
@@ -861,18 +902,24 @@ class IncrementalChecker:
         relation = CommitRelation.from_edges(
             names, committed_ids, so_edges, self._wr_any_edges(mapping)
         )
-        # Sort the existing edge keys instead of materializing log.items(),
-        # and drain entries as they are replayed: the log can hold hundreds
-        # of thousands of edges on large histories.
-        for edge in sorted(log, key=lambda e: log[e][0]):
-            _sort_key, key = log.pop(edge)
-            relation.add_inferred(mapping[edge[0]], mapping[edge[1]], key=key)
+        # Drain the packed log directly into the packed relation: sort the
+        # edge ints by their meta (= batch position), pop each entry as it is
+        # replayed.  The log can hold hundreds of thousands of edges on large
+        # histories, so it never coexists whole with a second copy.
+        key_names = self._key_table.values
+        for edge in sorted(log, key=log.__getitem__):
+            kid = (log.pop(edge) & EDGE_MASK) - 1
+            t2, t1 = unpack_edge(edge)
+            relation.add_inferred(
+                mapping[t2], mapping[t1], key=key_names[kid] if kid >= 0 else None
+            )
         return relation
 
     def _causality_graph(self, mapping: List[int]):
         """The committed ``so ∪ good-wr`` graph, in batch construction order."""
         graph = DiGraph(len(self._txns))
         labels: Dict[Tuple[int, int], Optional[str]] = {}
+        key_names = self._key_table.values
         for records in self._by_session:
             previous = -1
             for rec in records:
@@ -888,13 +935,13 @@ class IncrementalChecker:
                 if not rec.committed:
                     continue
                 reader = mapping[rec.tid]
-                for writer, key in rec.wr_first_good.items():
+                for writer, kid in rec.wr_first_good.items():
                     edge = (mapping[writer], reader)
                     if edge not in labels:
-                        labels[edge] = key
+                        labels[edge] = key_names[kid]
                         graph.add_edge(edge[0], edge[1])
                     elif labels[edge] is None:
-                        labels[edge] = key
+                        labels[edge] = key_names[kid]
         return graph, labels
 
     def _result(

@@ -52,6 +52,14 @@ class TestCheckCommand:
         save_history(fig_4d(), str(path))
         assert main(["check", str(path), "-i", "read atomic"]) == 0
 
+    @pytest.mark.parametrize("engine", ["auto", "compiled", "object"])
+    def test_engines_agree_on_verdict_and_witnesses(self, tmp_path, capsys, engine):
+        path = tmp_path / "bad.json"
+        save_history(fig_4a(), str(path))
+        assert main(["check", str(path), "-i", "rc", "--engine", engine]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out and "cycle" in out
+
 
 class TestGenerateCommand:
     def test_generate_writes_a_parseable_history(self, tmp_path, capsys):
@@ -117,3 +125,14 @@ class TestConvertAndStats:
         output = capsys.readouterr().out
         assert "transactions" in output
         assert "distinct keys" in output
+
+    def test_stats_reports_interned_cardinalities_and_footprint(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        save_history(fig_4a(), str(path))
+        assert main(["stats", str(path)]) == 0
+        output = capsys.readouterr().out
+        # fig_4a: one key (x), two values (1, 2), two sessions.
+        assert "distinct keys          : 1" in output
+        assert "interned values        : 2" in output
+        assert "interned sessions      : 2" in output
+        assert "compiled footprint" in output and "KiB" in output

@@ -3,15 +3,7 @@
 import pytest
 
 from repro.core.exceptions import HistoryFormatError
-from repro.core.model import (
-    History,
-    Operation,
-    OpKind,
-    OpRef,
-    Transaction,
-    read,
-    write,
-)
+from repro.core.model import History, OpKind, OpRef, Transaction, read, write
 
 
 class TestOperation:

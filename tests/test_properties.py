@@ -11,7 +11,6 @@ These properties tie the whole system together:
 * the lower-bound reductions track triangle-freeness exactly.
 """
 
-import random
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -19,7 +18,6 @@ from hypothesis import strategies as st
 from repro.baselines.naive import check_naive
 from repro.baselines.plume import check_plume
 from repro.core import IsolationLevel, check, check_all_levels
-from repro.core.model import History, Transaction, read, write
 from repro.db.config import DatabaseConfig, IsolationMode
 from repro.histories.formats import cobra, dbcop, native, plume_text
 from repro.histories.generator import (

@@ -11,12 +11,7 @@ from repro.cli import main
 from repro.core import IsolationLevel, check
 from repro.core.model import History, Transaction, read, write
 from repro.core.violations import ViolationKind
-from repro.histories.formats import (
-    FORMATS,
-    load_history,
-    save_history,
-    stream_history,
-)
+from repro.histories.formats import load_history, save_history, stream_history
 from repro.histories.generator import (
     INJECTABLE_ANOMALIES,
     RandomHistoryConfig,
