@@ -1,0 +1,196 @@
+"""Sharded-checking scaling benchmark: the cross-PR ``BENCH_3.json`` snapshot.
+
+Measures the sharded engine against the single-process compiled engine on
+the fig9-scale (120k-operation) CC benchmark, for ``jobs`` in {1, 2, 4}:
+
+* ``mode="auto"`` -- what ``awdit check --jobs N`` actually does.  On a
+  multi-CPU machine this forks N workers; on a single-CPU machine it
+  detects that forking cannot help and falls back to the sequential loops,
+  so ``--jobs`` is never a pessimization.
+* ``mode="fork"`` -- the forked pipeline unconditionally, recorded for
+  transparency (on one CPU the workers timeshare a core and the transport
+  overhead is visible; on real multicore hardware this is the speedup
+  path).
+
+The snapshot also records the previous PR's single-process compiled wall
+clock (from the committed ``BENCH_2.json``) so the trajectory -- what a
+user upgrading across PRs observes for ``check --jobs 4`` -- is explicit.
+
+Acceptance gates (environment-aware, asserted below):
+
+* sharded verdicts/witnesses byte-identical to the compiled engine;
+* on multicore machines: forked ``jobs=4`` beats this build's
+  single-process compiled engine outright;
+* on a single-CPU machine: auto-mode ``jobs=4`` stays within 5% of this
+  build's compiled engine (the fallback costs nothing) *and* improves on
+  the single-process compiled wall clock recorded by the previous PR
+  (this PR's saturation/toposort optimizations are shared code).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core import IsolationLevel, check
+from repro.core.compiled.ir import compile_history
+from repro.histories.formats import load_compiled, save_history
+from repro.histories.generator import RandomHistoryConfig, generate_random_history
+from repro.shard import check_sharded, load_compiled_sharded, will_parallelize
+from repro.shard.parallel import effective_cpus
+
+_ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
+BENCH2_PATH = os.path.abspath(os.path.join(_ROOT, "BENCH_2.json"))
+BENCH3_PATH = os.path.abspath(os.path.join(_ROOT, "BENCH_3.json"))
+
+pytestmark = pytest.mark.bench
+
+CC = IsolationLevel.CAUSAL_CONSISTENCY
+
+
+def _fig9_history(num_transactions: int = 15_000, seed: int = 11):
+    """The fig9-scale history used by BENCH_2 (15k txns, ~120k ops)."""
+    return generate_random_history(
+        RandomHistoryConfig(
+            num_sessions=8,
+            num_transactions=num_transactions,
+            num_keys=500,
+            min_ops_per_txn=6,
+            max_ops_per_txn=10,
+            read_fraction=0.5,
+            mode="serializable",
+            seed=seed,
+        )
+    )
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_sharded_parity_on_fig9_scale():
+    """Identical verdict/witnesses at benchmark scale, forked and inline."""
+    ch = compile_history(_fig9_history(num_transactions=4_000))
+    compiled = check(ch, CC)
+    for jobs, mode in ((2, "fork"), (4, "fork"), (4, "inline")):
+        sharded = check_sharded(ch, CC, jobs=jobs, mode=mode)
+        assert sharded.is_consistent == compiled.is_consistent
+        assert [v.describe() for v in sharded.violations] == [
+            v.describe() for v in compiled.violations
+        ]
+        assert sharded.stats.get("inferred_edges") == compiled.stats.get(
+            "inferred_edges"
+        )
+
+
+def test_bench3_snapshot(tmp_path, results):
+    """Record the per-PR perf snapshot in the repo-root ``BENCH_3.json``."""
+    cpus = effective_cpus()
+    history = _fig9_history()
+    txns, ops = history.num_transactions, history.num_operations
+    ch = compile_history(history)
+
+    # -- check-phase wall clock, engines interleaved (best of three) ----------
+    compiled_seconds = _best_of(lambda: check(ch, CC, engine="compiled"))
+    auto = {
+        jobs: _best_of(lambda j=jobs: check_sharded(ch, CC, jobs=j, mode="auto"))
+        for jobs in (1, 2, 4)
+    }
+    forked = {
+        jobs: _best_of(lambda j=jobs: check_sharded(ch, CC, jobs=j, mode="fork"))
+        for jobs in (2, 4)
+    }
+
+    # -- results must agree before any time is trusted -------------------------
+    base = check(ch, CC, engine="compiled")
+    for jobs in (1, 2, 4):
+        sharded = check_sharded(ch, CC, jobs=jobs, mode="auto")
+        assert sharded.is_consistent == base.is_consistent
+
+    # -- sharded ingest pipeline (parse -> merge -> check), file-to-verdict ----
+    path = tmp_path / "fig9.plume"
+    save_history(history, str(path), fmt="plume")
+    start = time.perf_counter()
+    check(load_compiled(str(path), fmt="plume"), CC)
+    single_pipeline = time.perf_counter() - start
+    start = time.perf_counter()
+    # Mirror `awdit check --jobs 4`: the shard-merge ingest is only paid
+    # when the check phase will actually fork.
+    if will_parallelize(4):
+        sharded_ch = load_compiled_sharded(str(path), 4, fmt="plume")
+    else:
+        sharded_ch = load_compiled(str(path), fmt="plume")
+    check_sharded(sharded_ch, CC, jobs=4, mode="auto")
+    sharded_pipeline = time.perf_counter() - start
+
+    # -- prior-PR reference (the committed BENCH_2 snapshot) -------------------
+    bench2_compiled = None
+    if os.path.exists(BENCH2_PATH):
+        with open(BENCH2_PATH, "r", encoding="utf-8") as handle:
+            bench2_compiled = (
+                json.load(handle).get("check_cc_seconds", {}).get("compiled")
+            )
+
+    snapshot = {
+        "generated_by": "benchmarks/test_shard_scaling.py::test_bench3_snapshot",
+        "machine": {
+            "effective_cpus": cpus,
+            "note": (
+                "mode='auto' forks only when >1 CPU is available; on a "
+                "single-CPU machine it falls back to the identical "
+                "sequential loops, so --jobs is never a pessimization"
+            ),
+        },
+        "history": {
+            "transactions": txns,
+            "operations": ops,
+            "sessions": 8,
+            "mode": "serializable",
+        },
+        "check_cc_seconds": {
+            "compiled_single_process": round(compiled_seconds, 4),
+            "sharded_auto": {str(j): round(s, 4) for j, s in auto.items()},
+            "sharded_forked": {str(j): round(s, 4) for j, s in forked.items()},
+            "compiled_single_process_prev_pr": bench2_compiled,
+            "jobs4_vs_prev_pr_speedup": (
+                round(bench2_compiled / auto[4], 3) if bench2_compiled else None
+            ),
+            "jobs4_vs_this_pr_compiled": round(auto[4] / compiled_seconds, 3),
+        },
+        "pipeline_txns_per_sec": {
+            "compiled_single_process": round(txns / single_pipeline, 1),
+            "sharded_jobs4": round(txns / sharded_pipeline, 1),
+        },
+    }
+    with open(BENCH3_PATH, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2)
+        handle.write("\n")
+    results.record("bench3", "snapshot", snapshot)
+
+    if cpus > 1:
+        # Real parallel hardware: forked jobs=4 must beat single-process.
+        assert forked[4] < compiled_seconds, (
+            f"forked jobs=4 ({forked[4]:.3f}s) must beat the single-process "
+            f"compiled engine ({compiled_seconds:.3f}s) on {cpus} CPUs"
+        )
+    else:
+        # Single CPU: the auto fallback must cost (essentially) nothing...
+        assert auto[4] <= 1.05 * compiled_seconds, (
+            f"auto jobs=4 ({auto[4]:.3f}s) must not regress the compiled "
+            f"engine ({compiled_seconds:.3f}s) on one CPU"
+        )
+        # ...and the trajectory must still improve on the single-process
+        # compiled wall clock the previous PR recorded.
+        if bench2_compiled is not None:
+            assert auto[4] < bench2_compiled, (
+                f"jobs=4 ({auto[4]:.3f}s) must improve on the previous PR's "
+                f"single-process compiled time ({bench2_compiled:.3f}s)"
+            )

@@ -66,11 +66,25 @@ def build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument(
         "--engine",
         default="auto",
-        choices=["auto", "compiled", "object"],
+        choices=["auto", "compiled", "sharded", "object"],
         help=(
             "batch checking engine: 'compiled' runs on the interned array IR "
-            "(default via 'auto'), 'object' runs the reference object-model "
-            "checkers; ignored with --stream or a baseline checker"
+            "(default via 'auto'), 'sharded' additionally parallelizes "
+            "across --jobs worker processes, 'object' runs the reference "
+            "object-model checkers; conflicts with --stream and with "
+            "baseline checkers"
+        ),
+    )
+    check_parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shard the history and check with N worker processes (selects "
+            "the sharded engine; conflicts with --stream, --engine object, "
+            "and baseline checkers)"
         ),
     )
 
@@ -105,20 +119,80 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser = subparsers.add_parser("stats", help="print history statistics")
     stats_parser.add_argument("history")
     stats_parser.add_argument("--format", "-f", default=None, choices=sorted(FORMATS))
+    stats_parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "ingest through N shard builders and also report the per-shard "
+            "intern-table cardinalities the merge reconciles"
+        ),
+    )
 
     return parser
+
+
+def _conflict(message: str) -> int:
+    """Report a flag conflict and return the usage-error exit code."""
+    print(f"awdit: error: {message}", file=sys.stderr)
+    return 2
+
+
+def _check_flag_conflicts(args: argparse.Namespace, checker_name: str) -> Optional[str]:
+    """The flag-conflict message for ``awdit check``, or ``None`` if coherent.
+
+    Conflicting combinations used to fall back silently (``--stream
+    --engine compiled`` streamed anyway; ``--checker plume --engine ...``
+    ignored the engine), which hid from the user that the requested engine
+    never ran.  They are rejected instead.
+    """
+    is_baseline = checker_name not in ("awdit", "default")
+    if args.jobs is not None and args.jobs < 1:
+        return f"--jobs must be >= 1, got {args.jobs}"
+    if args.stream:
+        if args.engine != "auto":
+            return (
+                f"--stream is the one-pass streaming checker; it cannot run "
+                f"the {args.engine!r} batch engine (drop --stream or --engine)"
+            )
+        if args.jobs is not None:
+            return (
+                "--stream checks in a single sequential pass; it cannot use "
+                "--jobs worker processes (drop --stream or --jobs)"
+            )
+        if is_baseline:
+            return f"--stream supports only the awdit checker, not {args.checker!r}"
+    if is_baseline:
+        if checker_name not in BASELINE_REGISTRY:
+            return None  # unknown checker: reported separately
+        if args.engine != "auto":
+            return (
+                f"--engine selects an awdit engine; baseline checker "
+                f"{args.checker!r} has its own implementation (drop --engine "
+                f"or --checker)"
+            )
+        if args.jobs is not None:
+            return (
+                f"--jobs shards the awdit engine; baseline checker "
+                f"{args.checker!r} is single-process (drop --jobs or --checker)"
+            )
+    if args.engine in ("object", "compiled") and args.jobs is not None:
+        return (
+            f"--jobs requires the sharded engine; the {args.engine!r} engine "
+            "is single-process (drop --jobs or use --engine sharded)"
+        )
+    return None
 
 
 def _run_check(args: argparse.Namespace) -> int:
     level = IsolationLevel.from_string(args.isolation)
     checker_name = args.checker.lower()
+    conflict = _check_flag_conflicts(args, checker_name)
+    if conflict is not None:
+        return _conflict(conflict)
     if args.stream:
-        if checker_name not in ("awdit", "default"):
-            print(
-                f"--stream supports only the awdit checker, not {args.checker!r}",
-                file=sys.stderr,
-            )
-            return 2
         from repro.histories.formats import stream_history
         from repro.stream import check_stream
 
@@ -128,7 +202,26 @@ def _run_check(args: argparse.Namespace) -> int:
             max_witnesses=args.witnesses,
         )
     elif checker_name in ("awdit", "default"):
-        if args.engine in ("auto", "compiled"):
+        engine = args.engine
+        if engine == "auto" and args.jobs is not None:
+            engine = "sharded"
+        if engine == "sharded":
+            from repro.shard import default_jobs, load_compiled_sharded, will_parallelize
+
+            jobs = args.jobs if args.jobs is not None else default_jobs()
+            if will_parallelize(jobs):
+                compiled = load_compiled_sharded(args.history, jobs, fmt=args.format)
+            else:
+                # The check will fall back to the single-process engine, so
+                # skip the shard-merge ingest overhead as well.
+                from repro.histories.formats import load_compiled
+
+                compiled = load_compiled(args.history, fmt=args.format)
+            result = check(
+                compiled, level, max_witnesses=args.witnesses,
+                engine="sharded", jobs=jobs,
+            )
+        elif engine in ("auto", "compiled"):
             # The compiled path can ingest the file without materializing
             # the object model at all.
             from repro.histories.formats import load_compiled
@@ -182,7 +275,15 @@ def _run_convert(args: argparse.Namespace) -> int:
 def _run_stats(args: argparse.Namespace) -> int:
     from repro.histories.formats import load_compiled
 
-    compiled = load_compiled(args.history, fmt=args.format)
+    shard_stats = None
+    if args.jobs is not None:
+        if args.jobs < 1:
+            return _conflict(f"--jobs must be >= 1, got {args.jobs}")
+        from repro.shard import sharded_ingest
+
+        compiled, shard_stats = sharded_ingest(args.history, args.jobs, fmt=args.format)
+    else:
+        compiled = load_compiled(args.history, fmt=args.format)
     print(compiled.describe())
     txn_start = compiled.txn_start
     sizes = [
@@ -207,6 +308,21 @@ def _run_stats(args: argparse.Namespace) -> int:
         f"(arrays {footprint['arrays_bytes'] / 1024:.1f} KiB, "
         f"intern tables {footprint['intern_tables_bytes'] / 1024:.1f} KiB)"
     )
+    if shard_stats is not None:
+        # Pre-merge shard cardinalities: how much intern-table state the
+        # shard merge had to reconcile (keys/values interned per shard sum
+        # to more than the merged tables whenever shards overlap).
+        print(f"  shard merge ({len(shard_stats)} shards):")
+        for entry in shard_stats:
+            print(
+                f"    shard {entry.shard}: txns={entry.transactions} "
+                f"sessions={entry.sessions} keys={entry.keys} "
+                f"values={entry.values}"
+            )
+        print(
+            f"    merged : keys={compiled.num_keys} values={compiled.num_values} "
+            f"sessions={compiled.num_sessions}"
+        )
     return 0
 
 

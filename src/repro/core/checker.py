@@ -6,19 +6,24 @@ linear-time single-session specialization for RA (Theorem 1.6) when it
 applies.  :func:`check_all_levels` runs all three levels sharing a single
 Read Consistency pass.
 
-Two interchangeable engines implement the algorithms:
+Three interchangeable engines implement the algorithms:
 
 * ``"compiled"`` (the default) first compiles the history to the interned
   array IR of :mod:`repro.core.compiled` and runs the int-id checkers -- the
   fast path for anything beyond toy histories.
+* ``"sharded"`` runs the compiled checkers' data-parallel phases across
+  ``jobs`` forked worker processes (:mod:`repro.shard`), falling back to the
+  single-process engine when parallelism cannot help (one CPU, ``jobs=1``,
+  or no ``fork`` support).
 * ``"object"`` runs directly over the :class:`~repro.core.model.History`
   object graph -- kept as the readable reference implementation and as the
   oracle the compiled engine is property-tested against.
 
-Both engines return byte-identical results (verdicts, violation kinds,
+All engines return byte-identical results (verdicts, violation kinds,
 witness renderings, inferred-edge counts).  ``engine="auto"`` resolves to
-``"compiled"``, except when a precomputed object-path
-:class:`ReadConsistencyReport` is supplied for reuse.
+``"compiled"``, or to ``"sharded"`` when ``jobs`` is given, except when a
+precomputed object-path :class:`ReadConsistencyReport` is supplied for
+reuse.
 """
 
 from __future__ import annotations
@@ -40,7 +45,7 @@ from repro.core.result import CheckResult
 
 __all__ = ["check", "check_all_levels"]
 
-_ENGINES = ("auto", "compiled", "object")
+_ENGINES = ("auto", "compiled", "sharded", "object")
 
 
 def check(
@@ -50,6 +55,7 @@ def check(
     use_single_session_fast_path: bool = True,
     read_consistency: Optional[ReadConsistencyReport] = None,
     engine: str = "auto",
+    jobs: Optional[int] = None,
 ) -> CheckResult:
     """Check whether ``history`` satisfies ``level``.
 
@@ -58,7 +64,7 @@ def check(
     history:
         The transaction history to test: a :class:`History`, or an
         already-compiled :class:`CompiledHistory` (which skips the compile
-        pass and always uses the compiled engine).
+        pass and always uses a compiled-IR engine).
     level:
         The isolation level to test against (RC, RA, or CC).
     max_witnesses:
@@ -72,14 +78,42 @@ def check(
         pass can be shared across several levels); supplying it pins the
         object engine.
     engine:
-        ``"auto"`` (default), ``"compiled"``, or ``"object"``; see the module
-        docstring.
+        ``"auto"`` (default), ``"compiled"``, ``"sharded"``, or
+        ``"object"``; see the module docstring.
+    jobs:
+        Worker count for the sharded engine.  Supplying it with
+        ``engine="auto"`` selects the sharded engine; with ``"compiled"`` or
+        ``"object"`` it is a usage error (those engines are single-process
+        by definition).  ``None`` with ``engine="sharded"`` means one worker
+        per available CPU.
     """
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    if jobs is not None and engine in ("compiled", "object"):
+        raise ValueError(
+            f"jobs only applies to the sharded engine; engine={engine!r} is "
+            "single-process (drop jobs or pass engine='sharded')"
+        )
+    if engine == "auto" and jobs is not None:
+        engine = "sharded"
+    if engine == "sharded":
+        if read_consistency is not None:
+            raise ValueError(
+                "read_consistency reports belong to the object engine; the "
+                "sharded engine shares its own chunked reports internally"
+            )
+        from repro.shard import check_sharded
+
+        return check_sharded(
+            history,
+            level,
+            jobs=jobs,
+            max_witnesses=max_witnesses,
+            use_single_session_fast_path=use_single_session_fast_path,
+        )
     if isinstance(history, CompiledHistory):
         if engine == "object":
-            raise ValueError("a CompiledHistory requires the compiled engine")
+            raise ValueError("a CompiledHistory requires a compiled-IR engine")
         if read_consistency is not None:
             raise ValueError(
                 "read_consistency reports belong to the object engine; "
@@ -128,18 +162,37 @@ def check_all_levels(
     max_witnesses: Optional[int] = None,
     use_single_session_fast_path: bool = True,
     engine: str = "auto",
+    jobs: Optional[int] = None,
 ) -> Dict[IsolationLevel, CheckResult]:
     """Check the history against RC, RA, and CC, sharing one Read Consistency pass.
 
     Each level goes through the same dispatch as a standalone :func:`check`
     call, so specializations such as the single-session RA fast path apply
     identically here.  With the default compiled engine the history is
-    compiled once and all three levels run on the same IR.
+    compiled once and all three levels run on the same IR; the sharded
+    engine likewise compiles once and runs each level's parallel phase on
+    the shared IR.
     """
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    if jobs is not None and engine in ("compiled", "object"):
+        raise ValueError(
+            f"jobs only applies to the sharded engine; engine={engine!r} is "
+            "single-process (drop jobs or pass engine='sharded')"
+        )
+    if engine == "auto" and jobs is not None:
+        engine = "sharded"
     if isinstance(history, CompiledHistory) and engine == "object":
-        raise ValueError("a CompiledHistory requires the compiled engine")
+        raise ValueError("a CompiledHistory requires a compiled-IR engine")
+    if engine == "sharded":
+        from repro.shard import check_all_levels_sharded
+
+        return check_all_levels_sharded(
+            history,
+            jobs=jobs,
+            max_witnesses=max_witnesses,
+            use_single_session_fast_path=use_single_session_fast_path,
+        )
     if engine != "object" or isinstance(history, CompiledHistory):
         return check_all_levels_compiled(
             history,

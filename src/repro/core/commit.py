@@ -37,7 +37,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.model import History
 from repro.core.violations import CycleEdge, CycleViolation, ViolationKind
 from repro.graph.cycles import find_cycle_in_component, strongly_connected_components
-from repro.graph.digraph import EDGE_SHIFT, DiGraph
+from repro.graph.digraph import EDGE_SHIFT, MAX_PACKED_EDGE, DiGraph, pack_edge
 
 __all__ = ["CommitRelation"]
 
@@ -113,7 +113,7 @@ class CommitRelation:
                     self._add_labelled(writer, tid, "wr", op.key)
 
     def _add_labelled(self, source: int, target: int, reason: str, key: Optional[str]) -> None:
-        edge = (source << EDGE_SHIFT) | target
+        edge = pack_edge(source, target)
         if edge not in self._labels:
             self._labels[edge] = (reason, key)
             self.graph.add_packed_edge(edge)
@@ -131,10 +131,21 @@ class CommitRelation:
             # The inference rules always relate distinct transactions; a
             # self-edge would indicate a caller bug.
             raise ValueError("co' edges relate distinct transactions")
-        self.add_inferred_packed((source << EDGE_SHIFT) | target, key)
+        self.add_inferred_packed(pack_edge(source, target), key)
 
     def add_inferred_packed(self, edge: int, key: Optional[str] = None) -> None:
-        """:meth:`add_inferred` for an already-packed edge (hot-path form)."""
+        """:meth:`add_inferred` for an already-packed edge (hot-path form).
+
+        The packed value is range-checked: anything outside
+        ``[0, MAX_PACKED_EDGE]`` means a transaction id overflowed the
+        32 bits of its endpoint and the edge would silently collide with an
+        unrelated one.
+        """
+        if edge > MAX_PACKED_EDGE or edge < 0:
+            raise ValueError(
+                f"packed co' edge {edge} out of range: transaction id "
+                f"exceeds the {EDGE_SHIFT}-bit endpoint limit"
+            )
         if edge in self._labels:
             return
         self._labels[edge] = ("co", key)

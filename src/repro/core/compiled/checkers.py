@@ -13,11 +13,19 @@ only the constant factors change.
 The module deliberately reaches into the IR's internal flat arrays
 (``_xr_*``, ``_kw_*``) instead of the iterator accessors: these loops are the
 hot path the compiled layer exists for.
+
+The per-transaction passes accept an optional ``tid_range`` and the
+per-session saturations an optional ``sessions`` restriction.  These exist
+for the sharded engine (:mod:`repro.shard`): a shard worker runs the *same*
+loop over its slice of the history and the shard merge re-applies the
+results in global order, so sharded checking cannot drift from this module
+-- there is only one implementation of each rule.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from array import array
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.commit import CommitRelation
 from repro.core.compiled.ir import CompiledHistory, compile_history
@@ -37,7 +45,7 @@ from repro.graph.cycles import (
     strongly_connected_components,
     topological_sort,
 )
-from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT, DiGraph
+from repro.graph.digraph import EDGE_SHIFT, DiGraph
 
 __all__ = [
     "CompiledReadReport",
@@ -70,8 +78,15 @@ class CompiledReadReport:
         return not self.violations
 
 
-def check_read_consistency_compiled(ch: CompiledHistory) -> CompiledReadReport:
-    """Algorithm 4 on the IR (mirror of ``check_read_consistency``)."""
+def check_read_consistency_compiled(
+    ch: CompiledHistory, tid_range: Optional[Tuple[int, int]] = None
+) -> CompiledReadReport:
+    """Algorithm 4 on the IR (mirror of ``check_read_consistency``).
+
+    ``tid_range`` restricts the pass to transactions ``[lo, hi)`` -- the
+    per-transaction work is independent, so a full report is the chunk
+    reports concatenated in ascending-range order.
+    """
     violations: List[Violation] = []
     bad_ops: Set[int] = set()
     op_kind = ch.op_kind
@@ -98,7 +113,8 @@ def check_read_consistency_compiled(ch: CompiledHistory) -> CompiledReadReport:
             )
         )
 
-    for tid in range(ch.num_transactions):
+    lo_tid, hi_tid = tid_range if tid_range is not None else (0, ch.num_transactions)
+    for tid in range(lo_tid, hi_tid):
         if not committed[tid]:
             continue
         name = ch.name_of(tid)
@@ -205,6 +221,7 @@ def _relation_from_compiled(ch: CompiledHistory) -> CommitRelation:
     keyed = relation._keyed
     succ = relation.graph._succ
     edge_count = 0
+    so_label = ("so", None)  # one shared tuple instead of one per so edge
 
     for session in ch.sessions:
         previous = -1
@@ -214,7 +231,7 @@ def _relation_from_compiled(ch: CompiledHistory) -> CommitRelation:
             if previous >= 0:
                 edge = (previous << EDGE_SHIFT) | tid
                 if edge not in labels:
-                    labels[edge] = ("so", None)
+                    labels[edge] = so_label
                     succ[previous].append(tid)
                     edge_count += 1
             previous = tid
@@ -270,9 +287,18 @@ def _external_good_reads(
 
 
 def saturate_rc_compiled(
-    ch: CompiledHistory, relation: CommitRelation, bad_ops: Set[int]
+    ch: CompiledHistory,
+    relation: CommitRelation,
+    bad_ops: Set[int],
+    tid_range: Optional[Tuple[int, int]] = None,
 ) -> None:
-    """Algorithm 1's main loop on the IR (mirror of ``saturate_rc``)."""
+    """Algorithm 1's main loop on the IR (mirror of ``saturate_rc``).
+
+    ``tid_range`` restricts saturation to the reads of transactions
+    ``[lo, hi)``; the per-transaction state (``earliest``, ``read_keys``) is
+    local, so chunked runs emit exactly the edges of a full run, in the same
+    per-transaction order.
+    """
     committed = ch.txn_committed
     key_names = ch.key_table.values
     kw_start = ch._kw_start
@@ -281,7 +307,8 @@ def saturate_rc_compiled(
     labels = relation._labels
     graph_add = relation.graph.add_packed_edge
     inferred = 0
-    for tid in range(ch.num_transactions):
+    lo_tid, hi_tid = tid_range if tid_range is not None else (0, ch.num_transactions)
+    for tid in range(lo_tid, hi_tid):
         if not committed[tid]:
             continue
         reads = _external_good_reads(ch, tid, bad_ops)
@@ -363,9 +390,15 @@ def check_rc_compiled(
 
 
 def check_repeatable_reads_compiled(
-    ch: CompiledHistory, bad_ops: Set[int]
+    ch: CompiledHistory,
+    bad_ops: Set[int],
+    tid_range: Optional[Tuple[int, int]] = None,
 ) -> List[Violation]:
-    """Repeatable-reads pre-check on the IR (mirror of ``check_repeatable_reads``)."""
+    """Repeatable-reads pre-check on the IR (mirror of ``check_repeatable_reads``).
+
+    Per-transaction and independent, so ``tid_range`` chunks compose like
+    :func:`check_read_consistency_compiled`.
+    """
     violations: List[Violation] = []
     op_kind = ch.op_kind
     op_key = ch.op_key
@@ -374,7 +407,8 @@ def check_repeatable_reads_compiled(
     txn_start = ch.txn_start
     committed = ch.txn_committed
     key_names = ch.key_table.values
-    for tid in range(ch.num_transactions):
+    lo_tid, hi_tid = tid_range if tid_range is not None else (0, ch.num_transactions)
+    for tid in range(lo_tid, hi_tid):
         if not committed[tid]:
             continue
         last_writer: Dict[int, int] = {}
@@ -406,9 +440,17 @@ def check_repeatable_reads_compiled(
 
 
 def saturate_ra_compiled(
-    ch: CompiledHistory, relation: CommitRelation, bad_ops: Set[int]
+    ch: CompiledHistory,
+    relation: CommitRelation,
+    bad_ops: Set[int],
+    sessions: Optional[Sequence[int]] = None,
 ) -> None:
-    """Algorithm 2's saturation on the IR (mirror of ``saturate_ra``)."""
+    """Algorithm 2's saturation on the IR (mirror of ``saturate_ra``).
+
+    ``sessions`` restricts the pass to the given dense session indices; the
+    RA frontier (``last_write``) resets per session, so a session-restricted
+    run emits exactly that session's edges of a full run, in order.
+    """
     committed = ch.txn_committed
     key_names = ch.key_table.values
     kw_start = ch._kw_start
@@ -417,7 +459,10 @@ def saturate_ra_compiled(
     labels = relation._labels
     graph_add = relation.graph.add_packed_edge
     inferred = 0
-    for session in ch.sessions:
+    session_lists = (
+        ch.sessions if sessions is None else [ch.sessions[sid] for sid in sessions]
+    )
+    for session in session_lists:
         last_write: Dict[int, int] = {}
         for t3 in session:
             if not committed[t3]:
@@ -637,7 +682,9 @@ def compute_happens_before_compiled(
 ) -> Tuple[Optional[List[Optional[List[int]]]], List[Violation]]:
     """``ComputeHB`` on the IR: one plain-list clock per committed transaction."""
     graph, labels = _causality_graph_compiled(ch, bad_ops)
-    order = topological_sort(graph)
+    # The causality graph is simple by construction (insertion is gated on
+    # the labels dict), so the sort can skip its deduplication pass.
+    order = topological_sort(graph, assume_simple=True)
     if order is None:
         return None, _causality_cycles_compiled(ch, graph, labels)
 
@@ -689,19 +736,23 @@ def compute_happens_before_compiled(
 
 def _writers_by_key_compiled(
     ch: CompiledHistory,
-) -> List[Optional[List[Tuple[int, List[int], List[int], int]]]]:
+) -> Tuple[List[Optional[List[Tuple[int, List[int], List[int], int, int]]]], int]:
     """``Writes_s[x]`` indexed by key id (mirror of ``_writers_by_key_per_session``).
 
-    Each bucket entry is ``(session, writer_tids, writer_session_indices,
-    len(writer_tids))`` -- the length is precomputed for the saturation loop.
+    Returns ``(buckets, num_buckets)``.  Each bucket entry is ``(session,
+    writer_tids, writer_session_indices, len(writer_tids), bucket_id)`` --
+    the length is precomputed for the saturation loop, and ``bucket_id`` is a
+    dense index over all ``(key, session)`` buckets so the saturation's
+    monotone pointers can live in flat arrays instead of dicts.
     """
-    writes: List[Optional[List[Tuple[int, List[int], List[int], int]]]] = [
+    writes: List[Optional[List[Tuple[int, List[int], List[int], int, int]]]] = [
         None
     ] * ch.num_keys
     committed = ch.txn_committed
     txn_session_index = ch.txn_session_index
     kw_start = ch._kw_start
     kw_key = ch._kw_key
+    num_buckets = 0
     for sid, session in enumerate(ch.sessions):
         per_key: Dict[int, List[int]] = {}
         for tid in session:
@@ -715,22 +766,45 @@ def _writers_by_key_compiled(
             if bucket is None:
                 bucket = []
                 writes[key] = bucket
-            bucket.append((sid, tids, indices, len(tids)))
-    return writes
+            bucket.append((sid, tids, indices, len(tids), num_buckets))
+            num_buckets += 1
+    return writes, num_buckets
 
 
 def saturate_cc_compiled(
     ch: CompiledHistory,
     relation: CommitRelation,
-    hb: List[Optional[List[int]]],
+    hb,
     bad_ops: Set[int],
+    sessions: Optional[Sequence[int]] = None,
+    writers_by_key: Optional[Tuple[List, int]] = None,
+    scratch: Optional[Tuple["array", "array", List[int]]] = None,
 ) -> None:
     """CC saturation on the IR (mirror of ``saturate_cc``).
 
-    Per-(session, key) monotone pointers are kept in int-keyed dicts with
-    packed ``(session << EDGE_SHIFT) | key`` keys.
+    The per-(session, key) monotone pointers live in two flat ``array('q')``
+    rows indexed by the dense bucket ids of :func:`_writers_by_key_compiled`
+    -- a C-level indexed read per probe, where a dict of packed
+    ``(ptr << EDGE_SHIFT) | t2`` values would box a fresh big int per
+    pointer advance.  Only the slots a session actually touched are reset
+    between sessions, so sessions with few reads stay cheap.
+
+    ``sessions`` restricts the pass to the given dense session indices (the
+    pointer state resets per session, so restricted runs compose like
+    :func:`saturate_ra_compiled`); ``hb`` only needs to support ``hb[tid]``
+    for the restricted transactions (a dict of clocks works for shard
+    workers).  ``writers_by_key`` injects a precomputed
+    :func:`_writers_by_key_compiled` result -- it depends only on the IR, so
+    shard workers compute it once per process and reuse it across tasks.
+    ``scratch`` injects the ``(ptrs, t2s, touched)`` pointer state to reuse
+    across calls: the arrays must be sized ``num_buckets`` and pristine
+    (zeros / -1 / empty); the function leaves them pristine again on return,
+    so shard workers making one call per session allocate them once instead
+    of re-zeroing ``O(num_buckets)`` memory per session.
     """
-    writers_by_key = _writers_by_key_compiled(ch)
+    if writers_by_key is None:
+        writers_by_key = _writers_by_key_compiled(ch)
+    writers_index, num_buckets = writers_by_key
     committed = ch.txn_committed
     key_names = ch.key_table.values
     xr_start = ch._xr_start
@@ -740,18 +814,25 @@ def saturate_cc_compiled(
     txn_start = ch.txn_start
     # The edge-insertion fast path of CommitRelation.add_inferred, inlined:
     # this loop attempts an edge per (read, writing-session) pair, and the
-    # method hops dominate the whole CC check otherwise.  Per-(session, key)
-    # state packs the monotone pointer and the hb-latest writer into one int
-    # value ((ptr << EDGE_SHIFT) | t2; ptr >= 1 whenever stored), so each
-    # iteration costs a single dict probe.
+    # method hops dominate the whole CC check otherwise.  The monotone
+    # pointer (ptr) and the hb-latest writer (t2) per bucket live in the two
+    # flat rows below; a stored ptr is always >= 1, so ptr == 0 doubles as
+    # the "never touched" marker the reset pass relies on.
     labels = relation._labels
     succ = relation.graph._succ
     inferred = 0
     check_bad = bool(bad_ops)
+    if scratch is None:
+        ptrs = array("q", bytes(8 * num_buckets))
+        t2s = array("q", [-1]) * num_buckets
+        touched: List[int] = []
+    else:
+        ptrs, t2s, touched = scratch
 
-    for session in ch.sessions:
-        states: Dict[int, int] = {}
-        states_get = states.get
+    session_lists = (
+        ch.sessions if sessions is None else [ch.sessions[sid] for sid in sessions]
+    )
+    for session in session_lists:
         for t3 in session:
             if not committed[t3]:
                 continue
@@ -766,30 +847,33 @@ def saturate_cc_compiled(
                 if not committed[t1]:
                     continue
                 key = xr_key[j]
-                key_writers = writers_by_key[key]
+                key_writers = writers_index[key]
                 if not key_writers:
                     continue
-                for other, writer_list, writer_indices, count in key_writers:
-                    state = (other << EDGE_SHIFT) | key
-                    packed = states_get(state)
-                    if packed is None:
-                        ptr = 0
-                        t2 = -1
-                    else:
-                        ptr = packed >> EDGE_SHIFT
-                        t2 = packed & EDGE_MASK
+                for other, writer_list, writer_indices, count, bid in key_writers:
+                    ptr = ptrs[bid]
                     bound = clock[other]
                     if ptr < count and writer_indices[ptr] <= bound:
                         while ptr < count and writer_indices[ptr] <= bound:
                             ptr += 1
                         t2 = writer_list[ptr - 1]
-                        states[state] = (ptr << EDGE_SHIFT) | t2
+                        if not ptrs[bid]:
+                            touched.append(bid)
+                        ptrs[bid] = ptr
+                        t2s[bid] = t2
+                    else:
+                        t2 = t2s[bid]
                     if t2 >= 0 and t2 != t1:
                         edge = (t2 << EDGE_SHIFT) | t1
                         if edge not in labels:
                             labels[edge] = ("co", key_names[key])
                             succ[t2].append(t1)
                             inferred += 1
+        # Pointer state is per-session: clear only the touched slots.
+        for bid in touched:
+            ptrs[bid] = 0
+            t2s[bid] = -1
+        del touched[:]
     relation.num_inferred_edges += inferred
     relation.graph._edge_count += inferred
 

@@ -11,19 +11,49 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
-__all__ = ["DiGraph", "EDGE_SHIFT", "EDGE_MASK", "pack_edge", "unpack_edge"]
+__all__ = [
+    "DiGraph",
+    "EDGE_SHIFT",
+    "EDGE_MASK",
+    "MAX_PACKED_EDGE",
+    "pack_edge",
+    "unpack_edge",
+]
 
 #: Bit layout of a packed edge: ``(source << EDGE_SHIFT) | target``.  One
 #: machine-word int per edge instead of a two-tuple; shared by the packed-edge
 #: mode of :class:`~repro.core.commit.CommitRelation` and the streaming
 #: checker's inferred-edge logs.  32 bits per endpoint caps graphs at ~4.3e9
-#: vertices, far beyond any history the tester can hold in memory.
+#: vertices, far beyond any history the tester can hold in memory -- but the
+#: cap is *enforced*: a vertex id outside ``[0, EDGE_MASK]`` would silently
+#: bleed into the other endpoint's bits (``src << 32 | dst`` collides), so
+#: packing and edge insertion raise ``ValueError`` instead of corrupting.
 EDGE_SHIFT = 32
 EDGE_MASK = (1 << EDGE_SHIFT) - 1
 
+#: Largest value a packed edge can take: both endpoints at ``EDGE_MASK``.
+MAX_PACKED_EDGE = (EDGE_MASK << EDGE_SHIFT) | EDGE_MASK
+
+
+def _check_endpoints(source: int, target: int) -> None:
+    """Reject endpoints that cannot be packed without collision."""
+    raise ValueError(
+        f"node id out of packed-edge range [0, {EDGE_MASK}]: "
+        f"edge {source} -> {target} would corrupt the packed representation"
+    )
+
 
 def pack_edge(source: int, target: int) -> int:
-    """Pack the edge ``source -> target`` into one integer."""
+    """Pack the edge ``source -> target`` into one integer.
+
+    Raises ``ValueError`` when either endpoint falls outside
+    ``[0, EDGE_MASK]`` -- out-of-range ids cannot be represented and would
+    silently collide with other edges.
+    """
+    # A negative endpoint makes the bitwise-or negative, so one shift test
+    # catches both overflow and sign.
+    if (source | target) >> EDGE_SHIFT:
+        _check_endpoints(source, target)
     return (source << EDGE_SHIFT) | target
 
 
@@ -38,6 +68,11 @@ class DiGraph:
     __slots__ = ("_succ", "_edge_count")
 
     def __init__(self, num_vertices: int = 0) -> None:
+        if num_vertices > EDGE_MASK + 1:
+            raise ValueError(
+                f"DiGraph supports at most {EDGE_MASK + 1} vertices "
+                f"(packed-edge ids are {EDGE_SHIFT}-bit); got {num_vertices}"
+            )
         self._succ: List[List[int]] = [[] for _ in range(num_vertices)]
         self._edge_count = 0
 
@@ -53,11 +88,23 @@ class DiGraph:
 
     def add_vertex(self) -> int:
         """Add a fresh vertex and return its id."""
+        if len(self._succ) > EDGE_MASK:
+            raise ValueError(
+                f"DiGraph supports at most {EDGE_MASK + 1} vertices "
+                f"(packed-edge ids are {EDGE_SHIFT}-bit)"
+            )
         self._succ.append([])
         return len(self._succ) - 1
 
     def add_edge(self, source: int, target: int) -> None:
-        """Add the edge ``source -> target`` (parallel edges are allowed)."""
+        """Add the edge ``source -> target`` (parallel edges are allowed).
+
+        Endpoints outside ``[0, EDGE_MASK]`` raise ``ValueError``: such ids
+        cannot round-trip through the packed-edge form used by the commit
+        relation and would silently collide there.
+        """
+        if (source | target) >> EDGE_SHIFT:
+            _check_endpoints(source, target)
         self._succ[source].append(target)
         self._edge_count += 1
 
@@ -67,7 +114,17 @@ class DiGraph:
             self.add_edge(u, v)
 
     def add_packed_edge(self, edge: int) -> None:
-        """Add one packed edge (see :func:`pack_edge`)."""
+        """Add one packed edge (see :func:`pack_edge`).
+
+        A value outside ``[0, MAX_PACKED_EDGE]`` means the *source* endpoint
+        overflowed its 32 bits (a corrupt pack -- target overflow must be
+        caught at pack time) and raises ``ValueError``.
+        """
+        if edge > MAX_PACKED_EDGE or edge < 0:
+            raise ValueError(
+                f"packed edge {edge} out of range: source id exceeds "
+                f"{EDGE_MASK} (see pack_edge)"
+            )
         self._succ[edge >> EDGE_SHIFT].append(edge & EDGE_MASK)
         self._edge_count += 1
 

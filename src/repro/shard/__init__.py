@@ -1,0 +1,48 @@
+"""Sharded parallel checking on the compiled IR.
+
+The package splits the AWDIT checkers' work across N shards:
+
+* :mod:`repro.shard.plan` -- deterministic partitions (sessions and
+  transaction-id chunks) of one history across shards;
+* :mod:`repro.shard.ingest` -- per-shard
+  :class:`~repro.core.compiled.ir.CompiledHistoryBuilder` accumulators fed
+  from the parsers' raw ``stream_ops`` layer, and the intern-table merge
+  that remaps per-shard ids into one global
+  :class:`~repro.core.compiled.ir.CompiledHistory`;
+* :mod:`repro.shard.parallel` -- the parallel check phase itself
+  (:func:`check_sharded`), byte-identical to the single-process compiled
+  engine for every ``jobs`` value.
+
+Entry points: ``check(history, level, engine="sharded", jobs=N)`` and
+``awdit check HISTORY --jobs N``.
+"""
+
+from repro.shard.ingest import (
+    ShardIngestStats,
+    load_compiled_sharded,
+    merge_shard_builders,
+    sharded_ingest,
+)
+from repro.shard.parallel import (
+    MODES,
+    check_all_levels_sharded,
+    check_sharded,
+    default_jobs,
+    will_parallelize,
+)
+from repro.shard.plan import ShardPlan, plan_shards, shard_of_external
+
+__all__ = [
+    "MODES",
+    "ShardIngestStats",
+    "ShardPlan",
+    "check_all_levels_sharded",
+    "check_sharded",
+    "default_jobs",
+    "load_compiled_sharded",
+    "merge_shard_builders",
+    "plan_shards",
+    "shard_of_external",
+    "sharded_ingest",
+    "will_parallelize",
+]

@@ -1,0 +1,151 @@
+"""Sharded ingestion: per-shard builders, intern-table merge, parallel parse.
+
+The raw ``stream_ops`` layer of the history formats yields
+``(session, (label, committed, ops))`` records one at a time.  Sharded
+ingestion routes each record to one of ``jobs``
+:class:`~repro.core.compiled.ir.CompiledHistoryBuilder` accumulators --
+whole sessions stay on one shard (:func:`~repro.shard.plan.shard_of_external`)
+because arrival order within a session must be preserved -- and then merges
+the shards into one global :class:`~repro.core.compiled.ir.CompiledHistory`:
+each shard's private key/value intern ids are remapped through the global
+tables (``CompiledHistoryBuilder.absorb``) and the usual ``finalize`` pass
+resolves the write-read relation over the merged arrays.
+
+Two feeding modes:
+
+* **routed** (default): one streaming parse in this process, records routed
+  to shard builders as they arrive.  One file pass, bounded parser memory.
+* **parallel**: ``jobs`` worker processes each parse the file and keep only
+  their own shard's sessions.  The parse work is replicated but the
+  (dominant) intern/append work is split; workers return pickled shard
+  builders for the same merge.  Requires the ``fork``/``spawn`` capable
+  :mod:`multiprocessing`; falls back to routed mode when unavailable.
+
+Global intern ids are assigned in shard-major first-seen order rather than
+file order, so they may differ from :func:`~repro.histories.formats.load_compiled`'s
+-- verdicts and witnesses are unaffected (the checkers never compare raw
+ids), with the same equality-class caveat as the IR itself: a history mixing
+``1`` and ``True`` as values may render the other representative.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.compiled.ir import CompiledHistory, CompiledHistoryBuilder
+from repro.shard.plan import shard_of_external
+
+__all__ = [
+    "ShardIngestStats",
+    "load_compiled_sharded",
+    "merge_shard_builders",
+    "sharded_ingest",
+]
+
+
+@dataclass
+class ShardIngestStats:
+    """Pre-merge intern-table cardinalities of one ingestion shard."""
+
+    shard: int
+    transactions: int
+    sessions: int
+    keys: int
+    values: int
+
+
+def merge_shard_builders(
+    builders: List[CompiledHistoryBuilder],
+    sort_sessions: bool = True,
+    fill_gaps: bool = False,
+) -> CompiledHistory:
+    """Merge per-shard builders into one finalized :class:`CompiledHistory`.
+
+    Shard 0's builder becomes the global accumulator; the others are absorbed
+    into it in shard order (remapping their intern ids), then the standard
+    ``finalize`` sorts sessions by external id and infers ``wr`` -- identical
+    post-merge behaviour to a single-builder ingest.
+    """
+    if not builders:
+        return CompiledHistoryBuilder().finalize(
+            sort_sessions=sort_sessions, fill_gaps=fill_gaps
+        )
+    master = builders[0]
+    for other in builders[1:]:
+        master.absorb(other)
+    return master.finalize(sort_sessions=sort_sessions, fill_gaps=fill_gaps)
+
+
+def _ingest_shard_from_file(
+    path: str, fmt: Optional[str], jobs: int, shard: int
+) -> CompiledHistoryBuilder:
+    """Parse ``path`` keeping only sessions routed to ``shard`` (worker body)."""
+    from repro.histories.formats import stream_raw_history
+
+    builder = CompiledHistoryBuilder()
+    for sid, (label, committed, ops) in stream_raw_history(path, fmt):
+        if shard_of_external(sid, jobs) == shard:
+            builder.add_transaction(sid, label, committed, ops)
+    return builder
+
+
+def sharded_ingest(
+    path: str,
+    jobs: int,
+    fmt: Optional[str] = None,
+    parallel: bool = False,
+) -> Tuple[CompiledHistory, List[ShardIngestStats]]:
+    """Ingest ``path`` through ``jobs`` shard builders; return IR + shard stats.
+
+    The stats snapshot each shard's pre-merge intern cardinalities (the
+    cross-shard state the merge reconciles); ``awdit stats --jobs N`` prints
+    them.
+    """
+    from repro.histories.formats import _module_for, detect_format, stream_raw_history
+
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    fmt_name = fmt or detect_format(path)
+    module = _module_for(fmt_name, path)
+    fill_gaps = bool(getattr(module, "COMPILED_SESSION_GAPS", False))
+
+    if parallel and jobs > 1 and "fork" in multiprocessing.get_all_start_methods():
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(processes=jobs) as pool:
+            handles = [
+                pool.apply_async(_ingest_shard_from_file, (path, fmt_name, jobs, shard))
+                for shard in range(jobs)
+            ]
+            builders = [handle.get() for handle in handles]
+    else:
+        builders = [CompiledHistoryBuilder() for _ in range(jobs)]
+        for sid, (label, committed, ops) in stream_raw_history(path, fmt_name):
+            builders[shard_of_external(sid, jobs)].add_transaction(
+                sid, label, committed, ops
+            )
+
+    stats = [
+        ShardIngestStats(
+            shard=shard,
+            transactions=builder.num_transactions,
+            sessions=builder.num_sessions,
+            keys=builder.num_keys,
+            values=builder.num_values,
+        )
+        for shard, builder in enumerate(builders)
+    ]
+    compiled = merge_shard_builders(builders, sort_sessions=True, fill_gaps=fill_gaps)
+    return compiled, stats
+
+
+def load_compiled_sharded(
+    path: str,
+    jobs: int,
+    fmt: Optional[str] = None,
+    parallel: bool = False,
+) -> CompiledHistory:
+    """:func:`sharded_ingest` without the stats (drop-in for ``load_compiled``)."""
+    compiled, _stats = sharded_ingest(path, jobs, fmt=fmt, parallel=parallel)
+    return compiled

@@ -1,0 +1,645 @@
+"""The sharded parallel check phase: compiled checkers across worker processes.
+
+``check_sharded`` produces results byte-identical to
+:func:`repro.core.compiled.checkers.check_compiled` -- same verdicts,
+violation kinds, witness renderings, and inferred-edge counts -- while
+running the data-parallel phases of each algorithm on ``jobs`` forked
+workers:
+
+* the **read-consistency pass** and the **repeatable-reads pre-check**
+  shard into contiguous transaction-id chunks;
+* **RC saturation** shards the same way (its state is per-transaction);
+* the **RA frontier** and **CC saturation** shard by session (their state
+  resets at session boundaries), with one final merge pass applying every
+  shard's inferred edges to the packed commit relation in global order.
+
+The sequentially-inherent phases (happens-before clocks, the ``so ∪ wr``
+relation build, Tarjan cycle extraction) stay in the parent -- the relation
+build is overlapped with worker compute where the dependency order allows.
+
+Workers run the *same* loop implementations as the single-process engine
+(the restriction parameters added to :mod:`repro.core.compiled.checkers`),
+each into a private scratch :class:`CommitRelation`; the parent then replays
+each shard's inferred edges in global transaction/session order, so the
+label/adjacency insertion order -- and therefore every witness -- matches a
+sequential run exactly.  Shard-local deduplication is sound because a shard's
+work units are ascending in global order: a duplicate dropped inside a shard
+is always dominated by an earlier same-shard unit that the merge replays
+first.
+
+Workers are forked (POSIX only): the compiled IR is published in a module
+global before the pool is created and reaches workers by copy-on-write, so
+nothing history-sized is ever pickled.  Where ``fork`` is unavailable -- or
+``jobs == 1`` -- every task runs inline in the parent, preserving results
+exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.commit import CommitRelation
+from repro.core.compiled.checkers import (
+    CompiledReadReport,
+    _compiled,
+    _relation_from_compiled,
+    _result,
+    _writers_by_key_compiled,
+    check_all_levels_compiled,
+    check_compiled,
+    check_ra_single_session_compiled,
+    check_read_consistency_compiled,
+    check_repeatable_reads_compiled,
+    compute_happens_before_compiled,
+    saturate_cc_compiled,
+    saturate_ra_compiled,
+    saturate_rc_compiled,
+)
+from repro.core.compiled.ir import CompiledHistory
+from repro.core.isolation import IsolationLevel
+from repro.core.result import CheckResult, Stopwatch
+from repro.core.violations import Violation
+from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT
+from repro.shard.plan import ShardPlan, plan_shards
+
+__all__ = [
+    "check_sharded",
+    "check_all_levels_sharded",
+    "default_jobs",
+    "will_parallelize",
+    "MODES",
+]
+
+#: Execution modes of :func:`check_sharded`.  Results are byte-identical in
+#: every mode; only how the work is scheduled differs.
+#:
+#: * ``"auto"`` -- fork a worker pool when it can actually help (``jobs > 1``,
+#:   the platform has the ``fork`` start method, and more than one CPU is
+#:   available to this process); otherwise fall back to ``"serial"``.
+#:   Forking on a single-CPU machine is pure overhead, so a production
+#:   deployment never pays it by accident.
+#: * ``"fork"`` -- always fork (useful to measure/parity-test the transport
+#:   even on one CPU); falls back to ``"inline"`` where ``fork`` is missing.
+#: * ``"inline"`` -- run the sharded task/merge pipeline in-process, without
+#:   workers.  Exercises the exact shard-merge code path (scratch relations,
+#:   ordered replay) at function-call cost; the parity suite leans on it.
+#: * ``"serial"`` -- delegate to the single-process compiled engine.
+MODES = ("auto", "fork", "inline", "serial")
+
+
+def default_jobs() -> int:
+    """The default worker count: one per CPU available to this process."""
+    return effective_cpus()
+
+
+def effective_cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
+# -- worker-shared state --------------------------------------------------------
+
+#: The compiled history under check.  Set in the parent immediately before
+#: the worker pool is forked (children inherit it copy-on-write) and read by
+#: every task body; in inline mode the tasks read it from the parent directly.
+_SHARED_CH: Optional[CompiledHistory] = None
+
+#: Per-process cache of the ``_writers_by_key_compiled`` result (its
+#: ``(buckets, num_buckets)`` tuple) keyed by IR identity -- it depends only
+#: on the IR, so one computation serves every CC task a worker receives.
+_WRITERS_CACHE: Optional[Tuple[CompiledHistory, Tuple[List, int]]] = None
+
+
+def _shared_ch() -> CompiledHistory:
+    ch = _SHARED_CH
+    if ch is None:  # pragma: no cover - indicates an executor lifecycle bug
+        raise RuntimeError("shard task executed outside a _ShardExecutor scope")
+    return ch
+
+
+def _writers_for(ch: CompiledHistory) -> Tuple[List, int]:
+    global _WRITERS_CACHE
+    if _WRITERS_CACHE is None or _WRITERS_CACHE[0] is not ch:
+        _WRITERS_CACHE = (ch, _writers_by_key_compiled(ch))
+    return _WRITERS_CACHE[1]
+
+
+def _scratch_relation(ch: CompiledHistory) -> CommitRelation:
+    """A throwaway relation for a worker's saturation run.
+
+    Names are only read when rendering witnesses and ``committed`` only by
+    ``linearize`` -- neither happens in a worker -- so placeholders suffice;
+    the graph just needs one adjacency slot per transaction.
+    """
+    return CommitRelation(names=[""] * ch.num_transactions, committed=())
+
+
+# -- task bodies (run in a forked worker, or inline) ----------------------------
+
+
+def _task_read_consistency(
+    chunk: Tuple[int, int],
+) -> Tuple[List[Violation], Set[int]]:
+    report = check_read_consistency_compiled(_shared_ch(), tid_range=chunk)
+    return report.violations, report.bad_ops
+
+
+def _task_repeatable_reads(
+    chunk: Tuple[int, int], bad_ops: Set[int]
+) -> List[Violation]:
+    return check_repeatable_reads_compiled(_shared_ch(), bad_ops, tid_range=chunk)
+
+
+def _extract_co_edges(relation: CommitRelation) -> List[Tuple[int, Optional[str]]]:
+    """The scratch relation's edges as ordered ``(packed_edge, key)`` pairs."""
+    return [(edge, key) for edge, (_reason, key) in relation._labels.items()]
+
+
+def _task_rc_saturation(
+    chunk: Tuple[int, int], bad_ops: Set[int]
+) -> List[Tuple[int, Optional[str]]]:
+    ch = _shared_ch()
+    relation = _scratch_relation(ch)
+    saturate_rc_compiled(ch, relation, bad_ops, tid_range=chunk)
+    return _extract_co_edges(relation)
+
+
+def _task_ra_saturation(
+    sids: Sequence[int], bad_ops: Set[int]
+) -> List[Tuple[int, List[Tuple[int, Optional[str]]]]]:
+    """RA-saturate each of the shard's sessions; edges grouped per session.
+
+    One scratch relation serves all of the shard's sessions (its labels dict
+    is insertion-ordered, so each session's new edges are a suffix slice).
+    """
+    ch = _shared_ch()
+    relation = _scratch_relation(ch)
+    cuts = [0]
+    for sid in sids:
+        saturate_ra_compiled(ch, relation, bad_ops, sessions=(sid,))
+        cuts.append(len(relation._labels))
+    edges = _extract_co_edges(relation)
+    return [
+        (sid, edges[cuts[i] : cuts[i + 1]]) for i, sid in enumerate(sids)
+    ]
+
+
+def _task_cc_saturation(
+    sids: Sequence[int],
+    bad_ops: Set[int],
+    hb_rows: Dict[int, Optional[List[int]]],
+) -> List[Tuple[int, List[Tuple[int, Optional[str]]]]]:
+    """CC-saturate each of the shard's sessions (see :func:`_task_ra_saturation`)."""
+    ch = _shared_ch()
+    writers_by_key = _writers_for(ch)
+    num_buckets = writers_by_key[1]
+    # One pointer-state scratch for the whole task: each per-session call
+    # leaves it pristine, so the O(num_buckets) allocation happens once per
+    # task instead of once per session.
+    scratch = (
+        array("q", bytes(8 * num_buckets)),
+        array("q", [-1]) * num_buckets,
+        [],
+    )
+    relation = _scratch_relation(ch)
+    cuts = [0]
+    for sid in sids:
+        saturate_cc_compiled(
+            ch,
+            relation,
+            hb_rows,
+            bad_ops,
+            sessions=(sid,),
+            writers_by_key=writers_by_key,
+            scratch=scratch,
+        )
+        cuts.append(len(relation._labels))
+    edges = _extract_co_edges(relation)
+    return [
+        (sid, edges[cuts[i] : cuts[i + 1]]) for i, sid in enumerate(sids)
+    ]
+
+
+# -- executor -------------------------------------------------------------------
+
+
+class _Immediate:
+    """An already-computed result with the ``AsyncResult.get`` interface."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value) -> None:
+        self._value = value
+
+    def get(self):
+        return self._value
+
+
+class _ShardExecutor:
+    """Runs shard tasks on a forked pool, or inline when that is unavailable.
+
+    The executor publishes the IR in :data:`_SHARED_CH` *before* forking so
+    workers inherit it by copy-on-write; ``close`` clears it again.  Inline
+    mode (``jobs == 1``, or no ``fork`` start method, e.g. Windows) executes
+    each task eagerly at submit time -- results are identical, only the
+    concurrency is lost.
+    """
+
+    def __init__(self, ch: CompiledHistory, jobs: int, use_pool: bool) -> None:
+        global _SHARED_CH
+        self.jobs = jobs
+        self._pool = None
+        _SHARED_CH = ch
+        if use_pool:
+            context = multiprocessing.get_context("fork")
+            self._pool = context.Pool(processes=jobs)
+
+    @property
+    def parallel(self) -> bool:
+        return self._pool is not None
+
+    def submit(self, fn, *args):
+        if self._pool is None:
+            return _Immediate(fn(*args))
+        return self._pool.apply_async(fn, args)
+
+    def close(self) -> None:
+        global _SHARED_CH, _WRITERS_CACHE
+        _SHARED_CH = None
+        # The inline-mode writers cache lives in this process and would
+        # otherwise pin the whole IR until the next sharded CC check.
+        _WRITERS_CACHE = None
+        if self._pool is not None:
+            # All results have been fetched by the time we get here (or an
+            # exception is unwinding); terminate() skips the drain that
+            # close() would wait for.
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+# -- merges ---------------------------------------------------------------------
+
+
+def _merge_reports(handles) -> CompiledReadReport:
+    """Concatenate chunked read-consistency reports in ascending-chunk order."""
+    violations: List[Violation] = []
+    bad_ops: Set[int] = set()
+    for handle in handles:
+        chunk_violations, chunk_bad = handle.get()
+        violations.extend(chunk_violations)
+        bad_ops.update(chunk_bad)
+    return CompiledReadReport(violations, bad_ops)
+
+
+def _merge_inferred(
+    relation: CommitRelation,
+    edge_lists: Iterable[Iterable[Tuple[int, Optional[str]]]],
+) -> None:
+    """Replay shard-inferred co edges into the global relation, in order.
+
+    The per-edge work of ``CommitRelation.add_inferred_packed`` is inlined,
+    exactly like the sequential saturators do: first label wins, so an edge
+    already explained by ``so``/``wr`` (or by an earlier shard unit) is
+    skipped, and the inferred count reproduces the sequential one.
+    """
+    labels = relation._labels
+    succ = relation.graph._succ
+    inferred = 0
+    for edges in edge_lists:
+        for edge, key in edges:
+            if edge not in labels:
+                labels[edge] = ("co", key)
+                succ[edge >> EDGE_SHIFT].append(edge & EDGE_MASK)
+                inferred += 1
+    relation.num_inferred_edges += inferred
+    relation.graph._edge_count += inferred
+
+
+def _sessions_by_shard(plan: ShardPlan) -> List[List[int]]:
+    """Non-empty per-shard session lists (each ascending, hence merge-safe)."""
+    groups = [plan.sessions_of(shard) for shard in range(plan.jobs)]
+    return [group for group in groups if group]
+
+
+def _merge_session_edges(
+    relation: CommitRelation, handles, num_sessions: int
+) -> None:
+    per_session: Dict[int, List[Tuple[int, Optional[str]]]] = {}
+    for handle in handles:
+        for sid, edges in handle.get():
+            per_session[sid] = edges
+    _merge_inferred(
+        relation, (per_session.get(sid, ()) for sid in range(num_sessions))
+    )
+
+
+# -- per-level drivers ----------------------------------------------------------
+
+
+def _chunked_read_consistency(
+    plan: ShardPlan, executor: _ShardExecutor
+) -> List:
+    """Submit the chunked read-consistency pass; returns the result handles."""
+    return [
+        executor.submit(_task_read_consistency, chunk) for chunk in plan.tid_chunks
+    ]
+
+
+def _check_rc_sharded(
+    ch: CompiledHistory,
+    plan: ShardPlan,
+    executor: _ShardExecutor,
+    max_witnesses: Optional[int],
+    report: Optional[CompiledReadReport] = None,
+) -> CheckResult:
+    watch = Stopwatch()
+    if report is None:
+        pending = _chunked_read_consistency(plan, executor)
+        relation = _relation_from_compiled(ch)  # overlapped with the workers
+        report = _merge_reports(pending)
+    else:
+        relation = _relation_from_compiled(ch)
+    watch.lap("read_consistency")
+
+    pending = [
+        executor.submit(_task_rc_saturation, chunk, report.bad_ops)
+        for chunk in plan.tid_chunks
+    ]
+    _merge_inferred(relation, (handle.get() for handle in pending))
+    watch.lap("saturation")
+
+    violations = list(report.violations)
+    violations.extend(relation.find_cycles(max_witnesses=max_witnesses))
+    watch.lap("cycle_check")
+    return _result(
+        ch,
+        IsolationLevel.READ_COMMITTED,
+        violations,
+        "awdit",
+        watch,
+        stats={
+            "inferred_edges": relation.num_inferred_edges,
+            "co_edges": relation.num_edges,
+            "jobs": executor.jobs,
+        },
+    )
+
+
+def _check_ra_sharded(
+    ch: CompiledHistory,
+    plan: ShardPlan,
+    executor: _ShardExecutor,
+    max_witnesses: Optional[int],
+    report: Optional[CompiledReadReport] = None,
+) -> CheckResult:
+    watch = Stopwatch()
+    if report is None:
+        pending = _chunked_read_consistency(plan, executor)
+        relation = _relation_from_compiled(ch)  # overlapped with the workers
+        report = _merge_reports(pending)
+    else:
+        relation = _relation_from_compiled(ch)
+    watch.lap("read_consistency")
+
+    violations = list(report.violations)
+    pending = [
+        executor.submit(_task_repeatable_reads, chunk, report.bad_ops)
+        for chunk in plan.tid_chunks
+    ]
+    for handle in pending:
+        violations.extend(handle.get())
+    watch.lap("repeatable_reads")
+
+    pending = [
+        executor.submit(_task_ra_saturation, sids, report.bad_ops)
+        for sids in _sessions_by_shard(plan)
+    ]
+    _merge_session_edges(relation, pending, ch.num_sessions)
+    watch.lap("saturation")
+
+    violations.extend(relation.find_cycles(max_witnesses=max_witnesses))
+    watch.lap("cycle_check")
+    return _result(
+        ch,
+        IsolationLevel.READ_ATOMIC,
+        violations,
+        "awdit",
+        watch,
+        stats={
+            "inferred_edges": relation.num_inferred_edges,
+            "co_edges": relation.num_edges,
+            "jobs": executor.jobs,
+        },
+    )
+
+
+def _check_cc_sharded(
+    ch: CompiledHistory,
+    plan: ShardPlan,
+    executor: _ShardExecutor,
+    max_witnesses: Optional[int],
+    report: Optional[CompiledReadReport] = None,
+) -> CheckResult:
+    watch = Stopwatch()
+    if report is None:
+        report = _merge_reports(_chunked_read_consistency(plan, executor))
+    watch.lap("read_consistency")
+
+    violations = list(report.violations)
+    hb, cycle_violations = compute_happens_before_compiled(ch, report.bad_ops)
+    watch.lap("happens_before")
+    if hb is None:
+        violations.extend(cycle_violations)
+        return _result(
+            ch,
+            IsolationLevel.CAUSAL_CONSISTENCY,
+            violations,
+            "awdit",
+            watch,
+            stats={"jobs": executor.jobs},
+        )
+
+    pending = []
+    for sids in _sessions_by_shard(plan):
+        # Each shard only dereferences the clocks of its own sessions'
+        # transactions, so ship just those rows (the IR itself travels by
+        # fork, but hb is computed after the fork).
+        hb_rows = {tid: hb[tid] for sid in sids for tid in ch.sessions[sid]}
+        pending.append(
+            executor.submit(_task_cc_saturation, sids, report.bad_ops, hb_rows)
+        )
+    relation = _relation_from_compiled(ch)  # overlapped with the workers
+    _merge_session_edges(relation, pending, ch.num_sessions)
+    watch.lap("saturation")
+
+    violations.extend(relation.find_cycles(max_witnesses=max_witnesses))
+    watch.lap("cycle_check")
+    return _result(
+        ch,
+        IsolationLevel.CAUSAL_CONSISTENCY,
+        violations,
+        "awdit",
+        watch,
+        stats={
+            "inferred_edges": relation.num_inferred_edges,
+            "co_edges": relation.num_edges,
+            "jobs": executor.jobs,
+        },
+    )
+
+
+# -- public API -----------------------------------------------------------------
+
+
+def _resolve_execution(jobs: int, mode: str) -> Tuple[bool, bool]:
+    """Resolve ``(use_pool, tasked)`` for a ``jobs``/``mode`` combination.
+
+    ``tasked`` selects the shard task/merge pipeline at all; ``use_pool``
+    additionally forks workers for it.  See :data:`MODES`.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+    fork_available = "fork" in multiprocessing.get_all_start_methods()
+    if mode == "fork":
+        return jobs > 1 and fork_available, jobs > 1
+    if mode == "inline":
+        return False, True
+    if mode == "serial":
+        return False, False
+    use_pool = jobs > 1 and fork_available and effective_cpus() > 1
+    return use_pool, use_pool
+
+
+def will_parallelize(jobs: Optional[int] = None, mode: str = "auto") -> bool:
+    """Whether :func:`check_sharded` would actually fork workers.
+
+    Callers can skip shard-specific preparation (e.g. sharded file ingest)
+    when the execution will fall back to the single-process engine anyway --
+    the CLI uses this so ``--jobs`` never pays merge overhead on a machine
+    where forking cannot help.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    use_pool, _tasked = _resolve_execution(jobs, mode)
+    return use_pool
+
+
+def check_sharded(
+    source,
+    level: IsolationLevel = IsolationLevel.CAUSAL_CONSISTENCY,
+    jobs: Optional[int] = None,
+    max_witnesses: Optional[int] = None,
+    use_single_session_fast_path: bool = True,
+    session_shard: Optional[Sequence[int]] = None,
+    mode: str = "auto",
+) -> CheckResult:
+    """Check a history against ``level`` with ``jobs``-way sharded parallelism.
+
+    Accepts a :class:`~repro.core.model.History` or a
+    :class:`CompiledHistory` (compiling the former single-threaded, like the
+    compiled engine).  Results are byte-identical to
+    ``check_compiled(source, level)`` for every ``jobs`` value, every
+    ``mode`` (see :data:`MODES`), and every session assignment;
+    ``session_shard`` overrides the round-robin assignment (exercised by the
+    parity tests).  ``jobs=None`` uses one worker per available CPU.
+
+    The single-session RA fast path (Theorem 1.6) is inherently sequential
+    and already linear; it is delegated unchanged.
+    """
+    ch = _compiled(source)
+    if jobs is None:
+        jobs = default_jobs()
+    use_pool, tasked = _resolve_execution(jobs, mode)
+    if (
+        level is IsolationLevel.READ_ATOMIC
+        and use_single_session_fast_path
+        and ch.num_sessions <= 1
+    ):
+        return check_ra_single_session_compiled(ch, max_witnesses=max_witnesses)
+
+    if not tasked:
+        # One effective worker: the sharded pipeline would only add
+        # scratch/replay overhead, so run the identical sequential loops
+        # directly (this IS the single-process engine).
+        result = check_compiled(
+            ch,
+            level,
+            max_witnesses=max_witnesses,
+            use_single_session_fast_path=use_single_session_fast_path,
+        )
+        result.stats["jobs"] = 1
+        return result
+
+    plan = plan_shards(ch.num_sessions, ch.num_transactions, jobs, session_shard)
+    executor = _ShardExecutor(ch, jobs, use_pool)
+    try:
+        if level is IsolationLevel.READ_COMMITTED:
+            return _check_rc_sharded(ch, plan, executor, max_witnesses)
+        if level is IsolationLevel.READ_ATOMIC:
+            return _check_ra_sharded(ch, plan, executor, max_witnesses)
+        if level is IsolationLevel.CAUSAL_CONSISTENCY:
+            return _check_cc_sharded(ch, plan, executor, max_witnesses)
+        raise ValueError(f"unsupported isolation level: {level!r}")
+    finally:
+        executor.close()
+
+
+def check_all_levels_sharded(
+    source,
+    jobs: Optional[int] = None,
+    max_witnesses: Optional[int] = None,
+    use_single_session_fast_path: bool = True,
+    mode: str = "auto",
+) -> Dict[IsolationLevel, CheckResult]:
+    """Check RC, RA, and CC with the sharded engine.
+
+    Mirrors ``check_all_levels_compiled``'s sharing: the history is compiled
+    once, one chunked Read Consistency pass serves all three levels, and a
+    single worker pool is forked for the whole run.
+    """
+    ch = _compiled(source)
+    if jobs is None:
+        jobs = default_jobs()
+    use_pool, tasked = _resolve_execution(jobs, mode)
+    if not tasked:
+        results = check_all_levels_compiled(
+            ch,
+            max_witnesses=max_witnesses,
+            use_single_session_fast_path=use_single_session_fast_path,
+        )
+        for result in results.values():
+            result.stats["jobs"] = 1
+        return results
+
+    plan = plan_shards(ch.num_sessions, ch.num_transactions, jobs, None)
+    executor = _ShardExecutor(ch, jobs, use_pool)
+    try:
+        report = _merge_reports(_chunked_read_consistency(plan, executor))
+        if use_single_session_fast_path and ch.num_sessions <= 1:
+            ra = check_ra_single_session_compiled(
+                ch, max_witnesses=max_witnesses, report=report
+            )
+        else:
+            ra = _check_ra_sharded(ch, plan, executor, max_witnesses, report=report)
+        return {
+            IsolationLevel.READ_COMMITTED: _check_rc_sharded(
+                ch, plan, executor, max_witnesses, report=report
+            ),
+            IsolationLevel.READ_ATOMIC: ra,
+            IsolationLevel.CAUSAL_CONSISTENCY: _check_cc_sharded(
+                ch, plan, executor, max_witnesses, report=report
+            ),
+        }
+    finally:
+        executor.close()

@@ -1,0 +1,115 @@
+"""Shard planning: deterministic partitions of a history across N shards.
+
+The sharded engine (:mod:`repro.shard.parallel`) splits the checkers' work
+along the two independence axes the algorithms already have:
+
+* the **per-transaction** passes (read consistency, repeatable reads, RC
+  saturation) carry no cross-transaction state, so they shard into
+  contiguous transaction-id chunks;
+* the **per-session** passes (the RA frontier, CC saturation) reset their
+  state at session boundaries, so they shard by dense session index.
+
+A :class:`ShardPlan` records both partitions.  The partition never affects
+results -- the merge step re-applies every shard's output in global
+transaction/session order -- so the assignment only matters for load
+balance.  The default assignment is round-robin; tests exercise randomized
+assignments to prove the independence claim.
+
+Ingestion sharding (:mod:`repro.shard.ingest`) partitions *external* session
+ids before any dense numbering exists; :func:`shard_of_external` is the
+stable hash it uses, deterministic across processes (unlike ``hash()`` on
+strings, which is salted per interpreter).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ShardPlan", "plan_shards", "shard_of_external"]
+
+
+def shard_of_external(external_session_id: object, jobs: int) -> int:
+    """Deterministically map an external session id to a shard in ``[0, jobs)``.
+
+    Uses CRC-32 of the id's ``repr`` so parallel ingestion workers in
+    separate processes agree on the routing without coordination.
+    """
+    return zlib.crc32(repr(external_session_id).encode("utf-8")) % jobs
+
+
+class ShardPlan:
+    """A partition of one history's checking work across ``jobs`` shards."""
+
+    __slots__ = ("jobs", "session_shard", "tid_chunks")
+
+    def __init__(
+        self,
+        jobs: int,
+        session_shard: Sequence[int],
+        num_transactions: int,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        for sid, shard in enumerate(session_shard):
+            if not (0 <= shard < jobs):
+                raise ValueError(
+                    f"session {sid} assigned to shard {shard}, "
+                    f"outside [0, {jobs})"
+                )
+        self.jobs = jobs
+        #: Dense session index -> shard index.
+        self.session_shard: List[int] = list(session_shard)
+        #: Contiguous ``[lo, hi)`` transaction-id ranges, one per shard (some
+        #: may be empty on small histories).
+        self.tid_chunks: List[Tuple[int, int]] = _even_chunks(num_transactions, jobs)
+
+    def sessions_of(self, shard: int) -> List[int]:
+        """The dense session indices assigned to ``shard``, in global order."""
+        return [sid for sid, s in enumerate(self.session_shard) if s == shard]
+
+    @property
+    def num_sessions(self) -> int:
+        return len(self.session_shard)
+
+    def describe(self) -> str:
+        sizes = [len(self.sessions_of(s)) for s in range(self.jobs)]
+        return f"ShardPlan(jobs={self.jobs}, sessions_per_shard={sizes})"
+
+    def __repr__(self) -> str:
+        return f"<{self.describe()}>"
+
+
+def _even_chunks(total: int, jobs: int) -> List[Tuple[int, int]]:
+    """Split ``range(total)`` into ``jobs`` contiguous near-even ranges."""
+    base, extra = divmod(total, jobs)
+    chunks: List[Tuple[int, int]] = []
+    lo = 0
+    for shard in range(jobs):
+        hi = lo + base + (1 if shard < extra else 0)
+        chunks.append((lo, hi))
+        lo = hi
+    return chunks
+
+
+def plan_shards(
+    num_sessions: int,
+    num_transactions: int,
+    jobs: int,
+    session_shard: Optional[Sequence[int]] = None,
+) -> ShardPlan:
+    """Build a :class:`ShardPlan` for a history of the given dimensions.
+
+    ``session_shard`` overrides the default round-robin session assignment
+    (used by the parity tests to prove assignment-independence).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if session_shard is None:
+        session_shard = [sid % jobs for sid in range(num_sessions)]
+    elif len(session_shard) != num_sessions:
+        raise ValueError(
+            f"session_shard has {len(session_shard)} entries "
+            f"for {num_sessions} sessions"
+        )
+    return ShardPlan(jobs, session_shard, num_transactions)

@@ -52,13 +52,65 @@ class TestCheckCommand:
         save_history(fig_4d(), str(path))
         assert main(["check", str(path), "-i", "read atomic"]) == 0
 
-    @pytest.mark.parametrize("engine", ["auto", "compiled", "object"])
+    @pytest.mark.parametrize("engine", ["auto", "compiled", "sharded", "object"])
     def test_engines_agree_on_verdict_and_witnesses(self, tmp_path, capsys, engine):
         path = tmp_path / "bad.json"
         save_history(fig_4a(), str(path))
         assert main(["check", str(path), "-i", "rc", "--engine", engine]) == 1
         out = capsys.readouterr().out
         assert "VIOLATION" in out and "cycle" in out
+
+    @pytest.mark.parametrize("jobs", ["1", "2", "4"])
+    def test_jobs_flag_checks_sharded(self, tmp_path, capsys, jobs):
+        path = tmp_path / "bad.json"
+        save_history(fig_4a(), str(path))
+        assert main(["check", str(path), "-i", "rc", "--jobs", jobs]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out and "cycle" in out
+
+
+class TestCheckFlagConflicts:
+    """Conflicting flag combinations exit 2 instead of silently falling back.
+
+    Regression: ``--stream --engine compiled`` used to stream anyway
+    (ignoring the engine), and ``--checker plume --engine ...`` ignored the
+    engine entirely.
+    """
+
+    @pytest.fixture()
+    def history_path(self, tmp_path):
+        path = tmp_path / "h.json"
+        save_history(fig_4d(), str(path))
+        return str(path)
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--stream", "--engine", "compiled"],
+            ["--stream", "--engine", "object"],
+            ["--stream", "--engine", "sharded"],
+            ["--stream", "--jobs", "2"],
+            ["--checker", "plume", "--engine", "compiled"],
+            ["--checker", "plume", "--engine", "object"],
+            ["--checker", "plume", "--jobs", "2"],
+            ["--engine", "object", "--jobs", "2"],
+            ["--engine", "compiled", "--jobs", "2"],
+            ["--jobs", "0"],
+        ],
+        ids=lambda flags: " ".join(flags),
+    )
+    def test_conflicting_flags_exit_two(self, history_path, capsys, flags):
+        assert main(["check", history_path, "-i", "cc"] + flags) == 2
+        err = capsys.readouterr().err
+        assert "awdit: error:" in err or "--stream" in err
+
+    def test_stream_with_default_engine_still_works(self, history_path, capsys):
+        assert main(["check", history_path, "-i", "cc", "--stream"]) == 0
+        assert "CONSISTENT" in capsys.readouterr().out
+
+    def test_stream_with_baseline_checker_still_rejected(self, history_path, capsys):
+        assert main(["check", history_path, "--stream", "--checker", "plume"]) == 2
+        assert "awdit" in capsys.readouterr().err.lower()
 
 
 class TestGenerateCommand:
@@ -136,3 +188,20 @@ class TestConvertAndStats:
         assert "interned values        : 2" in output
         assert "interned sessions      : 2" in output
         assert "compiled footprint" in output and "KiB" in output
+
+    def test_stats_jobs_reports_shard_merge_cardinalities(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        save_history(fig_4a(), str(path))
+        assert main(["stats", str(path), "--jobs", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "shard merge (2 shards):" in output
+        assert "shard 0:" in output and "shard 1:" in output
+        assert "merged : keys=1 values=2 sessions=2" in output
+        # The single-shard summary lines are unchanged.
+        assert "distinct keys          : 1" in output
+
+    def test_stats_invalid_jobs_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        save_history(fig_4a(), str(path))
+        assert main(["stats", str(path), "--jobs", "0"]) == 2
+        assert "awdit: error:" in capsys.readouterr().err

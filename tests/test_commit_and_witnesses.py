@@ -13,7 +13,7 @@ from repro.core.witnesses import (
     shortest_cycle_through,
     summarize,
 )
-from repro.graph.digraph import DiGraph
+from repro.graph.digraph import EDGE_SHIFT, MAX_PACKED_EDGE, DiGraph
 
 from helpers import fig_1a, fig_4a
 
@@ -89,6 +89,24 @@ class TestCommitRelation:
         relation = CommitRelation(history)
         relation.add_inferred(1, 0, key="x")
         assert len(relation.find_cycles(max_witnesses=1)) == 1
+
+    def test_add_inferred_rejects_overflowing_transaction_ids(self):
+        # Regression: a tid >= 2**32 used to silently corrupt the packed
+        # edge (src << 32 | dst collides) instead of raising.
+        relation = CommitRelation(simple_history())
+        with pytest.raises(ValueError, match="packed-edge range"):
+            relation.add_inferred(1 << EDGE_SHIFT, 0, key="x")
+        with pytest.raises(ValueError, match="packed-edge range"):
+            relation.add_inferred(0, 1 << EDGE_SHIFT, key="x")
+        assert relation.num_inferred_edges == 0
+
+    def test_add_inferred_packed_rejects_out_of_range_edges(self):
+        relation = CommitRelation(simple_history())
+        with pytest.raises(ValueError, match="out of range"):
+            relation.add_inferred_packed(MAX_PACKED_EDGE + 1)
+        with pytest.raises(ValueError, match="out of range"):
+            relation.add_inferred_packed(-1)
+        assert relation.num_inferred_edges == 0
 
 
 def so_and_wr_history():

@@ -9,7 +9,14 @@ from repro.graph.cycles import (
     strongly_connected_components,
     topological_sort,
 )
-from repro.graph.digraph import DiGraph
+from repro.graph.digraph import (
+    EDGE_MASK,
+    EDGE_SHIFT,
+    MAX_PACKED_EDGE,
+    DiGraph,
+    pack_edge,
+    unpack_edge,
+)
 
 
 def chain(n):
@@ -147,3 +154,52 @@ class TestCycleExtraction:
         cycle = find_cycle_in_component(graph, [0, 1, 2])
         assert set(cycle) <= {0, 1, 2}
         assert len(cycle) == 3
+
+
+class TestPackedEdgeOverflow:
+    """Node ids beyond the 32-bit endpoint limit must fail loudly.
+
+    Regression: ``src << 32 | dst`` silently collides for ids >= 2**32 (and
+    for negative ids); nothing enforced the cap before, so an oversized id
+    corrupted the packed edge instead of raising.
+    """
+
+    def test_pack_edge_round_trips_at_the_limit(self):
+        edge = pack_edge(EDGE_MASK, EDGE_MASK)
+        assert edge == MAX_PACKED_EDGE
+        assert unpack_edge(edge) == (EDGE_MASK, EDGE_MASK)
+
+    @pytest.mark.parametrize(
+        "source,target",
+        [(EDGE_MASK + 1, 0), (0, EDGE_MASK + 1), (-1, 0), (0, -1)],
+    )
+    def test_pack_edge_rejects_out_of_range_endpoints(self, source, target):
+        with pytest.raises(ValueError, match="packed-edge range"):
+            pack_edge(source, target)
+
+    def test_silent_collision_is_now_impossible(self):
+        # Before the guard, these two distinct edges packed identically.
+        collider = pack_edge(1, 0)
+        with pytest.raises(ValueError):
+            pack_edge(0, 1 << EDGE_SHIFT)
+        assert unpack_edge(collider) == (1, 0)
+
+    def test_add_edge_rejects_out_of_range_target(self):
+        graph = DiGraph(2)
+        with pytest.raises(ValueError, match="packed-edge range"):
+            graph.add_edge(0, EDGE_MASK + 1)
+        with pytest.raises(ValueError):
+            graph.add_edge(-1, 1)
+        assert graph.num_edges == 0
+
+    def test_add_packed_edge_rejects_overflowed_source(self):
+        graph = DiGraph(2)
+        with pytest.raises(ValueError, match="out of range"):
+            graph.add_packed_edge(MAX_PACKED_EDGE + 1)
+        with pytest.raises(ValueError):
+            graph.add_packed_edge(-1)
+        assert graph.num_edges == 0
+
+    def test_constructor_caps_vertex_count(self):
+        with pytest.raises(ValueError, match="at most"):
+            DiGraph(EDGE_MASK + 2)

@@ -1,0 +1,387 @@
+"""Tests for the sharded parallel checking engine (``repro.shard``).
+
+The central contract mirrors the compiled engine's: for every ``jobs``
+value, every execution mode, and every session-to-shard assignment, the
+sharded engine is *byte-identical* to the single-process compiled engine --
+same verdicts, violation kinds, witness renderings, and inferred-edge
+counts -- including on histories with injected anomalies.  Hypothesis
+enforces it below with randomized shard assignments.
+
+The hypothesis bulk runs in ``mode="inline"`` (the full shard/merge
+pipeline at function-call cost); a smaller explicit matrix runs
+``mode="fork"`` to cover the process transport (fork, pickling, result
+collection) itself.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import IsolationLevel, check, check_all_levels
+from repro.core.compiled import CompiledHistoryBuilder, compile_history
+from repro.histories.formats import load_compiled, save_history
+from repro.histories.generator import (
+    INJECTABLE_ANOMALIES,
+    RandomHistoryConfig,
+    generate_random_history,
+    inject_anomaly,
+)
+from repro.shard import (
+    check_sharded,
+    load_compiled_sharded,
+    merge_shard_builders,
+    plan_shards,
+    shard_of_external,
+    sharded_ingest,
+)
+
+LEVELS = list(IsolationLevel)
+JOBS = (1, 2, 4)
+
+history_configs = st.builds(
+    RandomHistoryConfig,
+    num_sessions=st.integers(1, 6),
+    num_transactions=st.integers(0, 30),
+    num_keys=st.integers(1, 6),
+    min_ops_per_txn=st.just(1),
+    max_ops_per_txn=st.integers(1, 6),
+    read_fraction=st.floats(0.2, 0.8),
+    abort_probability=st.sampled_from([0.0, 0.15]),
+    mode=st.sampled_from(["serializable", "random_reads"]),
+    seed=st.integers(0, 10_000),
+)
+
+
+def assert_sharded_identical(ch, level, jobs, session_shard=None, mode="inline"):
+    """Sharded output is byte-identical to the compiled engine's."""
+    compiled = check(ch, level, engine="compiled")
+    sharded = check_sharded(
+        ch, level, jobs=jobs, session_shard=session_shard, mode=mode
+    )
+    assert sharded.is_consistent == compiled.is_consistent, (level, jobs)
+    assert [v.kind for v in sharded.violations] == [
+        v.kind for v in compiled.violations
+    ], (level, jobs)
+    assert [v.describe() for v in sharded.violations] == [
+        v.describe() for v in compiled.violations
+    ], (level, jobs)
+    assert sharded.checker == compiled.checker, (level, jobs)
+    assert sharded.stats.get("inferred_edges") == compiled.stats.get(
+        "inferred_edges"
+    ), (level, jobs)
+    assert sharded.stats.get("co_edges") == compiled.stats.get("co_edges"), (
+        level,
+        jobs,
+    )
+    return sharded
+
+
+class TestShardPlan:
+    def test_round_robin_default(self):
+        plan = plan_shards(num_sessions=5, num_transactions=10, jobs=2)
+        assert plan.session_shard == [0, 1, 0, 1, 0]
+        assert plan.sessions_of(0) == [0, 2, 4]
+        assert plan.sessions_of(1) == [1, 3]
+
+    def test_tid_chunks_cover_range_contiguously(self):
+        plan = plan_shards(num_sessions=3, num_transactions=11, jobs=4)
+        assert plan.tid_chunks[0][0] == 0
+        assert plan.tid_chunks[-1][1] == 11
+        for (_lo, hi), (lo2, _hi2) in zip(plan.tid_chunks, plan.tid_chunks[1:]):
+            assert hi == lo2
+        assert sum(hi - lo for lo, hi in plan.tid_chunks) == 11
+
+    def test_explicit_assignment_validated(self):
+        with pytest.raises(ValueError):
+            plan_shards(2, 4, jobs=2, session_shard=[0, 5])
+        with pytest.raises(ValueError):
+            plan_shards(2, 4, jobs=2, session_shard=[0])
+        with pytest.raises(ValueError):
+            plan_shards(2, 4, jobs=0)
+
+    def test_external_shard_hash_is_stable_and_in_range(self):
+        for sid in (0, 1, 17, "client-3", ("node", 2)):
+            shard = shard_of_external(sid, 4)
+            assert 0 <= shard < 4
+            assert shard == shard_of_external(sid, 4)
+
+
+class TestBuilderAbsorb:
+    def test_absorb_remaps_intern_ids(self):
+        a = CompiledHistoryBuilder()
+        a.add_transaction(0, "a0", True, [(True, "x", 1), (True, "y", 2)])
+        b = CompiledHistoryBuilder()
+        # Interns y before x: ids differ per shard and must be remapped.
+        b.add_transaction(1, "b0", True, [(True, "y", 3), (False, "x", 1)])
+        a.absorb(b)
+        ch = a.finalize()
+        assert ch.num_sessions == 2
+        assert ch.num_keys == 2
+        # The read of x=1 resolves to session 0's write across the merge.
+        read_index = next(
+            i for i in range(ch.num_operations) if not ch.op_kind[i]
+        )
+        assert ch.op_wr[read_index] >= 0
+        assert ch.key_table.values[ch.op_key[read_index]] == "x"
+
+    def test_absorb_appends_to_existing_session(self):
+        a = CompiledHistoryBuilder()
+        a.add_transaction(0, "first", True, [(True, "x", 1)])
+        b = CompiledHistoryBuilder()
+        b.add_transaction(0, "second", True, [(True, "x", 2)])
+        a.absorb(b)
+        ch = a.finalize()
+        assert ch.num_sessions == 1
+        assert ch.sessions == [[0, 1]]
+        assert ch.labels == {0: "first", 1: "second"}
+
+    def test_merge_of_no_builders_yields_empty_history(self):
+        ch = merge_shard_builders([])
+        assert ch.num_transactions == 0
+        assert ch.num_sessions == 0
+
+
+class TestShardedIngest:
+    @pytest.mark.parametrize(
+        "fmt,ext",
+        [("native", ".json"), ("plume", ".plume"), ("dbcop", ".dbcop"), ("cobra", ".cobra")],
+    )
+    def test_sharded_ingest_matches_load_compiled(self, tmp_path, fmt, ext):
+        history = generate_random_history(
+            RandomHistoryConfig(
+                num_sessions=5, num_transactions=40, num_keys=5, seed=13,
+                abort_probability=0.1, mode="random_reads",
+            )
+        )
+        path = tmp_path / f"h{ext}"
+        save_history(history, str(path), fmt=fmt)
+        single = load_compiled(str(path), fmt=fmt)
+        for jobs in JOBS:
+            sharded = load_compiled_sharded(str(path), jobs, fmt=fmt)
+            assert sharded.num_transactions == single.num_transactions
+            assert sharded.num_sessions == single.num_sessions
+            assert sharded.num_keys == single.num_keys
+            assert sharded.num_values == single.num_values
+            # Dense renumbering is identical after the sorted merge.
+            assert sharded.sessions == single.sessions
+            assert list(sharded.txn_start) == list(single.txn_start)
+            for level in LEVELS:
+                a = check(sharded, level)
+                b = check(single, level)
+                assert a.is_consistent == b.is_consistent
+                assert [v.describe() for v in a.violations] == [
+                    v.describe() for v in b.violations
+                ]
+
+    def test_parallel_ingest_matches_routed_ingest(self, tmp_path):
+        history = generate_random_history(
+            RandomHistoryConfig(num_sessions=6, num_transactions=60, seed=5)
+        )
+        path = tmp_path / "h.plume"
+        save_history(history, str(path), fmt="plume")
+        routed = load_compiled_sharded(str(path), 3, fmt="plume")
+        forked = load_compiled_sharded(str(path), 3, fmt="plume", parallel=True)
+        assert list(forked.op_key) == list(routed.op_key)
+        assert list(forked.op_wr) == list(routed.op_wr)
+        assert forked.sessions == routed.sessions
+        assert forked.key_table.values == routed.key_table.values
+
+    def test_ingest_stats_report_premerge_cardinalities(self, tmp_path):
+        history = generate_random_history(
+            RandomHistoryConfig(num_sessions=4, num_transactions=30, seed=2)
+        )
+        path = tmp_path / "h.json"
+        save_history(history, str(path))
+        compiled, stats = sharded_ingest(str(path), 2, fmt="native")
+        assert len(stats) == 2
+        assert sum(s.transactions for s in stats) == compiled.num_transactions
+        assert sum(s.sessions for s in stats) == compiled.num_sessions
+        # Shards intern independently, so per-shard keys sum to >= merged.
+        assert sum(s.keys for s in stats) >= compiled.num_keys
+
+    def test_jobs_validation(self, tmp_path):
+        history = generate_random_history(
+            RandomHistoryConfig(num_sessions=2, num_transactions=5, seed=1)
+        )
+        path = tmp_path / "h.json"
+        save_history(history, str(path))
+        with pytest.raises(ValueError):
+            sharded_ingest(str(path), 0)
+
+
+class TestDispatch:
+    def test_check_engine_sharded(self):
+        history = generate_random_history(
+            RandomHistoryConfig(num_sessions=3, num_transactions=20, seed=4)
+        )
+        compiled = check(history, IsolationLevel.CAUSAL_CONSISTENCY)
+        sharded = check(
+            history, IsolationLevel.CAUSAL_CONSISTENCY, engine="sharded", jobs=2
+        )
+        assert sharded.is_consistent == compiled.is_consistent
+        assert [v.describe() for v in sharded.violations] == [
+            v.describe() for v in compiled.violations
+        ]
+
+    def test_jobs_implies_sharded_engine(self):
+        history = generate_random_history(
+            RandomHistoryConfig(num_sessions=3, num_transactions=20, seed=4)
+        )
+        result = check(history, IsolationLevel.READ_COMMITTED, jobs=2)
+        assert "jobs" in result.stats
+
+    def test_jobs_rejected_for_single_process_engines(self):
+        history = generate_random_history(
+            RandomHistoryConfig(num_sessions=2, num_transactions=5, seed=1)
+        )
+        with pytest.raises(ValueError, match="sharded"):
+            check(history, engine="compiled", jobs=2)
+        with pytest.raises(ValueError, match="sharded"):
+            check(history, engine="object", jobs=2)
+        with pytest.raises(ValueError, match="sharded"):
+            check_all_levels(history, engine="object", jobs=2)
+
+    def test_invalid_jobs_and_mode_rejected(self):
+        history = generate_random_history(
+            RandomHistoryConfig(num_sessions=2, num_transactions=5, seed=1)
+        )
+        ch = compile_history(history)
+        with pytest.raises(ValueError):
+            check_sharded(ch, jobs=0)
+        with pytest.raises(ValueError):
+            check_sharded(ch, jobs=2, mode="warp")
+
+    def test_check_all_levels_sharded(self):
+        history = generate_random_history(
+            RandomHistoryConfig(num_sessions=3, num_transactions=25, seed=9)
+        )
+        sharded = check_all_levels(history, engine="sharded", jobs=2)
+        compiled = check_all_levels(history, engine="compiled")
+        for level in LEVELS:
+            assert sharded[level].is_consistent == compiled[level].is_consistent
+            assert [v.describe() for v in sharded[level].violations] == [
+                v.describe() for v in compiled[level].violations
+            ]
+
+    def test_inline_check_releases_worker_caches(self):
+        from repro.shard import parallel
+
+        history = generate_random_history(
+            RandomHistoryConfig(num_sessions=3, num_transactions=20, seed=6)
+        )
+        ch = compile_history(history)
+        check_sharded(ch, IsolationLevel.CAUSAL_CONSISTENCY, jobs=2, mode="inline")
+        # The per-process writers cache (and the shared IR global) must not
+        # pin the history after the check returns.
+        assert parallel._WRITERS_CACHE is None
+        assert parallel._SHARED_CH is None
+
+    def test_will_parallelize_modes(self):
+        from repro.shard import will_parallelize
+
+        assert will_parallelize(1) is False
+        assert will_parallelize(2, mode="serial") is False
+        assert will_parallelize(2, mode="inline") is False
+
+    def test_single_session_ra_fast_path_is_delegated(self):
+        history = generate_random_history(
+            RandomHistoryConfig(num_sessions=1, num_transactions=15, seed=3)
+        )
+        ch = compile_history(history)
+        sharded = check_sharded(ch, IsolationLevel.READ_ATOMIC, jobs=4)
+        compiled = check(ch, IsolationLevel.READ_ATOMIC)
+        assert sharded.checker == compiled.checker == "awdit-1session"
+
+
+class TestForkTransport:
+    """The forked worker pool reproduces inline results exactly."""
+
+    @pytest.mark.parametrize("level", LEVELS, ids=[l.short_name for l in LEVELS])
+    def test_forked_matches_compiled_on_anomalous_history(self, level):
+        history = generate_random_history(
+            RandomHistoryConfig(
+                num_sessions=5, num_transactions=40, num_keys=5, seed=21,
+                mode="random_reads", abort_probability=0.1,
+            )
+        )
+        for kind in INJECTABLE_ANOMALIES[:3]:
+            history = inject_anomaly(history, kind)
+        ch = compile_history(history)
+        assert_sharded_identical(ch, level, jobs=3, mode="fork")
+
+    def test_forked_consistent_history(self):
+        history = generate_random_history(
+            RandomHistoryConfig(num_sessions=4, num_transactions=60, seed=22)
+        )
+        ch = compile_history(history)
+        result = assert_sharded_identical(
+            ch, IsolationLevel.CAUSAL_CONSISTENCY, jobs=2, mode="fork"
+        )
+        assert result.is_consistent
+        assert result.stats["jobs"] == 2
+
+
+class TestHypothesisParity:
+    """The acceptance property: sharded == compiled for jobs in {1, 2, 4}
+    under randomized shard assignment, including injected anomalies."""
+
+    @settings(
+        max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        config=history_configs,
+        level=st.sampled_from(LEVELS),
+        jobs=st.sampled_from(JOBS),
+        assignment_seed=st.integers(0, 1_000),
+    )
+    def test_sharded_matches_compiled_on_random_histories(
+        self, config, level, jobs, assignment_seed
+    ):
+        ch = compile_history(generate_random_history(config))
+        rng = random.Random(assignment_seed)
+        assignment = [rng.randrange(jobs) for _ in range(ch.num_sessions)]
+        assert_sharded_identical(ch, level, jobs, session_shard=assignment)
+
+    @settings(
+        max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        config=history_configs,
+        kind=st.sampled_from(INJECTABLE_ANOMALIES),
+        level=st.sampled_from(LEVELS),
+        jobs=st.sampled_from(JOBS),
+        assignment_seed=st.integers(0, 1_000),
+    )
+    def test_sharded_matches_compiled_with_injected_anomalies(
+        self, config, kind, level, jobs, assignment_seed
+    ):
+        history = inject_anomaly(generate_random_history(config), kind)
+        ch = compile_history(history)
+        rng = random.Random(assignment_seed)
+        assignment = [rng.randrange(jobs) for _ in range(ch.num_sessions)]
+        assert_sharded_identical(ch, level, jobs, session_shard=assignment)
+
+    @settings(
+        max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(config=history_configs, jobs=st.sampled_from((2, 4)))
+    def test_sharded_ingest_then_check_matches_single_pipeline(
+        self, config, jobs, tmp_path_factory
+    ):
+        """File -> sharded ingest -> sharded check == file -> compiled."""
+        history = generate_random_history(config)
+        if history.num_transactions == 0:
+            return
+        path = tmp_path_factory.mktemp("shard") / "h.plume"
+        save_history(history, str(path), fmt="plume")
+        single = load_compiled(str(path), fmt="plume")
+        sharded_ch = load_compiled_sharded(str(path), jobs, fmt="plume")
+        for level in LEVELS:
+            a = check_sharded(sharded_ch, level, jobs=jobs, mode="inline")
+            b = check(single, level)
+            assert a.is_consistent == b.is_consistent, level
+            assert [v.describe() for v in a.violations] == [
+                v.describe() for v in b.violations
+            ], level
