@@ -1,0 +1,195 @@
+"""Compiled vs object streaming throughput: the cross-PR ``BENCH_4.json``.
+
+The compiled streaming core exists so that online checking stops paying the
+object model's boxing tax: ``stream_raw_history`` hands the checker plain
+tuples, keys and values intern to packed ints, and the CC pointers live in
+flat arrays.  The acceptance gate of the compiled-streaming-core PR is that
+streaming CC on the 120k-op fig9-scale history through
+:class:`~repro.core.compiled.online.CompiledIncrementalChecker` runs at
+>= 1.3x the object streaming path (parse included -- the pipelines the two
+``awdit check --stream`` engines actually execute), recorded in the
+repo-root ``BENCH_4.json``.
+
+Also measured: the all-levels online pass, peak live-state footprint
+(tracemalloc) of both streaming engines, and the checkpoint save/load
+overhead at the default cadence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import tracemalloc
+
+import pytest
+
+from repro.core import IsolationLevel
+from repro.histories.formats import save_history, stream_history, stream_raw_history
+from repro.histories.generator import RandomHistoryConfig, generate_random_history
+from repro.stream import check_stream, check_stream_file
+
+_ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
+BENCH4_PATH = os.path.abspath(os.path.join(_ROOT, "BENCH_4.json"))
+
+pytestmark = pytest.mark.bench
+
+CC = IsolationLevel.CAUSAL_CONSISTENCY
+
+
+def _fig9_history(num_transactions: int = 15_000, seed: int = 11):
+    """The fig9-scale history used by BENCH_2/BENCH_3 (15k txns, ~120k ops)."""
+    return generate_random_history(
+        RandomHistoryConfig(
+            num_sessions=8,
+            num_transactions=num_transactions,
+            num_keys=500,
+            min_ops_per_txn=6,
+            max_ops_per_txn=10,
+            read_fraction=0.5,
+            mode="serializable",
+            seed=seed,
+        )
+    )
+
+
+def _object_stream_cc(path: str):
+    return check_stream(stream_history(path, fmt="plume"), CC)
+
+
+def _compiled_stream_cc(path: str):
+    return check_stream_file(path, CC, fmt="plume", engine="compiled")
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _peak_mem(fn):
+    tracemalloc.start()
+    try:
+        result = fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak
+
+
+def test_bench4_snapshot(tmp_path, results):
+    """Record the compiled-streaming-core perf snapshot in ``BENCH_4.json``."""
+    history = _fig9_history()
+    txns, ops = history.num_transactions, history.num_operations
+    path = str(tmp_path / "large.plume")
+    save_history(history, path, fmt="plume")
+
+    # Interleave the engines, best of three, so machine noise cannot skew
+    # one side (the BENCH_2 methodology).
+    object_times = []
+    compiled_times = []
+    for _ in range(3):
+        object_times.append(_timed(lambda: _object_stream_cc(path)))
+        compiled_times.append(_timed(lambda: _compiled_stream_cc(path)))
+    object_seconds = min(object_times)
+    compiled_seconds = min(compiled_times)
+    speedup = object_seconds / compiled_seconds
+
+    object_result = _object_stream_cc(path)
+    compiled_result = _compiled_stream_cc(path)
+    assert compiled_result.is_consistent == object_result.is_consistent
+    assert compiled_result.stats.get("inferred_edges") == object_result.stats.get(
+        "inferred_edges"
+    )
+
+    # All-levels online pass (one stream, three verdicts).
+    from repro.stream import CompiledIncrementalChecker
+
+    def _all_levels():
+        checker = CompiledIncrementalChecker()
+        checker.extend_raw(stream_raw_history(path, "plume"))
+        return checker.finalize()
+
+    all_levels_seconds = _timed(_all_levels)
+
+    # Peak streaming memory, both engines (tracemalloc, in-process proxy).
+    _, object_peak = _peak_mem(lambda: _object_stream_cc(path))
+    _, compiled_peak = _peak_mem(lambda: _compiled_stream_cc(path))
+
+    # Checkpointing at the default cadence: the overhead users pay for
+    # resumability.
+    state = str(tmp_path / "state.awd")
+    checkpoint_seconds = _timed(
+        lambda: check_stream_file(path, CC, fmt="plume", checkpoint=state)
+    )
+    resume_seconds = _timed(
+        lambda: check_stream_file(
+            path, CC, fmt="plume", checkpoint=state, resume=True
+        )
+    )
+
+    snapshot = {
+        "generated_by": "benchmarks/test_online_throughput.py::test_bench4_snapshot",
+        "history": {
+            "transactions": txns,
+            "operations": ops,
+            "sessions": 8,
+            "mode": "serializable",
+        },
+        "stream_cc_pipeline_seconds": {
+            "object": round(object_seconds, 4),
+            "compiled": round(compiled_seconds, 4),
+            "compiled_speedup": round(speedup, 3),
+        },
+        "stream_pipeline_txns_per_sec": {
+            "object": round(txns / object_seconds, 1),
+            "compiled": round(txns / compiled_seconds, 1),
+            "compiled_all_levels": round(txns / all_levels_seconds, 1),
+        },
+        "peak_streaming_mem_bytes": {
+            "note": "tracemalloc peak (in-process RSS proxy), CC streaming "
+            "pipeline on the 120k-op log",
+            "object": object_peak,
+            "compiled": compiled_peak,
+            "compiled_over_object": round(compiled_peak / object_peak, 3),
+        },
+        "checkpointing": {
+            "cadence_txns": 10_000,
+            "checkpointed_run_seconds": round(checkpoint_seconds, 4),
+            "resume_completed_run_seconds": round(resume_seconds, 4),
+            "overhead_vs_plain": round(checkpoint_seconds / compiled_seconds, 3),
+        },
+    }
+    with open(BENCH4_PATH, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2)
+        handle.write("\n")
+    results.record("bench4", "snapshot", snapshot)
+
+    assert speedup >= 1.3, (
+        f"compiled streaming CC must be >=1.3x the object streaming path, "
+        f"got {speedup:.2f}x"
+    )
+
+
+def test_streaming_engines_agree_on_anomalous_log(tmp_path):
+    """Both streaming pipelines report identical violations on a dirty log."""
+    history = generate_random_history(
+        RandomHistoryConfig(
+            num_sessions=8,
+            num_transactions=4_000,
+            num_keys=300,
+            min_ops_per_txn=4,
+            max_ops_per_txn=8,
+            read_fraction=0.5,
+            mode="random_reads",
+            seed=12,
+        )
+    )
+    path = str(tmp_path / "anomalous.plume")
+    save_history(history, path, fmt="plume")
+    object_result = _object_stream_cc(path)
+    compiled_result = _compiled_stream_cc(path)
+    assert compiled_result.is_consistent == object_result.is_consistent
+    assert [v.message for v in compiled_result.violations] == [
+        v.message for v in object_result.violations
+    ]

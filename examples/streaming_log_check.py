@@ -22,6 +22,7 @@ import tempfile
 
 from repro import IncrementalChecker, IsolationLevel, check
 from repro.core.witnesses import format_report
+from repro.stream import check_stream_file
 from repro.histories.formats import load_history, save_history, stream_history
 from repro.histories.generator import (
     RandomHistoryConfig,
@@ -72,11 +73,19 @@ def stream_check(path: str) -> None:
     if not result.is_consistent:
         print(format_report(result.violations, limit=3))
 
-    # The batch checker agrees (the streaming engine is property-tested to
-    # return identical verdicts and violation kinds).
+    # The compiled streaming core (`awdit check --stream`'s default engine)
+    # runs the same one-pass check on raw parser records -- no Transaction
+    # or Operation objects at all -- with checkpoint/resume support.
+    compiled = check_stream_file(
+        path, IsolationLevel.CAUSAL_CONSISTENCY, fmt="plume", engine="compiled"
+    )
+    print(f"compiled verdict  : {compiled.summary()}")
+
+    # The batch checker agrees (both streaming engines are property-tested
+    # to return identical verdicts and violation kinds).
     batch = check(load_history(path, fmt="plume"), IsolationLevel.CAUSAL_CONSISTENCY)
     print(f"batch verdict     : {batch.summary()}")
-    assert batch.is_consistent == result.is_consistent
+    assert batch.is_consistent == result.is_consistent == compiled.is_consistent
 
 
 def main() -> None:

@@ -62,7 +62,12 @@ from repro.core.compiled import (
     check_compiled,
     compile_history,
 )
-from repro.stream import IncrementalChecker, check_stream
+from repro.stream import (
+    CompiledIncrementalChecker,
+    IncrementalChecker,
+    check_stream,
+    check_stream_file,
+)
 
 __version__ = "1.0.0"
 
@@ -88,7 +93,9 @@ __all__ = [
     "CompiledHistory",
     "check_compiled",
     "compile_history",
+    "CompiledIncrementalChecker",
     "IncrementalChecker",
     "check_stream",
+    "check_stream_file",
     "__version__",
 ]

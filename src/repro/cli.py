@@ -10,7 +10,8 @@ Subcommands:
 * ``awdit convert SRC DST`` -- convert a history between on-disk formats.
 * ``awdit stats HISTORY`` -- print size statistics of a history file,
   including the compiled IR's interned cardinalities (keys, values,
-  sessions) and its estimated in-memory footprint.
+  sessions) and its estimated in-memory footprint; ``--stream`` reports
+  the online core's peak live-state footprint instead.
 
 Run ``awdit <subcommand> --help`` for the full flag list.
 """
@@ -60,7 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "check the file in one streaming pass (memory proportional to live "
-            "state, not history size); only the awdit checker supports this"
+            "state, not history size); composes with --engine (compiled online "
+            "core by default, 'object' for the reference streaming checker) "
+            "and --jobs (byte-range parallel ingestion); only the awdit "
+            "checker supports this"
         ),
     )
     check_parser.add_argument(
@@ -68,11 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=["auto", "compiled", "sharded", "object"],
         help=(
-            "batch checking engine: 'compiled' runs on the interned array IR "
+            "checking engine: 'compiled' runs on the interned array IR "
             "(default via 'auto'), 'sharded' additionally parallelizes "
             "across --jobs worker processes, 'object' runs the reference "
-            "object-model checkers; conflicts with --stream and with "
-            "baseline checkers"
+            "object-model checkers; orthogonal to --stream (each engine has "
+            "a batch and a streaming form); conflicts with baseline checkers"
         ),
     )
     check_parser.add_argument(
@@ -82,10 +86,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help=(
-            "shard the history and check with N worker processes (selects "
-            "the sharded engine; conflicts with --stream, --engine object, "
-            "and baseline checkers)"
+            "check with N worker processes: shards the batch engines, "
+            "parallelizes file ingestion for --stream (selects the sharded "
+            "engine; conflicts with --engine object and baseline checkers)"
         ),
+    )
+    check_parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help=(
+            "with --stream: periodically serialize the online state to PATH "
+            "so an interrupted check can continue via --resume (compiled "
+            "streaming engine only)"
+        ),
+    )
+    check_parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="transactions between checkpoint saves (default: 10000)",
+    )
+    check_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the --checkpoint state and continue the interrupted check",
     )
 
     generate_parser = subparsers.add_parser(
@@ -120,6 +146,15 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("history")
     stats_parser.add_argument("--format", "-f", default=None, choices=sorted(FORMATS))
     stats_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "fold the file through the compiled online core and report its "
+            "peak live-state footprint (resident transactions, pending "
+            "reads, intern cardinalities) instead of the batch IR stats"
+        ),
+    )
+    stats_parser.add_argument(
         "--jobs",
         "-j",
         type=int,
@@ -143,27 +178,43 @@ def _conflict(message: str) -> int:
 def _check_flag_conflicts(args: argparse.Namespace, checker_name: str) -> Optional[str]:
     """The flag-conflict message for ``awdit check``, or ``None`` if coherent.
 
-    Conflicting combinations used to fall back silently (``--stream
-    --engine compiled`` streamed anyway; ``--checker plume --engine ...``
-    ignored the engine), which hid from the user that the requested engine
-    never ran.  They are rejected instead.
+    Engine and mode are orthogonal axes (``--stream --engine compiled`` is
+    the default streaming path, ``--stream --jobs N`` parallelizes the
+    ingestion), so only genuinely incoherent combinations are rejected:
+    baseline checkers with awdit-engine flags, the single-process engines
+    with ``--jobs``, and checkpointing outside the compiled streaming path.
     """
     is_baseline = checker_name not in ("awdit", "default")
     if args.jobs is not None and args.jobs < 1:
         return f"--jobs must be >= 1, got {args.jobs}"
+    if args.checkpoint_every is not None and args.checkpoint_every < 1:
+        return f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+    if args.resume and args.checkpoint is None:
+        return "--resume continues from a checkpoint; add --checkpoint PATH"
+    if args.checkpoint_every is not None and args.checkpoint is None:
+        return "--checkpoint-every sets the --checkpoint cadence; add --checkpoint PATH"
+    if (args.checkpoint is not None or args.checkpoint_every is not None) and (
+        not args.stream
+    ):
+        return (
+            "--checkpoint serializes the online streaming state; it requires "
+            "--stream (batch engines re-check from scratch)"
+        )
     if args.stream:
-        if args.engine != "auto":
-            return (
-                f"--stream is the one-pass streaming checker; it cannot run "
-                f"the {args.engine!r} batch engine (drop --stream or --engine)"
-            )
-        if args.jobs is not None:
-            return (
-                "--stream checks in a single sequential pass; it cannot use "
-                "--jobs worker processes (drop --stream or --jobs)"
-            )
         if is_baseline:
             return f"--stream supports only the awdit checker, not {args.checker!r}"
+        if args.engine == "object":
+            if args.jobs is not None:
+                return (
+                    "--stream --engine object is the single-process reference "
+                    "streaming checker; it cannot use --jobs (drop one)"
+                )
+            if args.checkpoint is not None or args.resume:
+                return (
+                    "checkpoint/resume require the compiled streaming engine; "
+                    "--engine object has no checkpoint support"
+                )
+        return None
     if is_baseline:
         if checker_name not in BASELINE_REGISTRY:
             return None  # unknown checker: reported separately
@@ -193,13 +244,22 @@ def _run_check(args: argparse.Namespace) -> int:
     if conflict is not None:
         return _conflict(conflict)
     if args.stream:
-        from repro.histories.formats import stream_history
-        from repro.stream import check_stream
+        from repro.stream import DEFAULT_CHECKPOINT_EVERY, check_stream_file
 
-        result: CheckResult = check_stream(
-            stream_history(args.history, fmt=args.format),
+        result: CheckResult = check_stream_file(
+            args.history,
             level,
+            fmt=args.format,
+            engine=args.engine,
+            jobs=args.jobs,
             max_witnesses=args.witnesses,
+            checkpoint=args.checkpoint,
+            checkpoint_every=(
+                args.checkpoint_every
+                if args.checkpoint_every is not None
+                else DEFAULT_CHECKPOINT_EVERY
+            ),
+            resume=args.resume,
         )
     elif checker_name in ("awdit", "default"):
         engine = args.engine
@@ -275,6 +335,13 @@ def _run_convert(args: argparse.Namespace) -> int:
 def _run_stats(args: argparse.Namespace) -> int:
     from repro.histories.formats import load_compiled
 
+    if args.stream:
+        if args.jobs is not None:
+            return _conflict(
+                "--stream reports the online core's live state; it conflicts "
+                "with the --jobs shard-merge report (drop one)"
+            )
+        return _run_stats_stream(args)
     shard_stats = None
     if args.jobs is not None:
         if args.jobs < 1:
@@ -323,6 +390,33 @@ def _run_stats(args: argparse.Namespace) -> int:
             f"    merged : keys={compiled.num_keys} values={compiled.num_values} "
             f"sessions={compiled.num_sessions}"
         )
+    return 0
+
+
+def _run_stats_stream(args: argparse.Namespace) -> int:
+    """``awdit stats --stream``: peak live-state footprint of the online core."""
+    from repro.stream import stream_live_stats
+
+    stats = stream_live_stats(args.history, fmt=args.format)
+    print(
+        f"Online core over {stats['transactions']} transactions "
+        f"({stats['operations']} operations, {stats['sessions']} sessions):"
+    )
+    print(f"  resident txn summaries : {stats['resident_transactions']}")
+    print(
+        f"  pending reads          : {stats['pending_reads']} now, "
+        f"peak {stats['peak_pending_reads']}"
+    )
+    print(
+        f"  unfolded transactions  : {stats['unfolded_transactions']} now, "
+        f"peak {stats['peak_unfolded_transactions']}"
+    )
+    print(f"  peak CC frontier lag   : {stats['peak_cc_backlog']}")
+    print(f"  interned keys          : {stats['interned_keys']}")
+    print(f"  interned values        : {stats['interned_values']}")
+    print(f"  writes index entries   : {stats['writes_index']}")
+    print(f"  CC writer buckets      : {stats['cc_writer_buckets']}")
+    print(f"  inferred-edge log      : {stats['inferred_edge_log']} edges")
     return 0
 
 

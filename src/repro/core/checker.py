@@ -24,6 +24,22 @@ witness renderings, inferred-edge counts).  ``engine="auto"`` resolves to
 ``"compiled"``, or to ``"sharded"`` when ``jobs`` is given, except when a
 precomputed object-path :class:`ReadConsistencyReport` is supplied for
 reuse.
+
+Orthogonal to the engine axis, ``mode`` selects *how* the history is
+traversed:
+
+* ``"batch"`` (default) runs the engines above over the materialized
+  history;
+* ``"stream"`` replays the history's transactions in file order through
+  the matching *online* engine (:mod:`repro.core.compiled.online` for the
+  compiled/sharded engines, :mod:`repro.stream.incremental` for the object
+  engine), which folds each transaction into incrementally-maintained
+  state and then finalizes.  Same results, different evaluation order --
+  the parity matrix in ``tests/test_matrix.py`` pins every
+  ``engine × mode`` cell against every other.
+
+On-disk histories stream through :func:`repro.stream.check_stream_file`
+instead, which adds byte-range parallel ingestion and checkpoint/resume.
 """
 
 from __future__ import annotations
@@ -46,6 +62,7 @@ from repro.core.result import CheckResult
 __all__ = ["check", "check_all_levels"]
 
 _ENGINES = ("auto", "compiled", "sharded", "object")
+_MODES = ("batch", "stream")
 
 
 def check(
@@ -56,6 +73,7 @@ def check(
     read_consistency: Optional[ReadConsistencyReport] = None,
     engine: str = "auto",
     jobs: Optional[int] = None,
+    mode: str = "batch",
 ) -> CheckResult:
     """Check whether ``history`` satisfies ``level``.
 
@@ -86,9 +104,27 @@ def check(
         ``"object"`` it is a usage error (those engines are single-process
         by definition).  ``None`` with ``engine="sharded"`` means one worker
         per available CPU.
+    mode:
+        ``"batch"`` (default) or ``"stream"`` -- see the module docstring.
+        Streaming rejects a precomputed ``read_consistency`` report (the
+        online checkers track read consistency incrementally) and handles
+        the single-session RA specialization internally.
     """
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    if mode not in _MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {_MODES}")
+    if mode == "stream":
+        if read_consistency is not None:
+            raise ValueError(
+                "read_consistency reports belong to the batch object engine; "
+                "the streaming checkers track read consistency incrementally"
+            )
+        from repro.stream.runner import check_history_stream
+
+        return check_history_stream(
+            history, level, engine=engine, jobs=jobs, max_witnesses=max_witnesses
+        )
     if jobs is not None and engine in ("compiled", "object"):
         raise ValueError(
             f"jobs only applies to the sharded engine; engine={engine!r} is "
@@ -163,6 +199,7 @@ def check_all_levels(
     use_single_session_fast_path: bool = True,
     engine: str = "auto",
     jobs: Optional[int] = None,
+    mode: str = "batch",
 ) -> Dict[IsolationLevel, CheckResult]:
     """Check the history against RC, RA, and CC, sharing one Read Consistency pass.
 
@@ -175,6 +212,14 @@ def check_all_levels(
     """
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    if mode not in _MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {_MODES}")
+    if mode == "stream":
+        from repro.stream.runner import check_all_levels_history_stream
+
+        return check_all_levels_history_stream(
+            history, engine=engine, jobs=jobs, max_witnesses=max_witnesses
+        )
     if jobs is not None and engine in ("compiled", "object"):
         raise ValueError(
             f"jobs only applies to the sharded engine; engine={engine!r} is "

@@ -89,10 +89,28 @@ class CommitRelation:
         writer, in the same order :class:`History` would produce them.
         """
         relation = cls(names=names, committed=committed)
+        # _add_labelled inlined: this runs once per so/wr edge at every
+        # streaming finalize, and the method + pack_edge hops dominate it.
+        labels = relation._labels
+        keyed = relation._keyed
+        succ = relation.graph._succ
+        edge_count = 0
+        so_label = ("so", None)
         for source, target in so_edges:
-            relation._add_labelled(source, target, "so", None)
+            edge = pack_edge(source, target)
+            if edge not in labels:
+                labels[edge] = so_label
+                succ[source].append(target)
+                edge_count += 1
         for writer, reader, key in wr_edges:
-            relation._add_labelled(writer, reader, "wr", key)
+            edge = pack_edge(writer, reader)
+            if edge not in labels:
+                labels[edge] = ("wr", key)
+                succ[writer].append(reader)
+                edge_count += 1
+            if key is not None and edge not in keyed:
+                keyed[edge] = ("wr", key)
+        relation.graph._edge_count += edge_count
         return relation
 
     def _add_so_wr_edges(self) -> None:

@@ -9,6 +9,9 @@ Public surface:
   :func:`repro.histories.formats.load_compiled`).
 * :func:`check_compiled` / :func:`check_all_levels_compiled` -- the AWDIT
   checkers on the IR, byte-identical to the object path.
+* :class:`CompiledIncrementalChecker` -- the compiled *streaming* core
+  (:mod:`repro.core.compiled.online`): the same algorithms folded online
+  over raw parser records, with checkpoint/resume.
 * :class:`Intern` -- the dense interning table (also reused by the streaming
   checker for its packed inferred-edge logs).
 """
@@ -25,14 +28,22 @@ from repro.core.compiled.ir import (
     Intern,
     compile_history,
 )
+from repro.core.compiled.online import (
+    CompiledIncrementalChecker,
+    check_stream_compiled,
+    load_checkpoint,
+)
 
 __all__ = [
     "CompiledHistory",
     "CompiledHistoryBuilder",
+    "CompiledIncrementalChecker",
     "CompiledReadReport",
     "Intern",
     "check_all_levels_compiled",
     "check_compiled",
     "check_read_consistency_compiled",
+    "check_stream_compiled",
     "compile_history",
+    "load_checkpoint",
 ]

@@ -1,0 +1,1327 @@
+"""The compiled streaming core: online checking on packed interned ids.
+
+:class:`CompiledIncrementalChecker` is the compiled-IR sibling of
+:class:`repro.stream.incremental.IncrementalChecker`: the same online
+formulation of AWDIT's Algorithms 1-4 (read classification on resolution,
+per-transaction RC saturation, per-session RA frontier, causal CC frontier
+with monotone saturation pointers), but fed straight from the parsers' raw
+``stream_ops`` layer -- ``append_raw`` takes ``(is_write, key, value)``
+tuples, so no :class:`~repro.core.model.Operation` or
+:class:`~repro.core.model.Transaction` objects exist on the hot path at all:
+
+* keys *and* values are interned to dense ints on arrival
+  (:class:`~repro.core.compiled.ir.Intern`); the writes index and the
+  pending-read table are keyed by packed ``(key_id << 32) | value_id`` ints
+  instead of ``(key, value)`` tuples;
+* the CC saturation's per-(session, key) monotone pointers live in flat
+  ``array('q')`` rows indexed by dense bucket ids (one bucket per
+  ``(writer session, key)`` writer list, allocated when the first write
+  registers), exactly like the batch
+  :func:`~repro.core.compiled.checkers.saturate_cc_compiled`;
+* inferred edges are recorded in the same packed ``int -> int`` logs and
+  replayed in batch order at :meth:`finalize`, so verdicts, violation
+  kinds, witnesses, and inferred-edge counts are byte-identical to every
+  batch engine (property-tested in ``tests/test_online_compiled.py`` and
+  ``tests/test_matrix.py``).
+
+Memory model: each transaction's operation data is dropped the moment the
+transaction is folded into the online state; what stays resident is the
+*live state* -- one transaction-level summary per appended transaction (ids,
+written keys, first-reads-per-writer), the writes index, the parked reads
+whose writes have not arrived, and the per-(session, key) writer lists --
+so checking a multi-gigabyte log is bounded by live state, not by operation
+count.  :meth:`live_stats` reports the peak footprint of each component
+(``awdit stats --stream`` prints it).
+
+Checkpoint/resume: :meth:`save_checkpoint` serializes the whole online
+state (intern tables, frontiers, pending reads, edge logs) to a file;
+:func:`load_checkpoint` restores it so an interrupted long-running check
+continues exactly where it stopped (``awdit check --stream --checkpoint
+state.awd`` / ``--resume``).  Checkpoints use :mod:`pickle` under a
+versioned magic header -- load them only from trusted paths, like any
+pickle.
+
+Duplicate ``(key, value)`` writes resolve exactly like the batch unique-
+writes convention -- the *last* write in transaction-id order wins: a
+later-ordered duplicate supersedes the registry entry and rebinds every
+already-resolved read of a transaction that has not yet been folded into
+the frontiers.  (A duplicate arriving only after a reading transaction was
+folded can no longer rebind it; observing such a write would require a
+second pass, and every stream that replays a history in its session-blocked
+order with writes ahead of their readers resolves identically to batch.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from array import array
+from bisect import bisect_left
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cc import causality_cycles
+from repro.core.commit import CommitRelation
+from repro.core.compiled.ir import Intern
+from repro.core.exceptions import HistoryFormatError
+from repro.core.isolation import IsolationLevel
+from repro.core.model import OpRef
+from repro.core.result import CheckResult
+from repro.core.violations import (
+    ReadConsistencyViolation,
+    RepeatableReadViolation,
+    Violation,
+    ViolationKind,
+)
+from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT, DiGraph, pack_edge
+
+__all__ = [
+    "CompiledIncrementalChecker",
+    "check_stream_compiled",
+    "load_checkpoint",
+    "source_fingerprint",
+    "CHECKPOINT_MAGIC",
+]
+
+ALL_LEVELS: Tuple[IsolationLevel, ...] = (
+    IsolationLevel.READ_COMMITTED,
+    IsolationLevel.READ_ATOMIC,
+    IsolationLevel.CAUSAL_CONSISTENCY,
+)
+
+#: Packed write identity: ``(key_id << _VALUE_SHIFT) | value_id`` (the same
+#: layout as the compiled IR's unique-writes index).
+_VALUE_SHIFT = 32
+
+#: Bit budget per sort-key component of the packed inferred-edge logs; see
+#: :mod:`repro.stream.incremental` for the derivation.
+_KEY_SHIFT = 24
+
+#: Checkpoint file header: magic + format version.
+CHECKPOINT_MAGIC = b"AWDITCKPT"
+CHECKPOINT_VERSION = 1
+
+#: Bytes of file prefix hashed into the checkpoint source fingerprint.
+_FINGERPRINT_PREFIX = 1 << 16
+
+
+def source_fingerprint(path: str, prefix_len: Optional[int] = None) -> dict:
+    """A cheap identity fingerprint of the history file behind a checkpoint.
+
+    Hashes the first 64 KiB only (or the recorded ``prefix_len`` when
+    re-verifying), so a *growing* log -- the monitoring scenario
+    checkpoints exist for -- still matches its own checkpoints, while a
+    different, regenerated, or truncated file is rejected at resume.
+    """
+    size = os.path.getsize(path)
+    length = min(size, _FINGERPRINT_PREFIX if prefix_len is None else prefix_len)
+    with open(path, "rb") as handle:
+        digest = hashlib.sha256(handle.read(length)).hexdigest()
+    return {"prefix_len": length, "prefix_sha256": digest}
+
+
+def _sort_base(sid: int, sidx: int) -> int:
+    """The sort-key base for transaction (sid, sidx); add the attempt number."""
+    return ((sid << _KEY_SHIFT) | sidx) << _KEY_SHIFT
+
+
+class _Read:
+    """A read awaiting (or holding) its write-read resolution, all-int form."""
+
+    __slots__ = ("index", "kid", "vid", "own_prev", "writer", "writer_index", "bad")
+
+    def __init__(self, index: int, kid: int, vid: int, own_prev: Optional[int]) -> None:
+        self.index = index
+        self.kid = kid
+        self.vid = vid
+        self.own_prev = own_prev
+        self.writer: Optional[int] = None
+        self.writer_index = -1
+        self.bad = False
+
+
+class _Txn:
+    """Transaction-level summary retained by the online core."""
+
+    __slots__ = (
+        "tid",
+        "sid",
+        "sidx",
+        "committed",
+        "label",
+        "keys_written",
+        "keys_written_ordered",
+        "reads",
+        "unresolved",
+        "resolved",
+        "rebindable",
+        "cc_done",
+        "cc_pending",
+        "cc_registered",
+        "good_reads",
+        "wr_first_any",
+        "wr_first_good",
+    )
+
+    def __init__(
+        self, tid: int, sid: int, sidx: int, committed: bool, label: Optional[str]
+    ) -> None:
+        self.tid = tid
+        self.sid = sid
+        self.sidx = sidx
+        self.committed = committed
+        self.label = label
+        self.keys_written: frozenset = frozenset()
+        self.keys_written_ordered: Tuple[int, ...] = ()
+        self.reads: List[_Read] = []
+        self.unresolved = 0
+        self.resolved = False
+        #: True while this transaction's resolved reads are registered in the
+        #: checker's rebind table (set only for transactions that park reads).
+        self.rebindable = False
+        self.cc_done = False
+        self.cc_pending = 0
+        self.cc_registered = False
+        self.good_reads: List[Tuple[int, int, int]] = []
+        self.wr_first_any: Dict[int, int] = {}
+        self.wr_first_good: Dict[int, int] = {}
+
+
+class CompiledIncrementalChecker:
+    """Online checker for RC / RA / CC over a stream of raw transactions.
+
+    Parameters mirror :class:`repro.stream.IncrementalChecker`; the feeding
+    surface differs: :meth:`append_raw` consumes the parsers' raw records
+    (``session, label, committed, (is_write, key, value) ops``) directly.
+    """
+
+    def __init__(
+        self,
+        levels: Optional[Sequence[IsolationLevel]] = None,
+        num_sessions: Optional[int] = None,
+        max_witnesses: Optional[int] = None,
+    ) -> None:
+        chosen = tuple(levels) if levels is not None else ALL_LEVELS
+        for level in chosen:
+            if level not in ALL_LEVELS:
+                raise ValueError(f"unsupported isolation level: {level!r}")
+        self._levels = chosen
+        self._rc_enabled = IsolationLevel.READ_COMMITTED in chosen
+        self._ra_enabled = IsolationLevel.READ_ATOMIC in chosen
+        self._cc_enabled = IsolationLevel.CAUSAL_CONSISTENCY in chosen
+        self._max_witnesses = max_witnesses
+
+        self._txns: List[_Txn] = []
+        self._session_ids: Dict[object, int] = {}
+        self._by_session: List[List[_Txn]] = []
+        self._key_table = Intern()
+        self._value_table = Intern()
+        # Packed ``(kid << 32) | vid`` -> (sid, sidx, op index, writer tid,
+        # is-final flag).  The tuple is ordered so that direct comparison is
+        # comparison by batch transaction-id order (sid, sidx, op index).
+        self._writes: Dict[int, Tuple[int, int, int, int, bool]] = {}
+        # Packed write id -> reads waiting for that write to arrive.
+        self._pending: Dict[int, List[Tuple[_Txn, _Read]]] = {}
+        # Packed write id -> resolved reads that may still rebind if a
+        # later-ordered duplicate write arrives (reads of parked, i.e. not
+        # yet folded, transactions only; entries are removed at fold).
+        self._rebindable: Dict[int, Dict[Tuple[int, int], Tuple[_Txn, _Read]]] = {}
+
+        # RA state: per-session frontier index and lastWrite map.
+        self._ra_next: List[int] = []
+        self._ra_last_write: List[Dict[int, int]] = []
+
+        # CC state: per-session causal frontier, session clocks, writer lists
+        # with dense bucket ids, and the flat per-reader-session pointer rows.
+        self._cc_next: List[int] = []
+        self._session_clock: List[List[int]] = []
+        #: key id -> (sorted writer session ids, slots aligned with them,
+        #: {sid: slot}); a slot is (tids, sidxs, bucket id, writer sid).  The
+        #: slot list is what the CC loop iterates -- one tuple unpack per
+        #: probe instead of a dict lookup per (read, session) pair.
+        self._writers_by_key: Dict[
+            int,
+            Tuple[
+                List[int],
+                List[Tuple[array, array, int, int]],
+                Dict[int, Tuple[array, array, int, int]],
+            ],
+        ] = {}
+        self._num_buckets = 0
+        #: Per reader session: monotone pointer / latest-hb-writer rows,
+        #: indexed by bucket id (grown lazily to ``_num_buckets``).
+        self._cc_ptr_rows: List[array] = []
+        self._cc_t2_rows: List[array] = []
+        self._cc_waiters: Dict[int, List[_Txn]] = {}
+        self._hb: Dict[int, List[int]] = {}
+
+        # Recorded inferred edges, replayed in batch order at finalize.
+        self._rc_log: Dict[int, int] = {}
+        self._ra_log: Dict[int, int] = {}
+        self._ra_so_log: Dict[int, int] = {}
+        self._cc_log: Dict[int, int] = {}
+
+        # Violations discovered so far, plus their batch-order sort keys.
+        self._rc_axiom: List[Tuple[Tuple[int, int, int], Violation]] = []
+        self._rr: List[Tuple[Tuple[int, int, int], Violation]] = []
+        self._live: List[Violation] = []
+
+        self._num_operations = 0
+        self._elapsed = 0.0
+        self._results: Optional[Dict[IsolationLevel, CheckResult]] = None
+
+        # Live-state peak tracking (awdit stats --stream).
+        self._num_parked = 0
+        self._num_unfolded = 0
+        self._peak_parked = 0
+        self._peak_unfolded = 0
+        self._peak_cc_backlog = 0
+        self._cc_backlog = 0
+
+        if num_sessions is not None:
+            for sid in range(num_sessions):
+                self._register_session(sid)
+
+    # -- public surface --------------------------------------------------------
+
+    @property
+    def levels(self) -> Tuple[IsolationLevel, ...]:
+        """The isolation levels this checker maintains."""
+        return self._levels
+
+    @property
+    def num_transactions(self) -> int:
+        """Number of transactions appended so far."""
+        return len(self._txns)
+
+    @property
+    def num_operations(self) -> int:
+        """Number of operations appended so far."""
+        return self._num_operations
+
+    @property
+    def num_sessions(self) -> int:
+        """Number of sessions seen (or pre-registered) so far."""
+        return len(self._by_session)
+
+    @property
+    def finalized(self) -> bool:
+        """True once :meth:`finalize` has produced results."""
+        return self._results is not None
+
+    @property
+    def violations(self) -> List[Violation]:
+        """Violations witnessed so far, in discovery order."""
+        return list(self._live)
+
+    def append_raw(
+        self,
+        session: object,
+        label: Optional[str],
+        committed: bool,
+        ops: Iterable[Tuple[bool, object, object]],
+    ) -> None:
+        """Feed one raw transaction record appended to ``session``.
+
+        ``ops`` are ``(is_write, key, value)`` tuples in program order --
+        the exact records the formats' ``stream_ops`` layer yields, so a
+        file streams into the checker with zero model objects created.
+        Transactions of one session must arrive in session order; sessions
+        may interleave arbitrarily.
+        """
+        if self._results is not None:
+            raise RuntimeError("cannot append to a finalized checker")
+        start = time.perf_counter()
+        sid = self._dense_sid(session)
+        records = self._by_session[sid]
+        tid = len(self._txns)
+        if tid > EDGE_MASK:
+            # Transaction ids are packed-edge endpoints; checked once per
+            # transaction so the saturation loops can pack without guards.
+            raise HistoryFormatError(
+                "history has too many transactions for packed edges"
+            )
+        rec = _Txn(tid, sid, len(records), committed, label)
+        self._txns.append(rec)
+        records.append(rec)
+
+        # Intern.intern inlined: one dict probe per op on hits, and misses
+        # (first occurrences) skip the double lookup the method would pay.
+        key_ids = self._key_table._ids
+        key_objs = self._key_table.values
+        value_ids = self._value_table._ids
+        value_objs = self._value_table.values
+        own_latest: Dict[int, int] = {}
+        final_write: Dict[int, int] = {}
+        reads: List[_Read] = []
+        txn_writes: List[Tuple[int, int, int]] = []
+        index = 0
+        for is_write, key, value in ops:
+            kid = key_ids.get(key)
+            if kid is None:
+                kid = len(key_objs)
+                key_ids[key] = kid
+                key_objs.append(key)
+            if is_write:
+                vid = value_ids.get(value)
+                if vid is None:
+                    vid = len(value_objs)
+                    value_ids[value] = vid
+                    value_objs.append(value)
+                final_write[kid] = index
+                own_latest[kid] = index
+                txn_writes.append((kid, vid, index))
+            elif committed:
+                vid = value_ids.get(value)
+                if vid is None:
+                    vid = len(value_objs)
+                    value_ids[value] = vid
+                    value_objs.append(value)
+                reads.append(_Read(index, kid, vid, own_latest.get(kid)))
+            index += 1
+        self._num_operations += index
+        if len(self._value_table) >= (1 << _VALUE_SHIFT):
+            raise HistoryFormatError(
+                "history has too many distinct values for the compiled IR"
+            )
+        rec.keys_written = frozenset(final_write)
+        rec.keys_written_ordered = tuple(final_write)
+        rec.reads = reads
+
+        # Register writes once the whole transaction is scanned (so the
+        # final-write flag is known), last write in batch order winning.
+        writes = self._writes
+        new_writes: List[int] = []
+        superseded: List[int] = []
+        for kid, vid, windex in txn_writes:
+            wid = (kid << _VALUE_SHIFT) | vid
+            entry = (sid, rec.sidx, windex, tid, final_write[kid] == windex)
+            current = writes.get(wid)
+            if current is None:
+                writes[wid] = entry
+                new_writes.append(wid)
+            elif entry[:3] > current[:3]:
+                writes[wid] = entry
+                superseded.append(wid)
+
+        if committed and self._cc_enabled and final_write:
+            num_buckets = self._num_buckets
+            sidx = rec.sidx
+            for kid in rec.keys_written_ordered:
+                entry2 = self._writers_by_key.get(kid)
+                if entry2 is None:
+                    entry2 = ([], [], {})
+                    self._writers_by_key[kid] = entry2
+                sids, slots, per_sid = entry2
+                slot = per_sid.get(sid)
+                if slot is None:
+                    slot = (array("q"), array("q"), num_buckets, sid)
+                    num_buckets += 1
+                    per_sid[sid] = slot
+                    position = bisect_left(sids, sid)
+                    sids.insert(position, sid)
+                    slots.insert(position, slot)
+                slot[0].append(tid)
+                slot[1].append(sidx)
+            self._num_buckets = num_buckets
+
+        # A later-ordered duplicate write rebinds the resolved reads of
+        # transactions that have not been folded yet.
+        for wid in superseded:
+            waiters = self._rebindable.get(wid)
+            if waiters:
+                hit = writes[wid]
+                for other, read in list(waiters.values()):
+                    self._unclassify(other, read)
+                    self._classify(other, read, hit)
+
+        # Resolve earlier reads that were parked waiting for these writes.
+        for wid in new_writes:
+            waiters2 = self._pending.pop(wid, None)
+            if not waiters2:
+                continue
+            hit = writes[wid]
+            for other, read in waiters2:
+                self._num_parked -= 1
+                self._classify(other, read, hit)
+                other.unresolved -= 1
+                if other.unresolved == 0:
+                    self._on_resolved(other)
+                else:
+                    self._track_rebindable(other, read)
+
+        # Resolve this transaction's own reads against everything seen so far.
+        if committed:
+            self._num_unfolded += 1
+            if self._num_unfolded > self._peak_unfolded:
+                self._peak_unfolded = self._num_unfolded
+            txns = self._txns
+            for read in reads:
+                wid = (read.kid << _VALUE_SHIFT) | read.vid
+                hit = writes.get(wid)
+                if hit is None:
+                    rec.unresolved += 1
+                    self._pending.setdefault(wid, []).append((rec, read))
+                else:
+                    writer_tid = hit[3]
+                    # Clean external final-write reads (the common case of
+                    # _classify) resolve without the call.
+                    if (
+                        writer_tid != tid
+                        and hit[4]
+                        and read.own_prev is None
+                        and txns[writer_tid].committed
+                    ):
+                        read.writer = writer_tid
+                        read.writer_index = hit[2]
+                    else:
+                        self._classify(rec, read, hit)
+            if rec.unresolved == 0:
+                self._on_resolved(rec)
+            else:
+                self._num_parked += rec.unresolved
+                if self._num_parked > self._peak_parked:
+                    self._peak_parked = self._num_parked
+                for read in reads:
+                    if read.writer is not None or read.bad:
+                        self._track_rebindable(rec, read)
+        else:
+            rec.resolved = True
+            self._advance_ra(sid)
+            self._advance_cc(sid)
+        self._elapsed += time.perf_counter() - start
+
+    def extend_raw(
+        self, records: Iterable[Tuple[object, Tuple[Optional[str], bool, list]]]
+    ) -> None:
+        """Feed many raw ``(session, (label, committed, ops))`` records."""
+        append_raw = self.append_raw
+        for session, (label, committed, ops) in records:
+            append_raw(session, label, committed, ops)
+
+    def append(self, session: object, transaction) -> None:
+        """Feed one object-model :class:`~repro.core.model.Transaction`.
+
+        Compatibility shim for parity harnesses; the hot path is
+        :meth:`append_raw`.
+        """
+        self.append_raw(
+            session,
+            transaction.label,
+            transaction.committed,
+            [(op.is_write, op.key, op.value) for op in transaction.operations],
+        )
+
+    def finalize(self) -> Dict[IsolationLevel, CheckResult]:
+        """Flush pending state and return one :class:`CheckResult` per level.
+
+        Identical contract to ``IncrementalChecker.finalize``: unresolved
+        reads become thin-air violations, the frontiers drain, and the
+        packed edge logs are replayed in the batch algorithms' order.
+        Idempotent.
+        """
+        if self._results is not None:
+            return self._results
+        start = time.perf_counter()
+
+        key_names = self._key_table.values
+        value_objs = self._value_table.values
+        for wid, waiters in list(self._pending.items()):
+            key = key_names[wid >> _VALUE_SHIFT]
+            value = value_objs[wid & ((1 << _VALUE_SHIFT) - 1)]
+            for rec, read in waiters:
+                read.bad = True
+                self._add_rc_violation(
+                    rec,
+                    read,
+                    ViolationKind.THIN_AIR_READ,
+                    f"{self._name(rec)} reads R({key}, {value!r}) but no "
+                    f"transaction writes {value!r} to {key!r}",
+                    write=None,
+                )
+                rec.unresolved -= 1
+                if rec.unresolved == 0:
+                    self._on_resolved(rec)
+        self._pending.clear()
+        self._num_parked = 0
+
+        if self._ra_enabled:
+            for sid in range(len(self._by_session)):
+                if self._ra_next[sid] != len(self._by_session[sid]):
+                    raise AssertionError("RA frontier failed to drain at finalize")
+
+        cc_complete = all(
+            self._cc_next[sid] == len(self._by_session[sid])
+            for sid in range(len(self._by_session))
+        )
+        mapping, names, committed_ids, so_edges = self._batch_numbering()
+        rc_violations = [v for _, v in sorted(self._rc_axiom, key=lambda item: item[0])]
+
+        # Release the online state before rebuilding the commit relations so
+        # peak memory stays close to one relation.
+        self._writes = {}
+        self._pending = {}
+        self._rebindable = {}
+        self._hb = {}
+        self._session_clock = []
+        self._writers_by_key = {}
+        self._cc_ptr_rows = []
+        self._cc_t2_rows = []
+        self._cc_waiters = {}
+        self._ra_last_write = []
+
+        results: Dict[IsolationLevel, CheckResult] = {}
+        if self._rc_enabled:
+            relation = self._build_relation(
+                mapping, names, committed_ids, so_edges, self._rc_log
+            )
+            self._rc_log = {}
+            violations = rc_violations + relation.find_cycles(
+                max_witnesses=self._max_witnesses
+            )
+            results[IsolationLevel.READ_COMMITTED] = self._result(
+                IsolationLevel.READ_COMMITTED, violations, "awdit-stream", relation
+            )
+            del relation
+        if self._ra_enabled:
+            rr_violations = [v for _, v in sorted(self._rr, key=lambda item: item[0])]
+            single = len(self._by_session) <= 1
+            log = self._ra_so_log if single else self._ra_log
+            relation = self._build_relation(mapping, names, committed_ids, so_edges, log)
+            self._ra_log = {}
+            self._ra_so_log = {}
+            violations = (
+                rc_violations
+                + rr_violations
+                + relation.find_cycles(max_witnesses=self._max_witnesses)
+            )
+            checker = "awdit-stream-1session" if single else "awdit-stream"
+            results[IsolationLevel.READ_ATOMIC] = self._result(
+                IsolationLevel.READ_ATOMIC, violations, checker, relation,
+                co_edges=not single,
+            )
+            del relation
+        if self._cc_enabled:
+            if not cc_complete:
+                graph, labels = self._causality_graph(mapping)
+                violations = rc_violations + causality_cycles(names, graph, labels)
+                results[IsolationLevel.CAUSAL_CONSISTENCY] = self._result(
+                    IsolationLevel.CAUSAL_CONSISTENCY, violations, "awdit-stream", None
+                )
+            else:
+                relation = self._build_relation(
+                    mapping, names, committed_ids, so_edges, self._cc_log
+                )
+                self._cc_log = {}
+                violations = rc_violations + relation.find_cycles(
+                    max_witnesses=self._max_witnesses
+                )
+                results[IsolationLevel.CAUSAL_CONSISTENCY] = self._result(
+                    IsolationLevel.CAUSAL_CONSISTENCY, violations, "awdit-stream",
+                    relation,
+                )
+                del relation
+        for result in results.values():
+            self._live.extend(
+                v for v in result.violations if v.kind
+                in (ViolationKind.CAUSALITY_CYCLE, ViolationKind.COMMIT_ORDER_CYCLE)
+                and v not in self._live
+            )
+        self._elapsed += time.perf_counter() - start
+        for result in results.values():
+            result.elapsed_seconds = self._elapsed
+        self._results = results
+        return results
+
+    # -- live-state accounting --------------------------------------------------
+
+    def live_stats(self) -> Dict[str, int]:
+        """Peak live-state footprint of the online core, component by component.
+
+        ``resident_transactions`` is the number of transaction-level
+        summaries currently held (operation data itself is dropped at fold);
+        the ``peak_*`` entries are high-water marks over the whole run.
+        """
+        return {
+            "transactions": len(self._txns),
+            "operations": self._num_operations,
+            "sessions": len(self._by_session),
+            "resident_transactions": len(self._txns),
+            "pending_reads": self._num_parked,
+            "peak_pending_reads": self._peak_parked,
+            "unfolded_transactions": self._num_unfolded,
+            "peak_unfolded_transactions": self._peak_unfolded,
+            "peak_cc_backlog": self._peak_cc_backlog,
+            "interned_keys": len(self._key_table),
+            "interned_values": len(self._value_table),
+            "writes_index": len(self._writes),
+            "cc_writer_buckets": self._num_buckets,
+            "inferred_edge_log": (
+                len(self._rc_log)
+                + len(self._ra_log)
+                + len(self._ra_so_log)
+                + len(self._cc_log)
+            ),
+        }
+
+    # -- checkpoint/resume -------------------------------------------------------
+
+    def save_checkpoint(self, path: str, source: Optional[dict] = None) -> None:
+        """Serialize the whole online state to ``path``.
+
+        The checkpoint captures everything :meth:`append_raw` has folded so
+        far -- intern tables, transaction summaries, frontiers, pending
+        reads, and edge logs -- so a :func:`load_checkpoint`'ed checker
+        continues the stream from record ``num_transactions`` onward and
+        finalizes byte-identically to an uninterrupted run.  Finalized
+        checkers cannot be checkpointed.
+
+        ``source`` optionally records a fingerprint of the stream being
+        checked (see :func:`repro.stream.runner.source_fingerprint`);
+        :func:`load_checkpoint` verifies it so a checkpoint cannot silently
+        resume against a different history.  The write is atomic (temp file
+        + rename), so an interrupted save never destroys the previous
+        checkpoint.
+        """
+        if self._results is not None:
+            raise RuntimeError("cannot checkpoint a finalized checker")
+        payload = {
+            "records_consumed": len(self._txns),
+            "levels": [level.name for level in self._levels],
+            "source": source,
+            "checker": self,
+        }
+        scratch = f"{path}.tmp"
+        with open(scratch, "wb") as handle:
+            handle.write(CHECKPOINT_MAGIC)
+            handle.write(bytes([CHECKPOINT_VERSION]))
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(scratch, path)
+
+    # -- session bookkeeping ---------------------------------------------------
+
+    def _register_session(self, external: object) -> int:
+        dense = len(self._by_session)
+        self._session_ids[external] = dense
+        self._by_session.append([])
+        self._ra_next.append(0)
+        self._ra_last_write.append({})
+        self._cc_next.append(0)
+        self._session_clock.append([])
+        self._cc_ptr_rows.append(array("q"))
+        self._cc_t2_rows.append(array("q"))
+        return dense
+
+    def _dense_sid(self, external: object) -> int:
+        dense = self._session_ids.get(external)
+        if dense is None:
+            dense = self._register_session(external)
+        return dense
+
+    def _name(self, rec: _Txn) -> str:
+        return rec.label if rec.label is not None else f"t{rec.tid}"
+
+    # -- read classification (Algorithm 4, incremental) ------------------------
+
+    def _op_repr(self, read: _Read) -> str:
+        key = self._key_table.values[read.kid]
+        value = self._value_table.values[read.vid]
+        return f"R({key}, {value!r})"
+
+    def _add_rc_violation(
+        self,
+        rec: _Txn,
+        read: _Read,
+        kind: ViolationKind,
+        message: str,
+        write: Optional[OpRef],
+    ) -> None:
+        read.bad = True
+        violation = ReadConsistencyViolation(
+            kind=kind, message=message, read=OpRef(rec.tid, read.index), write=write
+        )
+        self._rc_axiom.append(((rec.sid, rec.sidx, read.index), violation))
+        self._live.append(violation)
+
+    def _track_rebindable(self, rec: _Txn, read: _Read) -> None:
+        """Register a resolved read of a still-parked transaction for rebinds."""
+        rec.rebindable = True
+        wid = (read.kid << _VALUE_SHIFT) | read.vid
+        self._rebindable.setdefault(wid, {})[(rec.tid, read.index)] = (rec, read)
+
+    def _untrack_rebindable(self, rec: _Txn) -> None:
+        """Drop a folding transaction's reads from the rebind table."""
+        rebindable = self._rebindable
+        for read in rec.reads:
+            wid = (read.kid << _VALUE_SHIFT) | read.vid
+            waiters = rebindable.get(wid)
+            if waiters is not None:
+                waiters.pop((rec.tid, read.index), None)
+                if not waiters:
+                    del rebindable[wid]
+        rec.rebindable = False
+
+    def _unclassify(self, rec: _Txn, read: _Read) -> None:
+        """Withdraw a read's previous classification before rebinding it."""
+        if read.bad:
+            sort_key = (rec.sid, rec.sidx, read.index)
+            for i, (key, violation) in enumerate(self._rc_axiom):
+                if key == sort_key and violation.read == OpRef(rec.tid, read.index):
+                    del self._rc_axiom[i]
+                    try:
+                        self._live.remove(violation)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+                    break
+        read.bad = False
+        read.writer = None
+        read.writer_index = -1
+
+    def _classify(
+        self, rec: _Txn, read: _Read, hit: Tuple[int, int, int, int, bool]
+    ) -> None:
+        """Classify a freshly resolved read against the five RC axioms."""
+        _wsid, _wsidx, writer_index, writer_tid, is_final = hit
+        read.writer = writer_tid
+        read.writer_index = writer_index
+        if writer_tid == rec.tid:
+            if writer_index > read.index:
+                self._add_rc_violation(
+                    rec,
+                    read,
+                    ViolationKind.FUTURE_READ,
+                    f"{self._name(rec)} reads {self._op_repr(read)} before writing "
+                    f"it (write at position {writer_index}, read at {read.index})",
+                    write=OpRef(writer_tid, writer_index),
+                )
+            elif read.own_prev is not None and read.own_prev != writer_index:
+                key = self._key_table.values[read.kid]
+                self._add_rc_violation(
+                    rec,
+                    read,
+                    ViolationKind.NOT_LATEST_WRITE,
+                    f"{self._name(rec)} reads {self._op_repr(read)} from a stale "
+                    f"own write to {key!r} (a later own write precedes the read)",
+                    write=OpRef(writer_tid, writer_index),
+                )
+            return
+        writer = self._txns[writer_tid]
+        if not writer.committed:
+            self._add_rc_violation(
+                rec,
+                read,
+                ViolationKind.ABORTED_READ,
+                f"{self._name(rec)} reads {self._op_repr(read)} written by aborted "
+                f"transaction {self._name(writer)}",
+                write=OpRef(writer_tid, writer_index),
+            )
+        elif read.own_prev is not None:
+            key = self._key_table.values[read.kid]
+            self._add_rc_violation(
+                rec,
+                read,
+                ViolationKind.NOT_OWN_WRITE,
+                f"{self._name(rec)} reads {self._op_repr(read)} from "
+                f"{self._name(writer)} although it wrote {key!r} earlier itself",
+                write=OpRef(writer_tid, writer_index),
+            )
+        elif not is_final:
+            key = self._key_table.values[read.kid]
+            self._add_rc_violation(
+                rec,
+                read,
+                ViolationKind.NOT_LATEST_WRITE,
+                f"{self._name(rec)} reads {self._op_repr(read)} from a non-final "
+                f"write of {self._name(writer)} to {key!r}",
+                write=OpRef(writer_tid, writer_index),
+            )
+
+    def _on_resolved(self, rec: _Txn) -> None:
+        """All reads of ``rec`` are classified: fold it into the online state."""
+        rec.resolved = True
+        self._num_unfolded -= 1
+        if rec.rebindable:
+            self._untrack_rebindable(rec)
+        txns = self._txns
+        good: List[Tuple[int, int, int]] = []
+        wr_any: Dict[int, int] = {}
+        wr_good: Dict[int, int] = {}
+        rec_tid = rec.tid
+        for read in rec.reads:
+            writer = read.writer
+            if writer is None or writer == rec_tid:
+                continue
+            if not txns[writer].committed:
+                continue
+            wr_any.setdefault(writer, read.kid)
+            if read.bad:
+                continue
+            good.append((read.index, read.kid, writer))
+            wr_good.setdefault(writer, read.kid)
+        rec.good_reads = good
+        rec.wr_first_any = wr_any
+        rec.wr_first_good = wr_good
+        if self._ra_enabled:
+            self._check_repeatable_reads(rec)
+        rec.reads = []
+        if self._cc_enabled:
+            self._cc_backlog += 1
+            if self._cc_backlog > self._peak_cc_backlog:
+                self._peak_cc_backlog = self._cc_backlog
+        if self._rc_enabled:
+            self._rc_saturate(rec)
+            if not self._ra_enabled and not self._cc_enabled:
+                rec.good_reads = []
+        self._advance_ra(rec.sid)
+        self._advance_cc(rec.sid)
+
+    def _check_repeatable_reads(self, rec: _Txn) -> None:
+        """Per-transaction repeatable-reads check (Algorithm 2's pre-pass)."""
+        last_writer: Dict[int, int] = {}
+        key_names = self._key_table.values
+        for read in rec.reads:
+            if read.bad or read.writer is None:
+                continue
+            writer = read.writer
+            previous = last_writer.get(read.kid)
+            if writer != rec.tid and previous is not None and previous != writer:
+                key = key_names[read.kid]
+                violation = RepeatableReadViolation(
+                    kind=ViolationKind.NON_REPEATABLE_READ,
+                    message=(
+                        f"{self._name(rec)} reads {key!r} from both "
+                        f"{self._name(self._txns[previous])} and "
+                        f"{self._name(self._txns[writer])}"
+                    ),
+                    txn=rec.tid,
+                    key=key,
+                    writers=(previous, writer),
+                )
+                self._rr.append(((rec.sid, rec.sidx, read.index), violation))
+                self._live.append(violation)
+            else:
+                last_writer[read.kid] = writer
+
+    # -- inferred-edge recording -----------------------------------------------
+
+    @staticmethod
+    def _record(log: Dict[int, int], t2: int, t1: int, kid: int, sort_key: int) -> None:
+        """Keep the batch-order-earliest ``(sort key, key id)`` per packed edge."""
+        edge = pack_edge(t2, t1)
+        meta = (sort_key << EDGE_SHIFT) | (kid + 1)
+        current = log.get(edge)
+        if current is None or meta < current:
+            log[edge] = meta
+
+    def _rc_saturate(self, rec: _Txn) -> None:
+        """Per-transaction RC saturation (the body of Algorithm 1's main loop)."""
+        reads = rec.good_reads
+        if not reads:
+            return
+        seen_txns: Set[int] = set()
+        first_txn_reads: Set[int] = set()
+        for index, _key, writer in reads:
+            if writer not in seen_txns:
+                seen_txns.add(writer)
+                first_txn_reads.add(index)
+        earliest: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+        read_keys: Dict[int, None] = {}
+        seq = _sort_base(rec.sid, rec.sidx)
+        txns = self._txns
+        rc_log = self._rc_log
+        rc_log_get = rc_log.get
+        for index, key, t2 in reversed(reads):
+            if index in first_txn_reads:
+                writer_rec = txns[t2]
+                if len(writer_rec.keys_written) <= len(read_keys):
+                    candidates = [
+                        x for x in writer_rec.keys_written_ordered if x in read_keys
+                    ]
+                else:
+                    keys_written = writer_rec.keys_written
+                    candidates = [x for x in read_keys if x in keys_written]
+                for x in candidates:
+                    older, newer = earliest[x]
+                    t1 = newer
+                    if t1 == t2:
+                        t1 = older
+                    if t1 is not None and t1 != t2:
+                        # _record, inlined (hot path).
+                        edge = (t2 << EDGE_SHIFT) | t1
+                        meta = (seq << EDGE_SHIFT) | (x + 1)
+                        current = rc_log_get(edge)
+                        if current is None or meta < current:
+                            rc_log[edge] = meta
+                        seq += 1
+            pair = earliest.get(key)
+            if pair is None:
+                earliest[key] = (None, t2)
+            elif pair[1] != t2:
+                earliest[key] = (pair[1], t2)
+            read_keys[key] = None
+
+    # -- RA frontier (Algorithm 2, online) --------------------------------------
+
+    def _advance_ra(self, sid: int) -> None:
+        if not self._ra_enabled:
+            return
+        records = self._by_session[sid]
+        index = self._ra_next[sid]
+        last_write = self._ra_last_write[sid]
+        while index < len(records):
+            rec = records[index]
+            if rec.committed:
+                if not rec.resolved:
+                    break
+                self._ra_process(rec, last_write)
+            index += 1
+        self._ra_next[sid] = index
+
+    def _ra_process(self, rec: _Txn, last_write: Dict[int, int]) -> None:
+        reads = rec.good_reads
+        seq = _sort_base(rec.sid, rec.sidx)
+        reader_of_key: Dict[int, int] = {}
+        distinct_writers: List[int] = []
+        seen_writers: Set[int] = set()
+        for _index, key, writer in reads:
+            reader_of_key.setdefault(key, writer)
+            if writer not in seen_writers:
+                seen_writers.add(writer)
+                distinct_writers.append(writer)
+
+        ra_log = self._ra_log
+        ra_so_log = self._ra_so_log
+        record = self._record
+        # Case t2 -so-> t3 (also the whole single-session specialization).
+        for _index, key, t1 in reads:
+            t2 = last_write.get(key)
+            if t2 is not None and t2 != t1:
+                record(ra_so_log, t2, t1, key, seq)
+                record(ra_log, t2, t1, key, seq)
+                seq += 1
+
+        # Case t2 -wr-> t3: intersect writer keys with read keys, iterating
+        # the smaller side in deterministic order (as the batch checker does).
+        keys_read = reader_of_key.keys()
+        txns = self._txns
+        for t2 in distinct_writers:
+            writer_rec = txns[t2]
+            keys_written = writer_rec.keys_written
+            if len(keys_written) <= len(keys_read):
+                candidates = (
+                    x for x in writer_rec.keys_written_ordered if x in reader_of_key
+                )
+            else:
+                candidates = (x for x in keys_read if x in keys_written)
+            for x in candidates:
+                t1 = reader_of_key[x]
+                if t1 != t2:
+                    record(ra_log, t2, t1, x, seq)
+                    seq += 1
+
+        for key in rec.keys_written_ordered:
+            last_write[key] = rec.tid
+        if not self._cc_enabled:
+            rec.good_reads = []
+
+    # -- CC frontier (Algorithm 3, online) --------------------------------------
+
+    def _advance_cc(self, sid: int) -> None:
+        if not self._cc_enabled:
+            return
+        queue = [sid]
+        while queue:
+            current = queue.pop()
+            records = self._by_session[current]
+            index = self._cc_next[current]
+            while index < len(records):
+                rec = records[index]
+                if rec.committed:
+                    if not rec.resolved:
+                        break
+                    if not rec.cc_registered:
+                        rec.cc_registered = True
+                        seen: Set[int] = set()
+                        pending = 0
+                        for _i, _key, writer in rec.good_reads:
+                            if writer in seen:
+                                continue
+                            seen.add(writer)
+                            if not self._txns[writer].cc_done:
+                                pending += 1
+                                self._cc_waiters.setdefault(writer, []).append(rec)
+                        rec.cc_pending = pending
+                    if rec.cc_pending > 0:
+                        break
+                    queue.extend(self._cc_process(rec))
+                index += 1
+            self._cc_next[current] = index
+
+    def _cc_process(self, rec: _Txn) -> List[int]:
+        """ComputeHB + saturate_cc for one transaction; returns sessions to poke."""
+        txns = self._txns
+        rec_sid = rec.sid
+        clock = list(self._session_clock[rec_sid])
+        seen: Set[int] = set()
+        hb = self._hb
+        for _index, _key, writer in rec.good_reads:
+            if writer in seen:
+                continue
+            seen.add(writer)
+            wrec = txns[writer]
+            if wrec.sid == rec_sid:
+                # A same-session writer is an so-predecessor, and the base
+                # session clock already joins every predecessor's clock and
+                # session index -- the join below would be a no-op.
+                continue
+            wclock = hb[writer]
+            if len(wclock) > len(clock):
+                clock.extend([-1] * (len(wclock) - len(clock)))
+            for s2, value in enumerate(wclock):
+                if value > clock[s2]:
+                    clock[s2] = value
+            if wrec.sid >= len(clock):
+                clock.extend([-1] * (wrec.sid + 1 - len(clock)))
+            if wrec.sidx > clock[wrec.sid]:
+                clock[wrec.sid] = wrec.sidx
+        hb[rec.tid] = clock
+
+        ptr_row = self._cc_ptr_rows[rec.sid]
+        t2_row = self._cc_t2_rows[rec.sid]
+        num_buckets = self._num_buckets
+        clock_len = len(clock)
+        seq = _sort_base(rec.sid, rec.sidx)
+        cc_log = self._cc_log
+        cc_log_get = cc_log.get
+        writers_by_key = self._writers_by_key
+        row_len = len(ptr_row)
+        for _index, key, t1 in rec.good_reads:
+            entry = writers_by_key.get(key)
+            if entry is None:
+                continue
+            for writer_list, writer_indices, bid, other in entry[1]:
+                if bid >= row_len:
+                    # Grow the flat pointer rows to cover every bucket
+                    # allocated so far (zeros = untouched, -1 = no writer).
+                    grow = num_buckets - row_len
+                    ptr_row.frombytes(bytes(8 * grow))
+                    t2_row.extend([-1] * grow)
+                    row_len = num_buckets
+                ptr = ptr_row[bid]
+                bound = clock[other] if other < clock_len else -1
+                count = len(writer_list)
+                if ptr < count and writer_indices[ptr] <= bound:
+                    while ptr < count and writer_indices[ptr] <= bound:
+                        ptr += 1
+                    t2 = writer_list[ptr - 1]
+                    ptr_row[bid] = ptr
+                    t2_row[bid] = t2
+                else:
+                    t2 = t2_row[bid]
+                if t2 >= 0 and t2 != t1:
+                    # _record, inlined (hot path).
+                    edge = (t2 << EDGE_SHIFT) | t1
+                    meta = (seq << EDGE_SHIFT) | (key + 1)
+                    current = cc_log_get(edge)
+                    if current is None or meta < current:
+                        cc_log[edge] = meta
+                    seq += 1
+
+        next_clock = list(clock)
+        if rec.sid >= len(next_clock):
+            next_clock.extend([-1] * (rec.sid + 1 - len(next_clock)))
+        if rec.sidx > next_clock[rec.sid]:
+            next_clock[rec.sid] = rec.sidx
+        self._session_clock[rec.sid] = next_clock
+
+        rec.cc_done = True
+        rec.good_reads = []
+        self._cc_backlog -= 1
+        waiters = self._cc_waiters.pop(rec.tid, None)
+        poke: List[int] = []
+        if waiters:
+            for waiter in waiters:
+                waiter.cc_pending -= 1
+                if waiter.cc_pending == 0:
+                    poke.append(waiter.sid)
+        return poke
+
+    # -- finalize helpers --------------------------------------------------------
+
+    def _batch_numbering(self):
+        """Renumber transactions the way ``History.from_sessions`` would."""
+        mapping = [0] * len(self._txns)
+        names = [""] * len(self._txns)
+        committed_ids: List[int] = []
+        so_edges: List[Tuple[int, int]] = []
+        batch_tid = 0
+        for records in self._by_session:
+            previous = -1
+            for rec in records:
+                mapping[rec.tid] = batch_tid
+                names[batch_tid] = (
+                    rec.label if rec.label is not None else f"t{batch_tid}"
+                )
+                if rec.committed:
+                    committed_ids.append(batch_tid)
+                    if previous >= 0:
+                        so_edges.append((previous, batch_tid))
+                    previous = batch_tid
+                batch_tid += 1
+        return mapping, names, committed_ids, so_edges
+
+    def _wr_any_edges(self, mapping: List[int]) -> Iterator[Tuple[int, int, str]]:
+        key_names = self._key_table.values
+        for records in self._by_session:
+            for rec in records:
+                if not rec.committed:
+                    continue
+                reader = mapping[rec.tid]
+                for writer, kid in rec.wr_first_any.items():
+                    yield (mapping[writer], reader, key_names[kid])
+
+    def _build_relation(
+        self,
+        mapping: List[int],
+        names: List[str],
+        committed_ids: List[int],
+        so_edges: List[Tuple[int, int]],
+        log: Dict[int, int],
+    ) -> CommitRelation:
+        relation = CommitRelation.from_edges(
+            names, committed_ids, so_edges, self._wr_any_edges(mapping)
+        )
+        # Drain the packed log in batch order with the per-edge work of
+        # CommitRelation.add_inferred_packed inlined (endpoint ids are
+        # range-checked once at append, so the packed form is safe).
+        key_names = self._key_table.values
+        labels = relation._labels
+        succ = relation.graph._succ
+        log_pop = log.pop
+        inferred = 0
+        for edge in sorted(log, key=log.__getitem__):
+            kid = (log_pop(edge) & EDGE_MASK) - 1
+            t2 = mapping[edge >> EDGE_SHIFT]
+            t1 = mapping[edge & EDGE_MASK]
+            packed = (t2 << EDGE_SHIFT) | t1
+            if packed not in labels:
+                labels[packed] = ("co", key_names[kid] if kid >= 0 else None)
+                succ[t2].append(t1)
+                inferred += 1
+        relation.num_inferred_edges += inferred
+        relation.graph._edge_count += inferred
+        return relation
+
+    def _causality_graph(self, mapping: List[int]):
+        """The committed ``so ∪ good-wr`` graph, in batch construction order."""
+        graph = DiGraph(len(self._txns))
+        labels: Dict[Tuple[int, int], Optional[str]] = {}
+        key_names = self._key_table.values
+        for records in self._by_session:
+            previous = -1
+            for rec in records:
+                if not rec.committed:
+                    continue
+                current = mapping[rec.tid]
+                if previous >= 0 and (previous, current) not in labels:
+                    labels[(previous, current)] = None
+                    graph.add_edge(previous, current)
+                previous = current
+        for records in self._by_session:
+            for rec in records:
+                if not rec.committed:
+                    continue
+                reader = mapping[rec.tid]
+                for writer, kid in rec.wr_first_good.items():
+                    edge = (mapping[writer], reader)
+                    if edge not in labels:
+                        labels[edge] = key_names[kid]
+                        graph.add_edge(edge[0], edge[1])
+                    elif labels[edge] is None:
+                        labels[edge] = key_names[kid]
+        return graph, labels
+
+    def _result(
+        self,
+        level: IsolationLevel,
+        violations: List[Violation],
+        checker: str,
+        relation: Optional[CommitRelation],
+        co_edges: bool = True,
+    ) -> CheckResult:
+        stats: Dict[str, float] = {}
+        if relation is not None:
+            stats["inferred_edges"] = relation.num_inferred_edges
+            if co_edges:
+                stats["co_edges"] = relation.num_edges
+        return CheckResult(
+            level=level,
+            violations=violations,
+            checker=checker,
+            elapsed_seconds=self._elapsed,
+            num_operations=self._num_operations,
+            num_transactions=len(self._txns),
+            num_sessions=len(self._by_session),
+            stats=stats,
+        )
+
+
+def load_checkpoint(
+    path: str, source_path: Optional[str] = None
+) -> CompiledIncrementalChecker:
+    """Restore a :class:`CompiledIncrementalChecker` from a checkpoint file.
+
+    The returned checker has consumed ``checker.num_transactions`` records;
+    skip that many records of the stream and keep appending.  Raises
+    :class:`~repro.core.exceptions.HistoryFormatError` on a bad header, or
+    -- when ``source_path`` is given and the checkpoint recorded a source
+    fingerprint -- when ``source_path`` is not the history the checkpoint
+    was taken from (resuming against a different file would silently mix
+    two runs; the comparison re-hashes the recorded prefix length, so a
+    log that merely *grew* since the save still matches).  Checkpoints are
+    pickles: load only files you wrote yourself.
+    """
+    with open(path, "rb") as handle:
+        magic = handle.read(len(CHECKPOINT_MAGIC))
+        if magic != CHECKPOINT_MAGIC:
+            raise HistoryFormatError(f"{path}: not an awdit checkpoint file")
+        version = handle.read(1)
+        if not version or version[0] != CHECKPOINT_VERSION:
+            raise HistoryFormatError(
+                f"{path}: unsupported checkpoint version "
+                f"{version[0] if version else '<missing>'}"
+            )
+        payload = pickle.load(handle)
+    checker = payload["checker"]
+    if not isinstance(checker, CompiledIncrementalChecker):  # pragma: no cover
+        raise HistoryFormatError(f"{path}: checkpoint does not contain a checker")
+    recorded = payload.get("source")
+    if source_path is not None and recorded is not None:
+        current = source_fingerprint(source_path, prefix_len=recorded["prefix_len"])
+        if current != recorded:
+            raise HistoryFormatError(
+                f"{path}: checkpoint was taken from a different history than "
+                f"{source_path} (source fingerprint mismatch); re-run without "
+                "--resume"
+            )
+    return checker
+
+
+def check_stream_compiled(
+    records: Iterable[Tuple[object, Tuple[Optional[str], bool, list]]],
+    level: IsolationLevel = IsolationLevel.CAUSAL_CONSISTENCY,
+    max_witnesses: Optional[int] = None,
+    num_sessions: Optional[int] = None,
+) -> CheckResult:
+    """One-pass check of a raw record stream against ``level``.
+
+    The compiled analogue of :func:`repro.stream.check_stream`: feed it
+    :func:`repro.histories.formats.stream_raw_history` and no model objects
+    are ever constructed.
+    """
+    checker = CompiledIncrementalChecker(
+        levels=(level,), num_sessions=num_sessions, max_witnesses=max_witnesses
+    )
+    checker.extend_raw(records)
+    return checker.finalize()[level]

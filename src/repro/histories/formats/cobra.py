@@ -29,6 +29,11 @@ __all__ = ["dumps", "loads", "stream", "stream_ops"]
 #: ``max(session) + 1``).
 COMPILED_SESSION_GAPS = True
 
+#: Record boundaries are lines whose ``(session, txn_index)`` ident differs
+#: from the previous line's, so byte-range splitting must align cuts to
+#: ident changes (:mod:`repro.shard.split`).
+BYTE_RANGE_RECORDS = "cobra"
+
 _HEADER = ["session", "txn_index", "op", "key", "value", "committed"]
 
 
@@ -59,7 +64,11 @@ def _parse_row(line_number: int, row: List[str]) -> Tuple[int, int, bool, str, o
     return sid, txn_index, kind == "W", key, value, is_committed
 
 
-def stream_ops(handle: Iterable[str]) -> Iterator[Tuple[int, RawTransaction]]:
+def stream_ops(
+    handle: Iterable[str],
+    allow_empty: bool = False,
+    spans_out: Optional[Dict[int, Tuple[int, int]]] = None,
+) -> Iterator[Tuple[int, RawTransaction]]:
     """Iterate raw ``(session_id, (label, committed, ops))`` records.
 
     Consecutive rows with the same ``(session, txn_index)`` pair form one
@@ -69,6 +78,11 @@ def stream_ops(handle: Iterable[str]) -> Iterator[Tuple[int, RawTransaction]]:
     tolerates interleaved rows by buffering the whole file).  A repeated
     index is rejected as a duplicate transaction id.  Memory is bounded by
     one transaction plus one index per session.
+
+    ``allow_empty`` and ``spans_out`` exist for the byte-range splitter
+    (:mod:`repro.shard.split`): a mid-file region may hold no records, and
+    ``spans_out`` receives each session's ``(first, last)`` txn indices so
+    the contiguity check can chain *across* regions at merge time.
     """
     current: Optional[Tuple[int, int]] = None
     ops: RawOps = []
@@ -102,6 +116,11 @@ def stream_ops(handle: Iterable[str]) -> Iterator[Tuple[int, RawTransaction]]:
                     f"line {line_number}: negative txn index {txn_index}"
                 )
             last_index[sid] = txn_index
+            if spans_out is not None:
+                span = spans_out.get(sid)
+                spans_out[sid] = (
+                    (txn_index, txn_index) if span is None else (span[0], txn_index)
+                )
             current = ident
             ops = []
             committed = is_committed
@@ -111,6 +130,8 @@ def stream_ops(handle: Iterable[str]) -> Iterator[Tuple[int, RawTransaction]]:
             )
         ops.append((is_write, key, value))
     if current is None:
+        if allow_empty:
+            return
         raise ParseError("empty cobra-style history")
     yield current[0], (None, committed, ops)
 

@@ -26,10 +26,17 @@ __all__ = ["dumps", "loads", "stream", "stream_ops"]
 #: Sparse session ids are compacted, not filled (matching ``loads``).
 COMPILED_SESSION_GAPS = False
 
+#: One transaction per line: any newline is a record boundary, so the format
+#: supports byte-range splitting (:mod:`repro.shard.split`).
+BYTE_RANGE_RECORDS = "line"
+
 _OP_PATTERN = re.compile(r"([RW])\(([^,()]+),([^()]*)\)")
 _LINE_PATTERN = re.compile(
     r"session=(\d+)\s+txn=(\S+)\s+(committed|aborted)\s+ops=\s*(.*)"
 )
+#: Fast-path check: the whole ops field is well-formed operations and
+#: whitespace, so the malformed-gap bookkeeping below can be skipped.
+_OPS_WELL_FORMED = re.compile(r"\s*(?:[RW]\([^,()]+,[^()]*\)\s*)*\Z")
 
 
 def _render_value(value: object) -> str:
@@ -72,6 +79,17 @@ def _parse_line(line_number: int, line: str) -> Optional[Tuple[int, RawTransacti
     label = match.group(2)
     committed = match.group(3) == "committed"
     ops_text = match.group(4)
+    if _OPS_WELL_FORMED.match(ops_text):
+        # Hot path: no gaps or truncation possible, so findall's C loop
+        # replaces the per-match slicing below.
+        return sid, (
+            label,
+            committed,
+            [
+                (kind == "W", key.strip(), _parse_value(value))
+                for kind, key, value in _OP_PATTERN.findall(ops_text)
+            ],
+        )
     ops: RawOps = []
     # Anything between or after the matched operations is a malformed or
     # truncated operation (e.g. a mid-record EOF cutting `W(y,` off);
@@ -96,7 +114,11 @@ def _parse_line(line_number: int, line: str) -> Optional[Tuple[int, RawTransacti
     return sid, (label, committed, ops)
 
 
-def stream_ops(handle: Iterable[str]) -> Iterator[Tuple[int, RawTransaction]]:
+def stream_ops(
+    handle: Iterable[str],
+    allow_empty: bool = False,
+    labels_out: Optional[Dict[int, set]] = None,
+) -> Iterator[Tuple[int, RawTransaction]]:
     """Iterate raw ``(session_id, (label, committed, ops))`` records.
 
     One line is one transaction, so the parse is naturally one-pass; lines of
@@ -105,9 +127,14 @@ def stream_ops(handle: Iterable[str]) -> Iterator[Tuple[int, RawTransaction]]:
     all is rejected (a truncated capture must not pass as consistent), and a
     ``txn=`` id repeated within one session is rejected as a duplicate
     transaction id (memory cost: one label reference per transaction).
+
+    ``allow_empty`` and ``labels_out`` exist for the byte-range splitter
+    (:mod:`repro.shard.split`): a mid-file region may legitimately hold no
+    records, and ``labels_out`` exposes the per-session label sets so the
+    duplicate check can run *across* regions at merge time.
     """
     empty = True
-    seen_labels: Dict[int, set] = {}
+    seen_labels: Dict[int, set] = labels_out if labels_out is not None else {}
     for line_number, raw_line in enumerate(handle, start=1):
         parsed = _parse_line(line_number, raw_line)
         if parsed is None:
@@ -123,7 +150,7 @@ def stream_ops(handle: Iterable[str]) -> Iterator[Tuple[int, RawTransaction]]:
         session_labels.add(label)
         empty = False
         yield sid, raw
-    if empty:
+    if empty and not allow_empty:
         raise ParseError("history file contains no transactions")
 
 

@@ -31,9 +31,17 @@ from repro.shard.parallel import (
     will_parallelize,
 )
 from repro.shard.plan import ShardPlan, plan_shards, shard_of_external
+from repro.shard.split import (
+    RangeSummary,
+    parse_byte_range,
+    split_byte_ranges,
+    splittable,
+    validate_range_summaries,
+)
 
 __all__ = [
     "MODES",
+    "RangeSummary",
     "ShardIngestStats",
     "ShardPlan",
     "check_all_levels_sharded",
@@ -41,8 +49,11 @@ __all__ = [
     "default_jobs",
     "load_compiled_sharded",
     "merge_shard_builders",
+    "parse_byte_range",
     "plan_shards",
     "shard_of_external",
     "sharded_ingest",
-    "will_parallelize",
+    "split_byte_ranges",
+    "splittable",
+    "validate_range_summaries",
 ]

@@ -15,11 +15,16 @@ Two feeding modes:
 
 * **routed** (default): one streaming parse in this process, records routed
   to shard builders as they arrive.  One file pass, bounded parser memory.
-* **parallel**: ``jobs`` worker processes each parse the file and keep only
-  their own shard's sessions.  The parse work is replicated but the
-  (dominant) intern/append work is split; workers return pickled shard
-  builders for the same merge.  Requires the ``fork``/``spawn`` capable
-  :mod:`multiprocessing`; falls back to routed mode when unavailable.
+* **parallel**: the file is cut into record-aligned byte regions
+  (:mod:`repro.shard.split`) and ``jobs`` worker processes each parse *one
+  region once* into a private builder; the merge absorbs the builders in
+  region order, which reconstructs every session's record order exactly
+  (regions are in file order).  Cross-region validations (duplicate plume
+  ``txn=`` labels, cobra index contiguity) run at merge time on the
+  regions' summaries.  Formats without line-level record boundaries (the
+  JSON ones) fall back to the legacy replicated parse, where each worker
+  reads the whole file and keeps only its own sessions; no ``fork`` support
+  at all falls back to routed mode.
 
 Global intern ids are assigned in shard-major first-seen order rather than
 file order, so they may differ from :func:`~repro.histories.formats.load_compiled`'s
@@ -91,6 +96,17 @@ def _ingest_shard_from_file(
     return builder
 
 
+def _ingest_byte_range(path: str, fmt: Optional[str], start: int, end: int):
+    """Parse one record-aligned byte region into a builder (worker body)."""
+    from repro.shard.split import parse_byte_range
+
+    builder = CompiledHistoryBuilder()
+    records, summary = parse_byte_range(path, start, end, fmt=fmt)
+    for sid, (label, committed, ops) in records:
+        builder.add_transaction(sid, label, committed, ops)
+    return builder, summary
+
+
 def sharded_ingest(
     path: str,
     jobs: int,
@@ -112,13 +128,33 @@ def sharded_ingest(
     fill_gaps = bool(getattr(module, "COMPILED_SESSION_GAPS", False))
 
     if parallel and jobs > 1 and "fork" in multiprocessing.get_all_start_methods():
+        from repro.shard.split import split_byte_ranges, validate_range_summaries
+
+        ranges = split_byte_ranges(path, jobs, fmt=fmt_name)
         ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(processes=jobs) as pool:
-            handles = [
-                pool.apply_async(_ingest_shard_from_file, (path, fmt_name, jobs, shard))
-                for shard in range(jobs)
-            ]
-            builders = [handle.get() for handle in handles]
+        if ranges is not None:
+            # Byte-range mode: each region parsed once, by one worker.
+            with ctx.Pool(processes=min(jobs, len(ranges))) as pool:
+                handles = [
+                    pool.apply_async(_ingest_byte_range, (path, fmt_name, lo, hi))
+                    for lo, hi in ranges
+                ]
+                outcomes = [handle.get() for handle in handles]
+            builders = [builder for builder, _summary in outcomes]
+            validate_range_summaries(
+                path, [summary for _builder, summary in outcomes], fmt=fmt_name
+            )
+        else:
+            # No line-level record boundaries: replicate the parse, each
+            # worker keeping only its own sessions.
+            with ctx.Pool(processes=jobs) as pool:
+                handles = [
+                    pool.apply_async(
+                        _ingest_shard_from_file, (path, fmt_name, jobs, shard)
+                    )
+                    for shard in range(jobs)
+                ]
+                builders = [handle.get() for handle in handles]
     else:
         builders = [CompiledHistoryBuilder() for _ in range(jobs)]
         for sid, (label, committed, ops) in stream_raw_history(path, fmt_name):

@@ -37,16 +37,22 @@ The online state mirrors the batch algorithms exactly:
   ``so ∪ wr`` cycle, reported with the same witnesses as the batch checker.
 
 ``finalize()`` replays the recorded commit-order edges in the batch
-algorithms' insertion order, so on any history with unique writes the
-verdicts, violation kinds, inferred-edge counts, and cycle witnesses are
-identical to the batch :func:`repro.core.check` (property-tested in
-``tests/test_stream.py``).  Two documented divergences: duplicate
-``(key, value)`` writes resolve to the first-arriving write (batch picks the
-last in transaction-id order), and transactions in violation messages are
-named ``t<arrival id>`` when unlabeled, while batch numbering is
-session-blocked.  Pass ``num_sessions`` when the session count is known up
-front so session numbering (and thus witness selection) matches the batch
-checker exactly even when sessions first appear out of order.
+algorithms' insertion order, so verdicts, violation kinds, inferred-edge
+counts, and cycle witnesses are identical to the batch
+:func:`repro.core.check` (property-tested in ``tests/test_stream.py``).
+Duplicate ``(key, value)`` writes resolve exactly like batch's unique-writes
+convention -- the last write in transaction-id order wins: a later-ordered
+duplicate supersedes the registry entry and rebinds the already-resolved
+reads of transactions that have not been folded into the frontiers yet.  (A
+duplicate arriving only after a reading transaction was folded can no longer
+rebind it; observing such a write would need a second pass, and a stream
+that replays a history in session-blocked order with writes ahead of their
+readers resolves identically to batch.)  One documented divergence remains:
+transactions in violation messages are named ``t<arrival id>`` when
+unlabeled, while batch numbering is session-blocked.  Pass ``num_sessions``
+when the session count is known up front so session numbering (and thus
+witness selection) matches the batch checker exactly even when sessions
+first appear out of order.
 """
 
 from __future__ import annotations
@@ -136,6 +142,7 @@ class _Txn:
         "reads",
         "unresolved",
         "resolved",
+        "rebindable",
         "cc_done",
         "cc_pending",
         "cc_registered",
@@ -158,6 +165,9 @@ class _Txn:
         self.reads: List[_Read] = []
         self.unresolved = 0
         self.resolved = False
+        #: True while this transaction's resolved reads sit in the checker's
+        #: rebind table (set only for transactions that park reads).
+        self.rebindable = False
         self.cc_done = False
         self.cc_pending = 0
         self.cc_registered = False
@@ -211,10 +221,17 @@ class IncrementalChecker:
         # keyed by dense key ids.
         self._key_table = Intern()
         # (key id, value) -> (writer tid, op index, is the writer's final
-        # write to the key); first write wins.
+        # write to the key); the last write in transaction-id (batch) order
+        # wins, exactly like History._infer_wr.
         self._writes: Dict[Tuple[int, object], Tuple[int, int, bool]] = {}
         # (key id, value) -> reads waiting for that write to arrive.
         self._pending: Dict[Tuple[int, object], List[Tuple[_Txn, _Read]]] = {}
+        # (key id, value) -> resolved reads of still-parked transactions,
+        # rebindable when a later-ordered duplicate write supersedes the
+        # registry entry (removed when the transaction folds).
+        self._rebindable: Dict[
+            Tuple[int, object], Dict[Tuple[int, int], Tuple[_Txn, _Read]]
+        ] = {}
 
         # RA state: per-session frontier and lastWrite map (Algorithm 2).
         self._ra_next: List[int] = []
@@ -322,12 +339,19 @@ class IncrementalChecker:
 
         # Register writes only once the whole transaction is scanned, so the
         # index can record whether each write is the final one to its key.
+        # Duplicate (key, value) writes resolve to the last write in batch
+        # transaction-id order, like History._infer_wr.
         new_writes: List[Tuple[int, object]] = []
+        superseded: List[Tuple[int, object]] = []
         for kid, value, index in txn_writes:
             wkey = (kid, value)
-            if wkey not in writes:
+            current = writes.get(wkey)
+            if current is None:
                 writes[wkey] = (tid, index, final_write[kid] == index)
                 new_writes.append(wkey)
+            elif self._batch_order(tid, index) > self._batch_order(*current[:2]):
+                writes[wkey] = (tid, index, final_write[kid] == index)
+                superseded.append(wkey)
 
         if rec.committed and self._cc_enabled and final_write:
             for key in rec.keys_written_ordered:
@@ -340,6 +364,16 @@ class IncrementalChecker:
                 entry[0].append(tid)
                 entry[1].append(rec.sidx)
 
+        # A later-ordered duplicate write rebinds the resolved reads of
+        # transactions that have not been folded yet.
+        for wkey in superseded:
+            rebinds = self._rebindable.get(wkey)
+            if rebinds:
+                hit = writes[wkey]
+                for other, read in list(rebinds.values()):
+                    self._unclassify(other, read)
+                    self._classify(other, read, hit)
+
         # Resolve earlier reads that were waiting for this transaction's writes.
         for wkey in new_writes:
             waiters = self._pending.pop(wkey, None)
@@ -351,6 +385,8 @@ class IncrementalChecker:
                 other.unresolved -= 1
                 if other.unresolved == 0:
                     self._on_resolved(other)
+                else:
+                    self._track_rebindable(other, read)
 
         # Resolve this transaction's own reads against everything seen so far.
         if rec.committed:
@@ -363,6 +399,10 @@ class IncrementalChecker:
                     self._classify(rec, read, hit)
             if rec.unresolved == 0:
                 self._on_resolved(rec)
+            else:
+                for read in reads:
+                    if read.writer is not None or read.bad:
+                        self._track_rebindable(rec, read)
         else:
             rec.resolved = True
             self._advance_ra(rec.sid)
@@ -421,6 +461,7 @@ class IncrementalChecker:
         # the commit relations so peak memory stays close to one relation.
         self._writes = {}
         self._pending = {}
+        self._rebindable = {}
         self._hb = {}
         self._session_clock = []
         self._writers_by_key = {}
@@ -513,6 +554,46 @@ class IncrementalChecker:
 
     # -- read classification (Algorithm 4, incremental) ------------------------
 
+    def _batch_order(self, tid: int, index: int) -> Tuple[int, int, int]:
+        """A write's position in batch transaction-id order."""
+        rec = self._txns[tid]
+        return (rec.sid, rec.sidx, index)
+
+    def _track_rebindable(self, rec: _Txn, read: _Read) -> None:
+        """Register a resolved read of a still-parked transaction for rebinds."""
+        rec.rebindable = True
+        self._rebindable.setdefault((read.kid, read.value), {})[
+            (rec.tid, read.index)
+        ] = (rec, read)
+
+    def _untrack_rebindable(self, rec: _Txn) -> None:
+        """Drop a folding transaction's reads from the rebind table."""
+        rebindable = self._rebindable
+        for read in rec.reads:
+            wkey = (read.kid, read.value)
+            waiters = rebindable.get(wkey)
+            if waiters is not None:
+                waiters.pop((rec.tid, read.index), None)
+                if not waiters:
+                    del rebindable[wkey]
+        rec.rebindable = False
+
+    def _unclassify(self, rec: _Txn, read: _Read) -> None:
+        """Withdraw a read's previous classification before rebinding it."""
+        if read.bad:
+            sort_key = (rec.sid, rec.sidx, read.index)
+            for i, (key, violation) in enumerate(self._rc_axiom):
+                if key == sort_key and violation.read == OpRef(rec.tid, read.index):
+                    del self._rc_axiom[i]
+                    try:
+                        self._live.remove(violation)
+                    except ValueError:  # pragma: no cover - defensive
+                        pass
+                    break
+        read.bad = False
+        read.writer = None
+        read.writer_index = -1
+
     def _add_rc_violation(
         self,
         rec: _Txn,
@@ -586,6 +667,8 @@ class IncrementalChecker:
     def _on_resolved(self, rec: _Txn) -> None:
         """All reads of ``rec`` are classified: fold it into the online state."""
         rec.resolved = True
+        if rec.rebindable:
+            self._untrack_rebindable(rec)
         txns = self._txns
         good: List[Tuple[int, int, int]] = []
         wr_any: Dict[int, int] = {}

@@ -1,0 +1,337 @@
+"""Streaming-mode dispatch: engines, parallel ingestion, checkpoints.
+
+The batch side of the repo dispatches one *engine* axis
+(``object | compiled | sharded``); this module gives streaming (*mode*) the
+same orthogonal treatment:
+
+* ``engine="compiled"`` (the default via ``"auto"``) checks with the
+  :class:`~repro.core.compiled.online.CompiledIncrementalChecker` -- raw
+  parser records in, no model objects on the hot path;
+* ``engine="sharded"`` / ``jobs=N`` additionally parallelizes *ingestion*:
+  the file is cut into record-aligned byte regions
+  (:mod:`repro.shard.split`) parsed by ``N`` forked workers, whose records
+  feed the sequential online core in file order -- the check itself stays
+  one-pass and byte-identical;
+* ``engine="object"`` keeps the original
+  :class:`~repro.stream.incremental.IncrementalChecker` as the independent
+  reference implementation for parity testing.
+
+:func:`check_stream_file` is the CLI's ``awdit check --stream`` entry point
+and carries the checkpoint/resume surface: ``checkpoint=`` serializes the
+online state every ``checkpoint_every`` transactions (and once more before
+finalizing), ``resume=True`` restores it and skips the records the
+checkpoint already consumed.  :func:`check_history_stream` runs the same
+engines over an in-memory history (the parity harness behind
+``check(..., mode="stream")``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from itertools import islice
+from typing import Iterable, Iterator, Optional, Tuple, Union
+
+from repro.core.compiled.ir import CompiledHistory
+from repro.core.compiled.online import (
+    CompiledIncrementalChecker,
+    check_stream_compiled,
+    load_checkpoint,
+    source_fingerprint,
+)
+from repro.core.isolation import IsolationLevel
+from repro.core.model import History
+from repro.core.result import CheckResult
+from repro.histories.formats._raw import RawTransaction
+from repro.stream.incremental import IncrementalChecker, check_stream
+
+__all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "STREAM_ENGINES",
+    "check_all_levels_history_stream",
+    "check_history_stream",
+    "check_stream_file",
+    "history_records",
+    "iter_raw_records",
+    "stream_live_stats",
+]
+
+#: Engines accepted by the streaming mode.  ``auto`` resolves to
+#: ``compiled``; ``sharded`` is ``compiled`` plus byte-range parallel
+#: ingestion (which only applies to on-disk histories).
+STREAM_ENGINES = ("auto", "compiled", "sharded", "object")
+
+#: Default checkpoint cadence (transactions between saves).
+DEFAULT_CHECKPOINT_EVERY = 10_000
+
+_RawRecord = Tuple[object, RawTransaction]
+
+
+def history_records(
+    history: Union[History, CompiledHistory],
+) -> Iterator[_RawRecord]:
+    """Raw ``(session, (label, committed, ops))`` records of an in-memory history.
+
+    Records come in the on-disk file order (session by session), which is
+    the order the streaming parsers would deliver them.
+    """
+    if isinstance(history, CompiledHistory):
+        key_objs = history.key_table.values
+        value_objs = history.value_table.values
+        op_kind = history.op_kind
+        op_key = history.op_key
+        op_value = history.op_value
+        txn_start = history.txn_start
+        for sid, session in enumerate(history.sessions):
+            for tid in session:
+                lo, hi = txn_start[tid], txn_start[tid + 1]
+                ops = [
+                    (bool(op_kind[i]), key_objs[op_key[i]], value_objs[op_value[i]])
+                    for i in range(lo, hi)
+                ]
+                yield sid, (
+                    history.labels.get(tid),
+                    bool(history.txn_committed[tid]),
+                    ops,
+                )
+        return
+    for sid, session in enumerate(history.sessions):
+        for tid in session:
+            txn = history.transactions[tid]
+            ops = [(op.is_write, op.key, op.value) for op in txn.operations]
+            yield sid, (txn.label, txn.committed, ops)
+
+
+def _parse_range_task(args):
+    from repro.shard.split import parse_byte_range
+
+    path, lo, hi, fmt = args
+    return parse_byte_range(path, lo, hi, fmt=fmt)
+
+
+
+
+def iter_raw_records(
+    path: str, fmt: Optional[str] = None, jobs: Optional[int] = None
+) -> Iterator[_RawRecord]:
+    """Raw records of ``path`` in file order, optionally parsed in parallel.
+
+    With ``jobs`` > 1, a splittable format, and usable ``fork`` parallelism,
+    the file is cut into record-aligned byte regions parsed by a worker
+    pool; records still come back in exact file order (regions are ordered
+    and each preserves its slice's order), so consumers cannot tell the
+    difference.  Everything else falls back to the sequential streaming
+    parse.  Parallel parsing buffers a few regions in flight, trading the
+    strictly-bounded parser memory of the sequential path for parse
+    throughput.
+    """
+    from repro.histories.formats import stream_raw_history
+
+    if jobs is not None and jobs > 1:
+        from repro.shard.parallel import will_parallelize
+        from repro.shard.split import split_byte_ranges, validate_range_summaries
+
+        ranges = (
+            split_byte_ranges(path, jobs * 4, fmt=fmt) if will_parallelize(jobs) else None
+        )
+        if ranges is not None and len(ranges) > 1:
+            context = multiprocessing.get_context("fork")
+            summaries = []
+            # Bounded submission window: workers may run at most a couple of
+            # regions ahead of the consumer, so a checker slower than the
+            # parsers cannot make parsed-but-unconsumed regions pile up and
+            # defeat the streaming memory bound.
+            with context.Pool(processes=jobs) as pool:
+                tasks = deque()
+                pending = deque()
+                for lo, hi in ranges:
+                    tasks.append((path, lo, hi, fmt))
+                window = jobs + 2
+                while tasks or pending:
+                    while tasks and len(pending) < window:
+                        pending.append(
+                            pool.apply_async(_parse_range_task, (tasks.popleft(),))
+                        )
+                    records, summary = pending.popleft().get()
+                    summaries.append(summary)
+                    for record in records:
+                        yield record
+            validate_range_summaries(path, summaries, fmt=fmt)
+            return
+    for record in stream_raw_history(path, fmt):
+        yield record
+
+
+def _resolve_stream_engine(engine: str, jobs: Optional[int]) -> str:
+    if engine not in STREAM_ENGINES:
+        raise ValueError(
+            f"unknown streaming engine {engine!r}; expected one of {STREAM_ENGINES}"
+        )
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if engine == "object":
+        if jobs is not None:
+            raise ValueError(
+                "jobs parallelizes streaming ingestion for the compiled online "
+                "core; the object streaming engine is single-process"
+            )
+        return "object"
+    if engine == "auto" and jobs is not None:
+        return "sharded"
+    return "compiled" if engine == "auto" else engine
+
+
+def check_history_stream(
+    history: Union[History, CompiledHistory],
+    level: IsolationLevel = IsolationLevel.CAUSAL_CONSISTENCY,
+    engine: str = "auto",
+    jobs: Optional[int] = None,
+    max_witnesses: Optional[int] = None,
+) -> CheckResult:
+    """Stream an in-memory history through the chosen online engine.
+
+    This is ``check(history, level, mode="stream")``: the history's
+    transactions are replayed in file order into the online checker.  With
+    ``engine="sharded"`` the parallel-ingestion axis has nothing to
+    parallelize for an in-memory history, so it runs the same compiled
+    online core (``jobs`` is accepted for interface symmetry).
+    """
+    resolved = _resolve_stream_engine(engine, jobs)
+    if resolved == "object":
+        if isinstance(history, CompiledHistory):
+            raise ValueError("a CompiledHistory requires a compiled-IR engine")
+        checker = IncrementalChecker(
+            levels=(level,),
+            num_sessions=history.num_sessions,
+            max_witnesses=max_witnesses,
+        )
+        for sid, session in enumerate(history.sessions):
+            for tid in session:
+                checker.append(sid, history.transactions[tid])
+        return checker.finalize()[level]
+    return check_stream_compiled(
+        history_records(history),
+        level,
+        max_witnesses=max_witnesses,
+        num_sessions=history.num_sessions,
+    )
+
+
+def check_all_levels_history_stream(
+    history: Union[History, CompiledHistory],
+    engine: str = "auto",
+    jobs: Optional[int] = None,
+    max_witnesses: Optional[int] = None,
+) -> dict:
+    """Stream an in-memory history once, checking all three levels together.
+
+    The all-levels analogue of :func:`check_history_stream`
+    (``check_all_levels(..., mode="stream")``): one online pass maintains
+    RC, RA, and CC state simultaneously and one finalize emits all three
+    results.
+    """
+    resolved = _resolve_stream_engine(engine, jobs)
+    if resolved == "object":
+        if isinstance(history, CompiledHistory):
+            raise ValueError("a CompiledHistory requires a compiled-IR engine")
+        checker: object = IncrementalChecker(
+            num_sessions=history.num_sessions, max_witnesses=max_witnesses
+        )
+        for sid, session in enumerate(history.sessions):
+            for tid in session:
+                checker.append(sid, history.transactions[tid])
+        return checker.finalize()
+    compiled_checker = CompiledIncrementalChecker(
+        num_sessions=history.num_sessions, max_witnesses=max_witnesses
+    )
+    compiled_checker.extend_raw(history_records(history))
+    return compiled_checker.finalize()
+
+
+def check_stream_file(
+    path: str,
+    level: IsolationLevel = IsolationLevel.CAUSAL_CONSISTENCY,
+    fmt: Optional[str] = None,
+    engine: str = "auto",
+    jobs: Optional[int] = None,
+    max_witnesses: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    resume: bool = False,
+) -> CheckResult:
+    """One-pass check of an on-disk history (``awdit check --stream``).
+
+    ``jobs`` parallelizes the parse via byte-range workers (compiled
+    engines only); ``checkpoint`` periodically serializes the online state
+    so ``resume=True`` can continue an interrupted check -- including after
+    completion, when resuming simply skips every record and re-finalizes.
+    """
+    resolved = _resolve_stream_engine(engine, jobs)
+    if resolved == "object":
+        if checkpoint is not None or resume:
+            raise ValueError(
+                "checkpoint/resume require the compiled streaming engine"
+            )
+        from repro.histories.formats import stream_history
+
+        return check_stream(
+            stream_history(path, fmt=fmt), level, max_witnesses=max_witnesses
+        )
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    if resume:
+        if checkpoint is None:
+            raise ValueError("resume requires a checkpoint path")
+        checker = load_checkpoint(checkpoint, source_path=path)
+        if level not in checker.levels:
+            raise ValueError(
+                f"checkpoint tracks {[lvl.short_name for lvl in checker.levels]}, "
+                f"not {level.short_name}; re-run without --resume"
+            )
+        # The resumed run's witness budget wins over the one pickled with
+        # the original checker.
+        checker._max_witnesses = max_witnesses
+    else:
+        checker = CompiledIncrementalChecker(
+            levels=(level,), max_witnesses=max_witnesses
+        )
+    skip = checker.num_transactions
+    append_raw = checker.append_raw
+    records = iter_raw_records(path, fmt=fmt, jobs=jobs)
+    if skip:
+        records = islice(records, skip, None)
+    if checkpoint is None:
+        for sid, (label, committed, ops) in records:
+            append_raw(sid, label, committed, ops)
+    else:
+        source = source_fingerprint(path)
+        since_checkpoint = 0
+        for sid, (label, committed, ops) in records:
+            append_raw(sid, label, committed, ops)
+            since_checkpoint += 1
+            if since_checkpoint >= checkpoint_every:
+                checker.save_checkpoint(checkpoint, source=source)
+                since_checkpoint = 0
+        checker.save_checkpoint(checkpoint, source=source)
+    return checker.finalize()[level]
+
+
+def stream_live_stats(
+    path: str,
+    fmt: Optional[str] = None,
+    levels: Optional[Iterable[IsolationLevel]] = None,
+) -> dict:
+    """Feed ``path`` through the online core and return its live-state peaks.
+
+    Powers ``awdit stats --stream``: the returned dict is
+    :meth:`CompiledIncrementalChecker.live_stats` after the whole stream has
+    been folded (but before finalize, so the reported footprint is the
+    online state itself).
+    """
+    from repro.histories.formats import stream_raw_history
+
+    checker = CompiledIncrementalChecker(
+        levels=tuple(levels) if levels is not None else None
+    )
+    checker.extend_raw(stream_raw_history(path, fmt))
+    return checker.live_stats()

@@ -70,11 +70,13 @@ class TestCheckCommand:
 
 
 class TestCheckFlagConflicts:
-    """Conflicting flag combinations exit 2 instead of silently falling back.
+    """Incoherent flag combinations exit 2 instead of silently falling back.
 
-    Regression: ``--stream --engine compiled`` used to stream anyway
-    (ignoring the engine), and ``--checker plume --engine ...`` ignored the
-    engine entirely.
+    Engine and mode are orthogonal (``--stream --engine compiled`` and
+    ``--stream --jobs N`` are the compiled streaming paths); what stays
+    rejected is baseline checkers with awdit-engine flags, ``--jobs`` on the
+    single-process engines, and checkpointing outside the compiled
+    streaming path.
     """
 
     @pytest.fixture()
@@ -86,16 +88,20 @@ class TestCheckFlagConflicts:
     @pytest.mark.parametrize(
         "flags",
         [
-            ["--stream", "--engine", "compiled"],
-            ["--stream", "--engine", "object"],
-            ["--stream", "--engine", "sharded"],
-            ["--stream", "--jobs", "2"],
             ["--checker", "plume", "--engine", "compiled"],
             ["--checker", "plume", "--engine", "object"],
             ["--checker", "plume", "--jobs", "2"],
+            ["--checker", "plume", "--stream"],
             ["--engine", "object", "--jobs", "2"],
             ["--engine", "compiled", "--jobs", "2"],
             ["--jobs", "0"],
+            ["--stream", "--engine", "object", "--jobs", "2"],
+            ["--stream", "--engine", "object", "--checkpoint", "state.awd"],
+            ["--stream", "--checkpoint", "state.awd", "--checkpoint-every", "0"],
+            ["--stream", "--checkpoint-every", "100"],
+            ["--stream", "--resume"],
+            ["--checkpoint", "state.awd"],
+            ["--checkpoint-every", "100"],
         ],
         ids=lambda flags: " ".join(flags),
     )
@@ -104,13 +110,52 @@ class TestCheckFlagConflicts:
         err = capsys.readouterr().err
         assert "awdit: error:" in err or "--stream" in err
 
-    def test_stream_with_default_engine_still_works(self, history_path, capsys):
-        assert main(["check", history_path, "-i", "cc", "--stream"]) == 0
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--stream"],
+            ["--stream", "--engine", "compiled"],
+            ["--stream", "--engine", "object"],
+            ["--stream", "--engine", "sharded"],
+            ["--stream", "--jobs", "2"],
+            ["--stream", "--engine", "sharded", "--jobs", "2"],
+        ],
+        ids=lambda flags: " ".join(flags),
+    )
+    def test_engine_and_mode_compose(self, history_path, capsys, flags):
+        assert main(["check", history_path, "-i", "cc"] + flags) == 0
         assert "CONSISTENT" in capsys.readouterr().out
 
     def test_stream_with_baseline_checker_still_rejected(self, history_path, capsys):
         assert main(["check", history_path, "--stream", "--checker", "plume"]) == 2
         assert "awdit" in capsys.readouterr().err.lower()
+
+    def test_stream_checkpoint_and_resume_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "h.plume"
+        save_history(fig_4d(), str(path), fmt="plume")
+        state = tmp_path / "state.awd"
+        assert (
+            main(
+                [
+                    "check", str(path), "-i", "cc", "--stream",
+                    "--checkpoint", str(state), "--checkpoint-every", "2",
+                ]
+            )
+            == 0
+        )
+        first = capsys.readouterr().out
+        assert state.exists()
+        assert (
+            main(
+                [
+                    "check", str(path), "-i", "cc", "--stream",
+                    "--checkpoint", str(state), "--resume",
+                ]
+            )
+            == 0
+        )
+        resumed = capsys.readouterr().out
+        assert "CONSISTENT" in first and "CONSISTENT" in resumed
 
 
 class TestGenerateCommand:
@@ -204,4 +249,20 @@ class TestConvertAndStats:
         path = tmp_path / "h.json"
         save_history(fig_4a(), str(path))
         assert main(["stats", str(path), "--jobs", "0"]) == 2
+        assert "awdit: error:" in capsys.readouterr().err
+
+    def test_stats_stream_reports_live_state_peaks(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        save_history(fig_4a(), str(path))
+        assert main(["stats", str(path), "--stream"]) == 0
+        output = capsys.readouterr().out
+        assert "Online core over 3 transactions" in output
+        assert "pending reads" in output
+        assert "interned keys          : 1" in output
+        assert "writes index entries   : 2" in output
+
+    def test_stats_stream_conflicts_with_jobs(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        save_history(fig_4a(), str(path))
+        assert main(["stats", str(path), "--stream", "--jobs", "2"]) == 2
         assert "awdit: error:" in capsys.readouterr().err

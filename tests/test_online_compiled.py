@@ -1,0 +1,413 @@
+"""Tests for the compiled streaming core (repro.core.compiled.online)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import IsolationLevel, check
+from repro.core.exceptions import HistoryFormatError
+from repro.core.model import History, Transaction, read, write
+from repro.core.violations import ViolationKind
+from repro.histories.formats import save_history, stream_raw_history
+from repro.histories.generator import (
+    INJECTABLE_ANOMALIES,
+    RandomHistoryConfig,
+    generate_random_history,
+    inject_anomaly,
+)
+from repro.stream import (
+    CompiledIncrementalChecker,
+    IncrementalChecker,
+    check_stream_compiled,
+    load_checkpoint,
+)
+
+from helpers import PAPER_VERDICTS, all_paper_histories
+
+LEVELS = list(IsolationLevel)
+
+
+def raw_records(history):
+    """The history's raw records in file order (what stream_ops would yield)."""
+    for sid, session in enumerate(history.sessions):
+        for tid in session:
+            txn = history.transactions[tid]
+            yield sid, (
+                txn.label,
+                txn.committed,
+                [(op.is_write, op.key, op.value) for op in txn.operations],
+            )
+
+
+def feed_in_order(history, checker):
+    for sid, (label, committed, ops) in raw_records(history):
+        checker.append_raw(sid, label, committed, ops)
+
+
+def interleaved_records(history, rng):
+    """A random record interleaving that respects per-session order."""
+    positions = [0] * history.num_sessions
+    while True:
+        live = [
+            sid
+            for sid in range(history.num_sessions)
+            if positions[sid] < len(history.sessions[sid])
+        ]
+        if not live:
+            return
+        sid = rng.choice(live)
+        txn = history.transactions[history.sessions[sid][positions[sid]]]
+        positions[sid] += 1
+        yield sid, (
+            txn.label,
+            txn.committed,
+            [(op.is_write, op.key, op.value) for op in txn.operations],
+        )
+
+
+def assert_matches_batch(history, stream_results, check_messages=False):
+    for level in LEVELS:
+        batch = check(history, level)
+        streamed = stream_results[level]
+        assert streamed.is_consistent == batch.is_consistent, level
+        assert sorted(v.kind.name for v in streamed.violations) == sorted(
+            v.kind.name for v in batch.violations
+        ), level
+        assert streamed.stats.get("inferred_edges") == batch.stats.get(
+            "inferred_edges"
+        ), level
+        if check_messages:
+            assert [v.message for v in streamed.violations] == [
+                v.message for v in batch.violations
+            ], level
+
+
+class TestCompiledOnlineParity:
+    @pytest.mark.parametrize("name", sorted(PAPER_VERDICTS))
+    def test_paper_histories_match_batch_exactly(self, name):
+        history = all_paper_histories()[name]
+        checker = CompiledIncrementalChecker(num_sessions=history.num_sessions)
+        feed_in_order(history, checker)
+        assert_matches_batch(history, checker.finalize(), check_messages=True)
+
+    @pytest.mark.parametrize("kind", INJECTABLE_ANOMALIES, ids=lambda k: k.name)
+    def test_injected_anomalies_match_batch(self, kind):
+        base = generate_random_history(
+            RandomHistoryConfig(num_sessions=3, num_transactions=15, seed=5)
+        )
+        history = inject_anomaly(base, kind)
+        checker = CompiledIncrementalChecker(num_sessions=history.num_sessions)
+        feed_in_order(history, checker)
+        assert_matches_batch(history, checker.finalize())
+
+    def test_matches_object_streaming_checker_verbatim(self):
+        """The two streaming engines agree message for message."""
+        history = inject_anomaly(
+            generate_random_history(
+                RandomHistoryConfig(
+                    num_sessions=4, num_transactions=25, mode="random_reads", seed=8
+                )
+            ),
+            ViolationKind.CAUSALITY_CYCLE,
+        )
+        compiled = CompiledIncrementalChecker(num_sessions=history.num_sessions)
+        feed_in_order(history, compiled)
+        obj = IncrementalChecker(num_sessions=history.num_sessions)
+        for sid, session in enumerate(history.sessions):
+            for tid in session:
+                obj.append(sid, history.transactions[tid])
+        compiled_results = compiled.finalize()
+        object_results = obj.finalize()
+        for level in LEVELS:
+            assert [v.message for v in compiled_results[level].violations] == [
+                v.message for v in object_results[level].violations
+            ], level
+
+    def test_stream_from_file_uses_no_model_objects(self, tmp_path):
+        history = generate_random_history(
+            RandomHistoryConfig(num_sessions=3, num_transactions=30, seed=2)
+        )
+        path = tmp_path / "h.plume"
+        save_history(history, str(path), fmt="plume")
+        result = check_stream_compiled(
+            stream_raw_history(str(path), fmt="plume"),
+            IsolationLevel.CAUSAL_CONSISTENCY,
+        )
+        batch = check(history, IsolationLevel.CAUSAL_CONSISTENCY)
+        assert result.is_consistent == batch.is_consistent
+        assert result.num_operations == history.num_operations
+
+    def test_operations_are_not_retained(self):
+        checker = CompiledIncrementalChecker()
+        for i in range(20):
+            checker.append_raw(
+                0, None, True, [(True, "x", i), (False, "x", i)]
+            )
+        assert all(txn.reads == [] for txn in checker._txns)
+
+    def test_append_after_finalize_rejected(self):
+        checker = CompiledIncrementalChecker()
+        checker.finalize()
+        with pytest.raises(RuntimeError):
+            checker.append_raw(0, None, True, [(True, "x", 1)])
+
+    def test_value_cardinality_guard(self, monkeypatch):
+        import repro.core.compiled.online as online
+
+        # Shrink the interned-value budget instead of interning 2^32 values.
+        monkeypatch.setattr(online, "_VALUE_SHIFT", 2)
+        checker = CompiledIncrementalChecker()
+        with pytest.raises(HistoryFormatError):
+            checker.append_raw(
+                0, None, True, [(True, "x", value) for value in range(5)]
+            )
+
+
+class TestDuplicateWriteResolution:
+    """Duplicate (key, value) writes resolve to the last write in txn-id order."""
+
+    def history(self):
+        # t0's W(x,1) is non-final; t1's is final.  Batch resolves R(x,1) to
+        # t1 (the last (x,1) write in transaction-id order): consistent.
+        t0 = Transaction([write("x", 1), write("x", 2)], label="t0")
+        t1 = Transaction([write("x", 1)], label="t1")
+        t2 = Transaction([read("x", 1)], label="t2")
+        return History.from_sessions([[t0], [t1], [t2]])
+
+    @pytest.mark.parametrize("engine", ["object", "compiled"])
+    def test_in_order_feed_matches_batch(self, engine):
+        history = self.history()
+        for level in LEVELS:
+            batch = check(history, level)
+            streamed = check(history, level, engine=engine, mode="stream")
+            assert streamed.is_consistent == batch.is_consistent, (engine, level)
+            assert sorted(v.kind.name for v in streamed.violations) == sorted(
+                v.kind.name for v in batch.violations
+            ), (engine, level)
+
+    @pytest.mark.parametrize(
+        "cls", [IncrementalChecker, CompiledIncrementalChecker], ids=["object", "compiled"]
+    )
+    def test_superseding_write_rebinds_parked_transactions(self, cls):
+        # The reader resolves its x-read against the non-final "loser" while
+        # parked on its y-read; the superseding "winner" write arrives before
+        # the y-write unparks it, so the read must rebind to the winner.
+        tl = Transaction([write("x", 5), write("x", 6)], label="loser")
+        tr = Transaction([read("x", 5), read("y", 9)], label="reader")
+        tw = Transaction([write("x", 5)], label="winner")
+        ty = Transaction([write("y", 9)], label="ywriter")
+        history = History.from_sessions([[tl], [tr], [tw], [ty]])
+        checker = cls(num_sessions=4)
+        if cls is CompiledIncrementalChecker:
+            feed_in_order(history, checker)
+        else:
+            for sid, session in enumerate(history.sessions):
+                for tid in session:
+                    checker.append(sid, history.transactions[tid])
+        results = checker.finalize()
+        for level in LEVELS:
+            batch = check(history, level)
+            assert results[level].is_consistent == batch.is_consistent, level
+            assert sorted(v.kind.name for v in results[level].violations) == sorted(
+                v.kind.name for v in batch.violations
+            ), level
+
+    def test_same_transaction_duplicate_writes(self):
+        # Two identical writes inside one transaction: the later one is the
+        # final write, so an external read of the value is clean -- batch
+        # and both streaming engines must agree.
+        t0 = Transaction([write("x", 7), write("x", 7)], label="t0")
+        t1 = Transaction([read("x", 7)], label="t1")
+        history = History.from_sessions([[t0], [t1]])
+        for engine in ("object", "compiled"):
+            for level in LEVELS:
+                batch = check(history, level)
+                streamed = check(history, level, engine=engine, mode="stream")
+                assert streamed.is_consistent == batch.is_consistent, (engine, level)
+
+
+class TestCheckpointResume:
+    def _records(self, seed=9, n=40):
+        history = generate_random_history(
+            RandomHistoryConfig(
+                num_sessions=4, num_transactions=n, mode="random_reads", seed=seed
+            )
+        )
+        return history, list(raw_records(history))
+
+    def test_round_trip_mid_history_is_equivalent(self, tmp_path):
+        history, records = self._records()
+        full = CompiledIncrementalChecker(num_sessions=history.num_sessions)
+        full.extend_raw(records)
+        want = full.finalize()
+
+        half = CompiledIncrementalChecker(num_sessions=history.num_sessions)
+        half.extend_raw(records[: len(records) // 2])
+        path = tmp_path / "state.awd"
+        half.save_checkpoint(str(path))
+
+        resumed = load_checkpoint(str(path))
+        assert resumed.num_transactions == len(records) // 2
+        resumed.extend_raw(records[len(records) // 2 :])
+        got = resumed.finalize()
+        for level in LEVELS:
+            assert got[level].is_consistent == want[level].is_consistent, level
+            assert [v.message for v in got[level].violations] == [
+                v.message for v in want[level].violations
+            ], level
+            assert got[level].stats.get("inferred_edges") == want[level].stats.get(
+                "inferred_edges"
+            ), level
+
+    def test_checkpoint_rejects_finalized_checker(self, tmp_path):
+        checker = CompiledIncrementalChecker()
+        checker.finalize()
+        with pytest.raises(RuntimeError):
+            checker.save_checkpoint(str(tmp_path / "state.awd"))
+
+    def test_load_rejects_non_checkpoint_files(self, tmp_path):
+        path = tmp_path / "bogus.awd"
+        path.write_bytes(b"not a checkpoint at all")
+        with pytest.raises(HistoryFormatError):
+            load_checkpoint(str(path))
+
+    def test_checkpoint_write_is_atomic(self, tmp_path):
+        checker = CompiledIncrementalChecker()
+        checker.append_raw(0, None, True, [(True, "x", 1)])
+        path = tmp_path / "state.awd"
+        checker.save_checkpoint(str(path))
+        assert not (tmp_path / "state.awd.tmp").exists()
+        assert load_checkpoint(str(path)).num_transactions == 1
+
+    def test_resume_rejects_a_different_history_file(self, tmp_path):
+        from repro.stream import check_stream_file
+
+        history_a, records = self._records(seed=1)
+        history_b, _ = self._records(seed=2)
+        path_a = tmp_path / "a.plume"
+        path_b = tmp_path / "b.plume"
+        save_history(history_a, str(path_a), fmt="plume")
+        save_history(history_b, str(path_b), fmt="plume")
+        state = tmp_path / "state.awd"
+        check_stream_file(
+            str(path_a),
+            IsolationLevel.CAUSAL_CONSISTENCY,
+            fmt="plume",
+            checkpoint=str(state),
+        )
+        with pytest.raises(HistoryFormatError):
+            check_stream_file(
+                str(path_b),
+                IsolationLevel.CAUSAL_CONSISTENCY,
+                fmt="plume",
+                checkpoint=str(state),
+                resume=True,
+            )
+
+    def test_resume_applies_the_new_witness_budget(self, tmp_path):
+        from repro.stream import check_stream_file
+
+        # Two independent commit-order cycles (the Fig. 4a gadget on x and
+        # again on y), so the witness budget is observable.
+        history = History.from_sessions(
+            [
+                [Transaction([write("x", 1)]), Transaction([write("x", 2)])],
+                [Transaction([read("x", 2), read("x", 1)])],
+                [Transaction([write("y", 1)]), Transaction([write("y", 2)])],
+                [Transaction([read("y", 2), read("y", 1)])],
+            ]
+        )
+        path = tmp_path / "h.plume"
+        save_history(history, str(path), fmt="plume")
+        state = tmp_path / "state.awd"
+        first = check_stream_file(
+            str(path),
+            IsolationLevel.READ_COMMITTED,
+            fmt="plume",
+            checkpoint=str(state),
+            max_witnesses=5,
+        )
+        cycles = [
+            v for v in first.violations
+            if v.kind is ViolationKind.COMMIT_ORDER_CYCLE
+        ]
+        assert len(cycles) == 2
+        resumed = check_stream_file(
+            str(path),
+            IsolationLevel.READ_COMMITTED,
+            fmt="plume",
+            checkpoint=str(state),
+            resume=True,
+            max_witnesses=1,
+        )
+        resumed_cycles = [
+            v for v in resumed.violations
+            if v.kind is ViolationKind.COMMIT_ORDER_CYCLE
+        ]
+        assert len(resumed_cycles) == 1
+
+
+class TestLiveStats:
+    def test_peaks_track_parked_reads(self):
+        checker = CompiledIncrementalChecker()
+        # A read whose write arrives two appends later parks in between.
+        checker.append_raw(0, None, True, [(False, "x", 1)])
+        stats = checker.live_stats()
+        assert stats["pending_reads"] == 1
+        assert stats["unfolded_transactions"] == 1
+        checker.append_raw(1, None, True, [(True, "y", 9)])
+        checker.append_raw(2, None, True, [(True, "x", 1)])
+        stats = checker.live_stats()
+        assert stats["pending_reads"] == 0
+        assert stats["peak_pending_reads"] == 1
+        assert stats["unfolded_transactions"] == 0
+        # Peak of 2: the parked reader plus the writer in flight during its
+        # own append (counted until it folds at the end of the call).
+        assert stats["peak_unfolded_transactions"] == 2
+        assert stats["interned_keys"] == 2
+        assert stats["writes_index"] == 2
+
+    def test_cc_buckets_and_edge_log_reported(self):
+        history = generate_random_history(
+            RandomHistoryConfig(
+                num_sessions=3, num_transactions=30, mode="random_reads", seed=4
+            )
+        )
+        checker = CompiledIncrementalChecker(num_sessions=3)
+        feed_in_order(history, checker)
+        stats = checker.live_stats()
+        assert stats["transactions"] == history.num_transactions
+        assert stats["cc_writer_buckets"] > 0
+
+
+class TestCompiledOnlineProperties:
+    """The compiled online core is observationally identical to batch."""
+
+    @settings(
+        max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(
+        config=st.builds(
+            RandomHistoryConfig,
+            num_sessions=st.integers(1, 5),
+            num_transactions=st.integers(0, 30),
+            num_keys=st.integers(1, 6),
+            min_ops_per_txn=st.just(1),
+            max_ops_per_txn=st.integers(1, 6),
+            read_fraction=st.floats(0.2, 0.8),
+            abort_probability=st.sampled_from([0.0, 0.15]),
+            mode=st.sampled_from(["serializable", "random_reads"]),
+            seed=st.integers(0, 10_000),
+        ),
+        order_seed=st.integers(0, 10_000),
+    )
+    def test_matches_batch_on_random_interleavings(self, config, order_seed):
+        history = generate_random_history(config)
+        checker = CompiledIncrementalChecker(num_sessions=history.num_sessions)
+        for sid, (label, committed, ops) in interleaved_records(
+            history, random.Random(order_seed)
+        ):
+            checker.append_raw(sid, label, committed, ops)
+        assert_matches_batch(history, checker.finalize())

@@ -175,14 +175,41 @@ class TestShardedIngest:
                     v.describe() for v in b.violations
                 ]
 
-    def test_parallel_ingest_matches_routed_ingest(self, tmp_path):
+    def test_parallel_ingest_matches_single_parse(self, tmp_path):
         history = generate_random_history(
             RandomHistoryConfig(num_sessions=6, num_transactions=60, seed=5)
         )
         path = tmp_path / "h.plume"
         save_history(history, str(path), fmt="plume")
-        routed = load_compiled_sharded(str(path), 3, fmt="plume")
+        # Byte-range parallel ingestion parses each region once and absorbs
+        # the regions in file order, so the merged IR matches load_compiled
+        # bit for bit (intern ids included -- file-order first-seen).
+        single = load_compiled(str(path), fmt="plume")
         forked = load_compiled_sharded(str(path), 3, fmt="plume", parallel=True)
+        assert list(forked.op_key) == list(single.op_key)
+        assert list(forked.op_wr) == list(single.op_wr)
+        assert forked.sessions == single.sessions
+        assert forked.key_table.values == single.key_table.values
+        # Routed mode interns shard-major; results are still identical.
+        routed = load_compiled_sharded(str(path), 3, fmt="plume")
+        for level in LEVELS:
+            a, b = check(forked, level), check(routed, level)
+            assert a.is_consistent == b.is_consistent
+            assert [v.describe() for v in a.violations] == [
+                v.describe() for v in b.violations
+            ]
+
+    def test_parallel_ingest_json_fallback_matches_routed(self, tmp_path):
+        # The JSON formats have no line-level record boundaries, so the
+        # parallel path falls back to the replicated session-filter parse,
+        # which reproduces routed mode's shard-major intern order exactly.
+        history = generate_random_history(
+            RandomHistoryConfig(num_sessions=6, num_transactions=60, seed=5)
+        )
+        path = tmp_path / "h.json"
+        save_history(history, str(path))
+        routed = load_compiled_sharded(str(path), 3, fmt="native")
+        forked = load_compiled_sharded(str(path), 3, fmt="native", parallel=True)
         assert list(forked.op_key) == list(routed.op_key)
         assert list(forked.op_wr) == list(routed.op_wr)
         assert forked.sessions == routed.sessions
