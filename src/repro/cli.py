@@ -113,6 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="restore the --checkpoint state and continue the interrupted check",
     )
+    check_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print per-phase wall/alloc timings (parse, build, freeze, "
+            "saturate, acyclicity, witness) to stderr after the check, so "
+            "perf work can see where the time goes without a profiler"
+        ),
+    )
 
     generate_parser = subparsers.add_parser(
         "generate", help="collect a history from the simulated database"
@@ -237,12 +246,63 @@ def _check_flag_conflicts(args: argparse.Namespace, checker_name: str) -> Option
     return None
 
 
+#: Timing stats keys printed by ``--profile``, in pipeline order.  The
+#: ``cycle_check`` lap spans the freeze/acyclicity/witness entries below it
+#: (it times the whole ``find_cycles`` call), so the sub-phases are shown
+#: indented under it.
+_PROFILE_PHASES = (
+    ("parse", ""),
+    ("build", ""),
+    ("ingest", ""),  # sharded parse+build, fused across parallel workers
+    ("read_consistency", ""),
+    ("repeatable_reads", ""),
+    ("happens_before", ""),
+    ("scan", ""),
+    ("saturation", ""),
+    ("cycle_check", ""),
+    ("freeze", "  "),
+    ("acyclicity", "  "),
+    ("witness", "  "),
+)
+
+
+def _print_profile(
+    timings: dict, result: CheckResult, total_seconds: float, peak_bytes: int
+) -> None:
+    """Render the ``--profile`` per-phase report to stderr."""
+    merged = dict(timings)
+    merged.update(
+        (key, value)
+        for key, value in result.stats.items()
+        if any(key == name for name, _ in _PROFILE_PHASES)
+    )
+    print("awdit profile (wall seconds):", file=sys.stderr)
+    for name, indent in _PROFILE_PHASES:
+        value = merged.get(name)
+        if value is not None:
+            print(f"  {indent}{name:<18} {value:9.4f}", file=sys.stderr)
+    print(f"  {'total':<18} {total_seconds:9.4f}", file=sys.stderr)
+    print(
+        f"  peak alloc         {peak_bytes / (1024 * 1024):9.1f} MiB "
+        "(tracemalloc)",
+        file=sys.stderr,
+    )
+
+
 def _run_check(args: argparse.Namespace) -> int:
     level = IsolationLevel.from_string(args.isolation)
     checker_name = args.checker.lower()
     conflict = _check_flag_conflicts(args, checker_name)
     if conflict is not None:
         return _conflict(conflict)
+    profile_timings: Optional[dict] = None
+    if args.profile:
+        import time
+        import tracemalloc
+
+        profile_timings = {}
+        tracemalloc.start()
+        profile_start = time.perf_counter()
     if args.stream:
         from repro.stream import DEFAULT_CHECKPOINT_EVERY, check_stream_file
 
@@ -270,13 +330,22 @@ def _run_check(args: argparse.Namespace) -> int:
 
             jobs = args.jobs if args.jobs is not None else default_jobs()
             if will_parallelize(jobs):
+                if profile_timings is not None:
+                    # The sharded ingest fuses parse and build across its
+                    # workers; report the combined phase rather than
+                    # silently dropping it from the profile.
+                    ingest_start = time.perf_counter()
                 compiled = load_compiled_sharded(args.history, jobs, fmt=args.format)
+                if profile_timings is not None:
+                    profile_timings["ingest"] = time.perf_counter() - ingest_start
             else:
                 # The check will fall back to the single-process engine, so
                 # skip the shard-merge ingest overhead as well.
                 from repro.histories.formats import load_compiled
 
-                compiled = load_compiled(args.history, fmt=args.format)
+                compiled = load_compiled(
+                    args.history, fmt=args.format, timings=profile_timings
+                )
             result = check(
                 compiled, level, max_witnesses=args.witnesses,
                 engine="sharded", jobs=jobs,
@@ -286,7 +355,9 @@ def _run_check(args: argparse.Namespace) -> int:
             # the object model at all.
             from repro.histories.formats import load_compiled
 
-            compiled = load_compiled(args.history, fmt=args.format)
+            compiled = load_compiled(
+                args.history, fmt=args.format, timings=profile_timings
+            )
             result = check(compiled, level, max_witnesses=args.witnesses)
         else:
             history = load_history(args.history, fmt=args.format)
@@ -297,6 +368,11 @@ def _run_check(args: argparse.Namespace) -> int:
     else:
         print(f"unknown checker {args.checker!r}", file=sys.stderr)
         return 2
+    if args.profile:
+        total_seconds = time.perf_counter() - profile_start
+        _current, peak_bytes = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        _print_profile(profile_timings, result, total_seconds, peak_bytes)
     print(result.summary())
     if not result.is_consistent:
         print(format_report(result.violations, limit=args.witnesses))

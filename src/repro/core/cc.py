@@ -23,34 +23,39 @@ from repro.core.model import History, OpRef
 from repro.core.read_consistency import ReadConsistencyReport, check_read_consistency
 from repro.core.result import CheckResult, Stopwatch
 from repro.core.violations import CycleEdge, CycleViolation, Violation, ViolationKind
-from repro.graph.cycles import (
-    find_cycle_in_component,
-    strongly_connected_components,
-    topological_sort,
+from repro.graph.csr import (
+    FrozenGraph,
+    find_cycle_in_component_frozen,
+    freeze_packed,
+    scc_frozen,
+    toposort_frozen,
 )
-from repro.graph.digraph import DiGraph
+from repro.graph.digraph import EDGE_SHIFT
 from repro.graph.vector_clock import VectorClock
 
-__all__ = ["check_cc", "compute_happens_before", "saturate_cc", "causality_cycles"]
+__all__ = [
+    "check_cc",
+    "compute_happens_before",
+    "saturate_cc",
+    "causality_cycles",
+    "causality_labels",
+]
 
 
-def _causality_graph(
-    history: History, bad_reads: Set[OpRef]
-) -> Tuple[DiGraph, Dict[Tuple[int, int], Optional[str]]]:
+def _causality_graph(history: History, bad_reads: Set[OpRef]):
     """Transaction-level ``so ∪ wr`` graph over committed transactions.
 
-    Also returns a map from edge to the key of the witnessing read (``None``
-    for session-order edges), used to label causality-cycle witnesses.  When
-    an edge is justified by both ``so`` and ``wr`` (a session reading its
-    predecessor's write) the witnessing key is retained, so cycle witnesses
-    never misreport a ``wr``-derived edge as bare ``so``.
+    Returns ``(frozen_graph, so_log, wr_log, wr_keys)``: the packed edge
+    logs feed the frozen CSR snapshot, and the parallel wr key row labels
+    causality-cycle witnesses (built lazily via :func:`causality_labels`,
+    only when a cycle exists).  Duplicate observations append duplicate log
+    entries; the freeze collapses them.
     """
-    graph = DiGraph(history.num_transactions)
-    labels: Dict[Tuple[int, int], Optional[str]] = {}
+    so_log: List[int] = []
+    wr_log: List[int] = []
+    wr_keys: List[Optional[str]] = []
     for source, target in history.so_edges():
-        if (source, target) not in labels:
-            labels[(source, target)] = None
-            graph.add_edge(source, target)
+        so_log.append((source << EDGE_SHIFT) | target)
     transactions = history.transactions
     for tid, txn in enumerate(transactions):
         if not txn.committed:
@@ -60,37 +65,65 @@ def _causality_graph(
                 continue
             if not transactions[writer].committed:
                 continue
-            if (writer, tid) not in labels:
-                labels[(writer, tid)] = op.key
-                graph.add_edge(writer, tid)
-            elif labels[(writer, tid)] is None:
-                # The edge was recorded as a bare `so` edge; keep the keyed
-                # wr label so witnesses can name the witnessing key.
-                labels[(writer, tid)] = op.key
-    return graph, labels
+            wr_log.append((writer << EDGE_SHIFT) | tid)
+            wr_keys.append(op.key)
+    graph = freeze_packed(history.num_transactions, (so_log, wr_log))
+    return graph, so_log, wr_log, wr_keys
+
+
+def causality_labels(
+    so_log: Sequence[int],
+    wr_log: Sequence[int],
+    wr_keys: Sequence,
+    key_names: Optional[Sequence[str]] = None,
+) -> Dict[int, Optional[str]]:
+    """Witness labels of a causality graph: packed edge -> witnessing key.
+
+    Replays the edge logs in arrival order: ``None`` for session-order
+    edges, the key of the *first* witnessing read for ``wr`` edges.  An edge
+    that is both ``so`` and ``wr`` keeps the keyed label (a session reading
+    its predecessor's write must not be reported as bare ``so``).  When
+    ``key_names`` is given the wr key row holds dense ids to decode;
+    otherwise it holds the key objects themselves.
+    """
+    labels: Dict[int, Optional[str]] = {}
+    for edge in so_log:
+        if edge not in labels:
+            labels[edge] = None
+    if key_names is None:
+        for edge, key in zip(wr_log, wr_keys):
+            if labels.get(edge) is None:
+                labels[edge] = key
+    else:
+        for edge, kid in zip(wr_log, wr_keys):
+            if labels.get(edge) is None:
+                labels[edge] = key_names[kid]
+    return labels
 
 
 def causality_cycles(
     names: Sequence[str],
-    graph: DiGraph,
-    labels: Dict[Tuple[int, int], Optional[str]],
+    graph: FrozenGraph,
+    labels: Dict[int, Optional[str]],
     max_witnesses: Optional[int] = None,
 ) -> List[Violation]:
     """One causality-cycle witness per non-trivial SCC of ``so ∪ wr``.
 
-    ``names`` maps dense transaction ids to printable names.  Exposed for the
-    streaming checker, which builds the causality graph from transaction-level
-    summaries instead of a materialized history.
+    ``names`` maps dense transaction ids to printable names and ``labels``
+    packed edges to witnessing keys (see :func:`causality_labels`).  Shared
+    by every engine -- the object path, the compiled batch path, and both
+    streaming finalizers extract their causality witnesses here, over the
+    same frozen CSR rows, so the renderings cannot drift.
     """
     violations: List[Violation] = []
-    for component in strongly_connected_components(graph):
+    for component in scc_frozen(graph):
         if len(component) <= 1:
             continue
-        cycle = find_cycle_in_component(graph, component)
+        cycle = find_cycle_in_component_frozen(graph, component)
         edges: List[CycleEdge] = []
         for i, source in enumerate(cycle):
             target = cycle[(i + 1) % len(cycle)]
-            key = labels.get((source, target))
+            key = labels.get((source << EDGE_SHIFT) | target)
             reason = "so" if key is None else "wr"
             edges.append(CycleEdge(source, target, reason, key))
         names_text = " -> ".join(names[t] for t in cycle)
@@ -106,17 +139,6 @@ def causality_cycles(
     return violations
 
 
-def _causality_cycles(
-    history: History,
-    graph: DiGraph,
-    labels: Dict[Tuple[int, int], Optional[str]],
-    max_witnesses: Optional[int] = None,
-) -> List[Violation]:
-    """Causality-cycle witnesses labelled with the history's transaction names."""
-    names = [txn.name for txn in history.transactions]
-    return causality_cycles(names, graph, labels, max_witnesses=max_witnesses)
-
-
 def compute_happens_before(
     history: History, bad_reads: Optional[Set[OpRef]] = None
 ) -> Tuple[Optional[List[Optional[VectorClock]]], List[Violation]]:
@@ -128,10 +150,13 @@ def compute_happens_before(
     ``(None, violations)`` where the violations are causality-cycle witnesses.
     """
     bad = bad_reads if bad_reads is not None else set()
-    graph, labels = _causality_graph(history, bad)
-    order = topological_sort(graph)
+    graph, so_log, wr_log, wr_keys = _causality_graph(history, bad)
+    order = toposort_frozen(graph)
     if order is None:
-        return None, _causality_cycles(history, graph, labels)
+        names = [txn.name for txn in history.transactions]
+        return None, causality_cycles(
+            names, graph, causality_labels(so_log, wr_log, wr_keys)
+        )
 
     transactions = history.transactions
     k = history.num_sessions

@@ -5,41 +5,64 @@ Every checker of Section 3 builds a *minimal saturated* commit relation
 by the isolation level's axiom (Fig. 3).  By Lemma 3.2 the history satisfies
 the level iff it is Read Consistent and this relation is acyclic.
 
-:class:`CommitRelation` stores the relation as a directed graph over
-committed transactions, remembers the *reason* for every edge (``so``, ``wr``
-or an inferred ``co`` edge together with the key whose inference rule fired),
-checks acyclicity with Tarjan SCCs, and extracts one labelled cycle witness
-per non-trivial SCC -- the witness-reporting strategy of Section 3.4.
+:class:`CommitRelation` is *log-structured*: edges arrive as appends to flat
+packed-edge rows (``array('Q')`` of ``(source << EDGE_SHIFT) | target``
+values, one parallel key row per labelled log) and nothing is de-duplicated
+or hashed on the way in.  Once edge collection is done, :meth:`freeze`
+snapshots the logs into a :class:`~repro.graph.csr.FrozenGraph` -- one
+sort + in-place dedup pass, no per-edge dict entries -- and the acyclicity
+check, cycle extraction, and linearization all run over the frozen CSR rows.
+Freezing is the single de-duplication point: duplicate edges (the saturation
+rules fire many times per edge) collapse there, and the inferred-edge count
+is the number of distinct edges beyond distinct ``so ∪ wr``.
 
-The relation is stored in *packed-edge* form: an edge ``s -> t`` is the
-single integer ``(s << EDGE_SHIFT) | t`` and the label tables are int-keyed
-dicts, which roughly halves the per-edge memory next to ``(s, t)`` tuple keys
-and makes edge hashing an integer hash.  The public API still speaks
-``(source, target)`` pairs.
+Edge *labels* -- the ``(reason, key)`` pair that explains an edge in a
+witness -- are never built on the hot path.  The logs retain the reason
+implicitly (which log an edge sits in) and the key alongside it; the label
+tables materialize lazily, by a first-occurrence-wins replay of
+``so, wr, co`` in arrival order, only when a violation actually needs a
+witness rendered.  A consistent history never pays for them.
 
 An edge may be justified by several relations at once (a session reading its
 so-predecessor's write is related by both ``so`` and ``wr``).  The primary
-label is first-come (``so``/``wr`` labels are added before inferred ones, so
+label is first-come (``so``/``wr`` entries replay before inferred ones, so
 witnesses prefer the weaker explanation), but a keyed ``wr`` label observed
 for an edge already labelled ``so`` is retained alongside it and preferred
 when rendering witnesses, so cycle reports never lose the witnessing key.
 
 The relation is normally built from a :class:`~repro.core.model.History`;
-the compiled checkers build it from the array IR via :meth:`from_edges`, and
-the streaming checker drains its packed inferred-edge logs into it at
-finalize, without materializing a history.
+the compiled checkers append packed rows straight into the logs, the
+streaming checkers drain their packed edge logs into them at finalize, and
+the sharded engine concatenates per-shard log slices with one C-level
+``extend`` per shard -- none of these paths rehash an edge.
+
+Key encoding: a relation built with ``key_names`` stores dense integer key
+ids in its key rows (``-1`` encodes "no key") and decodes them through the
+table only at label materialization; without ``key_names`` the key rows hold
+the key objects themselves (the object-model path).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import time
+from array import array
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.model import History
 from repro.core.violations import CycleEdge, CycleViolation, ViolationKind
-from repro.graph.cycles import find_cycle_in_component, strongly_connected_components
-from repro.graph.digraph import EDGE_SHIFT, MAX_PACKED_EDGE, DiGraph, pack_edge
+from repro.graph.csr import (
+    FrozenGraph,
+    distinct_edge_count,
+    find_cycle_in_component_frozen,
+    freeze_packed,
+    scc_frozen,
+    toposort_frozen,
+)
+from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT, MAX_PACKED_EDGE, pack_edge
 
 __all__ = ["CommitRelation"]
+
+_SO_LABEL = ("so", None)
 
 
 class CommitRelation:
@@ -51,24 +74,60 @@ class CommitRelation:
         *,
         names: Optional[Sequence[str]] = None,
         committed: Optional[Sequence[int]] = None,
+        num_vertices: Optional[int] = None,
+        namer: Optional[Callable[[int], str]] = None,
+        key_names: Optional[Sequence[str]] = None,
     ) -> None:
         if history is not None:
             names = [txn.name for txn in history.transactions]
             committed = history.committed
-        elif names is None or committed is None:
-            raise ValueError("need either a history or explicit names and committed ids")
+        elif committed is None or (names is None and num_vertices is None):
+            raise ValueError(
+                "need a history, or explicit committed ids plus either names "
+                "or num_vertices (with a namer for witness rendering)"
+            )
         self.history = history
-        self._names: List[str] = list(names)
+        self._names: Optional[List[str]] = None if names is None else list(names)
+        self._namer = namer
+        self._num_vertices = (
+            len(self._names) if self._names is not None else int(num_vertices)
+        )
+        if self._num_vertices > EDGE_MASK + 1:
+            raise ValueError(
+                f"CommitRelation supports at most {EDGE_MASK + 1} transactions "
+                f"(packed-edge ids are {EDGE_SHIFT}-bit); got {self._num_vertices}"
+            )
         self._committed: List[int] = list(committed)
-        self.graph = DiGraph(len(self._names))
-        # First label recorded for an edge wins; so/wr labels are added first,
-        # which makes cycle witnesses prefer the "weaker" explanation.  Keys
-        # are packed edges, values ``(reason, key)``.
-        self._labels: Dict[int, Tuple[str, Optional[str]]] = {}
-        # First keyed so∪wr label per edge, kept even when a bare `so` label
-        # arrived first, so witnesses can name the witnessing key.
-        self._keyed: Dict[int, Tuple[str, str]] = {}
-        self.num_inferred_edges = 0
+        self._key_names = key_names
+        # The flat edge logs: append-only, duplicates welcome, packed edges.
+        self._so_log = array("Q")
+        self._wr_log = array("Q")
+        self._co_log = array("Q")
+        # Parallel key rows: dense int ids (-1 = no key) when key_names is
+        # set, key objects otherwise.
+        if key_names is not None:
+            self._wr_keys = array("q")
+            self._co_keys = array("q")
+        else:
+            self._wr_keys: list = []  # type: ignore[no-redef]
+            self._co_keys: list = []  # type: ignore[no-redef]
+        # Frozen snapshot + lazily materialized label tables, each tagged
+        # with the log length it was computed at so later appends invalidate.
+        self._frozen: Optional[FrozenGraph] = None
+        self._frozen_at = -1
+        self._num_inferred = 0
+        # Distinct |so ∪ wr| cache: the so/wr logs stop growing once
+        # saturation starts, so the count survives repeated freezes while
+        # only the co log grows.
+        self._sowr_distinct = -1
+        self._sowr_distinct_at = -1
+        self._labels: Optional[Dict[int, Tuple[str, Optional[str]]]] = None
+        self._keyed: Optional[Dict[int, Tuple[str, str]]] = None
+        self._labels_at = -1
+        #: Wall-clock of the freeze/acyclicity/witness phases of the last
+        #: :meth:`find_cycles` (and any standalone :meth:`freeze`), for
+        #: ``awdit check --profile``.
+        self.timings: Dict[str, float] = {}
         if history is not None:
             self._add_so_wr_edges()
 
@@ -80,70 +139,53 @@ class CommitRelation:
         names: Sequence[str],
         committed: Sequence[int],
         so_edges: Iterable[Tuple[int, int]],
-        wr_edges: Iterable[Tuple[int, int, Optional[str]]],
+        wr_edges: Iterable[Tuple[int, int, object]],
+        key_names: Optional[Sequence[str]] = None,
     ) -> "CommitRelation":
         """Build a relation from transaction-level summaries (no history object).
 
         ``so_edges`` are immediate session-order edges; ``wr_edges`` are
-        ``(writer, reader, key)`` triples, first occurrence per distinct
-        writer, in the same order :class:`History` would produce them.
+        ``(writer, reader, key)`` triples in the same order
+        :class:`History` would produce them (key ids when ``key_names`` is
+        given, key objects otherwise).  Endpoints must be dense ids below
+        ``len(names)`` -- the streaming finalizers renumber before calling.
         """
-        relation = cls(names=names, committed=committed)
-        # _add_labelled inlined: this runs once per so/wr edge at every
-        # streaming finalize, and the method + pack_edge hops dominate it.
-        labels = relation._labels
-        keyed = relation._keyed
-        succ = relation.graph._succ
-        edge_count = 0
-        so_label = ("so", None)
+        relation = cls(names=names, committed=committed, key_names=key_names)
+        so_append = relation._so_log.append
         for source, target in so_edges:
-            edge = pack_edge(source, target)
-            if edge not in labels:
-                labels[edge] = so_label
-                succ[source].append(target)
-                edge_count += 1
+            so_append((source << EDGE_SHIFT) | target)
+        wr_append = relation._wr_log.append
+        wrk_append = relation._wr_keys.append
         for writer, reader, key in wr_edges:
-            edge = pack_edge(writer, reader)
-            if edge not in labels:
-                labels[edge] = ("wr", key)
-                succ[writer].append(reader)
-                edge_count += 1
-            if key is not None and edge not in keyed:
-                keyed[edge] = ("wr", key)
-        relation.graph._edge_count += edge_count
+            wr_append((writer << EDGE_SHIFT) | reader)
+            wrk_append(key)
         return relation
 
     def _add_so_wr_edges(self) -> None:
         history = self.history
         assert history is not None
+        so_append = self._so_log.append
         for source, target in history.so_edges():
-            self._add_labelled(source, target, "so", None)
+            so_append((source << EDGE_SHIFT) | target)
+        wr_append = self._wr_log.append
+        wrk_append = self._wr_keys.append
+        transactions = history.transactions
         for tid in range(history.num_transactions):
-            txn = history.transactions[tid]
-            if not txn.committed:
+            if not transactions[tid].committed:
                 continue
-            seen = set()
             for writer, _index, op in history.txn_read_froms(tid):
-                if writer in seen:
-                    continue
-                seen.add(writer)
-                if history.transactions[writer].committed:
-                    self._add_labelled(writer, tid, "wr", op.key)
+                if transactions[writer].committed:
+                    wr_append((writer << EDGE_SHIFT) | tid)
+                    wrk_append(op.key)
 
-    def _add_labelled(self, source: int, target: int, reason: str, key: Optional[str]) -> None:
-        edge = pack_edge(source, target)
-        if edge not in self._labels:
-            self._labels[edge] = (reason, key)
-            self.graph.add_packed_edge(edge)
-        if key is not None and edge not in self._keyed:
-            self._keyed[edge] = (reason, key)
-
-    def add_inferred(self, source: int, target: int, key: Optional[str] = None) -> None:
+    def add_inferred(self, source: int, target: int, key=None) -> None:
         """Record an inferred commit-order edge ``source -co-> target``.
 
-        Duplicate edges (same pair, any reason) are ignored: only the
-        reachability structure matters for acyclicity, and the first label is
-        the most informative for witnesses.
+        Duplicate edges (same pair, any reason) collapse at freeze: only the
+        reachability structure matters for acyclicity, and the first label
+        replayed is the most informative for witnesses.  ``key`` is a dense
+        key id for relations built with ``key_names``, the key object
+        otherwise.
         """
         if source == target:
             # The inference rules always relate distinct transactions; a
@@ -151,29 +193,115 @@ class CommitRelation:
             raise ValueError("co' edges relate distinct transactions")
         self.add_inferred_packed(pack_edge(source, target), key)
 
-    def add_inferred_packed(self, edge: int, key: Optional[str] = None) -> None:
-        """:meth:`add_inferred` for an already-packed edge (hot-path form).
+    def add_inferred_packed(self, edge: int, key=None) -> None:
+        """:meth:`add_inferred` for an already-packed edge.
 
         The packed value is range-checked: anything outside
         ``[0, MAX_PACKED_EDGE]`` means a transaction id overflowed the
         32 bits of its endpoint and the edge would silently collide with an
-        unrelated one.
+        unrelated one.  (The saturation loops append to the logs directly --
+        their ids are dense by construction -- so this check is not on the
+        hot path.)
         """
         if edge > MAX_PACKED_EDGE or edge < 0:
             raise ValueError(
                 f"packed co' edge {edge} out of range: transaction id "
                 f"exceeds the {EDGE_SHIFT}-bit endpoint limit"
             )
-        if edge in self._labels:
-            return
-        self._labels[edge] = ("co", key)
-        self.graph.add_packed_edge(edge)
-        self.num_inferred_edges += 1
+        self._co_log.append(edge)
+        if self._key_names is not None:
+            self._co_keys.append(-1 if key is None else key)
+        else:
+            self._co_keys.append(key)
 
-    # -- queries ---------------------------------------------------------------
+    # -- freeze ----------------------------------------------------------------
+
+    def _log_size(self) -> int:
+        return len(self._so_log) + len(self._wr_log) + len(self._co_log)
+
+    def freeze(self) -> FrozenGraph:
+        """The frozen CSR snapshot of the relation (cached until logs grow).
+
+        One sort + dedup pass over the concatenated ``so``/``wr``/``co``
+        logs; also fixes the inferred-edge count (distinct edges beyond the
+        distinct ``so ∪ wr`` set, which is what per-edge first-label-wins
+        insertion used to count).
+        """
+        size = self._log_size()
+        if self._frozen is None or self._frozen_at != size:
+            start = time.perf_counter()
+            self._frozen = freeze_packed(
+                self._num_vertices, (self._so_log, self._wr_log, self._co_log)
+            )
+            if self._co_log:
+                sowr_size = len(self._so_log) + len(self._wr_log)
+                if self._sowr_distinct_at != sowr_size:
+                    self._sowr_distinct = distinct_edge_count(
+                        (self._so_log, self._wr_log)
+                    )
+                    self._sowr_distinct_at = sowr_size
+                self._num_inferred = self._frozen.num_edges - self._sowr_distinct
+            else:
+                self._num_inferred = 0
+            self._frozen_at = size
+            self.timings["freeze"] = time.perf_counter() - start
+        return self._frozen
+
+    @property
+    def graph(self) -> FrozenGraph:
+        """The frozen CSR graph of ``co'`` (freezes on first access)."""
+        return self.freeze()
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of distinct edges in ``co'``."""
+        return self.freeze().num_edges
+
+    @property
+    def num_inferred_edges(self) -> int:
+        """Distinct inferred edges not already explained by ``so ∪ wr``."""
+        self.freeze()
+        return self._num_inferred
+
+    # -- labels (lazy) ---------------------------------------------------------
+
+    def _decode_key(self, key):
+        if self._key_names is None:
+            return key
+        return None if key < 0 else self._key_names[key]
+
+    def _ensure_labels(self) -> None:
+        """Materialize the label tables by replaying the edge logs.
+
+        First occurrence wins within and across logs (``so`` before ``wr``
+        before ``co`` -- arrival order), which reproduces exactly what
+        eager first-label-wins insertion used to record.
+        """
+        size = self._log_size()
+        if self._labels is not None and self._labels_at == size:
+            return
+        labels: Dict[int, Tuple[str, Optional[str]]] = {}
+        keyed: Dict[int, Tuple[str, str]] = {}
+        for edge in self._so_log:
+            if edge not in labels:
+                labels[edge] = _SO_LABEL
+        decode = self._decode_key
+        for edge, key in zip(self._wr_log, self._wr_keys):
+            name = decode(key)
+            if edge not in labels:
+                labels[edge] = ("wr", name)
+            if name is not None and edge not in keyed:
+                keyed[edge] = ("wr", name)
+        for edge, key in zip(self._co_log, self._co_keys):
+            if edge not in labels:
+                labels[edge] = ("co", decode(key))
+        self._labels = labels
+        self._keyed = keyed
+        self._labels_at = size
 
     def edge_label(self, source: int, target: int) -> Optional[Tuple[str, Optional[str]]]:
         """The primary ``(reason, key)`` label of an edge, or ``None`` if absent."""
+        self._ensure_labels()
         return self._labels.get((source << EDGE_SHIFT) | target)
 
     def witness_label(self, source: int, target: int) -> Optional[Tuple[str, Optional[str]]]:
@@ -183,6 +311,7 @@ class CommitRelation:
         is both ``so`` and ``wr`` is reported as ``wr[key]`` so the witnessing
         key is never dropped.
         """
+        self._ensure_labels()
         packed = (source << EDGE_SHIFT) | target
         primary = self._labels.get(packed)
         if primary is None:
@@ -195,12 +324,9 @@ class CommitRelation:
 
     def name_of(self, tid: int) -> str:
         """Printable name of a transaction (for witness messages)."""
-        return self._names[tid]
-
-    @property
-    def num_edges(self) -> int:
-        """Total number of distinct edges in ``co'``."""
-        return len(self._labels)
+        if self._names is not None:
+            return self._names[tid]
+        return self._namer(tid)
 
     def linearize(self) -> Optional[List[int]]:
         """A total commit order extending ``co'``, or ``None`` if cyclic.
@@ -209,9 +335,7 @@ class CommitRelation:
         consistency; this method exposes that witness (a list of committed
         transaction ids in commit order).
         """
-        from repro.graph.cycles import topological_sort
-
-        order = topological_sort(self.graph)
+        order = toposort_frozen(self.freeze())
         if order is None:
             return None
         committed = set(self._committed)
@@ -225,22 +349,37 @@ class CommitRelation:
         A cycle whose edges are all ``so``/``wr`` edges is classified as a
         *causality cycle*; any other cycle is a *commit-order cycle* (the
         paper's Section 3.4 taxonomy).  Witnesses are sorted so cycles with
-        the fewest inferred edges come first.
+        the fewest inferred edges come first.  Labels materialize only when
+        a non-trivial SCC actually exists, so the consistent case never
+        builds them.
         """
+        frozen = self.freeze()
+        start = time.perf_counter()
+        if toposort_frozen(frozen) is not None:
+            # Acyclic -- the common case.  Kahn's scan is cheaper than
+            # Tarjan's and its in-degrees come from one vectorized count,
+            # so consistent histories never pay for SCC bookkeeping.
+            self.timings["acyclicity"] = time.perf_counter() - start
+            self.timings["witness"] = 0.0
+            return []
+        components = scc_frozen(frozen)
+        split = time.perf_counter()
+        self.timings["acyclicity"] = split - start
         violations: List[CycleViolation] = []
-        for component in strongly_connected_components(self.graph):
+        for component in components:
             if len(component) <= 1:
                 continue
-            cycle = find_cycle_in_component(self.graph, component)
+            cycle = find_cycle_in_component_frozen(frozen, component)
             violations.append(self._cycle_to_violation(cycle))
             if max_witnesses is not None and len(violations) >= max_witnesses:
                 break
         violations.sort(key=lambda v: v.inferred_edges)
+        self.timings["witness"] = time.perf_counter() - split
         return violations
 
     def is_acyclic(self) -> bool:
         """True when ``co'`` has no cycle."""
-        return all(len(c) == 1 for c in strongly_connected_components(self.graph))
+        return all(len(c) == 1 for c in scc_frozen(self.freeze()))
 
     def _cycle_to_violation(self, cycle: List[int]) -> CycleViolation:
         edges: List[CycleEdge] = []
@@ -252,6 +391,6 @@ class CommitRelation:
             kind = ViolationKind.CAUSALITY_CYCLE
         else:
             kind = ViolationKind.COMMIT_ORDER_CYCLE
-        names = " -> ".join(self._names[t] for t in cycle)
-        message = f"cycle over transactions {names} -> {self._names[cycle[0]]}"
+        names = " -> ".join(self.name_of(t) for t in cycle)
+        message = f"cycle over transactions {names} -> {self.name_of(cycle[0])}"
         return CycleViolation(kind=kind, message=message, edges=tuple(edges))

@@ -27,25 +27,20 @@ from __future__ import annotations
 from array import array
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.cc import causality_cycles, causality_labels
 from repro.core.commit import CommitRelation
 from repro.core.compiled.ir import CompiledHistory, compile_history
 from repro.core.isolation import IsolationLevel
 from repro.core.model import History, OpRef
 from repro.core.result import CheckResult, Stopwatch
 from repro.core.violations import (
-    CycleEdge,
-    CycleViolation,
     ReadConsistencyViolation,
     RepeatableReadViolation,
     Violation,
     ViolationKind,
 )
-from repro.graph.cycles import (
-    find_cycle_in_component,
-    strongly_connected_components,
-    topological_sort,
-)
-from repro.graph.digraph import EDGE_SHIFT, DiGraph
+from repro.graph.csr import freeze_packed, toposort_frozen
+from repro.graph.digraph import EDGE_SHIFT
 
 __all__ = [
     "CompiledReadReport",
@@ -209,55 +204,42 @@ def check_read_consistency_compiled(
 def _relation_from_compiled(ch: CompiledHistory) -> CommitRelation:
     """Build ``so ∪ wr`` in exactly the order ``CommitRelation(history)`` does.
 
-    The per-edge work of ``CommitRelation._add_labelled`` is inlined (labels
-    dict + adjacency append) -- this runs once per so/wr edge and sits on the
-    compiled engine's critical path.
+    Pure log appends: packed so/wr edges (plus the wr key ids) go straight
+    into the relation's flat rows, with no per-edge dict probe, no label
+    tuple, and no name materialization -- duplicates collapse and labels
+    replay lazily at freeze.  Names and key names resolve through the IR
+    only if a witness is rendered.
     """
-    names = [ch.name_of(tid) for tid in range(ch.num_transactions)]
     committed = ch.txn_committed
-    key_names = ch.key_table.values
-    relation = CommitRelation(names=names, committed=ch.committed)
-    labels = relation._labels
-    keyed = relation._keyed
-    succ = relation.graph._succ
-    edge_count = 0
-    so_label = ("so", None)  # one shared tuple instead of one per so edge
-
+    relation = CommitRelation(
+        num_vertices=ch.num_transactions,
+        committed=ch.committed,
+        namer=ch.name_of,
+        key_names=ch.key_table.values,
+    )
+    so_append = relation._so_log.append
     for session in ch.sessions:
         previous = -1
         for tid in session:
             if not committed[tid]:
                 continue
             if previous >= 0:
-                edge = (previous << EDGE_SHIFT) | tid
-                if edge not in labels:
-                    labels[edge] = so_label
-                    succ[previous].append(tid)
-                    edge_count += 1
+                so_append((previous << EDGE_SHIFT) | tid)
             previous = tid
 
     xr_start = ch._xr_start
     xr_writer = ch._xr_writer
     xr_key = ch._xr_key
+    wr_append = relation._wr_log.append
+    wrk_append = relation._wr_keys.append
     for tid in range(ch.num_transactions):
         if not committed[tid]:
             continue
-        seen = set()
         for j in range(xr_start[tid], xr_start[tid + 1]):
             writer = xr_writer[j]
-            if writer in seen:
-                continue
-            seen.add(writer)
             if committed[writer]:
-                edge = (writer << EDGE_SHIFT) | tid
-                key = key_names[xr_key[j]]
-                if edge not in labels:
-                    labels[edge] = ("wr", key)
-                    succ[writer].append(tid)
-                    edge_count += 1
-                if edge not in keyed:
-                    keyed[edge] = ("wr", key)
-    relation.graph._edge_count += edge_count
+                wr_append((writer << EDGE_SHIFT) | tid)
+                wrk_append(xr_key[j])
     return relation
 
 
@@ -300,13 +282,12 @@ def saturate_rc_compiled(
     per-transaction order.
     """
     committed = ch.txn_committed
-    key_names = ch.key_table.values
     kw_start = ch._kw_start
     kw_key = ch._kw_key
-    # CommitRelation.add_inferred inlined, as in saturate_cc_compiled.
-    labels = relation._labels
-    graph_add = relation.graph.add_packed_edge
-    inferred = 0
+    # Every inferred edge is two raw appends into the relation's co log
+    # (packed edge + key id); dedup and labels happen at freeze.
+    co_append = relation._co_log.append
+    cok_append = relation._co_keys.append
     lo_tid, hi_tid = tid_range if tid_range is not None else (0, ch.num_transactions)
     for tid in range(lo_tid, hi_tid):
         if not committed[tid]:
@@ -341,18 +322,14 @@ def saturate_rc_compiled(
                     if t1 == t2:
                         t1 = older
                     if t1 is not None and t1 != t2:
-                        edge = (t2 << EDGE_SHIFT) | t1
-                        if edge not in labels:
-                            labels[edge] = ("co", key_names[x])
-                            graph_add(edge)
-                            inferred += 1
+                        co_append((t2 << EDGE_SHIFT) | t1)
+                        cok_append(x)
             pair = earliest.get(key)
             if pair is None:
                 earliest[key] = (None, t2)
             elif pair[1] != t2:
                 earliest[key] = (pair[1], t2)
             read_keys[key] = None
-    relation.num_inferred_edges += inferred
 
 
 def check_rc_compiled(
@@ -382,6 +359,7 @@ def check_rc_compiled(
         stats={
             "inferred_edges": relation.num_inferred_edges,
             "co_edges": relation.num_edges,
+            **relation.timings,
         },
     )
 
@@ -452,13 +430,11 @@ def saturate_ra_compiled(
     run emits exactly that session's edges of a full run, in order.
     """
     committed = ch.txn_committed
-    key_names = ch.key_table.values
     kw_start = ch._kw_start
     kw_key = ch._kw_key
-    # CommitRelation.add_inferred inlined, as in saturate_cc_compiled.
-    labels = relation._labels
-    graph_add = relation.graph.add_packed_edge
-    inferred = 0
+    # Raw co-log appends, as in saturate_rc_compiled.
+    co_append = relation._co_log.append
+    cok_append = relation._co_keys.append
     session_lists = (
         ch.sessions if sessions is None else [ch.sessions[sid] for sid in sessions]
     )
@@ -482,11 +458,8 @@ def saturate_ra_compiled(
             for _po, key, t1 in reads:
                 t2 = last_write.get(key)
                 if t2 is not None and t2 != t1:
-                    edge = (t2 << EDGE_SHIFT) | t1
-                    if edge not in labels:
-                        labels[edge] = ("co", key_names[key])
-                        graph_add(edge)
-                        inferred += 1
+                    co_append((t2 << EDGE_SHIFT) | t1)
+                    cok_append(key)
 
             # Case t2 -wr-> t3: intersect written keys with read keys,
             # iterating the smaller side in deterministic order.
@@ -500,15 +473,11 @@ def saturate_ra_compiled(
                 for x in candidates:
                     t1 = reader_of_key[x]
                     if t1 != t2:
-                        edge = (t2 << EDGE_SHIFT) | t1
-                        if edge not in labels:
-                            labels[edge] = ("co", key_names[x])
-                            graph_add(edge)
-                            inferred += 1
+                        co_append((t2 << EDGE_SHIFT) | t1)
+                        cok_append(x)
 
             for x in kw_key[kw_start[t3] : kw_start[t3 + 1]]:
                 last_write[x] = t3
-    relation.num_inferred_edges += inferred
 
 
 def check_ra_compiled(
@@ -541,6 +510,7 @@ def check_ra_compiled(
         stats={
             "inferred_edges": relation.num_inferred_edges,
             "co_edges": relation.num_edges,
+            **relation.timings,
         },
     )
 
@@ -565,7 +535,6 @@ def check_ra_single_session_compiled(
 
     relation = _relation_from_compiled(ch)
     committed = ch.txn_committed
-    key_names = ch.key_table.values
     kw_start = ch._kw_start
     kw_key = ch._kw_key
     last_write: Dict[int, int] = {}
@@ -576,7 +545,9 @@ def check_ra_single_session_compiled(
             for _po, key, t1 in _external_good_reads(ch, t3, report.bad_ops):
                 t2 = last_write.get(key)
                 if t2 is not None and t2 != t1:
-                    relation.add_inferred(t2, t1, key=key_names[key])
+                    # key is a dense id: the relation was built with the
+                    # IR's key table, so labels decode it lazily.
+                    relation.add_inferred(t2, t1, key=key)
             for x in kw_key[kw_start[t3] : kw_start[t3 + 1]]:
                 last_write[x] = t3
     watch.lap("scan")
@@ -590,30 +561,33 @@ def check_ra_single_session_compiled(
         violations,
         "awdit-1session",
         watch,
-        stats={"inferred_edges": relation.num_inferred_edges},
+        stats={"inferred_edges": relation.num_inferred_edges, **relation.timings},
     )
 
 
 # -- CC (Algorithm 3) ----------------------------------------------------------
 
 
-def _causality_graph_compiled(
-    ch: CompiledHistory, bad_ops: Set[int]
-) -> Tuple[DiGraph, Dict[int, int]]:
-    """Committed ``so ∪ wr`` graph; labels map packed edge -> key id (-1 = so)."""
-    graph = DiGraph(ch.num_transactions)
-    labels: Dict[int, int] = {}
+def _causality_edges_compiled(ch: CompiledHistory, bad_ops: Set[int]):
+    """Packed edge logs of the committed ``so ∪ good-wr`` graph.
+
+    Returns ``(so_log, wr_log, wr_keys)`` flat rows; nothing is deduplicated
+    here (a reader observing the same writer twice appends twice) -- the
+    freeze collapses duplicates, and the labels replay first-wins, exactly
+    like the eager dict gating used to.
+    """
+    so_log = array("Q")
+    wr_log = array("Q")
+    wr_keys = array("q")
     committed = ch.txn_committed
+    so_append = so_log.append
     for session in ch.sessions:
         previous = -1
         for tid in session:
             if not committed[tid]:
                 continue
             if previous >= 0:
-                edge = (previous << EDGE_SHIFT) | tid
-                if edge not in labels:
-                    labels[edge] = -1
-                    graph.add_packed_edge(edge)
+                so_append((previous << EDGE_SHIFT) | tid)
             previous = tid
     xr_start = ch._xr_start
     xr_po = ch._xr_po
@@ -621,6 +595,8 @@ def _causality_graph_compiled(
     xr_writer = ch._xr_writer
     txn_start = ch.txn_start
     check_bad = bool(bad_ops)
+    wr_append = wr_log.append
+    wrk_append = wr_keys.append
     for tid in range(ch.num_transactions):
         if not committed[tid]:
             continue
@@ -631,62 +607,24 @@ def _causality_graph_compiled(
             writer = xr_writer[j]
             if not committed[writer]:
                 continue
-            edge = (writer << EDGE_SHIFT) | tid
-            current = labels.get(edge)
-            if current is None:
-                labels[edge] = xr_key[j]
-                graph.add_packed_edge(edge)
-            elif current == -1:
-                # Recorded as a bare `so` edge; keep the keyed wr label so
-                # witnesses can name the witnessing key.
-                labels[edge] = xr_key[j]
-    return graph, labels
-
-
-def _causality_cycles_compiled(
-    ch: CompiledHistory,
-    graph: DiGraph,
-    labels: Dict[int, int],
-    max_witnesses: Optional[int] = None,
-) -> List[Violation]:
-    """One causality-cycle witness per non-trivial SCC (mirror of ``causality_cycles``)."""
-    key_names = ch.key_table.values
-    violations: List[Violation] = []
-    for component in strongly_connected_components(graph):
-        if len(component) <= 1:
-            continue
-        cycle = find_cycle_in_component(graph, component)
-        edges: List[CycleEdge] = []
-        for i, source in enumerate(cycle):
-            target = cycle[(i + 1) % len(cycle)]
-            key_id = labels.get((source << EDGE_SHIFT) | target, -1)
-            if key_id < 0:
-                edges.append(CycleEdge(source, target, "so", None))
-            else:
-                edges.append(CycleEdge(source, target, "wr", key_names[key_id]))
-        names_text = " -> ".join(ch.name_of(t) for t in cycle)
-        violations.append(
-            CycleViolation(
-                kind=ViolationKind.CAUSALITY_CYCLE,
-                message=f"so ∪ wr cycle over {names_text} -> {ch.name_of(cycle[0])}",
-                edges=tuple(edges),
-            )
-        )
-        if max_witnesses is not None and len(violations) >= max_witnesses:
-            break
-    return violations
+            wr_append((writer << EDGE_SHIFT) | tid)
+            wrk_append(xr_key[j])
+    return so_log, wr_log, wr_keys
 
 
 def compute_happens_before_compiled(
     ch: CompiledHistory, bad_ops: Set[int]
 ) -> Tuple[Optional[List[Optional[List[int]]]], List[Violation]]:
     """``ComputeHB`` on the IR: one plain-list clock per committed transaction."""
-    graph, labels = _causality_graph_compiled(ch, bad_ops)
-    # The causality graph is simple by construction (insertion is gated on
-    # the labels dict), so the sort can skip its deduplication pass.
-    order = topological_sort(graph, assume_simple=True)
+    so_log, wr_log, wr_keys = _causality_edges_compiled(ch, bad_ops)
+    graph = freeze_packed(ch.num_transactions, (so_log, wr_log))
+    order = toposort_frozen(graph)
     if order is None:
-        return None, _causality_cycles_compiled(ch, graph, labels)
+        labels = causality_labels(
+            so_log, wr_log, wr_keys, key_names=ch.key_table.values
+        )
+        names = [ch.name_of(tid) for tid in range(ch.num_transactions)]
+        return None, causality_cycles(names, graph, labels)
 
     k = ch.num_sessions
     committed = ch.txn_committed
@@ -805,22 +743,30 @@ def saturate_cc_compiled(
     if writers_by_key is None:
         writers_by_key = _writers_by_key_compiled(ch)
     writers_index, num_buckets = writers_by_key
+    if ch.num_transactions > (1 << 31):
+        # The t2 scratch row stores writers pre-shifted by EDGE_SHIFT in a
+        # signed array('q'); a tid >= 2^31 would overflow the store deep in
+        # the loop below, so reject it here with the cause attached.
+        raise ValueError(
+            "CC saturation's pre-shifted writer rows support at most "
+            f"2^31 transactions; got {ch.num_transactions}"
+        )
     committed = ch.txn_committed
-    key_names = ch.key_table.values
     xr_start = ch._xr_start
     xr_po = ch._xr_po
     xr_key = ch._xr_key
     xr_writer = ch._xr_writer
     txn_start = ch.txn_start
-    # The edge-insertion fast path of CommitRelation.add_inferred, inlined:
-    # this loop attempts an edge per (read, writing-session) pair, and the
-    # method hops dominate the whole CC check otherwise.  The monotone
-    # pointer (ptr) and the hb-latest writer (t2) per bucket live in the two
-    # flat rows below; a stored ptr is always >= 1, so ptr == 0 doubles as
-    # the "never touched" marker the reset pass relies on.
-    labels = relation._labels
-    succ = relation.graph._succ
-    inferred = 0
+    # This loop attempts an edge per (read, writing-session) pair; each
+    # attempt is at most two raw appends into the relation's co log (the
+    # freeze collapses the duplicates).  The monotone pointer (ptr) and the
+    # hb-latest writer per bucket live in the two flat rows below; a stored
+    # ptr is always >= 1, so ptr == 0 doubles as the "never touched" marker
+    # the reset pass relies on.  The t2 row stores the writer *pre-shifted*
+    # (``t2 << EDGE_SHIFT``): the packed edge is then a single bitwise-or
+    # against the read's writer, and -1 still flags "no hb-latest writer".
+    co_append = relation._co_log.append
+    cok_append = relation._co_keys.append
     check_bad = bool(bad_ops)
     if scratch is None:
         ptrs = array("q", bytes(8 * num_buckets))
@@ -850,32 +796,28 @@ def saturate_cc_compiled(
                 key_writers = writers_index[key]
                 if not key_writers:
                     continue
+                t1s = t1 << EDGE_SHIFT
                 for other, writer_list, writer_indices, count, bid in key_writers:
                     ptr = ptrs[bid]
                     bound = clock[other]
                     if ptr < count and writer_indices[ptr] <= bound:
                         while ptr < count and writer_indices[ptr] <= bound:
                             ptr += 1
-                        t2 = writer_list[ptr - 1]
+                        t2s_val = writer_list[ptr - 1] << EDGE_SHIFT
                         if not ptrs[bid]:
                             touched.append(bid)
                         ptrs[bid] = ptr
-                        t2s[bid] = t2
+                        t2s[bid] = t2s_val
                     else:
-                        t2 = t2s[bid]
-                    if t2 >= 0 and t2 != t1:
-                        edge = (t2 << EDGE_SHIFT) | t1
-                        if edge not in labels:
-                            labels[edge] = ("co", key_names[key])
-                            succ[t2].append(t1)
-                            inferred += 1
+                        t2s_val = t2s[bid]
+                    if t2s_val >= 0 and t2s_val != t1s:
+                        co_append(t2s_val | t1)
+                        cok_append(key)
         # Pointer state is per-session: clear only the touched slots.
         for bid in touched:
             ptrs[bid] = 0
             t2s[bid] = -1
         del touched[:]
-    relation.num_inferred_edges += inferred
-    relation.graph._edge_count += inferred
 
 
 def check_cc_compiled(
@@ -914,6 +856,7 @@ def check_cc_compiled(
         stats={
             "inferred_edges": relation.num_inferred_edges,
             "co_edges": relation.num_edges,
+            **relation.timings,
         },
     )
 

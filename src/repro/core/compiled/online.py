@@ -59,9 +59,9 @@ import pickle
 import time
 from array import array
 from bisect import bisect_left
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.cc import causality_cycles
+from repro.core.cc import causality_cycles, causality_labels
 from repro.core.commit import CommitRelation
 from repro.core.compiled.ir import Intern
 from repro.core.exceptions import HistoryFormatError
@@ -74,7 +74,13 @@ from repro.core.violations import (
     Violation,
     ViolationKind,
 )
-from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT, DiGraph, pack_edge
+from repro.graph.csr import freeze_packed
+from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT, pack_edge
+
+try:  # pragma: no cover - exercised implicitly when numpy is present
+    import numpy as _np
+except ImportError:  # pragma: no cover - CI runners without numpy
+    _np = None
 
 __all__ = [
     "CompiledIncrementalChecker",
@@ -98,9 +104,12 @@ _VALUE_SHIFT = 32
 #: :mod:`repro.stream.incremental` for the derivation.
 _KEY_SHIFT = 24
 
-#: Checkpoint file header: magic + format version.
+#: Checkpoint file header: magic + format version.  Version 2: the
+#: ``_cc_t2_rows`` state stores writers pre-shifted by ``EDGE_SHIFT`` (the
+#: saturation packs edges with one bitwise-or); version-1 checkpoints would
+#: resume with silently wrong pointer state, so they are rejected.
 CHECKPOINT_MAGIC = b"AWDITCKPT"
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 #: Bytes of file prefix hashed into the checkpoint source fingerprint.
 _FINGERPRINT_PREFIX = 1 << 16
@@ -250,7 +259,10 @@ class CompiledIncrementalChecker:
         ] = {}
         self._num_buckets = 0
         #: Per reader session: monotone pointer / latest-hb-writer rows,
-        #: indexed by bucket id (grown lazily to ``_num_buckets``).
+        #: indexed by bucket id (grown lazily to ``_num_buckets``).  The t2
+        #: rows store each writer tid pre-shifted by ``EDGE_SHIFT`` (-1 =
+        #: no writer), so the saturation packs an edge with one bitwise-or;
+        #: part of the checkpoint format (see ``CHECKPOINT_VERSION``).
         self._cc_ptr_rows: List[array] = []
         self._cc_t2_rows: List[array] = []
         self._cc_waiters: Dict[int, List[_Txn]] = {}
@@ -336,9 +348,11 @@ class CompiledIncrementalChecker:
         sid = self._dense_sid(session)
         records = self._by_session[sid]
         tid = len(self._txns)
-        if tid > EDGE_MASK:
-            # Transaction ids are packed-edge endpoints; checked once per
-            # transaction so the saturation loops can pack without guards.
+        if tid >= (1 << 31):
+            # Transaction ids are packed-edge endpoints, and the CC t2 rows
+            # store them pre-shifted in signed array('q') slots; checked
+            # once per transaction so the saturation loops can pack and
+            # store without guards.
             raise HistoryFormatError(
                 "history has too many transactions for packed edges"
             )
@@ -1091,15 +1105,23 @@ class CompiledIncrementalChecker:
         t2_row = self._cc_t2_rows[rec.sid]
         num_buckets = self._num_buckets
         clock_len = len(clock)
-        seq = _sort_base(rec.sid, rec.sidx)
+        # The meta base advances by one whole seq step (1 << EDGE_SHIFT) per
+        # recorded attempt, so the shift happens once per transaction
+        # instead of once per attempt; the t2 row stores writers
+        # *pre-shifted* (see the checkpoint format note on _cc_t2_rows), so
+        # the packed edge is a single bitwise-or per attempt.
+        meta_base = _sort_base(rec.sid, rec.sidx) << EDGE_SHIFT
+        meta_step = 1 << EDGE_SHIFT
         cc_log = self._cc_log
-        cc_log_get = cc_log.get
+        cc_log_setdefault = cc_log.setdefault
         writers_by_key = self._writers_by_key
         row_len = len(ptr_row)
         for _index, key, t1 in rec.good_reads:
             entry = writers_by_key.get(key)
             if entry is None:
                 continue
+            key1 = key + 1
+            t1s = t1 << EDGE_SHIFT
             for writer_list, writer_indices, bid, other in entry[1]:
                 if bid >= row_len:
                     # Grow the flat pointer rows to cover every bucket
@@ -1114,19 +1136,22 @@ class CompiledIncrementalChecker:
                 if ptr < count and writer_indices[ptr] <= bound:
                     while ptr < count and writer_indices[ptr] <= bound:
                         ptr += 1
-                    t2 = writer_list[ptr - 1]
+                    t2s_val = writer_list[ptr - 1] << EDGE_SHIFT
                     ptr_row[bid] = ptr
-                    t2_row[bid] = t2
+                    t2_row[bid] = t2s_val
                 else:
-                    t2 = t2_row[bid]
-                if t2 >= 0 and t2 != t1:
-                    # _record, inlined (hot path).
-                    edge = (t2 << EDGE_SHIFT) | t1
-                    meta = (seq << EDGE_SHIFT) | (key + 1)
-                    current = cc_log_get(edge)
-                    if current is None or meta < current:
+                    t2s_val = t2_row[bid]
+                if t2s_val >= 0 and t2s_val != t1s:
+                    # _record, inlined (hot path); both sides pre-shifted,
+                    # so the self-edge test and the edge packing are one
+                    # comparison and one bitwise-or, and setdefault makes
+                    # the common first-occurrence case a single dict probe.
+                    edge = t2s_val | t1
+                    meta = meta_base | key1
+                    current = cc_log_setdefault(edge, meta)
+                    if meta < current:
                         cc_log[edge] = meta
-                    seq += 1
+                    meta_base += meta_step
 
         next_clock = list(clock)
         if rec.sid >= len(next_clock):
@@ -1150,11 +1175,16 @@ class CompiledIncrementalChecker:
     # -- finalize helpers --------------------------------------------------------
 
     def _batch_numbering(self):
-        """Renumber transactions the way ``History.from_sessions`` would."""
+        """Renumber transactions the way ``History.from_sessions`` would.
+
+        ``so_edges`` comes back *packed* (``(prev << EDGE_SHIFT) | next``),
+        ready to extend a relation's so log without re-boxing.
+        """
         mapping = [0] * len(self._txns)
         names = [""] * len(self._txns)
         committed_ids: List[int] = []
-        so_edges: List[Tuple[int, int]] = []
+        so_edges = array("Q")
+        so_append = so_edges.append
         batch_tid = 0
         for records in self._by_session:
             previous = -1
@@ -1166,67 +1196,100 @@ class CompiledIncrementalChecker:
                 if rec.committed:
                     committed_ids.append(batch_tid)
                     if previous >= 0:
-                        so_edges.append((previous, batch_tid))
+                        so_append((previous << EDGE_SHIFT) | batch_tid)
                     previous = batch_tid
                 batch_tid += 1
         return mapping, names, committed_ids, so_edges
-
-    def _wr_any_edges(self, mapping: List[int]) -> Iterator[Tuple[int, int, str]]:
-        key_names = self._key_table.values
-        for records in self._by_session:
-            for rec in records:
-                if not rec.committed:
-                    continue
-                reader = mapping[rec.tid]
-                for writer, kid in rec.wr_first_any.items():
-                    yield (mapping[writer], reader, key_names[kid])
 
     def _build_relation(
         self,
         mapping: List[int],
         names: List[str],
         committed_ids: List[int],
-        so_edges: List[Tuple[int, int]],
+        so_edges,
         log: Dict[int, int],
     ) -> CommitRelation:
-        relation = CommitRelation.from_edges(
-            names, committed_ids, so_edges, self._wr_any_edges(mapping)
+        relation = CommitRelation(
+            names=names,
+            committed=committed_ids,
+            key_names=self._key_table.values,
         )
-        # Drain the packed log in batch order with the per-edge work of
-        # CommitRelation.add_inferred_packed inlined (endpoint ids are
-        # range-checked once at append, so the packed form is safe).
-        key_names = self._key_table.values
-        labels = relation._labels
-        succ = relation.graph._succ
-        log_pop = log.pop
-        inferred = 0
-        for edge in sorted(log, key=log.__getitem__):
-            kid = (log_pop(edge) & EDGE_MASK) - 1
-            t2 = mapping[edge >> EDGE_SHIFT]
-            t1 = mapping[edge & EDGE_MASK]
-            packed = (t2 << EDGE_SHIFT) | t1
-            if packed not in labels:
-                labels[packed] = ("co", key_names[kid] if kid >= 0 else None)
-                succ[t2].append(t1)
-                inferred += 1
-        relation.num_inferred_edges += inferred
-        relation.graph._edge_count += inferred
+        relation._so_log.extend(so_edges)
+        wr_append = relation._wr_log.append
+        wrk_append = relation._wr_keys.append
+        for records in self._by_session:
+            for rec in records:
+                if not rec.committed:
+                    continue
+                reader = mapping[rec.tid]
+                for writer, kid in rec.wr_first_any.items():
+                    wr_append((mapping[writer] << EDGE_SHIFT) | reader)
+                    wrk_append(kid)
+        self._drain_log(log, mapping, relation)
         return relation
 
+    def _drain_log(
+        self, log: Dict[int, int], mapping: List[int], relation: CommitRelation
+    ) -> None:
+        """Drain a packed inferred-edge log into the relation's co rows.
+
+        Entries land in batch order (ascending meta = batch position of the
+        earliest firing attempt), renumbered through ``mapping`` -- so the
+        lazy label replay matches the batch engines bit for bit.  Dedup
+        against so/wr and the witness labels happen at the relation's CSR
+        freeze.  The vectorized path splits each meta into (seq, key) halves
+        -- metas overflow 64 bits by construction -- and lexsorts them,
+        which reproduces ``sorted(log, key=log.__getitem__)`` exactly; it
+        bails to the scalar loop if a seq half ever exceeds uint64 (only
+        possible past ~65k sessions).
+        """
+        if _np is not None and log:
+            try:
+                n = len(log)
+                packed = _np.fromiter(log.keys(), _np.uint64, n)
+                hi = _np.fromiter((m >> EDGE_SHIFT for m in log.values()), _np.uint64, n)
+                lo = _np.fromiter((m & EDGE_MASK for m in log.values()), _np.uint64, n)
+            except OverflowError:  # pragma: no cover - >65k sessions
+                pass
+            else:
+                log.clear()
+                order = _np.lexsort((lo, hi))
+                remap = _np.asarray(mapping, _np.uint64)
+                src = remap[(packed >> EDGE_SHIFT).astype(_np.int64)]
+                dst = remap[(packed & EDGE_MASK).astype(_np.int64)]
+                relation._co_log.frombytes(((src << EDGE_SHIFT) | dst)[order].tobytes())
+                relation._co_keys.frombytes(
+                    (lo.astype(_np.int64) - 1)[order].tobytes()
+                )
+                return
+        co_append = relation._co_log.append
+        cok_append = relation._co_keys.append
+        log_pop = log.pop
+        for edge in sorted(log, key=log.__getitem__):
+            kid = (log_pop(edge) & EDGE_MASK) - 1
+            co_append(
+                (mapping[edge >> EDGE_SHIFT] << EDGE_SHIFT) | mapping[edge & EDGE_MASK]
+            )
+            cok_append(kid)
+
     def _causality_graph(self, mapping: List[int]):
-        """The committed ``so ∪ good-wr`` graph, in batch construction order."""
-        graph = DiGraph(len(self._txns))
-        labels: Dict[Tuple[int, int], Optional[str]] = {}
-        key_names = self._key_table.values
+        """The committed ``so ∪ good-wr`` graph, frozen to CSR rows.
+
+        Returns ``(frozen_graph, labels)`` for :func:`causality_cycles`;
+        only called when the stream ends with a causality cycle, so the
+        labels build eagerly here.
+        """
+        so_log: List[int] = []
+        wr_log: List[int] = []
+        wr_keys: List[int] = []
         for records in self._by_session:
             previous = -1
             for rec in records:
                 if not rec.committed:
                     continue
                 current = mapping[rec.tid]
-                if previous >= 0 and (previous, current) not in labels:
-                    labels[(previous, current)] = None
-                    graph.add_edge(previous, current)
+                if previous >= 0:
+                    so_log.append((previous << EDGE_SHIFT) | current)
                 previous = current
         for records in self._by_session:
             for rec in records:
@@ -1234,12 +1297,12 @@ class CompiledIncrementalChecker:
                     continue
                 reader = mapping[rec.tid]
                 for writer, kid in rec.wr_first_good.items():
-                    edge = (mapping[writer], reader)
-                    if edge not in labels:
-                        labels[edge] = key_names[kid]
-                        graph.add_edge(edge[0], edge[1])
-                    elif labels[edge] is None:
-                        labels[edge] = key_names[kid]
+                    wr_log.append((mapping[writer] << EDGE_SHIFT) | reader)
+                    wr_keys.append(kid)
+        graph = freeze_packed(len(self._txns), (so_log, wr_log))
+        labels = causality_labels(
+            so_log, wr_log, wr_keys, key_names=self._key_table.values
+        )
         return graph, labels
 
     def _result(
@@ -1255,6 +1318,8 @@ class CompiledIncrementalChecker:
             stats["inferred_edges"] = relation.num_inferred_edges
             if co_edges:
                 stats["co_edges"] = relation.num_edges
+            # freeze/acyclicity/witness wall laps, for `--stream --profile`.
+            stats.update(relation.timings)
         return CheckResult(
             level=level,
             violations=violations,

@@ -4,9 +4,13 @@ The checkers of the paper reduce consistency to acyclicity of an inferred
 commit relation ``co'``; this package provides the directed-graph machinery
 needed for that reduction:
 
-* :mod:`repro.graph.digraph` -- a compact adjacency-list directed graph.
+* :mod:`repro.graph.digraph` -- a compact adjacency-list directed graph
+  (the baselines' builder-friendly representation).
+* :mod:`repro.graph.csr` -- frozen CSR snapshots of packed-edge logs plus
+  the kernels over them (Tarjan SCC, Kahn toposort, cycle extraction); the
+  checkers' commit relation and causality graph freeze into this form.
 * :mod:`repro.graph.cycles` -- Tarjan strongly-connected components,
-  iterative topological sort, and cycle-witness extraction.
+  iterative topological sort, and cycle-witness extraction over DiGraph.
 * :mod:`repro.graph.vector_clock` -- the vector clocks used by Algorithm 3
   (``ComputeHB``) and by the Plume-like baseline.
 * :mod:`repro.graph.tree_clock` -- the tree-clock data structure (Mathur et
@@ -14,6 +18,13 @@ needed for that reduction:
 """
 
 from repro.graph.digraph import DiGraph
+from repro.graph.csr import (
+    FrozenGraph,
+    freeze_packed,
+    scc_frozen,
+    toposort_frozen,
+    find_cycle_in_component_frozen,
+)
 from repro.graph.cycles import (
     strongly_connected_components,
     topological_sort,
@@ -26,6 +37,11 @@ from repro.graph.tree_clock import TreeClock
 
 __all__ = [
     "DiGraph",
+    "FrozenGraph",
+    "freeze_packed",
+    "scc_frozen",
+    "toposort_frozen",
+    "find_cycle_in_component_frozen",
     "strongly_connected_components",
     "topological_sort",
     "has_cycle",

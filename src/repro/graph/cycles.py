@@ -83,24 +83,19 @@ def strongly_connected_components(graph: DiGraph) -> List[List[int]]:
     return components
 
 
-def topological_sort(graph: DiGraph, assume_simple: bool = False) -> Optional[List[int]]:
+def topological_sort(graph: DiGraph) -> Optional[List[int]]:
     """Return a topological order of ``graph`` or ``None`` if it has a cycle.
 
-    Kahn's algorithm over unique successors; parallel edges do not affect the
-    result.  ``assume_simple`` skips the per-vertex deduplication pass for
-    graphs the caller guarantees free of parallel edges (e.g. the causality
-    graph, whose insertion is label-gated); the resulting order is identical
-    because deduplication preserves first-seen successor order.
+    Kahn's algorithm over unique successors; parallel edges do not affect
+    the result.  (The checkers' hot paths use
+    :func:`repro.graph.csr.toposort_frozen` over frozen CSR rows instead;
+    this DiGraph form serves the baselines.)
     """
     n = graph.num_vertices
     indegree = [0] * n
     unique_succ: List[List[int]] = []
     for vertex in range(n):
-        succs = (
-            graph.successors(vertex)
-            if assume_simple
-            else graph.unique_successors(vertex)
-        )
+        succs = graph.unique_successors(vertex)
         unique_succ.append(succs)
         for succ in succs:
             indegree[succ] += 1

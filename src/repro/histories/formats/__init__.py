@@ -128,7 +128,11 @@ def stream_raw_history(
             raise ParseError(f"{path}: {exc}") from exc
 
 
-def load_compiled(path: str, fmt: Optional[str] = None) -> CompiledHistory:
+def load_compiled(
+    path: str,
+    fmt: Optional[str] = None,
+    timings: Optional[Dict[str, float]] = None,
+) -> CompiledHistory:
     """Load ``path`` directly into a :class:`CompiledHistory`.
 
     The file is parsed with the raw streaming layer and compiled on the fly,
@@ -136,12 +140,28 @@ def load_compiled(path: str, fmt: Optional[str] = None) -> CompiledHistory:
     the compiled arrays plus the intern tables, not the object graph.  The
     result is identical to ``compile_history(load_history(path))`` up to
     trailing empty sessions (which a one-pass parse cannot observe).
+
+    ``timings`` (for ``awdit check --profile``) receives separate ``parse``
+    and ``build`` wall seconds; separating the fused pipeline means
+    materializing the raw records once, so only pass it when profiling.
     """
     module = _module_for(fmt, path)
     builder = CompiledHistoryBuilder()
-    for sid, (label, committed, ops) in stream_raw_history(path, fmt):
+    if timings is None:
+        records = stream_raw_history(path, fmt)
+    else:
+        import time
+
+        start = time.perf_counter()
+        records = list(stream_raw_history(path, fmt))
+        timings["parse"] = time.perf_counter() - start
+        start = time.perf_counter()
+    for sid, (label, committed, ops) in records:
         builder.add_transaction(sid, label, committed, ops)
-    return builder.finalize(
+    compiled = builder.finalize(
         sort_sessions=True,
         fill_gaps=getattr(module, "COMPILED_SESSION_GAPS", False),
     )
+    if timings is not None:
+        timings["build"] = time.perf_counter() - start
+    return compiled

@@ -44,11 +44,12 @@ def _render_value(value: object) -> str:
 
 
 def _parse_value(text: str) -> object:
-    text = text.strip()
+    # int() tolerates surrounding whitespace itself, so the common
+    # integer-valued case skips the strip.
     try:
         return int(text)
     except ValueError:
-        return text
+        return text.strip()
 
 
 def dumps(history: History) -> str:

@@ -19,13 +19,14 @@ build is overlapped with worker compute where the dependency order allows.
 
 Workers run the *same* loop implementations as the single-process engine
 (the restriction parameters added to :mod:`repro.core.compiled.checkers`),
-each into a private scratch :class:`CommitRelation`; the parent then replays
-each shard's inferred edges in global transaction/session order, so the
-label/adjacency insertion order -- and therefore every witness -- matches a
-sequential run exactly.  Shard-local deduplication is sound because a shard's
-work units are ascending in global order: a duplicate dropped inside a shard
-is always dominated by an earlier same-shard unit that the merge replays
-first.
+each appending its inferred edges into a private scratch
+:class:`CommitRelation` co log (flat packed rows, nothing deduplicated
+worker-side); the parent concatenates the per-shard log slices in global
+transaction/session order -- one C-level ``extend`` per shard, no
+re-hashing -- which reproduces the sequential engine's log bit for bit.
+Dedup, the inferred-edge count, and witness labels all happen at the
+relation's CSR freeze, exactly where the sequential run does them, so every
+witness matches a sequential run exactly.
 
 Workers are forked (POSIX only): the compiled IR is published in a module
 global before the pool is created and reaches workers by copy-on-write, so
@@ -62,7 +63,6 @@ from repro.core.compiled.ir import CompiledHistory
 from repro.core.isolation import IsolationLevel
 from repro.core.result import CheckResult, Stopwatch
 from repro.core.violations import Violation
-from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT
 from repro.shard.plan import ShardPlan, plan_shards
 
 __all__ = [
@@ -135,11 +135,16 @@ def _writers_for(ch: CompiledHistory) -> Tuple[List, int]:
 def _scratch_relation(ch: CompiledHistory) -> CommitRelation:
     """A throwaway relation for a worker's saturation run.
 
-    Names are only read when rendering witnesses and ``committed`` only by
-    ``linearize`` -- neither happens in a worker -- so placeholders suffice;
-    the graph just needs one adjacency slot per transaction.
+    Only its co log is ever read back: the saturators append the shard's
+    inferred edges (packed) plus key ids there, and the parent concatenates
+    the slices into the global relation.  Names are never rendered and
+    nothing is frozen worker-side, so placeholders suffice.
     """
-    return CommitRelation(names=[""] * ch.num_transactions, committed=())
+    return CommitRelation(
+        num_vertices=ch.num_transactions,
+        committed=(),
+        key_names=ch.key_table.values,
+    )
 
 
 # -- task bodies (run in a forked worker, or inline) ----------------------------
@@ -158,14 +163,19 @@ def _task_repeatable_reads(
     return check_repeatable_reads_compiled(_shared_ch(), bad_ops, tid_range=chunk)
 
 
-def _extract_co_edges(relation: CommitRelation) -> List[Tuple[int, Optional[str]]]:
-    """The scratch relation's edges as ordered ``(packed_edge, key)`` pairs."""
-    return [(edge, key) for edge, (_reason, key) in relation._labels.items()]
+def _extract_co_edges(relation: CommitRelation) -> Tuple[array, array]:
+    """The scratch relation's co log as parallel ``(edges, key_ids)`` rows.
+
+    Flat ``array`` rows pickle as raw bytes -- the fork transport ships a
+    shard's whole edge log in two buffer copies instead of one tuple per
+    edge.
+    """
+    return relation._co_log, relation._co_keys
 
 
 def _task_rc_saturation(
     chunk: Tuple[int, int], bad_ops: Set[int]
-) -> List[Tuple[int, Optional[str]]]:
+) -> Tuple[array, array]:
     ch = _shared_ch()
     relation = _scratch_relation(ch)
     saturate_rc_compiled(ch, relation, bad_ops, tid_range=chunk)
@@ -174,21 +184,22 @@ def _task_rc_saturation(
 
 def _task_ra_saturation(
     sids: Sequence[int], bad_ops: Set[int]
-) -> List[Tuple[int, List[Tuple[int, Optional[str]]]]]:
+) -> List[Tuple[int, Tuple[array, array]]]:
     """RA-saturate each of the shard's sessions; edges grouped per session.
 
-    One scratch relation serves all of the shard's sessions (its labels dict
-    is insertion-ordered, so each session's new edges are a suffix slice).
+    One scratch relation serves all of the shard's sessions (its co log is
+    append-ordered, so each session's new edges are a suffix slice).
     """
     ch = _shared_ch()
     relation = _scratch_relation(ch)
     cuts = [0]
     for sid in sids:
         saturate_ra_compiled(ch, relation, bad_ops, sessions=(sid,))
-        cuts.append(len(relation._labels))
-    edges = _extract_co_edges(relation)
+        cuts.append(len(relation._co_log))
+    edges, keys = _extract_co_edges(relation)
     return [
-        (sid, edges[cuts[i] : cuts[i + 1]]) for i, sid in enumerate(sids)
+        (sid, (edges[cuts[i] : cuts[i + 1]], keys[cuts[i] : cuts[i + 1]]))
+        for i, sid in enumerate(sids)
     ]
 
 
@@ -196,7 +207,7 @@ def _task_cc_saturation(
     sids: Sequence[int],
     bad_ops: Set[int],
     hb_rows: Dict[int, Optional[List[int]]],
-) -> List[Tuple[int, List[Tuple[int, Optional[str]]]]]:
+) -> List[Tuple[int, Tuple[array, array]]]:
     """CC-saturate each of the shard's sessions (see :func:`_task_ra_saturation`)."""
     ch = _shared_ch()
     writers_by_key = _writers_for(ch)
@@ -221,10 +232,11 @@ def _task_cc_saturation(
             writers_by_key=writers_by_key,
             scratch=scratch,
         )
-        cuts.append(len(relation._labels))
-    edges = _extract_co_edges(relation)
+        cuts.append(len(relation._co_log))
+    edges, keys = _extract_co_edges(relation)
     return [
-        (sid, edges[cuts[i] : cuts[i + 1]]) for i, sid in enumerate(sids)
+        (sid, (edges[cuts[i] : cuts[i + 1]], keys[cuts[i] : cuts[i + 1]]))
+        for i, sid in enumerate(sids)
     ]
 
 
@@ -302,26 +314,24 @@ def _merge_reports(handles) -> CompiledReadReport:
 
 def _merge_inferred(
     relation: CommitRelation,
-    edge_lists: Iterable[Iterable[Tuple[int, Optional[str]]]],
+    edge_logs: Iterable[Tuple[array, array]],
 ) -> None:
-    """Replay shard-inferred co edges into the global relation, in order.
+    """Concatenate shard co logs into the global relation, in order.
 
-    The per-edge work of ``CommitRelation.add_inferred_packed`` is inlined,
-    exactly like the sequential saturators do: first label wins, so an edge
-    already explained by ``so``/``wr`` (or by an earlier shard unit) is
-    skipped, and the inferred count reproduces the sequential one.
+    Each shard ships the same appends the sequential saturators would have
+    made for its slice; concatenating the slices in global order reproduces
+    the sequential log bit for bit (one C-level ``extend`` per shard, no
+    per-edge Python).  Dedup, the inferred count, and witness labels all
+    happen at the relation's freeze, exactly as in a sequential run.
     """
-    labels = relation._labels
-    succ = relation.graph._succ
-    inferred = 0
-    for edges in edge_lists:
-        for edge, key in edges:
-            if edge not in labels:
-                labels[edge] = ("co", key)
-                succ[edge >> EDGE_SHIFT].append(edge & EDGE_MASK)
-                inferred += 1
-    relation.num_inferred_edges += inferred
-    relation.graph._edge_count += inferred
+    co_log = relation._co_log
+    co_keys = relation._co_keys
+    for edges, keys in edge_logs:
+        co_log.extend(edges)
+        co_keys.extend(keys)
+
+
+_EMPTY_LOG: Tuple[array, array] = (array("Q"), array("q"))
 
 
 def _sessions_by_shard(plan: ShardPlan) -> List[List[int]]:
@@ -333,12 +343,13 @@ def _sessions_by_shard(plan: ShardPlan) -> List[List[int]]:
 def _merge_session_edges(
     relation: CommitRelation, handles, num_sessions: int
 ) -> None:
-    per_session: Dict[int, List[Tuple[int, Optional[str]]]] = {}
+    per_session: Dict[int, Tuple[array, array]] = {}
     for handle in handles:
         for sid, edges in handle.get():
             per_session[sid] = edges
     _merge_inferred(
-        relation, (per_session.get(sid, ()) for sid in range(num_sessions))
+        relation,
+        (per_session.get(sid, _EMPTY_LOG) for sid in range(num_sessions)),
     )
 
 
@@ -390,6 +401,7 @@ def _check_rc_sharded(
             "inferred_edges": relation.num_inferred_edges,
             "co_edges": relation.num_edges,
             "jobs": executor.jobs,
+            **relation.timings,
         },
     )
 
@@ -438,6 +450,7 @@ def _check_ra_sharded(
             "inferred_edges": relation.num_inferred_edges,
             "co_edges": relation.num_edges,
             "jobs": executor.jobs,
+            **relation.timings,
         },
     )
 
@@ -493,6 +506,7 @@ def _check_cc_sharded(
             "inferred_edges": relation.num_inferred_edges,
             "co_edges": relation.num_edges,
             "jobs": executor.jobs,
+            **relation.timings,
         },
     )
 

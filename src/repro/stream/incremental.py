@@ -61,7 +61,7 @@ import time
 from bisect import insort
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.core.cc import causality_cycles
+from repro.core.cc import causality_cycles, causality_labels
 from repro.core.commit import CommitRelation
 from repro.core.compiled.ir import Intern
 from repro.core.isolation import IsolationLevel
@@ -73,7 +73,8 @@ from repro.core.violations import (
     Violation,
     ViolationKind,
 )
-from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT, DiGraph, pack_edge, unpack_edge
+from repro.graph.csr import freeze_packed
+from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT, pack_edge, unpack_edge
 
 __all__ = ["IncrementalChecker", "check_stream"]
 
@@ -964,15 +965,14 @@ class IncrementalChecker:
                 batch_tid += 1
         return mapping, names, committed_ids, so_edges
 
-    def _wr_any_edges(self, mapping: List[int]) -> Iterator[Tuple[int, int, str]]:
-        key_names = self._key_table.values
+    def _wr_any_edges(self, mapping: List[int]) -> Iterator[Tuple[int, int, int]]:
         for records in self._by_session:
             for rec in records:
                 if not rec.committed:
                     continue
                 reader = mapping[rec.tid]
                 for writer, kid in rec.wr_first_any.items():
-                    yield (mapping[writer], reader, key_names[kid])
+                    yield (mapping[writer], reader, kid)
 
     def _build_relation(
         self,
@@ -983,35 +983,39 @@ class IncrementalChecker:
         log: _EdgeLog,
     ) -> CommitRelation:
         relation = CommitRelation.from_edges(
-            names, committed_ids, so_edges, self._wr_any_edges(mapping)
+            names,
+            committed_ids,
+            so_edges,
+            self._wr_any_edges(mapping),
+            key_names=self._key_table.values,
         )
-        # Drain the packed log directly into the packed relation: sort the
-        # edge ints by their meta (= batch position), pop each entry as it is
-        # replayed.  The log can hold hundreds of thousands of edges on large
-        # histories, so it never coexists whole with a second copy.
-        key_names = self._key_table.values
+        # Drain the packed log directly into the relation's co rows: sort
+        # the edge ints by their meta (= batch position), renumber, append,
+        # pop each entry as it is replayed.  The log can hold hundreds of
+        # thousands of edges on large histories, so it never coexists whole
+        # with a second copy; dedup and labels happen at the CSR freeze.
+        co_append = relation._co_log.append
+        cok_append = relation._co_keys.append
         for edge in sorted(log, key=log.__getitem__):
             kid = (log.pop(edge) & EDGE_MASK) - 1
             t2, t1 = unpack_edge(edge)
-            relation.add_inferred(
-                mapping[t2], mapping[t1], key=key_names[kid] if kid >= 0 else None
-            )
+            co_append((mapping[t2] << EDGE_SHIFT) | mapping[t1])
+            cok_append(kid)
         return relation
 
     def _causality_graph(self, mapping: List[int]):
-        """The committed ``so ∪ good-wr`` graph, in batch construction order."""
-        graph = DiGraph(len(self._txns))
-        labels: Dict[Tuple[int, int], Optional[str]] = {}
-        key_names = self._key_table.values
+        """The committed ``so ∪ good-wr`` graph, frozen to CSR rows."""
+        so_log: List[int] = []
+        wr_log: List[int] = []
+        wr_keys: List[int] = []
         for records in self._by_session:
             previous = -1
             for rec in records:
                 if not rec.committed:
                     continue
                 current = mapping[rec.tid]
-                if previous >= 0 and (previous, current) not in labels:
-                    labels[(previous, current)] = None
-                    graph.add_edge(previous, current)
+                if previous >= 0:
+                    so_log.append((previous << EDGE_SHIFT) | current)
                 previous = current
         for records in self._by_session:
             for rec in records:
@@ -1019,12 +1023,12 @@ class IncrementalChecker:
                     continue
                 reader = mapping[rec.tid]
                 for writer, kid in rec.wr_first_good.items():
-                    edge = (mapping[writer], reader)
-                    if edge not in labels:
-                        labels[edge] = key_names[kid]
-                        graph.add_edge(edge[0], edge[1])
-                    elif labels[edge] is None:
-                        labels[edge] = key_names[kid]
+                    wr_log.append((mapping[writer] << EDGE_SHIFT) | reader)
+                    wr_keys.append(kid)
+        graph = freeze_packed(len(self._txns), (so_log, wr_log))
+        labels = causality_labels(
+            so_log, wr_log, wr_keys, key_names=self._key_table.values
+        )
         return graph, labels
 
     def _result(
@@ -1040,6 +1044,8 @@ class IncrementalChecker:
             stats["inferred_edges"] = relation.num_inferred_edges
             if co_edges:
                 stats["co_edges"] = relation.num_edges
+            # freeze/acyclicity/witness wall laps, for `--stream --profile`.
+            stats.update(relation.timings)
         return CheckResult(
             level=level,
             violations=violations,

@@ -35,6 +35,9 @@ def _assert_same(reference, result, context):
     assert result.stats.get("inferred_edges") == reference.stats.get(
         "inferred_edges"
     ), context
+    # The CSR freeze is every engine's single dedup point, so the distinct
+    # commit-relation edge count must agree cell by cell too.
+    assert result.stats.get("co_edges") == reference.stats.get("co_edges"), context
 
 
 class TestEngineModeMatrix:
