@@ -1,16 +1,18 @@
 """CI perf-regression guard for the compiled CC hot paths.
 
-Re-measures compiled batch CC and compiled streaming CC on the 120k-op
-fig9-scale history and fails (exit 1) when either regresses more than
-``TOLERANCE`` against the baselines committed in ``BENCH_5.json``.  The
-committed baselines are first rescaled by the machine-speed ratio of the
-:mod:`_calibration` kernel (its runtime on this runner vs the runtime
-recorded alongside the baselines), so a runner of a different hardware
-class compares against what *its own* hardware should achieve, not the
-dev container's absolute seconds.  The 25% tolerance then only has to
-absorb run-to-run noise (shared CI machines routinely jitter by 10-15%);
-a real regression from an accidental hash-probe or label
-re-materialization on the hot path is far larger than that.
+Re-measures compiled batch CC (against ``BENCH_5.json``) plus the
+compiled streaming CC pipeline and its fold phase (against
+``BENCH_6.json``, the columnar-ingestion era numbers) on the 120k-op
+fig9-scale history, and fails (exit 1) when any of the three regresses
+more than ``TOLERANCE``.  The committed baselines are first rescaled by
+the machine-speed ratio of the :mod:`_calibration` kernel (its runtime
+on this runner vs the runtime recorded alongside the baselines), so a
+runner of a different hardware class compares against what *its own*
+hardware should achieve, not the dev container's absolute seconds.  The
+25% tolerance then only has to absorb run-to-run noise (shared CI
+machines routinely jitter by 10-15%); a real regression from an
+accidental hash-probe or label re-materialization on the hot path is
+far larger than that.
 
 Machines reporting fewer than 2 usable CPUs skip the guard (exit 0): a
 single-CPU runner's timings swing too wildly for even a tolerant gate,
@@ -21,6 +23,7 @@ Run as ``python benchmarks/perf_guard.py`` (the CI ``perf-guard`` job).
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import sys
@@ -42,6 +45,7 @@ REPEATS = 3
 
 _ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
 BENCH5_PATH = os.path.abspath(os.path.join(_ROOT, "BENCH_5.json"))
+BENCH6_PATH = os.path.abspath(os.path.join(_ROOT, "BENCH_6.json"))
 
 
 def _best_of(fn, repeats: int = REPEATS) -> float:
@@ -61,23 +65,33 @@ def main() -> int:
 
     with open(BENCH5_PATH, encoding="utf-8") as handle:
         bench5 = json.load(handle)
-    baseline = bench5["check_cc_seconds"]
-    batch_baseline = baseline["compiled_batch"]
-    stream_baseline = baseline["compiled_stream_pipeline"]
+    with open(BENCH6_PATH, encoding="utf-8") as handle:
+        bench6 = json.load(handle)
+    batch_baseline = bench5["check_cc_seconds"]["compiled_batch"]
+    # The streaming gates moved to the BENCH_6 columnar-ingestion era:
+    # the whole pipeline plus the fold phase on its own, so a fold
+    # regression cannot hide behind a parse or finalize improvement.
+    stream_baseline = bench6["check_cc_seconds"]["compiled_stream_pipeline"]
+    fold_baseline = bench6["stream_fold_phase_seconds"]["fold"]
 
     # Rescale the committed baselines to this machine's speed: the same
-    # calibration kernel ran when the snapshot was recorded, so the ratio
-    # cancels the hardware class out of the comparison.
-    recorded_cal = bench5.get("machine_calibration_seconds")
-    if recorded_cal:
-        local_cal = calibration_seconds()
+    # calibration kernel ran when each snapshot was recorded, so the
+    # ratio cancels the hardware class out of the comparison.
+    local_cal = calibration_seconds()
+    for snapshot, name in ((bench5, "BENCH_5"), (bench6, "BENCH_6")):
+        recorded_cal = snapshot.get("machine_calibration_seconds")
+        if not recorded_cal:
+            continue
         scale = local_cal / recorded_cal
         print(
-            f"perf-guard: calibration {local_cal:.4f}s vs recorded "
+            f"perf-guard: calibration {local_cal:.4f}s vs {name} "
             f"{recorded_cal:.4f}s -> baseline scale {scale:.2f}x"
         )
-        batch_baseline *= scale
-        stream_baseline *= scale
+        if snapshot is bench5:
+            batch_baseline *= scale
+        else:
+            stream_baseline *= scale
+            fold_baseline *= scale
 
     history = generate_random_history(
         RandomHistoryConfig(
@@ -96,16 +110,33 @@ def main() -> int:
         path = os.path.join(tmp, "large.plume")
         save_history(history, path, fmt="plume")
         batch_seconds = _best_of(lambda: check_cc_compiled(ch))
-        stream_seconds = _best_of(
-            lambda: check_stream_file(
-                path, IsolationLevel.CAUSAL_CONSISTENCY, fmt="plume", engine="compiled"
+        # Match BENCH_6's recording conditions: the streaming pipeline is
+        # measured without the object history or compiled IR alive, so
+        # gen-2 GC passes don't walk 120k dead-weight objects mid-run.
+        del ch, history
+        gc.collect()
+        # One profiled run set serves both streaming gates: the lap
+        # bookkeeping adds only a few perf_counter calls per batch.
+        stream_seconds = float("inf")
+        fold_seconds = float("inf")
+        for _ in range(REPEATS):
+            timings = {}
+            start = time.perf_counter()
+            check_stream_file(
+                path,
+                IsolationLevel.CAUSAL_CONSISTENCY,
+                fmt="plume",
+                engine="compiled",
+                timings=timings,
             )
-        )
+            stream_seconds = min(stream_seconds, time.perf_counter() - start)
+            fold_seconds = min(fold_seconds, timings["fold"])
 
     failed = False
     for name, current, committed in (
         ("compiled batch CC", batch_seconds, batch_baseline),
         ("compiled streaming CC pipeline", stream_seconds, stream_baseline),
+        ("compiled streaming CC fold phase", fold_seconds, fold_baseline),
     ):
         ratio = current / committed
         status = "OK"

@@ -92,6 +92,19 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     check_parser.add_argument(
+        "--batch-ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "operations per parser record batch (default: 4096); tunes the "
+            "columnar ingestion granularity of the awdit engines in both "
+            "batch and streaming mode -- the verdict is identical for any "
+            "value (conflicts with baseline checkers and the batch-mode "
+            "object engine, which ingest record by record)"
+        ),
+    )
+    check_parser.add_argument(
         "--checkpoint",
         metavar="PATH",
         default=None,
@@ -118,8 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "print per-phase wall/alloc timings (parse, build, freeze, "
-            "saturate, acyclicity, witness) to stderr after the check, so "
-            "perf work can see where the time goes without a profiler"
+            "saturate, acyclicity, witness; with --stream: parse and the "
+            "fold's intern/classify/clock-join sub-laps) to stderr after "
+            "the check, so perf work can see where the time goes without a "
+            "profiler"
         ),
     )
 
@@ -196,6 +211,21 @@ def _check_flag_conflicts(args: argparse.Namespace, checker_name: str) -> Option
     is_baseline = checker_name not in ("awdit", "default")
     if args.jobs is not None and args.jobs < 1:
         return f"--jobs must be >= 1, got {args.jobs}"
+    if args.batch_ops is not None:
+        if args.batch_ops < 1:
+            return f"--batch-ops must be >= 1, got {args.batch_ops}"
+        if is_baseline and checker_name in BASELINE_REGISTRY:
+            return (
+                f"--batch-ops tunes the awdit engines' columnar ingestion; "
+                f"baseline checker {args.checker!r} ingests record by record "
+                "(drop --batch-ops or --checker)"
+            )
+        if args.engine == "object" and not args.stream:
+            return (
+                "--batch-ops tunes columnar ingestion; the batch-mode object "
+                "engine materializes the history record by record (drop "
+                "--batch-ops or use --stream / another engine)"
+            )
     if args.checkpoint_every is not None and args.checkpoint_every < 1:
         return f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
     if args.resume and args.checkpoint is None:
@@ -254,6 +284,10 @@ _PROFILE_PHASES = (
     ("parse", ""),
     ("build", ""),
     ("ingest", ""),  # sharded parse+build, fused across parallel workers
+    ("fold", ""),  # streaming: whole online fold, split into the laps below
+    ("fold_intern", "  "),
+    ("fold_classify", "  "),
+    ("fold_clock_join", "  "),
     ("read_consistency", ""),
     ("repeatable_reads", ""),
     ("happens_before", ""),
@@ -320,6 +354,8 @@ def _run_check(args: argparse.Namespace) -> int:
                 else DEFAULT_CHECKPOINT_EVERY
             ),
             resume=args.resume,
+            batch_ops=args.batch_ops,
+            timings=profile_timings,
         )
     elif checker_name in ("awdit", "default"):
         engine = args.engine
@@ -335,7 +371,9 @@ def _run_check(args: argparse.Namespace) -> int:
                     # workers; report the combined phase rather than
                     # silently dropping it from the profile.
                     ingest_start = time.perf_counter()
-                compiled = load_compiled_sharded(args.history, jobs, fmt=args.format)
+                compiled = load_compiled_sharded(
+                    args.history, jobs, fmt=args.format, batch_ops=args.batch_ops
+                )
                 if profile_timings is not None:
                     profile_timings["ingest"] = time.perf_counter() - ingest_start
             else:
@@ -344,7 +382,10 @@ def _run_check(args: argparse.Namespace) -> int:
                 from repro.histories.formats import load_compiled
 
                 compiled = load_compiled(
-                    args.history, fmt=args.format, timings=profile_timings
+                    args.history,
+                    fmt=args.format,
+                    timings=profile_timings,
+                    batch_ops=args.batch_ops,
                 )
             result = check(
                 compiled, level, max_witnesses=args.witnesses,
@@ -356,7 +397,10 @@ def _run_check(args: argparse.Namespace) -> int:
             from repro.histories.formats import load_compiled
 
             compiled = load_compiled(
-                args.history, fmt=args.format, timings=profile_timings
+                args.history,
+                fmt=args.format,
+                timings=profile_timings,
+                batch_ops=args.batch_ops,
             )
             result = check(compiled, level, max_witnesses=args.witnesses)
         else:

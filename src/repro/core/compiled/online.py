@@ -4,9 +4,12 @@
 :class:`repro.stream.incremental.IncrementalChecker`: the same online
 formulation of AWDIT's Algorithms 1-4 (read classification on resolution,
 per-transaction RC saturation, per-session RA frontier, causal CC frontier
-with monotone saturation pointers), but fed straight from the parsers' raw
-``stream_ops`` layer -- ``append_raw`` takes ``(is_write, key, value)``
-tuples, so no :class:`~repro.core.model.Operation` or
+with monotone saturation pointers), but fed straight from the parsers'
+columnar record-batch layer -- ``append_batch`` folds a whole
+:class:`~repro.histories.formats._raw.RecordBatch` at a time (bulk intern
+over the key/value columns, per-transaction dispatch amortized across the
+batch), and ``append_raw`` wraps one ``(is_write, key, value)`` record as a
+single-record batch, so no :class:`~repro.core.model.Operation` or
 :class:`~repro.core.model.Transaction` objects exist on the hot path at all:
 
 * keys *and* values are interned to dense ints on arrival
@@ -45,10 +48,14 @@ Duplicate ``(key, value)`` writes resolve exactly like the batch unique-
 writes convention -- the *last* write in transaction-id order wins: a
 later-ordered duplicate supersedes the registry entry and rebinds every
 already-resolved read of a transaction that has not yet been folded into
-the frontiers.  (A duplicate arriving only after a reading transaction was
-folded can no longer rebind it; observing such a write would require a
-second pass, and every stream that replays a history in its session-blocked
-order with writes ahead of their readers resolves identically to batch.)
+the frontiers.  A duplicate arriving only after a reading transaction was
+folded can no longer rebind it (that would require a second pass over
+dropped state), so :meth:`append_batch` detects the case at fold time and
+raises :class:`~repro.core.exceptions.HistoryFormatError` with a pointer at
+batch mode instead of silently diverging from the batch engines.  Every
+stream that replays a history in its session-blocked order with writes
+ahead of their readers never trips the diagnostic and resolves identically
+to batch.
 """
 
 from __future__ import annotations
@@ -59,6 +66,7 @@ import pickle
 import time
 from array import array
 from bisect import bisect_left
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cc import causality_cycles, causality_labels
@@ -76,6 +84,7 @@ from repro.core.violations import (
 )
 from repro.graph.csr import freeze_packed
 from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT, pack_edge
+from repro.histories.formats._raw import DEFAULT_BATCH_OPS, RecordBatch
 
 try:  # pragma: no cover - exercised implicitly when numpy is present
     import numpy as _np
@@ -108,8 +117,12 @@ _KEY_SHIFT = 24
 #: ``_cc_t2_rows`` state stores writers pre-shifted by ``EDGE_SHIFT`` (the
 #: saturation packs edges with one bitwise-or); version-1 checkpoints would
 #: resume with silently wrong pointer state, so they are rejected.
+#: Version 3: the checker pickles the ``_folded_read_wids`` set behind the
+#: duplicate-write-after-fold diagnostic (and the ``_fold_laps`` profile
+#: slot); version-2 checkpoints lack both attributes and would resume with
+#: the diagnostic silently disabled, so they are rejected.
 CHECKPOINT_MAGIC = b"AWDITCKPT"
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
 
 #: Bytes of file prefix hashed into the checkpoint source fingerprint.
 _FINGERPRINT_PREFIX = 1 << 16
@@ -201,8 +214,11 @@ class CompiledIncrementalChecker:
     """Online checker for RC / RA / CC over a stream of raw transactions.
 
     Parameters mirror :class:`repro.stream.IncrementalChecker`; the feeding
-    surface differs: :meth:`append_raw` consumes the parsers' raw records
-    (``session, label, committed, (is_write, key, value) ops``) directly.
+    surface differs: :meth:`append_batch` folds whole columnar
+    :class:`~repro.histories.formats._raw.RecordBatch` objects (the
+    parsers' ``stream_batches`` layer), and :meth:`append_raw` /
+    :meth:`extend_raw` accept the record-at-a-time raw form
+    (``session, label, committed, (is_write, key, value) ops``).
     """
 
     def __init__(
@@ -253,18 +269,21 @@ class CompiledIncrementalChecker:
             int,
             Tuple[
                 List[int],
-                List[Tuple[array, array, int, int]],
-                Dict[int, Tuple[array, array, int, int]],
+                List[Tuple[List[int], List[int], int, int]],
+                Dict[int, Tuple[List[int], List[int], int, int]],
             ],
         ] = {}
         self._num_buckets = 0
         #: Per reader session: monotone pointer / latest-hb-writer rows,
-        #: indexed by bucket id (grown lazily to ``_num_buckets``).  The t2
-        #: rows store each writer tid pre-shifted by ``EDGE_SHIFT`` (-1 =
-        #: no writer), so the saturation packs an edge with one bitwise-or;
-        #: part of the checkpoint format (see ``CHECKPOINT_VERSION``).
-        self._cc_ptr_rows: List[array] = []
-        self._cc_t2_rows: List[array] = []
+        #: indexed by bucket id (grown lazily to ``_num_buckets``).  Plain
+        #: int lists, not ``array``: the saturation loop indexes them per
+        #: (read, session) probe and list indexing skips the box/unbox.
+        #: The t2 rows store each writer tid pre-shifted by ``EDGE_SHIFT``
+        #: (-1 = no writer), so the saturation packs an edge with one
+        #: bitwise-or; part of the checkpoint format (see
+        #: ``CHECKPOINT_VERSION``).
+        self._cc_ptr_rows: List[List[int]] = []
+        self._cc_t2_rows: List[List[int]] = []
         self._cc_waiters: Dict[int, List[_Txn]] = {}
         self._hb: Dict[int, List[int]] = {}
 
@@ -290,6 +309,15 @@ class CompiledIncrementalChecker:
         self._peak_unfolded = 0
         self._peak_cc_backlog = 0
         self._cc_backlog = 0
+
+        # Packed (key, value) identities read by already-folded transactions.
+        # A later duplicate write superseding one of these could not rebind
+        # the folded reader (its operation data is gone), so the fold raises
+        # a diagnostic instead of silently diverging from the batch engines.
+        self._folded_read_wids: Set[int] = set()
+        # --profile sub-laps of the fold ("intern" / "classify" /
+        # "clock_join" wall seconds); None unless enable_fold_profile() ran.
+        self._fold_laps: Optional[Dict[str, float]] = None
 
         if num_sessions is not None:
             for sid in range(num_sessions):
@@ -337,182 +365,297 @@ class CompiledIncrementalChecker:
         """Feed one raw transaction record appended to ``session``.
 
         ``ops`` are ``(is_write, key, value)`` tuples in program order --
-        the exact records the formats' ``stream_ops`` layer yields, so a
-        file streams into the checker with zero model objects created.
-        Transactions of one session must arrive in session order; sessions
-        may interleave arbitrarily.
+        the exact records the formats' ``stream_ops`` layer yields.  A
+        shim packing a single-record batch for :meth:`append_batch`, the
+        fold implementation; folding is identical either way, batching only
+        amortizes the per-call overhead.  Transactions of one session must
+        arrive in session order; sessions may interleave arbitrarily.
+        """
+        batch = RecordBatch()
+        batch.add_record(session, label, committed, ops)
+        self.append_batch(batch)
+
+    def append_batch(self, batch: "RecordBatch") -> None:
+        """Fold one columnar :class:`RecordBatch` into the online state.
+
+        The whole key column is interned in one columnar pass and the
+        value column through a lazy probe (ids assigned in operation
+        order either way, so the intern tables -- and therefore every
+        rendered witness -- are byte-identical to record-at-a-time
+        folding), then each transaction of the batch goes
+        through exactly the resolution pipeline of the online algorithms:
+        write registration, duplicate-write supersede/rebind, parked-read
+        resolution, own-read classification, and the RA/CC frontier
+        advances.  Verdicts and violations do not depend on how the stream
+        was cut into batches.
+
+        Raises :class:`~repro.core.exceptions.HistoryFormatError` when a
+        duplicate ``(key, value)`` write supersedes a write whose bound
+        reader was already folded (see the module docstring): the stream
+        cannot rebind that read, so it refuses instead of silently
+        diverging from the batch engines.
         """
         if self._results is not None:
             raise RuntimeError("cannot append to a finalized checker")
         start = time.perf_counter()
-        sid = self._dense_sid(session)
-        records = self._by_session[sid]
-        tid = len(self._txns)
-        if tid >= (1 << 31):
-            # Transaction ids are packed-edge endpoints, and the CC t2 rows
-            # store them pre-shifted in signed array('q') slots; checked
-            # once per transaction so the saturation loops can pack and
-            # store without guards.
-            raise HistoryFormatError(
-                "history has too many transactions for packed edges"
-            )
-        rec = _Txn(tid, sid, len(records), committed, label)
-        self._txns.append(rec)
-        records.append(rec)
+        laps = self._fold_laps
 
-        # Intern.intern inlined: one dict probe per op on hits, and misses
-        # (first occurrences) skip the double lookup the method would pay.
-        key_ids = self._key_table._ids
-        key_objs = self._key_table.values
+        kinds = batch.kinds
+        values_col = batch.values
+        txn_end = batch.txn_end
+        sessions_col = batch.txn_session
+        labels_col = batch.txn_labels
+        committed_col = batch.txn_committed
+
+        # Bulk intern.  Keys are interned unconditionally (reads and writes
+        # alike), so one columnar pass assigns ids in operation order --
+        # the same table order per-op interning would produce.  Values of
+        # *aborted-transaction reads* are never interned (same rule as the
+        # per-op path), so the value column is only probed -- lazily, as
+        # the fold loop consumes it -- and misses intern inside the loop.
+        kid_col = self._key_table.intern_column(batch.keys)
         value_ids = self._value_table._ids
         value_objs = self._value_table.values
-        own_latest: Dict[int, int] = {}
-        final_write: Dict[int, int] = {}
-        reads: List[_Read] = []
-        txn_writes: List[Tuple[int, int, int]] = []
-        index = 0
-        for is_write, key, value in ops:
-            kid = key_ids.get(key)
-            if kid is None:
-                kid = len(key_objs)
-                key_ids[key] = kid
-                key_objs.append(key)
-            if is_write:
-                vid = value_ids.get(value)
-                if vid is None:
-                    vid = len(value_objs)
-                    value_ids[value] = vid
-                    value_objs.append(value)
-                final_write[kid] = index
-                own_latest[kid] = index
-                txn_writes.append((kid, vid, index))
-            elif committed:
-                vid = value_ids.get(value)
-                if vid is None:
-                    vid = len(value_objs)
-                    value_ids[value] = vid
-                    value_objs.append(value)
-                reads.append(_Read(index, kid, vid, own_latest.get(kid)))
-            index += 1
-        self._num_operations += index
-        if len(self._value_table) >= (1 << _VALUE_SHIFT):
-            raise HistoryFormatError(
-                "history has too many distinct values for the compiled IR"
-            )
-        rec.keys_written = frozenset(final_write)
-        rec.keys_written_ordered = tuple(final_write)
-        rec.reads = reads
+        if laps is not None:
+            lap_mark = time.perf_counter()
+            laps["intern"] += lap_mark - start
+            cc_lap_before = laps["clock_join"]
 
-        # Register writes once the whole transaction is scanned (so the
-        # final-write flag is known), last write in batch order winning.
+        txns = self._txns
+        session_ids = self._session_ids
+        by_session = self._by_session
         writes = self._writes
-        new_writes: List[int] = []
-        superseded: List[int] = []
-        for kid, vid, windex in txn_writes:
-            wid = (kid << _VALUE_SHIFT) | vid
-            entry = (sid, rec.sidx, windex, tid, final_write[kid] == windex)
-            current = writes.get(wid)
-            if current is None:
-                writes[wid] = entry
-                new_writes.append(wid)
-            elif entry[:3] > current[:3]:
-                writes[wid] = entry
-                superseded.append(wid)
+        pending = self._pending
+        rebindable = self._rebindable
+        folded_wids = self._folded_read_wids
+        writers_by_key = self._writers_by_key
+        cc_enabled = self._cc_enabled
+        value_cap = 1 << _VALUE_SHIFT
 
-        if committed and self._cc_enabled and final_write:
-            num_buckets = self._num_buckets
+        # One zip over the whole batch's columns; each transaction consumes
+        # its span via ``islice`` (C-level iteration, no per-op indexing).
+        # The value column is probed through a lazy ``map`` so an id
+        # interned earlier in the batch is found by the probe itself.
+        col_iter = zip(kid_col, kinds, map(value_ids.get, values_col), values_col)
+        if txn_end:
+            self._num_operations += txn_end[-1]
+        lo = 0
+        for t, hi in enumerate(txn_end):
+            sid = session_ids.get(sessions_col[t])
+            if sid is None:
+                sid = self._register_session(sessions_col[t])
+            records = by_session[sid]
+            tid = len(txns)
+            if tid >= (1 << 31):
+                # Transaction ids are packed-edge endpoints, and the CC t2
+                # rows store them pre-shifted in signed array('q') slots;
+                # checked once per transaction so the saturation loops can
+                # pack and store without guards.
+                raise HistoryFormatError(
+                    "history has too many transactions for packed edges"
+                )
+            committed = bool(committed_col[t])
+            rec = _Txn(tid, sid, len(records), committed, labels_col[t])
+            txns.append(rec)
+            records.append(rec)
+
+            # ``final_write`` doubles as the own-latest-write map: both
+            # track the transaction's most recent write index per key and
+            # are updated identically, so one dict serves the read
+            # resolution and the final-write flag alike.
+            final_write: Dict[int, int] = {}
+            final_write_get = final_write.get
+            reads: List[_Read] = []
+            txn_writes: List[Tuple[int, int, int]] = []
+            for index, (kid, kind, vid, value) in enumerate(
+                islice(col_iter, hi - lo)
+            ):
+                if kind:
+                    if vid is None:
+                        # Probe miss: the value is new to the table --
+                        # assign the next id (op order, so the table is
+                        # byte-identical to per-op interning).
+                        vid = len(value_objs)
+                        value_ids[value] = vid
+                        value_objs.append(value)
+                    final_write[kid] = index
+                    txn_writes.append((kid, vid, index))
+                elif committed:
+                    if vid is None:
+                        vid = len(value_objs)
+                        value_ids[value] = vid
+                        value_objs.append(value)
+                    reads.append(_Read(index, kid, vid, final_write_get(kid)))
+            lo = hi
+            if len(value_objs) >= value_cap:
+                raise HistoryFormatError(
+                    "history has too many distinct values for the compiled IR"
+                )
+            rec.keys_written = frozenset(final_write)
+            rec.keys_written_ordered = tuple(final_write)
+            rec.reads = reads
+
+            # Register writes once the whole transaction is scanned (so the
+            # final-write flag is known), last write in batch order winning.
             sidx = rec.sidx
-            for kid in rec.keys_written_ordered:
-                entry2 = self._writers_by_key.get(kid)
-                if entry2 is None:
-                    entry2 = ([], [], {})
-                    self._writers_by_key[kid] = entry2
-                sids, slots, per_sid = entry2
-                slot = per_sid.get(sid)
-                if slot is None:
-                    slot = (array("q"), array("q"), num_buckets, sid)
-                    num_buckets += 1
-                    per_sid[sid] = slot
-                    position = bisect_left(sids, sid)
-                    sids.insert(position, sid)
-                    slots.insert(position, slot)
-                slot[0].append(tid)
-                slot[1].append(sidx)
-            self._num_buckets = num_buckets
+            new_writes: List[int] = []
+            superseded: List[int] = []
+            for kid, vid, windex in txn_writes:
+                wid = (kid << _VALUE_SHIFT) | vid
+                entry = (sid, sidx, windex, tid, final_write[kid] == windex)
+                current = writes.get(wid)
+                if current is None:
+                    writes[wid] = entry
+                    new_writes.append(wid)
+                elif entry[:3] > current[:3]:
+                    writes[wid] = entry
+                    superseded.append(wid)
 
-        # A later-ordered duplicate write rebinds the resolved reads of
-        # transactions that have not been folded yet.
-        for wid in superseded:
-            waiters = self._rebindable.get(wid)
-            if waiters:
+            if committed and cc_enabled and final_write:
+                num_buckets = self._num_buckets
+                for kid in rec.keys_written_ordered:
+                    entry2 = writers_by_key.get(kid)
+                    if entry2 is None:
+                        entry2 = ([], [], {})
+                        writers_by_key[kid] = entry2
+                    sids, slots, per_sid = entry2
+                    slot = per_sid.get(sid)
+                    if slot is None:
+                        slot = ([], [], num_buckets, sid)
+                        num_buckets += 1
+                        per_sid[sid] = slot
+                        position = bisect_left(sids, sid)
+                        sids.insert(position, sid)
+                        slots.insert(position, slot)
+                    slot[0].append(tid)
+                    slot[1].append(sidx)
+                self._num_buckets = num_buckets
+
+            # A later-ordered duplicate write rebinds the resolved reads of
+            # transactions that have not been folded yet -- and refuses the
+            # history when a reader of the superseded write already folded.
+            for wid in superseded:
+                if wid in folded_wids:
+                    key = self._key_table.values[wid >> _VALUE_SHIFT]
+                    value = value_objs[wid & (value_cap - 1)]
+                    raise HistoryFormatError(
+                        f"duplicate write W({key}, {value!r}) in "
+                        f"{self._name(rec)} supersedes a write whose reader "
+                        "was already folded into the online state; the "
+                        "stream cannot rebind that read-from edge and its "
+                        "verdict would diverge from the batch engines -- "
+                        "re-check this history without --stream"
+                    )
+                waiters = rebindable.get(wid)
+                if waiters:
+                    hit = writes[wid]
+                    for other, read in list(waiters.values()):
+                        self._unclassify(other, read)
+                        self._classify(other, read, hit)
+
+            # Resolve earlier reads that were parked waiting for these writes.
+            for wid in new_writes:
+                waiters2 = pending.pop(wid, None)
+                if not waiters2:
+                    continue
                 hit = writes[wid]
-                for other, read in list(waiters.values()):
-                    self._unclassify(other, read)
+                for other, read in waiters2:
+                    self._num_parked -= 1
                     self._classify(other, read, hit)
-
-        # Resolve earlier reads that were parked waiting for these writes.
-        for wid in new_writes:
-            waiters2 = self._pending.pop(wid, None)
-            if not waiters2:
-                continue
-            hit = writes[wid]
-            for other, read in waiters2:
-                self._num_parked -= 1
-                self._classify(other, read, hit)
-                other.unresolved -= 1
-                if other.unresolved == 0:
-                    self._on_resolved(other)
-                else:
-                    self._track_rebindable(other, read)
-
-        # Resolve this transaction's own reads against everything seen so far.
-        if committed:
-            self._num_unfolded += 1
-            if self._num_unfolded > self._peak_unfolded:
-                self._peak_unfolded = self._num_unfolded
-            txns = self._txns
-            for read in reads:
-                wid = (read.kid << _VALUE_SHIFT) | read.vid
-                hit = writes.get(wid)
-                if hit is None:
-                    rec.unresolved += 1
-                    self._pending.setdefault(wid, []).append((rec, read))
-                else:
-                    writer_tid = hit[3]
-                    # Clean external final-write reads (the common case of
-                    # _classify) resolve without the call.
-                    if (
-                        writer_tid != tid
-                        and hit[4]
-                        and read.own_prev is None
-                        and txns[writer_tid].committed
-                    ):
-                        read.writer = writer_tid
-                        read.writer_index = hit[2]
+                    other.unresolved -= 1
+                    if other.unresolved == 0:
+                        self._on_resolved(other)
                     else:
-                        self._classify(rec, read, hit)
-            if rec.unresolved == 0:
-                self._on_resolved(rec)
-            else:
-                self._num_parked += rec.unresolved
-                if self._num_parked > self._peak_parked:
-                    self._peak_parked = self._num_parked
+                        self._track_rebindable(other, read)
+
+            # Resolve this transaction's own reads against everything seen
+            # so far.
+            if committed:
+                self._num_unfolded += 1
+                if self._num_unfolded > self._peak_unfolded:
+                    self._peak_unfolded = self._num_unfolded
                 for read in reads:
-                    if read.writer is not None or read.bad:
-                        self._track_rebindable(rec, read)
-        else:
-            rec.resolved = True
-            self._advance_ra(sid)
-            self._advance_cc(sid)
+                    wid = (read.kid << _VALUE_SHIFT) | read.vid
+                    hit = writes.get(wid)
+                    if hit is None:
+                        rec.unresolved += 1
+                        pending.setdefault(wid, []).append((rec, read))
+                    else:
+                        writer_tid = hit[3]
+                        # Clean external final-write reads (the common case
+                        # of _classify) resolve without the call.
+                        if (
+                            writer_tid != tid
+                            and hit[4]
+                            and read.own_prev is None
+                            and txns[writer_tid].committed
+                        ):
+                            read.writer = writer_tid
+                            read.writer_index = hit[2]
+                        else:
+                            self._classify(rec, read, hit)
+                if rec.unresolved == 0:
+                    self._on_resolved(rec)
+                else:
+                    self._num_parked += rec.unresolved
+                    if self._num_parked > self._peak_parked:
+                        self._peak_parked = self._num_parked
+                    for read in reads:
+                        if read.writer is not None or read.bad:
+                            self._track_rebindable(rec, read)
+            else:
+                rec.resolved = True
+                self._advance_ra(sid)
+                self._advance_cc(sid)
+
+        if laps is not None:
+            # The fold loop is classification + frontier work; the CC clock
+            # joins time themselves (into laps["clock_join"]), so subtract
+            # their delta to keep the two laps disjoint.
+            laps["classify"] += (
+                time.perf_counter()
+                - lap_mark
+                - (laps["clock_join"] - cc_lap_before)
+            )
         self._elapsed += time.perf_counter() - start
 
     def extend_raw(
-        self, records: Iterable[Tuple[object, Tuple[Optional[str], bool, list]]]
+        self,
+        records: Iterable[Tuple[object, Tuple[Optional[str], bool, list]]],
+        batch_ops: Optional[int] = None,
     ) -> None:
-        """Feed many raw ``(session, (label, committed, ops))`` records."""
-        append_raw = self.append_raw
+        """Feed many raw ``(session, (label, committed, ops))`` records.
+
+        Records are packed into :class:`RecordBatch` columns of up to
+        ``batch_ops`` operations (``None`` = the formats' default) and
+        folded with :meth:`append_batch`; the result is identical for any
+        ``batch_ops``.
+        """
+        if batch_ops is None:
+            batch_ops = DEFAULT_BATCH_OPS
+        batch = RecordBatch()
+        add_record = batch.add_record
         for session, (label, committed, ops) in records:
-            append_raw(session, label, committed, ops)
+            add_record(session, label, committed, ops)
+            if batch.full(batch_ops):
+                self.append_batch(batch)
+                batch = RecordBatch()
+                add_record = batch.add_record
+        if len(batch.txn_end):
+            self.append_batch(batch)
+
+    def enable_fold_profile(self) -> Dict[str, float]:
+        """Start accumulating fold sub-laps; returns the live lap dict.
+
+        The dict maps ``"intern"`` / ``"classify"`` / ``"clock_join"`` to
+        wall seconds spent in the columnar key intern pass, the
+        per-transaction resolution loop (which also lazily interns
+        values), and the CC frontier's clock joins respectively
+        (``awdit check --stream --profile`` prints them as ``fold_*``).
+        """
+        if self._fold_laps is None:
+            self._fold_laps = {"intern": 0.0, "classify": 0.0, "clock_join": 0.0}
+        return self._fold_laps
 
     def append(self, session: object, transaction) -> None:
         """Feed one object-model :class:`~repro.core.model.Transaction`.
@@ -723,8 +866,8 @@ class CompiledIncrementalChecker:
         self._ra_last_write.append({})
         self._cc_next.append(0)
         self._session_clock.append([])
-        self._cc_ptr_rows.append(array("q"))
-        self._cc_t2_rows.append(array("q"))
+        self._cc_ptr_rows.append([])
+        self._cc_t2_rows.append([])
         return dense
 
     def _dense_sid(self, external: object) -> int:
@@ -862,9 +1005,18 @@ class CompiledIncrementalChecker:
         wr_any: Dict[int, int] = {}
         wr_good: Dict[int, int] = {}
         rec_tid = rec.tid
+        # ``folded_wids`` remembers which (key, value) identities this
+        # transaction read (any bound read, own/aborted writers included):
+        # its operation data is dropped below, so a later duplicate write
+        # for one of them could never rebind the read -- append_batch
+        # raises the duplicate-write diagnostic when it sees such a wid.
+        folded_wids = self._folded_read_wids
         for read in rec.reads:
             writer = read.writer
-            if writer is None or writer == rec_tid:
+            if writer is None:
+                continue
+            folded_wids.add((read.kid << _VALUE_SHIFT) | read.vid)
+            if writer == rec_tid:
                 continue
             if not txns[writer].committed:
                 continue
@@ -1044,67 +1196,103 @@ class CompiledIncrementalChecker:
     def _advance_cc(self, sid: int) -> None:
         if not self._cc_enabled:
             return
+        laps = self._fold_laps
+        lap_start = 0.0 if laps is None else time.perf_counter()
+        by_session = self._by_session
+        cc_next = self._cc_next
+        txns = self._txns
+        cc_waiters = self._cc_waiters
+        cc_process = self._cc_process
         queue = [sid]
         while queue:
             current = queue.pop()
-            records = self._by_session[current]
-            index = self._cc_next[current]
-            while index < len(records):
+            records = by_session[current]
+            num_records = len(records)
+            index = cc_next[current]
+            while index < num_records:
                 rec = records[index]
                 if rec.committed:
                     if not rec.resolved:
                         break
                     if not rec.cc_registered:
                         rec.cc_registered = True
-                        seen: Set[int] = set()
                         pending = 0
+                        # Duplicate writers need no dedup: each occurrence
+                        # both increments ``pending`` and enqueues one
+                        # waiter entry, and every entry is decremented
+                        # when the writer completes.
                         for _i, _key, writer in rec.good_reads:
-                            if writer in seen:
-                                continue
-                            seen.add(writer)
-                            if not self._txns[writer].cc_done:
+                            if not txns[writer].cc_done:
                                 pending += 1
-                                self._cc_waiters.setdefault(writer, []).append(rec)
+                                cc_waiters.setdefault(writer, []).append(rec)
                         rec.cc_pending = pending
                     if rec.cc_pending > 0:
                         break
-                    queue.extend(self._cc_process(rec))
+                    queue.extend(cc_process(rec))
                 index += 1
-            self._cc_next[current] = index
+            cc_next[current] = index
+        if laps is not None:
+            laps["clock_join"] += time.perf_counter() - lap_start
 
     def _cc_process(self, rec: _Txn) -> List[int]:
         """ComputeHB + saturate_cc for one transaction; returns sessions to poke."""
         txns = self._txns
         rec_sid = rec.sid
-        clock = list(self._session_clock[rec_sid])
-        seen: Set[int] = set()
+        # The base clock is copied lazily: a transaction whose reads are all
+        # same-session (or absent) shares the session-clock list outright --
+        # safe because session clocks are replaced wholesale, never mutated.
+        clock = self._session_clock[rec_sid]
+        clock_shared = True
         hb = self._hb
         for _index, _key, writer in rec.good_reads:
-            if writer in seen:
-                continue
-            seen.add(writer)
             wrec = txns[writer]
-            if wrec.sid == rec_sid:
+            wsid = wrec.sid
+            if wsid == rec_sid:
                 # A same-session writer is an so-predecessor, and the base
                 # session clock already joins every predecessor's clock and
                 # session index -- the join below would be a no-op.
                 continue
+            if wsid < len(clock) and wrec.sidx <= clock[wsid]:
+                # Vector-clock transitivity: every clock entry was installed
+                # together with that transaction's full causal past, so a
+                # writer at or below the entry is already joined in whole.
+                # This also dedupes repeated writers -- the first join sets
+                # clock[wsid] to at least wrec.sidx.
+                continue
+            if clock_shared:
+                clock = list(clock)
+                clock_shared = False
             wclock = hb[writer]
             if len(wclock) > len(clock):
                 clock.extend([-1] * (len(wclock) - len(clock)))
             for s2, value in enumerate(wclock):
                 if value > clock[s2]:
                     clock[s2] = value
-            if wrec.sid >= len(clock):
-                clock.extend([-1] * (wrec.sid + 1 - len(clock)))
-            if wrec.sidx > clock[wrec.sid]:
-                clock[wrec.sid] = wrec.sidx
+            if wsid >= len(clock):
+                clock.extend([-1] * (wsid + 1 - len(clock)))
+            if wrec.sidx > clock[wsid]:
+                clock[wsid] = wrec.sidx
         hb[rec.tid] = clock
 
-        ptr_row = self._cc_ptr_rows[rec.sid]
-        t2_row = self._cc_t2_rows[rec.sid]
+        ptr_row = self._cc_ptr_rows[rec_sid]
+        t2_row = self._cc_t2_rows[rec_sid]
+        # Grow the flat pointer rows once per transaction to cover every
+        # bucket allocated so far (zeros = untouched, -1 = no writer);
+        # buckets are only created between frontier advances, so the slot
+        # loop below can index without a bounds check.
         num_buckets = self._num_buckets
-        clock_len = len(clock)
+        if len(ptr_row) < num_buckets:
+            grow = num_buckets - len(ptr_row)
+            ptr_row.extend([0] * grow)
+            t2_row.extend([-1] * grow)
+        # Pad the clock lookup to every registered session once per
+        # transaction (writer session ids always index a registered
+        # session), so the slot loop reads bounds without a branch.
+        num_sessions = len(self._by_session)
+        if len(clock) < num_sessions:
+            bounds = clock + [-1] * (num_sessions - len(clock))
+        else:
+            bounds = clock
         # The meta base advances by one whole seq step (1 << EDGE_SHIFT) per
         # recorded attempt, so the shift happens once per transaction
         # instead of once per attempt; the t2 row stores writers
@@ -1115,7 +1303,6 @@ class CompiledIncrementalChecker:
         cc_log = self._cc_log
         cc_log_setdefault = cc_log.setdefault
         writers_by_key = self._writers_by_key
-        row_len = len(ptr_row)
         for _index, key, t1 in rec.good_reads:
             entry = writers_by_key.get(key)
             if entry is None:
@@ -1123,15 +1310,8 @@ class CompiledIncrementalChecker:
             key1 = key + 1
             t1s = t1 << EDGE_SHIFT
             for writer_list, writer_indices, bid, other in entry[1]:
-                if bid >= row_len:
-                    # Grow the flat pointer rows to cover every bucket
-                    # allocated so far (zeros = untouched, -1 = no writer).
-                    grow = num_buckets - row_len
-                    ptr_row.frombytes(bytes(8 * grow))
-                    t2_row.extend([-1] * grow)
-                    row_len = num_buckets
                 ptr = ptr_row[bid]
-                bound = clock[other] if other < clock_len else -1
+                bound = bounds[other]
                 count = len(writer_list)
                 if ptr < count and writer_indices[ptr] <= bound:
                     while ptr < count and writer_indices[ptr] <= bound:

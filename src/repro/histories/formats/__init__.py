@@ -28,13 +28,14 @@ from repro.core.compiled import CompiledHistory, CompiledHistoryBuilder
 from repro.core.exceptions import ParseError, UsageError
 from repro.core.model import History, Transaction
 from repro.histories.formats import cobra, dbcop, native, plume_text
-from repro.histories.formats._raw import RawTransaction
+from repro.histories.formats._raw import RawTransaction, RecordBatch
 
 __all__ = [
     "load_history",
     "load_compiled",
     "save_history",
     "stream_history",
+    "stream_raw_batches",
     "stream_raw_history",
     "FORMATS",
     "detect_format",
@@ -128,40 +129,74 @@ def stream_raw_history(
             raise ParseError(f"{path}: {exc}") from exc
 
 
+def stream_raw_batches(
+    path: str, fmt: Optional[str] = None, batch_ops: Optional[int] = None
+) -> Iterator[RecordBatch]:
+    """Iterate :class:`RecordBatch` columns from ``path``, one pass.
+
+    The columnar sibling of :func:`stream_raw_history` and the ingestion
+    path of every compiled consumer: each batch covers up to ``batch_ops``
+    operations (``None`` = the formats' default) in flat parallel columns,
+    ready for bulk interning.  Parse failures carry the file path next to
+    the parser's line context.
+    """
+    module = _module_for(fmt, path)
+    with open(path, "r", encoding="utf-8", newline="") as handle:
+        try:
+            for batch in module.stream_batches(  # type: ignore[attr-defined]
+                handle, batch_ops=batch_ops
+            ):
+                yield batch
+        except ParseError as exc:
+            raise ParseError(f"{path}: {exc}") from exc
+
+
 def load_compiled(
     path: str,
     fmt: Optional[str] = None,
     timings: Optional[Dict[str, float]] = None,
+    batch_ops: Optional[int] = None,
 ) -> CompiledHistory:
     """Load ``path`` directly into a :class:`CompiledHistory`.
 
-    The file is parsed with the raw streaming layer and compiled on the fly,
-    skipping ``Operation``/``Transaction`` objects entirely: peak memory is
-    the compiled arrays plus the intern tables, not the object graph.  The
-    result is identical to ``compile_history(load_history(path))`` up to
-    trailing empty sessions (which a one-pass parse cannot observe).
+    The file is parsed with the columnar record-batch layer and compiled on
+    the fly, skipping ``Operation``/``Transaction`` objects entirely: peak
+    memory is the compiled arrays plus the intern tables plus one in-flight
+    batch, not the object graph.  The result is identical to
+    ``compile_history(load_history(path))`` up to trailing empty sessions
+    (which a one-pass parse cannot observe).
 
     ``timings`` (for ``awdit check --profile``) receives separate ``parse``
-    and ``build`` wall seconds; separating the fused pipeline means
-    materializing the raw records once, so only pass it when profiling.
+    and ``build`` wall seconds, measured per batch around the generator pull
+    and the builder fold -- no materialization needed.  ``batch_ops`` tunes
+    the operations per batch (``--batch-ops``).
     """
     module = _module_for(fmt, path)
     builder = CompiledHistoryBuilder()
     if timings is None:
-        records = stream_raw_history(path, fmt)
+        for batch in stream_raw_batches(path, fmt, batch_ops=batch_ops):
+            builder.add_batch(batch)
     else:
         import time
 
+        parse_lap = 0.0
+        build_lap = 0.0
+        batches = stream_raw_batches(path, fmt, batch_ops=batch_ops)
+        while True:
+            start = time.perf_counter()
+            batch = next(batches, None)
+            parse_lap += time.perf_counter() - start
+            if batch is None:
+                break
+            start = time.perf_counter()
+            builder.add_batch(batch)
+            build_lap += time.perf_counter() - start
+        timings["parse"] = parse_lap
         start = time.perf_counter()
-        records = list(stream_raw_history(path, fmt))
-        timings["parse"] = time.perf_counter() - start
-        start = time.perf_counter()
-    for sid, (label, committed, ops) in records:
-        builder.add_transaction(sid, label, committed, ops)
     compiled = builder.finalize(
         sort_sessions=True,
         fill_gaps=getattr(module, "COMPILED_SESSION_GAPS", False),
     )
     if timings is not None:
-        timings["build"] = time.perf_counter() - start
+        timings["build"] = build_lap + time.perf_counter() - start
     return compiled

@@ -1,28 +1,218 @@
 """The raw record layer shared by the streaming parsers.
 
-Every format's ``stream_ops`` iterator yields ``(session_id, raw)`` pairs
-where ``raw`` is a :data:`RawTransaction`: a ``(label, committed, ops)``
-triple whose operations are plain ``(is_write, key, value)`` tuples.  The
-layer exists so the compiled-history builder
-(:class:`repro.core.compiled.CompiledHistoryBuilder`) can ingest a file
-without constructing any :class:`~repro.core.model.Operation` or
-:class:`~repro.core.model.Transaction` objects; the object-yielding
-``stream`` iterators wrap it with :func:`transaction_from_raw`.
+Every format's ``stream_batches`` iterator yields :class:`RecordBatch`
+containers: flat parallel columns (operation kinds, keys, values; per-record
+session ids, labels, committed flags, source lines) covering up to
+``batch_ops`` operations each.  The batch layer exists so the hot consumers
+-- :meth:`repro.core.compiled.ir.CompiledHistoryBuilder.add_batch` and
+:meth:`repro.core.compiled.online.CompiledIncrementalChecker.append_batch`
+-- can bulk-intern whole columns and amortize per-record dispatch, and so
+parallel ingestion ships one picklable column container per region instead
+of thousands of nested tuples.
+
+The per-record view is preserved on top of it: ``stream_ops`` yields
+``(session_id, raw)`` pairs where ``raw`` is a :data:`RawTransaction`
+(``(label, committed, ops)`` with plain ``(is_write, key, value)`` operation
+tuples), and the object-yielding ``stream`` iterators wrap that with
+:func:`transaction_from_raw`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from array import array
+from typing import Callable, Iterator, List, Optional, Tuple
 
 from repro.core.model import Operation, OpKind, Transaction
 
-__all__ = ["RawOps", "RawTransaction", "transaction_from_raw"]
+__all__ = [
+    "DEFAULT_BATCH_OPS",
+    "RawOps",
+    "RawTransaction",
+    "RecordBatch",
+    "transaction_from_raw",
+]
 
 #: ``(is_write, key, value)`` per operation, in program order.
 RawOps = List[Tuple[bool, object, object]]
 
 #: ``(label, committed, ops)``.
 RawTransaction = Tuple[Optional[str], bool, RawOps]
+
+#: Default operations per :class:`RecordBatch`.  Large enough to amortize
+#: per-batch dispatch to nothing, small enough that one in-flight batch stays
+#: trivially within the streaming memory bound.
+DEFAULT_BATCH_OPS = 4096
+
+
+class RecordBatch:
+    """A columnar slice of parsed history records.
+
+    Operations live in three parallel columns (``kinds``/``keys``/``values``,
+    one entry per op, file order); records live in five parallel columns
+    (``txn_session``/``txn_labels``/``txn_committed``/``txn_line``/
+    ``txn_end``).  Record ``t`` owns the operation rows
+    ``txn_end[t-1]:txn_end[t]`` (``txn_end`` is cumulative, ``txn_end[-1]``
+    is the total op count).  ``txn_line`` records each record's source line
+    (0 when the producer has no line numbers, e.g. a mid-file byte region).
+    """
+
+    __slots__ = (
+        "kinds",
+        "keys",
+        "values",
+        "txn_end",
+        "txn_session",
+        "txn_labels",
+        "txn_committed",
+        "txn_line",
+    )
+
+    def __init__(self) -> None:
+        self.kinds = bytearray()  # 1 = write, 0 = read
+        self.keys: List[object] = []
+        self.values: List[object] = []
+        self.txn_end = array("q")
+        self.txn_session: List[object] = []
+        self.txn_labels: List[Optional[str]] = []
+        self.txn_committed = bytearray()
+        self.txn_line = array("q")
+
+    @property
+    def num_records(self) -> int:
+        """Number of records (transactions) in the batch."""
+        return len(self.txn_end)
+
+    @property
+    def num_ops(self) -> int:
+        """Number of operations in the batch."""
+        return len(self.kinds)
+
+    def __len__(self) -> int:
+        return len(self.txn_end)
+
+    def add_record(
+        self,
+        session: object,
+        label: Optional[str],
+        committed: bool,
+        ops: RawOps,
+        line: int = 0,
+    ) -> None:
+        """Append one raw record (the tuple-shaped producer surface)."""
+        kinds = self.kinds
+        keys = self.keys
+        values = self.values
+        for is_write, key, value in ops:
+            kinds.append(1 if is_write else 0)
+            keys.append(key)
+            values.append(value)
+        self.txn_session.append(session)
+        self.txn_labels.append(label)
+        self.txn_committed.append(1 if committed else 0)
+        self.txn_line.append(line)
+        self.txn_end.append(len(kinds))
+
+    def full(self, batch_ops: int) -> bool:
+        """Whether the batch has reached the flush threshold.
+
+        Counted in operations, with a record-count backstop so batches of
+        empty transactions still flush (``batch_ops=1`` must yield one
+        record per batch even when records carry no ops).
+        """
+        return len(self.kinds) >= batch_ops or len(self.txn_end) >= batch_ops
+
+    def iter_records(self) -> Iterator[Tuple[object, RawTransaction]]:
+        """Yield the records back as ``(session, (label, committed, ops))``.
+
+        The exact per-record tuples the pre-batch ``stream_ops`` layer
+        yielded, so unbatching shims preserve every consumer's view.
+        """
+        kinds = self.kinds
+        keys = self.keys
+        values = self.values
+        lo = 0
+        for t, hi in enumerate(self.txn_end):
+            ops = [
+                (bool(kinds[i]), keys[i], values[i]) for i in range(lo, hi)
+            ]
+            yield self.txn_session[t], (
+                self.txn_labels[t],
+                bool(self.txn_committed[t]),
+                ops,
+            )
+            lo = hi
+
+    def tail(self, skip: int) -> "RecordBatch":
+        """The batch without its first ``skip`` records (checkpoint resume).
+
+        Columns are sliced, not copied record by record; ``skip`` larger
+        than the batch returns an empty batch.
+        """
+        if skip <= 0:
+            return self
+        if skip >= len(self.txn_end):
+            return RecordBatch()
+        cut = self.txn_end[skip - 1]
+        out = RecordBatch()
+        out.kinds = self.kinds[cut:]
+        out.keys = self.keys[cut:]
+        out.values = self.values[cut:]
+        out.txn_end = array("q", (end - cut for end in self.txn_end[skip:]))
+        out.txn_session = self.txn_session[skip:]
+        out.txn_labels = self.txn_labels[skip:]
+        out.txn_committed = self.txn_committed[skip:]
+        out.txn_line = self.txn_line[skip:]
+        return out
+
+    def _append_slice(self, other: "RecordBatch", t: int, lo: int, hi: int) -> None:
+        """Append record ``t`` of ``other`` (op rows ``lo:hi``) to this batch."""
+        self.kinds += other.kinds[lo:hi]
+        self.keys.extend(other.keys[lo:hi])
+        self.values.extend(other.values[lo:hi])
+        self.txn_session.append(other.txn_session[t])
+        self.txn_labels.append(other.txn_labels[t])
+        self.txn_committed.append(other.txn_committed[t])
+        self.txn_line.append(other.txn_line[t])
+        self.txn_end.append(len(self.kinds))
+
+    def partition(
+        self, num_shards: int, shard_of: Callable[[object, int], int]
+    ) -> List[Optional["RecordBatch"]]:
+        """Split into per-shard sub-batches by ``shard_of(session, num_shards)``.
+
+        Entry ``s`` holds shard ``s``'s records in their original relative
+        order (``None`` when the shard got nothing), so feeding each
+        sub-batch to its shard builder reproduces per-record routing
+        exactly -- including each shard's intern-table order.
+        """
+        parts: List[Optional[RecordBatch]] = [None] * num_shards
+        lo = 0
+        for t, hi in enumerate(self.txn_end):
+            shard = shard_of(self.txn_session[t], num_shards)
+            sub = parts[shard]
+            if sub is None:
+                sub = parts[shard] = RecordBatch()
+            sub._append_slice(self, t, lo, hi)
+            lo = hi
+        return parts
+
+    def filter_records(
+        self, keep: Callable[[object], bool]
+    ) -> Optional["RecordBatch"]:
+        """Sub-batch of the records whose session satisfies ``keep``.
+
+        Order-preserving; returns ``None`` when nothing matches (the
+        replicated parallel-parse workers drop most batches whole).
+        """
+        out: Optional[RecordBatch] = None
+        lo = 0
+        for t, hi in enumerate(self.txn_end):
+            if keep(self.txn_session[t]):
+                if out is None:
+                    out = RecordBatch()
+                out._append_slice(self, t, lo, hi)
+            lo = hi
+        return out
 
 
 def transaction_from_raw(raw: RawTransaction) -> Transaction:

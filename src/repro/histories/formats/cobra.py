@@ -21,9 +21,15 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.exceptions import ParseError
 from repro.core.model import History, Operation, OpKind, Transaction
-from repro.histories.formats._raw import RawOps, RawTransaction, transaction_from_raw
+from repro.histories.formats._raw import (
+    DEFAULT_BATCH_OPS,
+    RawOps,
+    RawTransaction,
+    RecordBatch,
+    transaction_from_raw,
+)
 
-__all__ = ["dumps", "loads", "stream", "stream_ops"]
+__all__ = ["dumps", "loads", "stream", "stream_batches", "stream_ops"]
 
 #: Missing integer session ids denote empty sessions (``loads`` pads to
 #: ``max(session) + 1``).
@@ -64,31 +70,39 @@ def _parse_row(line_number: int, row: List[str]) -> Tuple[int, int, bool, str, o
     return sid, txn_index, kind == "W", key, value, is_committed
 
 
-def stream_ops(
+def stream_batches(
     handle: Iterable[str],
+    batch_ops: Optional[int] = None,
     allow_empty: bool = False,
     spans_out: Optional[Dict[int, Tuple[int, int]]] = None,
-) -> Iterator[Tuple[int, RawTransaction]]:
-    """Iterate raw ``(session_id, (label, committed, ops))`` records.
+) -> Iterator[RecordBatch]:
+    """Iterate :class:`RecordBatch` columns of up to ``batch_ops`` operations.
 
     Consecutive rows with the same ``(session, txn_index)`` pair form one
     transaction; a transaction's rows must be contiguous and its per-session
     indices strictly increasing across transactions (files written by
     :func:`dumps` always are -- the batch :func:`loads` additionally
     tolerates interleaved rows by buffering the whole file).  A repeated
-    index is rejected as a duplicate transaction id.  Memory is bounded by
-    one transaction plus one index per session.
+    index is rejected as a duplicate transaction id.  A transaction lands in
+    a batch only once its last row is seen, so memory stays bounded by one
+    batch plus one open transaction plus one index per session.
 
     ``allow_empty`` and ``spans_out`` exist for the byte-range splitter
     (:mod:`repro.shard.split`): a mid-file region may hold no records, and
     ``spans_out`` receives each session's ``(first, last)`` txn indices so
     the contiguity check can chain *across* regions at merge time.
     """
+    if batch_ops is None:
+        batch_ops = DEFAULT_BATCH_OPS
+    if batch_ops < 1:
+        raise ValueError(f"batch_ops must be >= 1, got {batch_ops}")
     current: Optional[Tuple[int, int]] = None
+    current_line = 0
     ops: RawOps = []
     committed = True
     before_first_row = True
     last_index: Dict[int, int] = {}
+    batch = RecordBatch()
     for line_number, row in enumerate(csv.reader(handle), start=1):
         if not row:
             continue
@@ -100,7 +114,10 @@ def stream_ops(
         ident = (sid, txn_index)
         if ident != current:
             if current is not None:
-                yield current[0], (None, committed, ops)
+                batch.add_record(current[0], None, committed, ops, line=current_line)
+                if batch.full(batch_ops):
+                    yield batch
+                    batch = RecordBatch()
             # A repeated or smaller index means rows of an already-emitted
             # transaction turned up again (a duplicate transaction id, or
             # rows that are non-contiguous / out of order).
@@ -122,6 +139,7 @@ def stream_ops(
                     (txn_index, txn_index) if span is None else (span[0], txn_index)
                 )
             current = ident
+            current_line = line_number
             ops = []
             committed = is_committed
         elif committed != is_committed:
@@ -130,10 +148,31 @@ def stream_ops(
             )
         ops.append((is_write, key, value))
     if current is None:
+        if len(batch.txn_end):  # pragma: no cover - current is None only at 0 records
+            yield batch
         if allow_empty:
             return
         raise ParseError("empty cobra-style history")
-    yield current[0], (None, committed, ops)
+    batch.add_record(current[0], None, committed, ops, line=current_line)
+    yield batch
+
+
+def stream_ops(
+    handle: Iterable[str],
+    allow_empty: bool = False,
+    spans_out: Optional[Dict[int, Tuple[int, int]]] = None,
+) -> Iterator[Tuple[int, RawTransaction]]:
+    """Iterate raw ``(session_id, (label, committed, ops))`` records.
+
+    The per-record unbatching shim over :func:`stream_batches`;
+    ``batch_ops=1`` keeps the legacy error timing exactly (a closed
+    transaction is yielded before the row after it can raise).
+    """
+    for batch in stream_batches(
+        handle, batch_ops=1, allow_empty=allow_empty, spans_out=spans_out
+    ):
+        for record in batch.iter_records():
+            yield record
 
 
 def stream(handle: Iterable[str]) -> Iterator[Tuple[int, Transaction]]:

@@ -19,9 +19,14 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.exceptions import ParseError
 from repro.core.model import History, Transaction
-from repro.histories.formats._raw import RawOps, RawTransaction, transaction_from_raw
+from repro.histories.formats._raw import (
+    DEFAULT_BATCH_OPS,
+    RawTransaction,
+    RecordBatch,
+    transaction_from_raw,
+)
 
-__all__ = ["dumps", "loads", "stream", "stream_ops"]
+__all__ = ["dumps", "loads", "stream", "stream_batches", "stream_ops"]
 
 #: Sparse session ids are compacted, not filled (matching ``loads``).
 COMPILED_SESSION_GAPS = False
@@ -68,51 +73,117 @@ def dumps(history: History) -> str:
     return "\n".join(lines) + "\n"
 
 
-def _parse_line(line_number: int, line: str) -> Optional[Tuple[int, RawTransaction]]:
-    """Parse one line into a raw record; ``None`` for comments and blank lines."""
-    line = line.strip()
+def _parse_line_into(batch: RecordBatch, line_number: int, raw_line: str) -> bool:
+    """Parse one line straight into ``batch``'s columns.
+
+    Returns ``False`` for comments and blank lines.  On a parse error the
+    batch may hold a partially-appended record; the caller discards the
+    whole batch on error, so no rollback is needed.
+    """
+    line = raw_line.strip()
     if not line or line.startswith("#"):
-        return None
+        return False
     match = _LINE_PATTERN.match(line)
     if match is None:
         raise ParseError(f"line {line_number}: cannot parse {line!r}")
     sid = int(match.group(1))
-    label = match.group(2)
-    committed = match.group(3) == "committed"
     ops_text = match.group(4)
+    kinds = batch.kinds
+    keys = batch.keys
+    values = batch.values
     if _OPS_WELL_FORMED.match(ops_text):
         # Hot path: no gaps or truncation possible, so findall's C loop
-        # replaces the per-match slicing below.
-        return sid, (
-            label,
-            committed,
-            [
-                (kind == "W", key.strip(), _parse_value(value))
-                for kind, key, value in _OP_PATTERN.findall(ops_text)
-            ],
-        )
-    ops: RawOps = []
-    # Anything between or after the matched operations is a malformed or
-    # truncated operation (e.g. a mid-record EOF cutting `W(y,` off);
-    # dropping it silently would pass a damaged capture as consistent.
-    pos = 0
-    for op_match in _OP_PATTERN.finditer(ops_text):
-        gap = ops_text[pos : op_match.start()].strip()
-        if gap:
+        # replaces the per-match slicing below, and the operations land in
+        # the batch columns with no per-op tuples at all.
+        for kind, key, value in _OP_PATTERN.findall(ops_text):
+            kinds.append(1 if kind == "W" else 0)
+            keys.append(key.strip())
+            values.append(_parse_value(value))
+    else:
+        # Anything between or after the matched operations is a malformed or
+        # truncated operation (e.g. a mid-record EOF cutting `W(y,` off);
+        # dropping it silently would pass a damaged capture as consistent.
+        pos = 0
+        appended = 0
+        for op_match in _OP_PATTERN.finditer(ops_text):
+            gap = ops_text[pos : op_match.start()].strip()
+            if gap:
+                raise ParseError(
+                    f"line {line_number}: malformed or truncated operation {gap!r}"
+                )
+            kind, key, value = op_match.groups()
+            kinds.append(1 if kind == "W" else 0)
+            keys.append(key.strip())
+            values.append(_parse_value(value))
+            appended += 1
+            pos = op_match.end()
+        if ops_text.strip() and not appended:
             raise ParseError(
-                f"line {line_number}: malformed or truncated operation {gap!r}"
+                f"line {line_number}: no operations parsed from {ops_text!r}"
             )
-        kind, key, value = op_match.groups()
-        ops.append((kind == "W", key.strip(), _parse_value(value)))
-        pos = op_match.end()
-    if ops_text.strip() and not ops:
-        raise ParseError(f"line {line_number}: no operations parsed from {ops_text!r}")
-    leftover = ops_text[pos:].strip()
-    if leftover:
-        raise ParseError(
-            f"line {line_number}: malformed or truncated operation {leftover!r}"
-        )
-    return sid, (label, committed, ops)
+        leftover = ops_text[pos:].strip()
+        if leftover:
+            raise ParseError(
+                f"line {line_number}: malformed or truncated operation {leftover!r}"
+            )
+    batch.txn_session.append(sid)
+    batch.txn_labels.append(match.group(2))
+    batch.txn_committed.append(1 if match.group(3) == "committed" else 0)
+    batch.txn_line.append(line_number)
+    batch.txn_end.append(len(kinds))
+    return True
+
+
+def stream_batches(
+    handle: Iterable[str],
+    batch_ops: Optional[int] = None,
+    allow_empty: bool = False,
+    labels_out: Optional[Dict[int, set]] = None,
+) -> Iterator[RecordBatch]:
+    """Iterate :class:`RecordBatch` columns of up to ``batch_ops`` operations.
+
+    One line is one transaction, so the parse is naturally one-pass; lines of
+    one session must appear in session order (they always do in files written
+    by :func:`dumps`).  Like :func:`loads`, a file with no transactions at
+    all is rejected (a truncated capture must not pass as consistent), and a
+    ``txn=`` id repeated within one session is rejected as a duplicate
+    transaction id (memory cost: one label reference per transaction).
+    Errors surface immediately with the offending line's context; the
+    partially-filled batch holding earlier, well-formed records is
+    discarded, never yielded.
+
+    ``allow_empty`` and ``labels_out`` exist for the byte-range splitter
+    (:mod:`repro.shard.split`): a mid-file region may legitimately hold no
+    records, and ``labels_out`` exposes the per-session label sets so the
+    duplicate check can run *across* regions at merge time.
+    """
+    if batch_ops is None:
+        batch_ops = DEFAULT_BATCH_OPS
+    if batch_ops < 1:
+        raise ValueError(f"batch_ops must be >= 1, got {batch_ops}")
+    empty = True
+    seen_labels: Dict[int, set] = labels_out if labels_out is not None else {}
+    batch = RecordBatch()
+    for line_number, raw_line in enumerate(handle, start=1):
+        if not _parse_line_into(batch, line_number, raw_line):
+            continue
+        sid = batch.txn_session[-1]
+        label = batch.txn_labels[-1]
+        session_labels = seen_labels.setdefault(sid, set())
+        if label in session_labels:
+            raise ParseError(
+                f"line {line_number}: duplicate transaction id {label!r} "
+                f"in session {sid}"
+            )
+        session_labels.add(label)
+        empty = False
+        if batch.full(batch_ops):
+            yield batch
+            batch = RecordBatch()
+    if len(batch.txn_end):
+        yield batch
+    if empty and not allow_empty:
+        raise ParseError("history file contains no transactions")
 
 
 def stream_ops(
@@ -122,37 +193,15 @@ def stream_ops(
 ) -> Iterator[Tuple[int, RawTransaction]]:
     """Iterate raw ``(session_id, (label, committed, ops))`` records.
 
-    One line is one transaction, so the parse is naturally one-pass; lines of
-    one session must appear in session order (they always do in files written
-    by :func:`dumps`).  Like :func:`loads`, a file with no transactions at
-    all is rejected (a truncated capture must not pass as consistent), and a
-    ``txn=`` id repeated within one session is rejected as a duplicate
-    transaction id (memory cost: one label reference per transaction).
-
-    ``allow_empty`` and ``labels_out`` exist for the byte-range splitter
-    (:mod:`repro.shard.split`): a mid-file region may legitimately hold no
-    records, and ``labels_out`` exposes the per-session label sets so the
-    duplicate check can run *across* regions at merge time.
+    The per-record unbatching shim over :func:`stream_batches`;
+    ``batch_ops=1`` keeps the legacy error timing exactly (every record is
+    yielded before the line after it can raise).
     """
-    empty = True
-    seen_labels: Dict[int, set] = labels_out if labels_out is not None else {}
-    for line_number, raw_line in enumerate(handle, start=1):
-        parsed = _parse_line(line_number, raw_line)
-        if parsed is None:
-            continue
-        sid, raw = parsed
-        label = raw[0]
-        session_labels = seen_labels.setdefault(sid, set())
-        if label in session_labels:
-            raise ParseError(
-                f"line {line_number}: duplicate transaction id {label!r} "
-                f"in session {sid}"
-            )
-        session_labels.add(label)
-        empty = False
-        yield sid, raw
-    if empty and not allow_empty:
-        raise ParseError("history file contains no transactions")
+    for batch in stream_batches(
+        handle, batch_ops=1, allow_empty=allow_empty, labels_out=labels_out
+    ):
+        for record in batch.iter_records():
+            yield record
 
 
 def stream(handle: Iterable[str]) -> Iterator[Tuple[int, Transaction]]:

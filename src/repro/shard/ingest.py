@@ -1,8 +1,8 @@
 """Sharded ingestion: per-shard builders, intern-table merge, parallel parse.
 
-The raw ``stream_ops`` layer of the history formats yields
-``(session, (label, committed, ops))`` records one at a time.  Sharded
-ingestion routes each record to one of ``jobs``
+The columnar ``stream_batches`` layer of the history formats yields
+:class:`~repro.histories.formats._raw.RecordBatch` columns.  Sharded
+ingestion partitions each batch across ``jobs``
 :class:`~repro.core.compiled.ir.CompiledHistoryBuilder` accumulators --
 whole sessions stay on one shard (:func:`~repro.shard.plan.shard_of_external`)
 because arrival order within a session must be preserved -- and then merges
@@ -84,26 +84,41 @@ def merge_shard_builders(
 
 
 def _ingest_shard_from_file(
-    path: str, fmt: Optional[str], jobs: int, shard: int
+    path: str,
+    fmt: Optional[str],
+    jobs: int,
+    shard: int,
+    batch_ops: Optional[int] = None,
 ) -> CompiledHistoryBuilder:
     """Parse ``path`` keeping only sessions routed to ``shard`` (worker body)."""
-    from repro.histories.formats import stream_raw_history
+    from repro.histories.formats import stream_raw_batches
 
     builder = CompiledHistoryBuilder()
-    for sid, (label, committed, ops) in stream_raw_history(path, fmt):
-        if shard_of_external(sid, jobs) == shard:
-            builder.add_transaction(sid, label, committed, ops)
+    for batch in stream_raw_batches(path, fmt, batch_ops=batch_ops):
+        kept = batch.filter_records(
+            lambda sid: shard_of_external(sid, jobs) == shard
+        )
+        if kept is not None:
+            builder.add_batch(kept)
     return builder
 
 
-def _ingest_byte_range(path: str, fmt: Optional[str], start: int, end: int):
+def _ingest_byte_range(
+    path: str,
+    fmt: Optional[str],
+    start: int,
+    end: int,
+    batch_ops: Optional[int] = None,
+):
     """Parse one record-aligned byte region into a builder (worker body)."""
-    from repro.shard.split import parse_byte_range
+    from repro.shard.split import parse_byte_range_batches
 
     builder = CompiledHistoryBuilder()
-    records, summary = parse_byte_range(path, start, end, fmt=fmt)
-    for sid, (label, committed, ops) in records:
-        builder.add_transaction(sid, label, committed, ops)
+    batches, summary = parse_byte_range_batches(
+        path, start, end, fmt=fmt, batch_ops=batch_ops
+    )
+    for batch in batches:
+        builder.add_batch(batch)
     return builder, summary
 
 
@@ -112,14 +127,17 @@ def sharded_ingest(
     jobs: int,
     fmt: Optional[str] = None,
     parallel: bool = False,
+    batch_ops: Optional[int] = None,
 ) -> Tuple[CompiledHistory, List[ShardIngestStats]]:
     """Ingest ``path`` through ``jobs`` shard builders; return IR + shard stats.
 
     The stats snapshot each shard's pre-merge intern cardinalities (the
     cross-shard state the merge reconciles); ``awdit stats --jobs N`` prints
-    them.
+    them.  ``batch_ops`` tunes the record-batch granularity of every mode
+    (parse batches, worker-pool payloads, builder folds); the merged IR is
+    identical for any value.
     """
-    from repro.histories.formats import _module_for, detect_format, stream_raw_history
+    from repro.histories.formats import _module_for, detect_format, stream_raw_batches
 
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -136,7 +154,9 @@ def sharded_ingest(
             # Byte-range mode: each region parsed once, by one worker.
             with ctx.Pool(processes=min(jobs, len(ranges))) as pool:
                 handles = [
-                    pool.apply_async(_ingest_byte_range, (path, fmt_name, lo, hi))
+                    pool.apply_async(
+                        _ingest_byte_range, (path, fmt_name, lo, hi, batch_ops)
+                    )
                     for lo, hi in ranges
                 ]
                 outcomes = [handle.get() for handle in handles]
@@ -150,17 +170,18 @@ def sharded_ingest(
             with ctx.Pool(processes=jobs) as pool:
                 handles = [
                     pool.apply_async(
-                        _ingest_shard_from_file, (path, fmt_name, jobs, shard)
+                        _ingest_shard_from_file,
+                        (path, fmt_name, jobs, shard, batch_ops),
                     )
                     for shard in range(jobs)
                 ]
                 builders = [handle.get() for handle in handles]
     else:
         builders = [CompiledHistoryBuilder() for _ in range(jobs)]
-        for sid, (label, committed, ops) in stream_raw_history(path, fmt_name):
-            builders[shard_of_external(sid, jobs)].add_transaction(
-                sid, label, committed, ops
-            )
+        for batch in stream_raw_batches(path, fmt_name, batch_ops=batch_ops):
+            for shard, part in enumerate(batch.partition(jobs, shard_of_external)):
+                if part is not None:
+                    builders[shard].add_batch(part)
 
     stats = [
         ShardIngestStats(
@@ -181,7 +202,10 @@ def load_compiled_sharded(
     jobs: int,
     fmt: Optional[str] = None,
     parallel: bool = False,
+    batch_ops: Optional[int] = None,
 ) -> CompiledHistory:
     """:func:`sharded_ingest` without the stats (drop-in for ``load_compiled``)."""
-    compiled, _stats = sharded_ingest(path, jobs, fmt=fmt, parallel=parallel)
+    compiled, _stats = sharded_ingest(
+        path, jobs, fmt=fmt, parallel=parallel, batch_ops=batch_ops
+    )
     return compiled

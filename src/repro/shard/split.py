@@ -35,11 +35,12 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.exceptions import ParseError
 from repro.histories.formats import _module_for
-from repro.histories.formats._raw import RawTransaction
+from repro.histories.formats._raw import RawTransaction, RecordBatch
 
 __all__ = [
     "RangeSummary",
     "parse_byte_range",
+    "parse_byte_range_batches",
     "split_byte_ranges",
     "splittable",
     "validate_range_summaries",
@@ -152,14 +153,22 @@ def split_byte_ranges(
     ]
 
 
-def parse_byte_range(
-    path: str, start: int, end: int, fmt: Optional[str] = None
-) -> Tuple[List[Tuple[int, RawTransaction]], RangeSummary]:
-    """Parse the record-aligned byte region ``[start, end)`` of ``path``.
+def parse_byte_range_batches(
+    path: str,
+    start: int,
+    end: int,
+    fmt: Optional[str] = None,
+    batch_ops: Optional[int] = None,
+) -> Tuple[List[RecordBatch], RangeSummary]:
+    """Parse the byte region ``[start, end)`` of ``path`` into record batches.
 
-    Returns the region's raw records (in file order) plus the
-    :class:`RangeSummary` that :func:`validate_range_summaries` chains.
-    Parse failures carry the region's byte offsets for context.
+    The columnar sibling of :func:`parse_byte_range` and the worker body of
+    parallel sharded ingestion: the region's records come back as
+    :class:`RecordBatch` columns of up to ``batch_ops`` operations (in file
+    order), which pickle far smaller across the worker pool than per-record
+    tuples, plus the :class:`RangeSummary` that
+    :func:`validate_range_summaries` chains.  Parse failures carry the
+    region's byte offsets for context.
     """
     module = _module_for(fmt, path)
     kind = getattr(module, "BYTE_RANGE_RECORDS", None)
@@ -181,16 +190,42 @@ def parse_byte_range(
     summary = RangeSummary(start=start, end=end)
     try:
         if kind == "line":
-            records = list(
-                module.stream_ops(lines, allow_empty=True, labels_out=summary.labels)
+            batches = list(
+                module.stream_batches(
+                    lines,
+                    batch_ops=batch_ops,
+                    allow_empty=True,
+                    labels_out=summary.labels,
+                )
             )
         else:
-            records = list(
-                module.stream_ops(lines, allow_empty=True, spans_out=summary.spans)
+            batches = list(
+                module.stream_batches(
+                    lines,
+                    batch_ops=batch_ops,
+                    allow_empty=True,
+                    spans_out=summary.spans,
+                )
             )
     except ParseError as exc:
         raise ParseError(f"byte range {start}-{end}: {exc}") from exc
-    summary.records = len(records)
+    summary.records = sum(len(batch.txn_end) for batch in batches)
+    return batches, summary
+
+
+def parse_byte_range(
+    path: str, start: int, end: int, fmt: Optional[str] = None
+) -> Tuple[List[Tuple[int, RawTransaction]], RangeSummary]:
+    """Parse the record-aligned byte region ``[start, end)`` of ``path``.
+
+    The record-at-a-time wrapper over :func:`parse_byte_range_batches`:
+    returns the region's raw records (in file order) plus the
+    :class:`RangeSummary` that :func:`validate_range_summaries` chains.
+    """
+    batches, summary = parse_byte_range_batches(path, start, end, fmt=fmt)
+    records: List[Tuple[int, RawTransaction]] = []
+    for batch in batches:
+        records.extend(batch.iter_records())
     return records, summary
 
 

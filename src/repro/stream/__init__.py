@@ -37,6 +37,7 @@ from repro.stream.runner import (
     check_history_stream,
     check_stream_file,
     history_records,
+    iter_raw_batches,
     iter_raw_records,
     stream_live_stats,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "check_stream_compiled",
     "check_stream_file",
     "history_records",
+    "iter_raw_batches",
     "iter_raw_records",
     "load_checkpoint",
     "stream_live_stats",

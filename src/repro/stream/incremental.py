@@ -300,6 +300,19 @@ class IncrementalChecker:
         """
         return list(self._live)
 
+    def append_batch(self, batch) -> None:
+        """Feed one columnar :class:`~repro.histories.formats._raw.RecordBatch`.
+
+        The object engine has no bulk fold -- each record is materialized
+        into a :class:`Transaction` and appended in order -- so this is a
+        convenience unbatcher keeping the engine pluggable behind the same
+        batched runner as the compiled cores.
+        """
+        from repro.histories.formats._raw import transaction_from_raw
+
+        for session, raw in batch.iter_records():
+            self.append(session, transaction_from_raw(raw))
+
     def append(self, session: object, transaction: Transaction) -> None:
         """Feed one transaction appended to ``session``.
 

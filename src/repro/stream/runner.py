@@ -28,9 +28,9 @@ engines over an in-memory history (the parity harness behind
 from __future__ import annotations
 
 import multiprocessing
+import time
 from collections import deque
-from itertools import islice
-from typing import Iterable, Iterator, Optional, Tuple, Union
+from typing import Dict, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.core.compiled.ir import CompiledHistory
 from repro.core.compiled.online import (
@@ -42,8 +42,8 @@ from repro.core.compiled.online import (
 from repro.core.isolation import IsolationLevel
 from repro.core.model import History
 from repro.core.result import CheckResult
-from repro.histories.formats._raw import RawTransaction
-from repro.stream.incremental import IncrementalChecker, check_stream
+from repro.histories.formats._raw import RawTransaction, RecordBatch
+from repro.stream.incremental import IncrementalChecker
 
 __all__ = [
     "DEFAULT_CHECKPOINT_EVERY",
@@ -52,6 +52,7 @@ __all__ = [
     "check_history_stream",
     "check_stream_file",
     "history_records",
+    "iter_raw_batches",
     "iter_raw_records",
     "stream_live_stats",
 ]
@@ -102,30 +103,32 @@ def history_records(
             yield sid, (txn.label, txn.committed, ops)
 
 
-def _parse_range_task(args):
-    from repro.shard.split import parse_byte_range
+def _parse_range_batches_task(args):
+    from repro.shard.split import parse_byte_range_batches
 
-    path, lo, hi, fmt = args
-    return parse_byte_range(path, lo, hi, fmt=fmt)
-
-
+    path, lo, hi, fmt, batch_ops = args
+    return parse_byte_range_batches(path, lo, hi, fmt=fmt, batch_ops=batch_ops)
 
 
-def iter_raw_records(
-    path: str, fmt: Optional[str] = None, jobs: Optional[int] = None
-) -> Iterator[_RawRecord]:
-    """Raw records of ``path`` in file order, optionally parsed in parallel.
+def iter_raw_batches(
+    path: str,
+    fmt: Optional[str] = None,
+    jobs: Optional[int] = None,
+    batch_ops: Optional[int] = None,
+) -> Iterator[RecordBatch]:
+    """Record batches of ``path`` in file order, optionally parsed in parallel.
 
     With ``jobs`` > 1, a splittable format, and usable ``fork`` parallelism,
     the file is cut into record-aligned byte regions parsed by a worker
-    pool; records still come back in exact file order (regions are ordered
+    pool; batches still come back in exact file order (regions are ordered
     and each preserves its slice's order), so consumers cannot tell the
-    difference.  Everything else falls back to the sequential streaming
-    parse.  Parallel parsing buffers a few regions in flight, trading the
-    strictly-bounded parser memory of the sequential path for parse
-    throughput.
+    difference -- and the pool ships compact flat columns instead of
+    per-record tuples.  Everything else falls back to the sequential
+    streaming parse.  Parallel parsing buffers a few regions in flight,
+    trading the strictly-bounded parser memory of the sequential path for
+    parse throughput.
     """
-    from repro.histories.formats import stream_raw_history
+    from repro.histories.formats import stream_raw_batches
 
     if jobs is not None and jobs > 1:
         from repro.shard.parallel import will_parallelize
@@ -145,21 +148,40 @@ def iter_raw_records(
                 tasks = deque()
                 pending = deque()
                 for lo, hi in ranges:
-                    tasks.append((path, lo, hi, fmt))
+                    tasks.append((path, lo, hi, fmt, batch_ops))
                 window = jobs + 2
                 while tasks or pending:
                     while tasks and len(pending) < window:
                         pending.append(
-                            pool.apply_async(_parse_range_task, (tasks.popleft(),))
+                            pool.apply_async(
+                                _parse_range_batches_task, (tasks.popleft(),)
+                            )
                         )
-                    records, summary = pending.popleft().get()
+                    batches, summary = pending.popleft().get()
                     summaries.append(summary)
-                    for record in records:
-                        yield record
+                    for batch in batches:
+                        yield batch
             validate_range_summaries(path, summaries, fmt=fmt)
             return
-    for record in stream_raw_history(path, fmt):
-        yield record
+    for batch in stream_raw_batches(path, fmt, batch_ops=batch_ops):
+        yield batch
+
+
+def iter_raw_records(
+    path: str,
+    fmt: Optional[str] = None,
+    jobs: Optional[int] = None,
+    batch_ops: Optional[int] = None,
+) -> Iterator[_RawRecord]:
+    """Raw records of ``path`` in file order, optionally parsed in parallel.
+
+    The record-at-a-time wrapper over :func:`iter_raw_batches` (same
+    ordering guarantees); consumers that can fold whole batches should use
+    :func:`iter_raw_batches` directly.
+    """
+    for batch in iter_raw_batches(path, fmt=fmt, jobs=jobs, batch_ops=batch_ops):
+        for record in batch.iter_records():
+            yield record
 
 
 def _resolve_stream_engine(engine: str, jobs: Optional[int]) -> str:
@@ -258,13 +280,21 @@ def check_stream_file(
     checkpoint: Optional[str] = None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     resume: bool = False,
+    batch_ops: Optional[int] = None,
+    timings: Optional[Dict[str, float]] = None,
 ) -> CheckResult:
     """One-pass check of an on-disk history (``awdit check --stream``).
 
-    ``jobs`` parallelizes the parse via byte-range workers (compiled
-    engines only); ``checkpoint`` periodically serializes the online state
-    so ``resume=True`` can continue an interrupted check -- including after
-    completion, when resuming simply skips every record and re-finalizes.
+    Every engine folds the parsers' record batches (``batch_ops`` operations
+    per batch; the verdict is identical for any value).  ``jobs``
+    parallelizes the parse via byte-range workers (compiled engines only);
+    ``checkpoint`` periodically serializes the online state -- at the first
+    batch boundary past every ``checkpoint_every`` transactions, and once
+    more before finalizing -- so ``resume=True`` can continue an
+    interrupted check, including after completion, when resuming simply
+    skips every record and re-finalizes.  ``timings`` (``--profile``)
+    receives ``parse`` / ``fold`` wall seconds plus the fold's
+    ``fold_intern`` / ``fold_classify`` / ``fold_clock_join`` sub-laps.
     """
     resolved = _resolve_stream_engine(engine, jobs)
     if resolved == "object":
@@ -272,11 +302,14 @@ def check_stream_file(
             raise ValueError(
                 "checkpoint/resume require the compiled streaming engine"
             )
-        from repro.histories.formats import stream_history
+        from repro.histories.formats import stream_raw_batches
 
-        return check_stream(
-            stream_history(path, fmt=fmt), level, max_witnesses=max_witnesses
+        object_checker = IncrementalChecker(
+            levels=(level,), max_witnesses=max_witnesses
         )
+        for batch in stream_raw_batches(path, fmt, batch_ops=batch_ops):
+            object_checker.append_batch(batch)
+        return object_checker.finalize()[level]
     if checkpoint_every < 1:
         raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
     if resume:
@@ -296,23 +329,51 @@ def check_stream_file(
             levels=(level,), max_witnesses=max_witnesses
         )
     skip = checker.num_transactions
-    append_raw = checker.append_raw
-    records = iter_raw_records(path, fmt=fmt, jobs=jobs)
-    if skip:
-        records = islice(records, skip, None)
-    if checkpoint is None:
-        for sid, (label, committed, ops) in records:
-            append_raw(sid, label, committed, ops)
-    else:
-        source = source_fingerprint(path)
-        since_checkpoint = 0
-        for sid, (label, committed, ops) in records:
-            append_raw(sid, label, committed, ops)
-            since_checkpoint += 1
+    profile = timings is not None
+    if profile:
+        laps = checker.enable_fold_profile()
+        parse_lap = 0.0
+        fold_lap = 0.0
+    source = None if checkpoint is None else source_fingerprint(path)
+    since_checkpoint = 0
+    batches = iter_raw_batches(path, fmt=fmt, jobs=jobs, batch_ops=batch_ops)
+    while True:
+        if profile:
+            mark = time.perf_counter()
+            batch = next(batches, None)
+            parse_lap += time.perf_counter() - mark
+        else:
+            batch = next(batches, None)
+        if batch is None:
+            break
+        if skip:
+            # Resume: drop whole batches the checkpoint already consumed,
+            # then cut the straddling batch at the resume point.
+            num_records = len(batch.txn_end)
+            if num_records <= skip:
+                skip -= num_records
+                continue
+            batch = batch.tail(skip)
+            skip = 0
+        if profile:
+            mark = time.perf_counter()
+            checker.append_batch(batch)
+            fold_lap += time.perf_counter() - mark
+        else:
+            checker.append_batch(batch)
+        if checkpoint is not None:
+            since_checkpoint += len(batch.txn_end)
             if since_checkpoint >= checkpoint_every:
                 checker.save_checkpoint(checkpoint, source=source)
                 since_checkpoint = 0
+    if checkpoint is not None:
         checker.save_checkpoint(checkpoint, source=source)
+    if profile:
+        timings["parse"] = parse_lap
+        timings["fold"] = fold_lap
+        timings["fold_intern"] = laps["intern"]
+        timings["fold_classify"] = laps["classify"]
+        timings["fold_clock_join"] = laps["clock_join"]
     return checker.finalize()[level]
 
 
@@ -320,6 +381,7 @@ def stream_live_stats(
     path: str,
     fmt: Optional[str] = None,
     levels: Optional[Iterable[IsolationLevel]] = None,
+    batch_ops: Optional[int] = None,
 ) -> dict:
     """Feed ``path`` through the online core and return its live-state peaks.
 
@@ -328,10 +390,11 @@ def stream_live_stats(
     been folded (but before finalize, so the reported footprint is the
     online state itself).
     """
-    from repro.histories.formats import stream_raw_history
+    from repro.histories.formats import stream_raw_batches
 
     checker = CompiledIncrementalChecker(
         levels=tuple(levels) if levels is not None else None
     )
-    checker.extend_raw(stream_raw_history(path, fmt))
+    for batch in stream_raw_batches(path, fmt, batch_ops=batch_ops):
+        checker.append_batch(batch)
     return checker.live_stats()
