@@ -1,12 +1,17 @@
 """CI perf-regression guard for the compiled CC hot paths.
 
-Re-measures compiled batch CC (against ``BENCH_5.json``) plus the
-compiled streaming CC pipeline and its fold phase (against
-``BENCH_6.json``, the columnar-ingestion era numbers) on the 120k-op
-fig9-scale history, and fails (exit 1) when any of the three regresses
-more than ``TOLERANCE``.  The committed baselines are first rescaled by
-the machine-speed ratio of the :mod:`_calibration` kernel (its runtime
-on this runner vs the runtime recorded alongside the baselines), so a
+Re-measures compiled batch CC plus its saturation phase lap, and the
+compiled streaming CC pipeline plus its fold phase, all against
+``BENCH_7.json`` (the vectorized-saturation era numbers) on the 120k-op
+fig9-scale history, and fails (exit 1) when any of the four regresses
+more than ``TOLERANCE``.  Gating the saturation and fold laps on their
+own means a regression there cannot hide behind a happens-before or
+parse improvement -- the exact failure mode that would reappear if a
+kernel silently fell back to the pure-Python path (the guard also fails
+outright when numpy is importable but the check reports the fallback
+kernel).  The committed baselines are first rescaled by the
+machine-speed ratio of the :mod:`_calibration` kernel (its runtime on
+this runner vs the runtime recorded alongside the baselines), so a
 runner of a different hardware class compares against what *its own*
 hardware should achieve, not the dev container's absolute seconds.  The
 25% tolerance then only has to absorb run-to-run noise (shared CI
@@ -33,6 +38,7 @@ import time
 from _calibration import calibration_seconds
 
 from repro.core import IsolationLevel
+from repro.core.compiled import kernels
 from repro.core.compiled.checkers import check_cc_compiled
 from repro.core.compiled.ir import compile_history
 from repro.histories.formats import save_history
@@ -44,8 +50,7 @@ TOLERANCE = 1.25  # fail when current > baseline * TOLERANCE
 REPEATS = 3
 
 _ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
-BENCH5_PATH = os.path.abspath(os.path.join(_ROOT, "BENCH_5.json"))
-BENCH6_PATH = os.path.abspath(os.path.join(_ROOT, "BENCH_6.json"))
+BENCH7_PATH = os.path.abspath(os.path.join(_ROOT, "BENCH_7.json"))
 
 
 def _best_of(fn, repeats: int = REPEATS) -> float:
@@ -63,35 +68,28 @@ def main() -> int:
         print(f"perf-guard: skipped ({cpus} CPU visible; timings too noisy)")
         return 0
 
-    with open(BENCH5_PATH, encoding="utf-8") as handle:
-        bench5 = json.load(handle)
-    with open(BENCH6_PATH, encoding="utf-8") as handle:
-        bench6 = json.load(handle)
-    batch_baseline = bench5["check_cc_seconds"]["compiled_batch"]
-    # The streaming gates moved to the BENCH_6 columnar-ingestion era:
-    # the whole pipeline plus the fold phase on its own, so a fold
-    # regression cannot hide behind a parse or finalize improvement.
-    stream_baseline = bench6["check_cc_seconds"]["compiled_stream_pipeline"]
-    fold_baseline = bench6["stream_fold_phase_seconds"]["fold"]
+    with open(BENCH7_PATH, encoding="utf-8") as handle:
+        bench7 = json.load(handle)
+    batch_baseline = bench7["check_cc_seconds"]["compiled_batch"]
+    saturation_baseline = bench7["batch_cc_phase_seconds"]["saturation"]
+    stream_baseline = bench7["check_cc_seconds"]["compiled_stream_pipeline"]
+    fold_baseline = bench7["stream_fold_phase_seconds"]["fold"]
 
     # Rescale the committed baselines to this machine's speed: the same
-    # calibration kernel ran when each snapshot was recorded, so the
+    # calibration kernel ran when the snapshot was recorded, so the
     # ratio cancels the hardware class out of the comparison.
     local_cal = calibration_seconds()
-    for snapshot, name in ((bench5, "BENCH_5"), (bench6, "BENCH_6")):
-        recorded_cal = snapshot.get("machine_calibration_seconds")
-        if not recorded_cal:
-            continue
+    recorded_cal = bench7.get("machine_calibration_seconds")
+    if recorded_cal:
         scale = local_cal / recorded_cal
         print(
-            f"perf-guard: calibration {local_cal:.4f}s vs {name} "
+            f"perf-guard: calibration {local_cal:.4f}s vs BENCH_7 "
             f"{recorded_cal:.4f}s -> baseline scale {scale:.2f}x"
         )
-        if snapshot is bench5:
-            batch_baseline *= scale
-        else:
-            stream_baseline *= scale
-            fold_baseline *= scale
+        batch_baseline *= scale
+        saturation_baseline *= scale
+        stream_baseline *= scale
+        fold_baseline *= scale
 
     history = generate_random_history(
         RandomHistoryConfig(
@@ -109,14 +107,22 @@ def main() -> int:
     with tempfile.TemporaryDirectory() as tmp:
         path = os.path.join(tmp, "large.plume")
         save_history(history, path, fmt="plume")
-        batch_seconds = _best_of(lambda: check_cc_compiled(ch))
-        # Match BENCH_6's recording conditions: the streaming pipeline is
+        # One profiled run set serves both batch gates: the phase laps
+        # add only a few perf_counter calls around tenths of work.
+        batch_seconds = float("inf")
+        saturation_seconds = float("inf")
+        kernel_used = None
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            result = check_cc_compiled(ch)
+            batch_seconds = min(batch_seconds, time.perf_counter() - start)
+            saturation_seconds = min(saturation_seconds, result.stats["saturation"])
+            kernel_used = result.stats["saturation_kernel"]
+        # Match BENCH_7's recording conditions: the streaming pipeline is
         # measured without the object history or compiled IR alive, so
         # gen-2 GC passes don't walk 120k dead-weight objects mid-run.
-        del ch, history
+        del ch, history, result
         gc.collect()
-        # One profiled run set serves both streaming gates: the lap
-        # bookkeeping adds only a few perf_counter calls per batch.
         stream_seconds = float("inf")
         fold_seconds = float("inf")
         for _ in range(REPEATS):
@@ -133,8 +139,15 @@ def main() -> int:
             fold_seconds = min(fold_seconds, timings["fold"])
 
     failed = False
+    if kernels.HAVE_NUMPY and kernel_used != "vectorized":
+        print(
+            f"perf-guard: numpy is importable but the batch check reported "
+            f"the {kernel_used!r} saturation kernel -- REGRESSION"
+        )
+        failed = True
     for name, current, committed in (
         ("compiled batch CC", batch_seconds, batch_baseline),
+        ("compiled batch CC saturation phase", saturation_seconds, saturation_baseline),
         ("compiled streaming CC pipeline", stream_seconds, stream_baseline),
         ("compiled streaming CC fold phase", fold_seconds, fold_baseline),
     ):

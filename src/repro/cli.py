@@ -315,6 +315,11 @@ def _print_profile(
         value = merged.get(name)
         if value is not None:
             print(f"  {indent}{name:<18} {value:9.4f}", file=sys.stderr)
+    kernel = result.stats.get("saturation_kernel")
+    if kernel is not None:
+        # Which saturation implementation actually ran (numpy-vectorized
+        # or the pure-Python fallback), so snapshots are self-describing.
+        print(f"  {'saturation_kernel':<18} {kernel:>9}", file=sys.stderr)
     print(f"  {'total':<18} {total_seconds:9.4f}", file=sys.stderr)
     print(
         f"  peak alloc         {peak_bytes / (1024 * 1024):9.1f} MiB "
@@ -536,6 +541,11 @@ def _run_stats_stream(args: argparse.Namespace) -> int:
     print(f"  interned values        : {stats['interned_values']}")
     print(f"  writes index entries   : {stats['writes_index']}")
     print(f"  CC writer buckets      : {stats['cc_writer_buckets']}")
+    print(
+        "  CC probe flushes       : "
+        f"{stats['cc_flushes_vectorized']} vectorized, "
+        f"{stats['cc_flushes_fallback']} fallback"
+    )
     print(f"  inferred-edge log      : {stats['inferred_edge_log']} edges")
     return 0
 

@@ -12,7 +12,11 @@ only the constant factors change.
 
 The module deliberately reaches into the IR's internal flat arrays
 (``_xr_*``, ``_kw_*``) instead of the iterator accessors: these loops are the
-hot path the compiled layer exists for.
+hot path the compiled layer exists for.  The saturation inner loops
+themselves live in :mod:`repro.core.compiled.kernels` (one vectorized /
+fallback pair per rule, shared with the online fold and the shard workers);
+``saturate_{rc,ra,cc}_compiled`` are re-exported here for compatibility and
+report which kernel ran in the result's ``saturation_kernel`` stat.
 
 The per-transaction passes accept an optional ``tid_range`` and the
 per-session saturations an optional ``sessions`` restriction.  These exist
@@ -25,11 +29,18 @@ results in global order, so sharded checking cannot drift from this module
 from __future__ import annotations
 
 from array import array
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.cc import causality_cycles, causality_labels
 from repro.core.commit import CommitRelation
 from repro.core.compiled.ir import CompiledHistory, compile_history
+from repro.core.compiled.kernels import (
+    _external_good_reads,
+    _writers_by_key_compiled,
+    saturate_cc_compiled,
+    saturate_ra_compiled,
+    saturate_rc_compiled,
+)
 from repro.core.isolation import IsolationLevel
 from repro.core.model import History, OpRef
 from repro.core.result import CheckResult, Stopwatch
@@ -246,92 +257,6 @@ def _relation_from_compiled(ch: CompiledHistory) -> CommitRelation:
 # -- RC (Algorithm 1) ----------------------------------------------------------
 
 
-def _external_good_reads(
-    ch: CompiledHistory, tid: int, bad_ops: Set[int]
-) -> List[Tuple[int, int, int]]:
-    """Good external committed reads of ``tid``: ``(po, key_id, writer_tid)``."""
-    xr_start = ch._xr_start
-    xr_po = ch._xr_po
-    xr_key = ch._xr_key
-    xr_writer = ch._xr_writer
-    committed = ch.txn_committed
-    check_bad = bool(bad_ops)  # empty on clean histories; skip the arithmetic
-    base = ch.txn_start[tid]
-    result: List[Tuple[int, int, int]] = []
-    for j in range(xr_start[tid], xr_start[tid + 1]):
-        if check_bad and base + xr_po[j] in bad_ops:
-            continue
-        writer = xr_writer[j]
-        if not committed[writer]:
-            continue
-        result.append((xr_po[j], xr_key[j], writer))
-    return result
-
-
-def saturate_rc_compiled(
-    ch: CompiledHistory,
-    relation: CommitRelation,
-    bad_ops: Set[int],
-    tid_range: Optional[Tuple[int, int]] = None,
-) -> None:
-    """Algorithm 1's main loop on the IR (mirror of ``saturate_rc``).
-
-    ``tid_range`` restricts saturation to the reads of transactions
-    ``[lo, hi)``; the per-transaction state (``earliest``, ``read_keys``) is
-    local, so chunked runs emit exactly the edges of a full run, in the same
-    per-transaction order.
-    """
-    committed = ch.txn_committed
-    kw_start = ch._kw_start
-    kw_key = ch._kw_key
-    # Every inferred edge is two raw appends into the relation's co log
-    # (packed edge + key id); dedup and labels happen at freeze.
-    co_append = relation._co_log.append
-    cok_append = relation._co_keys.append
-    lo_tid, hi_tid = tid_range if tid_range is not None else (0, ch.num_transactions)
-    for tid in range(lo_tid, hi_tid):
-        if not committed[tid]:
-            continue
-        reads = _external_good_reads(ch, tid, bad_ops)
-        if not reads:
-            continue
-
-        # Forward pass: record the po-first read of each observed transaction.
-        seen_txns: Set[int] = set()
-        first_txn_reads: Set[int] = set()
-        for po, _key, writer in reads:
-            if writer not in seen_txns:
-                seen_txns.add(writer)
-                first_txn_reads.add(po)
-
-        # Backward pass (see saturate_rc for the invariants; read_keys is a
-        # dict so the smaller-side iteration below is deterministic).
-        earliest: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
-        read_keys: Dict[int, None] = {}
-        for po, key, t2 in reversed(reads):
-            if po in first_txn_reads:
-                lo, hi = kw_start[t2], kw_start[t2 + 1]
-                if hi - lo <= len(read_keys):
-                    candidates = [x for x in kw_key[lo:hi] if x in read_keys]
-                else:
-                    kw_set = ch.keys_written_set(t2)
-                    candidates = [x for x in read_keys if x in kw_set]
-                for x in candidates:
-                    older, newer = earliest[x]
-                    t1 = newer
-                    if t1 == t2:
-                        t1 = older
-                    if t1 is not None and t1 != t2:
-                        co_append((t2 << EDGE_SHIFT) | t1)
-                        cok_append(x)
-            pair = earliest.get(key)
-            if pair is None:
-                earliest[key] = (None, t2)
-            elif pair[1] != t2:
-                earliest[key] = (pair[1], t2)
-            read_keys[key] = None
-
-
 def check_rc_compiled(
     ch: CompiledHistory,
     max_witnesses: Optional[int] = None,
@@ -343,7 +268,7 @@ def check_rc_compiled(
     watch.lap("read_consistency")
 
     relation = _relation_from_compiled(ch)
-    saturate_rc_compiled(ch, relation, report.bad_ops)
+    kernel = saturate_rc_compiled(ch, relation, report.bad_ops)
     watch.lap("saturation")
 
     violations = list(report.violations)
@@ -359,6 +284,7 @@ def check_rc_compiled(
         stats={
             "inferred_edges": relation.num_inferred_edges,
             "co_edges": relation.num_edges,
+            "saturation_kernel": kernel,
             **relation.timings,
         },
     )
@@ -417,69 +343,6 @@ def check_repeatable_reads_compiled(
     return violations
 
 
-def saturate_ra_compiled(
-    ch: CompiledHistory,
-    relation: CommitRelation,
-    bad_ops: Set[int],
-    sessions: Optional[Sequence[int]] = None,
-) -> None:
-    """Algorithm 2's saturation on the IR (mirror of ``saturate_ra``).
-
-    ``sessions`` restricts the pass to the given dense session indices; the
-    RA frontier (``last_write``) resets per session, so a session-restricted
-    run emits exactly that session's edges of a full run, in order.
-    """
-    committed = ch.txn_committed
-    kw_start = ch._kw_start
-    kw_key = ch._kw_key
-    # Raw co-log appends, as in saturate_rc_compiled.
-    co_append = relation._co_log.append
-    cok_append = relation._co_keys.append
-    session_lists = (
-        ch.sessions if sessions is None else [ch.sessions[sid] for sid in sessions]
-    )
-    for session in session_lists:
-        last_write: Dict[int, int] = {}
-        for t3 in session:
-            if not committed[t3]:
-                continue
-            reads = _external_good_reads(ch, t3, bad_ops)
-
-            reader_of_key: Dict[int, int] = {}
-            distinct_writers: List[int] = []
-            seen_writers: Set[int] = set()
-            for _po, key, writer in reads:
-                reader_of_key.setdefault(key, writer)
-                if writer not in seen_writers:
-                    seen_writers.add(writer)
-                    distinct_writers.append(writer)
-
-            # Case t2 -so-> t3.
-            for _po, key, t1 in reads:
-                t2 = last_write.get(key)
-                if t2 is not None and t2 != t1:
-                    co_append((t2 << EDGE_SHIFT) | t1)
-                    cok_append(key)
-
-            # Case t2 -wr-> t3: intersect written keys with read keys,
-            # iterating the smaller side in deterministic order.
-            for t2 in distinct_writers:
-                lo, hi = kw_start[t2], kw_start[t2 + 1]
-                if hi - lo <= len(reader_of_key):
-                    candidates = [x for x in kw_key[lo:hi] if x in reader_of_key]
-                else:
-                    kw_set = ch.keys_written_set(t2)
-                    candidates = [x for x in reader_of_key if x in kw_set]
-                for x in candidates:
-                    t1 = reader_of_key[x]
-                    if t1 != t2:
-                        co_append((t2 << EDGE_SHIFT) | t1)
-                        cok_append(x)
-
-            for x in kw_key[kw_start[t3] : kw_start[t3 + 1]]:
-                last_write[x] = t3
-
-
 def check_ra_compiled(
     ch: CompiledHistory,
     max_witnesses: Optional[int] = None,
@@ -495,7 +358,7 @@ def check_ra_compiled(
     watch.lap("repeatable_reads")
 
     relation = _relation_from_compiled(ch)
-    saturate_ra_compiled(ch, relation, report.bad_ops)
+    kernel = saturate_ra_compiled(ch, relation, report.bad_ops)
     watch.lap("saturation")
 
     violations.extend(relation.find_cycles(max_witnesses=max_witnesses))
@@ -510,6 +373,7 @@ def check_ra_compiled(
         stats={
             "inferred_edges": relation.num_inferred_edges,
             "co_edges": relation.num_edges,
+            "saturation_kernel": kernel,
             **relation.timings,
         },
     )
@@ -672,154 +536,6 @@ def compute_happens_before_compiled(
     return hb, []
 
 
-def _writers_by_key_compiled(
-    ch: CompiledHistory,
-) -> Tuple[List[Optional[List[Tuple[int, List[int], List[int], int, int]]]], int]:
-    """``Writes_s[x]`` indexed by key id (mirror of ``_writers_by_key_per_session``).
-
-    Returns ``(buckets, num_buckets)``.  Each bucket entry is ``(session,
-    writer_tids, writer_session_indices, len(writer_tids), bucket_id)`` --
-    the length is precomputed for the saturation loop, and ``bucket_id`` is a
-    dense index over all ``(key, session)`` buckets so the saturation's
-    monotone pointers can live in flat arrays instead of dicts.
-    """
-    writes: List[Optional[List[Tuple[int, List[int], List[int], int, int]]]] = [
-        None
-    ] * ch.num_keys
-    committed = ch.txn_committed
-    txn_session_index = ch.txn_session_index
-    kw_start = ch._kw_start
-    kw_key = ch._kw_key
-    num_buckets = 0
-    for sid, session in enumerate(ch.sessions):
-        per_key: Dict[int, List[int]] = {}
-        for tid in session:
-            if not committed[tid]:
-                continue
-            for key in kw_key[kw_start[tid] : kw_start[tid + 1]]:
-                per_key.setdefault(key, []).append(tid)
-        for key, tids in per_key.items():
-            indices = [txn_session_index[tid] for tid in tids]
-            bucket = writes[key]
-            if bucket is None:
-                bucket = []
-                writes[key] = bucket
-            bucket.append((sid, tids, indices, len(tids), num_buckets))
-            num_buckets += 1
-    return writes, num_buckets
-
-
-def saturate_cc_compiled(
-    ch: CompiledHistory,
-    relation: CommitRelation,
-    hb,
-    bad_ops: Set[int],
-    sessions: Optional[Sequence[int]] = None,
-    writers_by_key: Optional[Tuple[List, int]] = None,
-    scratch: Optional[Tuple["array", "array", List[int]]] = None,
-) -> None:
-    """CC saturation on the IR (mirror of ``saturate_cc``).
-
-    The per-(session, key) monotone pointers live in two flat ``array('q')``
-    rows indexed by the dense bucket ids of :func:`_writers_by_key_compiled`
-    -- a C-level indexed read per probe, where a dict of packed
-    ``(ptr << EDGE_SHIFT) | t2`` values would box a fresh big int per
-    pointer advance.  Only the slots a session actually touched are reset
-    between sessions, so sessions with few reads stay cheap.
-
-    ``sessions`` restricts the pass to the given dense session indices (the
-    pointer state resets per session, so restricted runs compose like
-    :func:`saturate_ra_compiled`); ``hb`` only needs to support ``hb[tid]``
-    for the restricted transactions (a dict of clocks works for shard
-    workers).  ``writers_by_key`` injects a precomputed
-    :func:`_writers_by_key_compiled` result -- it depends only on the IR, so
-    shard workers compute it once per process and reuse it across tasks.
-    ``scratch`` injects the ``(ptrs, t2s, touched)`` pointer state to reuse
-    across calls: the arrays must be sized ``num_buckets`` and pristine
-    (zeros / -1 / empty); the function leaves them pristine again on return,
-    so shard workers making one call per session allocate them once instead
-    of re-zeroing ``O(num_buckets)`` memory per session.
-    """
-    if writers_by_key is None:
-        writers_by_key = _writers_by_key_compiled(ch)
-    writers_index, num_buckets = writers_by_key
-    if ch.num_transactions > (1 << 31):
-        # The t2 scratch row stores writers pre-shifted by EDGE_SHIFT in a
-        # signed array('q'); a tid >= 2^31 would overflow the store deep in
-        # the loop below, so reject it here with the cause attached.
-        raise ValueError(
-            "CC saturation's pre-shifted writer rows support at most "
-            f"2^31 transactions; got {ch.num_transactions}"
-        )
-    committed = ch.txn_committed
-    xr_start = ch._xr_start
-    xr_po = ch._xr_po
-    xr_key = ch._xr_key
-    xr_writer = ch._xr_writer
-    txn_start = ch.txn_start
-    # This loop attempts an edge per (read, writing-session) pair; each
-    # attempt is at most two raw appends into the relation's co log (the
-    # freeze collapses the duplicates).  The monotone pointer (ptr) and the
-    # hb-latest writer per bucket live in the two flat rows below; a stored
-    # ptr is always >= 1, so ptr == 0 doubles as the "never touched" marker
-    # the reset pass relies on.  The t2 row stores the writer *pre-shifted*
-    # (``t2 << EDGE_SHIFT``): the packed edge is then a single bitwise-or
-    # against the read's writer, and -1 still flags "no hb-latest writer".
-    co_append = relation._co_log.append
-    cok_append = relation._co_keys.append
-    check_bad = bool(bad_ops)
-    if scratch is None:
-        ptrs = array("q", bytes(8 * num_buckets))
-        t2s = array("q", [-1]) * num_buckets
-        touched: List[int] = []
-    else:
-        ptrs, t2s, touched = scratch
-
-    session_lists = (
-        ch.sessions if sessions is None else [ch.sessions[sid] for sid in sessions]
-    )
-    for session in session_lists:
-        for t3 in session:
-            if not committed[t3]:
-                continue
-            clock = hb[t3]
-            if clock is None:
-                continue
-            base = txn_start[t3]
-            for j in range(xr_start[t3], xr_start[t3 + 1]):
-                if check_bad and base + xr_po[j] in bad_ops:
-                    continue
-                t1 = xr_writer[j]
-                if not committed[t1]:
-                    continue
-                key = xr_key[j]
-                key_writers = writers_index[key]
-                if not key_writers:
-                    continue
-                t1s = t1 << EDGE_SHIFT
-                for other, writer_list, writer_indices, count, bid in key_writers:
-                    ptr = ptrs[bid]
-                    bound = clock[other]
-                    if ptr < count and writer_indices[ptr] <= bound:
-                        while ptr < count and writer_indices[ptr] <= bound:
-                            ptr += 1
-                        t2s_val = writer_list[ptr - 1] << EDGE_SHIFT
-                        if not ptrs[bid]:
-                            touched.append(bid)
-                        ptrs[bid] = ptr
-                        t2s[bid] = t2s_val
-                    else:
-                        t2s_val = t2s[bid]
-                    if t2s_val >= 0 and t2s_val != t1s:
-                        co_append(t2s_val | t1)
-                        cok_append(key)
-        # Pointer state is per-session: clear only the touched slots.
-        for bid in touched:
-            ptrs[bid] = 0
-            t2s[bid] = -1
-        del touched[:]
-
-
 def check_cc_compiled(
     ch: CompiledHistory,
     max_witnesses: Optional[int] = None,
@@ -841,7 +557,7 @@ def check_cc_compiled(
         )
 
     relation = _relation_from_compiled(ch)
-    saturate_cc_compiled(ch, relation, hb, report.bad_ops)
+    kernel = saturate_cc_compiled(ch, relation, hb, report.bad_ops)
     watch.lap("saturation")
 
     violations.extend(relation.find_cycles(max_witnesses=max_witnesses))
@@ -856,6 +572,7 @@ def check_cc_compiled(
         stats={
             "inferred_edges": relation.num_inferred_edges,
             "co_edges": relation.num_edges,
+            "saturation_kernel": kernel,
             **relation.timings,
         },
     )

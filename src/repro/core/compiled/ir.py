@@ -148,6 +148,7 @@ class CompiledHistory:
         "_xr_key",
         "_xr_writer",
         "_kw_sets",
+        "_kernel_cache",
     )
 
     def __init__(self) -> None:
@@ -181,6 +182,10 @@ class CompiledHistory:
         self._xr_key: List[int] = []
         self._xr_writer: List[int] = []
         self._kw_sets: List[Optional[frozenset]] = []
+        #: Lazy per-IR cache for the vectorized saturation kernels
+        #: (:mod:`repro.core.compiled.kernels`); the IR is immutable once
+        #: frozen, so derived numpy indexes are built at most once.
+        self._kernel_cache: Optional[Dict[str, object]] = None
 
     # -- sizes ----------------------------------------------------------------
 

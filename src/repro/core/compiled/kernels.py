@@ -1,0 +1,714 @@
+"""Saturation kernels: one vectorized core for batch, streaming, and shards.
+
+The profile after the CSR relation core (``BENCH_5.json``/``BENCH_6.json``)
+put the remaining batch cost almost entirely in the saturation loops of
+:mod:`repro.core.compiled.checkers` -- interpreted Python over the IR's flat
+rows, ~470k per-(session, key) slot visits on the fig9 log -- and the online
+fold's clock-join runs the very same loop shape.  This module is the single
+home of those loops now: every consumer (batch checkers, shard workers via
+``sessions=``/``tid_range=`` restrictions, and the online fold's deferred
+probe flush) dispatches here.
+
+Each kernel exists twice, selected exactly like :func:`repro.graph.csr.freeze_packed`:
+
+* a **vectorized** implementation over numpy views of the IR's parallel
+  arrays, used when numpy imports, the ``AWDIT_NO_NUMPY`` env flag is unset,
+  and the input is large enough to amortize array setup
+  (``_MIN_VECTOR_READS``); and
+* a **pure-Python fallback** -- the original interpreted loops, moved here
+  verbatim -- used everywhere else.
+
+Both produce byte-identical packed-edge logs in the identical order, so
+verdicts, violation lists, and witness renderings never depend on which ran
+(property-tested in ``tests/test_kernels.py``).  The key argument for the CC
+kernel: along one session the happens-before clocks are monotone
+(``hb[t3'][s] >= hb[t3][s]`` for ``t3'`` after ``t3``), so the fallback's
+memoized monotone pointer per (key, session) bucket always lands on *the
+latest writer with session index <= clock bound* -- a stateless query the
+vectorized path answers for every probe at once with one ``searchsorted``
+against a flat sorted writer index.
+
+Two 32-bit boundaries shape the vectorized encodings (mirroring the packed
+edges of :mod:`repro.graph.csr`):
+
+* packed edges ``(t2 << EDGE_SHIFT) | t1`` are built in ``uint64`` -- a
+  signed intermediate would flip sign for ``t2 >= 2^31``; and
+* the writer index is probed through a composite ``bucket * 2^32 + sidx``
+  key.  The span must be ``2^32`` (not ``2^31``): a probe carrying the
+  "empty clock" bound ``-1`` sits at ``bucket * span - 1``, and only a span
+  strictly above every possible session index keeps that probe below the
+  previous bucket's largest entry.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.commit import CommitRelation
+from repro.core.compiled.ir import CompiledHistory
+from repro.graph.digraph import EDGE_SHIFT
+
+try:  # pragma: no cover - exercised implicitly by every test run
+    import numpy as _np
+except ImportError:  # pragma: no cover - CI runners without numpy
+    _np = None
+if os.environ.get("AWDIT_NO_NUMPY"):
+    # Forces the pure-Python fallbacks even where numpy is installed, so the
+    # fallback kernels are testable on any machine (the CI leg sets this).
+    _np = None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "kernel_impl",
+    "saturate_rc_compiled",
+    "saturate_ra_compiled",
+    "saturate_cc_compiled",
+]
+
+#: Whether the vectorized kernels are selectable in this process.
+HAVE_NUMPY = _np is not None
+
+#: Below this many external reads the numpy array setup costs more than the
+#: interpreted loop it replaces; both paths are bit-identical, so the cutoff
+#: is pure tuning (tests pin it to 0 to force the vectorized path).
+_MIN_VECTOR_READS = 192
+
+#: Composite writer-index span: ``bucket * _SIDX_SPAN + session_index``.
+#: Must exceed every session index (< 2^31, see the transaction-count guard
+#: in :func:`saturate_cc_compiled`) *strictly*, so a ``bound = -1`` probe
+#: cannot collide with the previous bucket's last entry; see module docstring.
+_SIDX_SPAN = 1 << 32
+
+#: Bucket ids above this would overflow the int64 composite; such histories
+#: (>2^31 distinct (key, session) writer buckets) take the fallback.
+_MAX_BUCKETS = 1 << 31
+
+_UNSET = object()
+
+
+def kernel_impl() -> str:
+    """Which kernel family this process selects for large inputs."""
+    return "vectorized" if _np is not None else "fallback"
+
+
+# -- shared read gathering -----------------------------------------------------
+
+
+def _external_good_reads(
+    ch: CompiledHistory, tid: int, bad_ops: Set[int]
+) -> List[Tuple[int, int, int]]:
+    """Good external committed reads of ``tid``: ``(po, key_id, writer_tid)``."""
+    xr_start = ch._xr_start
+    xr_po = ch._xr_po
+    xr_key = ch._xr_key
+    xr_writer = ch._xr_writer
+    committed = ch.txn_committed
+    check_bad = bool(bad_ops)  # empty on clean histories; skip the arithmetic
+    base = ch.txn_start[tid]
+    result: List[Tuple[int, int, int]] = []
+    for j in range(xr_start[tid], xr_start[tid + 1]):
+        if check_bad and base + xr_po[j] in bad_ops:
+            continue
+        writer = xr_writer[j]
+        if not committed[writer]:
+            continue
+        result.append((xr_po[j], xr_key[j], writer))
+    return result
+
+
+def _xr_span(ch: CompiledHistory, tids) -> int:
+    """Total external-read rows of ``tids`` (the vectorization size metric)."""
+    xr_start = ch._xr_start
+    return sum(xr_start[tid + 1] - xr_start[tid] for tid in tids)
+
+
+def _gather_good_reads(ch: CompiledHistory, bad_ops: Set[int], tid_list):
+    """Vectorized :func:`_external_good_reads` over many transactions at once.
+
+    Returns ``(starts, po, key, writer)``: three flat Python lists of the
+    surviving reads in transaction-major program order, plus the per-position
+    offsets aligned to ``tid_list`` (transaction ``tid_list[i]``'s reads are
+    rows ``starts[i]:starts[i+1]``).  The classification -- drop bad reads,
+    drop uncommitted writers -- runs as one boolean mask over the ``xr_*``
+    columns instead of a Python conditional per read.
+    """
+    np = _np
+    tids = np.asarray(tid_list, dtype=np.int64)
+    xr_start = np.frombuffer(ch._xr_start, dtype=np.int64)
+    starts = xr_start[tids]
+    counts = xr_start[tids + 1] - starts
+    total = int(counts.sum())
+    n = tids.shape[0]
+    if total == 0:
+        return [0] * (n + 1), [], [], []
+    row_of = np.repeat(np.arange(n, dtype=np.int64), counts)
+    base = np.cumsum(counts) - counts
+    pos = np.arange(total, dtype=np.int64) - base[row_of] + starts[row_of]
+    po = np.asarray(ch._xr_po, dtype=np.int64)[pos]
+    writer = np.asarray(ch._xr_writer, dtype=np.int64)[pos]
+    committed = np.frombuffer(ch.txn_committed, dtype=np.uint8)
+    good = committed[writer] != 0
+    if bad_ops:
+        txn_start = np.frombuffer(ch.txn_start, dtype=np.int64)
+        opidx = txn_start[tids][row_of] + po
+        bad = np.fromiter(bad_ops, dtype=np.int64, count=len(bad_ops))
+        good &= ~np.isin(opidx, bad)
+    key = np.asarray(ch._xr_key, dtype=np.int64)[pos]
+    if not good.all():
+        row_of = row_of[good]
+        po = po[good]
+        key = key[good]
+        writer = writer[good]
+    good_counts = np.bincount(row_of, minlength=n)
+    starts_out = np.empty(n + 1, dtype=np.int64)
+    starts_out[0] = 0
+    np.cumsum(good_counts, out=starts_out[1:])
+    return starts_out.tolist(), po.tolist(), key.tolist(), writer.tolist()
+
+
+# -- RC (Algorithm 1) ----------------------------------------------------------
+
+
+def saturate_rc_compiled(
+    ch: CompiledHistory,
+    relation: CommitRelation,
+    bad_ops: Set[int],
+    tid_range: Optional[Tuple[int, int]] = None,
+) -> str:
+    """Algorithm 1's main loop on the IR (mirror of ``saturate_rc``).
+
+    ``tid_range`` restricts saturation to the reads of transactions
+    ``[lo, hi)``; the per-transaction state (``earliest``, ``read_keys``) is
+    local, so chunked runs emit exactly the edges of a full run, in the same
+    per-transaction order.
+
+    Returns the kernel implementation that ran (``"vectorized"`` /
+    ``"fallback"``).  The vectorized side batches the read classification
+    (:func:`_gather_good_reads`); the per-transaction backward pass stays
+    interpreted -- its state is tiny and order-critical.
+    """
+    committed = ch.txn_committed
+    kw_start = ch._kw_start
+    kw_key = ch._kw_key
+    # Every inferred edge is two raw appends into the relation's co log
+    # (packed edge + key id); dedup and labels happen at freeze.
+    co_append = relation._co_log.append
+    cok_append = relation._co_keys.append
+    lo_tid, hi_tid = tid_range if tid_range is not None else (0, ch.num_transactions)
+    gathered = None
+    span = ch._xr_start[hi_tid] - ch._xr_start[lo_tid]
+    if _np is not None and span >= _MIN_VECTOR_READS:
+        gathered = _gather_good_reads(ch, bad_ops, _np.arange(lo_tid, hi_tid))
+    for tid in range(lo_tid, hi_tid):
+        if not committed[tid]:
+            continue
+        if gathered is None:
+            reads = _external_good_reads(ch, tid, bad_ops)
+        else:
+            g_starts, g_po, g_key, g_writer = gathered
+            a, b = g_starts[tid - lo_tid], g_starts[tid - lo_tid + 1]
+            reads = list(zip(g_po[a:b], g_key[a:b], g_writer[a:b]))
+        if not reads:
+            continue
+
+        # Forward pass: record the po-first read of each observed transaction.
+        seen_txns: Set[int] = set()
+        first_txn_reads: Set[int] = set()
+        for po, _key, writer in reads:
+            if writer not in seen_txns:
+                seen_txns.add(writer)
+                first_txn_reads.add(po)
+
+        # Backward pass (see saturate_rc for the invariants; read_keys is a
+        # dict so the smaller-side iteration below is deterministic).
+        earliest: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+        read_keys: Dict[int, None] = {}
+        for po, key, t2 in reversed(reads):
+            if po in first_txn_reads:
+                lo, hi = kw_start[t2], kw_start[t2 + 1]
+                if hi - lo <= len(read_keys):
+                    candidates = [x for x in kw_key[lo:hi] if x in read_keys]
+                else:
+                    kw_set = ch.keys_written_set(t2)
+                    candidates = [x for x in read_keys if x in kw_set]
+                for x in candidates:
+                    older, newer = earliest[x]
+                    t1 = newer
+                    if t1 == t2:
+                        t1 = older
+                    if t1 is not None and t1 != t2:
+                        co_append((t2 << EDGE_SHIFT) | t1)
+                        cok_append(x)
+            pair = earliest.get(key)
+            if pair is None:
+                earliest[key] = (None, t2)
+            elif pair[1] != t2:
+                earliest[key] = (pair[1], t2)
+            read_keys[key] = None
+    return "fallback" if gathered is None else "vectorized"
+
+
+# -- RA (Algorithm 2) ----------------------------------------------------------
+
+
+def saturate_ra_compiled(
+    ch: CompiledHistory,
+    relation: CommitRelation,
+    bad_ops: Set[int],
+    sessions: Optional[Sequence[int]] = None,
+) -> str:
+    """Algorithm 2's saturation on the IR (mirror of ``saturate_ra``).
+
+    ``sessions`` restricts the pass to the given dense session indices; the
+    RA frontier (``last_write``) resets per session, so a session-restricted
+    run emits exactly that session's edges of a full run, in order.  Returns
+    the kernel implementation that ran, as in :func:`saturate_rc_compiled`.
+    """
+    committed = ch.txn_committed
+    kw_start = ch._kw_start
+    kw_key = ch._kw_key
+    # Raw co-log appends, as in saturate_rc_compiled.
+    co_append = relation._co_log.append
+    cok_append = relation._co_keys.append
+    session_lists = (
+        ch.sessions if sessions is None else [ch.sessions[sid] for sid in sessions]
+    )
+    all_t3 = [t3 for session in session_lists for t3 in session]
+    gathered = None
+    if _np is not None and _xr_span(ch, all_t3) >= _MIN_VECTOR_READS:
+        gathered = _gather_good_reads(ch, bad_ops, all_t3)
+    position = 0
+    for session in session_lists:
+        last_write: Dict[int, int] = {}
+        for t3 in session:
+            p = position
+            position += 1
+            if not committed[t3]:
+                continue
+            if gathered is None:
+                reads = _external_good_reads(ch, t3, bad_ops)
+            else:
+                g_starts, g_po, g_key, g_writer = gathered
+                a, b = g_starts[p], g_starts[p + 1]
+                reads = list(zip(g_po[a:b], g_key[a:b], g_writer[a:b]))
+
+            reader_of_key: Dict[int, int] = {}
+            distinct_writers: List[int] = []
+            seen_writers: Set[int] = set()
+            for _po, key, writer in reads:
+                reader_of_key.setdefault(key, writer)
+                if writer not in seen_writers:
+                    seen_writers.add(writer)
+                    distinct_writers.append(writer)
+
+            # Case t2 -so-> t3.
+            for _po, key, t1 in reads:
+                t2 = last_write.get(key)
+                if t2 is not None and t2 != t1:
+                    co_append((t2 << EDGE_SHIFT) | t1)
+                    cok_append(key)
+
+            # Case t2 -wr-> t3: intersect written keys with read keys,
+            # iterating the smaller side in deterministic order.
+            for t2 in distinct_writers:
+                lo, hi = kw_start[t2], kw_start[t2 + 1]
+                if hi - lo <= len(reader_of_key):
+                    candidates = [x for x in kw_key[lo:hi] if x in reader_of_key]
+                else:
+                    kw_set = ch.keys_written_set(t2)
+                    candidates = [x for x in reader_of_key if x in kw_set]
+                for x in candidates:
+                    t1 = reader_of_key[x]
+                    if t1 != t2:
+                        co_append((t2 << EDGE_SHIFT) | t1)
+                        cok_append(x)
+
+            for x in kw_key[kw_start[t3] : kw_start[t3 + 1]]:
+                last_write[x] = t3
+    return "fallback" if gathered is None else "vectorized"
+
+
+# -- CC (Algorithm 3) ----------------------------------------------------------
+
+
+def _writers_by_key_compiled(
+    ch: CompiledHistory,
+) -> Tuple[List[Optional[List[Tuple[int, List[int], List[int], int, int]]]], int]:
+    """``Writes_s[x]`` indexed by key id (mirror of ``_writers_by_key_per_session``).
+
+    Returns ``(buckets, num_buckets)``.  Each bucket entry is ``(session,
+    writer_tids, writer_session_indices, len(writer_tids), bucket_id)`` --
+    the length is precomputed for the saturation loop, and ``bucket_id`` is a
+    dense index over all ``(key, session)`` buckets so the saturation's
+    monotone pointers can live in flat arrays instead of dicts.
+    """
+    writes: List[Optional[List[Tuple[int, List[int], List[int], int, int]]]] = [
+        None
+    ] * ch.num_keys
+    committed = ch.txn_committed
+    txn_session_index = ch.txn_session_index
+    kw_start = ch._kw_start
+    kw_key = ch._kw_key
+    num_buckets = 0
+    for sid, session in enumerate(ch.sessions):
+        per_key: Dict[int, List[int]] = {}
+        for tid in session:
+            if not committed[tid]:
+                continue
+            for key in kw_key[kw_start[tid] : kw_start[tid + 1]]:
+                per_key.setdefault(key, []).append(tid)
+        for key, tids in per_key.items():
+            indices = [txn_session_index[tid] for tid in tids]
+            bucket = writes[key]
+            if bucket is None:
+                bucket = []
+                writes[key] = bucket
+            bucket.append((sid, tids, indices, len(tids), num_buckets))
+            num_buckets += 1
+    return writes, num_buckets
+
+
+class _CCIndex:
+    """Flat writer index for the vectorized CC kernel.
+
+    ``wb_comp`` holds one int64 per committed (writer, key) pair, sorted by
+    the composite ``bucket_id * _SIDX_SPAN + session_index`` (buckets are
+    dense ids over the (key, session) pairs that write the key, numbered in
+    (key, session)-ascending order -- the same per-key session order the
+    fallback's bucket lists use).  ``wb_tid`` is the aligned writer id.  A
+    probe "latest writer of bucket b with session index <= bound" is then
+    ``searchsorted(wb_comp, b * span + bound, side='right')``, a hit iff the
+    insertion point is past ``bucket_start[b]``.
+    """
+
+    __slots__ = (
+        "xr_start",
+        "xr_po",
+        "xr_key",
+        "xr_writer",
+        "txn_start",
+        "committed",
+        "wb_comp",
+        "wb_tid",
+        "bucket_start",
+        "bucket_sid",
+        "key_bucket_start",
+        "key_bucket_count",
+        "num_buckets",
+    )
+
+
+def _build_cc_index(ch: CompiledHistory) -> Optional[_CCIndex]:
+    """Build the flat writer index, or ``None`` when the encoding can't hold.
+
+    Returns ``None`` (fallback territory) when the composite would overflow
+    int64 (``>= 2^31`` buckets / huge ``key * num_sessions`` products) or
+    when session lists are not ascending in transaction id -- the IR builders
+    always produce ascending sessions, but a hand-built ``History`` may not,
+    and the writer rows must be session-ordered for ``searchsorted``.
+    """
+    np = _np
+    num_txn = ch.num_transactions
+    num_keys = ch.num_keys
+    k = ch.num_sessions
+    idx = _CCIndex()
+    idx.xr_start = np.frombuffer(ch._xr_start, dtype=np.int64)
+    idx.xr_po = np.asarray(ch._xr_po, dtype=np.int64)
+    idx.xr_key = np.asarray(ch._xr_key, dtype=np.int64)
+    idx.xr_writer = np.asarray(ch._xr_writer, dtype=np.int64)
+    idx.txn_start = np.frombuffer(ch.txn_start, dtype=np.int64)
+    idx.committed = np.frombuffer(ch.txn_committed, dtype=np.uint8) != 0
+
+    kw_key = np.frombuffer(ch._kw_key, dtype=np.int64)
+    total = kw_key.shape[0]
+    if total == 0 or num_keys == 0 or k == 0:
+        idx.wb_comp = np.zeros(0, dtype=np.int64)
+        idx.wb_tid = np.zeros(0, dtype=np.int64)
+        idx.bucket_start = np.zeros(0, dtype=np.int64)
+        idx.bucket_sid = np.zeros(0, dtype=np.int64)
+        idx.key_bucket_start = np.zeros(num_keys, dtype=np.int64)
+        idx.key_bucket_count = np.zeros(num_keys, dtype=np.int64)
+        idx.num_buckets = 0
+        return idx
+    if num_keys > (1 << 62) // max(k, 1):
+        return None
+
+    # One row per (committed writer, distinct written key).  The IR only
+    # materializes kw rows for committed transactions (aborted ones get empty
+    # slices in _freeze), so no committed filter is needed here.
+    kw_start = np.frombuffer(ch._kw_start, dtype=np.int64)
+    counts = np.diff(kw_start)
+    tid_of = np.repeat(np.arange(num_txn, dtype=np.int64), counts)
+    sid_of = np.frombuffer(ch.txn_session, dtype=np.int64)[tid_of]
+    sidx_of = np.frombuffer(ch.txn_session_index, dtype=np.int64)[tid_of]
+
+    # Group rows into (key, session) buckets; the stable sort keeps writers
+    # in transaction order within each bucket, which for builder-produced
+    # IRs is exactly session order (ascending session index).
+    group = kw_key * k + sid_of
+    order = np.argsort(group, kind="stable")
+    g_sorted = group[order]
+    boundary = np.empty(total, dtype=bool)
+    boundary[0] = True
+    np.not_equal(g_sorted[1:], g_sorted[:-1], out=boundary[1:])
+    bucket_of = np.cumsum(boundary) - 1
+    num_buckets = int(bucket_of[-1]) + 1
+    if num_buckets >= _MAX_BUCKETS:
+        return None
+    first_rows = np.flatnonzero(boundary)
+    bucket_key = kw_key[order[first_rows]]
+    bucket_sid = sid_of[order[first_rows]]
+    key_bucket_count = np.bincount(bucket_key, minlength=num_keys)
+    wb_comp = bucket_of * _SIDX_SPAN + sidx_of[order]
+    if not np.all(wb_comp[1:] > wb_comp[:-1]):
+        # Non-ascending session lists (exotic hand-built histories): the
+        # fallback's per-session pointer walk handles any order.
+        return None
+
+    idx.wb_comp = wb_comp
+    idx.wb_tid = tid_of[order]
+    idx.bucket_start = first_rows
+    idx.bucket_sid = bucket_sid
+    idx.key_bucket_count = key_bucket_count
+    kb_cum = np.cumsum(key_bucket_count)
+    idx.key_bucket_start = kb_cum - key_bucket_count
+    idx.num_buckets = num_buckets
+    return idx
+
+
+def _cc_index(ch: CompiledHistory) -> Optional[_CCIndex]:
+    """The cached :class:`_CCIndex` of ``ch`` (built at most once per IR)."""
+    cache = ch._kernel_cache
+    if cache is None:
+        cache = {}
+        ch._kernel_cache = cache
+    idx = cache.get("cc", _UNSET)
+    if idx is _UNSET:
+        idx = _build_cc_index(ch)
+        cache["cc"] = idx
+    return idx
+
+
+def _saturate_cc_vectorized(
+    ch: CompiledHistory,
+    idx: _CCIndex,
+    relation: CommitRelation,
+    hb,
+    bad_ops: Set[int],
+    session_lists: Sequence[Sequence[int]],
+) -> None:
+    """All CC edge attempts of ``session_lists`` in five batched passes.
+
+    Emission order matches the fallback exactly: transactions expand in
+    session-major order, each transaction's surviving reads in program
+    order, and each read's probes over its key's buckets in ascending
+    session order -- the masks preserve positions, so the filtered edge run
+    appends in the same sequence the interpreted loop's appends would.
+    """
+    np = _np
+    committed = ch.txn_committed
+    t3s: List[int] = []
+    rows: List[List[int]] = []
+    for session in session_lists:
+        for t3 in session:
+            if not committed[t3]:
+                continue
+            clock = hb[t3]
+            if clock is None:
+                continue
+            t3s.append(t3)
+            rows.append(clock)
+    if not t3s:
+        return
+    tids = np.asarray(t3s, dtype=np.int64)
+    clock_mat = np.asarray(rows, dtype=np.int64)
+
+    # Pass 1: expand every external read of the selected transactions.
+    starts = idx.xr_start[tids]
+    counts = idx.xr_start[tids + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return
+    row_of = np.repeat(np.arange(tids.shape[0], dtype=np.int64), counts)
+    base = np.cumsum(counts) - counts
+    pos = np.arange(total, dtype=np.int64) - base[row_of] + starts[row_of]
+
+    # Pass 2: classify (drop bad reads and uncommitted writers).
+    t1 = idx.xr_writer[pos]
+    good = idx.committed[t1]
+    if bad_ops:
+        opidx = idx.txn_start[tids][row_of] + idx.xr_po[pos]
+        bad = np.fromiter(bad_ops, dtype=np.int64, count=len(bad_ops))
+        good &= ~np.isin(opidx, bad)
+    if not good.all():
+        pos = pos[good]
+        row_of = row_of[good]
+        t1 = t1[good]
+    if pos.shape[0] == 0:
+        return
+    keys = idx.xr_key[pos]
+
+    # Pass 3: expand each read over its key's (key, session) writer buckets.
+    per_read = idx.key_bucket_count[keys]
+    total2 = int(per_read.sum())
+    if total2 == 0:
+        return
+    read_of = np.repeat(np.arange(keys.shape[0], dtype=np.int64), per_read)
+    base2 = np.cumsum(per_read) - per_read
+    probe_bucket = (
+        np.arange(total2, dtype=np.int64)
+        - base2[read_of]
+        + idx.key_bucket_start[keys][read_of]
+    )
+
+    # Pass 4: one searchsorted answers every "latest writer <= clock bound"
+    # query (the fallback's memoized monotone pointers compute exactly this;
+    # clocks are monotone along a session, so the memo never lags the query).
+    bound = clock_mat[row_of[read_of], idx.bucket_sid[probe_bucket]]
+    where = np.searchsorted(idx.wb_comp, probe_bucket * _SIDX_SPAN + bound, side="right")
+    has = where > idx.bucket_start[probe_bucket]
+    t2 = idx.wb_tid[np.maximum(where - 1, 0)]
+
+    # Pass 5: pack and append the surviving edges wholesale.
+    t1e = t1[read_of]
+    emit = has & (t2 != t1e)
+    if not emit.any():
+        return
+    packed = (t2[emit].astype(np.uint64) << np.uint64(EDGE_SHIFT)) | t1e[emit].astype(
+        np.uint64
+    )
+    relation._co_log.frombytes(packed.tobytes())
+    relation._co_keys.frombytes(keys[read_of[emit]].astype(np.int64).tobytes())
+
+
+def saturate_cc_compiled(
+    ch: CompiledHistory,
+    relation: CommitRelation,
+    hb,
+    bad_ops: Set[int],
+    sessions: Optional[Sequence[int]] = None,
+    writers_by_key: Optional[Tuple[List, int]] = None,
+    scratch: Optional[Tuple["array", "array", List[int]]] = None,
+) -> str:
+    """CC saturation on the IR (mirror of ``saturate_cc``).
+
+    Dispatches to the vectorized kernel (:func:`_saturate_cc_vectorized`)
+    when numpy is active and the selected transactions carry enough reads;
+    otherwise runs the interpreted monotone-pointer walk.  Both emit the
+    same packed edges in the same order; returns which implementation ran.
+
+    The per-(session, key) monotone pointers of the fallback live in two
+    flat ``array('q')`` rows indexed by the dense bucket ids of
+    :func:`_writers_by_key_compiled` -- a C-level indexed read per probe,
+    where a dict of packed ``(ptr << EDGE_SHIFT) | t2`` values would box a
+    fresh big int per pointer advance.  Only the slots a session actually
+    touched are reset between sessions, so sessions with few reads stay
+    cheap.
+
+    ``sessions`` restricts the pass to the given dense session indices (the
+    pointer state resets per session, so restricted runs compose like
+    :func:`saturate_ra_compiled`); ``hb`` only needs to support ``hb[tid]``
+    for the restricted transactions (a dict of clocks works for shard
+    workers).  ``writers_by_key`` injects a precomputed
+    :func:`_writers_by_key_compiled` result -- it depends only on the IR, so
+    shard workers compute it once per process and reuse it across tasks.
+    ``scratch`` injects the ``(ptrs, t2s, touched)`` pointer state to reuse
+    across calls: the arrays must be sized ``num_buckets`` and pristine
+    (zeros / -1 / empty); the function leaves them pristine again on return
+    -- the vectorized kernel simply never touches them -- so shard workers
+    making one call per session allocate them once instead of re-zeroing
+    ``O(num_buckets)`` memory per session.
+    """
+    if ch.num_transactions > (1 << 31):
+        # The t2 scratch row stores writers pre-shifted by EDGE_SHIFT in a
+        # signed array('q') (and the vectorized composite assumes session
+        # indices below 2^31); a tid >= 2^31 would overflow the store deep
+        # in the loop below, so reject it here with the cause attached.
+        raise ValueError(
+            "CC saturation's pre-shifted writer rows support at most "
+            f"2^31 transactions; got {ch.num_transactions}"
+        )
+    session_lists = (
+        ch.sessions if sessions is None else [ch.sessions[sid] for sid in sessions]
+    )
+    if (
+        _np is not None
+        and isinstance(relation._co_keys, array)
+        and _xr_span(ch, (t3 for session in session_lists for t3 in session))
+        >= _MIN_VECTOR_READS
+    ):
+        idx = _cc_index(ch)
+        if idx is not None:
+            _saturate_cc_vectorized(ch, idx, relation, hb, bad_ops, session_lists)
+            return "vectorized"
+
+    if writers_by_key is None:
+        writers_by_key = _writers_by_key_compiled(ch)
+    writers_index, num_buckets = writers_by_key
+    committed = ch.txn_committed
+    xr_start = ch._xr_start
+    xr_po = ch._xr_po
+    xr_key = ch._xr_key
+    xr_writer = ch._xr_writer
+    txn_start = ch.txn_start
+    # This loop attempts an edge per (read, writing-session) pair; each
+    # attempt is at most two raw appends into the relation's co log (the
+    # freeze collapses the duplicates).  The monotone pointer (ptr) and the
+    # hb-latest writer per bucket live in the two flat rows below; a stored
+    # ptr is always >= 1, so ptr == 0 doubles as the "never touched" marker
+    # the reset pass relies on.  The t2 row stores the writer *pre-shifted*
+    # (``t2 << EDGE_SHIFT``): the packed edge is then a single bitwise-or
+    # against the read's writer, and -1 still flags "no hb-latest writer".
+    co_append = relation._co_log.append
+    cok_append = relation._co_keys.append
+    check_bad = bool(bad_ops)
+    if scratch is None:
+        ptrs = array("q", bytes(8 * num_buckets))
+        t2s = array("q", [-1]) * num_buckets
+        touched: List[int] = []
+    else:
+        ptrs, t2s, touched = scratch
+
+    for session in session_lists:
+        for t3 in session:
+            if not committed[t3]:
+                continue
+            clock = hb[t3]
+            if clock is None:
+                continue
+            base = txn_start[t3]
+            for j in range(xr_start[t3], xr_start[t3 + 1]):
+                if check_bad and base + xr_po[j] in bad_ops:
+                    continue
+                t1 = xr_writer[j]
+                if not committed[t1]:
+                    continue
+                key = xr_key[j]
+                key_writers = writers_index[key]
+                if not key_writers:
+                    continue
+                t1s = t1 << EDGE_SHIFT
+                for other, writer_list, writer_indices, count, bid in key_writers:
+                    ptr = ptrs[bid]
+                    bound = clock[other]
+                    if ptr < count and writer_indices[ptr] <= bound:
+                        while ptr < count and writer_indices[ptr] <= bound:
+                            ptr += 1
+                        t2s_val = writer_list[ptr - 1] << EDGE_SHIFT
+                        if not ptrs[bid]:
+                            touched.append(bid)
+                        ptrs[bid] = ptr
+                        t2s[bid] = t2s_val
+                    else:
+                        t2s_val = t2s[bid]
+                    if t2s_val >= 0 and t2s_val != t1s:
+                        co_append(t2s_val | t1)
+                        cok_append(key)
+        # Pointer state is per-session: clear only the touched slots.
+        for bid in touched:
+            ptrs[bid] = 0
+            t2s[bid] = -1
+        del touched[:]
+    return "fallback"

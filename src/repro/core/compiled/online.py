@@ -82,6 +82,7 @@ from repro.core.violations import (
     Violation,
     ViolationKind,
 )
+from repro.core.compiled import kernels as _kernels
 from repro.graph.csr import freeze_packed
 from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT, pack_edge
 from repro.histories.formats._raw import DEFAULT_BATCH_OPS, RecordBatch
@@ -89,6 +90,9 @@ from repro.histories.formats._raw import DEFAULT_BATCH_OPS, RecordBatch
 try:  # pragma: no cover - exercised implicitly when numpy is present
     import numpy as _np
 except ImportError:  # pragma: no cover - CI runners without numpy
+    _np = None
+
+if os.environ.get("AWDIT_NO_NUMPY"):  # pragma: no cover - fallback CI leg
     _np = None
 
 __all__ = [
@@ -121,8 +125,13 @@ _KEY_SHIFT = 24
 #: duplicate-write-after-fold diagnostic (and the ``_fold_laps`` profile
 #: slot); version-2 checkpoints lack both attributes and would resume with
 #: the diagnostic silently disabled, so they are rejected.
+#: Version 4: CC edge-emission probes are deferred to a per-batch flush,
+#: adding the ``_cc_probe_pending`` queue and the ``_wb_bucket`` /
+#: ``_wb_sidx`` / ``_wb_tid`` writer-registry arrays the vectorized flush
+#: sorts; version-3 checkpoints lack all four and would resume with the
+#: flush silently skipping registered writers, so they are rejected.
 CHECKPOINT_MAGIC = b"AWDITCKPT"
-CHECKPOINT_VERSION = 3
+CHECKPOINT_VERSION = 4
 
 #: Bytes of file prefix hashed into the checkpoint source fingerprint.
 _FINGERPRINT_PREFIX = 1 << 16
@@ -286,6 +295,22 @@ class CompiledIncrementalChecker:
         self._cc_t2_rows: List[List[int]] = []
         self._cc_waiters: Dict[int, List[_Txn]] = {}
         self._hb: Dict[int, List[int]] = {}
+        #: Append-order mirror of every writer registration -- (bucket id,
+        #: session index, tid) rows the vectorized probe flush sorts into a
+        #: searchsorted-able composite (see ``_flush_cc_probes``); part of
+        #: the checkpoint format (``CHECKPOINT_VERSION`` 4).
+        self._wb_bucket = array("q")
+        self._wb_sidx = array("q")
+        self._wb_tid = array("q")
+        #: Transactions whose CC clock join ran but whose edge-emission
+        #: probes are deferred to the end of the batch, where one flush
+        #: answers them all (vectorized when numpy is on and the batch is
+        #: big enough, the scalar pointer loop otherwise).
+        self._cc_probe_pending: List[_Txn] = []
+        #: Flush-implementation tallies, surfaced as the
+        #: ``saturation_kernel`` stat (``--profile`` self-description).
+        self._flush_vectorized = 0
+        self._flush_scalar = 0
 
         # Recorded inferred edges, replayed in batch order at finalize.
         self._rc_log: Dict[int, int] = {}
@@ -513,6 +538,9 @@ class CompiledIncrementalChecker:
 
             if committed and cc_enabled and final_write:
                 num_buckets = self._num_buckets
+                wb_bucket_append = self._wb_bucket.append
+                wb_sidx_append = self._wb_sidx.append
+                wb_tid_append = self._wb_tid.append
                 for kid in rec.keys_written_ordered:
                     entry2 = writers_by_key.get(kid)
                     if entry2 is None:
@@ -529,6 +557,9 @@ class CompiledIncrementalChecker:
                         slots.insert(position, slot)
                     slot[0].append(tid)
                     slot[1].append(sidx)
+                    wb_bucket_append(slot[2])
+                    wb_sidx_append(sidx)
+                    wb_tid_append(tid)
                 self._num_buckets = num_buckets
 
             # A later-ordered duplicate write rebinds the resolved reads of
@@ -608,6 +639,17 @@ class CompiledIncrementalChecker:
                 self._advance_ra(sid)
                 self._advance_cc(sid)
 
+        if self._cc_probe_pending:
+            # Answer every CC probe deferred by _cc_process in one flush per
+            # batch; the time belongs to the clock_join lap (it *is* the
+            # saturation half of the CC work) and is therefore accounted
+            # before the classify subtraction below.
+            if laps is not None:
+                flush_mark = time.perf_counter()
+                self._flush_cc_probes()
+                laps["clock_join"] += time.perf_counter() - flush_mark
+            else:
+                self._flush_cc_probes()
         if laps is not None:
             # The fold loop is classification + frontier work; the CC clock
             # joins time themselves (into laps["clock_join"]), so subtract
@@ -702,6 +744,9 @@ class CompiledIncrementalChecker:
                     self._on_resolved(rec)
         self._pending.clear()
         self._num_parked = 0
+        # Thin-air resolution above may have advanced the CC frontier;
+        # answer any probes it deferred before the logs are replayed.
+        self._flush_cc_probes()
 
         if self._ra_enabled:
             for sid in range(len(self._by_session)):
@@ -726,6 +771,10 @@ class CompiledIncrementalChecker:
         self._cc_ptr_rows = []
         self._cc_t2_rows = []
         self._cc_waiters = {}
+        self._cc_probe_pending = []
+        self._wb_bucket = array("q")
+        self._wb_sidx = array("q")
+        self._wb_tid = array("q")
         self._ra_last_write = []
 
         results: Dict[IsolationLevel, CheckResult] = {}
@@ -814,6 +863,8 @@ class CompiledIncrementalChecker:
             "interned_values": len(self._value_table),
             "writes_index": len(self._writes),
             "cc_writer_buckets": self._num_buckets,
+            "cc_flushes_vectorized": self._flush_vectorized,
+            "cc_flushes_fallback": self._flush_scalar,
             "inferred_edge_log": (
                 len(self._rc_log)
                 + len(self._ra_log)
@@ -1274,12 +1325,51 @@ class CompiledIncrementalChecker:
                 clock[wsid] = wrec.sidx
         hb[rec.tid] = clock
 
-        ptr_row = self._cc_ptr_rows[rec_sid]
-        t2_row = self._cc_t2_rows[rec_sid]
+        # The edge-emission probes are *deferred* to a per-batch flush
+        # (_flush_cc_probes): the probe answer -- the latest registered
+        # writer at or below the clock bound -- is time-invariant once the
+        # clock is joined (every writer under the bound is in rec's causal
+        # past, so it registered before this point; later registrations sit
+        # strictly above the bound), so batching them loses nothing and
+        # lets one vectorized pass answer the whole batch.
+        if rec.good_reads:
+            self._cc_probe_pending.append(rec)
+
+        next_clock = list(clock)
+        if rec.sid >= len(next_clock):
+            next_clock.extend([-1] * (rec.sid + 1 - len(next_clock)))
+        if rec.sidx > next_clock[rec.sid]:
+            next_clock[rec.sid] = rec.sidx
+        self._session_clock[rec.sid] = next_clock
+
+        rec.cc_done = True
+        self._cc_backlog -= 1
+        waiters = self._cc_waiters.pop(rec.tid, None)
+        poke: List[int] = []
+        if waiters:
+            for waiter in waiters:
+                waiter.cc_pending -= 1
+                if waiter.cc_pending == 0:
+                    poke.append(waiter.sid)
+        return poke
+
+    def _cc_probe_scalar(self, rec: _Txn) -> None:
+        """Answer one transaction's deferred CC probes with the pointer loop.
+
+        The pre-deferral saturation half of ``_cc_process``, verbatim: the
+        monotone per-(reader session, bucket) pointer rows memoize the scan
+        frontier.  Bounds per (reader, writer) session pair only grow over
+        a session's life, so pointer state left lagging by a vectorized
+        flush (which never touches the rows) self-corrects on the next
+        scalar advance -- the rows are a cache of the stateless answer,
+        never ahead of it.
+        """
+        clock = self._hb[rec.tid]
+        ptr_row = self._cc_ptr_rows[rec.sid]
+        t2_row = self._cc_t2_rows[rec.sid]
         # Grow the flat pointer rows once per transaction to cover every
-        # bucket allocated so far (zeros = untouched, -1 = no writer);
-        # buckets are only created between frontier advances, so the slot
-        # loop below can index without a bounds check.
+        # bucket allocated so far (zeros = untouched, -1 = no writer), so
+        # the slot loop below can index without a bounds check.
         num_buckets = self._num_buckets
         if len(ptr_row) < num_buckets:
             grow = num_buckets - len(ptr_row)
@@ -1333,24 +1423,187 @@ class CompiledIncrementalChecker:
                         cc_log[edge] = meta
                     meta_base += meta_step
 
-        next_clock = list(clock)
-        if rec.sid >= len(next_clock):
-            next_clock.extend([-1] * (rec.sid + 1 - len(next_clock)))
-        if rec.sidx > next_clock[rec.sid]:
-            next_clock[rec.sid] = rec.sidx
-        self._session_clock[rec.sid] = next_clock
+    def _flush_cc_probes(self) -> None:
+        """Answer every CC probe deferred by ``_cc_process`` since last flush.
 
-        rec.cc_done = True
-        rec.good_reads = []
-        self._cc_backlog -= 1
-        waiters = self._cc_waiters.pop(rec.tid, None)
-        poke: List[int] = []
-        if waiters:
-            for waiter in waiters:
-                waiter.cc_pending -= 1
-                if waiter.cc_pending == 0:
-                    poke.append(waiter.sid)
-        return poke
+        Runs once per ``append_batch`` (and once in ``finalize``).  The
+        probe answer -- the latest registered writer at or below a clock
+        bound -- is stateless, so the vectorized path sorts the append-order
+        writer registry into a per-bucket ``bucket * 2^32 + sidx`` composite
+        and answers every (read, writer-session) probe of the batch with a
+        single ``searchsorted``, then reduces the per-edge minimum meta with
+        one lexsort before merging into the packed log.  The scalar metas
+        are reproduced exactly: the attempt counter advances only per
+        *emitted* attempt, and deferral can only add non-emitting probes
+        (any writer at or below a bound registered before the clock join
+        that produced the bound).  Falls back to the scalar pointer loop
+        when numpy is off, the batch is small, or a packing guard fails;
+        both paths are bit-identical.
+        """
+        pending = self._cc_probe_pending
+        if not pending:
+            return
+        self._cc_probe_pending = []
+        np = _np
+        total = 0
+        for rec in pending:
+            total += len(rec.good_reads)
+        use_vectorized = (
+            np is not None
+            and total >= _kernels._MIN_VECTOR_READS
+            and len(self._wb_bucket) > 0
+            # Composite packing head-room: bucket * 2^32 + sidx and the
+            # meta hi component ((sid << 24) | sidx, shifted 24) must both
+            # stay inside a signed int64.
+            and self._num_buckets < _kernels._MAX_BUCKETS
+            and len(self._by_session) < (1 << 15)
+        )
+        if not use_vectorized:
+            self._flush_scalar += 1
+            probe = self._cc_probe_scalar
+            for rec in pending:
+                if rec.good_reads:
+                    probe(rec)
+                rec.good_reads = []
+            return
+        self._flush_vectorized += 1
+
+        span = _kernels._SIDX_SPAN
+        wb_bucket = np.frombuffer(self._wb_bucket, dtype=np.int64)
+        wb_sidx = np.frombuffer(self._wb_sidx, dtype=np.int64)
+        wb_tid = np.frombuffer(self._wb_tid, dtype=np.int64)
+        order = np.argsort(wb_bucket, kind="stable")
+        # Stable sort keeps each bucket's rows in append order, which is
+        # arrival order, which is ascending sidx within a session -- so the
+        # composite is strictly ascending within every bucket.
+        comp_sorted = wb_bucket[order] * span + wb_sidx[order]
+        tid_sorted = wb_tid[order]
+        counts = np.bincount(wb_bucket, minlength=self._num_buckets)
+        bucket_start = np.cumsum(counts) - counts
+
+        # Gather the batch: one clock row per pending transaction, one row
+        # per good read, and a CSR of the flush-time slot lists of every
+        # distinct key probed.  Slots that appeared after a transaction's
+        # clock join hold only writers above its bounds (registration is
+        # arrival-ordered), so sharing the flush-time snapshot emits the
+        # same attempts the per-transaction loop would have.
+        k = len(self._by_session)
+        nrec = len(pending)
+        hb = self._hb
+        clock_mat = np.full((nrec, k), -1, dtype=np.int64)
+        rec_hi = np.empty(nrec, dtype=np.int64)
+        read_rec: List[int] = []
+        read_key: List[int] = []
+        read_t1: List[int] = []
+        read_kpos: List[int] = []
+        key_pos: Dict[int, int] = {}
+        key_start: List[int] = [0]
+        slot_bucket: List[int] = []
+        slot_sid: List[int] = []
+        writers_by_key = self._writers_by_key
+        for i, rec in enumerate(pending):
+            clock = hb[rec.tid]
+            clock_mat[i, : len(clock)] = clock
+            rec_hi[i] = _sort_base(rec.sid, rec.sidx)
+            for _index, key, t1 in rec.good_reads:
+                kp = key_pos.get(key)
+                if kp is None:
+                    kp = len(key_start) - 1
+                    key_pos[key] = kp
+                    entry = writers_by_key.get(key)
+                    if entry is not None:
+                        for _wl, _wi, bid, other in entry[1]:
+                            slot_bucket.append(bid)
+                            slot_sid.append(other)
+                    key_start.append(len(slot_bucket))
+                read_rec.append(i)
+                read_key.append(key)
+                read_t1.append(t1)
+                read_kpos.append(kp)
+
+        read_rec_a = np.asarray(read_rec, dtype=np.int64)
+        read_key_a = np.asarray(read_key, dtype=np.int64)
+        read_t1_a = np.asarray(read_t1, dtype=np.int64)
+        read_kpos_a = np.asarray(read_kpos, dtype=np.int64)
+        key_start_a = np.asarray(key_start, dtype=np.int64)
+        starts = key_start_a[read_kpos_a]
+        nslots = key_start_a[read_kpos_a + 1] - starts
+        total_probes = int(nslots.sum())
+        if total_probes == 0:
+            for rec in pending:
+                rec.good_reads = []
+            return
+        slot_bucket_a = np.asarray(slot_bucket, dtype=np.int64)
+        slot_sid_a = np.asarray(slot_sid, dtype=np.int64)
+
+        # Expand (read x slot) probe pairs and answer them all at once.
+        probe_read = np.repeat(
+            np.arange(read_rec_a.shape[0], dtype=np.int64), nslots
+        )
+        base = np.cumsum(nslots) - nslots
+        probe_slot = (
+            np.arange(total_probes, dtype=np.int64)
+            - base[probe_read]
+            + starts[probe_read]
+        )
+        probe_rec = read_rec_a[probe_read]
+        probe_bucket = slot_bucket_a[probe_slot]
+        bound = clock_mat[probe_rec, slot_sid_a[probe_slot]]
+        where = np.searchsorted(comp_sorted, probe_bucket * span + bound, side="right")
+        has = where > bucket_start[probe_bucket]
+        t2 = tid_sorted[np.maximum(where - 1, 0)]
+        t1_probe = read_t1_a[probe_read]
+        emit = has & (t2 != t1_probe)
+        if not emit.any():
+            for rec in pending:
+                rec.good_reads = []
+            return
+
+        # Emission metas: hi advances per emitted attempt within each
+        # transaction (probe order is read order is pending order, so the
+        # emitted rec indices are non-decreasing and bincount gives each
+        # transaction's attempt base).
+        t2_e = t2[emit]
+        t1_e = t1_probe[emit]
+        erec = probe_rec[emit]
+        ekey = read_key_a[probe_read[emit]]
+        ecounts = np.bincount(erec, minlength=nrec)
+        estarts = np.cumsum(ecounts) - ecounts
+        attempt = np.arange(erec.shape[0], dtype=np.int64) - estarts[erec]
+        if int(attempt.max()) >= (1 << _KEY_SHIFT):
+            # Meta hi head-room exhausted (2^24 emissions for a single
+            # transaction); the scalar loop's Python ints cannot overflow.
+            self._flush_vectorized -= 1
+            self._flush_scalar += 1
+            probe = self._cc_probe_scalar
+            for rec in pending:
+                if rec.good_reads:
+                    probe(rec)
+                rec.good_reads = []
+            return
+        hi = rec_hi[erec] + attempt
+        lo = ekey + 1
+        edges = (t2_e << EDGE_SHIFT) | t1_e
+
+        # Per-edge minimum meta via one lexsort (last key is primary), then
+        # merge first occurrences into the packed log.
+        order2 = np.lexsort((lo, hi, edges))
+        edges_sorted = edges[order2]
+        first = np.empty(edges_sorted.shape[0], dtype=bool)
+        first[0] = True
+        np.not_equal(edges_sorted[1:], edges_sorted[:-1], out=first[1:])
+        sel = order2[first]
+        cc_log = self._cc_log
+        cc_log_get = cc_log.get
+        for edge, h, low in zip(
+            edges[sel].tolist(), hi[sel].tolist(), lo[sel].tolist()
+        ):
+            meta = (h << EDGE_SHIFT) | low
+            current = cc_log_get(edge)
+            if current is None or meta < current:
+                cc_log[edge] = meta
+        for rec in pending:
+            rec.good_reads = []
 
     # -- finalize helpers --------------------------------------------------------
 
@@ -1500,6 +1753,15 @@ class CompiledIncrementalChecker:
                 stats["co_edges"] = relation.num_edges
             # freeze/acyclicity/witness wall laps, for `--stream --profile`.
             stats.update(relation.timings)
+        if self._flush_vectorized or self._flush_scalar:
+            # Which CC probe-flush implementation ran (bench snapshots and
+            # `--profile` are self-describing about the kernel in play).
+            if not self._flush_scalar:
+                stats["saturation_kernel"] = "vectorized"
+            elif not self._flush_vectorized:
+                stats["saturation_kernel"] = "fallback"
+            else:
+                stats["saturation_kernel"] = "mixed"
         return CheckResult(
             level=level,
             violations=violations,

@@ -26,6 +26,7 @@ equal outputs.
 
 from __future__ import annotations
 
+import os
 from array import array
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,11 @@ from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT
 try:  # pragma: no cover - exercised implicitly by every test run
     import numpy as _np
 except ImportError:  # pragma: no cover - CI runners without numpy
+    _np = None
+
+if os.environ.get("AWDIT_NO_NUMPY"):  # pragma: no cover - fallback CI leg
+    # Forces the pure-Python fallbacks even where numpy is installed, so
+    # the fallback kernels stay testable on every runner.
     _np = None
 
 __all__ = [

@@ -17,13 +17,16 @@ The sequentially-inherent phases (happens-before clocks, the ``so ∪ wr``
 relation build, Tarjan cycle extraction) stay in the parent -- the relation
 build is overlapped with worker compute where the dependency order allows.
 
-Workers run the *same* loop implementations as the single-process engine
-(the restriction parameters added to :mod:`repro.core.compiled.checkers`),
-each appending its inferred edges into a private scratch
-:class:`CommitRelation` co log (flat packed rows, nothing deduplicated
-worker-side); the parent concatenates the per-shard log slices in global
-transaction/session order -- one C-level ``extend`` per shard, no
-re-hashing -- which reproduces the sequential engine's log bit for bit.
+Workers run the *same* saturation kernels as the single-process engine
+(:mod:`repro.core.compiled.kernels`, via the restriction parameters --
+``tid_range=`` / ``sessions=`` -- the kernels honor), each appending its
+inferred edges into a private scratch :class:`CommitRelation` co log (flat
+packed rows, nothing deduplicated worker-side); the parent concatenates the
+per-shard log slices in global transaction/session order -- one C-level
+``extend`` per shard, no re-hashing -- which reproduces the sequential
+engine's log bit for bit.  The kernels pick vectorized or fallback per
+call, so large shards ride numpy inside the worker while the injected
+``scratch`` / ``writers_by_key`` state keeps the fallback allocation-free.
 Dedup, the inferred-edge count, and witness labels all happen at the
 relation's CSR freeze, exactly where the sequential run does them, so every
 witness matches a sequential run exactly.
@@ -48,18 +51,20 @@ from repro.core.compiled.checkers import (
     _compiled,
     _relation_from_compiled,
     _result,
-    _writers_by_key_compiled,
     check_all_levels_compiled,
     check_compiled,
     check_ra_single_session_compiled,
     check_read_consistency_compiled,
     check_repeatable_reads_compiled,
     compute_happens_before_compiled,
+)
+from repro.core.compiled.ir import CompiledHistory
+from repro.core.compiled.kernels import (
+    _writers_by_key_compiled,
     saturate_cc_compiled,
     saturate_ra_compiled,
     saturate_rc_compiled,
 )
-from repro.core.compiled.ir import CompiledHistory
 from repro.core.isolation import IsolationLevel
 from repro.core.result import CheckResult, Stopwatch
 from repro.core.violations import Violation
@@ -214,7 +219,8 @@ def _task_cc_saturation(
     num_buckets = writers_by_key[1]
     # One pointer-state scratch for the whole task: each per-session call
     # leaves it pristine, so the O(num_buckets) allocation happens once per
-    # task instead of once per session.
+    # task instead of once per session.  Only the fallback kernel touches
+    # it -- the vectorized kernel is stateless and ignores the scratch.
     scratch = (
         array("q", bytes(8 * num_buckets)),
         array("q", [-1]) * num_buckets,
