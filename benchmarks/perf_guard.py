@@ -1,10 +1,11 @@
 """CI perf-regression guard for the compiled CC hot paths.
 
-Re-measures compiled batch CC plus its saturation phase lap, and the
-compiled streaming CC pipeline plus its fold phase, all against
+Re-measures compiled batch CC plus its saturation phase lap against
 ``BENCH_7.json`` (the vectorized-saturation era numbers) on the 120k-op
-fig9-scale history, and fails (exit 1) when any of the four regresses
-more than ``TOLERANCE``.  Gating the saturation and fold laps on their
+fig9-scale history, and the compiled streaming CC pipeline plus its
+fold phase against ``BENCH_8.json`` (the retirement-era numbers) on the
+600k-op arrival-order stream that snapshot records, and fails (exit 1)
+when any of the four regresses more than ``TOLERANCE``.  Gating the saturation and fold laps on their
 own means a regression there cannot hide behind a happens-before or
 parse improvement -- the exact failure mode that would reappear if a
 kernel silently fell back to the pure-Python path (the guard also fails
@@ -41,8 +42,12 @@ from repro.core import IsolationLevel
 from repro.core.compiled import kernels
 from repro.core.compiled.checkers import check_cc_compiled
 from repro.core.compiled.ir import compile_history
-from repro.histories.formats import save_history
-from repro.histories.generator import RandomHistoryConfig, generate_random_history
+from repro.histories.formats import plume_text
+from repro.histories.generator import (
+    RandomHistoryConfig,
+    generate_random_history,
+    generate_random_stream,
+)
 from repro.shard.parallel import effective_cpus
 from repro.stream import check_stream_file
 
@@ -51,6 +56,7 @@ REPEATS = 3
 
 _ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
 BENCH7_PATH = os.path.abspath(os.path.join(_ROOT, "BENCH_7.json"))
+BENCH8_PATH = os.path.abspath(os.path.join(_ROOT, "BENCH_8.json"))
 
 
 def _best_of(fn, repeats: int = REPEATS) -> float:
@@ -70,26 +76,33 @@ def main() -> int:
 
     with open(BENCH7_PATH, encoding="utf-8") as handle:
         bench7 = json.load(handle)
+    with open(BENCH8_PATH, encoding="utf-8") as handle:
+        bench8 = json.load(handle)
     batch_baseline = bench7["check_cc_seconds"]["compiled_batch"]
     saturation_baseline = bench7["batch_cc_phase_seconds"]["saturation"]
-    stream_baseline = bench7["check_cc_seconds"]["compiled_stream_pipeline"]
-    fold_baseline = bench7["stream_fold_phase_seconds"]["fold"]
+    stream_baseline = bench8["check_cc_seconds"]["compiled_stream_pipeline"]
+    fold_baseline = bench8["stream_fold_phase_seconds"]["fold"]
 
     # Rescale the committed baselines to this machine's speed: the same
-    # calibration kernel ran when the snapshot was recorded, so the
-    # ratio cancels the hardware class out of the comparison.
+    # calibration kernel ran when each snapshot was recorded, so the
+    # ratio cancels the hardware class out of the comparison (BENCH_7
+    # and BENCH_8 each carry their own recorded calibration).
     local_cal = calibration_seconds()
-    recorded_cal = bench7.get("machine_calibration_seconds")
-    if recorded_cal:
+    for snapshot, name in ((bench7, "BENCH_7"), (bench8, "BENCH_8")):
+        recorded_cal = snapshot.get("machine_calibration_seconds")
+        if not recorded_cal:
+            continue
         scale = local_cal / recorded_cal
         print(
-            f"perf-guard: calibration {local_cal:.4f}s vs BENCH_7 "
+            f"perf-guard: calibration {local_cal:.4f}s vs {name} "
             f"{recorded_cal:.4f}s -> baseline scale {scale:.2f}x"
         )
-        batch_baseline *= scale
-        saturation_baseline *= scale
-        stream_baseline *= scale
-        fold_baseline *= scale
+        if snapshot is bench7:
+            batch_baseline *= scale
+            saturation_baseline *= scale
+        else:
+            stream_baseline *= scale
+            fold_baseline *= scale
 
     history = generate_random_history(
         RandomHistoryConfig(
@@ -105,8 +118,6 @@ def main() -> int:
     )
     ch = compile_history(history)
     with tempfile.TemporaryDirectory() as tmp:
-        path = os.path.join(tmp, "large.plume")
-        save_history(history, path, fmt="plume")
         # One profiled run set serves both batch gates: the phase laps
         # add only a few perf_counter calls around tenths of work.
         batch_seconds = float("inf")
@@ -118,10 +129,30 @@ def main() -> int:
             batch_seconds = min(batch_seconds, time.perf_counter() - start)
             saturation_seconds = min(saturation_seconds, result.stats["saturation"])
             kernel_used = result.stats["saturation_kernel"]
-        # Match BENCH_7's recording conditions: the streaming pipeline is
-        # measured without the object history or compiled IR alive, so
-        # gen-2 GC passes don't walk 120k dead-weight objects mid-run.
         del ch, history, result
+
+        # The streaming gates replay BENCH_8's workload: the 5x-fig9
+        # arrival-order stream (75k transactions, ~600k operations).
+        stream_shape = bench8["streams"]["base"]
+        stream_history, order = generate_random_stream(
+            RandomHistoryConfig(
+                num_sessions=8,
+                num_transactions=stream_shape["transactions"],
+                num_keys=500,
+                min_ops_per_txn=6,
+                max_ops_per_txn=10,
+                read_fraction=0.5,
+                mode="serializable",
+                seed=11,
+            )
+        )
+        path = os.path.join(tmp, "stream.plume")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(plume_text.dumps(stream_history, order=order))
+        # Match BENCH_8's recording conditions: the streaming pipeline is
+        # measured without the generated history alive, so gen-2 GC passes
+        # don't walk 600k dead-weight objects mid-run.
+        del stream_history, order
         gc.collect()
         stream_seconds = float("inf")
         fold_seconds = float("inf")

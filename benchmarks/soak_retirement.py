@@ -1,0 +1,121 @@
+"""Long-stream soak: ``--stream --retire`` must hold a hard memory ceiling.
+
+Feeds a multi-hundred-thousand-operation arrival-order stream through
+the compiled streaming checker with watermark-based retirement enabled
+and fails (exit 1) when the streaming phase's peak RSS exceeds
+``CEILING_KB``, when retirement did not actually run, or when the
+verdict is wrong.  The generated stream is serializable, so the run
+must come back consistent.
+
+The peak-RSS counter (``VmHWM``) is reset after generation, so the
+ceiling applies to the parse+fold phase alone -- the phase whose memory
+retirement bounds.  The measured fold peak at this scale is ~90 MiB
+(see BENCH_8.json); the ceiling leaves ~2.5x headroom for allocator and
+platform variance while still catching any O(history) leak, which would
+blow past it within the first half of the stream.
+
+Run as ``python benchmarks/soak_retirement.py [transactions]`` (the CI
+``long-stream-soak`` job; default 100k transactions, ~800k operations).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import resource
+import sys
+import tempfile
+import time
+
+from repro.core import IsolationLevel
+from repro.core.compiled.online import CompiledIncrementalChecker
+from repro.core.compiled.retire import RetirementPolicy
+from repro.histories.formats import plume_text, stream_raw_history
+from repro.histories.generator import RandomHistoryConfig, generate_random_stream
+
+CEILING_KB = 256 * 1024  # 256 MiB on the streaming phase
+
+CC = IsolationLevel.CAUSAL_CONSISTENCY
+
+
+def _reset_peak_rss() -> None:
+    try:
+        with open("/proc/self/clear_refs", "w") as handle:
+            handle.write("5")
+    except OSError:
+        pass
+
+
+def _peak_rss_kb() -> int:
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def main(argv) -> int:
+    transactions = int(argv[1]) if len(argv) > 1 else 100_000
+    history, order = generate_random_stream(
+        RandomHistoryConfig(
+            num_sessions=8,
+            num_transactions=transactions,
+            num_keys=500,
+            min_ops_per_txn=6,
+            max_ops_per_txn=10,
+            read_fraction=0.5,
+            mode="serializable",
+            seed=23,
+        )
+    )
+    operations = sum(len(t.operations) for t in history.transactions)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "soak.plume")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(plume_text.dumps(history, order=order))
+        del history, order
+        gc.collect()
+        _reset_peak_rss()
+
+        checker = CompiledIncrementalChecker(levels=(CC,), retire=RetirementPolicy())
+        start = time.perf_counter()
+        for sid, (label, committed, ops) in stream_raw_history(path, fmt="plume"):
+            checker.append_raw(sid, label, committed, ops)
+        fold_seconds = time.perf_counter() - start
+        peak_kb = _peak_rss_kb()
+        stats = checker.live_stats()
+        result = checker.finalize()[CC]
+
+    print(
+        f"soak: {transactions} txns / {operations} ops folded in "
+        f"{fold_seconds:.1f}s; streaming-phase peak RSS "
+        f"{peak_kb / 1024:.1f} MiB (ceiling {CEILING_KB / 1024:.0f} MiB)"
+    )
+    print(
+        f"soak: retired {stats['retired_transactions']} txns in "
+        f"{stats['retire_passes']} passes ({stats['retire_segments']} segments, "
+        f"{stats['evicted_writes']} evicted writes, "
+        f"{stats['spilled_edges']} spilled edges); post-compaction peak "
+        f"{stats['post_compaction_peak_resident']} resident summaries"
+    )
+
+    failed = False
+    if peak_kb > CEILING_KB:
+        print("soak: FAIL -- streaming-phase peak RSS above the ceiling")
+        failed = True
+    if stats["retired_transactions"] < transactions // 2:
+        print("soak: FAIL -- retirement barely ran; the watermark is stalling")
+        failed = True
+    if not result.is_consistent:
+        print("soak: FAIL -- serializable stream reported inconsistent")
+        failed = True
+    if not failed:
+        print("soak: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,245 @@
+"""Bounded-memory streaming: peak memory vs. history length, retire on/off.
+
+The acceptance shape for watermark-based retirement
+(:mod:`repro.core.compiled.retire`): on an arrival-order stream 5x the
+fig9 scale, the retiring checker's streaming-phase peak memory stays
+flat (within 15%) when the history doubles, while the non-retiring
+checker's grows roughly linearly -- and both produce the same verdict.
+
+Each fold runs in a subprocess that reports its peak RSS (``VmHWM``,
+reset after the imports) right after the fold loop and *before*
+:meth:`finalize` (the final acyclicity pass materializes the whole
+frozen relation in either mode, so whole-process peaks would only
+measure that batch step; tracemalloc is ~10x slower than the fold
+itself at this scale, so RSS is the usable probe).
+
+``test_bench8_snapshot`` records the curve in the repo-root
+``BENCH_8.json`` together with the retiring/non-retiring pipeline
+seconds on the base stream; :mod:`benchmarks.perf_guard` gates the
+streaming pipeline and fold-phase timings against that snapshot.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from _calibration import calibration_seconds
+
+from repro.core import IsolationLevel
+from repro.core.compiled.retire import RetirementPolicy
+from repro.histories.formats import plume_text
+from repro.histories.generator import RandomHistoryConfig, generate_random_stream
+from repro.stream import check_stream_file
+
+BENCH8_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_8.json")
+)
+
+pytestmark = pytest.mark.bench
+
+CC = IsolationLevel.CAUSAL_CONSISTENCY
+
+#: The base stream is 5x the fig9 history (75k transactions, ~600k
+#: operations); the doubled stream is 10x (~1.2M operations).
+BASE_TRANSACTIONS = 75_000
+
+#: The default policy: the bench measures what ``--retire`` gives out of
+#: the box, not a hand-tuned setting.
+POLICY = RetirementPolicy()
+
+#: Runs in a subprocess and prints one JSON line.  argv: history path,
+#: "on"/"off".  The peak-RSS counter is reset after the imports (Linux
+#: spawns the child with the parent's pages briefly mapped, so the raw
+#: ``ru_maxrss`` would inherit the parent's high-water mark) and read
+#: back as ``VmHWM`` right after the fold loop.
+_FOLD_PROBE = """\
+import json, resource, sys, time
+from repro.core import IsolationLevel
+from repro.core.compiled.online import CompiledIncrementalChecker
+from repro.histories.formats import stream_raw_history
+
+def peak_rss_kb():
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+try:
+    with open("/proc/self/clear_refs", "w") as handle:
+        handle.write("5")
+except OSError:
+    pass
+retire = None
+if sys.argv[2] == "on":
+    from repro.core.compiled.retire import RetirementPolicy
+    retire = RetirementPolicy()
+CC = IsolationLevel.CAUSAL_CONSISTENCY
+checker = CompiledIncrementalChecker(levels=(CC,), retire=retire)
+start = time.perf_counter()
+for sid, (label, committed, ops) in stream_raw_history(sys.argv[1], fmt="plume"):
+    checker.append_raw(sid, label, committed, ops)
+fold_seconds = time.perf_counter() - start
+rss_kb = peak_rss_kb()
+stats = checker.live_stats()
+result = checker.finalize()[CC]
+stats["fold_rss_kb"] = rss_kb
+stats["fold_seconds"] = round(fold_seconds, 3)
+stats["consistent"] = result.is_consistent
+stats["violations"] = len(result.violations)
+print(json.dumps(stats))
+"""
+
+
+def _write_stream(path: str, num_transactions: int, seed: int = 11) -> int:
+    """Write a fig9-shaped arrival-order stream; returns its operation count."""
+    history, order = generate_random_stream(
+        RandomHistoryConfig(
+            num_sessions=8,
+            num_transactions=num_transactions,
+            num_keys=500,
+            min_ops_per_txn=6,
+            max_ops_per_txn=10,
+            read_fraction=0.5,
+            mode="serializable",
+            seed=seed,
+        )
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(plume_text.dumps(history, order=order))
+    return sum(len(t.operations) for t in history.transactions)
+
+
+def _fold_probe(path: str, mode: str) -> dict:
+    env = dict(os.environ)
+    src = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _FOLD_PROBE, path, mode],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+class TestBoundedStreamingMemory:
+    def test_bench8_snapshot(self, tmp_path):
+        shapes = {}
+        probes = {}
+        for name, factor in (("base", 1), ("double", 2)):
+            path = str(tmp_path / f"{name}.plume")
+            transactions = BASE_TRANSACTIONS * factor
+            operations = _write_stream(path, transactions)
+            shapes[name] = {"transactions": transactions, "operations": operations}
+            gc.collect()
+            for mode in ("off", "on"):
+                probe = _fold_probe(path, mode)
+                # The stream is serializable: every run must agree it is
+                # consistent, whether or not it retired.
+                assert probe["consistent"] and probe["violations"] == 0
+                probes[(name, mode)] = probe
+
+        # Pipeline seconds on the base stream for the perf guard:
+        # whole-file runs (parse + fold + finalize), best of 3.
+        pipeline = {}
+        base_path = str(tmp_path / "base.plume")
+        for mode, retire in (("off", None), ("on", POLICY)):
+            best, fold = float("inf"), float("inf")
+            for _ in range(3):
+                timings = {}
+                start = time.perf_counter()
+                result = check_stream_file(
+                    base_path, CC, fmt="plume", retire=retire, timings=timings
+                )
+                best = min(best, time.perf_counter() - start)
+                fold = min(fold, timings["fold"])
+            assert result.is_consistent
+            pipeline[mode] = {"pipeline": best, "fold": fold}
+
+        peak_off_base = probes[("base", "off")]["fold_rss_kb"]
+        peak_off_double = probes[("double", "off")]["fold_rss_kb"]
+        peak_on_base = probes[("base", "on")]["fold_rss_kb"]
+        peak_on_double = probes[("double", "on")]["fold_rss_kb"]
+
+        # Retiring: flat within 15% as the history doubles.
+        assert peak_on_double <= peak_on_base * 1.15
+        # Non-retiring: grows roughly linearly (well beyond the 15% band).
+        assert peak_off_double >= peak_off_base * 1.5
+        # And retirement really ran at scale, in both runs.
+        assert probes[("base", "on")]["retired_transactions"] > 0
+        stats_double = probes[("double", "on")]
+        assert stats_double["retired_transactions"] > BASE_TRANSACTIONS
+        assert stats_double["retire_segments"] > 0
+
+        snapshot = {
+            "generated_by": (
+                "benchmarks/test_retirement.py::"
+                "TestBoundedStreamingMemory::test_bench8_snapshot"
+            ),
+            "machine_calibration_seconds": round(calibration_seconds(), 4),
+            "policy": {"lag": POLICY.lag, "every": POLICY.every},
+            "streams": shapes,
+            "streaming_phase_peak_rss_kb": {
+                "note": (
+                    "peak RSS (VmHWM) right after the fold loop, before "
+                    "finalize (the final acyclicity pass is O(history) in "
+                    "either mode); 'growth' is double/base -- flat (<= 1.15) "
+                    "with retirement, linear without"
+                ),
+                "retire_off": {
+                    "base": peak_off_base,
+                    "double": peak_off_double,
+                    "growth": round(peak_off_double / peak_off_base, 3),
+                },
+                "retire_on": {
+                    "base": peak_on_base,
+                    "double": peak_on_double,
+                    "growth": round(peak_on_double / peak_on_base, 3),
+                },
+            },
+            "retire_counters_double": {
+                key: stats_double[key]
+                for key in (
+                    "retired_transactions",
+                    "retire_passes",
+                    "remap_epochs",
+                    "retire_segments",
+                    "evicted_writes",
+                    "spilled_edges",
+                    "post_compaction_peak_resident",
+                )
+            },
+            "check_cc_seconds": {
+                "note": (
+                    "whole-file streaming runs on the base (5x fig9) "
+                    "arrival-order stream; perf_guard.py gates "
+                    "compiled_stream_pipeline and the fold lap"
+                ),
+                "compiled_stream_pipeline": round(pipeline["off"]["pipeline"], 4),
+                "compiled_stream_pipeline_retiring": round(
+                    pipeline["on"]["pipeline"], 4
+                ),
+                "retirement_overhead": round(
+                    pipeline["on"]["pipeline"] / pipeline["off"]["pipeline"], 3
+                ),
+            },
+            "stream_fold_phase_seconds": {
+                "fold": round(pipeline["off"]["fold"], 4),
+                "fold_retiring": round(pipeline["on"]["fold"], 4),
+            },
+        }
+        with open(BENCH8_PATH, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2)
+            handle.write("\n")

@@ -195,13 +195,41 @@ def test_bench7_snapshot(tmp_path, results):
             ),
         }
     else:
+        # One visible CPU: a real speedup is unmeasurable here, but the
+        # cost side of the ledger is -- force the worker pool anyway and
+        # record what fork/IPC adds when two workers timeshare one CPU.
+        # The committed numbers are honest about that (no speedup is
+        # claimed); the CI shard-scaling-bench job re-runs this module on
+        # a multi-core runner and uploads its BENCH_7.json artifact with
+        # a real jobs=2 speedup in this section.
+        from repro.shard import parallel as _parallel
+
+        jobs1_seconds = _best_of(
+            lambda: check_sharded(ch, CC, jobs=1, mode="auto")
+        )
+        saved_cpus = _parallel.effective_cpus
+        _parallel.effective_cpus = lambda: 2
+        try:
+            jobs2_seconds = _best_of(
+                lambda: check_sharded(ch, CC, jobs=2, mode="auto")
+            )
+        finally:
+            _parallel.effective_cpus = saved_cpus
         shard_section = {
-            "note": "this container exposes 1 CPU, so shard workers can only "
-            "add fork/IPC overhead here and no speedup is recorded; the CI "
+            "note": "this container exposes 1 CPU: jobs=2 was measured "
+            "with the worker pool forced on, so two workers timeshare one "
+            "core and the delta is the fork/IPC overhead a multicore "
+            "machine amortizes -- NOT a speedup claim; the CI "
             "shard-scaling-bench job re-runs this module on a multi-core "
-            "runner and uploads its BENCH_7.json (with this section filled "
-            "in) as an artifact",
+            "runner and uploads its BENCH_7.json (with a real jobs=2 "
+            "speedup here) as an artifact",
             "cpus": cpus,
+            "timeshared": True,
+            "seconds_by_jobs": {
+                "1": round(jobs1_seconds, 4),
+                "2": round(jobs2_seconds, 4),
+            },
+            "fork_ipc_overhead": round(jobs2_seconds / jobs1_seconds, 3),
         }
 
     # The streaming pipeline is the unit under test below; a 120k-op

@@ -65,6 +65,7 @@ __all__ = [
     "saturate_rc_compiled",
     "saturate_ra_compiled",
     "saturate_cc_compiled",
+    "compact_writer_registry",
 ]
 
 #: Whether the vectorized kernels are selectable in this process.
@@ -712,3 +713,77 @@ def saturate_cc_compiled(
             t2s[bid] = -1
         del touched[:]
     return "fallback"
+
+
+# -- retirement support --------------------------------------------------------
+
+
+def _compact_writer_registry_fallback(
+    wb_bucket: "array",
+    wb_sidx: "array",
+    wb_tid: "array",
+    removed: Dict[int, int],
+):
+    seen: Dict[int, int] = {}
+    new_bucket = array("q")
+    new_sidx = array("q")
+    new_tid = array("q")
+    get_removed = removed.get
+    for i in range(len(wb_bucket)):
+        bid = wb_bucket[i]
+        rank = seen.get(bid, 0)
+        seen[bid] = rank + 1
+        if rank < get_removed(bid, 0):
+            continue
+        new_bucket.append(bid)
+        new_sidx.append(wb_sidx[i])
+        new_tid.append(wb_tid[i])
+    return new_bucket, new_sidx, new_tid
+
+
+def compact_writer_registry(
+    wb_bucket: "array",
+    wb_sidx: "array",
+    wb_tid: "array",
+    removed: Dict[int, int],
+    num_buckets: int,
+):
+    """Drop each bucket's first ``removed[bucket]`` rows from the flat registry.
+
+    The online fold's writer registry (``bucket``/``sidx``/``tid`` parallel
+    ``array('q')`` rows, appended in arrival order) is what the deferred
+    probe flush sorts into the composite ``bucket * 2^32 + sidx`` index.
+    Retirement removes a *prefix* of each bucket -- rows are appended in
+    ascending session index per bucket, and the retired rows are exactly the
+    oldest -- so compaction is "skip the first N occurrences of each bucket"
+    while preserving the original append order (future stable argsorts then
+    still see ascending session indices per bucket).
+
+    Returns three fresh ``array('q')`` rows.  Vectorized and fallback
+    implementations are bit-identical (property-tested in
+    ``tests/test_retire.py``).
+    """
+    if _np is None or len(wb_bucket) < _MIN_VECTOR_READS or num_buckets <= 0:
+        return _compact_writer_registry_fallback(wb_bucket, wb_sidx, wb_tid, removed)
+    np = _np
+    bucket = np.frombuffer(wb_bucket, dtype=np.int64)
+    total = len(bucket)
+    order = np.argsort(bucket, kind="stable")
+    sorted_bucket = bucket[order]
+    # Rank of each row within its bucket: position in the stable sort minus
+    # the index of the bucket's first sorted occurrence.
+    first = np.searchsorted(sorted_bucket, sorted_bucket, side="left")
+    rank = np.arange(total, dtype=np.int64) - first
+    drop = np.zeros(num_buckets, dtype=np.int64)
+    for bid, count in removed.items():
+        drop[bid] = count
+    keep_sorted = rank >= drop[sorted_bucket]
+    keep = np.empty(total, dtype=bool)
+    keep[order] = keep_sorted
+    new_bucket = array("q")
+    new_sidx = array("q")
+    new_tid = array("q")
+    new_bucket.frombytes(bucket[keep].tobytes())
+    new_sidx.frombytes(np.frombuffer(wb_sidx, dtype=np.int64)[keep].tobytes())
+    new_tid.frombytes(np.frombuffer(wb_tid, dtype=np.int64)[keep].tobytes())
+    return new_bucket, new_sidx, new_tid

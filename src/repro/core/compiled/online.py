@@ -66,7 +66,7 @@ import pickle
 import time
 from array import array
 from bisect import bisect_left
-from itertools import islice
+from itertools import chain, islice
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cc import causality_cycles, causality_labels
@@ -83,6 +83,16 @@ from repro.core.violations import (
     ViolationKind,
 )
 from repro.core.compiled import kernels as _kernels
+from repro.core.compiled.retire import (
+    RetirementPolicy,
+    RetireStats,
+    SegmentStore,
+    check_identity_reuse,
+    check_retired_reads,
+    load_retired_state,
+    low_watermark,
+    stable_digest,
+)
 from repro.graph.csr import freeze_packed
 from repro.graph.digraph import EDGE_MASK, EDGE_SHIFT, pack_edge
 from repro.histories.formats._raw import DEFAULT_BATCH_OPS, RecordBatch
@@ -130,8 +140,15 @@ _KEY_SHIFT = 24
 #: ``_wb_sidx`` / ``_wb_tid`` writer-registry arrays the vectorized flush
 #: sorts; version-3 checkpoints lack all four and would resume with the
 #: flush silently skipping registered writers, so they are rejected.
+#: Version 5: watermark-based retirement adds the retirement bases
+#: (``_txns_base`` / ``_sess_base`` / ``_next_tid``), the latest-writer pin
+#: map, and the segment store.  Version-4 checkpoints are still *loadable*:
+#: they predate retirement entirely, so ``__setstate__`` injects the
+#: retirement-disabled defaults (base 0, epoch 0) and the resume behaves
+#: exactly like the run that wrote them.
 CHECKPOINT_MAGIC = b"AWDITCKPT"
-CHECKPOINT_VERSION = 4
+CHECKPOINT_VERSION = 5
+_LOADABLE_CHECKPOINT_VERSIONS = (4, 5)
 
 #: Bytes of file prefix hashed into the checkpoint source fingerprint.
 _FINGERPRINT_PREFIX = 1 << 16
@@ -235,6 +252,7 @@ class CompiledIncrementalChecker:
         levels: Optional[Sequence[IsolationLevel]] = None,
         num_sessions: Optional[int] = None,
         max_witnesses: Optional[int] = None,
+        retire: Optional[RetirementPolicy] = None,
     ) -> None:
         chosen = tuple(levels) if levels is not None else ALL_LEVELS
         for level in chosen:
@@ -245,6 +263,25 @@ class CompiledIncrementalChecker:
         self._ra_enabled = IsolationLevel.READ_ATOMIC in chosen
         self._cc_enabled = IsolationLevel.CAUSAL_CONSISTENCY in chosen
         self._max_witnesses = max_witnesses
+
+        # Watermark-based retirement (see repro.core.compiled.retire): the
+        # resident lists below hold only transactions at or above the bases;
+        # everything before them rotated into archival segments.  ``tid``s
+        # and session indices stay *absolute* -- only the list indexing is
+        # offset -- so clocks, packed edges, and sort keys never renumber
+        # mid-stream.
+        self._retire = retire
+        self._retire_stats = RetireStats()
+        self._segments = SegmentStore(retire.segment_dir) if retire else None
+        self._txns_base = 0
+        self._next_tid = 0
+        self._sess_base: List[int] = []
+        #: key id -> tid of the arrival-order latest registered writer; a
+        #: transaction owning any current entry is pinned (a future read may
+        #: still resolve to it), which stops the retirement scan.
+        self._latest_writer: Dict[int, int] = {}
+        self._retire_last = 0
+        self._retired_final = None
 
         self._txns: List[_Txn] = []
         self._session_ids: Dict[object, int] = {}
@@ -357,8 +394,8 @@ class CompiledIncrementalChecker:
 
     @property
     def num_transactions(self) -> int:
-        """Number of transactions appended so far."""
-        return len(self._txns)
+        """Number of transactions appended so far (retired ones included)."""
+        return self._next_tid
 
     @property
     def num_operations(self) -> int:
@@ -456,6 +493,9 @@ class CompiledIncrementalChecker:
         writers_by_key = self._writers_by_key
         cc_enabled = self._cc_enabled
         value_cap = 1 << _VALUE_SHIFT
+        tbase = self._txns_base
+        sess_base = self._sess_base
+        latest_writer = self._latest_writer
 
         # One zip over the whole batch's columns; each transaction consumes
         # its span via ``islice`` (C-level iteration, no per-op indexing).
@@ -470,7 +510,7 @@ class CompiledIncrementalChecker:
             if sid is None:
                 sid = self._register_session(sessions_col[t])
             records = by_session[sid]
-            tid = len(txns)
+            tid = self._next_tid
             if tid >= (1 << 31):
                 # Transaction ids are packed-edge endpoints, and the CC t2
                 # rows store them pre-shifted in signed array('q') slots;
@@ -480,9 +520,12 @@ class CompiledIncrementalChecker:
                     "history has too many transactions for packed edges"
                 )
             committed = bool(committed_col[t])
-            rec = _Txn(tid, sid, len(records), committed, labels_col[t])
+            rec = _Txn(
+                tid, sid, sess_base[sid] + len(records), committed, labels_col[t]
+            )
             txns.append(rec)
             records.append(rec)
+            self._next_tid = tid + 1
 
             # ``final_write`` doubles as the own-latest-write map: both
             # track the transaction's most recent write index per key and
@@ -535,6 +578,9 @@ class CompiledIncrementalChecker:
                 elif entry[:3] > current[:3]:
                     writes[wid] = entry
                     superseded.append(wid)
+            if self._retire is not None:
+                for kid in rec.keys_written_ordered:
+                    latest_writer[kid] = tid
 
             if committed and cc_enabled and final_write:
                 num_buckets = self._num_buckets
@@ -619,7 +665,7 @@ class CompiledIncrementalChecker:
                             writer_tid != tid
                             and hit[4]
                             and read.own_prev is None
-                            and txns[writer_tid].committed
+                            and txns[writer_tid - tbase].committed
                         ):
                             read.writer = writer_tid
                             read.writer_index = hit[2]
@@ -659,6 +705,8 @@ class CompiledIncrementalChecker:
                 - lap_mark
                 - (laps["clock_join"] - cc_lap_before)
             )
+        if self._retire is not None:
+            self._maybe_retire()
         self._elapsed += time.perf_counter() - start
 
     def extend_raw(
@@ -726,6 +774,30 @@ class CompiledIncrementalChecker:
 
         key_names = self._key_table.values
         value_objs = self._value_table.values
+        if self._segments is not None and len(self._segments):
+            # Reload the archival segments once: the retired transaction
+            # metadata feeds the batch renumbering below, and the merged
+            # digest set backs the two refusal scans -- a pending read that
+            # resolves to an evicted write, and a live write identity that
+            # was registered again after its first incarnation was evicted
+            # (load_retired_state itself refuses segment-vs-segment reuse).
+            vmask = (1 << _VALUE_SHIFT) - 1
+            retired = load_retired_state(self._segments, len(self._by_session))
+            check_retired_reads(
+                retired.digests,
+                (
+                    (key_names[wid >> _VALUE_SHIFT], value_objs[wid & vmask])
+                    for wid in self._pending
+                ),
+            )
+            check_identity_reuse(
+                retired.digests,
+                (
+                    (key_names[wid >> _VALUE_SHIFT], value_objs[wid & vmask])
+                    for wid in self._writes
+                ),
+            )
+            self._retired_final = retired
         for wid, waiters in list(self._pending.items()):
             key = key_names[wid >> _VALUE_SHIFT]
             value = value_objs[wid & ((1 << _VALUE_SHIFT) - 1)]
@@ -750,11 +822,13 @@ class CompiledIncrementalChecker:
 
         if self._ra_enabled:
             for sid in range(len(self._by_session)):
-                if self._ra_next[sid] != len(self._by_session[sid]):
+                if self._ra_next[sid] != self._sess_base[sid] + len(
+                    self._by_session[sid]
+                ):
                     raise AssertionError("RA frontier failed to drain at finalize")
 
         cc_complete = all(
-            self._cc_next[sid] == len(self._by_session[sid])
+            self._cc_next[sid] == self._sess_base[sid] + len(self._by_session[sid])
             for sid in range(len(self._by_session))
         )
         mapping, names, committed_ids, so_edges = self._batch_numbering()
@@ -776,11 +850,13 @@ class CompiledIncrementalChecker:
         self._wb_sidx = array("q")
         self._wb_tid = array("q")
         self._ra_last_write = []
+        self._latest_writer = {}
 
         results: Dict[IsolationLevel, CheckResult] = {}
         if self._rc_enabled:
             relation = self._build_relation(
-                mapping, names, committed_ids, so_edges, self._rc_log
+                mapping, names, committed_ids, so_edges, self._rc_log,
+                spilled=self._spilled_run("rc"),
             )
             self._rc_log = {}
             violations = rc_violations + relation.find_cycles(
@@ -794,7 +870,10 @@ class CompiledIncrementalChecker:
             rr_violations = [v for _, v in sorted(self._rr, key=lambda item: item[0])]
             single = len(self._by_session) <= 1
             log = self._ra_so_log if single else self._ra_log
-            relation = self._build_relation(mapping, names, committed_ids, so_edges, log)
+            relation = self._build_relation(
+                mapping, names, committed_ids, so_edges, log,
+                spilled=self._spilled_run("ra_so" if single else "ra"),
+            )
             self._ra_log = {}
             self._ra_so_log = {}
             violations = (
@@ -817,7 +896,8 @@ class CompiledIncrementalChecker:
                 )
             else:
                 relation = self._build_relation(
-                    mapping, names, committed_ids, so_edges, self._cc_log
+                    mapping, names, committed_ids, so_edges, self._cc_log,
+                    spilled=self._spilled_run("cc"),
                 )
                 self._cc_log = {}
                 violations = rc_violations + relation.find_cycles(
@@ -834,6 +914,11 @@ class CompiledIncrementalChecker:
                 in (ViolationKind.CAUSALITY_CYCLE, ViolationKind.COMMIT_ORDER_CYCLE)
                 and v not in self._live
             )
+        self._retired_final = None
+        if self._segments is not None:
+            # Owned (temporary) segment directories are deleted; an explicit
+            # --segment-dir keeps its segments as the user's archive.
+            self._segments.cleanup()
         self._elapsed += time.perf_counter() - start
         for result in results.values():
             result.elapsed_seconds = self._elapsed
@@ -846,11 +931,14 @@ class CompiledIncrementalChecker:
         """Peak live-state footprint of the online core, component by component.
 
         ``resident_transactions`` is the number of transaction-level
-        summaries currently held (operation data itself is dropped at fold);
-        the ``peak_*`` entries are high-water marks over the whole run.
+        summaries currently held (operation data itself is dropped at fold,
+        and retirement evicts summaries past the watermark); the ``peak_*``
+        entries are high-water marks over the whole run, and the
+        ``retire*``/``remap_epochs`` counters describe the retirement layer
+        (all zero when ``--retire`` is off).
         """
-        return {
-            "transactions": len(self._txns),
+        stats = {
+            "transactions": self._next_tid,
             "operations": self._num_operations,
             "sessions": len(self._by_session),
             "resident_transactions": len(self._txns),
@@ -871,7 +959,10 @@ class CompiledIncrementalChecker:
                 + len(self._ra_so_log)
                 + len(self._cc_log)
             ),
+            "retire_enabled": int(self._retire is not None),
         }
+        stats.update(self._retire_stats.as_dict())
+        return stats
 
     # -- checkpoint/resume -------------------------------------------------------
 
@@ -895,7 +986,7 @@ class CompiledIncrementalChecker:
         if self._results is not None:
             raise RuntimeError("cannot checkpoint a finalized checker")
         payload = {
-            "records_consumed": len(self._txns),
+            "records_consumed": self._next_tid,
             "levels": [level.name for level in self._levels],
             "source": source,
             "checker": self,
@@ -907,12 +998,262 @@ class CompiledIncrementalChecker:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(scratch, path)
 
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if "_next_tid" not in state:
+            # A version-4 (pre-retirement) checkpoint: nothing was ever
+            # retired, so the bases are zero, the remap epoch is zero, and
+            # retirement stays disabled for the resumed run.
+            self._next_tid = len(self._txns)
+            self._txns_base = 0
+            self._sess_base = [0] * len(self._by_session)
+            self._latest_writer = {}
+            self._retire = None
+            self._retire_stats = RetireStats()
+            self._segments = None
+            self._retire_last = 0
+            self._retired_final = None
+
+    # -- watermark-based retirement (see repro.core.compiled.retire) ------------
+
+    def enable_retirement(self, policy: RetirementPolicy) -> None:
+        """Enable (or re-tune) watermark-based retirement on a live checker.
+
+        The resume path uses this: a v4 (pre-retirement) checkpoint resumes
+        with retirement disabled, and ``--retire`` turns it on for the rest
+        of the run.  The latest-writer pins are rebuilt exactly from the
+        resident writes index -- nothing was evicted while the policy was
+        off, so every write's registration is still resident.  On a checker
+        that already retires, only the policy knobs change; the segment
+        store (and its manifest) carries on so earlier segments stay valid.
+        """
+        if self._results is not None:
+            raise RuntimeError("cannot enable retirement on a finalized checker")
+        enabling = self._retire is None
+        self._retire = policy
+        if self._segments is None:
+            self._segments = SegmentStore(policy.segment_dir)
+        if enabling:
+            latest: Dict[int, int] = {}
+            for wid, entry in self._writes.items():
+                kid = wid >> _VALUE_SHIFT
+                if entry[3] > latest.get(kid, -1):
+                    latest[kid] = entry[3]
+            self._latest_writer = latest
+            self._retire_last = self._next_tid
+
+    def _maybe_retire(self) -> None:
+        """Attempt one retirement pass (end of ``append_batch``).
+
+        The global guard first: a pass runs only on a *fully drained* fold
+        -- no parked or rebindable reads, no unresolved transactions, and
+        (when CC is on) no CC backlog or deferred probes.  Under the guard
+        every frontier has passed every resident transaction and no live
+        structure dereferences a summary by tid except through still-live
+        reads, so retiring a prefix can never be observed by later folds.
+        Anomalous histories park reads or stall the CC frontier, which
+        stalls the guard -- retirement never advances past an anomaly, and
+        byte-identical violations follow for free.
+        """
+        policy = self._retire
+        if self._next_tid - self._retire_last < policy.every:
+            return
+        self._retire_last = self._next_tid
+        if self._num_unfolded or self._pending or self._rebindable:
+            return
+        if self._cc_enabled and (
+            self._cc_backlog or self._cc_probe_pending or self._cc_waiters
+        ):
+            return
+        limit = self._next_tid - policy.lag
+        base = self._txns_base
+        if limit <= base:
+            return
+        # Eligibility scan, strictly in tid order (the retired set is always
+        # a prefix, so tids stay dense below the base -- no hole maps).  A
+        # committed transaction must be at or below the global low-watermark
+        # of its session (every clock has passed it; no future causal probe
+        # can answer with it), and *no* transaction may own a current
+        # latest-writer pin (a future read could still resolve to it).
+        wm = (
+            low_watermark(self._session_clock, len(self._by_session))
+            if self._cc_enabled
+            else None
+        )
+        txns = self._txns
+        latest_writer = self._latest_writer
+        new_base = base
+        while new_base < limit:
+            rec = txns[new_base - base]
+            if rec.committed and wm is not None and rec.sidx > wm[rec.sid]:
+                break
+            pinned = False
+            for kid in rec.keys_written_ordered:
+                if latest_writer.get(kid) == rec.tid:
+                    pinned = True
+                    break
+            if pinned:
+                break
+            new_base += 1
+        if new_base > base:
+            self._retire_to(new_base)
+
+    def _retire_to(self, new_base: int) -> None:
+        """Retire every transaction below ``new_base`` into one segment."""
+        base = self._txns_base
+        count = new_base - base
+        txns = self._txns
+        retiring = txns[:count]
+        stats = self._retire_stats
+
+        seg_txns: List[Tuple[int, int, int, bool, Optional[str]]] = []
+        seg_wr: List[Tuple[int, list, list]] = []
+        per_session: Dict[int, int] = {}
+        hb = self._hb
+        for rec in retiring:
+            seg_txns.append((rec.tid, rec.sid, rec.sidx, rec.committed, rec.label))
+            if rec.committed and (rec.wr_first_any or rec.wr_first_good):
+                seg_wr.append(
+                    (
+                        rec.tid,
+                        list(rec.wr_first_any.items()),
+                        list(rec.wr_first_good.items()),
+                    )
+                )
+            per_session[rec.sid] = per_session.get(rec.sid, 0) + 1
+            hb.pop(rec.tid, None)
+        del txns[:count]
+        self._txns_base = new_base
+        by_session = self._by_session
+        sess_base = self._sess_base
+        for sid, removed in per_session.items():
+            # Within a session tids ascend with the session index, so the
+            # retiring transactions are exactly its oldest ``removed``.
+            del by_session[sid][:removed]
+            sess_base[sid] += removed
+
+        # Evict writes whose writer retired.  Their identities survive only
+        # as digests inside the segment: zero resident bytes per evicted
+        # write, and the finalize-time scans still catch a read of (or a
+        # duplicate registration for) an evicted identity.
+        writes = self._writes
+        folded = self._folded_read_wids
+        key_names = self._key_table.values
+        value_objs = self._value_table.values
+        vmask = (1 << _VALUE_SHIFT) - 1
+        digests: List[int] = []
+        evicted = [wid for wid, entry in writes.items() if entry[3] < new_base]
+        for wid in evicted:
+            del writes[wid]
+            folded.discard(wid)
+            digests.append(
+                stable_digest(key_names[wid >> _VALUE_SHIFT], value_objs[wid & vmask])
+            )
+        digests.sort()
+
+        # Spill finalized edge-log entries: an entry is immutable once its
+        # *reader* endpoint (the low half) retires -- only the reader's own
+        # saturation could have lowered its meta, and a retired reader never
+        # saturates again.  Writer endpoints may still be live; tids are
+        # absolute and stable, so the entries serialize as-is.
+        spilled_logs: Dict[str, List[Tuple[int, int]]] = {}
+        total_spilled = 0
+        for name, log in (
+            ("rc", self._rc_log),
+            ("ra", self._ra_log),
+            ("ra_so", self._ra_so_log),
+            ("cc", self._cc_log),
+        ):
+            doomed = [edge for edge in log if (edge & EDGE_MASK) < new_base]
+            if doomed:
+                spilled_logs[name] = [(edge, log.pop(edge)) for edge in doomed]
+                total_spilled += len(doomed)
+
+        # Compact the CC writer registry: inside each (key, session) slot
+        # the retired rows form a prefix (rows append in arrival order);
+        # keep only the *last* retired row.  Any future probe's bound is at
+        # least the watermark, and the kept row's session index is at most
+        # the watermark -- so the kept row answers every probe any removed
+        # row could have answered, and the "latest row <= bound" answer is
+        # unchanged.  Reader pointer rows shift down by the removed count
+        # (a pointer landing at 0 re-advances on its next probe, because
+        # the kept row is always at or below the bound); the flat
+        # append-order mirror compacts through the kernels module.
+        removed_per_bucket: Dict[int, int] = {}
+        if self._cc_enabled:
+            for entry in self._writers_by_key.values():
+                for slot in entry[1]:
+                    retired_rows = bisect_left(slot[0], new_base)
+                    if retired_rows > 1:
+                        removed = retired_rows - 1
+                        del slot[0][:removed]
+                        del slot[1][:removed]
+                        removed_per_bucket[slot[2]] = removed
+            if removed_per_bucket:
+                for row in self._cc_ptr_rows:
+                    for bid, removed in removed_per_bucket.items():
+                        if bid < len(row) and row[bid]:
+                            row[bid] = row[bid] - removed if row[bid] > removed else 0
+                self._wb_bucket, self._wb_sidx, self._wb_tid = (
+                    _kernels.compact_writer_registry(
+                        self._wb_bucket,
+                        self._wb_sidx,
+                        self._wb_tid,
+                        removed_per_bucket,
+                        self._num_buckets,
+                    )
+                )
+
+        # Value-intern compaction: under the guard the only vid references
+        # left are the keys of the writes index, so rebuild the table over
+        # the survivors (relative order preserved; vid assignment is
+        # invisible in output -- witnesses render value *objects*).  Only
+        # worth the O(live) rebuild when eviction freed a real chunk.
+        remapped = False
+        live_vids = {wid & vmask for wid in writes}
+        if len(value_objs) - len(live_vids) >= 1024:
+            ordered = sorted(live_vids)
+            vid_map = {old: new for new, old in enumerate(ordered)}
+            table = Intern()
+            for old in ordered:
+                table.intern(value_objs[old])
+            self._value_table = table
+            self._writes = {
+                (wid & ~vmask) | vid_map[wid & vmask]: entry
+                for wid, entry in writes.items()
+            }
+            self._folded_read_wids = {
+                (wid & ~vmask) | vid_map[wid & vmask] for wid in folded
+            }
+            remapped = True
+
+        self._segments.write(
+            {
+                "txns": seg_txns,
+                "wr": seg_wr,
+                "logs": spilled_logs,
+                "digests": digests,
+            }
+        )
+
+        stats.retired_transactions += count
+        stats.passes += 1
+        stats.segments = len(self._segments)
+        stats.evicted_writes += len(digests)
+        stats.spilled_edges += total_spilled
+        if remapped or removed_per_bucket:
+            stats.remap_epochs += 1
+        resident = len(txns)
+        if resident > stats.post_compaction_peak:
+            stats.post_compaction_peak = resident
+
     # -- session bookkeeping ---------------------------------------------------
 
     def _register_session(self, external: object) -> int:
         dense = len(self._by_session)
         self._session_ids[external] = dense
         self._by_session.append([])
+        self._sess_base.append(0)
         self._ra_next.append(0)
         self._ra_last_write.append({})
         self._cc_next.append(0)
@@ -1014,7 +1355,7 @@ class CompiledIncrementalChecker:
                     write=OpRef(writer_tid, writer_index),
                 )
             return
-        writer = self._txns[writer_tid]
+        writer = self._txns[writer_tid - self._txns_base]
         if not writer.committed:
             self._add_rc_violation(
                 rec,
@@ -1052,6 +1393,7 @@ class CompiledIncrementalChecker:
         if rec.rebindable:
             self._untrack_rebindable(rec)
         txns = self._txns
+        tbase = self._txns_base
         good: List[Tuple[int, int, int]] = []
         wr_any: Dict[int, int] = {}
         wr_good: Dict[int, int] = {}
@@ -1069,7 +1411,7 @@ class CompiledIncrementalChecker:
             folded_wids.add((read.kid << _VALUE_SHIFT) | read.vid)
             if writer == rec_tid:
                 continue
-            if not txns[writer].committed:
+            if not txns[writer - tbase].committed:
                 continue
             wr_any.setdefault(writer, read.kid)
             if read.bad:
@@ -1108,8 +1450,8 @@ class CompiledIncrementalChecker:
                     kind=ViolationKind.NON_REPEATABLE_READ,
                     message=(
                         f"{self._name(rec)} reads {key!r} from both "
-                        f"{self._name(self._txns[previous])} and "
-                        f"{self._name(self._txns[writer])}"
+                        f"{self._name(self._txns[previous - self._txns_base])} and "
+                        f"{self._name(self._txns[writer - self._txns_base])}"
                     ),
                     txn=rec.tid,
                     key=key,
@@ -1146,11 +1488,12 @@ class CompiledIncrementalChecker:
         read_keys: Dict[int, None] = {}
         seq = _sort_base(rec.sid, rec.sidx)
         txns = self._txns
+        tbase = self._txns_base
         rc_log = self._rc_log
         rc_log_get = rc_log.get
         for index, key, t2 in reversed(reads):
             if index in first_txn_reads:
-                writer_rec = txns[t2]
+                writer_rec = txns[t2 - tbase]
                 if len(writer_rec.keys_written) <= len(read_keys):
                     candidates = [
                         x for x in writer_rec.keys_written_ordered if x in read_keys
@@ -1184,10 +1527,11 @@ class CompiledIncrementalChecker:
         if not self._ra_enabled:
             return
         records = self._by_session[sid]
+        base = self._sess_base[sid]
         index = self._ra_next[sid]
         last_write = self._ra_last_write[sid]
-        while index < len(records):
-            rec = records[index]
+        while index - base < len(records):
+            rec = records[index - base]
             if rec.committed:
                 if not rec.resolved:
                     break
@@ -1222,8 +1566,9 @@ class CompiledIncrementalChecker:
         # the smaller side in deterministic order (as the batch checker does).
         keys_read = reader_of_key.keys()
         txns = self._txns
+        tbase = self._txns_base
         for t2 in distinct_writers:
-            writer_rec = txns[t2]
+            writer_rec = txns[t2 - tbase]
             keys_written = writer_rec.keys_written
             if len(keys_written) <= len(keys_read):
                 candidates = (
@@ -1252,16 +1597,19 @@ class CompiledIncrementalChecker:
         by_session = self._by_session
         cc_next = self._cc_next
         txns = self._txns
+        tbase = self._txns_base
+        sess_base = self._sess_base
         cc_waiters = self._cc_waiters
         cc_process = self._cc_process
         queue = [sid]
         while queue:
             current = queue.pop()
             records = by_session[current]
-            num_records = len(records)
+            base = sess_base[current]
+            num_records = base + len(records)
             index = cc_next[current]
             while index < num_records:
-                rec = records[index]
+                rec = records[index - base]
                 if rec.committed:
                     if not rec.resolved:
                         break
@@ -1273,7 +1621,7 @@ class CompiledIncrementalChecker:
                         # waiter entry, and every entry is decremented
                         # when the writer completes.
                         for _i, _key, writer in rec.good_reads:
-                            if not txns[writer].cc_done:
+                            if not txns[writer - tbase].cc_done:
                                 pending += 1
                                 cc_waiters.setdefault(writer, []).append(rec)
                         rec.cc_pending = pending
@@ -1288,6 +1636,7 @@ class CompiledIncrementalChecker:
     def _cc_process(self, rec: _Txn) -> List[int]:
         """ComputeHB + saturate_cc for one transaction; returns sessions to poke."""
         txns = self._txns
+        tbase = self._txns_base
         rec_sid = rec.sid
         # The base clock is copied lazily: a transaction whose reads are all
         # same-session (or absent) shares the session-clock list outright --
@@ -1296,7 +1645,7 @@ class CompiledIncrementalChecker:
         clock_shared = True
         hb = self._hb
         for _index, _key, writer in rec.good_reads:
-            wrec = txns[writer]
+            wrec = txns[writer - tbase]
             wsid = wrec.sid
             if wsid == rec_sid:
                 # A same-session writer is an so-predecessor, and the base
@@ -1607,19 +1956,46 @@ class CompiledIncrementalChecker:
 
     # -- finalize helpers --------------------------------------------------------
 
+    def _final_sessions(self):
+        """Per-session record sequences for the finalize loops.
+
+        Without retirement this is ``_by_session`` itself (zero overhead);
+        with retirement each session's retired stand-ins (reloaded from the
+        segments) are prepended, so the loops below see every transaction
+        of the history in session order exactly as a never-evicting run
+        would.
+        """
+        retired = self._retired_final
+        if retired is None:
+            return self._by_session
+        merged = []
+        for sid, records in enumerate(self._by_session):
+            front = retired.records[sid]
+            if len(front) != self._sess_base[sid]:  # pragma: no cover - defensive
+                raise AssertionError("segment store lost retired transactions")
+            merged.append(front + records)
+        return merged
+
+    def _spilled_run(self, name: str):
+        """The segments' spilled ``(edge, meta)`` entries for one edge log."""
+        retired = self._retired_final
+        if retired is None:
+            return None
+        return retired.log_runs.get(name)
+
     def _batch_numbering(self):
         """Renumber transactions the way ``History.from_sessions`` would.
 
         ``so_edges`` comes back *packed* (``(prev << EDGE_SHIFT) | next``),
         ready to extend a relation's so log without re-boxing.
         """
-        mapping = [0] * len(self._txns)
-        names = [""] * len(self._txns)
+        mapping = [0] * self._next_tid
+        names = [""] * self._next_tid
         committed_ids: List[int] = []
         so_edges = array("Q")
         so_append = so_edges.append
         batch_tid = 0
-        for records in self._by_session:
+        for records in self._final_sessions():
             previous = -1
             for rec in records:
                 mapping[rec.tid] = batch_tid
@@ -1641,6 +2017,7 @@ class CompiledIncrementalChecker:
         committed_ids: List[int],
         so_edges,
         log: Dict[int, int],
+        spilled: Optional[List[Tuple[int, int]]] = None,
     ) -> CommitRelation:
         relation = CommitRelation(
             names=names,
@@ -1650,7 +2027,7 @@ class CompiledIncrementalChecker:
         relation._so_log.extend(so_edges)
         wr_append = relation._wr_log.append
         wrk_append = relation._wr_keys.append
-        for records in self._by_session:
+        for records in self._final_sessions():
             for rec in records:
                 if not rec.committed:
                     continue
@@ -1658,11 +2035,15 @@ class CompiledIncrementalChecker:
                 for writer, kid in rec.wr_first_any.items():
                     wr_append((mapping[writer] << EDGE_SHIFT) | reader)
                     wrk_append(kid)
-        self._drain_log(log, mapping, relation)
+        self._drain_log(log, mapping, relation, spilled)
         return relation
 
     def _drain_log(
-        self, log: Dict[int, int], mapping: List[int], relation: CommitRelation
+        self,
+        log: Dict[int, int],
+        mapping: List[int],
+        relation: CommitRelation,
+        spilled: Optional[List[Tuple[int, int]]] = None,
     ) -> None:
         """Drain a packed inferred-edge log into the relation's co rows.
 
@@ -1675,13 +2056,30 @@ class CompiledIncrementalChecker:
         which reproduces ``sorted(log, key=log.__getitem__)`` exactly; it
         bails to the scalar loop if a seq half ever exceeds uint64 (only
         possible past ~65k sessions).
+
+        ``spilled`` carries the retired readers' finalized ``(edge, meta)``
+        entries reloaded from the archival segments.  Metas are globally
+        unique (each reader's attempt counter advances per emission and the
+        per-reader bases are distinct), an edge appears in at most one of
+        the runs (a spilled edge's reader retired and never records again),
+        and every spilled entry already holds its global minimum meta -- so
+        one sort over the concatenation restores the exact order a
+        never-evicting log would drain in.
         """
-        if _np is not None and log:
+        n_spilled = len(spilled) if spilled else 0
+        n = len(log) + n_spilled
+        if _np is not None and n:
             try:
-                n = len(log)
-                packed = _np.fromiter(log.keys(), _np.uint64, n)
-                hi = _np.fromiter((m >> EDGE_SHIFT for m in log.values()), _np.uint64, n)
-                lo = _np.fromiter((m & EDGE_MASK for m in log.values()), _np.uint64, n)
+                if n_spilled:
+                    keys_iter = chain(log.keys(), (edge for edge, _ in spilled))
+                    metas = list(log.values())
+                    metas.extend(meta for _, meta in spilled)
+                else:
+                    keys_iter = log.keys()
+                    metas = log.values()
+                packed = _np.fromiter(keys_iter, _np.uint64, n)
+                hi = _np.fromiter((m >> EDGE_SHIFT for m in metas), _np.uint64, n)
+                lo = _np.fromiter((m & EDGE_MASK for m in metas), _np.uint64, n)
             except OverflowError:  # pragma: no cover - >65k sessions
                 pass
             else:
@@ -1697,6 +2095,18 @@ class CompiledIncrementalChecker:
                 return
         co_append = relation._co_log.append
         cok_append = relation._co_keys.append
+        if n_spilled:
+            items = list(log.items())
+            items.extend(spilled)
+            log.clear()
+            items.sort(key=lambda item: item[1])
+            for edge, meta in items:
+                co_append(
+                    (mapping[edge >> EDGE_SHIFT] << EDGE_SHIFT)
+                    | mapping[edge & EDGE_MASK]
+                )
+                cok_append((meta & EDGE_MASK) - 1)
+            return
         log_pop = log.pop
         for edge in sorted(log, key=log.__getitem__):
             kid = (log_pop(edge) & EDGE_MASK) - 1
@@ -1715,7 +2125,8 @@ class CompiledIncrementalChecker:
         so_log: List[int] = []
         wr_log: List[int] = []
         wr_keys: List[int] = []
-        for records in self._by_session:
+        final_sessions = self._final_sessions()
+        for records in final_sessions:
             previous = -1
             for rec in records:
                 if not rec.committed:
@@ -1724,7 +2135,7 @@ class CompiledIncrementalChecker:
                 if previous >= 0:
                     so_log.append((previous << EDGE_SHIFT) | current)
                 previous = current
-        for records in self._by_session:
+        for records in final_sessions:
             for rec in records:
                 if not rec.committed:
                     continue
@@ -1732,7 +2143,7 @@ class CompiledIncrementalChecker:
                 for writer, kid in rec.wr_first_good.items():
                     wr_log.append((mapping[writer] << EDGE_SHIFT) | reader)
                     wr_keys.append(kid)
-        graph = freeze_packed(len(self._txns), (so_log, wr_log))
+        graph = freeze_packed(self._next_tid, (so_log, wr_log))
         labels = causality_labels(
             so_log, wr_log, wr_keys, key_names=self._key_table.values
         )
@@ -1768,7 +2179,7 @@ class CompiledIncrementalChecker:
             checker=checker,
             elapsed_seconds=self._elapsed,
             num_operations=self._num_operations,
-            num_transactions=len(self._txns),
+            num_transactions=self._next_tid,
             num_sessions=len(self._by_session),
             stats=stats,
         )
@@ -1794,7 +2205,7 @@ def load_checkpoint(
         if magic != CHECKPOINT_MAGIC:
             raise HistoryFormatError(f"{path}: not an awdit checkpoint file")
         version = handle.read(1)
-        if not version or version[0] != CHECKPOINT_VERSION:
+        if not version or version[0] not in _LOADABLE_CHECKPOINT_VERSIONS:
             raise HistoryFormatError(
                 f"{path}: unsupported checkpoint version "
                 f"{version[0] if version else '<missing>'}"
@@ -1820,6 +2231,7 @@ def check_stream_compiled(
     level: IsolationLevel = IsolationLevel.CAUSAL_CONSISTENCY,
     max_witnesses: Optional[int] = None,
     num_sessions: Optional[int] = None,
+    retire: Optional[RetirementPolicy] = None,
 ) -> CheckResult:
     """One-pass check of a raw record stream against ``level``.
 
@@ -1828,7 +2240,10 @@ def check_stream_compiled(
     are ever constructed.
     """
     checker = CompiledIncrementalChecker(
-        levels=(level,), num_sessions=num_sessions, max_witnesses=max_witnesses
+        levels=(level,),
+        num_sessions=num_sessions,
+        max_witnesses=max_witnesses,
+        retire=retire,
     )
     checker.extend_raw(records)
     return checker.finalize()[level]

@@ -57,19 +57,31 @@ def _parse_value(text: str) -> object:
         return text.strip()
 
 
-def dumps(history: History) -> str:
-    """Serialize ``history`` to the line-oriented text format."""
+def dumps(history: History, order: Optional[Iterable[int]] = None) -> str:
+    """Serialize ``history`` to the line-oriented text format.
+
+    Every line carries its ``session=`` tag, so interleaved files are
+    expressible: ``order`` optionally lists the dense transaction ids in the
+    file order to emit (e.g. an arrival order from the generator).
+    Transactions of one session must stay in session order within ``order``
+    (arrival orders always do).  The default is session-blocked order.
+    """
     lines = ["# AWDIT reproduction history (plume-style text format)"]
+    if order is None:
+        order = (tid for session in history.sessions for tid in session)
+    sid_of = [0] * len(history.transactions)
     for sid, session in enumerate(history.sessions):
         for tid in session:
-            txn = history.transactions[tid]
-            ops = " ".join(
-                f"{op.kind.value}({op.key},{_render_value(op.value)})"
-                for op in txn.operations
-            )
-            status = "committed" if txn.committed else "aborted"
-            label = txn.label if txn.label is not None else f"t{tid}"
-            lines.append(f"session={sid} txn={label} {status} ops= {ops}")
+            sid_of[tid] = sid
+    for tid in order:
+        txn = history.transactions[tid]
+        ops = " ".join(
+            f"{op.kind.value}({op.key},{_render_value(op.value)})"
+            for op in txn.operations
+        )
+        status = "committed" if txn.committed else "aborted"
+        label = txn.label if txn.label is not None else f"t{tid}"
+        lines.append(f"session={sid_of[tid]} txn={label} {status} ops= {ops}")
     return "\n".join(lines) + "\n"
 
 

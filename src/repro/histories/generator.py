@@ -30,6 +30,7 @@ from repro.core.violations import ViolationKind
 __all__ = [
     "RandomHistoryConfig",
     "generate_random_history",
+    "generate_random_stream",
     "inject_anomaly",
     "INJECTABLE_ANOMALIES",
 ]
@@ -74,11 +75,42 @@ class RandomHistoryConfig:
 
 def generate_random_history(config: RandomHistoryConfig) -> History:
     """Generate a random history according to ``config`` (see the module docstring)."""
+    sessions, _arrival = _generate_sessions(config)
+    return History.from_sessions(sessions)
+
+
+def generate_random_stream(config: RandomHistoryConfig) -> Tuple[History, List[int]]:
+    """Generate a random history plus its *arrival order*.
+
+    The simulation picks a random session per transaction in generation
+    order; :meth:`History.from_sessions` renumbers session-blocked and loses
+    that interleaving.  The returned order lists the dense transaction ids in
+    generation (arrival) order -- the realistic input order for the streaming
+    checkers, and the one that keeps cross-session reads resolvable on
+    arrival (a session-blocked replay parks every cross-session read until
+    the writer's whole session has been fed, which stalls watermark-based
+    retirement).  Same seed, same history as :func:`generate_random_history`.
+    """
+    sessions, arrival = _generate_sessions(config)
+    history = History.from_sessions(sessions)
+    order = [history.sessions[sid][sidx] for sid, sidx in arrival]
+    return history, order
+
+
+def _generate_sessions(
+    config: RandomHistoryConfig,
+) -> Tuple[List[List[Transaction]], List[Tuple[int, int]]]:
+    """The shared simulation: per-session transactions plus arrival order.
+
+    ``arrival`` holds one ``(session, session_index)`` pair per generated
+    transaction, in generation order.
+    """
     config.validate()
     rng = random.Random(config.seed)
     keys = [f"k{i}" for i in range(config.num_keys)]
 
     sessions: List[List[Transaction]] = [[] for _ in range(config.num_sessions)]
+    arrival: List[Tuple[int, int]] = []
     latest_value: Dict[str, Optional[int]] = {key: None for key in keys}
     all_values: Dict[str, List[int]] = {key: [] for key in keys}
     next_value = 1
@@ -116,13 +148,13 @@ def generate_random_history(config: RandomHistoryConfig) -> History:
             for key, value in local_latest.items():
                 latest_value[key] = value
                 all_values[key].append(value)
+        arrival.append((session, len(sessions[session])))
         sessions[session].append(
             Transaction(operations, committed=committed, label=f"g{index}")
         )
 
-    # Drop empty sessions only if *all* transactions landed elsewhere is fine;
-    # sessions may legitimately be empty, History supports that.
-    return History.from_sessions(sessions)
+    # Sessions may legitimately end up empty; History supports that.
+    return sessions, arrival
 
 
 # --------------------------------------------------------------------------

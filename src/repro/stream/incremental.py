@@ -58,12 +58,22 @@ first appear out of order.
 from __future__ import annotations
 
 import time
-from bisect import insort
+from bisect import bisect_left, insort
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cc import causality_cycles, causality_labels
 from repro.core.commit import CommitRelation
 from repro.core.compiled.ir import Intern
+from repro.core.compiled.retire import (
+    RetirementPolicy,
+    RetireStats,
+    SegmentStore,
+    check_identity_reuse,
+    check_retired_reads,
+    load_retired_state,
+    low_watermark,
+    stable_digest,
+)
 from repro.core.isolation import IsolationLevel
 from repro.core.model import OpRef, Transaction
 from repro.core.result import CheckResult
@@ -197,6 +207,15 @@ class IncrementalChecker:
         order sessions first appear in the stream.
     max_witnesses:
         Passed through to the cycle extraction at :meth:`finalize`.
+    retire:
+        Optional :class:`~repro.core.compiled.retire.RetirementPolicy`.
+        When given, the same watermark-based retirement protocol as the
+        compiled core runs here: fully folded transactions below the global
+        low-watermark rotate into archival segments and their resident
+        summaries, registry rows, and finalized edge-log entries are
+        compacted away.  Output stays byte-identical to a non-evicting run,
+        or finalize refuses with
+        :class:`~repro.core.compiled.retire.RetiredAccessError`.
     """
 
     def __init__(
@@ -204,6 +223,7 @@ class IncrementalChecker:
         levels: Optional[Sequence[IsolationLevel]] = None,
         num_sessions: Optional[int] = None,
         max_witnesses: Optional[int] = None,
+        retire: Optional[RetirementPolicy] = None,
     ) -> None:
         chosen = tuple(levels) if levels is not None else ALL_LEVELS
         for level in chosen:
@@ -264,6 +284,19 @@ class IncrementalChecker:
         self._elapsed = 0.0
         self._results: Optional[Dict[IsolationLevel, CheckResult]] = None
 
+        # Watermark-based retirement (see repro.core.compiled.retire).  Tids
+        # and session indices stay absolute; only list indexing is offset by
+        # the bases, so every recorded edge and witness survives compaction.
+        self._retire = retire
+        self._retire_stats = RetireStats()
+        self._segments = SegmentStore(retire.segment_dir) if retire is not None else None
+        self._txns_base = 0
+        self._next_tid = 0
+        self._sess_base: List[int] = []
+        self._latest_writer: Dict[int, int] = {}
+        self._retire_last = 0
+        self._retired_final = None
+
         if num_sessions is not None:
             for sid in range(num_sessions):
                 self._register_session(sid)
@@ -278,7 +311,7 @@ class IncrementalChecker:
     @property
     def num_transactions(self) -> int:
         """Number of transactions appended so far."""
-        return len(self._txns)
+        return self._next_tid
 
     @property
     def num_operations(self) -> int:
@@ -326,10 +359,17 @@ class IncrementalChecker:
         start = time.perf_counter()
         sid = self._dense_sid(session)
         records = self._by_session[sid]
-        tid = len(self._txns)
-        rec = _Txn(tid, sid, len(records), transaction.committed, transaction.label)
+        tid = self._next_tid
+        rec = _Txn(
+            tid,
+            sid,
+            self._sess_base[sid] + len(records),
+            transaction.committed,
+            transaction.label,
+        )
         self._txns.append(rec)
         records.append(rec)
+        self._next_tid = tid + 1
 
         ops = transaction.operations
         self._num_operations += len(ops)
@@ -366,6 +406,14 @@ class IncrementalChecker:
             elif self._batch_order(tid, index) > self._batch_order(*current[:2]):
                 writes[wkey] = (tid, index, final_write[kid] == index)
                 superseded.append(wkey)
+
+        if self._retire is not None and final_write:
+            # Latest-writer pins: a transaction owning the current latest
+            # write to any key (aborted writes are readable too) must stay
+            # resident so future reads can still resolve against it.
+            latest_writer = self._latest_writer
+            for kid in rec.keys_written_ordered:
+                latest_writer[kid] = tid
 
         if rec.committed and self._cc_enabled and final_write:
             for key in rec.keys_written_ordered:
@@ -421,6 +469,8 @@ class IncrementalChecker:
             rec.resolved = True
             self._advance_ra(rec.sid)
             self._advance_cc(rec.sid)
+        if self._retire is not None:
+            self._maybe_retire()
         self._elapsed += time.perf_counter() - start
 
     def extend(self, pairs: Iterable[Tuple[object, Transaction]]) -> None:
@@ -440,8 +490,24 @@ class IncrementalChecker:
             return self._results
         start = time.perf_counter()
 
-        # Reads whose write never arrived are thin-air reads (axiom (a)).
         key_names = self._key_table.values
+        if self._segments is not None and len(self._segments):
+            # Reload the archival segments and refuse -- before any verdict
+            # -- if the history turned out to need evicted state: a pending
+            # read whose identity matches an evicted write, or a live
+            # re-registration of an evicted (key, value) identity.
+            retired = load_retired_state(self._segments, len(self._by_session))
+            check_retired_reads(
+                retired.digests,
+                ((key_names[kid], value) for (kid, value) in self._pending),
+            )
+            check_identity_reuse(
+                retired.digests,
+                ((key_names[kid], value) for (kid, value) in self._writes),
+            )
+            self._retired_final = retired
+
+        # Reads whose write never arrived are thin-air reads (axiom (a)).
         for (kid, value), waiters in list(self._pending.items()):
             key = key_names[kid]
             for rec, read in waiters:
@@ -461,11 +527,11 @@ class IncrementalChecker:
 
         if self._ra_enabled:
             for sid in range(len(self._by_session)):
-                if self._ra_next[sid] != len(self._by_session[sid]):
+                if self._ra_next[sid] != self._sess_base[sid] + len(self._by_session[sid]):
                     raise AssertionError("RA frontier failed to drain at finalize")
 
         cc_complete = all(
-            self._cc_next[sid] == len(self._by_session[sid])
+            self._cc_next[sid] == self._sess_base[sid] + len(self._by_session[sid])
             for sid in range(len(self._by_session))
         )
         mapping, names, committed_ids, so_edges = self._batch_numbering()
@@ -477,6 +543,7 @@ class IncrementalChecker:
         self._pending = {}
         self._rebindable = {}
         self._hb = {}
+        self._latest_writer = {}
         self._session_clock = []
         self._writers_by_key = {}
         self._cc_last_write = []
@@ -486,7 +553,10 @@ class IncrementalChecker:
 
         results: Dict[IsolationLevel, CheckResult] = {}
         if self._rc_enabled:
-            relation = self._build_relation(mapping, names, committed_ids, so_edges, self._rc_log)
+            relation = self._build_relation(
+                mapping, names, committed_ids, so_edges, self._rc_log,
+                spilled=self._spilled_run("rc"),
+            )
             self._rc_log = {}
             violations = rc_violations + relation.find_cycles(max_witnesses=self._max_witnesses)
             results[IsolationLevel.READ_COMMITTED] = self._result(
@@ -497,7 +567,10 @@ class IncrementalChecker:
             rr_violations = [v for _, v in sorted(self._rr, key=lambda item: item[0])]
             single = len(self._by_session) <= 1
             log = self._ra_so_log if single else self._ra_log
-            relation = self._build_relation(mapping, names, committed_ids, so_edges, log)
+            relation = self._build_relation(
+                mapping, names, committed_ids, so_edges, log,
+                spilled=self._spilled_run("ra_so" if single else "ra"),
+            )
             self._ra_log = {}
             self._ra_so_log = {}
             violations = (
@@ -521,7 +594,8 @@ class IncrementalChecker:
                 )
             else:
                 relation = self._build_relation(
-                    mapping, names, committed_ids, so_edges, self._cc_log
+                    mapping, names, committed_ids, so_edges, self._cc_log,
+                    spilled=self._spilled_run("cc"),
                 )
                 self._cc_log = {}
                 violations = rc_violations + relation.find_cycles(
@@ -537,6 +611,9 @@ class IncrementalChecker:
                 in (ViolationKind.CAUSALITY_CYCLE, ViolationKind.COMMIT_ORDER_CYCLE)
                 and v not in self._live
             )
+        self._retired_final = None
+        if self._segments is not None:
+            self._segments.cleanup()
         self._elapsed += time.perf_counter() - start
         for result in results.values():
             result.elapsed_seconds = self._elapsed
@@ -549,6 +626,7 @@ class IncrementalChecker:
         dense = len(self._by_session)
         self._session_ids[external] = dense
         self._by_session.append([])
+        self._sess_base.append(0)
         self._ra_next.append(0)
         self._ra_last_write.append({})
         self._cc_next.append(0)
@@ -570,7 +648,7 @@ class IncrementalChecker:
 
     def _batch_order(self, tid: int, index: int) -> Tuple[int, int, int]:
         """A write's position in batch transaction-id order."""
-        rec = self._txns[tid]
+        rec = self._txns[tid - self._txns_base]
         return (rec.sid, rec.sidx, index)
 
     def _track_rebindable(self, rec: _Txn, read: _Read) -> None:
@@ -649,7 +727,7 @@ class IncrementalChecker:
                     write=OpRef(writer_tid, writer_index),
                 )
             return
-        writer = self._txns[writer_tid]
+        writer = self._txns[writer_tid - self._txns_base]
         if not writer.committed:
             self._add_rc_violation(
                 rec,
@@ -684,6 +762,7 @@ class IncrementalChecker:
         if rec.rebindable:
             self._untrack_rebindable(rec)
         txns = self._txns
+        tbase = self._txns_base
         good: List[Tuple[int, int, int]] = []
         wr_any: Dict[int, int] = {}
         wr_good: Dict[int, int] = {}
@@ -691,7 +770,7 @@ class IncrementalChecker:
             writer = read.writer
             if writer is None or writer == rec.tid:
                 continue
-            if not txns[writer].committed:
+            if not txns[writer - tbase].committed:
                 continue
             if writer not in wr_any:
                 wr_any[writer] = read.kid
@@ -726,8 +805,8 @@ class IncrementalChecker:
                     kind=ViolationKind.NON_REPEATABLE_READ,
                     message=(
                         f"{self._name(rec)} reads {read.key!r} from both "
-                        f"{self._name(self._txns[previous])} and "
-                        f"{self._name(self._txns[writer])}"
+                        f"{self._name(self._txns[previous - self._txns_base])} and "
+                        f"{self._name(self._txns[writer - self._txns_base])}"
                     ),
                     txn=rec.tid,
                     key=read.key,
@@ -737,6 +816,176 @@ class IncrementalChecker:
                 self._live.append(violation)
             else:
                 last_writer[read.kid] = writer
+
+    # -- watermark-based retirement (see repro.core.compiled.retire) ------------
+
+    def _maybe_retire(self) -> None:
+        """Attempt one retirement pass (end of :meth:`append`).
+
+        The guard mirrors the compiled core: a pass runs only on a fully
+        drained fold -- no parked or rebindable reads (which also implies no
+        unresolved transactions), every enabled frontier caught up, and no
+        CC waiters.  Under the guard no later fold can dereference a retired
+        summary except through the writes index, whose evicted identities are
+        caught by the finalize-time digest scans.
+        """
+        policy = self._retire
+        if self._next_tid - self._retire_last < policy.every:
+            return
+        self._retire_last = self._next_tid
+        if self._pending or self._rebindable:
+            return
+        by_session = self._by_session
+        sess_base = self._sess_base
+        if self._ra_enabled:
+            ra_next = self._ra_next
+            for sid, records in enumerate(by_session):
+                if ra_next[sid] != sess_base[sid] + len(records):
+                    return
+        if self._cc_enabled:
+            if self._cc_waiters:
+                return
+            cc_next = self._cc_next
+            for sid, records in enumerate(by_session):
+                if cc_next[sid] != sess_base[sid] + len(records):
+                    return
+        limit = self._next_tid - policy.lag
+        base = self._txns_base
+        if limit <= base:
+            return
+        # Eligibility scan, strictly in tid order: the retired set is always
+        # a prefix, so tids stay dense below the base.  A committed
+        # transaction must sit at or below the global low-watermark of its
+        # session, and no transaction may own a current latest-writer pin.
+        wm = (
+            low_watermark(self._session_clock, len(by_session))
+            if self._cc_enabled
+            else None
+        )
+        txns = self._txns
+        latest_writer = self._latest_writer
+        new_base = base
+        while new_base < limit:
+            rec = txns[new_base - base]
+            if rec.committed and wm is not None and rec.sidx > wm[rec.sid]:
+                break
+            pinned = False
+            for kid in rec.keys_written_ordered:
+                if latest_writer.get(kid) == rec.tid:
+                    pinned = True
+                    break
+            if pinned:
+                break
+            new_base += 1
+        if new_base > base:
+            self._retire_to(new_base)
+
+    def _retire_to(self, new_base: int) -> None:
+        """Retire every transaction below ``new_base`` into one segment."""
+        base = self._txns_base
+        count = new_base - base
+        txns = self._txns
+        retiring = txns[:count]
+        stats = self._retire_stats
+
+        seg_txns: List[Tuple[int, int, int, bool, Optional[str]]] = []
+        seg_wr: List[Tuple[int, list, list]] = []
+        per_session: Dict[int, int] = {}
+        hb = self._hb
+        for rec in retiring:
+            seg_txns.append((rec.tid, rec.sid, rec.sidx, rec.committed, rec.label))
+            if rec.committed and (rec.wr_first_any or rec.wr_first_good):
+                seg_wr.append(
+                    (
+                        rec.tid,
+                        list(rec.wr_first_any.items()),
+                        list(rec.wr_first_good.items()),
+                    )
+                )
+            per_session[rec.sid] = per_session.get(rec.sid, 0) + 1
+            hb.pop(rec.tid, None)
+        del txns[:count]
+        self._txns_base = new_base
+        by_session = self._by_session
+        sess_base = self._sess_base
+        for sid, removed in per_session.items():
+            # Within a session tids ascend with the session index, so the
+            # retiring transactions are exactly its oldest ``removed``.
+            del by_session[sid][:removed]
+            sess_base[sid] += removed
+
+        # Evict writes whose writer retired; their identities survive only
+        # as digests inside the segment.
+        writes = self._writes
+        key_names = self._key_table.values
+        digests: List[int] = []
+        evicted = [wkey for wkey, entry in writes.items() if entry[0] < new_base]
+        for wkey in evicted:
+            del writes[wkey]
+            digests.append(stable_digest(key_names[wkey[0]], wkey[1]))
+        digests.sort()
+
+        # Spill finalized edge-log entries: an entry is immutable once its
+        # *reader* endpoint (the low half) retires -- only the reader's own
+        # saturation could have lowered its meta, and a retired reader never
+        # saturates again.  Writer endpoints may still be live; tids are
+        # absolute and stable, so the entries serialize as-is.
+        spilled_logs: Dict[str, List[Tuple[int, int]]] = {}
+        total_spilled = 0
+        for name, log in (
+            ("rc", self._rc_log),
+            ("ra", self._ra_log),
+            ("ra_so", self._ra_so_log),
+            ("cc", self._cc_log),
+        ):
+            doomed = [edge for edge in log if (edge & EDGE_MASK) < new_base]
+            if doomed:
+                spilled_logs[name] = [(edge, log.pop(edge)) for edge in doomed]
+                total_spilled += len(doomed)
+
+        # Compact the CC writer registry: inside each (key, session) slot the
+        # retired rows form a prefix (rows append in arrival order); keep only
+        # the *last* retired row.  Any future probe's bound is at least the
+        # watermark and the kept row's session index is at most the watermark,
+        # so the kept row answers every probe a removed row could have.
+        # Saturation pointers shift down by the removed count (a pointer
+        # landing at 0 re-advances on its next probe).
+        removed_per_state: Dict[int, int] = {}
+        if self._cc_enabled:
+            for key, (_sids, per_sid) in self._writers_by_key.items():
+                for other, slot in per_sid.items():
+                    retired_rows = bisect_left(slot[0], new_base)
+                    if retired_rows > 1:
+                        removed = retired_rows - 1
+                        del slot[0][:removed]
+                        del slot[1][:removed]
+                        removed_per_state[(other << EDGE_SHIFT) | key] = removed
+            if removed_per_state:
+                for pointer in self._cc_ptr:
+                    for state, removed in removed_per_state.items():
+                        ptr = pointer.get(state)
+                        if ptr:
+                            pointer[state] = ptr - removed if ptr > removed else 0
+
+        self._segments.write(
+            {
+                "txns": seg_txns,
+                "wr": seg_wr,
+                "logs": spilled_logs,
+                "digests": digests,
+            }
+        )
+
+        stats.retired_transactions += count
+        stats.passes += 1
+        stats.segments = len(self._segments)
+        stats.evicted_writes += len(digests)
+        stats.spilled_edges += total_spilled
+        if removed_per_state:
+            stats.remap_epochs += 1
+        resident = len(txns)
+        if resident > stats.post_compaction_peak:
+            stats.post_compaction_peak = resident
 
     # -- inferred-edge recording -----------------------------------------------
 
@@ -770,7 +1019,7 @@ class IncrementalChecker:
         seq = _sort_base(rec.sid, rec.sidx)
         for index, key, t2 in reversed(reads):
             if index in first_txn_reads:
-                writer_rec = self._txns[t2]
+                writer_rec = self._txns[t2 - self._txns_base]
                 if len(writer_rec.keys_written) <= len(read_keys):
                     candidates = [
                         x for x in writer_rec.keys_written_ordered if x in read_keys
@@ -799,10 +1048,11 @@ class IncrementalChecker:
         if not self._ra_enabled:
             return
         records = self._by_session[sid]
+        base = self._sess_base[sid]
         index = self._ra_next[sid]
         last_write = self._ra_last_write[sid]
-        while index < len(records):
-            rec = records[index]
+        while index - base < len(records):
+            rec = records[index - base]
             if rec.committed:
                 if not rec.resolved:
                     break
@@ -834,7 +1084,7 @@ class IncrementalChecker:
         # the smaller side in deterministic order (as the batch checker does).
         keys_read = reader_of_key.keys()
         for t2 in distinct_writers:
-            writer_rec = self._txns[t2]
+            writer_rec = self._txns[t2 - self._txns_base]
             keys_written = writer_rec.keys_written
             if len(keys_written) <= len(keys_read):
                 candidates = (
@@ -859,12 +1109,14 @@ class IncrementalChecker:
         if not self._cc_enabled:
             return
         queue = [sid]
+        tbase = self._txns_base
         while queue:
             current = queue.pop()
             records = self._by_session[current]
+            base = self._sess_base[current]
             index = self._cc_next[current]
-            while index < len(records):
-                rec = records[index]
+            while index - base < len(records):
+                rec = records[index - base]
                 if rec.committed:
                     if not rec.resolved:
                         break
@@ -876,7 +1128,7 @@ class IncrementalChecker:
                             if writer in seen:
                                 continue
                             seen.add(writer)
-                            if not self._txns[writer].cc_done:
+                            if not self._txns[writer - tbase].cc_done:
                                 pending += 1
                                 self._cc_waiters.setdefault(writer, []).append(rec)
                         rec.cc_pending = pending
@@ -889,13 +1141,14 @@ class IncrementalChecker:
     def _cc_process(self, rec: _Txn) -> List[int]:
         """ComputeHB + saturate_cc for one transaction; returns sessions to poke."""
         txns = self._txns
+        tbase = self._txns_base
         clock = list(self._session_clock[rec.sid])
         seen: Set[int] = set()
         for _index, _key, writer in rec.good_reads:
             if writer in seen:
                 continue
             seen.add(writer)
-            wrec = txns[writer]
+            wrec = txns[writer - tbase]
             wclock = self._hb[writer]
             if len(wclock) > len(clock):
                 clock.extend([-1] * (len(wclock) - len(clock)))
@@ -951,6 +1204,32 @@ class IncrementalChecker:
 
     # -- finalize helpers --------------------------------------------------------
 
+    def _final_sessions(self):
+        """Per-session record sequences for the finalize loops.
+
+        Without retirement this is ``_by_session`` itself (zero overhead);
+        with retirement each session's retired stand-ins (reloaded from the
+        segments) are prepended, so the loops below see every transaction of
+        the history in session order exactly as a never-evicting run would.
+        """
+        retired = self._retired_final
+        if retired is None:
+            return self._by_session
+        merged = []
+        for sid, records in enumerate(self._by_session):
+            front = retired.records[sid]
+            if len(front) != self._sess_base[sid]:  # pragma: no cover - defensive
+                raise AssertionError("segment store lost retired transactions")
+            merged.append(front + records)
+        return merged
+
+    def _spilled_run(self, name: str):
+        """The segments' spilled ``(edge, meta)`` entries for one edge log."""
+        retired = self._retired_final
+        if retired is None:
+            return None
+        return retired.log_runs.get(name)
+
     def _batch_numbering(self):
         """Renumber transactions the way ``History.from_sessions`` would.
 
@@ -958,12 +1237,12 @@ class IncrementalChecker:
         ``mapping[streaming tid] = batch tid``; this makes the rebuilt commit
         relations (and hence witnesses) identical to the batch checkers'.
         """
-        mapping = [0] * len(self._txns)
-        names = [""] * len(self._txns)
+        mapping = [0] * self._next_tid
+        names = [""] * self._next_tid
         committed_ids: List[int] = []
         so_edges: List[Tuple[int, int]] = []
         batch_tid = 0
-        for records in self._by_session:
+        for records in self._final_sessions():
             previous = -1
             for rec in records:
                 mapping[rec.tid] = batch_tid
@@ -979,7 +1258,7 @@ class IncrementalChecker:
         return mapping, names, committed_ids, so_edges
 
     def _wr_any_edges(self, mapping: List[int]) -> Iterator[Tuple[int, int, int]]:
-        for records in self._by_session:
+        for records in self._final_sessions():
             for rec in records:
                 if not rec.committed:
                     continue
@@ -994,6 +1273,7 @@ class IncrementalChecker:
         committed_ids: List[int],
         so_edges: List[Tuple[int, int]],
         log: _EdgeLog,
+        spilled: Optional[List[Tuple[int, int]]] = None,
     ) -> CommitRelation:
         relation = CommitRelation.from_edges(
             names,
@@ -1009,11 +1289,26 @@ class IncrementalChecker:
         # with a second copy; dedup and labels happen at the CSR freeze.
         co_append = relation._co_log.append
         cok_append = relation._co_keys.append
-        for edge in sorted(log, key=log.__getitem__):
-            kid = (log.pop(edge) & EDGE_MASK) - 1
-            t2, t1 = unpack_edge(edge)
-            co_append((mapping[t2] << EDGE_SHIFT) | mapping[t1])
-            cok_append(kid)
+        if spilled:
+            # Merge the segments' spilled runs with the live log.  Edges are
+            # globally unique across runs and the live log (a spilled edge's
+            # reader retired and can never record again), so one sort by meta
+            # restores the exact global batch drain order.
+            items = list(log.items())
+            log.clear()
+            items.extend(spilled)
+            items.sort(key=lambda item: item[1])
+            for edge, meta in items:
+                kid = (meta & EDGE_MASK) - 1
+                t2, t1 = unpack_edge(edge)
+                co_append((mapping[t2] << EDGE_SHIFT) | mapping[t1])
+                cok_append(kid)
+        else:
+            for edge in sorted(log, key=log.__getitem__):
+                kid = (log.pop(edge) & EDGE_MASK) - 1
+                t2, t1 = unpack_edge(edge)
+                co_append((mapping[t2] << EDGE_SHIFT) | mapping[t1])
+                cok_append(kid)
         return relation
 
     def _causality_graph(self, mapping: List[int]):
@@ -1021,7 +1316,8 @@ class IncrementalChecker:
         so_log: List[int] = []
         wr_log: List[int] = []
         wr_keys: List[int] = []
-        for records in self._by_session:
+        sessions = self._final_sessions()
+        for records in sessions:
             previous = -1
             for rec in records:
                 if not rec.committed:
@@ -1030,7 +1326,7 @@ class IncrementalChecker:
                 if previous >= 0:
                     so_log.append((previous << EDGE_SHIFT) | current)
                 previous = current
-        for records in self._by_session:
+        for records in sessions:
             for rec in records:
                 if not rec.committed:
                     continue
@@ -1038,7 +1334,7 @@ class IncrementalChecker:
                 for writer, kid in rec.wr_first_good.items():
                     wr_log.append((mapping[writer] << EDGE_SHIFT) | reader)
                     wr_keys.append(kid)
-        graph = freeze_packed(len(self._txns), (so_log, wr_log))
+        graph = freeze_packed(self._next_tid, (so_log, wr_log))
         labels = causality_labels(
             so_log, wr_log, wr_keys, key_names=self._key_table.values
         )
@@ -1065,7 +1361,7 @@ class IncrementalChecker:
             checker=checker,
             elapsed_seconds=self._elapsed,
             num_operations=self._num_operations,
-            num_transactions=len(self._txns),
+            num_transactions=self._next_tid,
             num_sessions=len(self._by_session),
             stats=stats,
         )
@@ -1076,6 +1372,7 @@ def check_stream(
     level: IsolationLevel = IsolationLevel.CAUSAL_CONSISTENCY,
     max_witnesses: Optional[int] = None,
     num_sessions: Optional[int] = None,
+    retire: Optional[RetirementPolicy] = None,
 ) -> CheckResult:
     """One-pass check of a ``(session, transaction)`` stream against ``level``.
 
@@ -1083,7 +1380,10 @@ def check_stream(
     single-level case (used by ``awdit check --stream``).
     """
     checker = IncrementalChecker(
-        levels=(level,), num_sessions=num_sessions, max_witnesses=max_witnesses
+        levels=(level,),
+        num_sessions=num_sessions,
+        max_witnesses=max_witnesses,
+        retire=retire,
     )
     checker.extend(pairs)
     return checker.finalize()[level]

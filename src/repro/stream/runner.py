@@ -39,6 +39,7 @@ from repro.core.compiled.online import (
     load_checkpoint,
     source_fingerprint,
 )
+from repro.core.compiled.retire import RetirementPolicy
 from repro.core.isolation import IsolationLevel
 from repro.core.model import History
 from repro.core.result import CheckResult
@@ -209,6 +210,7 @@ def check_history_stream(
     engine: str = "auto",
     jobs: Optional[int] = None,
     max_witnesses: Optional[int] = None,
+    retire: Optional[RetirementPolicy] = None,
 ) -> CheckResult:
     """Stream an in-memory history through the chosen online engine.
 
@@ -216,7 +218,8 @@ def check_history_stream(
     transactions are replayed in file order into the online checker.  With
     ``engine="sharded"`` the parallel-ingestion axis has nothing to
     parallelize for an in-memory history, so it runs the same compiled
-    online core (``jobs`` is accepted for interface symmetry).
+    online core (``jobs`` is accepted for interface symmetry).  ``retire``
+    enables watermark-based retirement on either engine.
     """
     resolved = _resolve_stream_engine(engine, jobs)
     if resolved == "object":
@@ -226,6 +229,7 @@ def check_history_stream(
             levels=(level,),
             num_sessions=history.num_sessions,
             max_witnesses=max_witnesses,
+            retire=retire,
         )
         for sid, session in enumerate(history.sessions):
             for tid in session:
@@ -236,6 +240,7 @@ def check_history_stream(
         level,
         max_witnesses=max_witnesses,
         num_sessions=history.num_sessions,
+        retire=retire,
     )
 
 
@@ -244,6 +249,7 @@ def check_all_levels_history_stream(
     engine: str = "auto",
     jobs: Optional[int] = None,
     max_witnesses: Optional[int] = None,
+    retire: Optional[RetirementPolicy] = None,
 ) -> dict:
     """Stream an in-memory history once, checking all three levels together.
 
@@ -257,14 +263,16 @@ def check_all_levels_history_stream(
         if isinstance(history, CompiledHistory):
             raise ValueError("a CompiledHistory requires a compiled-IR engine")
         checker: object = IncrementalChecker(
-            num_sessions=history.num_sessions, max_witnesses=max_witnesses
+            num_sessions=history.num_sessions,
+            max_witnesses=max_witnesses,
+            retire=retire,
         )
         for sid, session in enumerate(history.sessions):
             for tid in session:
                 checker.append(sid, history.transactions[tid])
         return checker.finalize()
     compiled_checker = CompiledIncrementalChecker(
-        num_sessions=history.num_sessions, max_witnesses=max_witnesses
+        num_sessions=history.num_sessions, max_witnesses=max_witnesses, retire=retire
     )
     compiled_checker.extend_raw(history_records(history))
     return compiled_checker.finalize()
@@ -282,6 +290,7 @@ def check_stream_file(
     resume: bool = False,
     batch_ops: Optional[int] = None,
     timings: Optional[Dict[str, float]] = None,
+    retire: Optional[RetirementPolicy] = None,
 ) -> CheckResult:
     """One-pass check of an on-disk history (``awdit check --stream``).
 
@@ -292,9 +301,12 @@ def check_stream_file(
     batch boundary past every ``checkpoint_every`` transactions, and once
     more before finalizing -- so ``resume=True`` can continue an
     interrupted check, including after completion, when resuming simply
-    skips every record and re-finalizes.  ``timings`` (``--profile``)
-    receives ``parse`` / ``fold`` wall seconds plus the fold's
-    ``fold_intern`` / ``fold_classify`` / ``fold_clock_join`` sub-laps.
+    skips every record and re-finalizes.  ``retire`` bounds resident memory
+    via watermark-based retirement; on resume it enables (or re-tunes)
+    retirement on the restored checker, including v4 checkpoints that
+    predate the protocol.  ``timings`` (``--profile``) receives ``parse`` /
+    ``fold`` wall seconds plus the fold's ``fold_intern`` /
+    ``fold_classify`` / ``fold_clock_join`` sub-laps.
     """
     resolved = _resolve_stream_engine(engine, jobs)
     if resolved == "object":
@@ -305,7 +317,7 @@ def check_stream_file(
         from repro.histories.formats import stream_raw_batches
 
         object_checker = IncrementalChecker(
-            levels=(level,), max_witnesses=max_witnesses
+            levels=(level,), max_witnesses=max_witnesses, retire=retire
         )
         for batch in stream_raw_batches(path, fmt, batch_ops=batch_ops):
             object_checker.append_batch(batch)
@@ -324,9 +336,11 @@ def check_stream_file(
         # The resumed run's witness budget wins over the one pickled with
         # the original checker.
         checker._max_witnesses = max_witnesses
+        if retire is not None:
+            checker.enable_retirement(retire)
     else:
         checker = CompiledIncrementalChecker(
-            levels=(level,), max_witnesses=max_witnesses
+            levels=(level,), max_witnesses=max_witnesses, retire=retire
         )
     skip = checker.num_transactions
     profile = timings is not None
@@ -382,19 +396,25 @@ def stream_live_stats(
     fmt: Optional[str] = None,
     levels: Optional[Iterable[IsolationLevel]] = None,
     batch_ops: Optional[int] = None,
+    retire: Optional[RetirementPolicy] = None,
 ) -> dict:
     """Feed ``path`` through the online core and return its live-state peaks.
 
     Powers ``awdit stats --stream``: the returned dict is
     :meth:`CompiledIncrementalChecker.live_stats` after the whole stream has
     been folded (but before finalize, so the reported footprint is the
-    online state itself).
+    online state itself).  With ``retire`` the retirement counters show how
+    much of the history has rotated into segments.
     """
     from repro.histories.formats import stream_raw_batches
 
     checker = CompiledIncrementalChecker(
-        levels=tuple(levels) if levels is not None else None
+        levels=tuple(levels) if levels is not None else None, retire=retire
     )
     for batch in stream_raw_batches(path, fmt, batch_ops=batch_ops):
         checker.append_batch(batch)
-    return checker.live_stats()
+    stats = checker.live_stats()
+    if checker._segments is not None:
+        # Stats-only run: never finalized, so drop owned segment tempdirs.
+        checker._segments.cleanup()
+    return stats

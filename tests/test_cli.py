@@ -102,6 +102,14 @@ class TestCheckFlagConflicts:
             ["--stream", "--resume"],
             ["--checkpoint", "state.awd"],
             ["--checkpoint-every", "100"],
+            ["--retire"],
+            ["--stream", "--retire-lag", "64"],
+            ["--stream", "--retire-every", "64"],
+            ["--stream", "--segment-dir", "segs"],
+            ["--stream", "--retire", "--retire-lag", "-1"],
+            ["--stream", "--retire", "--retire-every", "0"],
+            ["--stream", "--retire", "--checkpoint", "state.awd"],
+            ["--stream", "--retire", "--checker", "plume"],
         ],
         ids=lambda flags: " ".join(flags),
     )
@@ -119,6 +127,9 @@ class TestCheckFlagConflicts:
             ["--stream", "--engine", "sharded"],
             ["--stream", "--jobs", "2"],
             ["--stream", "--engine", "sharded", "--jobs", "2"],
+            ["--stream", "--retire"],
+            ["--stream", "--retire", "--retire-lag", "0", "--retire-every", "1"],
+            ["--stream", "--engine", "object", "--retire"],
         ],
         ids=lambda flags: " ".join(flags),
     )
@@ -156,6 +167,49 @@ class TestCheckFlagConflicts:
         )
         resumed = capsys.readouterr().out
         assert "CONSISTENT" in first and "CONSISTENT" in resumed
+
+    def test_retire_with_checkpoint_needs_segment_dir(self, tmp_path, capsys):
+        path = tmp_path / "h.plume"
+        save_history(fig_4d(), str(path), fmt="plume")
+        state = tmp_path / "state.awd"
+        args = [
+            "check", str(path), "-i", "cc", "--stream", "--retire",
+            "--checkpoint", str(state),
+        ]
+        assert main(args) == 2
+        assert "--segment-dir" in capsys.readouterr().err
+        assert (
+            main(args + ["--segment-dir", str(tmp_path / "segs")]) == 0
+        )
+        assert "CONSISTENT" in capsys.readouterr().out
+
+    def test_retiring_check_matches_plain_output(self, tmp_path, capsys):
+        path = tmp_path / "h.plume"
+        save_history(fig_4a(), str(path), fmt="plume")
+        assert main(["check", str(path), "-i", "rc", "--stream"]) == 1
+        plain = capsys.readouterr().out
+        assert (
+            main(
+                [
+                    "check", str(path), "-i", "rc", "--stream", "--retire",
+                    "--retire-lag", "0", "--retire-every", "1",
+                ]
+            )
+            == 1
+        )
+        retiring = capsys.readouterr().out
+        # Witness text is byte-identical; only the wall-clock line differs.
+        assert plain.splitlines()[1:] == retiring.splitlines()[1:]
+
+    def test_stats_stream_retire_prints_counters(self, tmp_path, capsys):
+        path = tmp_path / "h.plume"
+        save_history(fig_4d(), str(path), fmt="plume")
+        assert main(["stats", str(path), "--stream", "--retire"]) == 0
+        out = capsys.readouterr().out
+        assert "retirement:" in out
+        assert "retired transactions" in out
+        assert main(["stats", str(path), "--retire"]) == 2
+        assert "--stream" in capsys.readouterr().err
 
 
 class TestGenerateCommand:
