@@ -403,6 +403,22 @@ def _print_profile(
         # Which saturation implementation actually ran (numpy-vectorized
         # or the pure-Python fallback), so snapshots are self-describing.
         print(f"  {'saturation_kernel':<18} {kernel:>9}", file=sys.stderr)
+    classify_kernel = result.stats.get("classify_kernel")
+    if classify_kernel is not None:
+        # Same self-description for the streaming fold's read-resolution
+        # kernel, plus how the batch resolver routed the reads.
+        print(
+            f"  {'classify_kernel':<18} {classify_kernel:>9}", file=sys.stderr
+        )
+        for name in (
+            "resolve_fast",
+            "resolve_slow",
+            "resolve_parked",
+            "resolve_rebound",
+        ):
+            value = result.stats.get(name)
+            if value is not None:
+                print(f"    {name:<16} {value:9d}", file=sys.stderr)
     print(f"  {'total':<18} {total_seconds:9.4f}", file=sys.stderr)
     print(
         f"  peak alloc         {peak_bytes / (1024 * 1024):9.1f} MiB "
@@ -662,6 +678,18 @@ def _run_stats_stream(args: argparse.Namespace) -> int:
         "  CC probe flushes       : "
         f"{stats['cc_flushes_vectorized']} vectorized, "
         f"{stats['cc_flushes_fallback']} fallback"
+    )
+    print(
+        "  classify kernel calls  : "
+        f"{stats['classify_vectorized']} vectorized, "
+        f"{stats['classify_fallback']} fallback"
+    )
+    print(
+        "  resolved reads         : "
+        f"{stats['resolve_fast_path']} fast-path, "
+        f"{stats['resolve_slow_path']} slow-path, "
+        f"{stats['resolve_parked']} parked, "
+        f"{stats['resolve_rebound']} rebound"
     )
     print(f"  inferred-edge log      : {stats['inferred_edge_log']} edges")
     if stats.get("retire_enabled"):

@@ -624,17 +624,10 @@ class CompiledHistoryBuilder:
         self._session_ids = {}
 
         # Unique-writes wr inference, last write wins (History._infer_wr).
-        writes: Dict[int, int] = {}
-        for i in range(len(op_key)):
-            if op_kind[i]:
-                writes[(op_key[i] << _VALUE_SHIFT) | op_value[i]] = i
-        ch.op_wr = array("q", [-1]) * len(op_key) if op_key else array("q")
-        op_wr = ch.op_wr
-        for i in range(len(op_key)):
-            if not op_kind[i]:
-                source = writes.get((op_key[i] << _VALUE_SHIFT) | op_value[i])
-                if source is not None:
-                    op_wr[i] = source
+        # Lazy import: kernels imports this module for the IR types.
+        from repro.core.compiled.kernels import resolve_unique_writes
+
+        ch.op_wr = resolve_unique_writes(op_kind, op_key, op_value)
 
         ch.op_final = bytearray(len(op_key))
         if len(ch.value_table) >= (1 << _VALUE_SHIFT):

@@ -66,7 +66,7 @@ import pickle
 import time
 from array import array
 from bisect import bisect_left
-from itertools import chain, islice
+from itertools import chain, islice, repeat
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cc import causality_cycles, causality_labels
@@ -204,12 +204,14 @@ class _Txn:
         "unresolved",
         "resolved",
         "rebindable",
+        "slow_reads",
         "cc_done",
         "cc_pending",
         "cc_registered",
         "good_reads",
         "wr_first_any",
         "wr_first_good",
+        "prefold",
     )
 
     def __init__(
@@ -220,20 +222,40 @@ class _Txn:
         self.sidx = sidx
         self.committed = committed
         self.label = label
-        self.keys_written: frozenset = frozenset()
-        self.keys_written_ordered: Tuple[int, ...] = ()
+        #: Both key-written views share one object per transaction: the fold
+        #: assigns its ``final_write`` dict (kid -> final write index, keys
+        #: in first-write order) to both slots -- iteration and membership
+        #: behave exactly like the tuple/frozenset pair they replaced, and
+        #: checkpoints written before the change (which carry the pair)
+        #: still load.
+        self.keys_written: "frozenset | Dict[int, int]" = frozenset()
+        self.keys_written_ordered: "Tuple[int, ...] | Dict[int, int]" = ()
         self.reads: List[_Read] = []
         self.unresolved = 0
         self.resolved = False
-        #: True while this transaction's resolved reads are registered in the
-        #: checker's rebind table (set only for transactions that park reads).
+        #: Retained for checkpoint compatibility; the rebind table it used
+        #: to guard is gone (supersede waiters are reconstructed from the
+        #: park queue instead).
         self.rebindable = False
+        #: Count of this transaction's reads that took the scalar
+        #: ``_classify`` path (own reads, non-final or aborted writers,
+        #: rebinds).  Zero at fold time means every bound read is a clean
+        #: external committed final-write read -- ``_on_resolved`` then
+        #: builds its fold structures with comprehensions instead of the
+        #: per-read re-checking loop.
+        self.slow_reads = 0
         self.cc_done = False
         self.cc_pending = 0
         self.cc_registered = False
         self.good_reads: List[Tuple[int, int, int]] = []
         self.wr_first_any: Dict[int, int] = {}
         self.wr_first_good: Dict[int, int] = {}
+        #: Fold-time structures precomputed at consume for a *clean* parked
+        #: transaction (every read's eventual binding already known to the
+        #: resolve kernel); consumed and cleared by ``_on_resolved``.  Clean
+        #: transactions always fold within their own batch, so this never
+        #: survives into a checkpoint.
+        self.prefold: Optional[tuple] = None
 
 
 class CompiledIncrementalChecker:
@@ -292,12 +314,12 @@ class CompiledIncrementalChecker:
         # is-final flag).  The tuple is ordered so that direct comparison is
         # comparison by batch transaction-id order (sid, sidx, op index).
         self._writes: Dict[int, Tuple[int, int, int, int, bool]] = {}
-        # Packed write id -> reads waiting for that write to arrive.
+        # Packed write id -> reads waiting for that write to arrive.  This
+        # doubles as the roster of parked transactions: when a duplicate
+        # write supersedes a wid (rare), the resolved reads that may rebind
+        # are reconstructed by scanning the parked transactions reachable
+        # here -- no per-bind rebind table is maintained on the hot path.
         self._pending: Dict[int, List[Tuple[_Txn, _Read]]] = {}
-        # Packed write id -> resolved reads that may still rebind if a
-        # later-ordered duplicate write arrives (reads of parked, i.e. not
-        # yet folded, transactions only; entries are removed at fold).
-        self._rebindable: Dict[int, Dict[Tuple[int, int], Tuple[_Txn, _Read]]] = {}
 
         # RA state: per-session frontier index and lastWrite map.
         self._ra_next: List[int] = []
@@ -348,6 +370,24 @@ class CompiledIncrementalChecker:
         #: ``saturation_kernel`` stat (``--profile`` self-description).
         self._flush_vectorized = 0
         self._flush_scalar = 0
+
+        #: Derived kernel caches (never pickled, rebuilt after restore or
+        #: retirement): the sorted flat mirror of ``_writes`` behind
+        #: ``kernels.resolve_reads``, and the incrementally sorted CC
+        #: writer-registry view behind the probe flush.
+        self._writes_index = _kernels.WritesIndex()
+        self._wb_probe = _kernels.WriterProbeIndex()
+        #: Read-resolution tallies: reads bound on the fast path (no
+        #: ``_classify`` call), classified by the scalar slow path, parked
+        #: for a missing write, and rebound by a duplicate-write supersede
+        #: -- plus which resolve kernel ran per batch.  Surfaced as the
+        #: ``classify_kernel`` stat and by ``stats --stream``.
+        self._resolve_fast = 0
+        self._resolve_slow = 0
+        self._resolve_parked = 0
+        self._resolve_rebound = 0
+        self._resolve_vectorized = 0
+        self._resolve_scalar = 0
 
         # Recorded inferred edges, replayed in batch order at finalize.
         self._rc_log: Dict[int, int] = {}
@@ -473,11 +513,12 @@ class CompiledIncrementalChecker:
         # alike), so one columnar pass assigns ids in operation order --
         # the same table order per-op interning would produce.  Values of
         # *aborted-transaction reads* are never interned (same rule as the
-        # per-op path), so the value column is only probed -- lazily, as
-        # the fold loop consumes it -- and misses intern inside the loop.
+        # per-op path); the column pass below skips exactly those slots and
+        # assigns every other miss in operation order.
         kid_col = self._key_table.intern_column(batch.keys)
-        value_ids = self._value_table._ids
-        value_objs = self._value_table.values
+        vid_col, cap_txn = self._intern_value_column(
+            values_col, kinds, committed_col, txn_end
+        )
         if laps is not None:
             lap_mark = time.perf_counter()
             laps["intern"] += lap_mark - start
@@ -488,7 +529,6 @@ class CompiledIncrementalChecker:
         by_session = self._by_session
         writes = self._writes
         pending = self._pending
-        rebindable = self._rebindable
         folded_wids = self._folded_read_wids
         writers_by_key = self._writers_by_key
         cc_enabled = self._cc_enabled
@@ -496,194 +536,431 @@ class CompiledIncrementalChecker:
         tbase = self._txns_base
         sess_base = self._sess_base
         latest_writer = self._latest_writer
+        value_objs = self._value_table.values
+        writes_index = self._writes_index
+        retiring = self._retire is not None
+        ra_enabled = self._ra_enabled
+        rc_enabled = self._rc_enabled
+        classify = self._classify
+        on_resolved = self._on_resolved
+        pending_setdefault = pending.setdefault
+        pending_pop = pending.pop
+        writes_get = writes.get
+        wb_bucket_append = self._wb_bucket.append
+        wb_sidx_append = self._wb_sidx.append
+        wb_tid_append = self._wb_tid.append
+        # Resolve counters accumulate in locals for the whole batch (the
+        # live-stats surface only reads them between batches).
+        n_fast = n_slow = n_parked = n_rebound = 0
 
-        # One zip over the whole batch's columns; each transaction consumes
-        # its span via ``islice`` (C-level iteration, no per-op indexing).
-        # The value column is probed through a lazy ``map`` so an id
-        # interned earlier in the batch is found by the probe itself.
-        col_iter = zip(kid_col, kinds, map(value_ids.get, values_col), values_col)
+        # Whole-batch read resolution: one kernel call answers every
+        # committed read's "who wrote this (key, value) -- final? committed?
+        # external?" probe against the pre-batch registry and the batch's
+        # own writes (see kernels.resolve_reads).  The fold loop below
+        # consumes the answers strictly in today's scalar order --
+        # registration, supersede/rebind, parked-read resolution, own reads
+        # -- so park/rebind/refusal semantics and error timing are
+        # untouched; only the per-read probing is batched.  Hazardous wids
+        # (written twice in the batch, or already registered) and every
+        # read the kernel could not prove clean drop to the exact scalar
+        # path against the live dict.
+        res = _kernels.resolve_reads(
+            writes_index,
+            writes,
+            lambda wtid: txns[wtid - tbase].committed,
+            kid_col,
+            vid_col,
+            kinds,
+            txn_end,
+            committed_col,
+            self._next_tid,
+        )
+        if res.kernel == "vectorized":
+            self._resolve_vectorized += 1
+        else:
+            self._resolve_scalar += 1
+        r_start = res.r_start
+        r_index = res.r_index
+        r_kid = res.r_kid
+        r_vid = res.r_vid
+        r_wid = res.r_wid
+        r_own_prev = res.r_own_prev
+        r_fast = res.r_fast
+        r_writer = res.r_writer
+        r_windex = res.r_windex
+        w_start = res.w_start
+        w_index = res.w_index
+        w_kid = res.w_kid
+        w_wid = res.w_wid
+        w_final = res.w_final
+        txn_fast = res.txn_fast
+        txn_clean = res.txn_clean
+        txn_hazard = res.txn_hazard
+
         if txn_end:
             self._num_operations += txn_end[-1]
-        lo = 0
-        for t, hi in enumerate(txn_end):
-            sid = session_ids.get(sessions_col[t])
-            if sid is None:
-                sid = self._register_session(sessions_col[t])
-            records = by_session[sid]
-            tid = self._next_tid
-            if tid >= (1 << 31):
-                # Transaction ids are packed-edge endpoints, and the CC t2
-                # rows store them pre-shifted in signed array('q') slots;
-                # checked once per transaction so the saturation loops can
-                # pack and store without guards.
-                raise HistoryFormatError(
-                    "history has too many transactions for packed edges"
-                )
-            committed = bool(committed_col[t])
-            rec = _Txn(
-                tid, sid, sess_base[sid] + len(records), committed, labels_col[t]
-            )
-            txns.append(rec)
-            records.append(rec)
-            self._next_tid = tid + 1
-
-            # ``final_write`` doubles as the own-latest-write map: both
-            # track the transaction's most recent write index per key and
-            # are updated identically, so one dict serves the read
-            # resolution and the final-write flag alike.
-            final_write: Dict[int, int] = {}
-            final_write_get = final_write.get
-            reads: List[_Read] = []
-            txn_writes: List[Tuple[int, int, int]] = []
-            for index, (kid, kind, vid, value) in enumerate(
-                islice(col_iter, hi - lo)
-            ):
-                if kind:
-                    if vid is None:
-                        # Probe miss: the value is new to the table --
-                        # assign the next id (op order, so the table is
-                        # byte-identical to per-op interning).
-                        vid = len(value_objs)
-                        value_ids[value] = vid
-                        value_objs.append(value)
-                    final_write[kid] = index
-                    txn_writes.append((kid, vid, index))
-                elif committed:
-                    if vid is None:
-                        vid = len(value_objs)
-                        value_ids[value] = vid
-                        value_objs.append(value)
-                    reads.append(_Read(index, kid, vid, final_write_get(kid)))
-            lo = hi
-            if len(value_objs) >= value_cap:
-                raise HistoryFormatError(
-                    "history has too many distinct values for the compiled IR"
-                )
-            rec.keys_written = frozenset(final_write)
-            rec.keys_written_ordered = tuple(final_write)
-            rec.reads = reads
-
-            # Register writes once the whole transaction is scanned (so the
-            # final-write flag is known), last write in batch order winning.
-            sidx = rec.sidx
-            new_writes: List[int] = []
-            superseded: List[int] = []
-            for kid, vid, windex in txn_writes:
-                wid = (kid << _VALUE_SHIFT) | vid
-                entry = (sid, sidx, windex, tid, final_write[kid] == windex)
-                current = writes.get(wid)
-                if current is None:
-                    writes[wid] = entry
-                    new_writes.append(wid)
-                elif entry[:3] > current[:3]:
-                    writes[wid] = entry
-                    superseded.append(wid)
-            if self._retire is not None:
-                for kid in rec.keys_written_ordered:
-                    latest_writer[kid] = tid
-
-            if committed and cc_enabled and final_write:
-                num_buckets = self._num_buckets
-                wb_bucket_append = self._wb_bucket.append
-                wb_sidx_append = self._wb_sidx.append
-                wb_tid_append = self._wb_tid.append
-                for kid in rec.keys_written_ordered:
-                    entry2 = writers_by_key.get(kid)
-                    if entry2 is None:
-                        entry2 = ([], [], {})
-                        writers_by_key[kid] = entry2
-                    sids, slots, per_sid = entry2
-                    slot = per_sid.get(sid)
-                    if slot is None:
-                        slot = ([], [], num_buckets, sid)
-                        num_buckets += 1
-                        per_sid[sid] = slot
-                        position = bisect_left(sids, sid)
-                        sids.insert(position, sid)
-                        slots.insert(position, slot)
-                    slot[0].append(tid)
-                    slot[1].append(sidx)
-                    wb_bucket_append(slot[2])
-                    wb_sidx_append(sidx)
-                    wb_tid_append(tid)
-                self._num_buckets = num_buckets
-
-            # A later-ordered duplicate write rebinds the resolved reads of
-            # transactions that have not been folded yet -- and refuses the
-            # history when a reader of the superseded write already folded.
-            for wid in superseded:
-                if wid in folded_wids:
-                    key = self._key_table.values[wid >> _VALUE_SHIFT]
-                    value = value_objs[wid & (value_cap - 1)]
+        try:
+            for t in range(len(txn_end)):
+                sid = session_ids.get(sessions_col[t])
+                if sid is None:
+                    sid = self._register_session(sessions_col[t])
+                records = by_session[sid]
+                tid = self._next_tid
+                if tid >= (1 << 31):
+                    # Transaction ids are packed-edge endpoints, and the CC t2
+                    # rows store them pre-shifted in signed array('q') slots;
+                    # checked once per transaction so the saturation loops can
+                    # pack and store without guards.
                     raise HistoryFormatError(
-                        f"duplicate write W({key}, {value!r}) in "
-                        f"{self._name(rec)} supersedes a write whose reader "
-                        "was already folded into the online state; the "
-                        "stream cannot rebind that read-from edge and its "
-                        "verdict would diverge from the batch engines -- "
-                        "re-check this history without --stream"
+                        "history has too many transactions for packed edges"
                     )
-                waiters = rebindable.get(wid)
-                if waiters:
-                    hit = writes[wid]
-                    for other, read in list(waiters.values()):
-                        self._unclassify(other, read)
-                        self._classify(other, read, hit)
+                committed = bool(committed_col[t])
+                rec = _Txn(
+                    tid, sid, sess_base[sid] + len(records), committed, labels_col[t]
+                )
+                txns.append(rec)
+                records.append(rec)
+                self._next_tid = tid + 1
+                if t == cap_txn:
+                    # The value-table pass crossed the packed-vid budget inside
+                    # this transaction; raise at the same transaction boundary
+                    # the per-op intern would have.
+                    raise HistoryFormatError(
+                        "history has too many distinct values for the compiled IR"
+                    )
 
-            # Resolve earlier reads that were parked waiting for these writes.
-            for wid in new_writes:
-                waiters2 = pending.pop(wid, None)
-                if not waiters2:
-                    continue
-                hit = writes[wid]
-                for other, read in waiters2:
-                    self._num_parked -= 1
-                    self._classify(other, read, hit)
-                    other.unresolved -= 1
-                    if other.unresolved == 0:
-                        self._on_resolved(other)
-                    else:
-                        self._track_rebindable(other, read)
+                # ``final_write`` maps key id -> the transaction's final write
+                # index; dict(zip) keeps first-write key order with the last
+                # write winning, exactly the map the per-op scan used to build.
+                # The dict doubles as both key-written views of the record.
+                sidx = rec.sidx
+                superseded: List[int] = ()
+                wa = w_start[t]
+                wz = w_start[t + 1]
+                if wa != wz:
+                    final_write: Dict[int, int] = dict(
+                        zip(w_kid[wa:wz], w_index[wa:wz])
+                    )
+                    rec.keys_written = final_write
+                    rec.keys_written_ordered = final_write
 
-            # Resolve this transaction's own reads against everything seen
-            # so far.
-            if committed:
-                self._num_unfolded += 1
-                if self._num_unfolded > self._peak_unfolded:
-                    self._peak_unfolded = self._num_unfolded
-                for read in reads:
-                    wid = (read.kid << _VALUE_SHIFT) | read.vid
-                    hit = writes.get(wid)
-                    if hit is None:
-                        rec.unresolved += 1
-                        pending.setdefault(wid, []).append((rec, read))
+                    # Register writes, last write in batch order winning.
+                    # Non-hazardous transactions bulk-register -- every write is
+                    # fresh by construction, and their mirror notes went through
+                    # note_insert_columns in one per-batch call; hazardous ones
+                    # replay the exact scalar supersede protocol.
+                    if txn_hazard[t]:
+                        new_writes: List[int] = []
+                        superseded = []
+                        for k in range(wa, wz):
+                            wid = w_wid[k]
+                            windex = w_index[k]
+                            fl = w_final[k]
+                            entry = (sid, sidx, windex, tid, fl)
+                            current = writes_get(wid)
+                            if current is None:
+                                writes[wid] = entry
+                                new_writes.append(wid)
+                                writes_index.note_insert(
+                                    wid, tid, windex, fl, committed
+                                )
+                            elif entry[:3] > current[:3]:
+                                writes[wid] = entry
+                                superseded.append(wid)
+                                writes_index.note_update(
+                                    wid, tid, windex, fl, committed
+                                )
                     else:
-                        writer_tid = hit[3]
-                        # Clean external final-write reads (the common case
-                        # of _classify) resolve without the call.
-                        if (
-                            writer_tid != tid
-                            and hit[4]
-                            and read.own_prev is None
-                            and txns[writer_tid - tbase].committed
-                        ):
-                            read.writer = writer_tid
-                            read.writer_index = hit[2]
-                        else:
-                            self._classify(rec, read, hit)
-                if rec.unresolved == 0:
-                    self._on_resolved(rec)
+                        new_writes = w_wid[wa:wz]
+                        writes.update(
+                            zip(
+                                new_writes,
+                                zip(
+                                    repeat(sid),
+                                    repeat(sidx),
+                                    w_index[wa:wz],
+                                    repeat(tid),
+                                    w_final[wa:wz],
+                                ),
+                            )
+                        )
+                    if retiring:
+                        for kid in final_write:
+                            latest_writer[kid] = tid
                 else:
-                    self._num_parked += rec.unresolved
-                    if self._num_parked > self._peak_parked:
-                        self._peak_parked = self._num_parked
-                    for read in reads:
-                        if read.writer is not None or read.bad:
-                            self._track_rebindable(rec, read)
-            else:
-                rec.resolved = True
-                self._advance_ra(sid)
-                self._advance_cc(sid)
+                    final_write = None
+                    new_writes = ()
+
+                if committed and cc_enabled and final_write:
+                    num_buckets = self._num_buckets
+                    for kid in final_write:
+                        entry2 = writers_by_key.get(kid)
+                        if entry2 is None:
+                            entry2 = ([], [], {})
+                            writers_by_key[kid] = entry2
+                        sids, slots, per_sid = entry2
+                        slot = per_sid.get(sid)
+                        if slot is None:
+                            slot = ([], [], num_buckets, sid)
+                            num_buckets += 1
+                            per_sid[sid] = slot
+                            position = bisect_left(sids, sid)
+                            sids.insert(position, sid)
+                            slots.insert(position, slot)
+                        slot[0].append(tid)
+                        slot[1].append(sidx)
+                        wb_bucket_append(slot[2])
+                        wb_sidx_append(sidx)
+                        wb_tid_append(tid)
+                    self._num_buckets = num_buckets
+
+                # A later-ordered duplicate write rebinds the resolved reads of
+                # transactions that have not been folded yet -- and refuses the
+                # history when a reader of the superseded write already folded.
+                # The waiters are reconstructed from the park queue: every
+                # unfolded transaction has at least one parked read, so each is
+                # reachable through ``pending``, and binds to one wid always
+                # happen in reader tid order (parked readers pop in consume
+                # order at the wid's registration, later readers bind at their
+                # own consume), so the (tid, read index) sort restores the
+                # rebind table's exact insertion order.  Supersedes are rare;
+                # this trades an O(parked) scan here for zero per-bind
+                # bookkeeping on the hot path.
+                for wid in superseded:
+                    if wid in folded_wids:
+                        key = self._key_table.values[wid >> _VALUE_SHIFT]
+                        value = value_objs[wid & (value_cap - 1)]
+                        raise HistoryFormatError(
+                            f"duplicate write W({key}, {value!r}) in "
+                            f"{self._name(rec)} supersedes a write whose reader "
+                            "was already folded into the online state; the "
+                            "stream cannot rebind that read-from edge and its "
+                            "verdict would diverge from the batch engines -- "
+                            "re-check this history without --stream"
+                        )
+                    waiters: List[Tuple[int, int, _Txn, _Read]] = []
+                    seen_tids: Set[int] = set()
+                    for plist in pending.values():
+                        for other, _parked in plist:
+                            otid = other.tid
+                            if otid in seen_tids:
+                                continue
+                            seen_tids.add(otid)
+                            for read in other.reads:
+                                if (read.writer is not None or read.bad) and (
+                                    (read.kid << _VALUE_SHIFT) | read.vid
+                                ) == wid:
+                                    waiters.append((otid, read.index, other, read))
+                    if waiters:
+                        waiters.sort(key=lambda w: (w[0], w[1]))
+                        hit = writes[wid]
+                        for _otid, _rindex, other, read in waiters:
+                            self._unclassify(other, read)
+                            classify(other, read, hit)
+                            other.slow_reads += 1
+                            n_rebound += 1
+
+                # Resolve earlier reads that were parked waiting for these writes.
+                for wid in new_writes:
+                    waiters2 = pending_pop(wid, None)
+                    if not waiters2:
+                        continue
+                    hit = writes[wid]
+                    windex = hit[2]
+                    # Parked reads resolve against this transaction's fresh
+                    # write (always external to the parked reader): the common
+                    # _classify exit binds inline.
+                    self._num_parked -= len(waiters2)
+                    clean = hit[4] and committed
+                    for other, read in waiters2:
+                        if clean and read.own_prev is None:
+                            read.writer = tid
+                            read.writer_index = windex
+                            n_fast += 1
+                        else:
+                            classify(other, read, hit)
+                            other.slow_reads += 1
+                            n_slow += 1
+                        other.unresolved -= 1
+                        if other.unresolved == 0:
+                            on_resolved(other)
+
+                # Resolve this transaction's own reads against everything seen
+                # so far, consuming the kernel's whole-batch answers.
+                if committed:
+                    self._num_unfolded += 1
+                    if self._num_unfolded > self._peak_unfolded:
+                        self._peak_unfolded = self._num_unfolded
+                    ra = r_start[t]
+                    rb = r_start[t + 1]
+                    if txn_fast[t]:
+                        # Every read is clean (external committed final write,
+                        # no earlier own write): fold straight off the kernel
+                        # columns -- this is _on_resolved inlined, with no
+                        # _Read objects on the path at all.
+                        n_fast += rb - ra
+                        kids = r_kid[ra:rb]
+                        writers = r_writer[ra:rb]
+                        folded_wids.update(r_wid[ra:rb])
+                        good = list(zip(r_index[ra:rb], kids, writers))
+                        # First-read kid per writer: dict(zip) keeps the first
+                        # writer order; when writers repeat, rebuild keeping the
+                        # first kid instead of the last.
+                        wr_any: Dict[int, int] = dict(zip(writers, kids))
+                        if len(wr_any) != len(kids):
+                            wr_any = {}
+                            for j, w in enumerate(writers):
+                                if w not in wr_any:
+                                    wr_any[w] = kids[j]
+                        if ra_enabled and rb - ra > 1:
+                            # _check_repeatable_reads, inlined (the writer is
+                            # never rec itself on the fast path); on a
+                            # violation the last-writer entry is *not* updated,
+                            # matching the scalar check.
+                            last_writer: Dict[int, int] = {}
+                            lw_get = last_writer.get
+                            for j, w in enumerate(writers):
+                                kd = kids[j]
+                                previous = lw_get(kd)
+                                if previous is None:
+                                    last_writer[kd] = w
+                                elif previous != w:
+                                    key = self._key_table.values[kd]
+                                    violation = RepeatableReadViolation(
+                                        kind=ViolationKind.NON_REPEATABLE_READ,
+                                        message=(
+                                            f"{self._name(rec)} reads {key!r} "
+                                            f"from both "
+                                            f"{self._name(txns[previous - tbase])} "
+                                            f"and {self._name(txns[w - tbase])}"
+                                        ),
+                                        txn=tid,
+                                        key=key,
+                                        writers=(previous, w),
+                                    )
+                                    self._rr.append(
+                                        ((sid, sidx, r_index[ra + j]), violation)
+                                    )
+                                    self._live.append(violation)
+                        rec.resolved = True
+                        self._num_unfolded -= 1
+                        rec.good_reads = good
+                        rec.wr_first_any = wr_any
+                        rec.wr_first_good = dict(wr_any)
+                        if cc_enabled:
+                            self._cc_backlog += 1
+                            if self._cc_backlog > self._peak_cc_backlog:
+                                self._peak_cc_backlog = self._cc_backlog
+                        if rc_enabled:
+                            self._rc_saturate(rec)
+                            if not ra_enabled and not cc_enabled:
+                                rec.good_reads = []
+                        self._advance_ra(sid)
+                        self._advance_cc(sid)
+                    elif txn_clean[t]:
+                        # Every read is clean but at least one writer registers
+                        # later in this batch: park those reads exactly like the
+                        # scalar fold (same pending-queue timing, same peak
+                        # stats), but precompute the fold-time structures now --
+                        # the kernel already knows every eventual binding.  A
+                        # clean wid has exactly one batch writer and no registry
+                        # entry, so no supersede can ever rebind these reads;
+                        # the rebind table skips them entirely (an entry there
+                        # could only be consulted by a supersede of a hot wid).
+                        unresolved = 0
+                        for j in range(ra, rb):
+                            if not r_fast[j]:
+                                read = _Read(r_index[j], r_kid[j], r_vid[j], None)
+                                pending_setdefault(r_wid[j], []).append((rec, read))
+                                unresolved += 1
+                        n_parked += unresolved
+                        n_fast += (rb - ra) - unresolved
+                        kids = r_kid[ra:rb]
+                        writers = r_writer[ra:rb]
+                        good = list(zip(r_index[ra:rb], kids, writers))
+                        wr_any = dict(zip(writers, kids))
+                        if len(wr_any) != len(kids):
+                            wr_any = {}
+                            for j, w in enumerate(writers):
+                                if w not in wr_any:
+                                    wr_any[w] = kids[j]
+                        rec.prefold = (good, wr_any, r_wid[ra:rb])
+                        rec.unresolved = unresolved
+                        self._num_parked += unresolved
+                        if self._num_parked > self._peak_parked:
+                            self._peak_parked = self._num_parked
+                    else:
+                        reads: List[_Read] = []
+                        reads_append = reads.append
+                        unresolved = 0
+                        slow = 0
+                        for j in range(ra, rb):
+                            ov = r_own_prev[j]
+                            read = _Read(
+                                r_index[j], r_kid[j], r_vid[j], ov if ov >= 0 else None
+                            )
+                            reads_append(read)
+                            if r_fast[j]:
+                                read.writer = r_writer[j]
+                                read.writer_index = r_windex[j]
+                                n_fast += 1
+                                continue
+                            wid = r_wid[j]
+                            hit = writes_get(wid)
+                            if hit is None:
+                                unresolved += 1
+                                pending_setdefault(wid, []).append((rec, read))
+                                n_parked += 1
+                            else:
+                                writer_tid = hit[3]
+                                # Clean external final-write reads (the common
+                                # case of _classify) resolve without the call.
+                                if (
+                                    writer_tid != tid
+                                    and hit[4]
+                                    and ov < 0
+                                    and txns[writer_tid - tbase].committed
+                                ):
+                                    read.writer = writer_tid
+                                    read.writer_index = hit[2]
+                                    n_fast += 1
+                                else:
+                                    classify(rec, read, hit)
+                                    slow += 1
+                                    n_slow += 1
+                        rec.reads = reads
+                        rec.slow_reads = slow
+                        if unresolved == 0:
+                            on_resolved(rec)
+                        else:
+                            rec.unresolved = unresolved
+                            self._num_parked += unresolved
+                            if self._num_parked > self._peak_parked:
+                                self._peak_parked = self._num_parked
+                else:
+                    rec.resolved = True
+                    self._advance_ra(sid)
+                    self._advance_cc(sid)
+        except BaseException:
+            # A mid-batch error (packed-edge/value-cap overflow, the
+            # duplicate-write refusal) leaves the writes dict holding a
+            # prefix of the batch while this batch's bulk mirror notes
+            # were never applied; drop the mirror so any further use
+            # rebuilds from the dict.
+            writes_index.invalidate()
+            raise
+        finally:
+            self._resolve_fast += n_fast
+            self._resolve_slow += n_slow
+            self._resolve_parked += n_parked
+            self._resolve_rebound += n_rebound
+        # One bulk tail append covers every non-hazardous registration of
+        # the batch (the mirror is only consulted by the next batch's
+        # resolve_reads call, and hazardous wids -- noted scalar above --
+        # are disjoint from these by construction).
+        writes_index.note_insert_columns(
+            res.nh_wid, res.nh_tid, res.nh_windex, res.nh_flag
+        )
 
         if self._cc_probe_pending:
             # Answer every CC probe deferred by _cc_process in one flush per
@@ -708,6 +985,60 @@ class CompiledIncrementalChecker:
         if self._retire is not None:
             self._maybe_retire()
         self._elapsed += time.perf_counter() - start
+
+    def _intern_value_column(
+        self, values_col, kinds, committed_col, txn_end
+    ) -> Tuple[List[int], int]:
+        """Bulk-intern the value column; returns ``(vid_col, cap_txn)``.
+
+        One C-level ``map`` probes the whole column against the table, then
+        a sparse fixup walks only the misses in operation order -- assigning
+        new ids exactly where (and in exactly the order) the per-op lazy
+        probe would have.  Values of aborted-transaction reads are never
+        interned (their slots stay ``-1``; the resolve kernel never looks at
+        them).  ``cap_txn`` is the index of the transaction whose intern
+        pushed the table over the packed-vid budget (``-1`` if none); the
+        fold raises at that transaction's boundary, the same timing as the
+        per-op check.
+        """
+        ids = self._value_table._ids
+        objs = self._value_table.values
+        vids = list(map(ids.get, values_col, repeat(-1)))
+        try:
+            i = vids.index(-1)
+        except ValueError:
+            return vids, -1
+        cap = 1 << _VALUE_SHIFT
+        cap_txn = -1
+        ids_get = ids.get
+        # Aborted-read slots are skipped; resolved lazily only when the
+        # batch actually contains an aborted transaction.
+        check_aborted = 0 in committed_col
+        t = 0
+        while True:
+            value = values_col[i]
+            if check_aborted and not kinds[i]:
+                while txn_end[t] <= i:
+                    t += 1
+                eligible = bool(committed_col[t])
+            else:
+                eligible = True
+            if eligible:
+                vid = ids_get(value, -1)
+                if vid < 0:
+                    vid = len(objs)
+                    ids[value] = vid
+                    objs.append(value)
+                    if vid + 1 >= cap and cap_txn < 0:
+                        while txn_end[t] <= i:
+                            t += 1
+                        cap_txn = t
+                vids[i] = vid
+            try:
+                i = vids.index(-1, i + 1)
+            except ValueError:
+                break
+        return vids, cap_txn
 
     def extend_raw(
         self,
@@ -803,6 +1134,7 @@ class CompiledIncrementalChecker:
             value = value_objs[wid & ((1 << _VALUE_SHIFT) - 1)]
             for rec, read in waiters:
                 read.bad = True
+                rec.slow_reads += 1
                 self._add_rc_violation(
                     rec,
                     read,
@@ -838,7 +1170,6 @@ class CompiledIncrementalChecker:
         # peak memory stays close to one relation.
         self._writes = {}
         self._pending = {}
-        self._rebindable = {}
         self._hb = {}
         self._session_clock = []
         self._writers_by_key = {}
@@ -953,6 +1284,12 @@ class CompiledIncrementalChecker:
             "cc_writer_buckets": self._num_buckets,
             "cc_flushes_vectorized": self._flush_vectorized,
             "cc_flushes_fallback": self._flush_scalar,
+            "classify_vectorized": self._resolve_vectorized,
+            "classify_fallback": self._resolve_scalar,
+            "resolve_fast_path": self._resolve_fast,
+            "resolve_slow_path": self._resolve_slow,
+            "resolve_parked": self._resolve_parked,
+            "resolve_rebound": self._resolve_rebound,
             "inferred_edge_log": (
                 len(self._rc_log)
                 + len(self._ra_log)
@@ -998,8 +1335,48 @@ class CompiledIncrementalChecker:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(scratch, path)
 
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Derived kernel caches: cheap to rebuild, numpy-shaped, and not
+        # part of the checkpoint format (v5 checkpoints stay loadable both
+        # ways; __setstate__ starts fresh mirrors that the next batch
+        # repopulates from the pickled dict/registry).
+        state.pop("_writes_index", None)
+        state.pop("_wb_probe", None)
+        return state
+
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        # The rebind table is gone: supersede waiters are reconstructed from
+        # the park queue, so a pre-change checkpoint's table (whose entries
+        # alias the pickled _Txn/_Read objects) is simply dropped.
+        self.__dict__.pop("_rebindable", None)
+        self._writes_index = _kernels.WritesIndex()
+        self._wb_probe = _kernels.WriterProbeIndex()
+        for slot in (
+            "_resolve_fast",
+            "_resolve_slow",
+            "_resolve_parked",
+            "_resolve_rebound",
+            "_resolve_vectorized",
+            "_resolve_scalar",
+        ):
+            if slot not in state:
+                # Checkpoints that predate the resolve kernel resume with
+                # the tallies restarted; only the profile counters notice.
+                setattr(self, slot, 0)
+        for rec in self._txns:
+            # _Txn gained the ``prefold`` slot after v5 shipped; clean
+            # transactions always fold within their own batch, so the slot
+            # is None at every checkpoint boundary -- backfill it for
+            # pickles written before it existed.
+            rec.prefold = None
+        if self._txns and not hasattr(self._txns[0], "slow_reads"):
+            # Pickles written before the ``slow_reads`` slot existed: force
+            # the conservative fold path for every resumed transaction (the
+            # fast path is a pure optimization, so semantics are identical).
+            for rec in self._txns:
+                rec.slow_reads = 1
         if "_next_tid" not in state:
             # A version-4 (pre-retirement) checkpoint: nothing was ever
             # retired, so the bases are zero, the remap epoch is zero, and
@@ -1046,8 +1423,9 @@ class CompiledIncrementalChecker:
         """Attempt one retirement pass (end of ``append_batch``).
 
         The global guard first: a pass runs only on a *fully drained* fold
-        -- no parked or rebindable reads, no unresolved transactions, and
-        (when CC is on) no CC backlog or deferred probes.  Under the guard
+        -- no parked reads, no unresolved transactions (which also means no
+        read can still rebind), and (when CC is on) no CC backlog or
+        deferred probes.  Under the guard
         every frontier has passed every resident transaction and no live
         structure dereferences a summary by tid except through still-live
         reads, so retiring a prefix can never be observed by later folds.
@@ -1059,7 +1437,7 @@ class CompiledIncrementalChecker:
         if self._next_tid - self._retire_last < policy.every:
             return
         self._retire_last = self._next_tid
-        if self._num_unfolded or self._pending or self._rebindable:
+        if self._num_unfolded or self._pending:
             return
         if self._cc_enabled and (
             self._cc_backlog or self._cc_probe_pending or self._cc_waiters
@@ -1236,6 +1614,12 @@ class CompiledIncrementalChecker:
             }
         )
 
+        # The resolve/probe kernel mirrors index structures this pass just
+        # compacted (wid eviction, value-id remap, writer-registry rows);
+        # drop them and let the next batch rebuild from the live dicts.
+        self._writes_index.invalidate()
+        self._wb_probe.invalidate()
+
         stats.retired_transactions += count
         stats.passes += 1
         stats.segments = len(self._segments)
@@ -1292,24 +1676,6 @@ class CompiledIncrementalChecker:
         )
         self._rc_axiom.append(((rec.sid, rec.sidx, read.index), violation))
         self._live.append(violation)
-
-    def _track_rebindable(self, rec: _Txn, read: _Read) -> None:
-        """Register a resolved read of a still-parked transaction for rebinds."""
-        rec.rebindable = True
-        wid = (read.kid << _VALUE_SHIFT) | read.vid
-        self._rebindable.setdefault(wid, {})[(rec.tid, read.index)] = (rec, read)
-
-    def _untrack_rebindable(self, rec: _Txn) -> None:
-        """Drop a folding transaction's reads from the rebind table."""
-        rebindable = self._rebindable
-        for read in rec.reads:
-            wid = (read.kid << _VALUE_SHIFT) | read.vid
-            waiters = rebindable.get(wid)
-            if waiters is not None:
-                waiters.pop((rec.tid, read.index), None)
-                if not waiters:
-                    del rebindable[wid]
-        rec.rebindable = False
 
     def _unclassify(self, rec: _Txn, read: _Read) -> None:
         """Withdraw a read's previous classification before rebinding it."""
@@ -1388,23 +1754,129 @@ class CompiledIncrementalChecker:
 
     def _on_resolved(self, rec: _Txn) -> None:
         """All reads of ``rec`` are classified: fold it into the online state."""
+        pre = rec.prefold
+        if pre is not None:
+            # Clean parked transaction: every structure below was
+            # precomputed at consume from the resolve-kernel columns (the
+            # eventual binding of each read was already known); nothing was
+            # ever entered in the rebind table and every read is good.
+            rec.prefold = None
+            good, wr_any, wids = pre
+            rec.resolved = True
+            self._num_unfolded -= 1
+            self._folded_read_wids.update(wids)
+            rec.good_reads = good
+            rec.wr_first_any = wr_any
+            rec.wr_first_good = dict(wr_any)
+            if self._ra_enabled and len(good) > 1:
+                # _check_repeatable_reads, inlined: no bad/own/unbound
+                # reads exist here, and on a violation the last-writer
+                # entry is not updated, matching the scalar check.
+                last_writer: Dict[int, int] = {}
+                lw_get = last_writer.get
+                for index, kd, w in good:
+                    previous = lw_get(kd)
+                    if previous is not None and previous != w:
+                        txns = self._txns
+                        tbase = self._txns_base
+                        key = self._key_table.values[kd]
+                        violation = RepeatableReadViolation(
+                            kind=ViolationKind.NON_REPEATABLE_READ,
+                            message=(
+                                f"{self._name(rec)} reads {key!r} from both "
+                                f"{self._name(txns[previous - tbase])} and "
+                                f"{self._name(txns[w - tbase])}"
+                            ),
+                            txn=rec.tid,
+                            key=key,
+                            writers=(previous, w),
+                        )
+                        self._rr.append(((rec.sid, rec.sidx, index), violation))
+                        self._live.append(violation)
+                    else:
+                        last_writer[kd] = w
+            rec.reads = []
+            if self._cc_enabled:
+                self._cc_backlog += 1
+                if self._cc_backlog > self._peak_cc_backlog:
+                    self._peak_cc_backlog = self._cc_backlog
+            if self._rc_enabled:
+                self._rc_saturate(rec)
+                if not self._ra_enabled and not self._cc_enabled:
+                    rec.good_reads = []
+            self._advance_ra(rec.sid)
+            self._advance_cc(rec.sid)
+            return
         rec.resolved = True
         self._num_unfolded -= 1
-        if rec.rebindable:
-            self._untrack_rebindable(rec)
-        txns = self._txns
-        tbase = self._txns_base
-        good: List[Tuple[int, int, int]] = []
-        wr_any: Dict[int, int] = {}
-        wr_good: Dict[int, int] = {}
-        rec_tid = rec.tid
+        reads = rec.reads
         # ``folded_wids`` remembers which (key, value) identities this
         # transaction read (any bound read, own/aborted writers included):
         # its operation data is dropped below, so a later duplicate write
         # for one of them could never rebind the read -- append_batch
         # raises the duplicate-write diagnostic when it sees such a wid.
         folded_wids = self._folded_read_wids
-        for read in rec.reads:
+        if rec.slow_reads == 0:
+            # No read ever went through scalar _classify: every bound read
+            # is a clean external committed final-write read, so the
+            # re-checking loop below collapses to straight projections.
+            folded_wids.update(
+                (read.kid << _VALUE_SHIFT) | read.vid for read in reads
+            )
+            good = [(read.index, read.kid, read.writer) for read in reads]
+            wr_any: Dict[int, int] = {}
+            for _index, kd, w in good:
+                if w not in wr_any:
+                    wr_any[w] = kd
+            rec.good_reads = good
+            rec.wr_first_any = wr_any
+            rec.wr_first_good = dict(wr_any)
+            if self._ra_enabled and len(good) > 1:
+                # _check_repeatable_reads, inlined: no bad/own/unbound
+                # reads exist here, and on a violation the last-writer
+                # entry is not updated, matching the scalar check.
+                last_writer: Dict[int, int] = {}
+                lw_get = last_writer.get
+                for index, kd, w in good:
+                    previous = lw_get(kd)
+                    if previous is not None and previous != w:
+                        txns = self._txns
+                        tbase = self._txns_base
+                        key = self._key_table.values[kd]
+                        violation = RepeatableReadViolation(
+                            kind=ViolationKind.NON_REPEATABLE_READ,
+                            message=(
+                                f"{self._name(rec)} reads {key!r} from both "
+                                f"{self._name(txns[previous - tbase])} and "
+                                f"{self._name(txns[w - tbase])}"
+                            ),
+                            txn=rec.tid,
+                            key=key,
+                            writers=(previous, w),
+                        )
+                        self._rr.append(((rec.sid, rec.sidx, index), violation))
+                        self._live.append(violation)
+                    else:
+                        last_writer[kd] = w
+            rec.reads = []
+            if self._cc_enabled:
+                self._cc_backlog += 1
+                if self._cc_backlog > self._peak_cc_backlog:
+                    self._peak_cc_backlog = self._cc_backlog
+            if self._rc_enabled:
+                self._rc_saturate(rec)
+                if not self._ra_enabled and not self._cc_enabled:
+                    rec.good_reads = []
+            self._advance_ra(rec.sid)
+            self._advance_cc(rec.sid)
+            return
+        txns = self._txns
+        tbase = self._txns_base
+        good = []
+        wr_any = {}
+        wr_good: Dict[int, int] = {}
+        rec_tid = rec.tid
+        for read in reads:
             writer = read.writer
             if writer is None:
                 continue
@@ -1777,11 +2249,13 @@ class CompiledIncrementalChecker:
 
         Runs once per ``append_batch`` (and once in ``finalize``).  The
         probe answer -- the latest registered writer at or below a clock
-        bound -- is stateless, so the vectorized path sorts the append-order
-        writer registry into a per-bucket ``bucket * 2^32 + sidx`` composite
-        and answers every (read, writer-session) probe of the batch with a
-        single ``searchsorted``, then reduces the per-edge minimum meta with
-        one lexsort before merging into the packed log.  The scalar metas
+        bound -- is stateless, so the vectorized path keeps the append-order
+        writer registry incrementally sorted as a per-bucket
+        ``bucket * 2^32 + sidx`` composite (:class:`kernels.WriterProbeIndex`;
+        only rows appended since the last flush are sorted per flush) and
+        answers every (read, writer-session) probe of the batch with one
+        ``searchsorted`` per run, then reduces the per-edge minimum meta
+        with one lexsort before merging into the packed log.  The scalar metas
         are reproduced exactly: the attempt counter advances only per
         *emitted* attempt, and deferral can only add non-emitting probes
         (any writer at or below a bound registered before the clock join
@@ -1817,18 +2291,15 @@ class CompiledIncrementalChecker:
             return
         self._flush_vectorized += 1
 
-        span = _kernels._SIDX_SPAN
-        wb_bucket = np.frombuffer(self._wb_bucket, dtype=np.int64)
-        wb_sidx = np.frombuffer(self._wb_sidx, dtype=np.int64)
-        wb_tid = np.frombuffer(self._wb_tid, dtype=np.int64)
-        order = np.argsort(wb_bucket, kind="stable")
-        # Stable sort keeps each bucket's rows in append order, which is
-        # arrival order, which is ascending sidx within a session -- so the
-        # composite is strictly ascending within every bucket.
-        comp_sorted = wb_bucket[order] * span + wb_sidx[order]
-        tid_sorted = wb_tid[order]
-        counts = np.bincount(wb_bucket, minlength=self._num_buckets)
-        bucket_start = np.cumsum(counts) - counts
+        # The sorted composite over the writer registry is maintained
+        # *incrementally* (kernels.WriterProbeIndex): only rows appended
+        # since the last flush are sorted here, and they merge into the
+        # main run amortized -- the full-registry argsort every flush used
+        # to dominate the small-batch_ops regime.
+        probe_index = self._wb_probe
+        probe_index.sync(
+            self._wb_bucket, self._wb_sidx, self._wb_tid, self._num_buckets
+        )
 
         # Gather the batch: one clock row per pending transaction, one row
         # per good read, and a CSR of the flush-time slot lists of every
@@ -1898,9 +2369,7 @@ class CompiledIncrementalChecker:
         probe_rec = read_rec_a[probe_read]
         probe_bucket = slot_bucket_a[probe_slot]
         bound = clock_mat[probe_rec, slot_sid_a[probe_slot]]
-        where = np.searchsorted(comp_sorted, probe_bucket * span + bound, side="right")
-        has = where > bucket_start[probe_bucket]
-        t2 = tid_sorted[np.maximum(where - 1, 0)]
+        has, t2 = probe_index.probe(probe_bucket, bound)
         t1_probe = read_t1_a[probe_read]
         emit = has & (t2 != t1_probe)
         if not emit.any():
@@ -2173,6 +2642,20 @@ class CompiledIncrementalChecker:
                 stats["saturation_kernel"] = "fallback"
             else:
                 stats["saturation_kernel"] = "mixed"
+        if self._resolve_vectorized or self._resolve_scalar:
+            # Likewise for the read-resolution kernel, plus the resolve
+            # tallies ("mixed" is normal: sub-threshold tail batches take
+            # the fallback twin even with numpy on).
+            if not self._resolve_scalar:
+                stats["classify_kernel"] = "vectorized"
+            elif not self._resolve_vectorized:
+                stats["classify_kernel"] = "fallback"
+            else:
+                stats["classify_kernel"] = "mixed"
+            stats["resolve_fast"] = self._resolve_fast
+            stats["resolve_slow"] = self._resolve_slow
+            stats["resolve_parked"] = self._resolve_parked
+            stats["resolve_rebound"] = self._resolve_rebound
         return CheckResult(
             level=level,
             violations=violations,
