@@ -2,17 +2,20 @@
 
 Re-measures compiled batch CC plus its saturation phase lap against
 ``BENCH_7.json`` (the vectorized-saturation era numbers) on the 120k-op
-fig9-scale history, and the compiled streaming CC pipeline plus its
-fold and classify phases against ``BENCH_8.json`` (the retirement-era
-numbers) and ``BENCH_9.json`` (the batched-read-resolution era) on the
-600k-op arrival-order stream those snapshots record, and fails (exit 1)
-when any of the five regresses more than ``TOLERANCE``.  Gating the
-saturation, fold, and classify laps on their own means a regression
-there cannot hide behind a happens-before or parse improvement -- the
-exact failure mode that would reappear if a kernel silently fell back
-to the pure-Python path (the guard also fails outright when numpy is
-importable but the batch check reports a fallback saturation kernel or
-the stream reports a fallback classify kernel).  The committed baselines are first rescaled by the
+fig9-scale history, and the compiled streaming CC pipeline against
+``BENCH_8.json`` (the retirement-era numbers) plus its fold and
+classify phases against ``BENCH_10.json`` (the columnar-fold era) on
+the 600k-op arrival-order stream those snapshots record, and fails
+(exit 1) when any of the five regresses more than ``TOLERANCE``.
+Gating the saturation, fold, and classify laps on their own means a
+regression there cannot hide behind a happens-before or parse
+improvement -- the exact failure mode that would reappear if a kernel
+silently fell back to the pure-Python path (the guard also fails
+outright when numpy is importable but the batch check reports a
+fallback saturation kernel, the stream reports a fallback classify
+kernel, or a synthetic 64-session clock join above the
+``_MIN_JOIN_CELLS`` cutoff does not take the vectorized path).  The
+committed baselines are first rescaled by the
 machine-speed ratio of the :mod:`_calibration` kernel (its runtime on
 this runner vs the runtime recorded alongside the baselines), so a
 runner of a different hardware class compares against what *its own*
@@ -59,7 +62,7 @@ REPEATS = 3
 _ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
 BENCH7_PATH = os.path.abspath(os.path.join(_ROOT, "BENCH_7.json"))
 BENCH8_PATH = os.path.abspath(os.path.join(_ROOT, "BENCH_8.json"))
-BENCH9_PATH = os.path.abspath(os.path.join(_ROOT, "BENCH_9.json"))
+BENCH10_PATH = os.path.abspath(os.path.join(_ROOT, "BENCH_10.json"))
 
 
 def _best_of(fn, repeats: int = REPEATS) -> float:
@@ -81,15 +84,16 @@ def main() -> int:
         bench7 = json.load(handle)
     with open(BENCH8_PATH, encoding="utf-8") as handle:
         bench8 = json.load(handle)
-    with open(BENCH9_PATH, encoding="utf-8") as handle:
-        bench9 = json.load(handle)
+    with open(BENCH10_PATH, encoding="utf-8") as handle:
+        bench10 = json.load(handle)
     batch_baseline = bench7["check_cc_seconds"]["compiled_batch"]
     saturation_baseline = bench7["batch_cc_phase_seconds"]["saturation"]
     stream_baseline = bench8["check_cc_seconds"]["compiled_stream_pipeline"]
-    fold_baseline = bench8["stream_fold_phase_seconds"]["fold"]
-    # BENCH_9 recorded its classify lap on this exact workload (the
-    # 5x-fig9 arrival stream), so the lap gates like-for-like.
-    classify_baseline = bench9["stream_5x_fold_phase_seconds"]["fold_classify"]
+    # BENCH_10 recorded its fold and classify laps on this exact
+    # workload (the 5x-fig9 arrival stream), so both gate like-for-like
+    # against the columnar-fold era.
+    fold_baseline = bench10["stream_5x_fold_phase_seconds"]["fold"]
+    classify_baseline = bench10["stream_5x_fold_phase_seconds"]["fold_classify"]
 
     # Rescale the committed baselines to this machine's speed: the same
     # calibration kernel ran when each snapshot was recorded, so the
@@ -99,7 +103,7 @@ def main() -> int:
     for snapshot, name in (
         (bench7, "BENCH_7"),
         (bench8, "BENCH_8"),
-        (bench9, "BENCH_9"),
+        (bench10, "BENCH_10"),
     ):
         recorded_cal = snapshot.get("machine_calibration_seconds")
         if not recorded_cal:
@@ -114,8 +118,8 @@ def main() -> int:
             saturation_baseline *= scale
         elif snapshot is bench8:
             stream_baseline *= scale
-            fold_baseline *= scale
         else:
+            fold_baseline *= scale
             classify_baseline *= scale
 
     history = generate_random_history(
@@ -200,6 +204,37 @@ def main() -> int:
             f"{classify_kernel!r} classify kernel -- REGRESSION"
         )
         failed = True
+    if kernels.HAVE_NUMPY:
+        # The 8-session guard streams legitimately stay on the scalar
+        # clock join (below _MIN_JOIN_CELLS), so the vectorized path is
+        # tripwired directly: a synthetic 64-session join of 64 writer
+        # rows (4096 cells, above the cutoff) must report vectorized.
+        from array import array
+
+        stride = 64
+        hb_data = array("q", [(i * 7 + s * 3) % 97 - 1 for i in range(64) for s in range(stride)])
+        sc_data = array("q", [(s * 5) % 89 - 1 for s in range(stride)])
+        rows = list(range(64))
+        wsids = [i % stride for i in range(64)]
+        wsidxs = [(i * 11) % 103 for i in range(64)]
+        joined, vectorized = kernels.join_clocks(
+            hb_data, stride, sc_data, 0, rows, wsids, wsidxs
+        )
+        expected = kernels._join_clocks_fallback(
+            hb_data, stride, array("q", sc_data), 0, rows, wsids, wsidxs
+        )
+        if not vectorized:
+            print(
+                "perf-guard: numpy is importable but a 4096-cell clock "
+                "join took the fallback path -- REGRESSION"
+            )
+            failed = True
+        if list(joined) != list(expected):
+            print(
+                "perf-guard: vectorized clock join disagrees with the "
+                "fallback on the synthetic 64-session join -- REGRESSION"
+            )
+            failed = True
     for name, current, committed in (
         ("compiled batch CC", batch_seconds, batch_baseline),
         ("compiled batch CC saturation phase", saturation_seconds, saturation_baseline),

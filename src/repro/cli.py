@@ -170,10 +170,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "print per-phase wall/alloc timings (parse, build, freeze, "
-            "saturate, acyclicity, witness; with --stream: parse and the "
-            "fold's intern/classify/clock-join sub-laps) to stderr after "
-            "the check, so perf work can see where the time goes without a "
-            "profiler"
+            "saturate, acyclicity, witness; with --stream: parse, the "
+            "fold's intern/dispatch/classify/clock-join sub-laps, and "
+            "per-phase GC collection counts) to stderr after the check, so "
+            "perf work can see where the time goes without a profiler"
+        ),
+    )
+    check_parser.add_argument(
+        "--gc-tune",
+        action="store_true",
+        help=(
+            "with --stream: freeze the interpreter heap after the first "
+            "folded batch and raise the gen-2 GC threshold for the rest of "
+            "the stream (thresholds and freeze are restored before exit); "
+            "off by default -- the columnar fold allocates few tracked "
+            "objects, so measure with --profile before reaching for this"
         ),
     )
 
@@ -311,6 +322,11 @@ def _check_flag_conflicts(args: argparse.Namespace, checker_name: str) -> Option
                 "default temporary segment directory does not survive the "
                 "process"
             )
+    if args.gc_tune and not args.stream:
+        return (
+            "--gc-tune tunes the collector around the online streaming "
+            "fold; it requires --stream"
+        )
     if args.resume and args.checkpoint is None:
         return "--resume continues from a checkpoint; add --checkpoint PATH"
     if args.checkpoint_every is not None and args.checkpoint is None:
@@ -369,6 +385,7 @@ _PROFILE_PHASES = (
     ("ingest", ""),  # sharded parse+build, fused across parallel workers
     ("fold", ""),  # streaming: whole online fold, split into the laps below
     ("fold_intern", "  "),
+    ("fold_dispatch", "  "),
     ("fold_classify", "  "),
     ("fold_clock_join", "  "),
     ("read_consistency", ""),
@@ -419,6 +436,12 @@ def _print_profile(
             value = result.stats.get(name)
             if value is not None:
                 print(f"    {name:<16} {value:9d}", file=sys.stderr)
+    for name in ("parse_gc_collections", "fold_gc_collections"):
+        value = merged.get(name)
+        if value is not None:
+            # gc.get_stats() collection-count deltas per phase: how often
+            # the collector interrupted each phase (all generations).
+            print(f"  {name:<18} {value:9d}", file=sys.stderr)
     print(f"  {'total':<18} {total_seconds:9.4f}", file=sys.stderr)
     print(
         f"  peak alloc         {peak_bytes / (1024 * 1024):9.1f} MiB "
@@ -477,6 +500,7 @@ def _run_check(args: argparse.Namespace) -> int:
             batch_ops=args.batch_ops,
             retire=_retire_policy(args),
             timings=profile_timings,
+            gc_tune=args.gc_tune,
         )
     elif checker_name in ("awdit", "default"):
         engine = args.engine

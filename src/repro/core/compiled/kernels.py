@@ -66,6 +66,8 @@ __all__ = [
     "saturate_ra_compiled",
     "saturate_cc_compiled",
     "compact_writer_registry",
+    "join_clocks",
+    "ParkQueue",
     "ResolvedBatch",
     "WritesIndex",
     "WriterProbeIndex",
@@ -792,6 +794,131 @@ def compact_writer_registry(
     new_sidx.frombytes(np.frombuffer(wb_sidx, dtype=np.int64)[keep].tobytes())
     new_tid.frombytes(np.frombuffer(wb_tid, dtype=np.int64)[keep].tobytes())
     return new_bucket, new_sidx, new_tid
+
+
+# -- online columnar fold state (clock join + park queue) ----------------------
+
+#: Below this many joined cells (writer rows x clock stride) the numpy view
+#: setup costs more than the interpreted max loop; both paths are
+#: bit-identical, so the cutoff is pure tuning (small-session histories --
+#: the fig9 shape -- stay scalar on purpose, which the ``join_kernel`` stat
+#: reports as ``fallback``/``mixed`` without that being a regression).
+_MIN_JOIN_CELLS = 1024
+
+
+def _join_clocks_fallback(hb_data, stride, sc_data, soff, rows, wsids, wsidxs):
+    out = sc_data[soff : soff + stride]
+    for wj in rows:
+        boff = wj * stride
+        for s in range(stride):
+            value = hb_data[boff + s]
+            if value > out[s]:
+                out[s] = value
+    for i, wsid in enumerate(wsids):
+        if wsidxs[i] > out[wsid]:
+            out[wsid] = wsidxs[i]
+    return out
+
+
+def join_clocks(hb_data, stride, sc_data, soff, rows, wsids, wsidxs):
+    """Join one transaction's causal clock from its writers' hb matrix rows.
+
+    ``hb_data`` is the flat row-major hb matrix (``array('q')``, one
+    ``stride``-wide row per resident transaction, ``-1`` = "no entry") and
+    ``sc_data[soff:soff+stride]`` the reader session's base clock row.
+    ``rows`` are the matrix row indices of the (pre-filtered) external
+    writers to join, and ``wsids``/``wsidxs`` their session id / session
+    index pairs for the per-writer bump.  Returns ``(row, vectorized)``
+    where ``row`` is a fresh ``array('q')`` of the joined clock.
+
+    The join is a pure elementwise maximum -- the base clock, every
+    writer's full row, and a scatter-max of each writer's own session
+    index -- so the two implementations are bit-identical by construction
+    (hypothesis-pinned in ``tests/test_columnar_fold.py``); the caller
+    applies the same-session and dominated-writer pre-filters identically
+    on both paths.  Vector-clock transitivity makes the commuted order
+    safe: every installed hb entry carries that transaction's full causal
+    past, so joining a dominated or repeated writer is a value-level no-op.
+    """
+    if _np is None or len(rows) * stride < _MIN_JOIN_CELLS:
+        return (
+            _join_clocks_fallback(hb_data, stride, sc_data, soff, rows, wsids, wsidxs),
+            False,
+        )
+    np = _np
+    hb_view = np.frombuffer(hb_data, dtype=np.int64).reshape(-1, stride)
+    out = hb_view[np.asarray(rows, dtype=np.int64)].max(axis=0)
+    base = np.frombuffer(sc_data, dtype=np.int64)[soff : soff + stride]
+    np.maximum(out, base, out=out)
+    np.maximum.at(
+        out,
+        np.asarray(wsids, dtype=np.int64),
+        np.asarray(wsidxs, dtype=np.int64),
+    )
+    row = array("q")
+    row.frombytes(out.tobytes())
+    return row, True
+
+
+class ParkQueue:
+    """Columnar park queue: packed write id -> flat ``(tid, slot)`` pairs.
+
+    The streaming fold's multimap of reads waiting for a write to arrive,
+    with no per-read objects resident: each value is one ``array('q')`` of
+    interleaved pairs in arrival order.  ``slot >= 0`` indexes the reader's
+    live-read list (the general slow path); ``slot < 0`` encodes a
+    clean-parked read of a prefold transaction as ``-(read_index) - 1``
+    (its key/value ids are recoverable from the packed wid, and its
+    eventual binding is already known to the resolve kernel).  Pops
+    preserve arrival order exactly, and iteration order over wids is
+    insertion order -- both are contractual for park/rebind/thin-air
+    timing.  Plain dict-of-arrays, so checkpoints pickle it directly.
+    """
+
+    __slots__ = ("_rows",)
+
+    def __init__(self) -> None:
+        self._rows: Dict[int, "array"] = {}
+
+    def add(self, wid: int, tid: int, slot: int) -> None:
+        row = self._rows.get(wid)
+        if row is None:
+            row = array("q")
+            self._rows[wid] = row
+        row.append(tid)
+        row.append(slot)
+
+    def pop(self, wid: int):
+        """Remove and return the wid's pair row (``None`` when absent)."""
+        return self._rows.pop(wid, None)
+
+    def wids(self):
+        """Parked wids in first-park order (the thin-air drain order)."""
+        return self._rows.keys()
+
+    def items(self):
+        return self._rows.items()
+
+    def rows(self):
+        return self._rows.values()
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __contains__(self, wid: int) -> bool:
+        return wid in self._rows
+
+    def __getstate__(self):
+        return self._rows
+
+    def __setstate__(self, rows) -> None:
+        self._rows = rows
 
 
 # -- online read resolution (the streaming fold's classify kernel) -------------

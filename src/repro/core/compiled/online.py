@@ -29,12 +29,19 @@ single-record batch, so no :class:`~repro.core.model.Operation` or
 
 Memory model: each transaction's operation data is dropped the moment the
 transaction is folded into the online state; what stays resident is the
-*live state* -- one transaction-level summary per appended transaction (ids,
-written keys, first-reads-per-writer), the writes index, the parked reads
-whose writes have not arrived, and the per-(session, key) writer lists --
-so checking a multi-gigabyte log is bounded by live state, not by operation
-count.  :meth:`live_stats` reports the peak footprint of each component
-(``awdit stats --stream`` prints it).
+*live state*, laid out as structure-of-arrays columns indexed by
+``tid - _txns_base`` -- flat ``array('q')`` transaction summaries (session
+ids/indices, status flags, written-key and first-read-per-writer runs in
+shared values arrays with per-transaction offsets), the writes index, a
+columnar park queue of reads whose writes have not arrived
+(:class:`~repro.core.compiled.kernels.ParkQueue`), the per-(session, key)
+writer lists, and one flat row-major clock matrix each for the hb clocks
+and the session clocks -- so checking a multi-gigabyte log is bounded by
+live state, not by operation count, and the resident footprint is array
+bytes the cyclic GC never walks, not a per-transaction object heap.
+:meth:`live_stats` reports the peak footprint of each component
+(``awdit stats --stream`` prints it); the README's "Fold memory model"
+section maps each column to what it holds.
 
 Checkpoint/resume: :meth:`save_checkpoint` serializes the whole online
 state (intern tables, frontiers, pending reads, edge logs) to a file;
@@ -90,7 +97,7 @@ from repro.core.compiled.retire import (
     check_identity_reuse,
     check_retired_reads,
     load_retired_state,
-    low_watermark,
+    low_watermark_flat,
     stable_digest,
 )
 from repro.graph.csr import freeze_packed
@@ -146,9 +153,18 @@ _KEY_SHIFT = 24
 #: they predate retirement entirely, so ``__setstate__`` injects the
 #: retirement-disabled defaults (base 0, epoch 0) and the resume behaves
 #: exactly like the run that wrote them.
+#: Version 6: the resident transaction heap is columnar -- flat parallel
+#: arrays indexed by ``tid - _txns_base`` (``_t_sid`` / ``_t_sidx`` /
+#: ``_t_flags`` / ..., packed final-write and first-read-per-writer runs),
+#: a :class:`~repro.core.compiled.kernels.ParkQueue` for ``_pending``, and
+#: flat row-major clock matrices (``_hb_data`` / ``_sc_data``) instead of
+#: the ``_hb`` dict and ``List[List[int]]`` session clocks.  Version-4 and
+#: version-5 checkpoints (which carry ``_Txn`` / ``_Read`` object state)
+#: are still loadable: ``__setstate__`` migrates them into the columns via
+#: ``_migrate_legacy_state`` and the resume is byte-identical.
 CHECKPOINT_MAGIC = b"AWDITCKPT"
-CHECKPOINT_VERSION = 5
-_LOADABLE_CHECKPOINT_VERSIONS = (4, 5)
+CHECKPOINT_VERSION = 6
+_LOADABLE_CHECKPOINT_VERSIONS = (4, 5, 6)
 
 #: Bytes of file prefix hashed into the checkpoint source fingerprint.
 _FINGERPRINT_PREFIX = 1 << 16
@@ -175,7 +191,14 @@ def _sort_base(sid: int, sidx: int) -> int:
 
 
 class _Read:
-    """A read awaiting (or holding) its write-read resolution, all-int form."""
+    """A read awaiting (or holding) its write-read resolution, all-int form.
+
+    Only reads routed through the general slow path (own reads, aborted or
+    non-final writers) materialize as ``_Read`` objects, held in the
+    ``_live_reads`` side table until their transaction resolves; the fast
+    and clean paths never allocate one.  The class also remains the pickle
+    form parked reads take inside v4/v5 checkpoints.
+    """
 
     __slots__ = ("index", "kid", "vid", "own_prev", "writer", "writer_index", "bad")
 
@@ -190,7 +213,13 @@ class _Read:
 
 
 class _Txn:
-    """Transaction-level summary retained by the online core."""
+    """Legacy transaction summary -- the pickle form inside v4/v5 checkpoints.
+
+    The live core stores transaction summaries as flat columns (see
+    ``CompiledIncrementalChecker.__init__``); this class exists so old
+    checkpoints still unpickle, after which ``_migrate_legacy_state``
+    decomposes each instance into the columns and drops it.
+    """
 
     __slots__ = (
         "tid",
@@ -305,21 +334,74 @@ class CompiledIncrementalChecker:
         self._retire_last = 0
         self._retired_final = None
 
-        self._txns: List[_Txn] = []
+        # Columnar transaction summaries: one row per resident transaction,
+        # indexed by ``j = tid - _txns_base``.  ``_t_flags`` packs the four
+        # status booleans (bit 0 committed, bit 1 resolved, bit 2 cc_done,
+        # bit 3 cc_registered).  The written-key and first-read-per-writer
+        # summaries are *runs* into shared append-only values arrays:
+        # ``_fw_kid[_fw_off[j]:_fw_off[j+1]]`` is the transaction's written
+        # kids in first-write order, and the ``_wr_any`` / ``_wr_good``
+        # (start, len) pairs slice parallel (writer tid, kid) arrays in
+        # first-read order.  ``_wr_good_start[j] == -1`` is a sentinel for
+        # "the good run equals the any run", and ``_wr_any_start[j] == -2``
+        # for "derive both maps from the good-read run at consume time"
+        # (the overwhelmingly common clean-fold case: every read is good,
+        # so first-kid-per-distinct-writer over the run *is* the any map)
+        # -- the hot fold stores no wr bytes at all for such rows.
+        self._t_sid = array("q")
+        self._t_sidx = array("q")
+        self._t_flags = array("B")
+        self._t_unres = array("q")
+        self._t_ccpend = array("q")
+        self._t_slow = array("q")
+        self._t_labels: List[Optional[str]] = []
+        self._fw_off = array("q", (0,))
+        self._fw_kid = array("q")
+        self._wr_any_start = array("q")
+        self._wr_any_len = array("q")
+        self._wr_any_writer = array("q")
+        self._wr_any_kid = array("q")
+        self._wr_good_start = array("q")
+        self._wr_good_len = array("q")
+        self._wr_good_writer = array("q")
+        self._wr_good_kid = array("q")
+        # Good-read runs: ``(op index, kid, writer tid)`` triples of every
+        # committed transaction's good reads, in read order, as three shared
+        # append-only arrays sliced by the per-row ``(_gr_start, _gr_len)``
+        # pair.  Fast and clean-parked transactions alias the resolve
+        # kernel's batch columns (one bulk extend per batch covers them);
+        # slow-path rows append their triples at resolve.  The run feeds RC
+        # saturation, the RA pre-pass, the CC prefilter and probe flush, and
+        # -- through the ``_wr_any_start[j] == -2`` derive sentinel -- the
+        # finalize wr maps, so no per-transaction tuple lists stay resident.
+        self._gr_start = array("q")
+        self._gr_len = array("q")
+        self._gr_index = array("q")
+        self._gr_kid = array("q")
+        self._gr_writer = array("q")
+        # Side tables bounded by the unfolded backlog, never by stream
+        # length (every entry is popped when its transaction folds): tid ->
+        # live ``_Read`` objects of a slow-path transaction still parked,
+        # tid -> parked wid column of a clean parked transaction.
+        self._live_reads: Dict[int, List[_Read]] = {}
+        self._prefold: Dict[int, list] = {}
         self._session_ids: Dict[object, int] = {}
-        self._by_session: List[List[_Txn]] = []
+        #: Per session: resident transaction tids in session order (absolute;
+        #: entry ``i`` of session ``s`` is session index ``_sess_base[s]+i``).
+        self._by_session: List["array"] = []
         self._key_table = Intern()
         self._value_table = Intern()
         # Packed ``(kid << 32) | vid`` -> (sid, sidx, op index, writer tid,
         # is-final flag).  The tuple is ordered so that direct comparison is
         # comparison by batch transaction-id order (sid, sidx, op index).
         self._writes: Dict[int, Tuple[int, int, int, int, bool]] = {}
-        # Packed write id -> reads waiting for that write to arrive.  This
-        # doubles as the roster of parked transactions: when a duplicate
-        # write supersedes a wid (rare), the resolved reads that may rebind
-        # are reconstructed by scanning the parked transactions reachable
-        # here -- no per-bind rebind table is maintained on the hot path.
-        self._pending: Dict[int, List[Tuple[_Txn, _Read]]] = {}
+        # Packed write id -> (reader tid, slot) pairs waiting for that write
+        # to arrive, as a columnar multimap.  This doubles as the roster of
+        # parked transactions: when a duplicate write supersedes a wid
+        # (rare), the resolved reads that may rebind are reconstructed by
+        # scanning the parked transactions reachable here -- no per-bind
+        # rebind table is maintained on the hot path.
+        self._pending = _kernels.ParkQueue()
 
         # RA state: per-session frontier index and lastWrite map.
         self._ra_next: List[int] = []
@@ -328,17 +410,33 @@ class CompiledIncrementalChecker:
         # CC state: per-session causal frontier, session clocks, writer lists
         # with dense bucket ids, and the flat per-reader-session pointer rows.
         self._cc_next: List[int] = []
-        self._session_clock: List[List[int]] = []
+        # Flat row-major clock matrices, both with the same power-of-two row
+        # stride (grown geometrically by ``_grow_clock_stride`` when a new
+        # session overflows it): ``_sc_data`` holds one session-clock row
+        # per dense sid, ``_hb_data`` one hb-clock row per *resident*
+        # transaction (row ``tid - _txns_base``).  Cells are -1-padded; a -1
+        # entry compares exactly like the missing entry of the old ragged
+        # ``List[List[int]]`` clocks (``sidx <= -1`` is false for any real
+        # session index).  -1 as int64 is all 0xff bytes, so ``_hb_pad``
+        # (one padded row) appends a fresh row with a single frombytes.
+        self._clock_stride = 4
+        self._sc_data = array("q")
+        self._hb_data = array("q")
+        self._hb_pad = b"\xff" * (8 * self._clock_stride)
         #: key id -> (sorted writer session ids, slots aligned with them,
-        #: {sid: slot}); a slot is (tids, sidxs, bucket id, writer sid).  The
-        #: slot list is what the CC loop iterates -- one tuple unpack per
-        #: probe instead of a dict lookup per (read, session) pair.
+        #: {sid: slot}, bucket ids aligned with the slots); a slot is
+        #: (tids, sidxs, bucket id, writer sid).  The slot list is what the
+        #: CC loop iterates -- one tuple unpack per probe instead of a dict
+        #: lookup per (read, session) pair -- and the parallel bucket-id
+        #: list lets the vectorized probe flush build its key CSR with two
+        #: C-level extends per key instead of a Python loop over slots.
         self._writers_by_key: Dict[
             int,
             Tuple[
                 List[int],
                 List[Tuple[List[int], List[int], int, int]],
                 Dict[int, Tuple[List[int], List[int], int, int]],
+                List[int],
             ],
         ] = {}
         self._num_buckets = 0
@@ -352,8 +450,9 @@ class CompiledIncrementalChecker:
         #: ``CHECKPOINT_VERSION``).
         self._cc_ptr_rows: List[List[int]] = []
         self._cc_t2_rows: List[List[int]] = []
-        self._cc_waiters: Dict[int, List[_Txn]] = {}
-        self._hb: Dict[int, List[int]] = {}
+        #: writer tid -> tids of registered readers waiting on its cc_done
+        #: (one entry per waiting read occurrence, like the dependency count).
+        self._cc_waiters: Dict[int, List[int]] = {}
         #: Append-order mirror of every writer registration -- (bucket id,
         #: session index, tid) rows the vectorized probe flush sorts into a
         #: searchsorted-able composite (see ``_flush_cc_probes``); part of
@@ -361,15 +460,22 @@ class CompiledIncrementalChecker:
         self._wb_bucket = array("q")
         self._wb_sidx = array("q")
         self._wb_tid = array("q")
-        #: Transactions whose CC clock join ran but whose edge-emission
-        #: probes are deferred to the end of the batch, where one flush
-        #: answers them all (vectorized when numpy is on and the batch is
-        #: big enough, the scalar pointer loop otherwise).
-        self._cc_probe_pending: List[_Txn] = []
+        #: Transactions (tids) whose CC clock join ran but whose
+        #: edge-emission probes are deferred to the end of the batch, where
+        #: one flush answers them all (vectorized when numpy is on and the
+        #: batch is big enough, the scalar pointer loop otherwise).
+        self._cc_probe_pending: List[int] = []
         #: Flush-implementation tallies, surfaced as the
         #: ``saturation_kernel`` stat (``--profile`` self-description).
         self._flush_vectorized = 0
         self._flush_scalar = 0
+        #: Clock-join tallies for ``kernels.join_clocks``, surfaced as the
+        #: ``join_kernel`` stat.  "fallback"/"mixed" is *normal* on small
+        #: session counts: joins below ``kernels._MIN_JOIN_CELLS`` cells run
+        #: the scalar path on purpose because numpy dispatch would cost more
+        #: than it saves there.
+        self._join_vectorized = 0
+        self._join_scalar = 0
 
         #: Derived kernel caches (never pickled, rebuilt after restore or
         #: retirement): the sorted flat mirror of ``_writes`` behind
@@ -417,8 +523,9 @@ class CompiledIncrementalChecker:
         # the folded reader (its operation data is gone), so the fold raises
         # a diagnostic instead of silently diverging from the batch engines.
         self._folded_read_wids: Set[int] = set()
-        # --profile sub-laps of the fold ("intern" / "classify" /
-        # "clock_join" wall seconds); None unless enable_fold_profile() ran.
+        # --profile sub-laps of the fold ("intern" / "dispatch" /
+        # "classify" / "clock_join" wall seconds); None unless
+        # enable_fold_profile() ran.
         self._fold_laps: Optional[Dict[str, float]] = None
 
         if num_sessions is not None:
@@ -524,7 +631,26 @@ class CompiledIncrementalChecker:
             laps["intern"] += lap_mark - start
             cc_lap_before = laps["clock_join"]
 
-        txns = self._txns
+        t_sid = self._t_sid
+        t_sidx = self._t_sidx
+        t_flags = self._t_flags
+        t_unres = self._t_unres
+        t_ccpend = self._t_ccpend
+        t_slow = self._t_slow
+        t_labels = self._t_labels
+        fw_off = self._fw_off
+        fw_kid = self._fw_kid
+        wany_start = self._wr_any_start
+        wany_len = self._wr_any_len
+        wgood_start = self._wr_good_start
+        wgood_len = self._wr_good_len
+        gr_start = self._gr_start
+        gr_len = self._gr_len
+        gr_index = self._gr_index
+        gr_kid = self._gr_kid
+        gr_writer = self._gr_writer
+        live_reads = self._live_reads
+        prefold_map = self._prefold
         session_ids = self._session_ids
         by_session = self._by_session
         writes = self._writes
@@ -543,15 +669,34 @@ class CompiledIncrementalChecker:
         rc_enabled = self._rc_enabled
         classify = self._classify
         on_resolved = self._on_resolved
-        pending_setdefault = pending.setdefault
-        pending_pop = pending.pop
+        rc_saturate = self._rc_saturate
+        advance_ra = self._advance_ra
+        advance_cc = self._advance_cc
+        pending_add = pending.add
+        # The underlying dict's pop, not the ParkQueue method: one write
+        # arrival per parked wid pays this call, so skipping the Python
+        # wrapper frame is measurable on write-heavy streams.
+        pending_pop = pending._rows.pop
         writes_get = writes.get
         wb_bucket_append = self._wb_bucket.append
         wb_sidx_append = self._wb_sidx.append
         wb_tid_append = self._wb_tid.append
+        # The hb matrix (and its pad row) are rebound after any mid-batch
+        # session registration: a registration can grow the clock stride,
+        # which replaces both.
+        hb_data = self._hb_data
+        hb_pad = self._hb_pad
         # Resolve counters accumulate in locals for the whole batch (the
         # live-stats surface only reads them between batches).
         n_fast = n_slow = n_parked = n_rebound = 0
+        # Fast-path and aborted folds defer their frontier advances to one
+        # sweep per touched session at the end of the batch: the frontiers
+        # always process in session order from their own cursors, so when
+        # the advance runs does not change what it computes -- only the
+        # per-transaction call overhead.  (_on_resolved keeps its inline
+        # advances: parked resolutions are rare and may cross batches.)
+        touched_sids: Set[int] = set()
+        touch = touched_sids.add
 
         # Whole-batch read resolution: one kernel call answers every
         # committed read's "who wrote this (key, value) -- final? committed?
@@ -564,10 +709,12 @@ class CompiledIncrementalChecker:
         # (written twice in the batch, or already registered) and every
         # read the kernel could not prove clean drop to the exact scalar
         # path against the live dict.
+        if laps is not None and "dispatch" in laps:
+            dispatch_mark = time.perf_counter()
         res = _kernels.resolve_reads(
             writes_index,
             writes,
-            lambda wtid: txns[wtid - tbase].committed,
+            lambda wtid: t_flags[wtid - tbase] & 1,
             kid_col,
             vid_col,
             kinds,
@@ -575,6 +722,10 @@ class CompiledIncrementalChecker:
             committed_col,
             self._next_tid,
         )
+        dispatch_delta = 0.0
+        if laps is not None and "dispatch" in laps:
+            dispatch_delta = time.perf_counter() - dispatch_mark
+            laps["dispatch"] += dispatch_delta
         if res.kernel == "vectorized":
             self._resolve_vectorized += 1
         else:
@@ -597,6 +748,16 @@ class CompiledIncrementalChecker:
         txn_clean = res.txn_clean
         txn_hazard = res.txn_hazard
 
+        # The batch's read columns land in the shared good-run arrays in one
+        # bulk extend; fast and clean-parked transactions then alias their
+        # ``[ra:rb)`` slice by offset instead of materializing tuple lists.
+        # Rows of slow-path reads (writer still -1) are never referenced --
+        # those transactions append their resolved triples at fold time.
+        gbase = len(gr_index)
+        gr_index.extend(r_index)
+        gr_kid.extend(r_kid)
+        gr_writer.extend(r_writer)
+
         if txn_end:
             self._num_operations += txn_end[-1]
         try:
@@ -604,6 +765,8 @@ class CompiledIncrementalChecker:
                 sid = session_ids.get(sessions_col[t])
                 if sid is None:
                     sid = self._register_session(sessions_col[t])
+                    hb_data = self._hb_data
+                    hb_pad = self._hb_pad
                 records = by_session[sid]
                 tid = self._next_tid
                 if tid >= (1 << 31):
@@ -615,16 +778,28 @@ class CompiledIncrementalChecker:
                         "history has too many transactions for packed edges"
                     )
                 committed = bool(committed_col[t])
-                rec = _Txn(
-                    tid, sid, sess_base[sid] + len(records), committed, labels_col[t]
-                )
-                txns.append(rec)
-                records.append(rec)
+                sidx = sess_base[sid] + len(records)
+                t_sid.append(sid)
+                t_sidx.append(sidx)
+                t_flags.append(1 if committed else 0)
+                t_unres.append(0)
+                t_ccpend.append(0)
+                t_slow.append(0)
+                t_labels.append(labels_col[t])
+                wany_start.append(-1)
+                wany_len.append(0)
+                wgood_start.append(-1)
+                wgood_len.append(0)
+                gr_start.append(-1)
+                gr_len.append(0)
+                hb_data.frombytes(hb_pad)
+                records.append(tid)
                 self._next_tid = tid + 1
                 if t == cap_txn:
                     # The value-table pass crossed the packed-vid budget inside
                     # this transaction; raise at the same transaction boundary
                     # the per-op intern would have.
+                    fw_off.append(len(fw_kid))
                     raise HistoryFormatError(
                         "history has too many distinct values for the compiled IR"
                     )
@@ -632,8 +807,8 @@ class CompiledIncrementalChecker:
                 # ``final_write`` maps key id -> the transaction's final write
                 # index; dict(zip) keeps first-write key order with the last
                 # write winning, exactly the map the per-op scan used to build.
-                # The dict doubles as both key-written views of the record.
-                sidx = rec.sidx
+                # Its keys land in the ``_fw_kid`` run for this row; the write
+                # indices are only needed transiently for registration.
                 superseded: List[int] = ()
                 wa = w_start[t]
                 wz = w_start[t + 1]
@@ -641,8 +816,7 @@ class CompiledIncrementalChecker:
                     final_write: Dict[int, int] = dict(
                         zip(w_kid[wa:wz], w_index[wa:wz])
                     )
-                    rec.keys_written = final_write
-                    rec.keys_written_ordered = final_write
+                    fw_kid.extend(final_write)
 
                     # Register writes, last write in batch order winning.
                     # Non-hazardous transactions bulk-register -- every write is
@@ -672,33 +846,24 @@ class CompiledIncrementalChecker:
                                 )
                     else:
                         new_writes = w_wid[wa:wz]
-                        writes.update(
-                            zip(
-                                new_writes,
-                                zip(
-                                    repeat(sid),
-                                    repeat(sidx),
-                                    w_index[wa:wz],
-                                    repeat(tid),
-                                    w_final[wa:wz],
-                                ),
-                            )
-                        )
+                        for k in range(wa, wz):
+                            writes[w_wid[k]] = (sid, sidx, w_index[k], tid, w_final[k])
                     if retiring:
                         for kid in final_write:
                             latest_writer[kid] = tid
                 else:
                     final_write = None
                     new_writes = ()
+                fw_off.append(len(fw_kid))
 
                 if committed and cc_enabled and final_write:
                     num_buckets = self._num_buckets
                     for kid in final_write:
                         entry2 = writers_by_key.get(kid)
                         if entry2 is None:
-                            entry2 = ([], [], {})
+                            entry2 = ([], [], {}, [])
                             writers_by_key[kid] = entry2
-                        sids, slots, per_sid = entry2
+                        sids, slots, per_sid, buckets = entry2
                         slot = per_sid.get(sid)
                         if slot is None:
                             slot = ([], [], num_buckets, sid)
@@ -707,6 +872,7 @@ class CompiledIncrementalChecker:
                             position = bisect_left(sids, sid)
                             sids.insert(position, sid)
                             slots.insert(position, slot)
+                            buckets.insert(position, slot[2])
                         slot[0].append(tid)
                         slot[1].append(sidx)
                         wb_bucket_append(slot[2])
@@ -732,61 +898,90 @@ class CompiledIncrementalChecker:
                         value = value_objs[wid & (value_cap - 1)]
                         raise HistoryFormatError(
                             f"duplicate write W({key}, {value!r}) in "
-                            f"{self._name(rec)} supersedes a write whose reader "
+                            f"{self._name(tid)} supersedes a write whose reader "
                             "was already folded into the online state; the "
                             "stream cannot rebind that read-from edge and its "
                             "verdict would diverge from the batch engines -- "
                             "re-check this history without --stream"
                         )
-                    waiters: List[Tuple[int, int, _Txn, _Read]] = []
+                    waiters: List[Tuple[int, int, _Read]] = []
                     seen_tids: Set[int] = set()
-                    for plist in pending.values():
-                        for other, _parked in plist:
-                            otid = other.tid
+                    for row in pending.rows():
+                        for p in range(0, len(row), 2):
+                            otid = row[p]
                             if otid in seen_tids:
                                 continue
                             seen_tids.add(otid)
-                            for read in other.reads:
+                            # Clean-parked transactions carry no _Read
+                            # objects (nothing of theirs is resolved yet),
+                            # so only slow-path parked readers can rebind.
+                            for read in live_reads.get(otid, ()):
                                 if (read.writer is not None or read.bad) and (
                                     (read.kid << _VALUE_SHIFT) | read.vid
                                 ) == wid:
-                                    waiters.append((otid, read.index, other, read))
+                                    waiters.append((otid, read.index, read))
                     if waiters:
                         waiters.sort(key=lambda w: (w[0], w[1]))
                         hit = writes[wid]
-                        for _otid, _rindex, other, read in waiters:
-                            self._unclassify(other, read)
-                            classify(other, read, hit)
-                            other.slow_reads += 1
+                        for otid, _rindex, read in waiters:
+                            self._unclassify(otid, read)
+                            classify(otid, read, hit)
+                            t_slow[otid - tbase] += 1
                             n_rebound += 1
 
                 # Resolve earlier reads that were parked waiting for these writes.
                 for wid in new_writes:
-                    waiters2 = pending_pop(wid, None)
-                    if not waiters2:
+                    row = pending_pop(wid, None)
+                    if not row:
                         continue
                     hit = writes[wid]
                     windex = hit[2]
                     # Parked reads resolve against this transaction's fresh
                     # write (always external to the parked reader): the common
                     # _classify exit binds inline.
-                    self._num_parked -= len(waiters2)
+                    self._num_parked -= len(row) >> 1
                     clean = hit[4] and committed
-                    for other, read in waiters2:
-                        if clean and read.own_prev is None:
-                            read.writer = tid
-                            read.writer_index = windex
-                            n_fast += 1
+                    for p in range(0, len(row), 2):
+                        otid = row[p]
+                        slot = row[p + 1]
+                        oj = otid - tbase
+                        if slot < 0:
+                            # Clean-parked read: its binding was proved by the
+                            # resolve kernel and already sits in the reader's
+                            # good-read run; nothing to materialize unless the
+                            # proof failed (it cannot -- a clean wid has
+                            # exactly one batch writer, final and committed --
+                            # but keep the classify route for defense in
+                            # depth).
+                            if clean:
+                                n_fast += 1
+                            else:  # pragma: no cover - unreachable by proof
+                                read = _Read(
+                                    -slot - 1,
+                                    wid >> _VALUE_SHIFT,
+                                    wid & (value_cap - 1),
+                                    None,
+                                )
+                                classify(otid, read, hit)
+                                t_slow[oj] += 1
+                                n_slow += 1
                         else:
-                            classify(other, read, hit)
-                            other.slow_reads += 1
-                            n_slow += 1
-                        other.unresolved -= 1
-                        if other.unresolved == 0:
-                            on_resolved(other)
+                            read = live_reads[otid][slot]
+                            if clean and read.own_prev is None:
+                                read.writer = tid
+                                read.writer_index = windex
+                                n_fast += 1
+                            else:
+                                classify(otid, read, hit)
+                                t_slow[oj] += 1
+                                n_slow += 1
+                        t_unres[oj] -= 1
+                        if t_unres[oj] == 0:
+                            on_resolved(otid)
 
                 # Resolve this transaction's own reads against everything seen
                 # so far, consuming the kernel's whole-batch answers.
+                jrow = tid - tbase
                 if committed:
                     self._num_unfolded += 1
                     if self._num_unfolded > self._peak_unfolded:
@@ -799,22 +994,20 @@ class CompiledIncrementalChecker:
                         # columns -- this is _on_resolved inlined, with no
                         # _Read objects on the path at all.
                         n_fast += rb - ra
-                        kids = r_kid[ra:rb]
-                        writers = r_writer[ra:rb]
                         folded_wids.update(r_wid[ra:rb])
-                        good = list(zip(r_index[ra:rb], kids, writers))
-                        # First-read kid per writer: dict(zip) keeps the first
-                        # writer order; when writers repeat, rebuild keeping the
-                        # first kid instead of the last.
-                        wr_any: Dict[int, int] = dict(zip(writers, kids))
-                        if len(wr_any) != len(kids):
-                            wr_any = {}
-                            for j, w in enumerate(writers):
-                                if w not in wr_any:
-                                    wr_any[w] = kids[j]
-                        if ra_enabled and rb - ra > 1:
+                        if rb > ra:
+                            gr_start[jrow] = gbase + ra
+                            gr_len[jrow] = rb - ra
+                        wany_start[jrow] = -2
+                        if ra_enabled and rb - ra > 1 and (
+                            # A non-repeatable read needs a repeated key;
+                            # one C-level set build skips the per-read dict
+                            # loop for the (dominant) all-distinct case.
+                            len(set(kids := r_kid[ra:rb])) != rb - ra
+                        ):
+                            writers = r_writer[ra:rb]
                             # _check_repeatable_reads, inlined (the writer is
-                            # never rec itself on the fast path); on a
+                            # never the reader itself on the fast path); on a
                             # violation the last-writer entry is *not* updated,
                             # matching the scalar check.
                             last_writer: Dict[int, int] = {}
@@ -829,10 +1022,10 @@ class CompiledIncrementalChecker:
                                     violation = RepeatableReadViolation(
                                         kind=ViolationKind.NON_REPEATABLE_READ,
                                         message=(
-                                            f"{self._name(rec)} reads {key!r} "
+                                            f"{self._name(tid)} reads {key!r} "
                                             f"from both "
-                                            f"{self._name(txns[previous - tbase])} "
-                                            f"and {self._name(txns[w - tbase])}"
+                                            f"{self._name(previous)} "
+                                            f"and {self._name(w)}"
                                         ),
                                         txn=tid,
                                         key=key,
@@ -842,50 +1035,38 @@ class CompiledIncrementalChecker:
                                         ((sid, sidx, r_index[ra + j]), violation)
                                     )
                                     self._live.append(violation)
-                        rec.resolved = True
+                        t_flags[jrow] |= 2
                         self._num_unfolded -= 1
-                        rec.good_reads = good
-                        rec.wr_first_any = wr_any
-                        rec.wr_first_good = dict(wr_any)
                         if cc_enabled:
                             self._cc_backlog += 1
                             if self._cc_backlog > self._peak_cc_backlog:
                                 self._peak_cc_backlog = self._cc_backlog
                         if rc_enabled:
-                            self._rc_saturate(rec)
-                            if not ra_enabled and not cc_enabled:
-                                rec.good_reads = []
-                        self._advance_ra(sid)
-                        self._advance_cc(sid)
+                            rc_saturate(tid)
+                        touch(sid)
                     elif txn_clean[t]:
                         # Every read is clean but at least one writer registers
                         # later in this batch: park those reads exactly like the
                         # scalar fold (same pending-queue timing, same peak
                         # stats), but precompute the fold-time structures now --
-                        # the kernel already knows every eventual binding.  A
-                        # clean wid has exactly one batch writer and no registry
-                        # entry, so no supersede can ever rebind these reads;
-                        # the rebind table skips them entirely (an entry there
-                        # could only be consulted by a supersede of a hot wid).
+                        # the kernel already knows every eventual binding, so
+                        # the parked entries carry the encoded read index
+                        # (``-index - 1``) instead of a _Read object.  A clean
+                        # wid has exactly one batch writer and no registry
+                        # entry, so no supersede can ever rebind these reads.
                         unresolved = 0
                         for j in range(ra, rb):
                             if not r_fast[j]:
-                                read = _Read(r_index[j], r_kid[j], r_vid[j], None)
-                                pending_setdefault(r_wid[j], []).append((rec, read))
+                                pending_add(r_wid[j], tid, -r_index[j] - 1)
                                 unresolved += 1
                         n_parked += unresolved
                         n_fast += (rb - ra) - unresolved
-                        kids = r_kid[ra:rb]
-                        writers = r_writer[ra:rb]
-                        good = list(zip(r_index[ra:rb], kids, writers))
-                        wr_any = dict(zip(writers, kids))
-                        if len(wr_any) != len(kids):
-                            wr_any = {}
-                            for j, w in enumerate(writers):
-                                if w not in wr_any:
-                                    wr_any[w] = kids[j]
-                        rec.prefold = (good, wr_any, r_wid[ra:rb])
-                        rec.unresolved = unresolved
+                        if rb > ra:
+                            gr_start[jrow] = gbase + ra
+                            gr_len[jrow] = rb - ra
+                        wany_start[jrow] = -2
+                        prefold_map[tid] = r_wid[ra:rb]
+                        t_unres[jrow] = unresolved
                         self._num_parked += unresolved
                         if self._num_parked > self._peak_parked:
                             self._peak_parked = self._num_parked
@@ -909,7 +1090,7 @@ class CompiledIncrementalChecker:
                             hit = writes_get(wid)
                             if hit is None:
                                 unresolved += 1
-                                pending_setdefault(wid, []).append((rec, read))
+                                pending_add(wid, tid, len(reads) - 1)
                                 n_parked += 1
                             else:
                                 writer_tid = hit[3]
@@ -919,28 +1100,27 @@ class CompiledIncrementalChecker:
                                     writer_tid != tid
                                     and hit[4]
                                     and ov < 0
-                                    and txns[writer_tid - tbase].committed
+                                    and t_flags[writer_tid - tbase] & 1
                                 ):
                                     read.writer = writer_tid
                                     read.writer_index = hit[2]
                                     n_fast += 1
                                 else:
-                                    classify(rec, read, hit)
+                                    classify(tid, read, hit)
                                     slow += 1
                                     n_slow += 1
-                        rec.reads = reads
-                        rec.slow_reads = slow
+                        live_reads[tid] = reads
+                        t_slow[jrow] = slow
                         if unresolved == 0:
-                            on_resolved(rec)
+                            on_resolved(tid)
                         else:
-                            rec.unresolved = unresolved
+                            t_unres[jrow] = unresolved
                             self._num_parked += unresolved
                             if self._num_parked > self._peak_parked:
                                 self._peak_parked = self._num_parked
                 else:
-                    rec.resolved = True
-                    self._advance_ra(sid)
-                    self._advance_cc(sid)
+                    t_flags[jrow] |= 2
+                    touch(sid)
         except BaseException:
             # A mid-batch error (packed-edge/value-cap overflow, the
             # duplicate-write refusal) leaves the writes dict holding a
@@ -950,6 +1130,12 @@ class CompiledIncrementalChecker:
             writes_index.invalidate()
             raise
         finally:
+            # The deferred frontier sweep runs on the error path too, so a
+            # refused batch leaves the frontiers exactly where the per-fold
+            # advances would have.
+            for touched in sorted(touched_sids):
+                advance_ra(touched)
+                advance_cc(touched)
             self._resolve_fast += n_fast
             self._resolve_slow += n_slow
             self._resolve_parked += n_parked
@@ -975,12 +1161,14 @@ class CompiledIncrementalChecker:
                 self._flush_cc_probes()
         if laps is not None:
             # The fold loop is classification + frontier work; the CC clock
-            # joins time themselves (into laps["clock_join"]), so subtract
-            # their delta to keep the two laps disjoint.
+            # joins and the resolve-kernel dispatch time themselves (into
+            # laps["clock_join"] / laps["dispatch"]), so subtract their
+            # deltas to keep the three laps disjoint.
             laps["classify"] += (
                 time.perf_counter()
                 - lap_mark
                 - (laps["clock_join"] - cc_lap_before)
+                - dispatch_delta
             )
         if self._retire is not None:
             self._maybe_retire()
@@ -1054,6 +1242,8 @@ class CompiledIncrementalChecker:
         """
         if batch_ops is None:
             batch_ops = DEFAULT_BATCH_OPS
+        elif batch_ops < 1:
+            raise ValueError(f"batch_ops must be >= 1, got {batch_ops}")
         batch = RecordBatch()
         add_record = batch.add_record
         for session, (label, committed, ops) in records:
@@ -1068,14 +1258,24 @@ class CompiledIncrementalChecker:
     def enable_fold_profile(self) -> Dict[str, float]:
         """Start accumulating fold sub-laps; returns the live lap dict.
 
-        The dict maps ``"intern"`` / ``"classify"`` / ``"clock_join"`` to
-        wall seconds spent in the columnar key intern pass, the
-        per-transaction resolution loop (which also lazily interns
-        values), and the CC frontier's clock joins respectively
-        (``awdit check --stream --profile`` prints them as ``fold_*``).
+        The dict maps ``"intern"`` / ``"dispatch"`` / ``"classify"`` /
+        ``"clock_join"`` to wall seconds spent in the columnar key intern
+        pass, the resolve-kernel dispatch, the per-transaction resolution
+        loop (which also lazily interns values), and the CC frontier's
+        clock joins respectively (``awdit check --stream --profile``
+        prints them as ``fold_*``).
         """
         if self._fold_laps is None:
-            self._fold_laps = {"intern": 0.0, "classify": 0.0, "clock_join": 0.0}
+            self._fold_laps = {
+                "intern": 0.0,
+                "dispatch": 0.0,
+                "classify": 0.0,
+                "clock_join": 0.0,
+            }
+        else:
+            # Lap dicts resumed from a pre-v6 checkpoint lack the dispatch
+            # sub-lap; backfill so the append_batch guard sees it.
+            self._fold_laps.setdefault("dispatch", 0.0)
         return self._fold_laps
 
     def append(self, session: object, transaction) -> None:
@@ -1118,7 +1318,7 @@ class CompiledIncrementalChecker:
                 retired.digests,
                 (
                     (key_names[wid >> _VALUE_SHIFT], value_objs[wid & vmask])
-                    for wid in self._pending
+                    for wid in self._pending.wids()
                 ),
             )
             check_identity_reuse(
@@ -1129,23 +1329,39 @@ class CompiledIncrementalChecker:
                 ),
             )
             self._retired_final = retired
-        for wid, waiters in list(self._pending.items()):
-            key = key_names[wid >> _VALUE_SHIFT]
-            value = value_objs[wid & ((1 << _VALUE_SHIFT) - 1)]
-            for rec, read in waiters:
+        t_slow = self._t_slow
+        t_unres = self._t_unres
+        tbase = self._txns_base
+        for wid, row in list(self._pending.items()):
+            kid = wid >> _VALUE_SHIFT
+            vid = wid & ((1 << _VALUE_SHIFT) - 1)
+            key = key_names[kid]
+            value = value_objs[vid]
+            for p in range(0, len(row), 2):
+                otid = row[p]
+                slot = row[p + 1]
+                oj = otid - tbase
+                if slot < 0:  # pragma: no cover - unreachable by proof
+                    # A clean-parked read's writer registers later in the
+                    # *same* batch (that is what the kernel proved), so none
+                    # can still be parked at finalize; materialize a _Read
+                    # anyway for defense in depth.
+                    read = _Read(-slot - 1, kid, vid, None)
+                else:
+                    read = self._live_reads[otid][slot]
                 read.bad = True
-                rec.slow_reads += 1
+                t_slow[oj] += 1
                 self._add_rc_violation(
-                    rec,
+                    otid,
                     read,
                     ViolationKind.THIN_AIR_READ,
-                    f"{self._name(rec)} reads R({key}, {value!r}) but no "
+                    f"{self._name(otid)} reads R({key}, {value!r}) but no "
                     f"transaction writes {value!r} to {key!r}",
                     write=None,
                 )
-                rec.unresolved -= 1
-                if rec.unresolved == 0:
-                    self._on_resolved(rec)
+                t_unres[oj] -= 1
+                if t_unres[oj] == 0:
+                    self._on_resolved(otid)
         self._pending.clear()
         self._num_parked = 0
         # Thin-air resolution above may have advanced the CC frontier;
@@ -1169,9 +1385,14 @@ class CompiledIncrementalChecker:
         # Release the online state before rebuilding the commit relations so
         # peak memory stays close to one relation.
         self._writes = {}
-        self._pending = {}
-        self._hb = {}
-        self._session_clock = []
+        self._pending = _kernels.ParkQueue()
+        self._hb_data = array("q")
+        self._sc_data = array("q")
+        # The good-read run columns stay alive: _build_relation and
+        # _causality_graph derive each resident row's wr maps from its run
+        # (the -2 sentinel) during the replay below.
+        self._live_reads = {}
+        self._prefold = {}
         self._writers_by_key = {}
         self._cc_ptr_rows = []
         self._cc_t2_rows = []
@@ -1272,7 +1493,7 @@ class CompiledIncrementalChecker:
             "transactions": self._next_tid,
             "operations": self._num_operations,
             "sessions": len(self._by_session),
-            "resident_transactions": len(self._txns),
+            "resident_transactions": len(self._t_sid),
             "pending_reads": self._num_parked,
             "peak_pending_reads": self._peak_parked,
             "unfolded_transactions": self._num_unfolded,
@@ -1284,6 +1505,8 @@ class CompiledIncrementalChecker:
             "cc_writer_buckets": self._num_buckets,
             "cc_flushes_vectorized": self._flush_vectorized,
             "cc_flushes_fallback": self._flush_scalar,
+            "cc_joins_vectorized": self._join_vectorized,
+            "cc_joins_fallback": self._join_scalar,
             "classify_vectorized": self._resolve_vectorized,
             "classify_fallback": self._resolve_scalar,
             "resolve_fast_path": self._resolve_fast,
@@ -1360,28 +1583,18 @@ class CompiledIncrementalChecker:
             "_resolve_rebound",
             "_resolve_vectorized",
             "_resolve_scalar",
+            "_join_vectorized",
+            "_join_scalar",
         ):
             if slot not in state:
-                # Checkpoints that predate the resolve kernel resume with
-                # the tallies restarted; only the profile counters notice.
+                # Checkpoints that predate the resolve/join kernels resume
+                # with the tallies restarted; only profile counters notice.
                 setattr(self, slot, 0)
-        for rec in self._txns:
-            # _Txn gained the ``prefold`` slot after v5 shipped; clean
-            # transactions always fold within their own batch, so the slot
-            # is None at every checkpoint boundary -- backfill it for
-            # pickles written before it existed.
-            rec.prefold = None
-        if self._txns and not hasattr(self._txns[0], "slow_reads"):
-            # Pickles written before the ``slow_reads`` slot existed: force
-            # the conservative fold path for every resumed transaction (the
-            # fast path is a pure optimization, so semantics are identical).
-            for rec in self._txns:
-                rec.slow_reads = 1
         if "_next_tid" not in state:
             # A version-4 (pre-retirement) checkpoint: nothing was ever
             # retired, so the bases are zero, the remap epoch is zero, and
             # retirement stays disabled for the resumed run.
-            self._next_tid = len(self._txns)
+            self._next_tid = len(state["_txns"])
             self._txns_base = 0
             self._sess_base = [0] * len(self._by_session)
             self._latest_writer = {}
@@ -1390,6 +1603,159 @@ class CompiledIncrementalChecker:
             self._segments = None
             self._retire_last = 0
             self._retired_final = None
+        if "_t_sid" not in state:
+            self._migrate_legacy_state()
+        elif "_gr_start" not in state:
+            # A version-5 (columnar, pre-good-run) checkpoint: its
+            # ``_good_reads`` dict maps 1:1 onto the shared run columns
+            # (rows the old CC flush already consumed stay empty -- their
+            # wr runs were stored explicitly at fold, so nothing downstream
+            # ever reads the missing run).
+            good_map = self.__dict__.pop("_good_reads", {})
+            nrows = len(self._t_sid)
+            gr_start = self._gr_start = array("q", repeat(-1, nrows))
+            gr_len = self._gr_len = array("q", repeat(0, nrows))
+            gr_index = self._gr_index = array("q")
+            gr_kid = self._gr_kid = array("q")
+            gr_writer = self._gr_writer = array("q")
+            tbase = self._txns_base
+            for tid, goods in good_map.items():
+                j = tid - tbase
+                gr_start[j] = len(gr_index)
+                gr_len[j] = len(goods)
+                for index, kid, writer in goods:
+                    gr_index.append(index)
+                    gr_kid.append(kid)
+                    gr_writer.append(writer)
+        # Pre-bucket-cache checkpoints (v4/v5) store 3-tuple writer-registry
+        # entries; grow the parallel bucket-id list the probe flush's key
+        # CSR extends from (slot order is already sid-sorted).
+        writers_by_key = self._writers_by_key
+        for key, entry in writers_by_key.items():
+            if len(entry) == 3:
+                writers_by_key[key] = (
+                    entry[0],
+                    entry[1],
+                    entry[2],
+                    [slot[2] for slot in entry[1]],
+                )
+
+    def _migrate_legacy_state(self) -> None:
+        """Decompose a v4/v5 (object-heap) pickle into the columnar layout.
+
+        The legacy state carries ``_Txn`` records, ``(rec, read)`` pending
+        lists, the ``_hb`` dict, and ``List[List[int]]`` session clocks;
+        everything maps 1:1 onto the columns, so the resumed run is
+        byte-identical to one whose checkpoint was already columnar.
+        """
+        txns: List[_Txn] = self.__dict__.pop("_txns")
+        tbase = self._txns_base
+        # Pickles written before the ``slow_reads`` slot existed: force the
+        # conservative fold path for every resumed transaction (the fast
+        # path is a pure optimization, so semantics are identical).
+        has_slow = not txns or hasattr(txns[0], "slow_reads")
+        t_sid = self._t_sid = array("q")
+        t_sidx = self._t_sidx = array("q")
+        t_flags = self._t_flags = array("B")
+        t_unres = self._t_unres = array("q")
+        t_ccpend = self._t_ccpend = array("q")
+        t_slow = self._t_slow = array("q")
+        t_labels = self._t_labels = []
+        fw_off = self._fw_off = array("q", (0,))
+        fw_kid = self._fw_kid = array("q")
+        self._wr_any_start = array("q", repeat(-1, len(txns)))
+        self._wr_any_len = array("q", repeat(0, len(txns)))
+        self._wr_any_writer = array("q")
+        self._wr_any_kid = array("q")
+        self._wr_good_start = array("q", repeat(-1, len(txns)))
+        self._wr_good_len = array("q", repeat(0, len(txns)))
+        self._wr_good_writer = array("q")
+        self._wr_good_kid = array("q")
+        gr_start = self._gr_start = array("q", repeat(-1, len(txns)))
+        gr_len = self._gr_len = array("q", repeat(0, len(txns)))
+        gr_index = self._gr_index = array("q")
+        gr_kid = self._gr_kid = array("q")
+        gr_writer = self._gr_writer = array("q")
+        live_reads = self._live_reads = {}
+        self._prefold = {}
+        for j, rec in enumerate(txns):
+            t_sid.append(rec.sid)
+            t_sidx.append(rec.sidx)
+            t_flags.append(
+                (1 if rec.committed else 0)
+                | (2 if rec.resolved else 0)
+                | (4 if rec.cc_done else 0)
+                | (8 if rec.cc_registered else 0)
+            )
+            t_unres.append(rec.unresolved)
+            t_ccpend.append(rec.cc_pending)
+            t_slow.append(rec.slow_reads if has_slow else 1)
+            t_labels.append(rec.label)
+            # Both legacy key-written forms (a kid -> index dict, or the
+            # older ordered-kids tuple) iterate their kids in first-write
+            # order, which is exactly the run layout.
+            fw_kid.extend(rec.keys_written_ordered)
+            fw_off.append(len(fw_kid))
+            wr_good = rec.wr_first_good
+            self._store_wr_runs(
+                j, rec.wr_first_any, None if wr_good == rec.wr_first_any else wr_good
+            )
+            if rec.good_reads:
+                gr_start[j] = len(gr_index)
+                gr_len[j] = len(rec.good_reads)
+                for index, kid, writer in rec.good_reads:
+                    gr_index.append(index)
+                    gr_kid.append(kid)
+                    gr_writer.append(writer)
+            if rec.reads:
+                live_reads[rec.tid] = rec.reads
+        # Per-session _Txn lists become tid arrays.
+        self._by_session = [
+            array("q", (rec.tid for rec in records)) for records in self._by_session
+        ]
+        # Ragged clock lists become the flat -1-padded matrices.
+        num_sessions = len(self._by_session)
+        stride = 4
+        while stride < num_sessions:
+            stride <<= 1
+        self._clock_stride = stride
+        self._hb_pad = b"\xff" * (8 * stride)
+        sc_data = self._sc_data = array("q")
+        for clock in self.__dict__.pop("_session_clock"):
+            sc_data.extend(clock)
+            sc_data.extend(repeat(-1, stride - len(clock)))
+        hb_map = self.__dict__.pop("_hb")
+        hb_data = self._hb_data = array("q")
+        for j in range(len(txns)):
+            clock = hb_map.get(tbase + j)
+            if clock is None:
+                hb_data.frombytes(self._hb_pad)
+            else:
+                hb_data.extend(clock)
+                hb_data.extend(repeat(-1, stride - len(clock)))
+        # (rec, read) pending lists become the columnar park queue.  Reads
+        # of slow-path transactions park by their position in the reader's
+        # live-read list; a read absent from it would be a clean-parked one
+        # (encoded by index), but those never survive their own batch, so
+        # every parked read resolves through ``live_reads``.
+        queue = _kernels.ParkQueue()
+        for wid, plist in self.__dict__.pop("_pending").items():
+            for rec, read in plist:
+                slot = -read.index - 1
+                oreads = live_reads.get(rec.tid)
+                if oreads is not None:
+                    for position, candidate in enumerate(oreads):
+                        if candidate is read:
+                            slot = position
+                            break
+                queue.add(wid, rec.tid, slot)
+        self._pending = queue
+        # Waiter/probe queues drop their record references for plain tids.
+        self._cc_waiters = {
+            writer: [rec.tid for rec in waiters]
+            for writer, waiters in self._cc_waiters.items()
+        }
+        self._cc_probe_pending = [rec.tid for rec in self._cc_probe_pending]
 
     # -- watermark-based retirement (see repro.core.compiled.retire) ------------
 
@@ -1454,20 +1820,26 @@ class CompiledIncrementalChecker:
         # can answer with it), and *no* transaction may own a current
         # latest-writer pin (a future read could still resolve to it).
         wm = (
-            low_watermark(self._session_clock, len(self._by_session))
+            low_watermark_flat(
+                self._sc_data, self._clock_stride, len(self._by_session)
+            )
             if self._cc_enabled
             else None
         )
-        txns = self._txns
+        t_sid = self._t_sid
+        t_sidx = self._t_sidx
+        t_flags = self._t_flags
+        fw_off = self._fw_off
+        fw_kid = self._fw_kid
         latest_writer = self._latest_writer
         new_base = base
         while new_base < limit:
-            rec = txns[new_base - base]
-            if rec.committed and wm is not None and rec.sidx > wm[rec.sid]:
+            j = new_base - base
+            if (t_flags[j] & 1) and wm is not None and t_sidx[j] > wm[t_sid[j]]:
                 break
             pinned = False
-            for kid in rec.keys_written_ordered:
-                if latest_writer.get(kid) == rec.tid:
+            for kid in fw_kid[fw_off[j] : fw_off[j + 1]]:
+                if latest_writer.get(kid) == new_base:
                     pinned = True
                     break
             if pinned:
@@ -1477,30 +1849,144 @@ class CompiledIncrementalChecker:
             self._retire_to(new_base)
 
     def _retire_to(self, new_base: int) -> None:
-        """Retire every transaction below ``new_base`` into one segment."""
+        """Retire every transaction below ``new_base`` into one segment.
+
+        Columnar compaction: the retiring transactions are a prefix of
+        every column, so eviction is one ``del column[:count]`` per flat
+        array (the hb matrix drops ``count`` whole rows the same way) plus
+        an O(live) rebuild of the shared run arrays the survivors index.
+        """
         base = self._txns_base
         count = new_base - base
-        txns = self._txns
-        retiring = txns[:count]
         stats = self._retire_stats
+        t_sid = self._t_sid
+        t_sidx = self._t_sidx
+        t_flags = self._t_flags
+        t_labels = self._t_labels
+        fw_off = self._fw_off
+        fw_kid = self._fw_kid
+        wany_start = self._wr_any_start
+        wany_len = self._wr_any_len
+        wany_writer = self._wr_any_writer
+        wany_kid = self._wr_any_kid
+        wgood_start = self._wr_good_start
+        wgood_len = self._wr_good_len
+        wgood_writer = self._wr_good_writer
+        wgood_kid = self._wr_good_kid
+        gr_start = self._gr_start
+        gr_len = self._gr_len
+        gr_index = self._gr_index
+        gr_kid = self._gr_kid
+        gr_writer = self._gr_writer
 
         seg_txns: List[Tuple[int, int, int, bool, Optional[str]]] = []
         seg_wr: List[Tuple[int, list, list]] = []
         per_session: Dict[int, int] = {}
-        hb = self._hb
-        for rec in retiring:
-            seg_txns.append((rec.tid, rec.sid, rec.sidx, rec.committed, rec.label))
-            if rec.committed and (rec.wr_first_any or rec.wr_first_good):
-                seg_wr.append(
-                    (
-                        rec.tid,
-                        list(rec.wr_first_any.items()),
-                        list(rec.wr_first_good.items()),
-                    )
-                )
-            per_session[rec.sid] = per_session.get(rec.sid, 0) + 1
-            hb.pop(rec.tid, None)
-        del txns[:count]
+        for j in range(count):
+            tid = base + j
+            sid = t_sid[j]
+            committed = bool(t_flags[j] & 1)
+            seg_txns.append((tid, sid, t_sidx[j], committed, t_labels[j]))
+            if committed:
+                a = wany_start[j]
+                if a == -2:
+                    # Derive sentinel: the first-per-writer map materializes
+                    # from the good-read run only here, at the segment
+                    # boundary (the fold never built the dict at all).
+                    any_pairs = []
+                    seen: Set[int] = set()
+                    ga = gr_start[j]
+                    for g in range(ga, ga + gr_len[j]):
+                        w = gr_writer[g]
+                        if w not in seen:
+                            seen.add(w)
+                            any_pairs.append((w, gr_kid[g]))
+                    if any_pairs:
+                        seg_wr.append((tid, any_pairs, list(any_pairs)))
+                else:
+                    alen = wany_len[j]
+                    gs = wgood_start[j]
+                    glen = alen if gs < 0 else wgood_len[j]
+                    if alen or glen:
+                        any_pairs = list(
+                            zip(wany_writer[a : a + alen], wany_kid[a : a + alen])
+                        )
+                        if gs < 0:
+                            good_pairs = list(any_pairs)
+                        else:
+                            good_pairs = list(
+                                zip(
+                                    wgood_writer[gs : gs + glen],
+                                    wgood_kid[gs : gs + glen],
+                                )
+                            )
+                        seg_wr.append((tid, any_pairs, good_pairs))
+            per_session[sid] = per_session.get(sid, 0) + 1
+        del t_sid[:count]
+        del t_sidx[:count]
+        del t_flags[:count]
+        del self._t_unres[:count]
+        del self._t_ccpend[:count]
+        del self._t_slow[:count]
+        del t_labels[:count]
+        del self._hb_data[: count * self._clock_stride]
+        # Final-write runs: drop the retired prefix of the shared kid array
+        # and rebase the offsets.
+        cut = fw_off[count]
+        del fw_kid[:cut]
+        self._fw_off = array("q", (value - cut for value in islice(fw_off, count, None)))
+        # wr runs: prefix-delete the per-txn columns, then rebuild the
+        # shared pair arrays from the survivors (O(live state)).
+        del wany_start[:count]
+        del wany_len[:count]
+        del wgood_start[:count]
+        del wgood_len[:count]
+        new_aw = array("q")
+        new_ak = array("q")
+        for j in range(len(wany_start)):
+            length = wany_len[j]
+            if length:
+                s = wany_start[j]
+                wany_start[j] = len(new_aw)
+                new_aw.extend(wany_writer[s : s + length])
+                new_ak.extend(wany_kid[s : s + length])
+            elif wany_start[j] != -2:
+                # Keep the derive sentinel: those rows' wr maps live in the
+                # good-read runs, not here.
+                wany_start[j] = -1
+        self._wr_any_writer = new_aw
+        self._wr_any_kid = new_ak
+        new_gw = array("q")
+        new_gk = array("q")
+        for j in range(len(wgood_start)):
+            gs = wgood_start[j]
+            if gs >= 0:
+                length = wgood_len[j]
+                wgood_start[j] = len(new_gw)
+                new_gw.extend(wgood_writer[gs : gs + length])
+                new_gk.extend(wgood_kid[gs : gs + length])
+        self._wr_good_writer = new_gw
+        self._wr_good_kid = new_gk
+        # Good-read runs compact the same way: prefix-delete the per-txn
+        # columns, rebuild the shared triple arrays from the survivors.
+        del gr_start[:count]
+        del gr_len[:count]
+        new_gi = array("q")
+        new_gd = array("q")
+        new_gr = array("q")
+        for j in range(len(gr_start)):
+            length = gr_len[j]
+            if length:
+                s = gr_start[j]
+                gr_start[j] = len(new_gi)
+                new_gi.extend(gr_index[s : s + length])
+                new_gd.extend(gr_kid[s : s + length])
+                new_gr.extend(gr_writer[s : s + length])
+            else:
+                gr_start[j] = -1
+        self._gr_index = new_gi
+        self._gr_kid = new_gd
+        self._gr_writer = new_gr
         self._txns_base = new_base
         by_session = self._by_session
         sess_base = self._sess_base
@@ -1627,7 +2113,7 @@ class CompiledIncrementalChecker:
         stats.spilled_edges += total_spilled
         if remapped or removed_per_bucket:
             stats.remap_epochs += 1
-        resident = len(txns)
+        resident = len(t_sid)
         if resident > stats.post_compaction_peak:
             stats.post_compaction_peak = resident
 
@@ -1636,15 +2122,41 @@ class CompiledIncrementalChecker:
     def _register_session(self, external: object) -> int:
         dense = len(self._by_session)
         self._session_ids[external] = dense
-        self._by_session.append([])
+        self._by_session.append(array("q"))
         self._sess_base.append(0)
         self._ra_next.append(0)
         self._ra_last_write.append({})
         self._cc_next.append(0)
-        self._session_clock.append([])
         self._cc_ptr_rows.append([])
         self._cc_t2_rows.append([])
+        if dense + 1 > self._clock_stride:
+            self._grow_clock_stride(dense + 1)
+        self._sc_data.frombytes(self._hb_pad)
         return dense
+
+    def _grow_clock_stride(self, needed: int) -> None:
+        """Double the clock-matrix row stride until it covers ``needed``.
+
+        Rebuilds both matrices row by row (old rows keep their values in
+        the widened rows' prefixes, the tails stay -1 padding).  Amortized
+        over geometric growth; sessions register rarely relative to folds.
+        """
+        stride = self._clock_stride
+        new_stride = stride
+        while new_stride < needed:
+            new_stride <<= 1
+        for attr in ("_hb_data", "_sc_data"):
+            old = getattr(self, attr)
+            rows = len(old) // stride
+            widened = array("q")
+            widened.frombytes(b"\xff" * (8 * new_stride * rows))
+            for r in range(rows):
+                widened[r * new_stride : r * new_stride + stride] = old[
+                    r * stride : (r + 1) * stride
+                ]
+            setattr(self, attr, widened)
+        self._clock_stride = new_stride
+        self._hb_pad = b"\xff" * (8 * new_stride)
 
     def _dense_sid(self, external: object) -> int:
         dense = self._session_ids.get(external)
@@ -1652,8 +2164,9 @@ class CompiledIncrementalChecker:
             dense = self._register_session(external)
         return dense
 
-    def _name(self, rec: _Txn) -> str:
-        return rec.label if rec.label is not None else f"t{rec.tid}"
+    def _name(self, tid: int) -> str:
+        label = self._t_labels[tid - self._txns_base]
+        return label if label is not None else f"t{tid}"
 
     # -- read classification (Algorithm 4, incremental) ------------------------
 
@@ -1664,7 +2177,7 @@ class CompiledIncrementalChecker:
 
     def _add_rc_violation(
         self,
-        rec: _Txn,
+        tid: int,
         read: _Read,
         kind: ViolationKind,
         message: str,
@@ -1672,17 +2185,21 @@ class CompiledIncrementalChecker:
     ) -> None:
         read.bad = True
         violation = ReadConsistencyViolation(
-            kind=kind, message=message, read=OpRef(rec.tid, read.index), write=write
+            kind=kind, message=message, read=OpRef(tid, read.index), write=write
         )
-        self._rc_axiom.append(((rec.sid, rec.sidx, read.index), violation))
+        j = tid - self._txns_base
+        self._rc_axiom.append(
+            ((self._t_sid[j], self._t_sidx[j], read.index), violation)
+        )
         self._live.append(violation)
 
-    def _unclassify(self, rec: _Txn, read: _Read) -> None:
+    def _unclassify(self, tid: int, read: _Read) -> None:
         """Withdraw a read's previous classification before rebinding it."""
         if read.bad:
-            sort_key = (rec.sid, rec.sidx, read.index)
+            j = tid - self._txns_base
+            sort_key = (self._t_sid[j], self._t_sidx[j], read.index)
             for i, (key, violation) in enumerate(self._rc_axiom):
-                if key == sort_key and violation.read == OpRef(rec.tid, read.index):
+                if key == sort_key and violation.read == OpRef(tid, read.index):
                     del self._rc_axiom[i]
                     try:
                         self._live.remove(violation)
@@ -1694,242 +2211,279 @@ class CompiledIncrementalChecker:
         read.writer_index = -1
 
     def _classify(
-        self, rec: _Txn, read: _Read, hit: Tuple[int, int, int, int, bool]
+        self, tid: int, read: _Read, hit: Tuple[int, int, int, int, bool]
     ) -> None:
         """Classify a freshly resolved read against the five RC axioms."""
         _wsid, _wsidx, writer_index, writer_tid, is_final = hit
         read.writer = writer_tid
         read.writer_index = writer_index
-        if writer_tid == rec.tid:
+        if writer_tid == tid:
             if writer_index > read.index:
                 self._add_rc_violation(
-                    rec,
+                    tid,
                     read,
                     ViolationKind.FUTURE_READ,
-                    f"{self._name(rec)} reads {self._op_repr(read)} before writing "
+                    f"{self._name(tid)} reads {self._op_repr(read)} before writing "
                     f"it (write at position {writer_index}, read at {read.index})",
                     write=OpRef(writer_tid, writer_index),
                 )
             elif read.own_prev is not None and read.own_prev != writer_index:
                 key = self._key_table.values[read.kid]
                 self._add_rc_violation(
-                    rec,
+                    tid,
                     read,
                     ViolationKind.NOT_LATEST_WRITE,
-                    f"{self._name(rec)} reads {self._op_repr(read)} from a stale "
+                    f"{self._name(tid)} reads {self._op_repr(read)} from a stale "
                     f"own write to {key!r} (a later own write precedes the read)",
                     write=OpRef(writer_tid, writer_index),
                 )
             return
-        writer = self._txns[writer_tid - self._txns_base]
-        if not writer.committed:
+        if not self._t_flags[writer_tid - self._txns_base] & 1:
             self._add_rc_violation(
-                rec,
+                tid,
                 read,
                 ViolationKind.ABORTED_READ,
-                f"{self._name(rec)} reads {self._op_repr(read)} written by aborted "
-                f"transaction {self._name(writer)}",
+                f"{self._name(tid)} reads {self._op_repr(read)} written by aborted "
+                f"transaction {self._name(writer_tid)}",
                 write=OpRef(writer_tid, writer_index),
             )
         elif read.own_prev is not None:
             key = self._key_table.values[read.kid]
             self._add_rc_violation(
-                rec,
+                tid,
                 read,
                 ViolationKind.NOT_OWN_WRITE,
-                f"{self._name(rec)} reads {self._op_repr(read)} from "
-                f"{self._name(writer)} although it wrote {key!r} earlier itself",
+                f"{self._name(tid)} reads {self._op_repr(read)} from "
+                f"{self._name(writer_tid)} although it wrote {key!r} earlier itself",
                 write=OpRef(writer_tid, writer_index),
             )
         elif not is_final:
             key = self._key_table.values[read.kid]
             self._add_rc_violation(
-                rec,
+                tid,
                 read,
                 ViolationKind.NOT_LATEST_WRITE,
-                f"{self._name(rec)} reads {self._op_repr(read)} from a non-final "
-                f"write of {self._name(writer)} to {key!r}",
+                f"{self._name(tid)} reads {self._op_repr(read)} from a non-final "
+                f"write of {self._name(writer_tid)} to {key!r}",
                 write=OpRef(writer_tid, writer_index),
             )
 
-    def _on_resolved(self, rec: _Txn) -> None:
-        """All reads of ``rec`` are classified: fold it into the online state."""
-        pre = rec.prefold
+    def _store_wr_runs(
+        self,
+        j: int,
+        wr_any: Dict[int, int],
+        wr_good: Optional[Dict[int, int]],
+    ) -> None:
+        """Store a transaction's first-read-per-writer maps as column runs.
+
+        ``wr_good is None`` means the good map equals the any map (the
+        clean-fold case): the good run stays the -1 sentinel and readers
+        fall through to the any run.  Dict insertion order (= first-read
+        order) is what the runs preserve; the finalize replay depends on it.
+        """
+        if wr_any:
+            self._wr_any_start[j] = len(self._wr_any_writer)
+            self._wr_any_len[j] = len(wr_any)
+            aw = self._wr_any_writer.append
+            ak = self._wr_any_kid.append
+            for writer, kid in wr_any.items():
+                aw(writer)
+                ak(kid)
+        if wr_good is not None:
+            self._wr_good_start[j] = len(self._wr_good_writer)
+            self._wr_good_len[j] = len(wr_good)
+            gw = self._wr_good_writer.append
+            gk = self._wr_good_kid.append
+            for writer, kid in wr_good.items():
+                gw(writer)
+                gk(kid)
+
+    def _on_resolved(self, tid: int) -> None:
+        """All reads of ``tid`` are classified: fold it into the online state."""
+        j = tid - self._txns_base
+        sid = self._t_sid[j]
+        pre = self._prefold.pop(tid, None)
         if pre is not None:
-            # Clean parked transaction: every structure below was
-            # precomputed at consume from the resolve-kernel columns (the
-            # eventual binding of each read was already known); nothing was
-            # ever entered in the rebind table and every read is good.
-            rec.prefold = None
-            good, wr_any, wids = pre
-            rec.resolved = True
+            # Clean parked transaction: the good-read run and the wr-map
+            # sentinel were written at consume from the resolve-kernel
+            # columns (the eventual binding of each read was already
+            # known) and every read is good; only the wid list rode the
+            # prefold map.
+            self._t_flags[j] |= 2
             self._num_unfolded -= 1
-            self._folded_read_wids.update(wids)
-            rec.good_reads = good
-            rec.wr_first_any = wr_any
-            rec.wr_first_good = dict(wr_any)
-            if self._ra_enabled and len(good) > 1:
+            self._folded_read_wids.update(pre)
+            a = self._gr_start[j]
+            n = self._gr_len[j]
+            if self._ra_enabled and n > 1:
                 # _check_repeatable_reads, inlined: no bad/own/unbound
                 # reads exist here, and on a violation the last-writer
                 # entry is not updated, matching the scalar check.
                 last_writer: Dict[int, int] = {}
                 lw_get = last_writer.get
-                for index, kd, w in good:
+                sidx = self._t_sidx[j]
+                gr_index = self._gr_index
+                gr_kid = self._gr_kid
+                gr_writer = self._gr_writer
+                for g in range(a, a + n):
+                    kd = gr_kid[g]
+                    w = gr_writer[g]
                     previous = lw_get(kd)
                     if previous is not None and previous != w:
-                        txns = self._txns
-                        tbase = self._txns_base
                         key = self._key_table.values[kd]
                         violation = RepeatableReadViolation(
                             kind=ViolationKind.NON_REPEATABLE_READ,
                             message=(
-                                f"{self._name(rec)} reads {key!r} from both "
-                                f"{self._name(txns[previous - tbase])} and "
-                                f"{self._name(txns[w - tbase])}"
+                                f"{self._name(tid)} reads {key!r} from both "
+                                f"{self._name(previous)} and "
+                                f"{self._name(w)}"
                             ),
-                            txn=rec.tid,
+                            txn=tid,
                             key=key,
                             writers=(previous, w),
                         )
-                        self._rr.append(((rec.sid, rec.sidx, index), violation))
+                        self._rr.append(((sid, sidx, gr_index[g]), violation))
                         self._live.append(violation)
                     else:
                         last_writer[kd] = w
-            rec.reads = []
             if self._cc_enabled:
                 self._cc_backlog += 1
                 if self._cc_backlog > self._peak_cc_backlog:
                     self._peak_cc_backlog = self._cc_backlog
             if self._rc_enabled:
-                self._rc_saturate(rec)
-                if not self._ra_enabled and not self._cc_enabled:
-                    rec.good_reads = []
-            self._advance_ra(rec.sid)
-            self._advance_cc(rec.sid)
+                self._rc_saturate(tid)
+            self._advance_ra(sid)
+            self._advance_cc(sid)
             return
-        rec.resolved = True
+        self._t_flags[j] |= 2
         self._num_unfolded -= 1
-        reads = rec.reads
+        reads = self._live_reads.pop(tid, ())
         # ``folded_wids`` remembers which (key, value) identities this
         # transaction read (any bound read, own/aborted writers included):
         # its operation data is dropped below, so a later duplicate write
         # for one of them could never rebind the read -- append_batch
         # raises the duplicate-write diagnostic when it sees such a wid.
         folded_wids = self._folded_read_wids
-        if rec.slow_reads == 0:
+        if self._t_slow[j] == 0:
             # No read ever went through scalar _classify: every bound read
             # is a clean external committed final-write read, so the
-            # re-checking loop below collapses to straight projections.
+            # re-checking loop below collapses to straight projections
+            # into the shared good-read run columns.
             folded_wids.update(
                 (read.kid << _VALUE_SHIFT) | read.vid for read in reads
             )
-            good = [(read.index, read.kid, read.writer) for read in reads]
-            wr_any: Dict[int, int] = {}
-            for _index, kd, w in good:
-                if w not in wr_any:
-                    wr_any[w] = kd
-            rec.good_reads = good
-            rec.wr_first_any = wr_any
-            rec.wr_first_good = dict(wr_any)
-            if self._ra_enabled and len(good) > 1:
+            if reads:
+                gr_index = self._gr_index
+                gr_kid = self._gr_kid
+                gr_writer = self._gr_writer
+                self._gr_start[j] = len(gr_index)
+                self._gr_len[j] = len(reads)
+                for read in reads:
+                    gr_index.append(read.index)
+                    gr_kid.append(read.kid)
+                    gr_writer.append(read.writer)
+            self._wr_any_start[j] = -2
+            if self._ra_enabled and len(reads) > 1:
                 # _check_repeatable_reads, inlined: no bad/own/unbound
                 # reads exist here, and on a violation the last-writer
                 # entry is not updated, matching the scalar check.
                 last_writer: Dict[int, int] = {}
                 lw_get = last_writer.get
-                for index, kd, w in good:
+                sidx = self._t_sidx[j]
+                for read in reads:
+                    kd = read.kid
+                    w = read.writer
                     previous = lw_get(kd)
                     if previous is not None and previous != w:
-                        txns = self._txns
-                        tbase = self._txns_base
                         key = self._key_table.values[kd]
                         violation = RepeatableReadViolation(
                             kind=ViolationKind.NON_REPEATABLE_READ,
                             message=(
-                                f"{self._name(rec)} reads {key!r} from both "
-                                f"{self._name(txns[previous - tbase])} and "
-                                f"{self._name(txns[w - tbase])}"
+                                f"{self._name(tid)} reads {key!r} from both "
+                                f"{self._name(previous)} and "
+                                f"{self._name(w)}"
                             ),
-                            txn=rec.tid,
+                            txn=tid,
                             key=key,
                             writers=(previous, w),
                         )
-                        self._rr.append(((rec.sid, rec.sidx, index), violation))
+                        self._rr.append(((sid, sidx, read.index), violation))
                         self._live.append(violation)
                     else:
                         last_writer[kd] = w
-            rec.reads = []
             if self._cc_enabled:
                 self._cc_backlog += 1
                 if self._cc_backlog > self._peak_cc_backlog:
                     self._peak_cc_backlog = self._cc_backlog
             if self._rc_enabled:
-                self._rc_saturate(rec)
-                if not self._ra_enabled and not self._cc_enabled:
-                    rec.good_reads = []
-            self._advance_ra(rec.sid)
-            self._advance_cc(rec.sid)
+                self._rc_saturate(tid)
+            self._advance_ra(sid)
+            self._advance_cc(sid)
             return
-        txns = self._txns
+        t_flags = self._t_flags
         tbase = self._txns_base
-        good = []
+        gr_index = self._gr_index
+        gr_kid = self._gr_kid
+        gr_writer = self._gr_writer
+        gstart = len(gr_index)
         wr_any = {}
         wr_good: Dict[int, int] = {}
-        rec_tid = rec.tid
         for read in reads:
             writer = read.writer
             if writer is None:
                 continue
             folded_wids.add((read.kid << _VALUE_SHIFT) | read.vid)
-            if writer == rec_tid:
+            if writer == tid:
                 continue
-            if not txns[writer - tbase].committed:
+            if not t_flags[writer - tbase] & 1:
                 continue
             wr_any.setdefault(writer, read.kid)
             if read.bad:
                 continue
-            good.append((read.index, read.kid, writer))
+            gr_index.append(read.index)
+            gr_kid.append(read.kid)
+            gr_writer.append(writer)
             wr_good.setdefault(writer, read.kid)
-        rec.good_reads = good
-        rec.wr_first_any = wr_any
-        rec.wr_first_good = wr_good
+        if len(gr_index) > gstart:
+            self._gr_start[j] = gstart
+            self._gr_len[j] = len(gr_index) - gstart
+        self._store_wr_runs(j, wr_any, None if wr_good == wr_any else wr_good)
         if self._ra_enabled:
-            self._check_repeatable_reads(rec)
-        rec.reads = []
+            self._check_repeatable_reads(tid, reads)
         if self._cc_enabled:
             self._cc_backlog += 1
             if self._cc_backlog > self._peak_cc_backlog:
                 self._peak_cc_backlog = self._cc_backlog
         if self._rc_enabled:
-            self._rc_saturate(rec)
-            if not self._ra_enabled and not self._cc_enabled:
-                rec.good_reads = []
-        self._advance_ra(rec.sid)
-        self._advance_cc(rec.sid)
+            self._rc_saturate(tid)
+        self._advance_ra(sid)
+        self._advance_cc(sid)
 
-    def _check_repeatable_reads(self, rec: _Txn) -> None:
+    def _check_repeatable_reads(self, tid: int, reads: Sequence[_Read]) -> None:
         """Per-transaction repeatable-reads check (Algorithm 2's pre-pass)."""
         last_writer: Dict[int, int] = {}
         key_names = self._key_table.values
-        for read in rec.reads:
+        j = tid - self._txns_base
+        sid = self._t_sid[j]
+        sidx = self._t_sidx[j]
+        for read in reads:
             if read.bad or read.writer is None:
                 continue
             writer = read.writer
             previous = last_writer.get(read.kid)
-            if writer != rec.tid and previous is not None and previous != writer:
+            if writer != tid and previous is not None and previous != writer:
                 key = key_names[read.kid]
                 violation = RepeatableReadViolation(
                     kind=ViolationKind.NON_REPEATABLE_READ,
                     message=(
-                        f"{self._name(rec)} reads {key!r} from both "
-                        f"{self._name(self._txns[previous - self._txns_base])} and "
-                        f"{self._name(self._txns[writer - self._txns_base])}"
+                        f"{self._name(tid)} reads {key!r} from both "
+                        f"{self._name(previous)} and "
+                        f"{self._name(writer)}"
                     ),
-                    txn=rec.tid,
+                    txn=tid,
                     key=key,
                     writers=(previous, writer),
                 )
-                self._rr.append(((rec.sid, rec.sidx, read.index), violation))
+                self._rr.append(((sid, sidx, read.index), violation))
                 self._live.append(violation)
             else:
                 last_writer[read.kid] = writer
@@ -1945,33 +2499,43 @@ class CompiledIncrementalChecker:
         if current is None or meta < current:
             log[edge] = meta
 
-    def _rc_saturate(self, rec: _Txn) -> None:
+    def _rc_saturate(self, tid: int) -> None:
         """Per-transaction RC saturation (the body of Algorithm 1's main loop)."""
-        reads = rec.good_reads
-        if not reads:
+        tbase = self._txns_base
+        j = tid - tbase
+        n = self._gr_len[j]
+        if not n:
             return
+        a = self._gr_start[j]
+        gr_index = self._gr_index
+        gr_kid = self._gr_kid
+        gr_writer = self._gr_writer
         seen_txns: Set[int] = set()
         first_txn_reads: Set[int] = set()
-        for index, _key, writer in reads:
+        for g in range(a, a + n):
+            writer = gr_writer[g]
             if writer not in seen_txns:
                 seen_txns.add(writer)
-                first_txn_reads.add(index)
+                first_txn_reads.add(gr_index[g])
         earliest: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
         read_keys: Dict[int, None] = {}
-        seq = _sort_base(rec.sid, rec.sidx)
-        txns = self._txns
-        tbase = self._txns_base
+        seq = _sort_base(self._t_sid[j], self._t_sidx[j])
+        fw_off = self._fw_off
+        fw_kid = self._fw_kid
         rc_log = self._rc_log
         rc_log_get = rc_log.get
-        for index, key, t2 in reversed(reads):
+        for g in range(a + n - 1, a - 1, -1):
+            index = gr_index[g]
+            key = gr_kid[g]
+            t2 = gr_writer[g]
             if index in first_txn_reads:
-                writer_rec = txns[t2 - tbase]
-                if len(writer_rec.keys_written) <= len(read_keys):
-                    candidates = [
-                        x for x in writer_rec.keys_written_ordered if x in read_keys
-                    ]
+                wj = t2 - tbase
+                a = fw_off[wj]
+                b = fw_off[wj + 1]
+                if b - a <= len(read_keys):
+                    candidates = [x for x in fw_kid[a:b] if x in read_keys]
                 else:
-                    keys_written = writer_rec.keys_written
+                    keys_written = set(fw_kid[a:b])
                     candidates = [x for x in read_keys if x in keys_written]
                 for x in candidates:
                     older, newer = earliest[x]
@@ -2002,23 +2566,32 @@ class CompiledIncrementalChecker:
         base = self._sess_base[sid]
         index = self._ra_next[sid]
         last_write = self._ra_last_write[sid]
+        t_flags = self._t_flags
+        tbase = self._txns_base
         while index - base < len(records):
-            rec = records[index - base]
-            if rec.committed:
-                if not rec.resolved:
+            tid = records[index - base]
+            flags = t_flags[tid - tbase]
+            if flags & 1:
+                if not flags & 2:
                     break
-                self._ra_process(rec, last_write)
+                self._ra_process(tid, last_write)
             index += 1
         self._ra_next[sid] = index
 
-    def _ra_process(self, rec: _Txn, last_write: Dict[int, int]) -> None:
-        reads = rec.good_reads
-        seq = _sort_base(rec.sid, rec.sidx)
+    def _ra_process(self, tid: int, last_write: Dict[int, int]) -> None:
+        tbase = self._txns_base
+        j = tid - tbase
+        ga = self._gr_start[j]
+        gn = self._gr_len[j]
+        gr_kid = self._gr_kid
+        gr_writer = self._gr_writer
+        seq = _sort_base(self._t_sid[j], self._t_sidx[j])
         reader_of_key: Dict[int, int] = {}
         distinct_writers: List[int] = []
         seen_writers: Set[int] = set()
-        for _index, key, writer in reads:
-            reader_of_key.setdefault(key, writer)
+        for g in range(ga, ga + gn):
+            writer = gr_writer[g]
+            reader_of_key.setdefault(gr_kid[g], writer)
             if writer not in seen_writers:
                 seen_writers.add(writer)
                 distinct_writers.append(writer)
@@ -2027,7 +2600,9 @@ class CompiledIncrementalChecker:
         ra_so_log = self._ra_so_log
         record = self._record
         # Case t2 -so-> t3 (also the whole single-session specialization).
-        for _index, key, t1 in reads:
+        for g in range(ga, ga + gn):
+            key = gr_kid[g]
+            t1 = gr_writer[g]
             t2 = last_write.get(key)
             if t2 is not None and t2 != t1:
                 record(ra_so_log, t2, t1, key, seq)
@@ -2037,16 +2612,16 @@ class CompiledIncrementalChecker:
         # Case t2 -wr-> t3: intersect writer keys with read keys, iterating
         # the smaller side in deterministic order (as the batch checker does).
         keys_read = reader_of_key.keys()
-        txns = self._txns
-        tbase = self._txns_base
+        fw_off = self._fw_off
+        fw_kid = self._fw_kid
         for t2 in distinct_writers:
-            writer_rec = txns[t2 - tbase]
-            keys_written = writer_rec.keys_written
-            if len(keys_written) <= len(keys_read):
-                candidates = (
-                    x for x in writer_rec.keys_written_ordered if x in reader_of_key
-                )
+            wj = t2 - tbase
+            a = fw_off[wj]
+            b = fw_off[wj + 1]
+            if b - a <= len(keys_read):
+                candidates = (x for x in fw_kid[a:b] if x in reader_of_key)
             else:
+                keys_written = set(fw_kid[a:b])
                 candidates = (x for x in keys_read if x in keys_written)
             for x in candidates:
                 t1 = reader_of_key[x]
@@ -2054,10 +2629,8 @@ class CompiledIncrementalChecker:
                     record(ra_log, t2, t1, x, seq)
                     seq += 1
 
-        for key in rec.keys_written_ordered:
-            last_write[key] = rec.tid
-        if not self._cc_enabled:
-            rec.good_reads = []
+        for key in fw_kid[fw_off[j] : fw_off[j + 1]]:
+            last_write[key] = tid
 
     # -- CC frontier (Algorithm 3, online) --------------------------------------
 
@@ -2068,10 +2641,14 @@ class CompiledIncrementalChecker:
         lap_start = 0.0 if laps is None else time.perf_counter()
         by_session = self._by_session
         cc_next = self._cc_next
-        txns = self._txns
+        t_flags = self._t_flags
+        t_ccpend = self._t_ccpend
         tbase = self._txns_base
         sess_base = self._sess_base
         cc_waiters = self._cc_waiters
+        gr_start = self._gr_start
+        gr_len = self._gr_len
+        gr_writer = self._gr_writer
         cc_process = self._cc_process
         queue = [sid]
         while queue:
@@ -2081,70 +2658,87 @@ class CompiledIncrementalChecker:
             num_records = base + len(records)
             index = cc_next[current]
             while index < num_records:
-                rec = records[index - base]
-                if rec.committed:
-                    if not rec.resolved:
+                tid = records[index - base]
+                jrow = tid - tbase
+                flags = t_flags[jrow]
+                if flags & 1:
+                    if not flags & 2:
                         break
-                    if not rec.cc_registered:
-                        rec.cc_registered = True
+                    if not flags & 8:
+                        t_flags[jrow] = flags | 8
                         pending = 0
                         # Duplicate writers need no dedup: each occurrence
                         # both increments ``pending`` and enqueues one
                         # waiter entry, and every entry is decremented
                         # when the writer completes.
-                        for _i, _key, writer in rec.good_reads:
-                            if not txns[writer - tbase].cc_done:
+                        ga = gr_start[jrow]
+                        for writer in gr_writer[ga : ga + gr_len[jrow]]:
+                            if not t_flags[writer - tbase] & 4:
                                 pending += 1
-                                cc_waiters.setdefault(writer, []).append(rec)
-                        rec.cc_pending = pending
-                    if rec.cc_pending > 0:
+                                cc_waiters.setdefault(writer, []).append(tid)
+                        t_ccpend[jrow] = pending
+                    if t_ccpend[jrow] > 0:
                         break
-                    queue.extend(cc_process(rec))
+                    queue.extend(cc_process(tid))
                 index += 1
             cc_next[current] = index
         if laps is not None:
             laps["clock_join"] += time.perf_counter() - lap_start
 
-    def _cc_process(self, rec: _Txn) -> List[int]:
+    def _cc_process(self, tid: int) -> List[int]:
         """ComputeHB + saturate_cc for one transaction; returns sessions to poke."""
-        txns = self._txns
         tbase = self._txns_base
-        rec_sid = rec.sid
-        # The base clock is copied lazily: a transaction whose reads are all
-        # same-session (or absent) shares the session-clock list outright --
-        # safe because session clocks are replaced wholesale, never mutated.
-        clock = self._session_clock[rec_sid]
-        clock_shared = True
-        hb = self._hb
-        for _index, _key, writer in rec.good_reads:
-            wrec = txns[writer - tbase]
-            wsid = wrec.sid
-            if wsid == rec_sid:
-                # A same-session writer is an so-predecessor, and the base
-                # session clock already joins every predecessor's clock and
-                # session index -- the join below would be a no-op.
-                continue
-            if wsid < len(clock) and wrec.sidx <= clock[wsid]:
-                # Vector-clock transitivity: every clock entry was installed
-                # together with that transaction's full causal past, so a
-                # writer at or below the entry is already joined in whole.
-                # This also dedupes repeated writers -- the first join sets
-                # clock[wsid] to at least wrec.sidx.
-                continue
-            if clock_shared:
-                clock = list(clock)
-                clock_shared = False
-            wclock = hb[writer]
-            if len(wclock) > len(clock):
-                clock.extend([-1] * (len(wclock) - len(clock)))
-            for s2, value in enumerate(wclock):
-                if value > clock[s2]:
-                    clock[s2] = value
-            if wsid >= len(clock):
-                clock.extend([-1] * (wsid + 1 - len(clock)))
-            if wrec.sidx > clock[wsid]:
-                clock[wsid] = wrec.sidx
-        hb[rec.tid] = clock
+        j = tid - tbase
+        t_sid = self._t_sid
+        t_sidx = self._t_sidx
+        rec_sid = t_sid[j]
+        stride = self._clock_stride
+        sc_data = self._sc_data
+        hb_data = self._hb_data
+        soff = rec_sid * stride
+        boff = j * stride
+        ga = self._gr_start[j]
+        gn = self._gr_len[j]
+        # Pre-filter against the *base* session clock, then join the
+        # survivors' rows in one commutative batched max (kernels.join_clocks).
+        # A same-session writer is an so-predecessor -- the base clock
+        # already joins every predecessor's clock and session index.  And by
+        # vector-clock transitivity a writer at or below the base clock's
+        # entry for its session is already joined in whole.  The old scalar
+        # loop also skipped writers dominated by *earlier joins of this same
+        # batch*; dropping that refinement only adds redundant rows to an
+        # idempotent max, so the joined clock is value-identical.
+        rows: List[int] = []
+        wsids: List[int] = []
+        wsidxs: List[int] = []
+        if gn:
+            for writer in self._gr_writer[ga : ga + gn]:
+                wj = writer - tbase
+                wsid = t_sid[wj]
+                if wsid == rec_sid:
+                    continue
+                wsidx = t_sidx[wj]
+                if wsidx <= sc_data[soff + wsid]:
+                    continue
+                rows.append(wj)
+                wsids.append(wsid)
+                wsidxs.append(wsidx)
+        if rows:
+            row, vectorized = _kernels.join_clocks(
+                hb_data, stride, sc_data, soff, rows, wsids, wsidxs
+            )
+            if vectorized:
+                self._join_vectorized += 1
+            else:
+                self._join_scalar += 1
+            hb_data[boff : boff + stride] = row
+            sc_row_source = row
+        else:
+            # No external joins: the transaction's clock IS the base
+            # session clock (stored by copy -- rows are fixed slots).
+            row = sc_data[soff : soff + stride]
+            hb_data[boff : boff + stride] = row
+            sc_row_source = None
 
         # The edge-emission probes are *deferred* to a per-batch flush
         # (_flush_cc_probes): the probe answer -- the latest registered
@@ -2153,28 +2747,30 @@ class CompiledIncrementalChecker:
         # past, so it registered before this point; later registrations sit
         # strictly above the bound), so batching them loses nothing and
         # lets one vectorized pass answer the whole batch.
-        if rec.good_reads:
-            self._cc_probe_pending.append(rec)
+        if gn:
+            self._cc_probe_pending.append(tid)
 
-        next_clock = list(clock)
-        if rec.sid >= len(next_clock):
-            next_clock.extend([-1] * (rec.sid + 1 - len(next_clock)))
-        if rec.sidx > next_clock[rec.sid]:
-            next_clock[rec.sid] = rec.sidx
-        self._session_clock[rec.sid] = next_clock
+        if sc_row_source is not None:
+            sc_data[soff : soff + stride] = sc_row_source
+        rec_sidx = t_sidx[j]
+        if rec_sidx > sc_data[soff + rec_sid]:
+            sc_data[soff + rec_sid] = rec_sidx
 
-        rec.cc_done = True
+        t_flags = self._t_flags
+        t_flags[j] |= 4
         self._cc_backlog -= 1
-        waiters = self._cc_waiters.pop(rec.tid, None)
+        waiters = self._cc_waiters.pop(tid, None)
         poke: List[int] = []
         if waiters:
+            t_ccpend = self._t_ccpend
             for waiter in waiters:
-                waiter.cc_pending -= 1
-                if waiter.cc_pending == 0:
-                    poke.append(waiter.sid)
+                wjj = waiter - tbase
+                t_ccpend[wjj] -= 1
+                if t_ccpend[wjj] == 0:
+                    poke.append(t_sid[wjj])
         return poke
 
-    def _cc_probe_scalar(self, rec: _Txn) -> None:
+    def _cc_probe_scalar(self, tid: int) -> None:
         """Answer one transaction's deferred CC probes with the pointer loop.
 
         The pre-deferral saturation half of ``_cc_process``, verbatim: the
@@ -2185,9 +2781,12 @@ class CompiledIncrementalChecker:
         scalar advance -- the rows are a cache of the stateless answer,
         never ahead of it.
         """
-        clock = self._hb[rec.tid]
-        ptr_row = self._cc_ptr_rows[rec.sid]
-        t2_row = self._cc_t2_rows[rec.sid]
+        j = tid - self._txns_base
+        rec_sid = self._t_sid[j]
+        hb_data = self._hb_data
+        boff = j * self._clock_stride
+        ptr_row = self._cc_ptr_rows[rec_sid]
+        t2_row = self._cc_t2_rows[rec_sid]
         # Grow the flat pointer rows once per transaction to cover every
         # bucket allocated so far (zeros = untouched, -1 = no writer), so
         # the slot loop below can index without a bounds check.
@@ -2196,25 +2795,25 @@ class CompiledIncrementalChecker:
             grow = num_buckets - len(ptr_row)
             ptr_row.extend([0] * grow)
             t2_row.extend([-1] * grow)
-        # Pad the clock lookup to every registered session once per
-        # transaction (writer session ids always index a registered
-        # session), so the slot loop reads bounds without a branch.
-        num_sessions = len(self._by_session)
-        if len(clock) < num_sessions:
-            bounds = clock + [-1] * (num_sessions - len(clock))
-        else:
-            bounds = clock
+        # Clock rows are stride-wide and -1-padded, and the stride always
+        # covers every registered session (writer session ids always index
+        # a registered session), so the slot loop reads bounds straight
+        # from the row without a pad step.
         # The meta base advances by one whole seq step (1 << EDGE_SHIFT) per
         # recorded attempt, so the shift happens once per transaction
         # instead of once per attempt; the t2 row stores writers
         # *pre-shifted* (see the checkpoint format note on _cc_t2_rows), so
         # the packed edge is a single bitwise-or per attempt.
-        meta_base = _sort_base(rec.sid, rec.sidx) << EDGE_SHIFT
+        meta_base = _sort_base(rec_sid, self._t_sidx[j]) << EDGE_SHIFT
         meta_step = 1 << EDGE_SHIFT
         cc_log = self._cc_log
         cc_log_setdefault = cc_log.setdefault
         writers_by_key = self._writers_by_key
-        for _index, key, t1 in rec.good_reads:
+        ga = self._gr_start[j]
+        gn = self._gr_len[j]
+        for key, t1 in zip(
+            self._gr_kid[ga : ga + gn], self._gr_writer[ga : ga + gn]
+        ):
             entry = writers_by_key.get(key)
             if entry is None:
                 continue
@@ -2222,7 +2821,7 @@ class CompiledIncrementalChecker:
             t1s = t1 << EDGE_SHIFT
             for writer_list, writer_indices, bid, other in entry[1]:
                 ptr = ptr_row[bid]
-                bound = bounds[other]
+                bound = hb_data[boff + other]
                 count = len(writer_list)
                 if ptr < count and writer_indices[ptr] <= bound:
                     while ptr < count and writer_indices[ptr] <= bound:
@@ -2268,9 +2867,12 @@ class CompiledIncrementalChecker:
             return
         self._cc_probe_pending = []
         np = _np
+        tbase = self._txns_base
+        gr_len = self._gr_len
+        js_list = [tid - tbase for tid in pending]
         total = 0
-        for rec in pending:
-            total += len(rec.good_reads)
+        for jrow in js_list:
+            total += gr_len[jrow]
         use_vectorized = (
             np is not None
             and total >= _kernels._MIN_VECTOR_READS
@@ -2284,10 +2886,9 @@ class CompiledIncrementalChecker:
         if not use_vectorized:
             self._flush_scalar += 1
             probe = self._cc_probe_scalar
-            for rec in pending:
-                if rec.good_reads:
-                    probe(rec)
-                rec.good_reads = []
+            for i, tid in enumerate(pending):
+                if gr_len[js_list[i]]:
+                    probe(tid)
             return
         self._flush_vectorized += 1
 
@@ -2309,49 +2910,56 @@ class CompiledIncrementalChecker:
         # same attempts the per-transaction loop would have.
         k = len(self._by_session)
         nrec = len(pending)
-        hb = self._hb
-        clock_mat = np.full((nrec, k), -1, dtype=np.int64)
-        rec_hi = np.empty(nrec, dtype=np.int64)
-        read_rec: List[int] = []
-        read_key: List[int] = []
-        read_t1: List[int] = []
-        read_kpos: List[int] = []
-        key_pos: Dict[int, int] = {}
+        stride = self._clock_stride
+        # One fancy-index gather replaces the per-transaction row copies:
+        # clock rows are -1-padded past each session's horizon, so the
+        # :k column slice reproduces the old np.full(-1) fill exactly.
+        hb_view = np.frombuffer(self._hb_data, dtype=np.int64).reshape(-1, stride)
+        js = np.asarray(js_list, dtype=np.int64)
+        clock_mat = hb_view[js, :k]
+        # hi components: _sort_base, vectorized (the session-count guard
+        # above keeps the packed value inside int64 exactly as the scalar
+        # per-transaction assignment into an int64 array did).
+        sid_a = np.frombuffer(self._t_sid, dtype=np.int64)[js]
+        sidx_a = np.frombuffer(self._t_sidx, dtype=np.int64)[js]
+        rec_hi = ((sid_a << _KEY_SHIFT) | sidx_a) << _KEY_SHIFT
+        # Per-read rows come straight off the shared good-read run columns:
+        # each pending transaction's (start, len) run expands to flat
+        # positions with one arange/cumsum, no per-read Python loop.
+        lens = np.frombuffer(gr_len, dtype=np.int64)[js]
+        starts_g = np.frombuffer(self._gr_start, dtype=np.int64)[js]
+        read_rec_a = np.repeat(np.arange(nrec, dtype=np.int64), lens)
+        cum = np.cumsum(lens) - lens
+        pos = (
+            np.arange(total, dtype=np.int64)
+            - cum[read_rec_a]
+            + starts_g[read_rec_a]
+        )
+        read_key_a = np.frombuffer(self._gr_kid, dtype=np.int64)[pos]
+        read_t1_a = np.frombuffer(self._gr_writer, dtype=np.int64)[pos]
+        # The key CSR numbers distinct keys in sorted-unique order (the old
+        # loop used first-seen order); only which rows belong to which key
+        # matters -- per-read probe order still follows each key's slot
+        # entry order, so the emitted attempts are unchanged.
+        uniq_keys, read_kpos_a = np.unique(read_key_a, return_inverse=True)
         key_start: List[int] = [0]
         slot_bucket: List[int] = []
         slot_sid: List[int] = []
         writers_by_key = self._writers_by_key
-        for i, rec in enumerate(pending):
-            clock = hb[rec.tid]
-            clock_mat[i, : len(clock)] = clock
-            rec_hi[i] = _sort_base(rec.sid, rec.sidx)
-            for _index, key, t1 in rec.good_reads:
-                kp = key_pos.get(key)
-                if kp is None:
-                    kp = len(key_start) - 1
-                    key_pos[key] = kp
-                    entry = writers_by_key.get(key)
-                    if entry is not None:
-                        for _wl, _wi, bid, other in entry[1]:
-                            slot_bucket.append(bid)
-                            slot_sid.append(other)
-                    key_start.append(len(slot_bucket))
-                read_rec.append(i)
-                read_key.append(key)
-                read_t1.append(t1)
-                read_kpos.append(kp)
-
-        read_rec_a = np.asarray(read_rec, dtype=np.int64)
-        read_key_a = np.asarray(read_key, dtype=np.int64)
-        read_t1_a = np.asarray(read_t1, dtype=np.int64)
-        read_kpos_a = np.asarray(read_kpos, dtype=np.int64)
+        for key in uniq_keys.tolist():
+            entry = writers_by_key.get(key)
+            if entry is not None:
+                # entry[3] mirrors the slots' bucket ids and entry[0] their
+                # writer sids, both in the same sid-sorted order -- two
+                # extends replace the per-slot tuple unpack loop.
+                slot_bucket.extend(entry[3])
+                slot_sid.extend(entry[0])
+            key_start.append(len(slot_bucket))
         key_start_a = np.asarray(key_start, dtype=np.int64)
         starts = key_start_a[read_kpos_a]
         nslots = key_start_a[read_kpos_a + 1] - starts
         total_probes = int(nslots.sum())
         if total_probes == 0:
-            for rec in pending:
-                rec.good_reads = []
             return
         slot_bucket_a = np.asarray(slot_bucket, dtype=np.int64)
         slot_sid_a = np.asarray(slot_sid, dtype=np.int64)
@@ -2373,8 +2981,6 @@ class CompiledIncrementalChecker:
         t1_probe = read_t1_a[probe_read]
         emit = has & (t2 != t1_probe)
         if not emit.any():
-            for rec in pending:
-                rec.good_reads = []
             return
 
         # Emission metas: hi advances per emitted attempt within each
@@ -2394,10 +3000,9 @@ class CompiledIncrementalChecker:
             self._flush_vectorized -= 1
             self._flush_scalar += 1
             probe = self._cc_probe_scalar
-            for rec in pending:
-                if rec.good_reads:
-                    probe(rec)
-                rec.good_reads = []
+            for i, tid in enumerate(pending):
+                if gr_len[js_list[i]]:
+                    probe(tid)
             return
         hi = rec_hi[erec] + attempt
         lo = ekey + 1
@@ -2411,17 +3016,27 @@ class CompiledIncrementalChecker:
         first[0] = True
         np.not_equal(edges_sorted[1:], edges_sorted[:-1], out=first[1:])
         sel = order2[first]
+        # Metas pack as Python ints (hi occupies bits above EDGE_SHIFT and
+        # overflows int64 for large session ids, exactly like the scalar
+        # path), so the per-edge packing stays a comprehension -- but the
+        # merge itself runs at dict speed: the batch map is already
+        # min-reduced per edge, fresh edges land through one C-level
+        # update, and only edges an earlier flush recorded (rare) need the
+        # min against the incumbent meta.
+        batch_map = dict(
+            zip(
+                edges[sel].tolist(),
+                [
+                    (h << EDGE_SHIFT) | low
+                    for h, low in zip(hi[sel].tolist(), lo[sel].tolist())
+                ],
+            )
+        )
         cc_log = self._cc_log
-        cc_log_get = cc_log.get
-        for edge, h, low in zip(
-            edges[sel].tolist(), hi[sel].tolist(), lo[sel].tolist()
-        ):
-            meta = (h << EDGE_SHIFT) | low
-            current = cc_log_get(edge)
-            if current is None or meta < current:
-                cc_log[edge] = meta
-        for rec in pending:
-            rec.good_reads = []
+        for edge in cc_log.keys() & batch_map.keys():
+            if cc_log[edge] < batch_map[edge]:
+                batch_map[edge] = cc_log[edge]
+        cc_log.update(batch_map)
 
     # -- finalize helpers --------------------------------------------------------
 
@@ -2432,7 +3047,9 @@ class CompiledIncrementalChecker:
         with retirement each session's retired stand-ins (reloaded from the
         segments) are prepended, so the loops below see every transaction
         of the history in session order exactly as a never-evicting run
-        would.
+        would.  Entries are therefore *mixed*: plain ``int`` transaction
+        ids for resident rows (read through the columns) and retired
+        stand-in objects (read through their attributes).
         """
         retired = self._retired_final
         if retired is None:
@@ -2442,7 +3059,7 @@ class CompiledIncrementalChecker:
             front = retired.records[sid]
             if len(front) != self._sess_base[sid]:  # pragma: no cover - defensive
                 raise AssertionError("segment store lost retired transactions")
-            merged.append(front + records)
+            merged.append(front + list(records))
         return merged
 
     def _spilled_run(self, name: str):
@@ -2464,14 +3081,23 @@ class CompiledIncrementalChecker:
         so_edges = array("Q")
         so_append = so_edges.append
         batch_tid = 0
+        tbase = self._txns_base
+        t_flags = self._t_flags
+        t_labels = self._t_labels
         for records in self._final_sessions():
             previous = -1
             for rec in records:
-                mapping[rec.tid] = batch_tid
-                names[batch_tid] = (
-                    rec.label if rec.label is not None else f"t{batch_tid}"
-                )
-                if rec.committed:
+                if type(rec) is int:
+                    jrow = rec - tbase
+                    mapping[rec] = batch_tid
+                    label = t_labels[jrow]
+                    committed = t_flags[jrow] & 1
+                else:
+                    mapping[rec.tid] = batch_tid
+                    label = rec.label
+                    committed = rec.committed
+                names[batch_tid] = label if label is not None else f"t{batch_tid}"
+                if committed:
                     committed_ids.append(batch_tid)
                     if previous >= 0:
                         so_append((previous << EDGE_SHIFT) | batch_tid)
@@ -2496,14 +3122,50 @@ class CompiledIncrementalChecker:
         relation._so_log.extend(so_edges)
         wr_append = relation._wr_log.append
         wrk_append = relation._wr_keys.append
+        tbase = self._txns_base
+        t_flags = self._t_flags
+        wany_start = self._wr_any_start
+        wany_len = self._wr_any_len
+        wany_writer = self._wr_any_writer
+        wany_kid = self._wr_any_kid
+        gr_start = self._gr_start
+        gr_len = self._gr_len
+        gr_kid = self._gr_kid
+        gr_writer = self._gr_writer
         for records in self._final_sessions():
             for rec in records:
-                if not rec.committed:
-                    continue
-                reader = mapping[rec.tid]
-                for writer, kid in rec.wr_first_any.items():
-                    wr_append((mapping[writer] << EDGE_SHIFT) | reader)
-                    wrk_append(kid)
+                if type(rec) is int:
+                    jrow = rec - tbase
+                    if not t_flags[jrow] & 1:
+                        continue
+                    reader = mapping[rec]
+                    a = wany_start[jrow]
+                    if a >= 0:
+                        for idx in range(a, a + wany_len[jrow]):
+                            wr_append(
+                                (mapping[wany_writer[idx]] << EDGE_SHIFT) | reader
+                            )
+                            wrk_append(wany_kid[idx])
+                    elif a == -2:
+                        # Derive sentinel: every external committed read was
+                        # good, so the first-read-per-writer map falls out of
+                        # the good-read run in read order -- exactly the dict
+                        # insertion order _store_wr_runs used to serialize.
+                        ga = gr_start[jrow]
+                        seen: Set[int] = set()
+                        for g in range(ga, ga + gr_len[jrow]):
+                            w = gr_writer[g]
+                            if w not in seen:
+                                seen.add(w)
+                                wr_append((mapping[w] << EDGE_SHIFT) | reader)
+                                wrk_append(gr_kid[g])
+                else:
+                    if not rec.committed:
+                        continue
+                    reader = mapping[rec.tid]
+                    for writer, kid in rec.wr_first_any.items():
+                        wr_append((mapping[writer] << EDGE_SHIFT) | reader)
+                        wrk_append(kid)
         self._drain_log(log, mapping, relation, spilled)
         return relation
 
@@ -2594,24 +3256,77 @@ class CompiledIncrementalChecker:
         so_log: List[int] = []
         wr_log: List[int] = []
         wr_keys: List[int] = []
+        tbase = self._txns_base
+        t_flags = self._t_flags
         final_sessions = self._final_sessions()
         for records in final_sessions:
             previous = -1
             for rec in records:
-                if not rec.committed:
-                    continue
-                current = mapping[rec.tid]
+                if type(rec) is int:
+                    if not t_flags[rec - tbase] & 1:
+                        continue
+                    current = mapping[rec]
+                else:
+                    if not rec.committed:
+                        continue
+                    current = mapping[rec.tid]
                 if previous >= 0:
                     so_log.append((previous << EDGE_SHIFT) | current)
                 previous = current
+        wany_start = self._wr_any_start
+        wany_len = self._wr_any_len
+        wany_writer = self._wr_any_writer
+        wany_kid = self._wr_any_kid
+        wgood_start = self._wr_good_start
+        wgood_len = self._wr_good_len
+        wgood_writer = self._wr_good_writer
+        wgood_kid = self._wr_good_kid
+        gr_start = self._gr_start
+        gr_len = self._gr_len
+        gr_kid = self._gr_kid
+        gr_writer = self._gr_writer
         for records in final_sessions:
             for rec in records:
-                if not rec.committed:
-                    continue
-                reader = mapping[rec.tid]
-                for writer, kid in rec.wr_first_good.items():
-                    wr_log.append((mapping[writer] << EDGE_SHIFT) | reader)
-                    wr_keys.append(kid)
+                if type(rec) is int:
+                    jrow = rec - tbase
+                    if not t_flags[jrow] & 1:
+                        continue
+                    reader = mapping[rec]
+                    gs = wgood_start[jrow]
+                    if gs >= 0:
+                        # Explicit good run (possibly empty: every external
+                        # committed read was bad).
+                        src_w, src_k = wgood_writer, wgood_kid
+                        a, n = gs, wgood_len[jrow]
+                    elif wany_start[jrow] == -2:
+                        # Derive sentinel: good == any == first-per-writer
+                        # over the good-read run (see _build_relation).
+                        ga = gr_start[jrow]
+                        seen: Set[int] = set()
+                        for g in range(ga, ga + gr_len[jrow]):
+                            w = gr_writer[g]
+                            if w not in seen:
+                                seen.add(w)
+                                wr_log.append(
+                                    (mapping[w] << EDGE_SHIFT) | reader
+                                )
+                                wr_keys.append(gr_kid[g])
+                        continue
+                    else:
+                        # -1 sentinel: the good map equals the any map.
+                        src_w, src_k = wany_writer, wany_kid
+                        a = wany_start[jrow]
+                        n = wany_len[jrow] if a >= 0 else 0
+                    for idx in range(a, a + n):
+                        wr_log.append((mapping[src_w[idx]] << EDGE_SHIFT) | reader)
+                        wr_keys.append(src_k[idx])
+                else:
+                    if not rec.committed:
+                        continue
+                    reader = mapping[rec.tid]
+                    for writer, kid in rec.wr_first_good.items():
+                        wr_log.append((mapping[writer] << EDGE_SHIFT) | reader)
+                        wr_keys.append(kid)
         graph = freeze_packed(self._next_tid, (so_log, wr_log))
         labels = causality_labels(
             so_log, wr_log, wr_keys, key_names=self._key_table.values
@@ -2642,6 +3357,16 @@ class CompiledIncrementalChecker:
                 stats["saturation_kernel"] = "fallback"
             else:
                 stats["saturation_kernel"] = "mixed"
+        if self._join_vectorized or self._join_scalar:
+            # Which clock-join implementation ran.  "fallback"/"mixed" is
+            # normal on small session counts: join_clocks stays scalar
+            # below _MIN_JOIN_CELLS even with numpy on.
+            if not self._join_scalar:
+                stats["join_kernel"] = "vectorized"
+            elif not self._join_vectorized:
+                stats["join_kernel"] = "fallback"
+            else:
+                stats["join_kernel"] = "mixed"
         if self._resolve_vectorized or self._resolve_scalar:
             # Likewise for the read-resolution kernel, plus the resolve
             # tallies ("mixed" is normal: sub-threshold tail batches take

@@ -147,6 +147,29 @@ def low_watermark(
     return wm
 
 
+def low_watermark_flat(data, stride: int, num_sessions: int) -> List[int]:
+    """:func:`low_watermark` over the flat row-major session-clock matrix.
+
+    ``data`` is one ``array('q')`` of ``num_sessions`` rows, each ``stride``
+    wide and ``-1``-padded ("missing" has the same ``-1`` semantics as a
+    too-short clock list), so ``wm[s]`` is the column minimum with the same
+    early ``-1`` break as the list form.  Value-identical to
+    :func:`low_watermark` on the equivalent list-of-lists state.
+    """
+    wm = [-1] * num_sessions
+    for s in range(num_sessions):
+        best = data[s]
+        if best >= 0:
+            for r in range(1, num_sessions):
+                value = data[r * stride + s]
+                if value < best:
+                    best = value
+                    if best < 0:
+                        break
+        wm[s] = best
+    return wm
+
+
 def stable_digest(key: object, value: object) -> int:
     """64-bit process-stable digest of a ``(key, value)`` write identity."""
     payload = f"{key!r}\x1f{value!r}".encode("utf-8", "backslashreplace")

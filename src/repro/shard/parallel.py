@@ -59,15 +59,19 @@ from repro.core.compiled.checkers import (
     compute_happens_before_compiled,
 )
 from repro.core.compiled.ir import CompiledHistory
-# ``WritesIndex`` / ``resolve_reads`` are imported (and re-exported) here so
-# worker bootstrap shares the streaming fold's flat writes registry: a shard
-# task that folds its byte range incrementally resolves reads through the
-# same kernel the single-process stream uses, and importing them at worker
-# module scope keeps fork/spawn bootstrap failures loud instead of
-# mid-task (tests/test_resolve_kernel.py asserts this import surface).
+# ``WritesIndex`` / ``resolve_reads`` / ``ParkQueue`` / ``join_clocks`` are
+# imported (and re-exported) here so worker bootstrap shares the streaming
+# fold's flat writes registry, columnar park queue, and batched clock join:
+# a shard task that folds its byte range incrementally resolves reads and
+# joins clocks through the same kernels the single-process stream uses, and
+# importing them at worker module scope keeps fork/spawn bootstrap failures
+# loud instead of mid-task (tests/test_resolve_kernel.py asserts this
+# import surface).
 from repro.core.compiled.kernels import (
+    ParkQueue,
     WritesIndex,
     _writers_by_key_compiled,
+    join_clocks,
     resolve_reads,
     saturate_cc_compiled,
     saturate_ra_compiled,

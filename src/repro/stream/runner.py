@@ -27,6 +27,7 @@ engines over an in-memory history (the parity harness behind
 
 from __future__ import annotations
 
+import gc
 import multiprocessing
 import time
 from collections import deque
@@ -185,6 +186,11 @@ def iter_raw_records(
             yield record
 
 
+def _gc_collections() -> int:
+    """Total collector runs across all generations (``--profile`` deltas)."""
+    return sum(entry["collections"] for entry in gc.get_stats())
+
+
 def _resolve_stream_engine(engine: str, jobs: Optional[int]) -> str:
     if engine not in STREAM_ENGINES:
         raise ValueError(
@@ -291,6 +297,7 @@ def check_stream_file(
     batch_ops: Optional[int] = None,
     timings: Optional[Dict[str, float]] = None,
     retire: Optional[RetirementPolicy] = None,
+    gc_tune: bool = False,
 ) -> CheckResult:
     """One-pass check of an on-disk history (``awdit check --stream``).
 
@@ -305,9 +312,16 @@ def check_stream_file(
     via watermark-based retirement; on resume it enables (or re-tunes)
     retirement on the restored checker, including v4 checkpoints that
     predate the protocol.  ``timings`` (``--profile``) receives ``parse`` /
-    ``fold`` wall seconds plus the fold's ``fold_intern`` /
-    ``fold_classify`` / ``fold_clock_join`` sub-laps.
+    ``fold`` wall seconds, the fold's ``fold_intern`` / ``fold_dispatch`` /
+    ``fold_classify`` / ``fold_clock_join`` sub-laps, and per-phase
+    ``gc.get_stats()`` collection deltas (``parse_gc_collections`` /
+    ``fold_gc_collections``).  ``gc_tune`` freezes the interpreter heap
+    after the first folded batch and raises the gen-2 threshold for the
+    rest of the stream (``--gc-tune``); thresholds, the freeze, and the
+    collector's enabled state are restored before returning.
     """
+    if batch_ops is not None and batch_ops < 1:
+        raise ValueError(f"batch_ops must be >= 1, got {batch_ops}")
     resolved = _resolve_stream_engine(engine, jobs)
     if resolved == "object":
         if checkpoint is not None or resume:
@@ -348,46 +362,82 @@ def check_stream_file(
         laps = checker.enable_fold_profile()
         parse_lap = 0.0
         fold_lap = 0.0
+        parse_gc = 0
+        fold_gc = 0
     source = None if checkpoint is None else source_fingerprint(path)
     since_checkpoint = 0
-    batches = iter_raw_batches(path, fmt=fmt, jobs=jobs, batch_ops=batch_ops)
-    while True:
-        if profile:
-            mark = time.perf_counter()
-            batch = next(batches, None)
-            parse_lap += time.perf_counter() - mark
-        else:
-            batch = next(batches, None)
-        if batch is None:
-            break
-        if skip:
-            # Resume: drop whole batches the checkpoint already consumed,
-            # then cut the straddling batch at the resume point.
-            num_records = len(batch.txn_end)
-            if num_records <= skip:
-                skip -= num_records
-                continue
-            batch = batch.tail(skip)
-            skip = 0
-        if profile:
-            mark = time.perf_counter()
-            checker.append_batch(batch)
-            fold_lap += time.perf_counter() - mark
-        else:
-            checker.append_batch(batch)
-        if checkpoint is not None:
-            since_checkpoint += len(batch.txn_end)
-            if since_checkpoint >= checkpoint_every:
-                checker.save_checkpoint(checkpoint, source=source)
-                since_checkpoint = 0
+    gc_was_enabled = gc.isenabled()
+    gc_thresholds = None
+    try:
+        batches = iter_raw_batches(path, fmt=fmt, jobs=jobs, batch_ops=batch_ops)
+        while True:
+            if profile:
+                gc_mark = _gc_collections()
+                mark = time.perf_counter()
+                batch = next(batches, None)
+                parse_lap += time.perf_counter() - mark
+                parse_gc += _gc_collections() - gc_mark
+            else:
+                batch = next(batches, None)
+            if batch is None:
+                break
+            if skip:
+                # Resume: drop whole batches the checkpoint already consumed,
+                # then cut the straddling batch at the resume point.
+                num_records = len(batch.txn_end)
+                if num_records <= skip:
+                    skip -= num_records
+                    continue
+                batch = batch.tail(skip)
+                skip = 0
+            if profile:
+                gc_mark = _gc_collections()
+                mark = time.perf_counter()
+                checker.append_batch(batch)
+                fold_lap += time.perf_counter() - mark
+                fold_gc += _gc_collections() - gc_mark
+            else:
+                checker.append_batch(batch)
+            if gc_tune and gc_thresholds is None:
+                # Warmup done: the first folded batch has populated the
+                # intern tables, kernel registries, and column arrays.
+                # Everything alive now is effectively immortal, so move it
+                # out of the collector's reach and make full (gen-2)
+                # collections 8x rarer -- the columnar fold allocates so
+                # few tracked objects that the remaining gen-2 walks are
+                # almost entirely survivors being re-scanned.
+                gc.collect()
+                gc.freeze()
+                gc_thresholds = gc.get_threshold()
+                gc.set_threshold(
+                    gc_thresholds[0], gc_thresholds[1], gc_thresholds[2] * 8
+                )
+            if checkpoint is not None:
+                since_checkpoint += len(batch.txn_end)
+                if since_checkpoint >= checkpoint_every:
+                    checker.save_checkpoint(checkpoint, source=source)
+                    since_checkpoint = 0
+    finally:
+        if gc_thresholds is not None:
+            gc.set_threshold(*gc_thresholds)
+            gc.unfreeze()
+        if gc_was_enabled and not gc.isenabled():  # pragma: no cover - defensive
+            gc.enable()
+        # --gc-tune must never leak a disabled collector into library
+        # callers (freeze/threshold tuning does not disable it; this
+        # pins that invariant).
+        assert gc.isenabled() == gc_was_enabled
     if checkpoint is not None:
         checker.save_checkpoint(checkpoint, source=source)
     if profile:
         timings["parse"] = parse_lap
         timings["fold"] = fold_lap
         timings["fold_intern"] = laps["intern"]
+        timings["fold_dispatch"] = laps["dispatch"]
         timings["fold_classify"] = laps["classify"]
         timings["fold_clock_join"] = laps["clock_join"]
+        timings["parse_gc_collections"] = parse_gc
+        timings["fold_gc_collections"] = fold_gc
     return checker.finalize()[level]
 
 

@@ -1,0 +1,487 @@
+"""Columnar fold state: clock-join kernel parity, park-queue behavior,
+cross-version checkpoints, GC tuning, and batch-size validation.
+
+The tentpole contract: the structure-of-arrays fold is answer-identical
+to the retired object-heap fold -- verdicts, witness messages, park and
+rebind ordering, refusal text -- at every ``batch_ops`` and on both
+kernel paths.  The pieces pinned here are the ones the columnar rewrite
+introduced: ``kernels.join_clocks`` (batched CC clock join),
+``kernels.ParkQueue`` (columnar park multimap), checkpoint format v6
+with v4/v5 backfill, and the ``--gc-tune`` collector experiment.
+"""
+
+import gc
+import json
+import os
+import pickle
+import subprocess
+import sys
+from array import array
+from contextlib import contextmanager
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import IsolationLevel
+from repro.core.compiled import kernels, online
+from repro.core.compiled.retire import RetirementPolicy
+from repro.cli import main
+from repro.histories.formats import save_history
+from repro.histories.generator import (
+    INJECTABLE_ANOMALIES,
+    RandomHistoryConfig,
+    generate_random_history,
+    generate_random_stream,
+    inject_anomaly,
+)
+from repro.stream import CompiledIncrementalChecker, check_stream_file, load_checkpoint
+
+from helpers import make_legacy_checker_state
+from test_resolve_kernel import (
+    arrival_raw,
+    digest,
+    fallback_modules,
+    interleaved_raw,
+    needs_numpy,
+    run_stream,
+)
+from test_retire import _downgrade_checkpoint_to_v4
+
+LEVELS = list(IsolationLevel)
+
+
+# -- join_clocks: the batched CC clock join ------------------------------------
+
+
+@contextmanager
+def join_floor(n=0):
+    """Make the vectorized clock join run even on tiny inputs."""
+    saved = kernels._MIN_JOIN_CELLS
+    kernels._MIN_JOIN_CELLS = n
+    try:
+        yield
+    finally:
+        kernels._MIN_JOIN_CELLS = saved
+
+
+@st.composite
+def join_inputs(draw):
+    stride = draw(st.sampled_from([4, 8, 16]))
+    nrows = draw(st.integers(1, 8))
+    cells = draw(
+        st.lists(
+            st.integers(-1, 40), min_size=nrows * stride, max_size=nrows * stride
+        )
+    )
+    base = draw(st.lists(st.integers(-1, 40), min_size=stride, max_size=stride))
+    k = draw(st.integers(1, nrows))
+    rows = draw(st.lists(st.integers(0, nrows - 1), min_size=k, max_size=k))
+    wsids = draw(st.lists(st.integers(0, stride - 1), min_size=k, max_size=k))
+    wsidxs = draw(st.lists(st.integers(0, 50), min_size=k, max_size=k))
+    return array("q", cells), stride, array("q", base), rows, wsids, wsidxs
+
+
+class TestJoinClocks:
+    """Both implementations compute the identical elementwise maximum."""
+
+    @needs_numpy
+    @settings(deadline=None, max_examples=120)
+    @given(inputs=join_inputs())
+    def test_vectorized_matches_fallback_bit_for_bit(self, inputs):
+        hb, stride, sc, rows, wsids, wsidxs = inputs
+        want = kernels._join_clocks_fallback(hb, stride, sc, 0, rows, wsids, wsidxs)
+        with join_floor(0):
+            row, vectorized = kernels.join_clocks(
+                hb, stride, sc, 0, rows, wsids, wsidxs
+            )
+        assert vectorized
+        assert list(row) == list(want)
+
+    @settings(deadline=None, max_examples=40)
+    @given(inputs=join_inputs())
+    def test_inputs_never_mutated(self, inputs):
+        hb, stride, sc, rows, wsids, wsidxs = inputs
+        hb_before, sc_before = list(hb), list(sc)
+        kernels.join_clocks(hb, stride, sc, 0, rows, wsids, wsidxs)
+        with join_floor(0):
+            kernels.join_clocks(hb, stride, sc, 0, rows, wsids, wsidxs)
+        assert list(hb) == hb_before and list(sc) == sc_before
+
+    def test_small_joins_stay_scalar(self):
+        # 2 rows x 4 stride = 8 cells, far below _MIN_JOIN_CELLS: the
+        # dispatch must keep the interpreted loop (fig9's 8-session shape
+        # reports ``fallback`` legitimately -- see the join_kernel stat).
+        hb = array("q", [1, -1, 3, -1, 0, 5, -1, -1])
+        sc = array("q", [2, 2, -1, -1])
+        row, vectorized = kernels.join_clocks(hb, 4, sc, 0, [0, 1], [0, 1], [4, 6])
+        assert not vectorized
+        assert list(row) == [4, 6, 3, -1]
+
+    @needs_numpy
+    def test_large_joins_vectorize_by_default(self):
+        stride = 64
+        hb = array("q", [-1]) * (64 * stride)
+        for j in range(64):
+            hb[j * stride + (j % stride)] = j
+        sc = array("q", [-1]) * stride
+        rows = list(range(64))
+        row, vectorized = kernels.join_clocks(
+            hb, stride, sc, 0, rows, [j % stride for j in rows], [100] * 64
+        )
+        assert vectorized
+        assert all(v == 100 for v in row)
+
+    def test_no_numpy_forces_fallback_even_above_floor(self):
+        saved = kernels._np
+        kernels._np = None
+        try:
+            stride = 64
+            hb = array("q", [7]) * (64 * stride)
+            sc = array("q", [-1]) * stride
+            row, vectorized = kernels.join_clocks(
+                hb, stride, sc, 0, list(range(64)), [0], [9]
+            )
+        finally:
+            kernels._np = saved
+        assert not vectorized
+        assert row[0] == 9 and all(v == 7 for v in row[1:])
+
+
+class TestParkQueue:
+    """The columnar park multimap preserves the scalar queue's ordering."""
+
+    def test_pop_preserves_arrival_order(self):
+        pq = kernels.ParkQueue()
+        pq.add(5, 10, 0)
+        pq.add(5, 12, 3)
+        pq.add(5, 11, 1)
+        assert list(pq.pop(5)) == [10, 0, 12, 3, 11, 1]
+        assert pq.pop(5) is None
+        assert not pq
+
+    def test_wids_iterate_in_first_park_order(self):
+        pq = kernels.ParkQueue()
+        for wid in (9, 2, 7, 2, 9):
+            pq.add(wid, wid * 10, 0)
+        assert list(pq.wids()) == [9, 2, 7]
+        assert len(pq) == 3 and 7 in pq and 3 not in pq
+
+    def test_clean_slot_round_trip(self):
+        # slot < 0 encodes a clean-parked read as -(index) - 1.
+        pq = kernels.ParkQueue()
+        for index in (0, 4, 17):
+            pq.add(1, 2, -(index) - 1)
+        row = pq.pop(1)
+        assert [-(row[p + 1]) - 1 for p in range(0, len(row), 2)] == [0, 4, 17]
+
+    def test_pickles_as_plain_rows(self):
+        pq = kernels.ParkQueue()
+        pq.add(3, 8, 2)
+        pq.add(1, 9, -1)
+        clone = pickle.loads(pickle.dumps(pq, protocol=pickle.HIGHEST_PROTOCOL))
+        assert {wid: list(row) for wid, row in clone.items()} == {
+            3: [8, 2],
+            1: [9, -1],
+        }
+        clone.clear()
+        assert len(clone) == 0
+
+
+# -- cross-version checkpoints -------------------------------------------------
+
+
+def _rewrite_as_v5(path):
+    """Rewrite a current checkpoint as the v5 (object-heap) layout."""
+    with open(path, "rb") as handle:
+        magic = handle.read(len(online.CHECKPOINT_MAGIC))
+        version = handle.read(1)
+        payload = pickle.load(handle)
+    assert magic == online.CHECKPOINT_MAGIC and version[0] == online.CHECKPOINT_VERSION
+    # v5 had retirement but predates the columns: pickle the object heap.
+    make_legacy_checker_state(payload["checker"])
+    with open(path, "wb") as handle:
+        handle.write(online.CHECKPOINT_MAGIC)
+        handle.write(bytes([5]))
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+class TestCrossVersionCheckpoints:
+    """v4 and v5 pickles resume through the columnar backfill, answer-identical."""
+
+    def _history(self, txns=300, seed=29):
+        return generate_random_history(
+            RandomHistoryConfig(
+                num_sessions=4,
+                num_transactions=txns,
+                num_keys=12,
+                min_ops_per_txn=1,
+                max_ops_per_txn=6,
+                read_fraction=0.5,
+                abort_probability=0.05,
+                mode="random_reads",
+                seed=seed,
+            )
+        )
+
+    def test_saved_checkpoints_are_v6(self, tmp_path):
+        checker = CompiledIncrementalChecker(num_sessions=2)
+        checker.append_raw(0, "t0", True, [(True, "x", 1)])
+        path = tmp_path / "state.awd"
+        checker.save_checkpoint(str(path))
+        blob = path.read_bytes()
+        assert blob.startswith(online.CHECKPOINT_MAGIC)
+        assert blob[len(online.CHECKPOINT_MAGIC)] == online.CHECKPOINT_VERSION == 6
+
+    @pytest.mark.parametrize("batch_ops", [1, 64])
+    def test_v5_checkpoint_resumes_byte_identical(self, tmp_path, batch_ops):
+        history = self._history()
+        records = interleaved_raw(history, 7)
+        want, _ = run_stream(records, history.num_sessions, batch_ops)
+        half = CompiledIncrementalChecker(num_sessions=history.num_sessions)
+        half.extend_raw(iter(records[:150]), batch_ops=batch_ops)
+        path = tmp_path / "state.awd"
+        half.save_checkpoint(str(path))
+        _rewrite_as_v5(str(path))
+
+        resumed = load_checkpoint(str(path))
+        assert "_txns" not in resumed.__dict__, "backfill must rebuild the columns"
+        assert isinstance(resumed._pending, kernels.ParkQueue)
+        resumed.extend_raw(iter(records[150:]), batch_ops=batch_ops)
+        assert digest(resumed.finalize()) == want
+
+    def test_v4_checkpoint_resumes_byte_identical(self, tmp_path):
+        history = self._history(seed=31)
+        records = interleaved_raw(history, 3)
+        want, _ = run_stream(records, history.num_sessions, 64)
+        half = CompiledIncrementalChecker(num_sessions=history.num_sessions)
+        half.extend_raw(iter(records[:150]), batch_ops=64)
+        path = tmp_path / "state.awd"
+        half.save_checkpoint(str(path))
+        _downgrade_checkpoint_to_v4(str(path))
+
+        resumed = load_checkpoint(str(path))
+        assert "_txns" not in resumed.__dict__
+        resumed.extend_raw(iter(records[150:]), batch_ops=64)
+        assert digest(resumed.finalize()) == want
+
+    def test_v5_resume_straddles_a_compaction(self, tmp_path):
+        # The checkpoint is taken after real evictions, rewritten to the
+        # object-heap layout, and the resume continues retiring over the
+        # rebuilt columns -- the hardest backfill path (txns_base > 0).
+        # A causally ordered serializable stream, so the fold fully drains
+        # between batches and the retirement guard can actually evict (a
+        # random interleave parks readers ahead of their writers, which
+        # stalls the guard by design).
+        history, order = generate_random_stream(
+            RandomHistoryConfig(
+                num_sessions=4,
+                num_transactions=800,
+                num_keys=40,
+                abort_probability=0.02,
+                seed=17,
+            )
+        )
+        records = arrival_raw(history, order)
+        want, _ = run_stream(records, history.num_sessions, 64)
+        policy = RetirementPolicy(lag=192, every=16, segment_dir=str(tmp_path / "segs"))
+        half = CompiledIncrementalChecker(
+            num_sessions=history.num_sessions, retire=policy
+        )
+        half.extend_raw(iter(records[:500]), batch_ops=64)
+        assert half._txns_base > 0, "checkpoint must straddle real evictions"
+        path = tmp_path / "state.awd"
+        half.save_checkpoint(str(path))
+        _rewrite_as_v5(str(path))
+
+        resumed = load_checkpoint(str(path))
+        assert resumed._txns_base > 0
+        resumed.enable_retirement(policy)
+        resumed.extend_raw(iter(records[500:]), batch_ops=64)
+        assert digest(resumed.finalize()) == want
+
+    @pytest.mark.parametrize("batch_ops", [1, 64, 4096])
+    def test_fallback_path_answers_identical(self, batch_ops):
+        # The kernel-path half of the contract: the columnar fold with
+        # every numpy kernel disabled matches the vectorized fold exactly.
+        history = inject_anomaly(self._history(seed=41), INJECTABLE_ANOMALIES[0])
+        records = interleaved_raw(history, 11)
+        want, _ = run_stream(records, history.num_sessions, batch_ops)
+        got, _ = run_stream(records, history.num_sessions, batch_ops, fallback=True)
+        assert got == want
+
+
+# -- AWDIT_NO_NUMPY subprocess parity ------------------------------------------
+
+
+@needs_numpy
+class TestNoNumpySubprocessColumnar:
+    """join_clocks and the park-heavy fold are answer-identical without numpy."""
+
+    _SCRIPT = (
+        "import json, sys\n"
+        "from array import array\n"
+        "from repro.core import IsolationLevel\n"
+        "from repro.core.compiled import kernels\n"
+        "from repro.stream import check_stream_file\n"
+        "stride = 64\n"
+        "hb = array('q', ((j * s * 2654435761) % 97 - 1\n"
+        "                 for j in range(64) for s in range(stride)))\n"
+        "sc = array('q', ((s * 40503) % 89 - 1 for s in range(stride)))\n"
+        "rows = list(range(0, 64, 1))\n"
+        "wsids = [j % stride for j in rows]\n"
+        "wsidxs = [(j * 7919) % 101 for j in rows]\n"
+        "row, vectorized = kernels.join_clocks(hb, stride, sc, 0, rows,\n"
+        "                                      wsids, wsidxs)\n"
+        "out = {'join': list(row), 'vectorized': vectorized, 'stream': []}\n"
+        "for level in IsolationLevel:\n"
+        "    r = check_stream_file(sys.argv[1], level, fmt='plume',\n"
+        "                          engine='compiled', batch_ops=1)\n"
+        "    out['stream'].append([level.name, r.is_consistent,\n"
+        "                          [v.message for v in r.violations]])\n"
+        "print(json.dumps(out))\n"
+    )
+
+    def _run_subprocess(self, path, no_numpy):
+        env = dict(os.environ)
+        if no_numpy:
+            env["AWDIT_NO_NUMPY"] = "1"
+        else:
+            env.pop("AWDIT_NO_NUMPY", None)
+        proc = subprocess.run(
+            [sys.executable, "-c", self._SCRIPT, path],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout)
+
+    def test_join_and_park_parity(self, tmp_path):
+        # batch_ops=1 maximizes cross-batch parking: every read of a
+        # not-yet-arrived writer goes through the columnar ParkQueue.
+        history = inject_anomaly(
+            generate_random_history(
+                RandomHistoryConfig(
+                    num_sessions=4,
+                    num_transactions=200,
+                    num_keys=8,
+                    min_ops_per_txn=2,
+                    max_ops_per_txn=6,
+                    read_fraction=0.6,
+                    mode="random_reads",
+                    seed=23,
+                )
+            ),
+            INJECTABLE_ANOMALIES[0],
+        )
+        path = tmp_path / "parity.plume"
+        save_history(history, str(path), fmt="plume")
+        with_numpy = self._run_subprocess(str(path), no_numpy=False)
+        without = self._run_subprocess(str(path), no_numpy=True)
+        assert with_numpy["join"] == without["join"]
+        assert with_numpy["vectorized"] is True
+        assert without["vectorized"] is False
+        assert with_numpy["stream"] == without["stream"]
+
+
+# -- batch_ops validation ------------------------------------------------------
+
+
+class TestBatchOpsValidation:
+    """Nonsensical batch sizes are rejected up front, not silently folded."""
+
+    @pytest.fixture()
+    def history_path(self, tmp_path):
+        path = tmp_path / "h.plume"
+        save_history(
+            generate_random_history(
+                RandomHistoryConfig(num_sessions=2, num_transactions=20, seed=1)
+            ),
+            str(path),
+            fmt="plume",
+        )
+        return str(path)
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_cli_rejects_bad_batch_ops(self, history_path, capsys, value):
+        assert main(["check", history_path, "--stream", "--batch-ops", value]) == 2
+        err = capsys.readouterr().err
+        assert "awdit: error:" in err
+        assert f"--batch-ops must be >= 1, got {value}" in err
+
+    def test_cli_gc_tune_requires_stream(self, history_path, capsys):
+        assert main(["check", history_path, "--gc-tune"]) == 2
+        err = capsys.readouterr().err
+        assert "awdit: error:" in err and "--gc-tune" in err and "--stream" in err
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_extend_raw_rejects_bad_batch_ops(self, value):
+        checker = CompiledIncrementalChecker(num_sessions=1)
+        with pytest.raises(ValueError, match=f"batch_ops must be >= 1, got {value}"):
+            checker.extend_raw(iter([]), batch_ops=value)
+
+    @pytest.mark.parametrize("engine", ["compiled", "object"])
+    def test_check_stream_file_rejects_bad_batch_ops(self, history_path, engine):
+        with pytest.raises(ValueError, match="batch_ops must be >= 1, got 0"):
+            check_stream_file(
+                history_path,
+                IsolationLevel.CAUSAL_CONSISTENCY,
+                fmt="plume",
+                engine=engine,
+                batch_ops=0,
+            )
+
+
+# -- --gc-tune -----------------------------------------------------------------
+
+
+class TestGcTune:
+    """The collector experiment never changes answers or leaks GC state."""
+
+    def _history_path(self, tmp_path):
+        path = tmp_path / "h.plume"
+        save_history(
+            inject_anomaly(
+                generate_random_history(
+                    RandomHistoryConfig(
+                        num_sessions=3,
+                        num_transactions=120,
+                        num_keys=8,
+                        read_fraction=0.5,
+                        mode="random_reads",
+                        seed=13,
+                    )
+                ),
+                INJECTABLE_ANOMALIES[0],
+            ),
+            str(path),
+            fmt="plume",
+        )
+        return str(path)
+
+    def test_same_answers_and_collector_fully_restored(self, tmp_path):
+        path = self._history_path(tmp_path)
+        thresholds = gc.get_threshold()
+        enabled = gc.isenabled()
+        frozen = gc.get_freeze_count()
+        for level in LEVELS:
+            plain = check_stream_file(path, level, fmt="plume", engine="compiled")
+            tuned = check_stream_file(
+                path, level, fmt="plume", engine="compiled", gc_tune=True
+            )
+            assert tuned.is_consistent == plain.is_consistent
+            assert [v.message for v in tuned.violations] == [
+                v.message for v in plain.violations
+            ]
+        assert gc.get_threshold() == thresholds
+        assert gc.isenabled() == enabled
+        assert gc.get_freeze_count() == frozen
+
+    def test_cli_gc_tune_runs_and_profiles(self, tmp_path, capsys):
+        path = self._history_path(tmp_path)
+        code = main(["check", path, "-i", "cc", "--stream", "--gc-tune", "--profile"])
+        assert code == 1  # the injected anomaly is a real violation
+        err = capsys.readouterr().err  # --profile reports on stderr
+        assert "fold_dispatch" in err
+        assert "parse_gc_collections" in err and "fold_gc_collections" in err

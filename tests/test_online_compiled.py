@@ -145,7 +145,9 @@ class TestCompiledOnlineParity:
             checker.append_raw(
                 0, None, True, [(True, "x", i), (False, "x", i)]
             )
-        assert all(txn.reads == [] for txn in checker._txns)
+        # Columnar state: resolved transactions keep no per-read objects.
+        assert not checker._live_reads
+        assert not checker._prefold
 
     def test_append_after_finalize_rejected(self):
         checker = CompiledIncrementalChecker()

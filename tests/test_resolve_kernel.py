@@ -55,6 +55,7 @@ from repro.histories.generator import (
     generate_random_stream,
     inject_anomaly,
 )
+from helpers import make_legacy_checker_state
 from repro.stream import CompiledIncrementalChecker, check_stream_file, load_checkpoint
 
 LEVELS = list(IsolationLevel)
@@ -525,10 +526,12 @@ class TestCheckpointAcrossResolver:
             assert digest(resumed.finalize()) == want
 
     def test_pre_kernel_pickle_resumes_through_backfill(self):
-        # Emulate a v5 checkpoint written before the resolve kernel
-        # existed: no resolve counters, no slow_reads slot, and the old
-        # rebind table still attached.  __setstate__ must backfill all
-        # three and the resumed run must converge on the same verdicts.
+        # Emulate a v5 checkpoint written before the resolve kernel (and
+        # the columnar state) existed: object-heap layout, no resolve
+        # counters, no slow_reads slot, and the old rebind table still
+        # attached.  __setstate__ must backfill the counters, force the
+        # conservative slow path, and migrate the objects into columns;
+        # the resumed run must converge on the same verdicts.
         history = self._history()
         records = interleaved_raw(history, 5)
         cut = len(records) // 2
@@ -538,6 +541,7 @@ class TestCheckpointAcrossResolver:
             first = CompiledIncrementalChecker(num_sessions=history.num_sessions)
             first.extend_raw(iter(records[:cut]), batch_ops=64)
             aged = pickle.loads(pickle.dumps(first))
+            make_legacy_checker_state(aged)
             for rec in aged._txns:
                 try:
                     del rec.slow_reads
@@ -555,8 +559,9 @@ class TestCheckpointAcrossResolver:
             aged.__dict__["_rebindable"] = {}
             resumed = pickle.loads(pickle.dumps(aged))
             assert "_rebindable" not in resumed.__dict__
+            assert "_txns" not in resumed.__dict__
             assert resumed._resolve_fast == 0
-            assert all(rec.slow_reads == 1 for rec in resumed._txns)
+            assert all(slow == 1 for slow in resumed._t_slow)
             resumed.extend_raw(iter(records[cut:]), batch_ops=64)
             assert digest(resumed.finalize()) == want
 
@@ -569,3 +574,5 @@ class TestShardImportSurface:
 
         assert parallel.resolve_reads is kernels.resolve_reads
         assert parallel.WritesIndex is kernels.WritesIndex
+        assert parallel.ParkQueue is kernels.ParkQueue
+        assert parallel.join_clocks is kernels.join_clocks

@@ -17,6 +17,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from helpers import make_legacy_checker_state
 from repro.core import IsolationLevel
 from repro.core.compiled import online
 from repro.core.compiled.retire import (
@@ -308,7 +309,7 @@ class TestRetireMemoryBounded:
         peak_resident = 0
         for sid, txn in arrival_records(history, order):
             checker.append_raw(sid, *raw_of(txn))
-            peak_resident = max(peak_resident, len(checker._txns))
+            peak_resident = max(peak_resident, len(checker._t_sid))
         # Live state is O(lag + cadence + pinned writers), not O(history).
         bound = policy.lag + policy.every + 40 + 4 * history.num_sessions
         assert peak_resident <= bound
@@ -344,14 +345,16 @@ class TestRetireMemoryBounded:
 
 
 def _downgrade_checkpoint_to_v4(path):
-    """Rewrite a v5 checkpoint file as the pre-retirement v4 layout."""
+    """Rewrite a current checkpoint file as the pre-retirement v4 layout."""
     with open(path, "rb") as handle:
         magic = handle.read(len(online.CHECKPOINT_MAGIC))
         version = handle.read(1)
         payload = pickle.load(handle)
-    assert magic == online.CHECKPOINT_MAGIC and version[0] == 5
+    assert magic == online.CHECKPOINT_MAGIC and version[0] == online.CHECKPOINT_VERSION
     checker = payload["checker"]
     assert checker._txns_base == 0, "cannot downgrade a retired checker"
+    # v4 predates the columnar state too: pickle the object-heap form.
+    make_legacy_checker_state(checker)
     for attr in (
         "_next_tid",
         "_txns_base",
